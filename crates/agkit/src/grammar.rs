@@ -1,0 +1,263 @@
+//! Attribute-grammar definitions.
+//!
+//! Following the paper's Section 7.1 translation, a grammar is a set of
+//! productions; each production instance becomes an object; synthesized
+//! attributes become zero-argument maintained methods and inherited
+//! attributes become one-argument maintained methods whose argument selects
+//! the child context. Equations are Rust closures evaluated against a
+//! [`SynCtx`] / [`InhCtx`] that routes attribute references through
+//! whichever evaluator (incremental or exhaustive) is running them.
+
+use crate::tree::{AgNodeId, AgTree};
+use crate::value::AttrVal;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Index of a production.
+pub type ProdId = usize;
+/// Index of a synthesized attribute.
+pub type SynId = usize;
+/// Index of an inherited attribute.
+pub type InhId = usize;
+
+/// How attribute references are answered during equation evaluation.
+/// Implemented by both the Alphonse evaluator and the exhaustive baseline.
+pub trait AttrBackend {
+    /// Value of synthesized attribute `attr` at `node`.
+    fn syn(&self, node: AgNodeId, attr: SynId) -> AttrVal;
+    /// Value of inherited attribute `attr` at `node`.
+    fn inh(&self, node: AgNodeId, attr: InhId) -> AttrVal;
+    /// The attributed tree.
+    fn tree(&self) -> &AgTree;
+}
+
+/// Evaluation context of a synthesized-attribute equation at a production
+/// instance (the paper's object `o`).
+pub struct SynCtx<'a> {
+    pub(crate) backend: &'a dyn AttrBackend,
+    pub(crate) node: AgNodeId,
+}
+
+impl SynCtx<'_> {
+    /// Synthesized attribute of the `i`-th child (`o.p(Ni).a()`).
+    pub fn child_syn(&self, i: usize, attr: SynId) -> AttrVal {
+        let child = self
+            .backend
+            .tree()
+            .child(self.node, i)
+            .expect("equation references a missing child");
+        self.backend.syn(child, attr)
+    }
+
+    /// Own inherited attribute (`o.parent.a(o)` in the paper's encoding).
+    pub fn inh(&self, attr: InhId) -> AttrVal {
+        self.backend.inh(self.node, attr)
+    }
+
+    /// Terminal symbol value `i` of this production instance.
+    pub fn terminal(&self, i: usize) -> AttrVal {
+        self.backend.tree().terminal(self.node, i)
+    }
+}
+
+/// Evaluation context of an inherited-attribute equation: evaluated *at the
+/// parent* production instance for a specific child position — the
+/// one-argument method with context dispatch of Section 7.1.
+pub struct InhCtx<'a> {
+    pub(crate) backend: &'a dyn AttrBackend,
+    /// The parent production instance (the paper's `o`).
+    pub(crate) parent: AgNodeId,
+    /// Which child of the parent is asking (resolved from the paper's
+    /// `IF c = o.expl THEN …` case analysis).
+    pub(crate) child_index: usize,
+}
+
+impl InhCtx<'_> {
+    /// The child position whose attribute is being defined.
+    pub fn child_index(&self) -> usize {
+        self.child_index
+    }
+
+    /// The parent's own inherited attribute (`o.parent.env(o)`).
+    pub fn parent_inh(&self, attr: InhId) -> AttrVal {
+        self.backend.inh(self.parent, attr)
+    }
+
+    /// Synthesized attribute of the `i`-th child of the parent
+    /// (`o.expl.value()`).
+    pub fn child_syn(&self, i: usize, attr: SynId) -> AttrVal {
+        let child = self
+            .backend
+            .tree()
+            .child(self.parent, i)
+            .expect("equation references a missing child");
+        self.backend.syn(child, attr)
+    }
+
+    /// Terminal symbol value `i` of the parent production instance.
+    pub fn terminal(&self, i: usize) -> AttrVal {
+        self.backend.tree().terminal(self.parent, i)
+    }
+}
+
+/// Signature of a synthesized equation.
+pub type SynEq = Rc<dyn Fn(&SynCtx<'_>) -> AttrVal>;
+/// Signature of an inherited equation.
+pub type InhEq = Rc<dyn Fn(&InhCtx<'_>) -> AttrVal>;
+
+pub(crate) struct ProdSpec {
+    pub(crate) name: String,
+    pub(crate) arity: usize,
+    pub(crate) terminals: usize,
+}
+
+/// A complete attribute grammar: productions, attributes and equations.
+pub struct Grammar {
+    pub(crate) prods: Vec<ProdSpec>,
+    pub(crate) syn_names: Vec<String>,
+    pub(crate) inh_names: Vec<String>,
+    pub(crate) syn_eqs: HashMap<(ProdId, SynId), SynEq>,
+    pub(crate) inh_eqs: HashMap<(ProdId, usize, InhId), InhEq>,
+}
+
+impl fmt::Debug for Grammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Grammar")
+            .field("productions", &self.prods.len())
+            .field("synthesized", &self.syn_names)
+            .field("inherited", &self.inh_names)
+            .finish()
+    }
+}
+
+impl Grammar {
+    /// Starts building a grammar.
+    pub fn builder() -> GrammarBuilder {
+        GrammarBuilder::default()
+    }
+
+    /// Production name (for diagnostics).
+    pub fn prod_name(&self, p: ProdId) -> &str {
+        &self.prods[p].name
+    }
+
+    /// Number of children of production `p`.
+    pub fn arity(&self, p: ProdId) -> usize {
+        self.prods[p].arity
+    }
+
+    /// Number of productions.
+    pub fn prod_count(&self) -> usize {
+        self.prods.len()
+    }
+
+    pub(crate) fn syn_eq(&self, p: ProdId, a: SynId) -> &SynEq {
+        self.syn_eqs.get(&(p, a)).unwrap_or_else(|| {
+            panic!(
+                "no equation for synthesized attribute {} on production {}",
+                self.syn_names[a], self.prods[p].name
+            )
+        })
+    }
+
+    pub(crate) fn inh_eq(&self, p: ProdId, child: usize, a: InhId) -> &InhEq {
+        self.inh_eqs.get(&(p, child, a)).unwrap_or_else(|| {
+            panic!(
+                "no equation for inherited attribute {} of child {} in production {}",
+                self.inh_names[a], child, self.prods[p].name
+            )
+        })
+    }
+}
+
+/// Incremental builder for [`Grammar`].
+///
+/// # Example
+///
+/// ```
+/// use alphonse_agkit::{AttrVal, Grammar};
+/// let mut g = Grammar::builder();
+/// let value = g.synthesized("value");
+/// let num = g.production("Num", 0, 1); // no children, one terminal
+/// let add = g.production("Add", 2, 0);
+/// g.syn_eq(num, value, |ctx| ctx.terminal(0));
+/// g.syn_eq(add, value, move |ctx| {
+///     AttrVal::Int(ctx.child_syn(0, value).as_int() + ctx.child_syn(1, value).as_int())
+/// });
+/// let grammar = g.build();
+/// assert_eq!(grammar.prod_count(), 2);
+/// ```
+#[derive(Default)]
+pub struct GrammarBuilder {
+    prods: Vec<ProdSpec>,
+    syn_names: Vec<String>,
+    inh_names: Vec<String>,
+    syn_eqs: HashMap<(ProdId, SynId), SynEq>,
+    inh_eqs: HashMap<(ProdId, usize, InhId), InhEq>,
+}
+
+impl GrammarBuilder {
+    /// Declares a synthesized attribute.
+    pub fn synthesized(&mut self, name: &str) -> SynId {
+        self.syn_names.push(name.to_string());
+        self.syn_names.len() - 1
+    }
+
+    /// Declares an inherited attribute.
+    pub fn inherited(&mut self, name: &str) -> InhId {
+        self.inh_names.push(name.to_string());
+        self.inh_names.len() - 1
+    }
+
+    /// Declares a production with `arity` nonterminal children and
+    /// `terminals` terminal-value slots.
+    pub fn production(&mut self, name: &str, arity: usize, terminals: usize) -> ProdId {
+        self.prods.push(ProdSpec {
+            name: name.to_string(),
+            arity,
+            terminals,
+        });
+        self.prods.len() - 1
+    }
+
+    /// Defines the equation for synthesized attribute `a` of production `p`.
+    pub fn syn_eq(&mut self, p: ProdId, a: SynId, eq: impl Fn(&SynCtx<'_>) -> AttrVal + 'static) {
+        self.syn_eqs.insert((p, a), Rc::new(eq));
+    }
+
+    /// Defines the equation for inherited attribute `a` of child `child` in
+    /// production `p`.
+    pub fn inh_eq(
+        &mut self,
+        p: ProdId,
+        child: usize,
+        a: InhId,
+        eq: impl Fn(&InhCtx<'_>) -> AttrVal + 'static,
+    ) {
+        self.inh_eqs.insert((p, child, a), Rc::new(eq));
+    }
+
+    /// Finishes the grammar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an inherited equation names a child position out of range.
+    pub fn build(self) -> Grammar {
+        for (p, child, _) in self.inh_eqs.keys() {
+            assert!(
+                *child < self.prods[*p].arity,
+                "inherited equation for child {child} of {} (arity {})",
+                self.prods[*p].name,
+                self.prods[*p].arity
+            );
+        }
+        Grammar {
+            prods: self.prods,
+            syn_names: self.syn_names,
+            inh_names: self.inh_names,
+            syn_eqs: self.syn_eqs,
+            inh_eqs: self.inh_eqs,
+        }
+    }
+}

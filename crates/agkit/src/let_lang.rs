@@ -1,0 +1,447 @@
+//! The paper's let-expression attribute grammar (Algorithms 6–9).
+//!
+//! ```text
+//! ROOT ::= EXP            ROOT.value = EXP.value        EXP.env = EmptyEnv()
+//! EXP0 ::= EXP1 + EXP2    EXP0.value = EXP1.value + EXP2.value
+//!                         EXP1.env = EXP0.env           EXP2.env = EXP0.env
+//! EXP0 ::= let ID = EXP1 in EXP2 ni
+//!                         EXP0.value = EXP2.value
+//!                         EXP1.env = EXP0.env
+//!                         EXP2.env = UpdateEnv(EXP0.env, ID, EXP1.value)
+//! EXP  ::= ID             EXP.value = LookupEnv(EXP.env, ID)
+//! EXP  ::= INT            EXP.value = INT
+//! ```
+//!
+//! Unbound identifiers evaluate to 0 (the paper leaves `LookupEnv` failure
+//! unspecified; a total definition keeps differential tests simple).
+
+use crate::grammar::{Grammar, InhId, ProdId, SynId};
+use crate::tree::{AgNodeId, AgTree};
+use crate::value::{AttrVal, Env};
+use alphonse::Runtime;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Handles for the let-language grammar: production and attribute ids.
+#[derive(Debug, Clone, Copy)]
+pub struct LetLang {
+    /// `ROOT ::= EXP`
+    pub root: ProdId,
+    /// `EXP ::= EXP + EXP`
+    pub plus: ProdId,
+    /// `EXP ::= let ID = EXP in EXP ni`
+    pub let_: ProdId,
+    /// `EXP ::= ID`
+    pub id: ProdId,
+    /// `EXP ::= INT`
+    pub int: ProdId,
+    /// Synthesized `value`.
+    pub value: SynId,
+    /// Inherited `env`.
+    pub env: InhId,
+}
+
+impl LetLang {
+    /// Builds the Algorithm 6 grammar.
+    pub fn grammar() -> (Rc<Grammar>, LetLang) {
+        let mut g = Grammar::builder();
+        let value = g.synthesized("value");
+        let env = g.inherited("env");
+        let root = g.production("Root", 1, 0);
+        let plus = g.production("Plus", 2, 0);
+        let let_ = g.production("Let", 2, 1); // terminal 0: the identifier
+        let id = g.production("Id", 0, 1);
+        let int = g.production("Int", 0, 1);
+
+        // ROOT.value = EXP.value ; EXP.env = EmptyEnv()
+        g.syn_eq(root, value, move |ctx| ctx.child_syn(0, value));
+        g.inh_eq(root, 0, env, |_ctx| AttrVal::Env(Env::empty()));
+
+        // Plus: value = v0 + v1 ; both children inherit the env (PassEnv).
+        g.syn_eq(plus, value, move |ctx| {
+            AttrVal::Int(
+                ctx.child_syn(0, value)
+                    .as_int()
+                    .wrapping_add(ctx.child_syn(1, value).as_int()),
+            )
+        });
+        g.inh_eq(plus, 0, env, move |ctx| ctx.parent_inh(env));
+        g.inh_eq(plus, 1, env, move |ctx| ctx.parent_inh(env));
+
+        // Let: value = body value; binder env = own env; body env extended
+        // (the paper's LetEnv with its `IF c = o.expl` dispatch realized by
+        // per-child equations).
+        g.syn_eq(let_, value, move |ctx| ctx.child_syn(1, value));
+        g.inh_eq(let_, 0, env, move |ctx| ctx.parent_inh(env));
+        g.inh_eq(let_, 1, env, move |ctx| {
+            let base = ctx.parent_inh(env).as_env();
+            let name = ctx.terminal(0).as_text();
+            let bound = ctx.child_syn(0, value);
+            AttrVal::Env(base.update(&name, bound))
+        });
+
+        // Id: value = LookupEnv(env, id), 0 when unbound.
+        g.syn_eq(id, value, move |ctx| {
+            let e = ctx.inh(env).as_env();
+            let name = ctx.terminal(0).as_text();
+            e.lookup(&name).unwrap_or(AttrVal::Int(0))
+        });
+
+        // Int: value = terminal.
+        g.syn_eq(int, value, |ctx| ctx.terminal(0));
+
+        (
+            Rc::new(g.build()),
+            LetLang {
+                root,
+                plus,
+                let_,
+                id,
+                int,
+                value,
+                env,
+            },
+        )
+    }
+
+    /// Convenience: grammar + fresh tree in `rt`.
+    pub fn tree(rt: &Runtime) -> (Rc<AgTree>, LetLang) {
+        let (g, lang) = Self::grammar();
+        (AgTree::new(rt, g), lang)
+    }
+}
+
+/// Surface expression for building/parsing let-programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LetExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Id(String),
+    /// Addition.
+    Plus(Box<LetExpr>, Box<LetExpr>),
+    /// `let name = bound in body ni`.
+    Let(String, Box<LetExpr>, Box<LetExpr>),
+}
+
+impl LetExpr {
+    /// Instantiates this expression as production instances under a fresh
+    /// `Root` node; returns (root, expression node).
+    pub fn instantiate(&self, tree: &AgTree, lang: &LetLang) -> (AgNodeId, AgNodeId) {
+        let e = self.node(tree, lang);
+        let root = tree.build(lang.root, vec![], &[e]);
+        (root, e)
+    }
+
+    /// Builds the production instance for this expression (no root).
+    pub fn node(&self, tree: &AgTree, lang: &LetLang) -> AgNodeId {
+        match self {
+            LetExpr::Int(v) => tree.new_node(lang.int, vec![AttrVal::Int(*v)]),
+            LetExpr::Id(n) => tree.new_node(lang.id, vec![AttrVal::text(n)]),
+            LetExpr::Plus(a, b) => {
+                let a = a.node(tree, lang);
+                let b = b.node(tree, lang);
+                tree.build(lang.plus, vec![], &[a, b])
+            }
+            LetExpr::Let(n, bound, body) => {
+                let bound = bound.node(tree, lang);
+                let body = body.node(tree, lang);
+                tree.build(lang.let_, vec![AttrVal::text(n)], &[bound, body])
+            }
+        }
+    }
+
+    /// Reference semantics: direct environment-passing evaluation, used as
+    /// the oracle in differential tests.
+    pub fn eval_oracle(&self, env: &HashMap<String, i64>) -> i64 {
+        match self {
+            LetExpr::Int(v) => *v,
+            LetExpr::Id(n) => env.get(n).copied().unwrap_or(0),
+            LetExpr::Plus(a, b) => a.eval_oracle(env).wrapping_add(b.eval_oracle(env)),
+            LetExpr::Let(n, bound, body) => {
+                let v = bound.eval_oracle(env);
+                let mut inner = env.clone();
+                inner.insert(n.clone(), v);
+                body.eval_oracle(&inner)
+            }
+        }
+    }
+}
+
+/// Parses `let x = 1 + 2 in x + x ni` style expressions.
+///
+/// Grammar: `expr := term { '+' term }` ;
+/// `term := INT | IDENT | '(' expr ')' | 'let' IDENT '=' expr 'in' expr 'ni'`.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax error.
+pub fn parse_let(src: &str) -> Result<LetExpr, String> {
+    let tokens = let_tokens(src)?;
+    let mut p = LetParser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(format!("trailing input at token {}", p.pos));
+    }
+    Ok(e)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum LetTok {
+    Int(i64),
+    Ident(String),
+    Plus,
+    Eq,
+    LPar,
+    RPar,
+    Let,
+    In,
+    Ni,
+}
+
+fn let_tokens(src: &str) -> Result<Vec<LetTok>, String> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                out.push(LetTok::Plus);
+                i += 1;
+            }
+            '=' => {
+                out.push(LetTok::Eq);
+                i += 1;
+            }
+            '(' => {
+                out.push(LetTok::LPar);
+                i += 1;
+            }
+            ')' => {
+                out.push(LetTok::RPar);
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(LetTok::Int(
+                    text.parse().map_err(|_| format!("bad integer {text}"))?,
+                ));
+            }
+            c if c.is_ascii_alphabetic() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                out.push(match word.as_str() {
+                    "let" => LetTok::Let,
+                    "in" => LetTok::In,
+                    "ni" => LetTok::Ni,
+                    _ => LetTok::Ident(word),
+                });
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+struct LetParser {
+    tokens: Vec<LetTok>,
+    pos: usize,
+}
+
+impl LetParser {
+    fn peek(&self) -> Option<&LetTok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn eat(&mut self, t: &LetTok) -> Result<(), String> {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expr(&mut self) -> Result<LetExpr, String> {
+        let mut e = self.term()?;
+        while self.peek() == Some(&LetTok::Plus) {
+            self.pos += 1;
+            let rhs = self.term()?;
+            e = LetExpr::Plus(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn term(&mut self) -> Result<LetExpr, String> {
+        match self.peek().cloned() {
+            Some(LetTok::Int(v)) => {
+                self.pos += 1;
+                Ok(LetExpr::Int(v))
+            }
+            Some(LetTok::Ident(n)) => {
+                self.pos += 1;
+                Ok(LetExpr::Id(n))
+            }
+            Some(LetTok::LPar) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.eat(&LetTok::RPar)?;
+                Ok(e)
+            }
+            Some(LetTok::Let) => {
+                self.pos += 1;
+                let name = match self.peek().cloned() {
+                    Some(LetTok::Ident(n)) => {
+                        self.pos += 1;
+                        n
+                    }
+                    other => return Err(format!("expected identifier after let, found {other:?}")),
+                };
+                self.eat(&LetTok::Eq)?;
+                let bound = self.expr()?;
+                self.eat(&LetTok::In)?;
+                let body = self.expr()?;
+                self.eat(&LetTok::Ni)?;
+                Ok(LetExpr::Let(name, Box::new(bound), Box::new(body)))
+            }
+            other => Err(format!("expected an expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{AgEvaluator, ExhaustiveAg};
+
+    fn eval_str(src: &str) -> i64 {
+        let rt = Runtime::new();
+        let (tree, lang) = LetLang::tree(&rt);
+        let expr = parse_let(src).unwrap();
+        let (root, _) = expr.instantiate(&tree, &lang);
+        let eval = AgEvaluator::new(&rt, tree);
+        eval.syn(root, lang.value).as_int()
+    }
+
+    #[test]
+    fn literals_and_addition() {
+        assert_eq!(eval_str("1 + 2 + 3"), 6);
+        assert_eq!(eval_str("(1 + 2) + (3 + 4)"), 10);
+    }
+
+    #[test]
+    fn let_binding_and_shadowing() {
+        assert_eq!(eval_str("let x = 5 in x + x ni"), 10);
+        assert_eq!(eval_str("let x = 1 in let x = x + 1 in x ni ni"), 2);
+        assert_eq!(eval_str("let x = 1 in let y = 2 in x + y ni ni"), 3);
+    }
+
+    #[test]
+    fn unbound_identifier_is_zero() {
+        assert_eq!(eval_str("y + 1"), 1);
+    }
+
+    #[test]
+    fn exhaustive_and_incremental_agree() {
+        let src = "let a = 3 + 4 in let b = a + a in a + b + (let a = 1 in a + b ni) ni ni";
+        let expr = parse_let(src).unwrap();
+        let oracle = expr.eval_oracle(&HashMap::new());
+
+        let rt = Runtime::new();
+        let (tree, lang) = LetLang::tree(&rt);
+        let (root, _) = expr.instantiate(&tree, &lang);
+        let exhaustive = ExhaustiveAg::new(Rc::clone(&tree));
+        let incremental = AgEvaluator::new(&rt, tree);
+        assert_eq!(exhaustive.syn(root, lang.value).as_int(), oracle);
+        assert_eq!(incremental.syn(root, lang.value).as_int(), oracle);
+        assert!(exhaustive.evaluations() > 0);
+    }
+
+    #[test]
+    fn terminal_edit_reattributes_incrementally() {
+        let rt = Runtime::new();
+        let (tree, lang) = LetLang::tree(&rt);
+        let expr = parse_let("let x = 7 in x + x + x ni").unwrap();
+        let (root, letn) = expr.instantiate(&tree, &lang);
+        let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+        assert_eq!(eval.syn(root, lang.value), AttrVal::Int(21));
+        // Edit the bound literal: the Int node is child 0 of the Let.
+        let bound = tree.child(letn, 0).unwrap();
+        tree.set_terminal(bound, 0, AttrVal::Int(10));
+        assert_eq!(eval.syn(root, lang.value), AttrVal::Int(30));
+    }
+
+    #[test]
+    fn subtree_replacement_reattributes() {
+        let rt = Runtime::new();
+        let (tree, lang) = LetLang::tree(&rt);
+        let expr = parse_let("let x = 2 in x + 1 ni").unwrap();
+        let (root, letn) = expr.instantiate(&tree, &lang);
+        let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+        assert_eq!(eval.syn(root, lang.value), AttrVal::Int(3));
+        // Replace the body `x + 1` with `x + x`.
+        let new_body = parse_let("x + x").unwrap().node(&tree, &lang);
+        tree.set_child(letn, 1, Some(new_body));
+        assert_eq!(eval.syn(root, lang.value), AttrVal::Int(4));
+    }
+
+    #[test]
+    fn untouched_siblings_stay_cached() {
+        let rt = Runtime::new();
+        let (tree, lang) = LetLang::tree(&rt);
+        // Wide sum of independent lets; edit one literal and count work.
+        let mut src = String::from("let a = 1 in a ni");
+        for _ in 0..20 {
+            src = format!("({src}) + (let b = 2 in b + b ni)");
+        }
+        let expr = parse_let(&src).unwrap();
+        let (root, _) = expr.instantiate(&tree, &lang);
+        let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+        let total = eval.syn(root, lang.value).as_int();
+        assert_eq!(total, 1 + 20 * 4);
+        let before = rt.stats();
+        // Find an Int(2) literal to bump: walk the tree.
+        let mut stack = vec![root];
+        let mut lit = None;
+        while let Some(n) = stack.pop() {
+            if tree.prod(n) == lang.int && tree.terminal(n, 0) == AttrVal::Int(2) {
+                lit = Some(n);
+                break;
+            }
+            for i in 0..tree.grammar().arity(tree.prod(n)) {
+                if let Some(c) = tree.child(n, i) {
+                    stack.push(c);
+                }
+            }
+        }
+        tree.set_terminal(lit.expect("found a literal"), 0, AttrVal::Int(5));
+        let total2 = eval.syn(root, lang.value).as_int();
+        assert_eq!(total2, total + 6, "one let of 2+2 became 5+5");
+        let d = rt.stats().delta_since(&before);
+        // Only the spine above the edited literal re-executes, roughly the
+        // path length, not the ~150 attribute instances of the whole tree.
+        assert!(
+            d.executions < 40,
+            "expected path-local re-attribution, got {} executions",
+            d.executions
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_let("let = 3 in x ni").is_err());
+        assert!(parse_let("1 +").is_err());
+        assert!(parse_let("(1").is_err());
+        assert!(parse_let("1 2").is_err());
+        assert!(parse_let("let x = 1 in x").is_err(), "missing ni");
+    }
+}

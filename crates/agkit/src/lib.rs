@@ -1,0 +1,50 @@
+//! Attribute grammars as Alphonse programs (paper Section 7.1).
+//!
+//! The paper shows that Alphonse *subsumes* attribute-grammar systems: each
+//! production becomes an object type, synthesized attribute equations become
+//! zero-argument `(*MAINTAINED*)` methods, and inherited equations become
+//! one-argument maintained methods that dispatch on the asking child. This
+//! crate packages that translation as a reusable toolkit:
+//!
+//! * [`Grammar`] / [`GrammarBuilder`] — declare productions, synthesized and
+//!   inherited attributes, and their equations (plain Rust closures).
+//! * [`AgTree`] — derivation trees whose structure (child links, parent
+//!   pointers, terminal values) is tracked storage, so tree edits invalidate
+//!   exactly the affected attribute instances.
+//! * [`AgEvaluator`] — the incremental evaluator: attribute instances are
+//!   maintained method instances of the Alphonse runtime.
+//! * [`ExhaustiveAg`] — the conventional-execution baseline, for experiment
+//!   E6.
+//! * [`LetLang`] — the paper's let-expression grammar (Algorithms 6–9),
+//!   with a parser and a reference evaluator.
+//!
+//! # Example
+//!
+//! ```
+//! use alphonse::Runtime;
+//! use alphonse_agkit::{AgEvaluator, LetLang, parse_let};
+//!
+//! let rt = Runtime::new();
+//! let (tree, lang) = LetLang::tree(&rt);
+//! let expr = parse_let("let x = 20 in x + x + 2 ni").unwrap();
+//! let (root, _) = expr.instantiate(&tree, &lang);
+//! let eval = AgEvaluator::new(&rt, tree);
+//! assert_eq!(eval.syn(root, lang.value).as_int(), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod grammar;
+mod let_lang;
+mod tree;
+mod value;
+
+pub use eval::{AgEvaluator, ExhaustiveAg};
+pub use grammar::{
+    AttrBackend, Grammar, GrammarBuilder, InhCtx, InhEq, InhId, ProdId, SynCtx, SynEq, SynId,
+};
+pub use let_lang::{parse_let, LetExpr, LetLang};
+pub use tree::{AgNodeId, AgTree};
+pub use value::{AttrVal, Env};

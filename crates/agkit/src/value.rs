@@ -1,0 +1,238 @@
+//! Attribute values, including persistent environments.
+//!
+//! The paper's let-expression grammar (Algorithm 6) assumes "a
+//! representation of environments with EmptyEnv, UpdateEnv and LookupEnv
+//! operations" — a keyed set of (identifier, value) pairs. [`Env`] provides
+//! that as a persistent association list, so environment values can be
+//! cached and compared for quiescence cutoff like any other value.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// A value of an attribute instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrVal {
+    /// Integer attribute.
+    Int(i64),
+    /// Text attribute.
+    Text(Rc<str>),
+    /// Boolean attribute.
+    Bool(bool),
+    /// Environment attribute (for inherited contexts).
+    Env(Env),
+    /// Absent / unit value.
+    Unit,
+}
+
+impl AttrVal {
+    /// Text helper.
+    pub fn text(s: &str) -> AttrVal {
+        AttrVal::Text(Rc::from(s))
+    }
+
+    /// Extracts an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an [`AttrVal::Int`].
+    pub fn as_int(&self) -> i64 {
+        match self {
+            AttrVal::Int(v) => *v,
+            other => panic!("expected Int attribute, found {other:?}"),
+        }
+    }
+
+    /// Extracts an environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an [`AttrVal::Env`].
+    pub fn as_env(&self) -> Env {
+        match self {
+            AttrVal::Env(e) => e.clone(),
+            other => panic!("expected Env attribute, found {other:?}"),
+        }
+    }
+
+    /// Extracts a text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an [`AttrVal::Text`].
+    pub fn as_text(&self) -> Rc<str> {
+        match self {
+            AttrVal::Text(s) => Rc::clone(s),
+            other => panic!("expected Text attribute, found {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for AttrVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrVal::Int(v) => write!(f, "{v}"),
+            AttrVal::Text(s) => write!(f, "{s}"),
+            AttrVal::Bool(b) => write!(f, "{b}"),
+            AttrVal::Env(e) => write!(f, "{e}"),
+            AttrVal::Unit => write!(f, "()"),
+        }
+    }
+}
+
+struct EnvFrame {
+    name: Rc<str>,
+    value: AttrVal,
+    rest: Env,
+}
+
+/// A persistent environment: `EmptyEnv` / `UpdateEnv` / `LookupEnv` of the
+/// paper's Algorithm 6.
+///
+/// # Example
+///
+/// ```
+/// use alphonse_agkit::{AttrVal, Env};
+/// let e = Env::empty().update("x", AttrVal::Int(1)).update("y", AttrVal::Int(2));
+/// assert_eq!(e.lookup("x"), Some(AttrVal::Int(1)));
+/// let shadowed = e.update("x", AttrVal::Int(9));
+/// assert_eq!(shadowed.lookup("x"), Some(AttrVal::Int(9)));
+/// assert_eq!(e.lookup("x"), Some(AttrVal::Int(1)), "persistence");
+/// ```
+#[derive(Clone, Default)]
+pub struct Env(Option<Rc<EnvFrame>>);
+
+impl Env {
+    /// `EmptyEnv()`.
+    pub fn empty() -> Env {
+        Env(None)
+    }
+
+    /// `UpdateEnv(env, name, value)` — returns an extended environment; the
+    /// original is unchanged.
+    #[must_use]
+    pub fn update(&self, name: &str, value: AttrVal) -> Env {
+        Env(Some(Rc::new(EnvFrame {
+            name: Rc::from(name),
+            value,
+            rest: self.clone(),
+        })))
+    }
+
+    /// `LookupEnv(env, name)` — innermost binding wins.
+    pub fn lookup(&self, name: &str) -> Option<AttrVal> {
+        let mut cur = self;
+        while let Some(frame) = &cur.0 {
+            if &*frame.name == name {
+                return Some(frame.value.clone());
+            }
+            cur = &frame.rest;
+        }
+        None
+    }
+
+    /// Number of (possibly shadowed) bindings.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self;
+        while let Some(frame) = &cur.0 {
+            n += 1;
+            cur = &frame.rest;
+        }
+        n
+    }
+
+    /// Returns `true` for the empty environment.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_none()
+    }
+}
+
+impl PartialEq for Env {
+    fn eq(&self, other: &Self) -> bool {
+        // Fast path: same spine.
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some(a), Some(b)) => {
+                if Rc::ptr_eq(a, b) {
+                    return true;
+                }
+                a.name == b.name && a.value == b.value && a.rest == b.rest
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut cur = self;
+        let mut first = true;
+        while let Some(frame) = &cur.0 {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}={}", frame.name, frame.value)?;
+            first = false;
+            cur = &frame.rest;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Env {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_lookup_is_none() {
+        assert_eq!(Env::empty().lookup("x"), None);
+        assert!(Env::empty().is_empty());
+    }
+
+    #[test]
+    fn update_shadows() {
+        let e = Env::empty()
+            .update("x", AttrVal::Int(1))
+            .update("x", AttrVal::Int(2));
+        assert_eq!(e.lookup("x"), Some(AttrVal::Int(2)));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn structural_equality() {
+        let a = Env::empty().update("x", AttrVal::Int(1));
+        let b = Env::empty().update("x", AttrVal::Int(1));
+        let c = Env::empty().update("x", AttrVal::Int(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.clone(), a, "ptr-eq fast path");
+    }
+
+    #[test]
+    fn attr_val_accessors() {
+        assert_eq!(AttrVal::Int(3).as_int(), 3);
+        assert_eq!(&*AttrVal::text("hi").as_text(), "hi");
+        let e = Env::empty().update("k", AttrVal::Unit);
+        assert_eq!(AttrVal::Env(e.clone()).as_env(), e);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn as_int_panics_on_env() {
+        AttrVal::Env(Env::empty()).as_int();
+    }
+
+    #[test]
+    fn display_forms() {
+        let e = Env::empty().update("x", AttrVal::Int(1));
+        assert_eq!(format!("{e}"), "{x=1}");
+        assert_eq!(AttrVal::Unit.to_string(), "()");
+    }
+}

@@ -1,0 +1,157 @@
+//! The classic *repmin* attribute grammar — a stress test for circular-free
+//! synthesized/inherited interplay.
+//!
+//! `repmin` replaces every leaf of a tree with the tree's global minimum:
+//! the minimum flows *up* as a synthesized attribute and back *down* as an
+//! inherited one; each leaf's output value depends on every other leaf.
+//! This is the canonical example of non-local attribute flow that the
+//! paper's Section 10 says grammar-based systems struggle with ("the local
+//! communication and aggregation problems") and Alphonse handles naturally.
+
+use alphonse::{Runtime, Strategy};
+use alphonse_agkit::{AgEvaluator, AgNodeId, AgTree, AttrVal, Grammar, InhId, ProdId, SynId};
+use std::rc::Rc;
+
+struct RepMin {
+    leaf: ProdId,
+    fork: ProdId,
+    root: ProdId,
+    /// Synthesized: minimum of the subtree.
+    min: SynId,
+    /// Inherited: the global minimum, flowing back down.
+    global: InhId,
+    /// Synthesized: the leaf's replacement value (= global minimum).
+    rep: SynId,
+}
+
+fn grammar() -> (Rc<Grammar>, RepMin) {
+    let mut g = Grammar::builder();
+    let min = g.synthesized("min");
+    let rep = g.synthesized("rep");
+    let global = g.inherited("global");
+    let leaf = g.production("Leaf", 0, 1);
+    let fork = g.production("Fork", 2, 0);
+    let root = g.production("Root", 1, 0);
+
+    g.syn_eq(leaf, min, |ctx| ctx.terminal(0));
+    g.syn_eq(fork, min, move |ctx| {
+        AttrVal::Int(
+            ctx.child_syn(0, min)
+                .as_int()
+                .min(ctx.child_syn(1, min).as_int()),
+        )
+    });
+    g.syn_eq(root, min, move |ctx| ctx.child_syn(0, min));
+
+    // The root turns the synthesized minimum around into the inherited
+    // global; forks pass it through.
+    g.inh_eq(root, 0, global, move |ctx| ctx.child_syn(0, min));
+    g.inh_eq(fork, 0, global, move |ctx| ctx.parent_inh(global));
+    g.inh_eq(fork, 1, global, move |ctx| ctx.parent_inh(global));
+
+    // Leaves replace themselves with the global minimum; forks aggregate a
+    // checksum of replaced leaves so the whole output is one queryable
+    // value.
+    g.syn_eq(leaf, rep, move |ctx| ctx.inh(global));
+    g.syn_eq(fork, rep, move |ctx| {
+        AttrVal::Int(
+            ctx.child_syn(0, rep)
+                .as_int()
+                .wrapping_add(ctx.child_syn(1, rep).as_int()),
+        )
+    });
+    g.syn_eq(root, rep, move |ctx| ctx.child_syn(0, rep));
+
+    (
+        Rc::new(g.build()),
+        RepMin {
+            leaf,
+            fork,
+            root,
+            min,
+            global,
+            rep,
+        },
+    )
+}
+
+fn build_complete(tree: &AgTree, lang: &RepMin, values: &[i64]) -> (AgNodeId, Vec<AgNodeId>) {
+    assert!(values.len().is_power_of_two());
+    let mut leaves = Vec::new();
+    let mut level: Vec<AgNodeId> = values
+        .iter()
+        .map(|&v| {
+            let n = tree.new_node(lang.leaf, vec![AttrVal::Int(v)]);
+            leaves.push(n);
+            n
+        })
+        .collect();
+    while level.len() > 1 {
+        level = level
+            .chunks(2)
+            .map(|pair| tree.build(lang.fork, vec![], &[pair[0], pair[1]]))
+            .collect();
+    }
+    let root = tree.build(lang.root, vec![], &[level[0]]);
+    (root, leaves)
+}
+
+#[test]
+fn repmin_computes_global_minimum_everywhere() {
+    let rt = Runtime::new();
+    let (g, lang) = grammar();
+    let tree = AgTree::new(&rt, g);
+    let values = [5i64, 3, 9, 7, 4, 8, 2, 6];
+    let (root, _) = build_complete(&tree, &lang, &values);
+    let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+    assert_eq!(eval.syn(root, lang.min).as_int(), 2);
+    // Every leaf is replaced by 2; the checksum is 8 * 2.
+    assert_eq!(eval.syn(root, lang.rep).as_int(), 16);
+}
+
+#[test]
+fn repmin_updates_incrementally_on_leaf_edit() {
+    // Eager evaluation: value comparison at re-execution gives quiescence
+    // cutoff, so a change that leaves the minimum alone stays local.
+    let rt = Runtime::new();
+    let (g, lang) = grammar();
+    let tree = AgTree::new(&rt, g);
+    let values: Vec<i64> = (1..=32).collect();
+    let (root, leaves) = build_complete(&tree, &lang, &values);
+    let eval = AgEvaluator::with_strategy(&rt, Rc::clone(&tree), Strategy::Eager);
+    assert_eq!(eval.syn(root, lang.min).as_int(), 1);
+    assert_eq!(eval.syn(root, lang.rep).as_int(), 32);
+
+    // Lower a middle leaf below the current minimum: *everything* changes
+    // (the global min flows to every leaf) — repmin's worst case.
+    tree.set_terminal(leaves[17], 0, AttrVal::Int(-5));
+    assert_eq!(eval.syn(root, lang.min).as_int(), -5);
+    assert_eq!(eval.syn(root, lang.rep).as_int(), 32 * -5);
+
+    // Raise a non-minimal leaf: the min is untouched; quiescence stops the
+    // propagation high in the tree, so almost nothing re-executes.
+    rt.propagate(); // settle the previous edit eagerly
+    let before = rt.stats();
+    tree.set_terminal(leaves[3], 0, AttrVal::Int(100));
+    rt.propagate();
+    assert_eq!(eval.syn(root, lang.rep).as_int(), 32 * -5);
+    let d = rt.stats().delta_since(&before);
+    assert!(
+        d.executions <= 14,
+        "non-minimal edit must stay path-local, got {} executions",
+        d.executions
+    );
+}
+
+#[test]
+fn repmin_handles_all_equal_values() {
+    let rt = Runtime::new();
+    let (g, lang) = grammar();
+    let tree = AgTree::new(&rt, g);
+    let (root, leaves) = build_complete(&tree, &lang, &[7, 7, 7, 7]);
+    let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+    assert_eq!(eval.syn(root, lang.min).as_int(), 7);
+    assert_eq!(eval.syn(root, lang.rep).as_int(), 28);
+    tree.set_terminal(leaves[0], 0, AttrVal::Int(7));
+    assert_eq!(eval.syn(root, lang.rep).as_int(), 28, "no-op edit");
+}

@@ -1,0 +1,50 @@
+//! E10 wall-clock: query latency after a change, demand vs eager.
+use alphonse::{Memo, Runtime, Strategy, Var};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn chain(strategy: Strategy, depth: usize) -> (Runtime, Var<i64>, Memo<(), i64>) {
+    let rt = Runtime::new();
+    let src = rt.var(1i64);
+    let mut prev = rt.memo_with("c0", strategy, move |rt, &(): &()| src.get(rt));
+    prev.call(&rt, ());
+    for i in 1..depth {
+        let below = prev.clone();
+        let m = rt.memo_with(&format!("c{i}"), strategy, move |rt, &(): &()| {
+            below.call(rt, ()) + 1
+        });
+        m.call(&rt, ());
+        prev = m;
+    }
+    (rt, src, prev)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_strategy");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+    for depth in [64usize, 256] {
+        for (label, strategy) in [("demand", Strategy::Demand), ("eager", Strategy::Eager)] {
+            let (rt, src, top) = chain(strategy, depth);
+            let mut v = 1i64;
+            // Measured section: ONLY the query; the change+propagate happens
+            // outside per-iteration timing via iter_batched-like structure.
+            g.bench_with_input(
+                BenchmarkId::new(format!("query_after_change_{label}"), depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        v += 1;
+                        src.set(&rt, v);
+                        rt.propagate();
+                        top.call(&rt, ())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E1 wall-clock: maintained height queries and updates vs exhaustive.
+use alphonse_bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_height_tree");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+    for n in [256usize, 1024, 4096] {
+        let (_rt, tree, root) = workloads::warmed_tree(n, 42);
+        g.bench_with_input(BenchmarkId::new("repeat_query", n), &n, |b, _| {
+            b.iter(|| tree.height(root))
+        });
+        let store = tree.store().clone();
+        let leaves = workloads::leaves(&store, root);
+        let mut i = 0usize;
+        g.bench_with_input(BenchmarkId::new("relink_and_query", n), &n, |b, _| {
+            b.iter(|| {
+                let leaf = leaves[i % leaves.len()];
+                i += 1;
+                let fresh = store.new_leaf(0);
+                store.set_left(leaf, fresh);
+                let h = tree.height(root);
+                store.set_left(leaf, alphonse_trees::NodeRef::NIL);
+                tree.height(root);
+                h
+            })
+        });
+        let mut ex = alphonse_trees::ExhaustiveTree::new();
+        let ex_root = ex.build_balanced(n);
+        g.bench_with_input(BenchmarkId::new("exhaustive_query", n), &n, |b, _| {
+            b.iter(|| ex.height(ex_root))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E2 wall-clock: conventional vs Alphonse interpretation.
+use alphonse_bench::workloads::HEIGHT_PROGRAM;
+use alphonse_lang::{compile, Interp, Mode, Val};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::rc::Rc;
+
+fn bench(c: &mut Criterion) {
+    let program = compile(HEIGHT_PROGRAM).unwrap();
+    let mut g = c.benchmark_group("e2_interp_overhead");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(10);
+    for depth in [6i64, 8] {
+        for (label, mode) in [("conventional", Mode::Conventional), ("alphonse", Mode::Alphonse)] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("initial_{label}"), depth),
+                &depth,
+                |b, &d| {
+                    b.iter(|| {
+                        let interp = Interp::new(Rc::clone(&program), mode).unwrap();
+                        interp.call("Init", vec![]).unwrap();
+                        let root = interp.call("BuildBalanced", vec![Val::Int(d)]).unwrap();
+                        interp.call_method(root, "height", vec![]).unwrap()
+                    })
+                },
+            );
+        }
+        // Incremental update phase: Alphonse should win despite overhead.
+        for (label, mode) in [("conventional", Mode::Conventional), ("alphonse", Mode::Alphonse)] {
+            let interp = Interp::new(Rc::clone(&program), mode).unwrap();
+            interp.call("Init", vec![]).unwrap();
+            let root = interp.call("BuildBalanced", vec![Val::Int(depth)]).unwrap();
+            interp.call_method(root.clone(), "height", vec![]).unwrap();
+            let nil = interp.global("nil").unwrap();
+            let sub = interp.field(&root, "left").unwrap();
+            let mut flip = false;
+            g.bench_with_input(
+                BenchmarkId::new(format!("update_{label}"), depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        flip = !flip;
+                        let v = if flip { nil.clone() } else { sub.clone() };
+                        interp.set_field(&root, "left", v).unwrap();
+                        interp.call_method(root.clone(), "height", vec![]).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E3 wall-clock: graph construction cost, sparse vs dense dependence.
+use alphonse::Runtime;
+use alphonse_bench::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_space");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(10);
+    for n in [128usize, 512] {
+        g.bench_with_input(BenchmarkId::new("sparse_tree_build", n), &n, |b, &n| {
+            b.iter(|| {
+                let (rt, _tree, _root) = workloads::warmed_tree(n, 11);
+                rt.edge_count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("dense_build", n), &n, |b, &n| {
+            b.iter(|| {
+                let rt = Runtime::new();
+                let vars: Vec<_> = (0..n).map(|i| rt.var(i as i64)).collect();
+                let vs = vars.clone();
+                let all = rt.memo("dense", move |rt, &k: &usize| {
+                    let mut acc = 0i64;
+                    for v in &vs {
+                        acc = acc.wrapping_add(v.get(rt));
+                    }
+                    acc.wrapping_mul(k as i64)
+                });
+                for k in 0..n {
+                    all.call(&rt, k);
+                }
+                rt.edge_count()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E4 wall-clock: query latency with pending unrelated changes.
+use alphonse::{Runtime, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_partitioning");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+    for k in [64usize, 512] {
+        for partitioning in [false, true] {
+            let rt = Runtime::builder().partitioning(partitioning).build();
+            let mut vars = Vec::new();
+            let mut memos = Vec::new();
+            for i in 0..k {
+                let v = rt.var(i as i64);
+                let m = rt.memo_with(&format!("m{i}"), Strategy::Eager, move |rt, &(): &()| {
+                    v.get(rt) * 2
+                });
+                m.call(&rt, ());
+                vars.push(v);
+                memos.push(m);
+            }
+            let label = if partitioning { "partitioned" } else { "global" };
+            let mut tick = 0i64;
+            g.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
+                b.iter(|| {
+                    tick += 1;
+                    for v in vars.iter().take(k - 1) {
+                        v.set(&rt, tick);
+                    }
+                    memos[k - 1].call(&rt, ())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

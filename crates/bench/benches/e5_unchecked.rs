@@ -1,0 +1,61 @@
+//! E5 wall-clock: maintained lookups with tracked vs UNCHECKED descent.
+use alphonse::Runtime;
+use alphonse_trees::{MaintainedTree, NodeRef, TreeStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::rc::Rc;
+
+fn lookup_world(n: usize, unchecked: bool) -> (Runtime, alphonse::Memo<i64, bool>) {
+    let rt = Runtime::new();
+    let tree = MaintainedTree::new(&rt);
+    let store = Rc::clone(tree.store());
+    let keys: Vec<i64> = (0..n as i64).collect();
+    let root = store.build_balanced(&keys);
+    let contains = rt.memo("contains", move |rt, &key: &i64| {
+        let descend = |s: &TreeStore| {
+            let mut cur = root;
+            while !cur.is_nil() {
+                let k = s.key(cur);
+                if k == key {
+                    return cur;
+                }
+                cur = if key < k { s.left(cur) } else { s.right(cur) };
+            }
+            NodeRef::NIL
+        };
+        let found = if unchecked {
+            rt.untracked(|| descend(&store))
+        } else {
+            descend(&store)
+        };
+        !found.is_nil() && store.key(found) == key
+    });
+    (rt, contains)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_unchecked");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(10);
+    for n in [1023usize, 4095] {
+        for unchecked in [false, true] {
+            let label = if unchecked { "unchecked_lookups" } else { "tracked_lookups" };
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let (rt, contains) = lookup_world(n, unchecked);
+                    let mut found = 0u32;
+                    for key in (0..n as i64).step_by(7) {
+                        if contains.call(&rt, key) {
+                            found += 1;
+                        }
+                    }
+                    found
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

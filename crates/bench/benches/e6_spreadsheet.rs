@@ -1,0 +1,49 @@
+//! E6 wall-clock: one edit + query, incremental vs full recalc.
+use alphonse::Runtime;
+use alphonse_sheet::{RecalcSheet, Sheet};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn chain(inc: &Sheet, base: &RecalcSheet, rows: u32) {
+    inc.set("A1", "1").unwrap();
+    base.set("A1", "1").unwrap();
+    for r in 2..=rows {
+        let f = format!("=A{}+1", r - 1);
+        inc.set(&format!("A{r}"), &f).unwrap();
+        base.set(&format!("A{r}"), &f).unwrap();
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_spreadsheet");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+    for rows in [64u32, 512] {
+        let rt = Runtime::new();
+        let inc = Sheet::new(&rt, 2, rows);
+        let base = RecalcSheet::new(2, rows);
+        chain(&inc, &base, rows);
+        let probe = format!("A{rows}");
+        let edit = format!("A{}", rows - 1); // near the sink: tiny cone
+        inc.value(&probe).unwrap();
+        let mut v = 0i64;
+        g.bench_with_input(BenchmarkId::new("incremental_edit", rows), &rows, |b, _| {
+            b.iter(|| {
+                v += 1;
+                inc.set(&edit, &v.to_string()).unwrap();
+                inc.value(&probe).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("full_recalc_edit", rows), &rows, |b, _| {
+            b.iter(|| {
+                v += 1;
+                base.set(&edit, &v.to_string()).unwrap();
+                base.value(&probe).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E7 wall-clock: insert + rebalance, maintained vs classic AVL.
+use alphonse::Runtime;
+use alphonse_trees::{ClassicAvl, MaintainedAvl};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_avl");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(10);
+    for n in [512i64, 2048] {
+        g.bench_with_input(BenchmarkId::new("maintained_sorted", n), &n, |b, &n| {
+            b.iter(|| {
+                let rt = Runtime::new();
+                let mut avl = MaintainedAvl::new(&rt);
+                for k in 0..n {
+                    avl.insert(k);
+                    avl.rebalance();
+                }
+                avl.height()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("classic_sorted", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut avl = ClassicAvl::new();
+                for k in 0..n {
+                    avl.insert(k);
+                }
+                avl.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

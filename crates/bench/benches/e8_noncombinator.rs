@@ -1,0 +1,43 @@
+//! E8 wall-clock: cached calls over global state, hit and invalidation cost.
+use alphonse::Runtime;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_noncombinator");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+    for k in [128i64, 1024] {
+        let rt = Runtime::new();
+        let factor = rt.var(3i64);
+        let f = rt.memo("scaled", move |rt, &x: &i64| x * factor.get(rt));
+        for x in 0..k {
+            f.call(&rt, x);
+        }
+        g.bench_with_input(BenchmarkId::new("all_hits", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut acc = 0i64;
+                for x in 0..k {
+                    acc = acc.wrapping_add(f.call(&rt, x));
+                }
+                acc
+            })
+        });
+        let mut tick = 0i64;
+        g.bench_with_input(BenchmarkId::new("invalidate_and_refill", k), &k, |b, &k| {
+            b.iter(|| {
+                tick += 1;
+                factor.set(&rt, tick);
+                let mut acc = 0i64;
+                for x in 0..k {
+                    acc = acc.wrapping_add(f.call(&rt, x));
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E9 wall-clock: propagation with height-order vs FIFO scheduling.
+use alphonse::{Runtime, Scheduling, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ladder(mode: Scheduling, depth: usize) -> (Runtime, alphonse::Var<i64>) {
+    let rt = Runtime::builder().scheduling(mode).build();
+    let src = rt.var(1i64);
+    let mut prev = rt.memo_with("l0", Strategy::Eager, move |rt, &(): &()| src.get(rt));
+    prev.call(&rt, ());
+    for i in 1..depth {
+        let below = prev.clone();
+        let m = rt.memo_with(&format!("l{i}"), Strategy::Eager, move |rt, &(): &()| {
+            below.call(rt, ()) + src.get(rt)
+        });
+        m.call(&rt, ());
+        prev = m;
+    }
+    (rt, src)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_schedule");
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    g.sample_size(20);
+    for depth in [32usize, 128] {
+        for (label, mode) in [("height", Scheduling::HeightOrder), ("fifo", Scheduling::Fifo)] {
+            let (rt, src) = ladder(mode, depth);
+            let mut v = 1i64;
+            g.bench_with_input(BenchmarkId::new(label, depth), &depth, |b, _| {
+                b.iter(|| {
+                    v += 1;
+                    src.set(&rt, v);
+                    rt.propagate();
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Prints every experiment table in order (regenerates EXPERIMENTS.md data).
+use alphonse_bench::experiments as ex;
+
+fn main() {
+    print!("{}", ex::e1_height_tree(&[64, 256, 1024, 4096]));
+    println!();
+    print!("{}", ex::e2_overhead(&[4, 6, 8]));
+    println!();
+    print!("{}", ex::e3_space(&[16, 64, 256, 1024]));
+    println!();
+    print!("{}", ex::e4_partition(&[8, 64, 512]));
+    println!();
+    print!("{}", ex::e5_unchecked(&[255, 1023, 4095]));
+    println!();
+    print!("{}", ex::e6_sheet(&[16, 64, 256]));
+    println!();
+    print!("{}", ex::e6_ag(&[8, 12, 16, 20]));
+    println!();
+    print!("{}", ex::e7_avl(&[256, 1024, 4096]));
+    println!();
+    print!("{}", ex::e8_noncombinator(&[16, 128, 1024]));
+    println!();
+    print!("{}", ex::e9_schedule(&[8, 32, 128, 512]));
+    println!();
+    print!("{}", ex::e10_strategy(&[16, 64, 256]));
+    println!();
+    print!("{}", ex::e12_cache_capacity(&[8, 32, 128, 256]));
+}

@@ -1,0 +1,4 @@
+//! Prints the E2 table (instrumentation overhead, §9.2 + §6.1).
+fn main() {
+    print!("{}", alphonse_bench::experiments::e2_overhead(&[4, 6, 8]));
+}

@@ -1,0 +1,4 @@
+//! Prints the E5 table (UNCHECKED lookups, §6.4).
+fn main() {
+    print!("{}", alphonse_bench::experiments::e5_unchecked(&[255, 1023, 4095]));
+}

@@ -1,0 +1,6 @@
+//! Prints the E6 tables (spreadsheet §7.2 and attribute grammar §7.1).
+fn main() {
+    print!("{}", alphonse_bench::experiments::e6_sheet(&[16, 64, 256]));
+    println!();
+    print!("{}", alphonse_bench::experiments::e6_ag(&[8, 12, 16, 20]));
+}

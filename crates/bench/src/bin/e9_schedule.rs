@@ -1,0 +1,4 @@
+//! Prints the E9 table (propagation scheduling, §4.5).
+fn main() {
+    print!("{}", alphonse_bench::experiments::e9_schedule(&[8, 32, 128, 512]));
+}

@@ -1,0 +1,148 @@
+//! Shared workload generators.
+
+use alphonse::Runtime;
+use alphonse_trees::{MaintainedTree, NodeRef, TreeStore};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for reproducible experiment rows.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Builds a random-shaped binary tree with `n` nodes in `store` and returns
+/// its root (NIL when `n == 0`). Shapes follow a uniformly random
+/// left/right split, giving expected O(√n)–O(log n) depths without
+/// degenerate chains.
+pub fn random_tree(store: &TreeStore, n: usize, rng: &mut SmallRng) -> NodeRef {
+    if n == 0 {
+        return NodeRef::NIL;
+    }
+    let left_size = rng.gen_range(0..n);
+    let left = random_tree(store, left_size, rng);
+    let right = random_tree(store, n - 1 - left_size, rng);
+    store.new_node(rng.gen_range(-1000..1000), left, right)
+}
+
+/// Collects the leaves (no children) of the subtree at `root`.
+pub fn leaves(store: &TreeStore, root: NodeRef) -> Vec<NodeRef> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(n) = stack.pop() {
+        if n.is_nil() {
+            continue;
+        }
+        let (l, r) = (store.left(n), store.right(n));
+        if l.is_nil() && r.is_nil() {
+            out.push(n);
+        } else {
+            stack.push(l);
+            stack.push(r);
+        }
+    }
+    out
+}
+
+/// Depth of `node` measured from `root` by search (plain reads).
+pub fn depth_of(store: &TreeStore, root: NodeRef, node: NodeRef) -> Option<usize> {
+    fn go(store: &TreeStore, cur: NodeRef, node: NodeRef, d: usize) -> Option<usize> {
+        if cur.is_nil() {
+            return None;
+        }
+        if cur == node {
+            return Some(d);
+        }
+        go(store, store.left(cur), node, d + 1)
+            .or_else(|| go(store, store.right(cur), node, d + 1))
+    }
+    go(store, root, node, 0)
+}
+
+/// A maintained tree over a random shape, heights fully demanded once.
+pub fn warmed_tree(n: usize, seed: u64) -> (Runtime, MaintainedTree, NodeRef) {
+    let rt = Runtime::new();
+    let tree = MaintainedTree::new(&rt);
+    let mut r = rng(seed);
+    let root = random_tree(tree.store(), n, &mut r);
+    tree.height(root);
+    (rt, tree, root)
+}
+
+/// The Alphonse-L maintained-height program used by experiment E2.
+pub const HEIGHT_PROGRAM: &str = r#"
+    TYPE Tree = OBJECT
+        left, right : Tree;
+    METHODS
+        (*MAINTAINED*) height() : INTEGER := Height;
+    END;
+    TYPE TreeNil = Tree OBJECT
+    OVERRIDES
+        (*MAINTAINED*) height := HeightNil;
+    END;
+
+    PROCEDURE Height(t : Tree) : INTEGER =
+    BEGIN
+        RETURN MAX(t.left.height(), t.right.height()) + 1;
+    END Height;
+
+    PROCEDURE HeightNil(t : Tree) : INTEGER =
+    BEGIN RETURN 0; END HeightNil;
+
+    VAR nil : Tree;
+
+    PROCEDURE Init() =
+    BEGIN nil := NEW(TreeNil); END Init;
+
+    PROCEDURE MakeNode(l, r : Tree) : Tree =
+    VAR t : Tree;
+    BEGIN
+        t := NEW(Tree);
+        t.left := l;
+        t.right := r;
+        RETURN t;
+    END MakeNode;
+
+    PROCEDURE BuildBalanced(depth : INTEGER) : Tree =
+    BEGIN
+        IF depth = 0 THEN RETURN nil; END;
+        RETURN MakeNode(BuildBalanced(depth - 1), BuildBalanced(depth - 1));
+    END BuildBalanced;
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_tree_has_n_nodes() {
+        let rt = Runtime::new();
+        let store = TreeStore::new(&rt);
+        let mut r = rng(1);
+        let root = random_tree(&store, 100, &mut r);
+        assert_eq!(store.len(), 100);
+        assert_eq!(store.inorder(root).len(), 100);
+    }
+
+    #[test]
+    fn leaves_are_found() {
+        let rt = Runtime::new();
+        let store = TreeStore::new(&rt);
+        let mut r = rng(2);
+        let root = random_tree(&store, 50, &mut r);
+        let ls = leaves(&store, root);
+        assert!(!ls.is_empty());
+        for l in &ls {
+            assert!(store.left(*l).is_nil() && store.right(*l).is_nil());
+            assert!(depth_of(&store, root, *l).is_some());
+        }
+    }
+
+    #[test]
+    fn warmed_tree_is_consistent() {
+        let (rt, tree, root) = warmed_tree(64, 7);
+        let before = rt.stats();
+        let h = tree.height(root);
+        assert_eq!(h, tree.store().height_exhaustive(root));
+        assert_eq!(rt.stats().delta_since(&before).executions, 0);
+    }
+}

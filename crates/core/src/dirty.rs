@@ -1,0 +1,169 @@
+//! Inconsistent-set containers with pluggable draining order.
+
+use alphonse_graph::{HeightQueue, NodeId};
+use std::collections::{HashSet, VecDeque};
+
+/// Order in which the evaluator drains the inconsistent set.
+///
+/// Section 4.5 of the paper: "The amount of computation is minimized when
+/// done in a topological order with respect to the graph". [`HeightOrder`]
+/// approximates that order by longest-path height (the scheme of Hoover's
+/// incremental graph evaluation work cited there); [`Fifo`] is the naive
+/// alternative, kept as an ablation knob for experiment E9.
+///
+/// [`HeightOrder`]: Scheduling::HeightOrder
+/// [`Fifo`]: Scheduling::Fifo
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduling {
+    /// Drain dirty nodes in ascending dependency height (default).
+    #[default]
+    HeightOrder,
+    /// Drain dirty nodes in first-in first-out order.
+    Fifo,
+}
+
+/// A set of dirty nodes with the draining policy chosen at construction.
+#[derive(Debug)]
+pub(crate) enum DirtySet {
+    Height(HeightQueue),
+    Fifo {
+        queue: VecDeque<NodeId>,
+        members: HashSet<NodeId>,
+    },
+}
+
+impl DirtySet {
+    pub(crate) fn new(mode: Scheduling) -> Self {
+        match mode {
+            Scheduling::HeightOrder => DirtySet::Height(HeightQueue::new()),
+            Scheduling::Fifo => DirtySet::Fifo {
+                queue: VecDeque::new(),
+                members: HashSet::new(),
+            },
+        }
+    }
+
+    /// Inserts `n` (with its current `height`) unless already present.
+    /// Returns `true` on a fresh insertion.
+    pub(crate) fn insert(&mut self, n: NodeId, height: u32) -> bool {
+        match self {
+            DirtySet::Height(q) => q.insert(n, height),
+            DirtySet::Fifo { queue, members } => {
+                if members.insert(n) {
+                    queue.push_back(n);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<NodeId> {
+        match self {
+            DirtySet::Height(q) => q.pop(),
+            DirtySet::Fifo { queue, members } => {
+                let n = queue.pop_front()?;
+                members.remove(&n);
+                Some(n)
+            }
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        match self {
+            DirtySet::Height(q) => q.is_empty(),
+            DirtySet::Fifo { members, .. } => members.is_empty(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            DirtySet::Height(q) => q.len(),
+            DirtySet::Fifo { members, .. } => members.len(),
+        }
+    }
+
+    /// Moves all members of `other` into `self` (partition union).
+    pub(crate) fn absorb(&mut self, other: &mut DirtySet) {
+        match (self, other) {
+            (DirtySet::Height(a), DirtySet::Height(b)) => a.absorb(b),
+            (
+                DirtySet::Fifo { queue, members },
+                DirtySet::Fifo {
+                    queue: oq,
+                    members: om,
+                },
+            ) => {
+                for n in oq.drain(..) {
+                    if members.insert(n) {
+                        queue.push_back(n);
+                    }
+                }
+                om.clear();
+            }
+            _ => unreachable!("all dirty sets of a runtime share one scheduling mode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphonse_graph::DepGraph;
+
+    fn nodes(n: usize) -> Vec<NodeId> {
+        let mut g = DepGraph::new();
+        (0..n).map(|_| g.add_node()).collect()
+    }
+
+    #[test]
+    fn fifo_preserves_insertion_order() {
+        let ns = nodes(3);
+        let mut s = DirtySet::new(Scheduling::Fifo);
+        s.insert(ns[2], 9);
+        s.insert(ns[0], 0);
+        s.insert(ns[1], 5);
+        assert_eq!(s.pop(), Some(ns[2]));
+        assert_eq!(s.pop(), Some(ns[0]));
+        assert_eq!(s.pop(), Some(ns[1]));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn height_order_ignores_insertion_order() {
+        let ns = nodes(3);
+        let mut s = DirtySet::new(Scheduling::HeightOrder);
+        s.insert(ns[2], 9);
+        s.insert(ns[0], 0);
+        s.insert(ns[1], 5);
+        assert_eq!(s.pop(), Some(ns[0]));
+        assert_eq!(s.pop(), Some(ns[1]));
+        assert_eq!(s.pop(), Some(ns[2]));
+    }
+
+    #[test]
+    fn fifo_dedupes() {
+        let ns = nodes(1);
+        let mut s = DirtySet::new(Scheduling::Fifo);
+        assert!(s.insert(ns[0], 0));
+        assert!(!s.insert(ns[0], 0));
+        assert_eq!(s.len(), 1);
+        s.pop();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn fifo_absorb() {
+        let ns = nodes(3);
+        let mut a = DirtySet::new(Scheduling::Fifo);
+        let mut b = DirtySet::new(Scheduling::Fifo);
+        a.insert(ns[0], 0);
+        b.insert(ns[1], 0);
+        b.insert(ns[0], 0);
+        b.insert(ns[2], 0);
+        a.absorb(&mut b);
+        assert!(b.is_empty());
+        assert_eq!(a.len(), 3);
+    }
+}

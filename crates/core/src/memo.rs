@@ -1,0 +1,498 @@
+//! Incremental procedures: cached functions and maintained methods.
+
+use crate::runtime::{Executor, Runtime, Strategy};
+use crate::value::{downcast_value, Value};
+use alphonse_graph::NodeId;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::rc::{Rc, Weak};
+
+/// Bound required of memo argument vectors: they key the *argument table*
+/// of Section 4.2, so they must be hashable, comparable and clonable.
+pub trait MemoArgs: Eq + Hash + Clone + 'static {}
+impl<T: Eq + Hash + Clone + 'static> MemoArgs for T {}
+
+/// Bound required of memo results: cached values participate in quiescence
+/// cutoff, so they must be comparable, and are handed out by clone.
+pub trait MemoResult: Value + PartialEq + Clone {}
+impl<T: Value + PartialEq + Clone> MemoResult for T {}
+
+/// One argument-table entry with its LRU stamp.
+struct Entry {
+    node: NodeId,
+    last_use: u64,
+}
+
+pub(crate) struct MemoInner<A, R> {
+    name: Rc<str>,
+    strategy: Strategy,
+    rt_id: u64,
+    /// Maximum number of instance *values* kept live (paper Section 3.3:
+    /// "additional pragma arguments allow the specification of … cache
+    /// size, and the replacement algorithm"). `None` = unbounded.
+    capacity: Option<usize>,
+    #[allow(clippy::type_complexity)]
+    f: Box<dyn Fn(&Runtime, &A) -> R>,
+    /// The paper's *argument table* (Section 4.2): one dependency-graph node
+    /// per distinct argument vector.
+    table: RefCell<HashMap<A, Entry>>,
+    /// Logical clock for LRU stamps.
+    clock: std::cell::Cell<u64>,
+    /// Values dropped by the replacement policy so far.
+    evictions: std::cell::Cell<u64>,
+}
+
+/// An incremental procedure: a function whose calls are cached per argument
+/// vector and kept consistent under mutation of everything it read.
+///
+/// `Memo` unifies the paper's two pragmas. A `(*CACHED*)` procedure and a
+/// `(*MAINTAINED*)` method are both *incremental procedure instances*
+/// (Section 3.3): each distinct argument vector gets a dependency-graph node
+/// whose cached value is reused until some read location or callee result
+/// changes. Unlike classical function caching, the body may freely read
+/// tracked global state ([`Var`](crate::Var)s) — the paper's lifting of the
+/// *combinator* restriction (Section 4.2) — and may even write tracked
+/// state, as the AVL `balance` method of Section 7.3 does.
+///
+/// # Example
+///
+/// ```
+/// use alphonse::Runtime;
+/// let rt = Runtime::new();
+/// let base = rt.var(100i64);
+/// let scaled = rt.memo("scaled", move |rt, k: &i64| base.get(rt) * k);
+/// assert_eq!(scaled.call(&rt, 3), 300);
+/// assert_eq!(scaled.call(&rt, 3), 300); // cache hit
+/// base.set(&rt, 1);
+/// assert_eq!(scaled.call(&rt, 3), 3); // recomputed
+/// ```
+pub struct Memo<A, R> {
+    inner: Rc<MemoInner<A, R>>,
+}
+
+impl<A, R> Clone for Memo<A, R> {
+    fn clone(&self) -> Self {
+        Memo {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<A, R> fmt::Debug for Memo<A, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Memo")
+            .field("name", &self.inner.name)
+            .field("strategy", &self.inner.strategy)
+            .field("instances", &self.inner.table.borrow().len())
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Defines a demand-evaluated incremental procedure — the library form
+    /// of the `(*CACHED*)` / `(*MAINTAINED*)` pragmas.
+    ///
+    /// `name` is used in diagnostics. The body must satisfy the paper's DET
+    /// restriction: same arguments and same tracked reads must yield the
+    /// same result.
+    pub fn memo<A: MemoArgs, R: MemoResult>(
+        &self,
+        name: &str,
+        f: impl Fn(&Runtime, &A) -> R + 'static,
+    ) -> Memo<A, R> {
+        self.memo_with(name, Strategy::Demand, f)
+    }
+
+    /// Defines an incremental procedure with an explicit evaluation
+    /// [`Strategy`].
+    pub fn memo_with<A: MemoArgs, R: MemoResult>(
+        &self,
+        name: &str,
+        strategy: Strategy,
+        f: impl Fn(&Runtime, &A) -> R + 'static,
+    ) -> Memo<A, R> {
+        Memo {
+            inner: Rc::new(MemoInner {
+                name: Rc::from(name),
+                strategy,
+                rt_id: self.id,
+                capacity: None,
+                f: Box::new(f),
+                table: RefCell::new(HashMap::new()),
+                clock: std::cell::Cell::new(0),
+                evictions: std::cell::Cell::new(0),
+            }),
+        }
+    }
+
+    /// Defines an incremental procedure whose cache keeps at most
+    /// `capacity` instance values live, with least-recently-used
+    /// replacement — the paper's cache-size / replacement-algorithm pragma
+    /// arguments (Section 3.3).
+    ///
+    /// Eviction only drops the cached *value* (forcing recomputation on the
+    /// next call); the instance's dependency edges remain so that change
+    /// propagation through it stays sound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn memo_bounded<A: MemoArgs, R: MemoResult>(
+        &self,
+        name: &str,
+        strategy: Strategy,
+        capacity: usize,
+        f: impl Fn(&Runtime, &A) -> R + 'static,
+    ) -> Memo<A, R> {
+        assert!(capacity > 0, "memo cache capacity must be positive");
+        Memo {
+            inner: Rc::new(MemoInner {
+                name: Rc::from(name),
+                strategy,
+                rt_id: self.id,
+                capacity: Some(capacity),
+                f: Box::new(f),
+                table: RefCell::new(HashMap::new()),
+                clock: std::cell::Cell::new(0),
+                evictions: std::cell::Cell::new(0),
+            }),
+        }
+    }
+
+    /// Defines a demand-evaluated incremental procedure whose body can call
+    /// itself — the shape of every recursive maintained method in the paper
+    /// (`height`, `balance`, attribute equations).
+    ///
+    /// The body receives its own [`Memo`] handle as second parameter.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alphonse::Runtime;
+    /// let rt = Runtime::new();
+    /// let fib = rt.memo_recursive("fib", |rt, fib, &n: &u64| -> u64 {
+    ///     if n < 2 { n } else { fib.call(rt, n - 1) + fib.call(rt, n - 2) }
+    /// });
+    /// assert_eq!(fib.call(&rt, 20), 6765);
+    /// ```
+    pub fn memo_recursive<A: MemoArgs, R: MemoResult>(
+        &self,
+        name: &str,
+        f: impl Fn(&Runtime, &Memo<A, R>, &A) -> R + 'static,
+    ) -> Memo<A, R> {
+        self.memo_recursive_with(name, Strategy::Demand, f)
+    }
+
+    /// [`Runtime::memo_recursive`] with an explicit evaluation strategy.
+    pub fn memo_recursive_with<A: MemoArgs, R: MemoResult>(
+        &self,
+        name: &str,
+        strategy: Strategy,
+        f: impl Fn(&Runtime, &Memo<A, R>, &A) -> R + 'static,
+    ) -> Memo<A, R> {
+        let name: Rc<str> = Rc::from(name);
+        let rt_id = self.id;
+        let inner = Rc::new_cyclic(|weak: &Weak<MemoInner<A, R>>| {
+            let weak = weak.clone();
+            MemoInner {
+                name,
+                strategy,
+                rt_id,
+                capacity: None,
+                f: Box::new(move |rt, a| {
+                    let me = Memo {
+                        inner: weak.upgrade().expect("memo table dropped during call"),
+                    };
+                    f(rt, &me, a)
+                }),
+                table: RefCell::new(HashMap::new()),
+                clock: std::cell::Cell::new(0),
+                evictions: std::cell::Cell::new(0),
+            }
+        });
+        Memo { inner }
+    }
+}
+
+impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
+    /// The diagnostic name given at definition time.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The evaluation strategy of this procedure.
+    pub fn strategy(&self) -> Strategy {
+        self.inner.strategy
+    }
+
+    /// Number of distinct argument vectors instantiated so far.
+    pub fn instance_count(&self) -> usize {
+        self.inner.table.borrow().len()
+    }
+
+    /// Calls the procedure — the paper's instrumented `call` operation
+    /// (Algorithm 5):
+    ///
+    /// 1. look the argument vector up in the argument table, creating the
+    ///    instance node on a miss;
+    /// 2. on a hit, run pending change propagation first (with partitioning,
+    ///    only this instance's partition);
+    /// 3. record the caller's dependence on this instance;
+    /// 4. return the cached value if the instance is consistent, otherwise
+    ///    drop its stale dependencies and re-execute the body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rt` is not the runtime the memo was defined in, or if the
+    /// computation turns out to be cyclic (paper restriction DET).
+    pub fn call(&self, rt: &Runtime, args: A) -> R {
+        assert_eq!(
+            self.inner.rt_id, rt.id,
+            "Memo {:?} used with a different Runtime than it was defined in",
+            self.inner.name
+        );
+        rt.note_call();
+        let stamp = self.inner.clock.get() + 1;
+        self.inner.clock.set(stamp);
+        let mut created = false;
+        let node = {
+            let mut table = self.inner.table.borrow_mut();
+            match table.get_mut(&args) {
+                Some(entry) => {
+                    entry.last_use = stamp;
+                    entry.node
+                }
+                None => {
+                    created = true;
+                    let inner = Rc::clone(&self.inner);
+                    let a = args.clone();
+                    let executor: Executor = Rc::new(move |rt| Box::new((inner.f)(rt, &a)));
+                    let n = rt.alloc_comp(Rc::clone(&self.inner.name), self.inner.strategy, executor);
+                    table.insert(
+                        args,
+                        Entry {
+                            node: n,
+                            last_use: stamp,
+                        },
+                    );
+                    n
+                }
+            }
+        };
+        if created {
+            self.enforce_capacity(rt, node);
+        }
+        if !created {
+            rt.evaluate_before_call(node);
+        }
+        // Note: the paper's Algorithm 5 records the caller's dependence edge
+        // before checking consistency. We record it after the callee has
+        // settled (cache hit or completed re-execution) instead — the
+        // resulting edge set is identical, but re-entrant patterns like the
+        // AVL balance method (Section 7.3) would otherwise transiently pair
+        // a stale caller→callee edge with the fresh callee→caller one and
+        // trip cycle detection.
+        if let Some(v) = rt.cached_if_consistent(node) {
+            rt.record_dependence(node);
+            return downcast_value(&*v, self.name());
+        }
+        let (v, _) = rt.execute_node(node);
+        rt.record_dependence(node);
+        downcast_value(&*v, self.name())
+    }
+
+    /// The dependency-graph node for a given argument vector, if that
+    /// instance exists.
+    pub fn instance_node(&self, args: &A) -> Option<NodeId> {
+        self.inner.table.borrow().get(args).map(|e| e.node)
+    }
+
+    /// Cache capacity, if bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.capacity
+    }
+
+    /// Number of values dropped by the replacement policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.get()
+    }
+
+    /// Drops least-recently-used cached values until at most `capacity`
+    /// remain live. Instances that are currently executing are never
+    /// evicted. Dependency edges are kept — eviction forgets results, not
+    /// dependence (otherwise propagation through the instance would lose
+    /// soundness).
+    fn enforce_capacity(&self, rt: &Runtime, just_created: NodeId) {
+        let Some(capacity) = self.inner.capacity else {
+            return;
+        };
+        let table = self.inner.table.borrow();
+        let mut live: Vec<(u64, NodeId)> = table
+            .values()
+            .filter(|e| {
+                e.node != just_created
+                    && rt.node_has_value(e.node)
+                    && !rt.node_on_stack(e.node)
+            })
+            .map(|e| (e.last_use, e.node))
+            .collect();
+        drop(table);
+        // +1 for the instance about to be (or just) computed.
+        let over = (live.len() + 1).saturating_sub(capacity);
+        if over == 0 {
+            return;
+        }
+        live.sort_unstable();
+        for &(_, node) in live.iter().take(over) {
+            rt.evict_value(node);
+            self.inner.evictions.set(self.inner.evictions.get() + 1);
+        }
+    }
+
+    /// Drops the cached value for `args`, forcing recomputation on the
+    /// next call, exactly like LRU eviction (dependency edges are kept, so
+    /// change propagation through the instance stays sound). Returns `true`
+    /// if a live value was dropped. Instances that are currently executing
+    /// are left untouched.
+    ///
+    /// Hosts use this to un-cache results that are known to be invalid for
+    /// reasons the runtime cannot see — e.g. a language interpreter whose
+    /// procedure body raised an error after the memo committed a sentinel.
+    pub fn forget(&self, rt: &Runtime, args: &A) -> bool {
+        match self.instance_node(args) {
+            Some(n) if rt.node_has_value(n) && !rt.node_on_stack(n) => {
+                rt.evict_value(n);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Explains why the instance for `args` has its current value by
+    /// listing its recorded dependencies — the "sophisticated debugging"
+    /// use of the dependency information (paper Section 1). Returns `None`
+    /// if the instance was never called.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alphonse::Runtime;
+    /// let rt = Runtime::new();
+    /// let base = rt.var(2i64);
+    /// let m = rt.memo("double", move |rt, &(): &()| base.get(rt) * 2);
+    /// m.call(&rt, ());
+    /// let why = m.explain(&rt, &()).unwrap();
+    /// assert!(why.contains("instance of double"));
+    /// assert!(why.contains("depends on"));
+    /// ```
+    pub fn explain(&self, rt: &Runtime, args: &A) -> Option<String> {
+        self.instance_node(args).map(|n| rt.explain(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn caches_per_argument_vector() {
+        let rt = Runtime::new();
+        let runs = Rc::new(Cell::new(0u32));
+        let r2 = Rc::clone(&runs);
+        let double = rt.memo("double", move |_rt, x: &i64| {
+            r2.set(r2.get() + 1);
+            x * 2
+        });
+        assert_eq!(double.call(&rt, 4), 8);
+        assert_eq!(double.call(&rt, 4), 8);
+        assert_eq!(double.call(&rt, 5), 10);
+        assert_eq!(runs.get(), 2, "one execution per distinct argument");
+        assert_eq!(double.instance_count(), 2);
+    }
+
+    #[test]
+    fn invalidates_on_tracked_read_change() {
+        let rt = Runtime::new();
+        let base = rt.var(1i64);
+        let plus = rt.memo("plus", move |rt, x: &i64| base.get(rt) + x);
+        assert_eq!(plus.call(&rt, 10), 11);
+        base.set(&rt, 5);
+        assert_eq!(plus.call(&rt, 10), 15);
+    }
+
+    #[test]
+    fn unchanged_write_is_cutoff() {
+        let rt = Runtime::new();
+        let base = rt.var(1i64);
+        let runs = Rc::new(Cell::new(0u32));
+        let r2 = Rc::clone(&runs);
+        let probe = rt.memo("probe", move |rt, &(): &()| {
+            r2.set(r2.get() + 1);
+            base.get(rt)
+        });
+        probe.call(&rt, ());
+        base.set(&rt, 1); // same value: no dirtying
+        probe.call(&rt, ());
+        assert_eq!(runs.get(), 1);
+    }
+
+    #[test]
+    fn recursive_memo_works() {
+        let rt = Runtime::new();
+        let fact = rt.memo_recursive("fact", |rt, me, &n: &u64| -> u64 {
+            if n == 0 {
+                1
+            } else {
+                n * me.call(rt, n - 1)
+            }
+        });
+        assert_eq!(fact.call(&rt, 10), 3_628_800);
+        // All 11 instances cached.
+        assert_eq!(fact.instance_count(), 11);
+        let before = rt.stats();
+        assert_eq!(fact.call(&rt, 10), 3_628_800);
+        let d = rt.stats().delta_since(&before);
+        assert_eq!(d.executions, 0, "fully cached");
+    }
+
+    #[test]
+    fn memo_reads_memo_dependencies() {
+        let rt = Runtime::new();
+        let a = rt.var(1i64);
+        let mid = rt.memo("mid", move |rt, &(): &()| a.get(rt) * 10);
+        let mid2 = mid.clone();
+        let top = rt.memo("top", move |rt, &(): &()| mid2.call(rt, ()) + 1);
+        assert_eq!(top.call(&rt, ()), 11);
+        a.set(&rt, 2);
+        assert_eq!(top.call(&rt, ()), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "different Runtime")]
+    fn cross_runtime_memo_panics() {
+        let a = Runtime::new();
+        let b = Runtime::new();
+        let m = a.memo("m", |_rt, x: &i64| *x);
+        let _ = m.call(&b, 1);
+    }
+
+    #[test]
+    fn debug_shows_name() {
+        let rt = Runtime::new();
+        let m = rt.memo("shown", |_rt, x: &i64| *x);
+        assert!(format!("{m:?}").contains("shown"));
+    }
+
+    #[test]
+    fn strategy_accessors() {
+        let rt = Runtime::new();
+        let d = rt.memo("d", |_rt, x: &i64| *x);
+        let e = rt.memo_with("e", Strategy::Eager, |_rt, x: &i64| *x);
+        assert_eq!(d.strategy(), Strategy::Demand);
+        assert_eq!(e.strategy(), Strategy::Eager);
+        assert_eq!(d.name(), "d");
+    }
+}

@@ -1,0 +1,1003 @@
+//! The Alphonse runtime: dynamic dependence analysis and incremental
+//! evaluation.
+//!
+//! This module implements the paper's Sections 4 and 5 as a library instead
+//! of a source transformation: the three instrumented operations
+//! `access` / `modify` / `call` (Algorithms 3, 4 and 5) are the methods
+//! [`Runtime::raw_read`], [`Runtime::raw_write`] and
+//! [`Memo::call`](crate::Memo::call), and the evaluation routine of
+//! Section 4.5 is [`Runtime::propagate`] plus the internal evaluation that
+//! runs before incremental calls.
+
+use crate::dirty::{DirtySet, Scheduling};
+use crate::stats::Stats;
+use crate::value::Value;
+use alphonse_graph::{DepGraph, NodeId, UnionFind};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The re-execution closure of an incremental procedure instance: runs the
+/// body against the runtime and returns the fresh cached value.
+pub(crate) type Executor = Rc<dyn Fn(&Runtime) -> Box<dyn Value>>;
+
+/// Evaluation strategy of an incremental procedure (paper Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Update lazily, upon calls to the procedure (the `DEMAND` pragma
+    /// argument). This is the default.
+    #[default]
+    Demand,
+    /// Re-execute during change propagation, before the next call request
+    /// (the `EAGER` pragma argument). Requires the procedure to satisfy the
+    /// paper's OBS restriction: spurious executions must not be observable.
+    Eager,
+}
+
+/// What kind of entity a dependency-graph node stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A storage location (top-level variable, object field, …).
+    Location,
+    /// An incremental procedure instance — one (procedure, argument-vector)
+    /// pair of a cached procedure or maintained method.
+    Computation,
+}
+
+pub(crate) struct CompState {
+    pub(crate) consistent: bool,
+    pub(crate) strategy: Strategy,
+    pub(crate) executor: Executor,
+    /// Number of executions of this node currently on the call stack.
+    /// Greater than 1 when a procedure re-entrantly re-executes while an
+    /// older execution of it is still running — the paper's AVL `balance`
+    /// does this after a rotation (Section 7.3).
+    pub(crate) on_stack: u32,
+    /// Set when the evaluator wanted to re-execute this eager node while it
+    /// was still running; it is re-queued when the execution finishes.
+    pub(crate) requeue: bool,
+    /// Generation stamp of the most recently *started* execution. An
+    /// execution only commits its value to the cache if it is still the
+    /// latest when it finishes; superseded (outer, stale) executions hand
+    /// their value to their caller but leave the cache to the fresher run.
+    pub(crate) cur_gen: u64,
+}
+
+pub(crate) struct NodeData {
+    pub(crate) value: Option<Box<dyn Value>>,
+    pub(crate) comp: Option<CompState>,
+    pub(crate) name: Option<Rc<str>>,
+}
+
+struct Frame {
+    node: NodeId,
+    /// Nodes already recorded as dependencies of this execution
+    /// (per-execution edge deduplication).
+    accessed: HashSet<NodeId>,
+    /// Depth of nested `untracked` regions active in this frame
+    /// (the `(*UNCHECKED*)` pragma of Section 6.4).
+    suppress: u32,
+    /// Set when a fresher execution of the same node started while this one
+    /// was still running. A stale execution's result will be discarded, so
+    /// recording further dependence edges for it would only pollute the
+    /// fresher execution's edge set.
+    stale: bool,
+}
+
+enum DirtyStore {
+    Global(DirtySet),
+    /// One inconsistent set per dependency-graph partition, keyed by the
+    /// partition's current union-find root (Section 6.3).
+    Partitioned(HashMap<NodeId, DirtySet>),
+}
+
+pub(crate) struct Inner {
+    graph: DepGraph,
+    nodes: Vec<NodeData>,
+    stack: Vec<Frame>,
+    dirty: DirtyStore,
+    partition: Option<UnionFind>,
+    scheduling: Scheduling,
+    dedup_edges: bool,
+    evaluating: bool,
+    exec_gen: u64,
+    stats: Stats,
+}
+
+/// Configures and builds a [`Runtime`].
+///
+/// # Example
+///
+/// ```
+/// use alphonse::{Runtime, Scheduling};
+/// let rt = Runtime::builder()
+///     .partitioning(true)
+///     .scheduling(Scheduling::HeightOrder)
+///     .build();
+/// assert!(rt.is_partitioned());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeBuilder {
+    partitioning: bool,
+    scheduling: Scheduling,
+    dedup_edges: bool,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder {
+            partitioning: false,
+            scheduling: Scheduling::HeightOrder,
+            dedup_edges: true,
+        }
+    }
+}
+
+impl RuntimeBuilder {
+    /// Enables dependency-graph partitioning with per-partition inconsistent
+    /// sets (paper Section 6.3). Off by default.
+    pub fn partitioning(mut self, on: bool) -> Self {
+        self.partitioning = on;
+        self
+    }
+
+    /// Chooses the order in which dirty nodes are processed
+    /// (paper Section 4.5). Height order by default.
+    pub fn scheduling(mut self, mode: Scheduling) -> Self {
+        self.scheduling = mode;
+        self
+    }
+
+    /// Controls per-execution deduplication of dependency edges. On by
+    /// default; turning it off reproduces the paper's literal algorithm,
+    /// which may record parallel edges.
+    pub fn dedup_edges(mut self, on: bool) -> Self {
+        self.dedup_edges = on;
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(self) -> Runtime {
+        let dirty = if self.partitioning {
+            DirtyStore::Partitioned(HashMap::new())
+        } else {
+            DirtyStore::Global(DirtySet::new(self.scheduling))
+        };
+        Runtime {
+            inner: Rc::new(RefCell::new(Inner {
+                graph: DepGraph::new(),
+                nodes: Vec::new(),
+                stack: Vec::new(),
+                dirty,
+                partition: self.partitioning.then(UnionFind::new),
+                scheduling: self.scheduling,
+                dedup_edges: self.dedup_edges,
+                evaluating: false,
+                exec_gen: 0,
+                stats: Stats::default(),
+            })),
+            id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+}
+
+/// The Alphonse incremental-computation runtime.
+///
+/// A `Runtime` owns the dependency graph, the call stack of executing
+/// incremental procedure instances, the inconsistent set(s), and all cached
+/// values. It is a cheap handle (`Clone` shares the same underlying state)
+/// and is single-threaded by design — the paper's evaluator is sequential
+/// and lists parallel execution as future work.
+///
+/// # Example
+///
+/// ```
+/// use alphonse::Runtime;
+/// let rt = Runtime::new();
+/// let a = rt.var(2i64);
+/// let b = rt.var(3i64);
+/// let product = rt.memo("product", move |rt, &(): &()| a.get(rt) * b.get(rt));
+/// assert_eq!(product.call(&rt, ()), 6);
+/// a.set(&rt, 10);
+/// assert_eq!(product.call(&rt, ()), 30); // recomputed
+/// assert_eq!(product.call(&rt, ()), 30); // cached
+/// ```
+///
+/// # Panics
+///
+/// Runtime operations panic if the program violates the paper's
+/// restrictions (Section 3.5): a dependency cycle (a procedure transitively
+/// depending on its own result, which breaks DET) is reported as soon as it
+/// is detected. A panic unwinding out of an incremental procedure body
+/// leaves the runtime in an unspecified (but memory-safe) state; it must not
+/// be reused afterwards.
+#[derive(Clone)]
+pub struct Runtime {
+    pub(crate) inner: Rc<RefCell<Inner>>,
+    pub(crate) id: u64,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("Runtime")
+            .field("id", &self.id)
+            .field("nodes", &inner.nodes.len())
+            .field("edges", &inner.graph.edge_count())
+            .field("dirty", &inner.dirty_len())
+            .finish()
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Inner {
+    fn dirty_len(&self) -> usize {
+        match &self.dirty {
+            DirtyStore::Global(s) => s.len(),
+            DirtyStore::Partitioned(m) => m.values().map(DirtySet::len).sum(),
+        }
+    }
+
+    /// Inserts `n` into the inconsistent set of its partition.
+    fn insert_dirty(&mut self, n: NodeId) {
+        let height = self.graph.height(n);
+        let scheduling = self.scheduling;
+        let root = self.partition.as_mut().map(|uf| uf.find(n));
+        let fresh = match &mut self.dirty {
+            DirtyStore::Global(s) => s.insert(n, height),
+            DirtyStore::Partitioned(m) => m
+                .entry(root.expect("partitioned store implies union-find"))
+                .or_insert_with(|| DirtySet::new(scheduling))
+                .insert(n, height),
+        };
+        if fresh {
+            self.stats.dirtied += 1;
+        }
+    }
+
+    /// Records the edge `n -> top-of-stack` if an incremental procedure is
+    /// executing (paper Algorithm 3's `CreateEdge` step), merging partitions
+    /// as Section 6.3 prescribes.
+    fn record_dependence(&mut self, n: NodeId) {
+        let Some(frame) = self.stack.last_mut() else {
+            return;
+        };
+        if frame.stale {
+            return;
+        }
+        if frame.suppress > 0 {
+            self.stats.untracked_reads += 1;
+            return;
+        }
+        if self.dedup_edges && !frame.accessed.insert(n) {
+            return;
+        }
+        let v = frame.node;
+        self.graph.add_edge(n, v);
+        self.stats.edges_created += 1;
+        assert!(
+            !self.graph.cycle_suspected(),
+            "dependency cycle detected at {} -> {} ({}): incremental procedures must be \
+             deterministic and acyclic (paper restriction DET)",
+            n,
+            v,
+            self.nodes[v.index()]
+                .name
+                .as_deref()
+                .unwrap_or("<unnamed>"),
+        );
+        if let Some(uf) = self.partition.as_mut() {
+            uf.ensure(n);
+            uf.ensure(v);
+            if let Some((win, lose)) = uf.union(n, v) {
+                if let DirtyStore::Partitioned(m) = &mut self.dirty {
+                    if let Some(mut lost) = m.remove(&lose) {
+                        let scheduling = self.scheduling;
+                        m.entry(win)
+                            .or_insert_with(|| DirtySet::new(scheduling))
+                            .absorb(&mut lost);
+                    }
+                }
+            }
+        }
+    }
+
+    fn alloc_node(&mut self, data: NodeData) -> NodeId {
+        let n = self.graph.add_node();
+        debug_assert_eq!(n.index(), self.nodes.len());
+        self.nodes.push(data);
+        if let Some(uf) = self.partition.as_mut() {
+            uf.ensure(n);
+        }
+        self.stats.nodes_created += 1;
+        n
+    }
+}
+
+/// What the evaluator decided to do with one dirty node.
+enum Step {
+    Idle,
+    Continue,
+    Execute(NodeId),
+}
+
+impl Runtime {
+    /// Creates a runtime with default configuration (no partitioning,
+    /// height-order scheduling, edge deduplication on).
+    pub fn new() -> Self {
+        RuntimeBuilder::default().build()
+    }
+
+    /// Starts configuring a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Returns `true` if this runtime maintains per-partition inconsistent
+    /// sets (Section 6.3).
+    pub fn is_partitioned(&self) -> bool {
+        self.inner.borrow().partition.is_some()
+    }
+
+    /// The dirty-node draining order in use.
+    pub fn scheduling(&self) -> Scheduling {
+        self.inner.borrow().scheduling
+    }
+
+    /// A snapshot of the work counters.
+    pub fn stats(&self) -> Stats {
+        self.inner.borrow().stats
+    }
+
+    /// Resets all work counters to zero.
+    pub fn reset_stats(&self) {
+        self.inner.borrow_mut().stats = Stats::default();
+    }
+
+    /// Number of dependency-graph nodes (locations + procedure instances).
+    pub fn node_count(&self) -> usize {
+        self.inner.borrow().graph.node_count()
+    }
+
+    /// Number of live dependency edges.
+    pub fn edge_count(&self) -> usize {
+        self.inner.borrow().graph.edge_count()
+    }
+
+    /// Number of nodes currently awaiting propagation.
+    pub fn dirty_count(&self) -> usize {
+        self.inner.borrow().dirty_len()
+    }
+
+    /// Returns `true` while an incremental procedure is executing — i.e.
+    /// reads and writes performed now will be recorded as its dependencies.
+    pub fn in_tracked_context(&self) -> bool {
+        !self.inner.borrow().stack.is_empty()
+    }
+
+    /// What kind of entity node `n` represents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not belong to this runtime.
+    pub fn node_kind(&self, n: NodeId) -> NodeKind {
+        if self.inner.borrow().nodes[n.index()].comp.is_some() {
+            NodeKind::Computation
+        } else {
+            NodeKind::Location
+        }
+    }
+
+    /// Runs `f` with dependence recording suppressed for the *current*
+    /// incremental procedure — the `(*UNCHECKED*)` pragma of Section 6.4.
+    ///
+    /// Nested incremental procedures called inside `f` still track their own
+    /// dependencies normally; only edges into the procedure executing at the
+    /// time of this call are suppressed. Outside any incremental procedure
+    /// this is a no-op wrapper.
+    pub fn untracked<T>(&self, f: impl FnOnce() -> T) -> T {
+        struct Guard<'a> {
+            rt: &'a Runtime,
+            depth: usize,
+        }
+        impl Drop for Guard<'_> {
+            fn drop(&mut self) {
+                let mut inner = self.rt.inner.borrow_mut();
+                if inner.stack.len() == self.depth {
+                    if let Some(frame) = inner.stack.last_mut() {
+                        frame.suppress -= 1;
+                    }
+                }
+            }
+        }
+        let depth = {
+            let mut inner = self.inner.borrow_mut();
+            if let Some(frame) = inner.stack.last_mut() {
+                frame.suppress += 1;
+            }
+            inner.stack.len()
+        };
+        let _guard = Guard { rt: self, depth };
+        f()
+    }
+
+    // ------------------------------------------------------------------
+    // Low-level location API (the paper's `access`/`modify` operations).
+    // ------------------------------------------------------------------
+
+    /// Allocates a tracked storage location holding `initial`.
+    ///
+    /// This is the low-level API used by [`Var`](crate::Var) and by language
+    /// front ends that manage their own storage; prefer
+    /// [`Runtime::var`](crate::Runtime::var) in application code.
+    pub fn raw_alloc(&self, initial: Box<dyn Value>) -> NodeId {
+        self.inner.borrow_mut().alloc_node(NodeData {
+            value: Some(initial),
+            comp: None,
+            name: None,
+        })
+    }
+
+    /// Reads a location, recording the dependence of the currently executing
+    /// incremental procedure (if any) on it — the paper's `access`
+    /// (Algorithm 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a location of this runtime.
+    pub fn raw_read(&self, n: NodeId) -> Box<dyn Value> {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.reads += 1;
+            inner.record_dependence(n);
+        }
+        let inner = self.inner.borrow();
+        let nd = &inner.nodes[n.index()];
+        debug_assert!(nd.comp.is_none(), "raw_read on a computation node");
+        nd.value
+            .as_ref()
+            .expect("location always holds a value")
+            .dyn_clone()
+    }
+
+    /// Writes a location — the paper's `modify` (Algorithm 4): the write
+    /// first records a dependence (a procedure depends on storage it writes,
+    /// Section 4.3), then stores the value, and dirties the node if the
+    /// value actually changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a location of this runtime.
+    pub fn raw_write(&self, n: NodeId, value: Box<dyn Value>) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.writes += 1;
+        inner.record_dependence(n);
+        inner.stats.comparisons += 1;
+        let nd = &mut inner.nodes[n.index()];
+        debug_assert!(nd.comp.is_none(), "raw_write on a computation node");
+        let changed = match &nd.value {
+            Some(old) => !old.dyn_eq(&*value),
+            None => true,
+        };
+        nd.value = Some(value);
+        if changed {
+            inner.stats.changes += 1;
+            // Only locations some incremental instance has actually read
+            // need propagation — the paper's Algorithm 4 guards with
+            // `nodeptr(l) # NIL` for the same reason. Skipping reader-less
+            // locations is not merely an optimization: dirt queued before
+            // the first reader exists would be processed *after* that
+            // reader consumed the post-write value, spuriously marking it
+            // mid-construction and breaking the frontier invariant of the
+            // Section 4.5 marking rule.
+            if inner.graph.has_succs(n) {
+                inner.insert_dirty(n);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Computation nodes (used by Memo; crate-internal).
+    // ------------------------------------------------------------------
+
+    pub(crate) fn alloc_comp(
+        &self,
+        name: Rc<str>,
+        strategy: Strategy,
+        executor: Executor,
+    ) -> NodeId {
+        self.inner.borrow_mut().alloc_node(NodeData {
+            value: None,
+            comp: Some(CompState {
+                consistent: false,
+                strategy,
+                executor,
+                on_stack: 0,
+                requeue: false,
+                cur_gen: 0,
+            }),
+            name: Some(name),
+        })
+    }
+
+    pub(crate) fn note_call(&self) {
+        self.inner.borrow_mut().stats.calls += 1;
+    }
+
+    pub(crate) fn record_dependence(&self, n: NodeId) {
+        self.inner.borrow_mut().record_dependence(n);
+    }
+
+    /// Returns the cached value if the computation node is consistent.
+    pub(crate) fn cached_if_consistent(&self, n: NodeId) -> Option<Box<dyn Value>> {
+        let mut inner = self.inner.borrow_mut();
+        let nd = &inner.nodes[n.index()];
+        let comp = nd.comp.as_ref().expect("computation node");
+        if !comp.consistent {
+            return None;
+        }
+        match &nd.value {
+            Some(v) => {
+                let v = v.dyn_clone();
+                inner.stats.cache_hits += 1;
+                Some(v)
+            }
+            // Consistent but value-less: either a self-recursive first
+            // execution (DET violation — diagnose) or an evicted value
+            // (recompute by reporting a miss).
+            None if comp.on_stack > 0 => panic!(
+                "incremental procedure {} recursively depends on its own first execution \
+                 (violates paper restriction DET)",
+                nd.name.as_deref().unwrap_or("<unnamed>")
+            ),
+            None => None,
+        }
+    }
+
+    /// Re-executes computation node `n` per Algorithm 5: drop its old
+    /// dependencies, push it on the call stack, run the body, cache the
+    /// result. Returns the computed value and whether the cache changed.
+    ///
+    /// Re-entrant executions (an instance re-executing while an older
+    /// execution of the same instance is still on the stack, as the AVL
+    /// `balance` method of Section 7.3 provokes after rotations) are
+    /// resolved by generation stamps: only the latest-started execution
+    /// commits to the cache; a superseded outer execution still returns its
+    /// computed value to its caller but leaves cache, consistency flag and
+    /// dependency edges to the fresher run.
+    pub(crate) fn execute_node(&self, n: NodeId) -> (Box<dyn Value>, bool) {
+        let (executor, my_gen) = {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.executions += 1;
+            let before = inner.graph.edges_removed();
+            inner.graph.remove_pred_edges(n);
+            let removed = inner.graph.edges_removed() - before;
+            inner.stats.edges_removed += removed;
+            inner.exec_gen += 1;
+            let my_gen = inner.exec_gen;
+            // If an older execution of `n` is still running it is now
+            // superseded: its result will be discarded, so stop it from
+            // recording any further dependence edges.
+            let reentrant = inner.nodes[n.index()]
+                .comp
+                .as_ref()
+                .is_some_and(|c| c.on_stack > 0);
+            if reentrant {
+                for frame in &mut inner.stack {
+                    if frame.node == n {
+                        frame.stale = true;
+                    }
+                }
+            }
+            let comp = inner.nodes[n.index()].comp.as_mut().expect("computation");
+            comp.consistent = true;
+            comp.on_stack += 1;
+            comp.cur_gen = my_gen;
+            let executor = comp.executor.clone();
+            inner.stack.push(Frame {
+                node: n,
+                accessed: HashSet::new(),
+                suppress: 0,
+                stale: false,
+            });
+            (executor, my_gen)
+        };
+        let value = executor(self);
+        let mut inner = self.inner.borrow_mut();
+        let frame = inner.stack.pop().expect("frame pushed above");
+        debug_assert_eq!(frame.node, n, "call stack imbalance");
+        let nd = &mut inner.nodes[n.index()];
+        let comp = nd.comp.as_mut().expect("computation");
+        comp.on_stack -= 1;
+        if comp.cur_gen != my_gen {
+            // A nested execution superseded this one; its cache entry is the
+            // one that matches the current program state. Hand our value to
+            // the caller without committing it.
+            return (value, false);
+        }
+        let requeue = std::mem::take(&mut comp.requeue);
+        inner.stats.comparisons += 1;
+        let nd = &mut inner.nodes[n.index()];
+        let changed = match &nd.value {
+            Some(old) => !old.dyn_eq(&*value),
+            None => true,
+        };
+        nd.value = Some(value.dyn_clone());
+        if requeue {
+            inner.insert_dirty(n);
+        }
+        (value, changed)
+    }
+
+    /// If changes are pending that could affect `n`, run the evaluation
+    /// routine first (the `Evaluate(Inconsistent)` step of Algorithm 5).
+    /// With partitioning only `n`'s component is evaluated.
+    pub(crate) fn evaluate_before_call(&self, n: NodeId) {
+        let pending = {
+            let mut guard = self.inner.borrow_mut();
+            let inner = &mut *guard;
+            if inner.evaluating {
+                false
+            } else {
+                let root = inner.partition.as_mut().map(|uf| uf.find(n));
+                match &mut inner.dirty {
+                    DirtyStore::Global(s) => !s.is_empty(),
+                    DirtyStore::Partitioned(m) => {
+                        let root = root.expect("partitioned store implies union-find");
+                        m.get(&root).is_some_and(|s| !s.is_empty())
+                    }
+                }
+            }
+        };
+        if pending {
+            self.evaluate(Some(n));
+        }
+    }
+
+    /// Explains why a node has its current value: lists its recorded
+    /// dependencies (the paper's referenced-argument set `R(p)`), one line
+    /// per predecessor with kind, diagnostic name and cached value.
+    ///
+    /// This realizes the "sophisticated debugging" benefit the paper's
+    /// introduction attributes to the maintained dependency information.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not belong to this runtime.
+    pub fn explain(&self, n: NodeId) -> String {
+        use std::fmt::Write;
+        let inner = self.inner.borrow();
+        let describe = |id: NodeId| -> String {
+            let nd = &inner.nodes[id.index()];
+            let kind = match &nd.comp {
+                None => "location".to_string(),
+                Some(c) => format!(
+                    "instance of {} ({})",
+                    nd.name.as_deref().unwrap_or("<unnamed>"),
+                    if c.consistent { "consistent" } else { "stale" }
+                ),
+            };
+            let value = nd
+                .value
+                .as_ref()
+                .map(|v| format!("{v:?}"))
+                .unwrap_or_else(|| "<never computed>".to_string());
+            format!("{id}: {kind} = {value}")
+        };
+        let mut out = describe(n);
+        out.push('\n');
+        let mut preds: Vec<NodeId> = inner.graph.preds(n).collect();
+        preds.sort();
+        preds.dedup();
+        if preds.is_empty() {
+            out.push_str("  (no recorded dependencies)\n");
+        }
+        for p in preds {
+            let _ = writeln!(out, "  depends on {}", describe(p));
+        }
+        out
+    }
+
+    /// Renders the dependency graph in a human-readable form: one line per
+    /// node with its kind, diagnostic name, height, consistency and
+    /// successors. Intended for debugging and tests.
+    pub fn dump_graph(&self) -> String {
+        use std::fmt::Write;
+        let inner = self.inner.borrow();
+        let mut out = String::new();
+        for (i, nd) in inner.nodes.iter().enumerate() {
+            let n = NodeId::from_index(i);
+            let kind = match &nd.comp {
+                None => "loc ".to_string(),
+                Some(c) => format!(
+                    "comp({}{})",
+                    if c.consistent { "ok" } else { "dirty" },
+                    match c.strategy {
+                        Strategy::Demand => "",
+                        Strategy::Eager => ",eager",
+                    }
+                ),
+            };
+            let name = nd.name.as_deref().unwrap_or("-");
+            let succs: Vec<String> = inner.graph.succs(n).map(|s| s.to_string()).collect();
+            let _ = writeln!(
+                out,
+                "{n} {kind} {name} h={} v={:?} -> [{}]",
+                inner.graph.height(n),
+                nd.value.as_ref().map(|v| format!("{v:?}")),
+                succs.join(", ")
+            );
+        }
+        out
+    }
+
+    /// Runs quiescence propagation until every inconsistent set is empty —
+    /// the paper's evaluation routine, intended to be "called whenever
+    /// cycles are available" (Section 4.5). Eager procedures re-execute
+    /// here; demand procedures are only marked out-of-date.
+    pub fn propagate(&self) {
+        self.evaluate_bounded(None, u64::MAX);
+    }
+
+    /// Runs at most `max_steps` propagation steps, then yields — the
+    /// preemptible form of the evaluation routine (Section 4.5: "can be
+    /// preempted when necessary"). Returns `true` if the inconsistent sets
+    /// are fully drained, `false` if work remains for a later slice.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alphonse::{Runtime, Strategy};
+    /// let rt = Runtime::new();
+    /// let v = rt.var(0i64);
+    /// let m = rt.memo_with("watch", Strategy::Eager, move |rt, &(): &()| v.get(rt));
+    /// m.call(&rt, ());
+    /// v.set(&rt, 1);
+    /// while !rt.propagate_steps(1) {
+    ///     // interleave other work here
+    /// }
+    /// assert_eq!(rt.dirty_count(), 0);
+    /// ```
+    pub fn propagate_steps(&self, max_steps: u64) -> bool {
+        self.evaluate_bounded(None, max_steps);
+        self.dirty_count() == 0
+    }
+
+    // Capacity / eviction support (used by bounded memos).
+
+    pub(crate) fn node_has_value(&self, n: NodeId) -> bool {
+        self.inner.borrow().nodes[n.index()].value.is_some()
+    }
+
+    pub(crate) fn node_on_stack(&self, n: NodeId) -> bool {
+        self.inner.borrow().nodes[n.index()]
+            .comp
+            .as_ref()
+            .is_some_and(|c| c.on_stack > 0)
+    }
+
+    /// Drops the cached value of a computation node, forcing recomputation
+    /// on its next call. The consistency flag and dependency edges are
+    /// deliberately untouched: flipping the flag without queueing the
+    /// node's successors would violate the marking frontier invariant
+    /// ("successors of an inconsistent node are already inconsistent"), and
+    /// the edges are what keeps change propagation through the evicted
+    /// instance sound. An evicted node is thus "consistent but value-less":
+    /// its dependents' cached results are still valid, only *its* result
+    /// must be recomputed when next demanded.
+    pub(crate) fn evict_value(&self, n: NodeId) {
+        let mut inner = self.inner.borrow_mut();
+        let nd = &mut inner.nodes[n.index()];
+        debug_assert!(
+            nd.comp.as_ref().is_some_and(|c| c.on_stack == 0),
+            "cannot evict an executing instance"
+        );
+        nd.value = None;
+    }
+
+    fn evaluate(&self, origin: Option<NodeId>) {
+        self.evaluate_bounded(origin, u64::MAX);
+    }
+
+    /// Core evaluation loop (Section 4.5). `origin`: evaluate only the
+    /// partition containing this node; `None`: evaluate everything.
+    /// `max_steps` bounds the number of dirty nodes processed (preemption).
+    fn evaluate_bounded(&self, origin: Option<NodeId>, max_steps: u64) {
+        {
+            let mut inner = self.inner.borrow_mut();
+            if inner.evaluating {
+                return;
+            }
+            inner.evaluating = true;
+        }
+        let mut steps = 0u64;
+        while steps < max_steps {
+            steps += 1;
+            let step = {
+                let mut inner = self.inner.borrow_mut();
+                self.evaluation_step(&mut inner, origin)
+            };
+            match step {
+                Step::Idle => break,
+                Step::Continue => {}
+                Step::Execute(u) => {
+                    let (_, changed) = self.execute_node(u);
+                    if changed {
+                        let mut inner = self.inner.borrow_mut();
+                        let succs: Vec<NodeId> = inner.graph.succs(u).collect();
+                        for s in succs {
+                            inner.insert_dirty(s);
+                        }
+                    }
+                }
+            }
+        }
+        self.inner.borrow_mut().evaluating = false;
+    }
+
+    /// Pops and processes one dirty node; mutation-only cases are handled
+    /// inline, eager re-execution is returned to the caller so the borrow
+    /// can be released first.
+    fn evaluation_step(&self, inner: &mut Inner, origin: Option<NodeId>) -> Step {
+        // Partitions may have merged since the last step; re-find each time.
+        let root = match origin {
+            Some(o) => inner.partition.as_mut().map(|uf| uf.find(o)),
+            None => None,
+        };
+        let popped = match (&mut inner.dirty, root) {
+            (DirtyStore::Global(s), _) => s.pop(),
+            (DirtyStore::Partitioned(m), Some(root)) => m.get_mut(&root).and_then(DirtySet::pop),
+            (DirtyStore::Partitioned(m), None) => m.values_mut().find_map(|s| s.pop()),
+        };
+        let Some(u) = popped else {
+            return Step::Idle;
+        };
+        inner.stats.propagation_steps += 1;
+        match &mut inner.nodes[u.index()].comp {
+            // Storage location: forward the change to everything computed
+            // from it.
+            None => {
+                let succs: Vec<NodeId> = inner.graph.succs(u).collect();
+                for s in succs {
+                    inner.insert_dirty(s);
+                }
+                Step::Continue
+            }
+            Some(comp) => match comp.strategy {
+                // Demand: just mark out-of-date and propagate (Section 4.5).
+                Strategy::Demand => {
+                    if comp.consistent {
+                        comp.consistent = false;
+                        let succs: Vec<NodeId> = inner.graph.succs(u).collect();
+                        for s in succs {
+                            inner.insert_dirty(s);
+                        }
+                    }
+                    Step::Continue
+                }
+                // Eager: re-execute now; if the value changes the caller
+                // dirties the successors.
+                Strategy::Eager => {
+                    if comp.on_stack > 0 {
+                        // Cannot re-execute a node that is mid-execution;
+                        // mark it stale and have it re-queued on completion.
+                        comp.consistent = false;
+                        comp.requeue = true;
+                        let succs: Vec<NodeId> = inner.graph.succs(u).collect();
+                        for s in succs {
+                            inner.insert_dirty(s);
+                        }
+                        Step::Continue
+                    } else {
+                        Step::Execute(u)
+                    }
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_locations_read_back_written_values() {
+        let rt = Runtime::new();
+        let n = rt.raw_alloc(Box::new(5i64));
+        assert_eq!(rt.node_kind(n), NodeKind::Location);
+        let v = rt.raw_read(n);
+        assert!(v.dyn_eq(&5i64));
+        rt.raw_write(n, Box::new(9i64));
+        assert!(rt.raw_read(n).dyn_eq(&9i64));
+    }
+
+    #[test]
+    fn writes_outside_procedures_do_not_create_edges() {
+        let rt = Runtime::new();
+        let n = rt.raw_alloc(Box::new(1i64));
+        rt.raw_write(n, Box::new(2i64));
+        let _ = rt.raw_read(n);
+        assert_eq!(rt.edge_count(), 0);
+        assert_eq!(rt.stats().reads, 1);
+        assert_eq!(rt.stats().writes, 1);
+    }
+
+    #[test]
+    fn unchanged_write_does_not_dirty() {
+        let rt = Runtime::new();
+        let n = rt.raw_alloc(Box::new(1i64));
+        // Give the location a reader so writes are propagation-relevant.
+        let probe = rt.memo("probe", move |rt, &(): &()| {
+            crate::value::downcast_value::<i64>(&*rt.raw_read(n), "probe")
+        });
+        probe.call(&rt, ());
+        rt.raw_write(n, Box::new(1i64));
+        assert_eq!(rt.dirty_count(), 0, "unchanged value: no propagation");
+        rt.raw_write(n, Box::new(2i64));
+        assert_eq!(rt.dirty_count(), 1);
+        assert_eq!(rt.stats().changes, 1);
+    }
+
+    #[test]
+    fn readerless_writes_never_dirty() {
+        // Algorithm 4 guards with `nodeptr(l) # NIL`: a location no
+        // incremental instance has read needs no propagation.
+        let rt = Runtime::new();
+        let n = rt.raw_alloc(Box::new(1i64));
+        rt.raw_write(n, Box::new(2i64));
+        rt.raw_write(n, Box::new(3i64));
+        assert_eq!(rt.dirty_count(), 0);
+        assert_eq!(rt.stats().changes, 2);
+    }
+
+    #[test]
+    fn untracked_outside_procedure_is_noop() {
+        let rt = Runtime::new();
+        let n = rt.raw_alloc(Box::new(1i64));
+        let v = rt.untracked(|| rt.raw_read(n));
+        assert!(v.dyn_eq(&1i64));
+        assert!(!rt.in_tracked_context());
+    }
+
+    #[test]
+    fn runtime_debug_is_nonempty() {
+        let rt = Runtime::new();
+        assert!(format!("{rt:?}").contains("Runtime"));
+    }
+
+    #[test]
+    fn builder_configures_partitioning_and_scheduling() {
+        let rt = Runtime::builder()
+            .partitioning(true)
+            .scheduling(Scheduling::Fifo)
+            .dedup_edges(false)
+            .build();
+        assert!(rt.is_partitioned());
+        assert_eq!(rt.scheduling(), Scheduling::Fifo);
+    }
+
+    #[test]
+    fn distinct_runtimes_have_distinct_ids() {
+        let a = Runtime::new();
+        let b = Runtime::new();
+        assert_ne!(a.id, b.id);
+        assert_eq!(a.clone().id, a.id);
+    }
+
+    #[test]
+    fn propagate_on_clean_runtime_is_noop() {
+        let rt = Runtime::new();
+        rt.propagate();
+        assert_eq!(rt.stats().propagation_steps, 0);
+    }
+}

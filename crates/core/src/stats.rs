@@ -1,0 +1,144 @@
+//! Machine-independent work counters.
+//!
+//! The paper's evaluation (Section 9) is asymptotic, not empirical, so the
+//! reproduction measures *work* — executions avoided, edges maintained,
+//! propagation steps — in addition to wall-clock time. Every counter is a
+//! simple monotone tally maintained by the runtime.
+
+/// A snapshot of runtime work counters.
+///
+/// Obtain one with [`Runtime::stats`](crate::Runtime::stats); reset the
+/// tallies with [`Runtime::reset_stats`](crate::Runtime::reset_stats).
+/// Subtracting two snapshots (via [`Stats::delta_since`]) isolates the work
+/// done by one phase of a program.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Stats {
+    /// Incremental procedure bodies actually run (paper: executions not
+    /// avoided by caching).
+    pub executions: u64,
+    /// Calls answered from the cache without running the body.
+    pub cache_hits: u64,
+    /// Total calls to incremental procedures (hits + executions + stale
+    /// self-reads).
+    pub calls: u64,
+    /// Tracked reads of storage locations.
+    pub reads: u64,
+    /// Tracked writes to storage locations.
+    pub writes: u64,
+    /// Writes whose new value differed from the stored one (the changes that
+    /// seed quiescence propagation).
+    pub changes: u64,
+    /// Dependency edges recorded (after per-execution deduplication).
+    pub edges_created: u64,
+    /// Dependency edges discarded by `RemovePredEdges` before re-execution.
+    pub edges_removed: u64,
+    /// Nodes inserted into an inconsistent set.
+    pub dirtied: u64,
+    /// Nodes processed by the evaluator.
+    pub propagation_steps: u64,
+    /// Value-equality comparisons performed for cutoff decisions.
+    pub comparisons: u64,
+    /// Dependency-graph nodes created.
+    pub nodes_created: u64,
+    /// Reads performed inside `untracked` regions (Section 6.4 UNCHECKED).
+    pub untracked_reads: u64,
+}
+
+impl Stats {
+    /// Returns the per-field difference `self - earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any counter of `earlier` exceeds the
+    /// corresponding counter of `self` (snapshots out of order).
+    #[must_use]
+    pub fn delta_since(&self, earlier: &Stats) -> Stats {
+        macro_rules! sub {
+            ($($f:ident),*) => {
+                Stats { $($f: {
+                    debug_assert!(self.$f >= earlier.$f, concat!("stats went backwards: ", stringify!($f)));
+                    self.$f - earlier.$f
+                }),* }
+            };
+        }
+        sub!(
+            executions,
+            cache_hits,
+            calls,
+            reads,
+            writes,
+            changes,
+            edges_created,
+            edges_removed,
+            dirtied,
+            propagation_steps,
+            comparisons,
+            nodes_created,
+            untracked_reads
+        )
+    }
+
+    /// Total "work" proxy: executions plus propagation steps plus edge
+    /// maintenance. Used by benches as a machine-independent cost measure.
+    #[must_use]
+    pub fn work(&self) -> u64 {
+        self.executions + self.propagation_steps + self.edges_created + self.edges_removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero() {
+        let s = Stats::default();
+        assert_eq!(s.work(), 0);
+        assert_eq!(s.executions, 0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise() {
+        let early = Stats {
+            executions: 2,
+            cache_hits: 1,
+            ..Stats::default()
+        };
+        let late = Stats {
+            executions: 5,
+            cache_hits: 4,
+            edges_created: 7,
+            ..Stats::default()
+        };
+        let d = late.delta_since(&early);
+        assert_eq!(d.executions, 3);
+        assert_eq!(d.cache_hits, 3);
+        assert_eq!(d.edges_created, 7);
+    }
+
+    #[test]
+    fn work_sums_cost_fields() {
+        let s = Stats {
+            executions: 1,
+            propagation_steps: 2,
+            edges_created: 3,
+            edges_removed: 4,
+            cache_hits: 100, // not part of work
+            ..Stats::default()
+        };
+        assert_eq!(s.work(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "stats went backwards")]
+    #[cfg(debug_assertions)]
+    fn delta_backwards_panics_in_debug() {
+        let early = Stats {
+            executions: 5,
+            ..Stats::default()
+        };
+        let late = Stats::default();
+        let _ = late.delta_since(&early);
+    }
+}

@@ -1,0 +1,100 @@
+//! Dynamically-typed cached values.
+
+use std::any::Any;
+use std::fmt;
+
+/// A value that can be cached in the dependency graph.
+///
+/// Quiescence propagation (paper Section 2) requires comparing a newly
+/// computed result against the previously cached one to decide whether
+/// dependents must be notified, so every cached value must support equality;
+/// function caching requires handing out copies of cached results, so it
+/// must support cloning. The blanket implementation covers every
+/// `'static` type that is `Debug + PartialEq + Clone`, which is what user
+/// code should rely on — implementing this trait by hand is never necessary.
+pub trait Value: Any + fmt::Debug {
+    /// Compares against another cached value; values of different concrete
+    /// types are unequal.
+    fn dyn_eq(&self, other: &dyn Value) -> bool;
+    /// Clones into a fresh box.
+    fn dyn_clone(&self) -> Box<dyn Value>;
+    /// Upcast used for downcasting to the concrete type.
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T: Any + fmt::Debug + PartialEq + Clone> Value for T {
+    fn dyn_eq(&self, other: &dyn Value) -> bool {
+        other.as_any().downcast_ref::<T>() == Some(self)
+    }
+
+    fn dyn_clone(&self) -> Box<dyn Value> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Downcasts a cached value to its concrete type, cloning it out.
+///
+/// # Panics
+///
+/// Panics if the cached value has a different concrete type, which indicates
+/// a typed handle (`Var`/`Memo`) was forged for the wrong node.
+pub(crate) fn downcast_value<T: Clone + 'static>(v: &dyn Value, what: &str) -> T {
+    v.as_any()
+        .downcast_ref::<T>()
+        .unwrap_or_else(|| {
+            panic!(
+                "type mismatch reading {what}: expected {}, found {v:?}",
+                std::any::type_name::<T>()
+            )
+        })
+        .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_same_type() {
+        let a: Box<dyn Value> = Box::new(42i64);
+        let b: Box<dyn Value> = Box::new(42i64);
+        let c: Box<dyn Value> = Box::new(7i64);
+        assert!(a.dyn_eq(&*b));
+        assert!(!a.dyn_eq(&*c));
+    }
+
+    #[test]
+    fn eq_across_types_is_false() {
+        let a: Box<dyn Value> = Box::new(42i64);
+        let b: Box<dyn Value> = Box::new(42i32);
+        assert!(!a.dyn_eq(&*b));
+        assert!(!b.dyn_eq(&*a));
+    }
+
+    #[test]
+    fn clone_preserves_value() {
+        let a: Box<dyn Value> = Box::new(String::from("hi"));
+        let b = a.dyn_clone();
+        assert!(a.dyn_eq(&*b));
+        assert_eq!(downcast_value::<String>(&*b, "test"), "hi");
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn downcast_wrong_type_panics() {
+        let a: Box<dyn Value> = Box::new(1u8);
+        let _: i64 = downcast_value(&*a, "test");
+    }
+
+    #[test]
+    fn structs_work_via_blanket_impl() {
+        #[derive(Debug, PartialEq, Clone)]
+        struct P(i32, i32);
+        let a: Box<dyn Value> = Box::new(P(1, 2));
+        assert!(a.dyn_eq(&*a.dyn_clone()));
+    }
+}

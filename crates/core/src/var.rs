@@ -1,0 +1,177 @@
+//! Typed handles to tracked storage locations.
+
+use crate::runtime::Runtime;
+use crate::value::{downcast_value, Value};
+use alphonse_graph::NodeId;
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed, tracked storage location — the paper's *top-level abstract
+/// location* (Section 4.3).
+///
+/// Reading a `Var` inside an incremental procedure records a dependence
+/// edge; writing one compares against the stored value and seeds quiescence
+/// propagation when the value actually changed (Algorithms 3 and 4). The
+/// handle itself is a small `Copy` token; the value lives in the
+/// [`Runtime`].
+///
+/// # Example
+///
+/// ```
+/// use alphonse::Runtime;
+/// let rt = Runtime::new();
+/// let x = rt.var(1i64);
+/// assert_eq!(x.get(&rt), 1);
+/// x.set(&rt, 2);
+/// assert_eq!(x.get(&rt), 2);
+/// ```
+pub struct Var<T> {
+    node: NodeId,
+    rt_id: u64,
+    _marker: PhantomData<fn(T) -> T>,
+}
+
+impl<T> Clone for Var<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Var<T> {}
+
+impl<T> PartialEq for Var<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.node == other.node && self.rt_id == other.rt_id
+    }
+}
+impl<T> Eq for Var<T> {}
+
+impl<T> std::hash::Hash for Var<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.node.hash(state);
+        self.rt_id.hash(state);
+    }
+}
+
+impl<T> fmt::Debug for Var<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var<{}>({})", std::any::type_name::<T>(), self.node)
+    }
+}
+
+impl<T: Value + PartialEq + Clone> Var<T> {
+    fn check(&self, rt: &Runtime) {
+        assert_eq!(
+            self.rt_id, rt.id,
+            "Var used with a different Runtime than it was created in"
+        );
+    }
+
+    /// Reads the current value, recording a dependence if an incremental
+    /// procedure is executing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rt` is not the runtime this variable was created in.
+    pub fn get(&self, rt: &Runtime) -> T {
+        self.check(rt);
+        downcast_value(&*rt.raw_read(self.node), "Var::get")
+    }
+
+    /// Reads the current value without recording a dependence — the
+    /// `(*UNCHECKED*)` pragma applied to a single read (Section 6.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rt` is not the runtime this variable was created in.
+    pub fn get_untracked(&self, rt: &Runtime) -> T {
+        rt.untracked(|| self.get(rt))
+    }
+
+    /// Writes a new value. If it differs from the stored one, dependents are
+    /// scheduled for re-evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rt` is not the runtime this variable was created in.
+    pub fn set(&self, rt: &Runtime, value: T) {
+        self.check(rt);
+        rt.raw_write(self.node, Box::new(value));
+    }
+
+    /// Applies `f` to the current value and stores the result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rt` is not the runtime this variable was created in.
+    pub fn update(&self, rt: &Runtime, f: impl FnOnce(T) -> T) {
+        let v = self.get(rt);
+        self.set(rt, f(v));
+    }
+
+    /// The dependency-graph node backing this variable.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+}
+
+impl Runtime {
+    /// Allocates a fresh tracked variable holding `initial`.
+    pub fn var<T: Value + PartialEq + Clone>(&self, initial: T) -> Var<T> {
+        Var {
+            node: self.raw_alloc(Box::new(initial)),
+            rt_id: self.id,
+            _marker: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_round_trip() {
+        let rt = Runtime::new();
+        let v = rt.var(String::from("a"));
+        assert_eq!(v.get(&rt), "a");
+        v.set(&rt, "b".into());
+        assert_eq!(v.get(&rt), "b");
+    }
+
+    #[test]
+    fn update_applies_function() {
+        let rt = Runtime::new();
+        let v = rt.var(10i64);
+        v.update(&rt, |x| x * 2);
+        assert_eq!(v.get(&rt), 20);
+    }
+
+    #[test]
+    fn var_is_copy_and_hashable() {
+        let rt = Runtime::new();
+        let v = rt.var(1i32);
+        let w = v; // copy
+        assert_eq!(v, w);
+        let mut set = std::collections::HashSet::new();
+        set.insert(v);
+        assert!(set.contains(&w));
+        let u = rt.var(1i32);
+        assert_ne!(v, u);
+    }
+
+    #[test]
+    #[should_panic(expected = "different Runtime")]
+    fn cross_runtime_use_panics() {
+        let a = Runtime::new();
+        let b = Runtime::new();
+        let v = a.var(1i64);
+        let _ = v.get(&b);
+    }
+
+    #[test]
+    fn debug_mentions_type() {
+        let rt = Runtime::new();
+        let v = rt.var(1u8);
+        assert!(format!("{v:?}").contains("u8"));
+    }
+}

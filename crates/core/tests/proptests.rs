@@ -1,0 +1,219 @@
+//! Property-based differential testing of the runtime.
+//!
+//! The central correctness claim of the paper is Theorem 5.1: Alphonse
+//! execution produces the same output as conventional execution. For the
+//! library embedding that means: after any sequence of mutations, querying a
+//! memo must return exactly what recomputing its definition from the current
+//! variable values would return. We check that over random dataflow DAGs,
+//! random evaluation strategies and random mutation scripts, for every
+//! runtime configuration.
+
+use alphonse::{Memo, Runtime, Scheduling, Strategy as EvalStrategy};
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One input of a derived computation.
+#[derive(Debug, Clone, Copy)]
+enum Input {
+    Var(usize),
+    Memo(usize),
+}
+
+/// Specification of one memo: a wrapping linear combination of inputs.
+#[derive(Debug, Clone)]
+struct MemoSpec {
+    inputs: Vec<(Input, i64)>,
+    offset: i64,
+    eager: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set { var: usize, value: i64 },
+    Query { memo: usize },
+    Propagate,
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    n_vars: usize,
+    init: Vec<i64>,
+    memos: Vec<MemoSpec>,
+    script: Vec<Op>,
+    partitioning: bool,
+    fifo: bool,
+    dedup: bool,
+}
+
+/// Ground truth: evaluate memo `k` directly from variable values.
+fn oracle(memos: &[MemoSpec], vars: &[i64], k: usize) -> i64 {
+    let spec = &memos[k];
+    let mut acc = spec.offset;
+    for &(input, coeff) in &spec.inputs {
+        let v = match input {
+            Input::Var(i) => vars[i],
+            Input::Memo(j) => oracle(memos, vars, j),
+        };
+        acc = acc.wrapping_add(v.wrapping_mul(coeff));
+    }
+    acc
+}
+
+fn run_case(case: &Case) {
+    let rt = Runtime::builder()
+        .partitioning(case.partitioning)
+        .scheduling(if case.fifo {
+            Scheduling::Fifo
+        } else {
+            Scheduling::HeightOrder
+        })
+        .dedup_edges(case.dedup)
+        .build();
+    let vars: Vec<_> = case.init.iter().map(|&v| rt.var(v)).collect();
+    // Memos can call earlier memos; closures resolve callees through this
+    // shared registry (and keep it alive via their captured Rc).
+    let registry: Rc<RefCell<Vec<Memo<(), i64>>>> = Rc::new(RefCell::new(Vec::new()));
+    for (k, spec) in case.memos.iter().enumerate() {
+        let spec = spec.clone();
+        let vars = vars.clone();
+        let reg = Rc::clone(&registry);
+        let strategy = if spec.eager {
+            EvalStrategy::Eager
+        } else {
+            EvalStrategy::Demand
+        };
+        let memo = rt.memo_with(&format!("m{k}"), strategy, move |rt, &(): &()| {
+            let mut acc = spec.offset;
+            for &(input, coeff) in &spec.inputs {
+                let v = match input {
+                    Input::Var(i) => vars[i].get(rt),
+                    Input::Memo(j) => {
+                        let callee = reg.borrow()[j].clone();
+                        callee.call(rt, ())
+                    }
+                };
+                acc = acc.wrapping_add(v.wrapping_mul(coeff));
+            }
+            acc
+        });
+        registry.borrow_mut().push(memo);
+    }
+
+    let mut shadow = case.init.clone();
+    // Query everything once so the dependency graph is fully populated.
+    for k in 0..case.memos.len() {
+        let m = registry.borrow()[k].clone();
+        assert_eq!(m.call(&rt, ()), oracle(&case.memos, &shadow, k));
+    }
+    for op in &case.script {
+        match *op {
+            Op::Set { var, value } => {
+                let i = var % case.n_vars;
+                vars[i].set(&rt, value);
+                shadow[i] = value;
+            }
+            Op::Query { memo } => {
+                let k = memo % case.memos.len();
+                let m = registry.borrow()[k].clone();
+                let got = m.call(&rt, ());
+                let want = oracle(&case.memos, &shadow, k);
+                assert_eq!(
+                    got, want,
+                    "memo m{k} diverged from conventional execution (cfg: part={}, fifo={}, dedup={})",
+                    case.partitioning, case.fifo, case.dedup
+                );
+            }
+            Op::Propagate => rt.propagate(),
+        }
+    }
+    // Final full audit.
+    rt.propagate();
+    for k in 0..case.memos.len() {
+        let m = registry.borrow()[k].clone();
+        assert_eq!(m.call(&rt, ()), oracle(&case.memos, &shadow, k));
+    }
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (1usize..6, 1usize..10, any::<bool>(), any::<bool>(), any::<bool>()).prop_flat_map(
+        |(n_vars, n_memos, partitioning, fifo, dedup)| {
+            let memo_spec = move |k: usize| {
+                let input = prop_oneof![
+                    (0..n_vars).prop_map(Input::Var),
+                    if k == 0 {
+                        (0..n_vars).prop_map(Input::Var).boxed()
+                    } else {
+                        (0..k).prop_map(Input::Memo).boxed()
+                    }
+                ];
+                (
+                    proptest::collection::vec((input, -3i64..4), 1..4),
+                    -10i64..10,
+                    any::<bool>(),
+                )
+                    .prop_map(|(inputs, offset, eager)| MemoSpec {
+                        inputs,
+                        offset,
+                        eager,
+                    })
+            };
+            let memos: Vec<_> = (0..n_memos).map(memo_spec).collect();
+            let op = prop_oneof![
+                4 => (any::<usize>(), -100i64..100).prop_map(|(var, value)| Op::Set { var, value }),
+                4 => any::<usize>().prop_map(|memo| Op::Query { memo }),
+                1 => Just(Op::Propagate),
+            ];
+            (
+                proptest::collection::vec(-100i64..100, n_vars),
+                memos,
+                proptest::collection::vec(op, 1..40),
+            )
+                .prop_map(move |(init, memos, script)| Case {
+                    n_vars,
+                    init,
+                    memos,
+                    script,
+                    partitioning,
+                    fifo,
+                    dedup,
+                })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Theorem 5.1 for the library embedding: incremental results always
+    /// match conventional from-scratch evaluation.
+    #[test]
+    fn incremental_matches_conventional(case in case_strategy()) {
+        run_case(&case);
+    }
+
+    /// Vars behave like plain storage under arbitrary write sequences.
+    #[test]
+    fn var_read_your_writes(writes in proptest::collection::vec(any::<i64>(), 1..50)) {
+        let rt = Runtime::new();
+        let v = rt.var(0i64);
+        for &w in &writes {
+            v.set(&rt, w);
+            prop_assert_eq!(v.get(&rt), w);
+        }
+        prop_assert_eq!(v.get(&rt), *writes.last().unwrap());
+    }
+
+    /// Memoization is transparent for pure functions of the argument.
+    #[test]
+    fn pure_memo_is_function_of_argument(args in proptest::collection::vec(-1000i64..1000, 1..60)) {
+        let rt = Runtime::new();
+        let square = rt.memo("square", |_rt, x: &i64| x.wrapping_mul(*x));
+        for &a in &args {
+            prop_assert_eq!(square.call(&rt, a), a.wrapping_mul(a));
+        }
+        // Instances never exceed distinct argument count.
+        let distinct: std::collections::HashSet<_> = args.iter().collect();
+        prop_assert_eq!(square.instance_count(), distinct.len());
+    }
+}

@@ -1,0 +1,487 @@
+//! Integration tests for the Alphonse runtime semantics: evaluation
+//! strategies, quiescence cutoff, partitioning, UNCHECKED regions, and the
+//! paper's fixpoint behaviour for procedures that write tracked state.
+
+use alphonse::{Runtime, Scheduling, Strategy};
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Counts executions of a memo body.
+fn counter() -> (Rc<Cell<u32>>, impl Fn()) {
+    let c = Rc::new(Cell::new(0u32));
+    let c2 = Rc::clone(&c);
+    (c, move || c2.set(c2.get() + 1))
+}
+
+#[test]
+fn demand_chain_recomputes_only_when_queried() {
+    let rt = Runtime::new();
+    let a = rt.var(1i64);
+    let (n1, bump1) = counter();
+    let m1 = rt.memo("m1", move |rt, &(): &()| {
+        bump1();
+        a.get(rt) * 2
+    });
+    let m1c = m1.clone();
+    let (n2, bump2) = counter();
+    let m2 = rt.memo("m2", move |rt, &(): &()| {
+        bump2();
+        m1c.call(rt, ()) + 1
+    });
+    assert_eq!(m2.call(&rt, ()), 3);
+    assert_eq!((n1.get(), n2.get()), (1, 1));
+
+    a.set(&rt, 5);
+    // Nothing recomputes until the next call.
+    assert_eq!((n1.get(), n2.get()), (1, 1));
+    assert_eq!(m2.call(&rt, ()), 11);
+    assert_eq!((n1.get(), n2.get()), (2, 2));
+}
+
+#[test]
+fn eager_updates_during_propagate_without_a_call() {
+    let rt = Runtime::new();
+    let a = rt.var(1i64);
+    let (n, bump) = counter();
+    let m = rt.memo_with("eager", Strategy::Eager, move |rt, &(): &()| {
+        bump();
+        a.get(rt) * 10
+    });
+    assert_eq!(m.call(&rt, ()), 10);
+    a.set(&rt, 2);
+    rt.propagate();
+    assert_eq!(n.get(), 2, "eager node re-ran inside propagate");
+    let before = rt.stats();
+    assert_eq!(m.call(&rt, ()), 20);
+    let d = rt.stats().delta_since(&before);
+    assert_eq!(d.executions, 0, "the call itself was a pure cache hit");
+}
+
+#[test]
+fn eager_cutoff_stops_propagation_at_equal_values() {
+    // a -> abs -> downstream. Changing a from 3 to -3 re-runs abs but the
+    // result (3) is unchanged, so downstream must NOT re-run (quiescence).
+    let rt = Runtime::new();
+    let a = rt.var(3i64);
+    let (n_abs, bump_abs) = counter();
+    let abs = rt.memo_with("abs", Strategy::Eager, move |rt, &(): &()| {
+        bump_abs();
+        a.get(rt).abs()
+    });
+    let absc = abs.clone();
+    let (n_down, bump_down) = counter();
+    let down = rt.memo_with("down", Strategy::Eager, move |rt, &(): &()| {
+        bump_down();
+        absc.call(rt, ()) + 100
+    });
+    assert_eq!(down.call(&rt, ()), 103);
+    assert_eq!((n_abs.get(), n_down.get()), (1, 1));
+
+    a.set(&rt, -3);
+    rt.propagate();
+    assert_eq!(n_abs.get(), 2, "abs re-ran");
+    assert_eq!(n_down.get(), 1, "downstream cut off: abs value unchanged");
+    assert_eq!(down.call(&rt, ()), 103);
+    assert_eq!(n_down.get(), 1);
+}
+
+#[test]
+fn demand_dirtying_is_transitively_conservative() {
+    // With demand evaluation the dirtying phase does not compare values, so
+    // downstream re-executes even when the intermediate value is unchanged
+    // (paper Section 4.5 semantics).
+    let rt = Runtime::new();
+    let a = rt.var(3i64);
+    let abs = rt.memo("abs", move |rt, &(): &()| a.get(rt).abs());
+    let absc = abs.clone();
+    let (n_down, bump_down) = counter();
+    let down = rt.memo("down", move |rt, &(): &()| {
+        bump_down();
+        absc.call(rt, ()) + 100
+    });
+    assert_eq!(down.call(&rt, ()), 103);
+    a.set(&rt, -3);
+    assert_eq!(down.call(&rt, ()), 103);
+    assert_eq!(n_down.get(), 2, "demand node re-ran conservatively");
+}
+
+#[test]
+fn partitioning_isolates_independent_components() {
+    let rt = Runtime::builder().partitioning(true).build();
+    let a = rt.var(1i64);
+    let b = rt.var(100i64);
+    let (n_a, bump_a) = counter();
+    let ma = rt.memo_with("comp_a", Strategy::Eager, move |rt, &(): &()| {
+        bump_a();
+        a.get(rt) + 1
+    });
+    let mb = rt.memo("comp_b", move |rt, &(): &()| b.get(rt) + 1);
+    assert_eq!(ma.call(&rt, ()), 2);
+    assert_eq!(mb.call(&rt, ()), 101);
+    assert_eq!(n_a.get(), 1);
+
+    // Change component A, then query component B: A's eager node must not
+    // be forced (Section 6.3 — irrelevant changes stay batched).
+    a.set(&rt, 5);
+    assert_eq!(mb.call(&rt, ()), 101);
+    assert_eq!(n_a.get(), 1, "query of B did not force A's partition");
+    assert!(rt.dirty_count() > 0, "A's change is still pending");
+
+    // A global propagate settles everything.
+    rt.propagate();
+    assert_eq!(n_a.get(), 2);
+    assert_eq!(ma.call(&rt, ()), 6);
+}
+
+#[test]
+fn without_partitioning_any_call_forces_all_pending_changes() {
+    let rt = Runtime::new(); // global inconsistent set
+    let a = rt.var(1i64);
+    let b = rt.var(100i64);
+    let (n_a, bump_a) = counter();
+    let ma = rt.memo_with("comp_a", Strategy::Eager, move |rt, &(): &()| {
+        bump_a();
+        a.get(rt) + 1
+    });
+    let mb = rt.memo("comp_b", move |rt, &(): &()| b.get(rt) + 1);
+    ma.call(&rt, ());
+    mb.call(&rt, ());
+    a.set(&rt, 5);
+    // Calling the unrelated B evaluates the single global set, forcing A.
+    mb.call(&rt, ());
+    assert_eq!(n_a.get(), 2, "global set forced A's eager node");
+    assert_eq!(rt.dirty_count(), 0);
+}
+
+#[test]
+fn untracked_reads_do_not_invalidate() {
+    let rt = Runtime::new();
+    let tracked = rt.var(1i64);
+    let peeked = rt.var(100i64);
+    let (n, bump) = counter();
+    let m = rt.memo("m", move |rt, &(): &()| {
+        bump();
+        tracked.get(rt) + peeked.get_untracked(rt)
+    });
+    assert_eq!(m.call(&rt, ()), 101);
+    peeked.set(&rt, 999);
+    assert_eq!(m.call(&rt, ()), 101, "stale by design: untracked read");
+    assert_eq!(n.get(), 1);
+    tracked.set(&rt, 2);
+    assert_eq!(m.call(&rt, ()), 1001, "tracked change picks up new peek too");
+    assert_eq!(n.get(), 2);
+}
+
+#[test]
+fn untracked_scope_does_not_leak_into_nested_procedures() {
+    let rt = Runtime::new();
+    let inner_dep = rt.var(1i64);
+    let inner = rt.memo("inner", move |rt, &(): &()| inner_dep.get(rt) * 2);
+    let innerc = inner.clone();
+    let outer = rt.memo("outer", move |rt, &(): &()| {
+        // The *call edge* to `inner` is suppressed, but inner's own
+        // dependency on inner_dep must still be recorded.
+        rt.untracked(|| innerc.call(rt, ()))
+    });
+    assert_eq!(outer.call(&rt, ()), 2);
+    inner_dep.set(&rt, 5);
+    // inner recomputes correctly when asked directly…
+    assert_eq!(inner.call(&rt, ()), 10);
+    // …while outer (which opted out of the dependence) stays stale.
+    assert_eq!(outer.call(&rt, ()), 2);
+}
+
+#[test]
+fn procedure_writing_tracked_state_converges() {
+    // A "normalize" procedure that clamps a variable into [0, 10] by
+    // writing it back — the Section 7.3 pattern (balance performs
+    // rotations). Writes inside the procedure re-dirty it; determinism
+    // guarantees convergence.
+    let rt = Runtime::new();
+    let x = rt.var(42i64);
+    let norm = rt.memo("normalize", move |rt, &(): &()| {
+        let v = x.get(rt);
+        let clamped = v.clamp(0, 10);
+        if clamped != v {
+            x.set(rt, clamped);
+        }
+        clamped
+    });
+    assert_eq!(norm.call(&rt, ()), 10);
+    assert_eq!(x.get(&rt), 10);
+    // Re-calling settles to a consistent fixpoint.
+    assert_eq!(norm.call(&rt, ()), 10);
+    x.set(&rt, -5);
+    assert_eq!(norm.call(&rt, ()), 0);
+    assert_eq!(x.get(&rt), 0);
+    x.set(&rt, 7);
+    assert_eq!(norm.call(&rt, ()), 7);
+    assert_eq!(x.get(&rt), 7, "in-range value untouched");
+}
+
+#[test]
+#[should_panic(expected = "DET")]
+fn self_recursive_same_arguments_panics() {
+    let rt = Runtime::new();
+    let bad = rt.memo_recursive("bad", |rt, me, &n: &i64| -> i64 { me.call(rt, n) });
+    let _ = bad.call(&rt, 1);
+}
+
+#[test]
+fn height_order_executes_diamond_layers_once() {
+    let (h_execs, _) = schedule_experiment(Scheduling::HeightOrder);
+    assert_eq!(h_execs, 2, "c1 and j execute exactly once each");
+}
+
+#[test]
+fn fifo_order_can_duplicate_work() {
+    let (f_execs, j_execs) = schedule_experiment(Scheduling::Fifo);
+    assert!(f_execs >= 2);
+    assert_eq!(
+        j_execs, 2,
+        "FIFO pops the join node before its chain is settled"
+    );
+}
+
+/// Builds a two-level eager graph where the join node `j` reads the source
+/// `a` *before* the intermediate `c1`, so a FIFO drain processes `j` with a
+/// stale `c1` and must re-run it. Returns (total executions after the
+/// change, executions of j alone).
+fn schedule_experiment(mode: Scheduling) -> (u64, u32) {
+    let rt = Runtime::builder().scheduling(mode).build();
+    let a = rt.var(1i64);
+    let c1 = rt.memo_with("c1", Strategy::Eager, move |rt, &(): &()| a.get(rt) * 2);
+    let c1c = c1.clone();
+    let (nj, bumpj) = counter();
+    let j = rt.memo_with("j", Strategy::Eager, move |rt, &(): &()| {
+        bumpj();
+        // Call c1 first, read a last: successor lists are head-inserted, so
+        // a's succ list becomes [j, c1] and a FIFO drain pops j while c1 is
+        // still stale.
+        c1c.call(rt, ()) + a.get(rt)
+    });
+    assert_eq!(j.call(&rt, ()), 3);
+    let before_j = nj.get();
+    let before = rt.stats();
+    a.set(&rt, 10);
+    rt.propagate();
+    assert_eq!(j.call(&rt, ()), 30);
+    let d = rt.stats().delta_since(&before);
+    (d.executions, nj.get() - before_j)
+}
+
+#[test]
+fn stats_account_for_cache_behaviour() {
+    let rt = Runtime::new();
+    let a = rt.var(1i64);
+    let m = rt.memo("m", move |rt, k: &i64| a.get(rt) + k);
+    for _ in 0..5 {
+        m.call(&rt, 7);
+    }
+    let s = rt.stats();
+    assert_eq!(s.calls, 5);
+    assert_eq!(s.executions, 1);
+    assert_eq!(s.cache_hits, 4);
+    assert_eq!(s.nodes_created, 2); // the var + one instance
+    assert!(s.edges_created >= 1);
+}
+
+#[test]
+fn edges_are_deduplicated_per_execution_by_default() {
+    let rt = Runtime::new();
+    let a = rt.var(1i64);
+    let m = rt.memo("m", move |rt, &(): &()| a.get(rt) + a.get(rt) + a.get(rt));
+    m.call(&rt, ());
+    assert_eq!(rt.stats().edges_created, 1);
+
+    let rt2 = Runtime::builder().dedup_edges(false).build();
+    let b = rt2.var(1i64);
+    let m2 = rt2.memo("m2", move |rt, &(): &()| b.get(rt) + b.get(rt) + b.get(rt));
+    m2.call(&rt2, ());
+    assert_eq!(rt2.stats().edges_created, 3, "paper-literal parallel edges");
+}
+
+#[test]
+fn stale_dependencies_are_dropped_on_reexecution() {
+    // m reads `sel`, then one of a/b. After switching sel, the edge from the
+    // unused branch must be gone: changing the now-unused var must not
+    // invalidate m.
+    let rt = Runtime::new();
+    let sel = rt.var(false);
+    let a = rt.var(10i64);
+    let b = rt.var(20i64);
+    let (n, bump) = counter();
+    let m = rt.memo("select", move |rt, &(): &()| {
+        bump();
+        if sel.get(rt) {
+            a.get(rt)
+        } else {
+            b.get(rt)
+        }
+    });
+    assert_eq!(m.call(&rt, ()), 20);
+    sel.set(&rt, true);
+    assert_eq!(m.call(&rt, ()), 10);
+    assert_eq!(n.get(), 2);
+    // b is no longer a dependency.
+    b.set(&rt, 999);
+    assert_eq!(m.call(&rt, ()), 10);
+    assert_eq!(n.get(), 2, "change to unused branch did not re-execute");
+    // a still is.
+    a.set(&rt, 11);
+    assert_eq!(m.call(&rt, ()), 11);
+    assert_eq!(n.get(), 3);
+}
+
+#[test]
+fn many_instances_invalidate_independently() {
+    let rt = Runtime::new();
+    let vars: Vec<_> = (0..10).map(|i| rt.var(i as i64)).collect();
+    let vs = vars.clone();
+    let (n, bump) = counter();
+    let pick = rt.memo("pick", move |rt, &i: &usize| {
+        bump();
+        vs[i].get(rt)
+    });
+    for i in 0..10 {
+        assert_eq!(pick.call(&rt, i), i as i64);
+    }
+    assert_eq!(n.get(), 10);
+    vars[3].set(&rt, 333);
+    for i in 0..10 {
+        let expect = if i == 3 { 333 } else { i as i64 };
+        assert_eq!(pick.call(&rt, i), expect);
+    }
+    assert_eq!(n.get(), 11, "only instance 3 re-executed");
+}
+
+#[test]
+fn batched_changes_coalesce() {
+    // Many writes between queries are batched: one query pays once.
+    let rt = Runtime::new();
+    let a = rt.var(0i64);
+    let (n, bump) = counter();
+    let m = rt.memo("m", move |rt, &(): &()| {
+        bump();
+        a.get(rt)
+    });
+    m.call(&rt, ());
+    for i in 1..=100 {
+        a.set(&rt, i);
+    }
+    assert_eq!(m.call(&rt, ()), 100);
+    assert_eq!(n.get(), 2, "100 writes, one recomputation");
+}
+
+#[test]
+fn explain_lists_dependencies() {
+    let rt = Runtime::new();
+    let a = rt.var(2i64);
+    let b = rt.var(3i64);
+    let mid = rt.memo("mid", move |rt, &(): &()| a.get(rt) + b.get(rt));
+    let midc = mid.clone();
+    let top = rt.memo("top", move |rt, &(): &()| midc.call(rt, ()) * 10);
+    assert_eq!(top.call(&rt, ()), 50);
+    let why = top.explain(&rt, &()).unwrap();
+    assert!(why.contains("instance of top (consistent)"), "{why}");
+    assert!(why.contains("depends on"), "{why}");
+    assert!(why.contains("instance of mid"), "{why}");
+    let why_mid = mid.explain(&rt, &()).unwrap();
+    assert!(why_mid.contains("location"), "{why_mid}");
+    // Uncalled instances have no explanation.
+    assert!(top.explain(&rt, &()).is_some());
+    let other = rt.memo("other", |_rt, &(): &()| 0i64);
+    assert!(other.explain(&rt, &()).is_none());
+    // Stale instances are labelled as such.
+    a.set(&rt, 100);
+    let why = top.explain(&rt, &()).unwrap();
+    assert!(why.contains("stale") || why.contains("consistent"), "{why}");
+}
+
+#[test]
+fn dump_graph_renders_every_node() {
+    let rt = Runtime::new();
+    let a = rt.var(1i64);
+    let m = rt.memo("shown", move |rt, &(): &()| a.get(rt));
+    m.call(&rt, ());
+    let dump = rt.dump_graph();
+    assert!(dump.contains("shown"), "{dump}");
+    assert!(dump.contains("loc"), "{dump}");
+    assert_eq!(dump.lines().count(), rt.node_count());
+}
+
+#[test]
+fn bounded_memo_evicts_lru_values() {
+    let rt = Runtime::new();
+    let base = rt.var(1i64);
+    let (n, bump) = counter();
+    let m = rt.memo_bounded("bounded", Strategy::Demand, 3, move |rt, &k: &i64| {
+        bump();
+        base.get(rt) * k
+    });
+    for k in 1..=3 {
+        assert_eq!(m.call(&rt, k), k);
+    }
+    assert_eq!(n.get(), 3);
+    assert_eq!(m.evictions(), 0);
+    // A fourth instance evicts the least recently used (k=1).
+    assert_eq!(m.call(&rt, 4), 4);
+    assert_eq!(m.evictions(), 1);
+    // k=2 and k=3 are still live values (pure hits)…
+    assert_eq!(m.call(&rt, 2), 2);
+    assert_eq!(m.call(&rt, 3), 3);
+    assert_eq!(n.get(), 4);
+    // …but k=1 was evicted and recomputes (evicting the next LRU victim).
+    assert_eq!(m.call(&rt, 1), 1);
+    assert_eq!(n.get(), 5);
+    assert_eq!(m.capacity(), Some(3));
+    assert_eq!(m.instance_count(), 4, "argument table keeps all instances");
+}
+
+#[test]
+fn evicted_instances_still_propagate_changes() {
+    // Eviction must not break dependence: a dependent computed through an
+    // evicted instance still invalidates when the underlying var changes.
+    let rt = Runtime::new();
+    let base = rt.var(10i64);
+    let small = rt.memo_bounded("small", Strategy::Demand, 1, move |rt, &k: &i64| {
+        base.get(rt) + k
+    });
+    let sc = small.clone();
+    let top = rt.memo("top", move |rt, &(): &()| sc.call(rt, 1) * 100);
+    assert_eq!(top.call(&rt, ()), 1100);
+    // Evict instance k=1 by touching k=2.
+    small.call(&rt, 2);
+    assert!(small.evictions() >= 1);
+    // The change must still reach `top` through the evicted instance.
+    base.set(&rt, 20);
+    assert_eq!(top.call(&rt, ()), 2100, "propagation survived eviction");
+}
+
+#[test]
+fn propagate_steps_preempts_and_resumes() {
+    let rt = Runtime::new();
+    let src = rt.var(1i64);
+    let mut prev = rt.memo_with("p0", Strategy::Eager, move |rt, &(): &()| src.get(rt));
+    prev.call(&rt, ());
+    for i in 1..20 {
+        let below = prev.clone();
+        let m = rt.memo_with(&format!("p{i}"), Strategy::Eager, move |rt, &(): &()| {
+            below.call(rt, ()) + 1
+        });
+        m.call(&rt, ());
+        prev = m;
+    }
+    src.set(&rt, 5);
+    // One step at a time: must take several slices, then finish.
+    let mut slices = 0;
+    while !rt.propagate_steps(3) {
+        slices += 1;
+        assert!(slices < 100, "propagation must terminate");
+    }
+    assert!(slices >= 2, "a 20-deep chain needs multiple 3-step slices");
+    assert_eq!(rt.dirty_count(), 0);
+    let before = rt.stats();
+    assert_eq!(prev.call(&rt, ()), 24);
+    assert_eq!(rt.stats().delta_since(&before).executions, 0);
+}

@@ -1,0 +1,49 @@
+//! Dependency-graph substrate for the Alphonse incremental-computation
+//! runtime.
+//!
+//! This crate implements the low-level machinery described in Sections 4.1
+//! and 9.2 of *Alphonse: Incremental Computation as a Programming
+//! Abstraction* (Hoover, PLDI 1992):
+//!
+//! * [`DepGraph`] — an arena of dependency nodes connected by bidirectional
+//!   edges stored in intrusive doubly-linked lists, so that removing all
+//!   predecessor edges of a node (the `RemovePredEdges` step of the paper's
+//!   Algorithm 5) costs O(1) per edge, which Section 9.2 relies on for the
+//!   overall O(T) translation bound.
+//! * Longest-path **heights** maintained online per node, used to process the
+//!   inconsistent set in (approximate) topological order as suggested in
+//!   Section 4.5.
+//! * [`UnionFind`] — the disjoint-set structure used by the dynamic graph
+//!   partitioning optimization of Section 6.3.
+//! * [`HeightQueue`] — the *inconsistent set*: a priority queue of dirty
+//!   nodes ordered by height, with set semantics (re-inserting a queued node
+//!   is a no-op).
+//!
+//! The graph stores topology only. Cached values, consistency flags and
+//! evaluation strategies live in the `alphonse` runtime crate layered on
+//! top.
+//!
+//! # Example
+//!
+//! ```
+//! use alphonse_graph::DepGraph;
+//!
+//! let mut g = DepGraph::new();
+//! let a = g.add_node();
+//! let b = g.add_node();
+//! g.add_edge(a, b); // b depends on a
+//! assert_eq!(g.succs(b).count(), 0);
+//! assert_eq!(g.succs(a).collect::<Vec<_>>(), vec![b]);
+//! assert!(g.height(b) > g.height(a));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+mod queue;
+mod union_find;
+
+pub use graph::{DepGraph, NodeId, Preds, Succs};
+pub use queue::HeightQueue;
+pub use union_find::UnionFind;

@@ -1,0 +1,346 @@
+//! Static analysis limiting runtime checks (paper Section 6.1).
+//!
+//! "Each access, modify, and call operation … performs several checks to
+//! determine whether or not a variable or procedure is involved in an
+//! Alphonse computation. The uniform application of these tests would
+//! result in a substantial performance decrease. We use dataflow analysis
+//! to identify the many variables and procedures where the results of these
+//! tests are statically known."
+//!
+//! The analysis computes, conservatively:
+//!
+//! * the set of procedures reachable from incremental procedures (dynamic
+//!   method dispatch is approximated by "any method implementation");
+//! * the top-level variables such procedures may touch — only accesses to
+//!   those need instrumentation anywhere in the program;
+//! * the field names such procedures may touch — likewise;
+//! * the procedures/method slots whose calls can be incremental instances.
+
+use crate::hir::{HExpr, HStmt, ProcId, Program};
+use std::collections::HashSet;
+
+/// Result of the Section 6.1 instrumentation analysis.
+#[derive(Debug, Clone)]
+pub struct Instrumentation {
+    /// Procedures reachable from some incremental procedure (including the
+    /// incremental procedures themselves).
+    pub reachable: Vec<bool>,
+    /// Globals that some reachable procedure reads or writes; only these
+    /// need `access`/`modify` instrumentation.
+    pub tracked_globals: Vec<bool>,
+    /// Field names that some reachable procedure reads or writes.
+    pub tracked_fields: HashSet<String>,
+    /// Whether any reachable procedure touches array elements (arrays are
+    /// tracked as a class, like fields).
+    pub tracked_arrays: bool,
+}
+
+impl Instrumentation {
+    /// Is an access to global `idx` statically known to be irrelevant?
+    pub fn global_needs_check(&self, idx: usize) -> bool {
+        self.tracked_globals[idx]
+    }
+
+    /// Does an access to a field of this name need instrumentation?
+    pub fn field_needs_check(&self, name: &str) -> bool {
+        self.tracked_fields.contains(name)
+    }
+
+    /// Number of procedures reachable from the Maintained portion.
+    pub fn reachable_count(&self) -> usize {
+        self.reachable.iter().filter(|b| **b).count()
+    }
+}
+
+/// Runs the analysis over a resolved program.
+pub fn analyze(program: &Program) -> Instrumentation {
+    // Conservative call graph: direct calls use the edge; a method call may
+    // dispatch to any procedure installed as a method implementation.
+    let method_impls: HashSet<ProcId> = program
+        .types
+        .iter()
+        .flat_map(|t| t.methods.iter().map(|m| m.impl_proc))
+        .collect();
+
+    let mut reachable = vec![false; program.procs.len()];
+    let mut work: Vec<ProcId> = program
+        .procs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.incremental.is_some())
+        .map(|(i, _)| i)
+        .collect();
+    for &p in &work {
+        reachable[p] = true;
+    }
+    while let Some(p) = work.pop() {
+        let mut targets = Vec::new();
+        let mut uses_methods = false;
+        for_each_expr(&program.procs[p], &mut |e| match e {
+            HExpr::CallProc { proc, .. } => targets.push(*proc),
+            HExpr::CallMethod { .. } => uses_methods = true,
+            _ => {}
+        });
+        if uses_methods {
+            targets.extend(method_impls.iter().copied());
+        }
+        for t in targets {
+            if !reachable[t] {
+                reachable[t] = true;
+                work.push(t);
+            }
+        }
+    }
+
+    let mut tracked_globals = vec![false; program.globals.len()];
+    let mut tracked_field_offsets: HashSet<usize> = HashSet::new();
+    let mut tracked_arrays = false;
+    for (pid, info) in program.procs.iter().enumerate() {
+        if !reachable[pid] {
+            continue;
+        }
+        for_each_expr(info, &mut |e| match e {
+            HExpr::Global(i) => tracked_globals[*i] = true,
+            HExpr::Field { field, .. } => {
+                tracked_field_offsets.insert(*field);
+            }
+            HExpr::Index { .. } => tracked_arrays = true,
+            _ => {}
+        });
+        for_each_stmt(info, &mut |s| match s {
+            HStmt::AssignGlobal { index, .. } => tracked_globals[*index] = true,
+            HStmt::AssignField { field, .. } => {
+                tracked_field_offsets.insert(*field);
+            }
+            HStmt::AssignIndex { .. } => tracked_arrays = true,
+            _ => {}
+        });
+    }
+    // Offsets are only meaningful per type; conservatively mark every field
+    // NAME that occupies a tracked offset in any type.
+    let mut tracked_fields = HashSet::new();
+    for t in &program.types {
+        for (off, f) in t.fields.iter().enumerate() {
+            if tracked_field_offsets.contains(&off) {
+                tracked_fields.insert(f.name.clone());
+            }
+        }
+    }
+
+    Instrumentation {
+        reachable,
+        tracked_globals,
+        tracked_fields,
+        tracked_arrays,
+    }
+}
+
+fn for_each_expr(info: &crate::hir::ProcInfo, f: &mut impl FnMut(&HExpr)) {
+    fn walk_e(e: &HExpr, f: &mut impl FnMut(&HExpr)) {
+        f(e);
+        match e {
+            HExpr::Field { obj, .. } => walk_e(obj, f),
+            HExpr::CallProc { args, .. } | HExpr::CallBuiltin { args, .. } => {
+                for a in args {
+                    walk_e(a, f);
+                }
+            }
+            HExpr::CallMethod { obj, args, .. } => {
+                walk_e(obj, f);
+                for a in args {
+                    walk_e(a, f);
+                }
+            }
+            HExpr::Unary { expr, .. } | HExpr::Unchecked(expr) => walk_e(expr, f),
+            HExpr::NewArray { size, .. } => walk_e(size, f),
+            HExpr::Index { arr, index } => {
+                walk_e(arr, f);
+                walk_e(index, f);
+            }
+            HExpr::Binary { lhs, rhs, .. } => {
+                walk_e(lhs, f);
+                walk_e(rhs, f);
+            }
+            _ => {}
+        }
+    }
+    fn walk_s(s: &HStmt, f: &mut impl FnMut(&HExpr)) {
+        match s {
+            HStmt::AssignLocal { value, .. } | HStmt::AssignGlobal { value, .. } => {
+                walk_e(value, f)
+            }
+            HStmt::AssignField { obj, value, .. } => {
+                walk_e(obj, f);
+                walk_e(value, f);
+            }
+            HStmt::AssignIndex { arr, index, value } => {
+                walk_e(arr, f);
+                walk_e(index, f);
+                walk_e(value, f);
+            }
+            HStmt::If { arms, else_body } => {
+                for (c, b) in arms {
+                    walk_e(c, f);
+                    for s in b {
+                        walk_s(s, f);
+                    }
+                }
+                for s in else_body {
+                    walk_s(s, f);
+                }
+            }
+            HStmt::While { cond, body } => {
+                walk_e(cond, f);
+                for s in body {
+                    walk_s(s, f);
+                }
+            }
+            HStmt::For {
+                from, to, by, body, ..
+            } => {
+                walk_e(from, f);
+                walk_e(to, f);
+                if let Some(b) = by {
+                    walk_e(b, f);
+                }
+                for s in body {
+                    walk_s(s, f);
+                }
+            }
+            HStmt::Return(Some(e)) | HStmt::Expr(e) => walk_e(e, f),
+            HStmt::Return(None) => {}
+        }
+    }
+    for (_, _, init) in &info.local_inits {
+        if let Some(e) = init {
+            walk_e(e, f);
+        }
+    }
+    for s in &info.body {
+        walk_s(s, f);
+    }
+}
+
+fn for_each_stmt(info: &crate::hir::ProcInfo, f: &mut impl FnMut(&HStmt)) {
+    fn walk(s: &HStmt, f: &mut impl FnMut(&HStmt)) {
+        f(s);
+        match s {
+            HStmt::If { arms, else_body } => {
+                for (_, b) in arms {
+                    for s in b {
+                        walk(s, f);
+                    }
+                }
+                for s in else_body {
+                    walk(s, f);
+                }
+            }
+            HStmt::While { body, .. } | HStmt::For { body, .. } => {
+                for s in body {
+                    walk(s, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    for s in &info.body {
+        walk(s, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::resolve::resolve;
+
+    fn analyzed(src: &str) -> (Program, Instrumentation) {
+        let p = resolve(&parse(src).unwrap()).unwrap();
+        let a = analyze(&p);
+        (p, a)
+    }
+
+    #[test]
+    fn mutator_only_globals_are_untracked() {
+        let (p, a) = analyzed(
+            r#"
+            VAR used, unused : INTEGER;
+            (*CACHED*) PROCEDURE F(x : INTEGER) : INTEGER =
+            BEGIN RETURN used + x; END F;
+            PROCEDURE Mutator() =
+            BEGIN unused := unused + 1; END Mutator;
+            "#,
+        );
+        assert!(a.global_needs_check(p.global_by_name["used"]));
+        assert!(!a.global_needs_check(p.global_by_name["unused"]));
+        assert_eq!(a.reachable_count(), 1);
+    }
+
+    #[test]
+    fn helpers_called_from_incremental_procs_are_reachable() {
+        let (p, a) = analyzed(
+            r#"
+            VAR g : INTEGER;
+            PROCEDURE Helper() : INTEGER =
+            BEGIN RETURN g; END Helper;
+            (*CACHED*) PROCEDURE F(x : INTEGER) : INTEGER =
+            BEGIN RETURN Helper() + x; END F;
+            PROCEDURE Unrelated() : INTEGER =
+            BEGIN RETURN 0; END Unrelated;
+            "#,
+        );
+        assert!(a.reachable[p.proc_by_name["Helper"]]);
+        assert!(a.reachable[p.proc_by_name["F"]]);
+        assert!(!a.reachable[p.proc_by_name["Unrelated"]]);
+        assert!(a.global_needs_check(p.global_by_name["g"]), "via Helper");
+    }
+
+    #[test]
+    fn fields_touched_by_maintained_methods_are_tracked() {
+        let (_p, a) = analyzed(
+            r#"
+            TYPE T = OBJECT
+                seen, hidden : INTEGER;
+            METHODS
+                (*MAINTAINED*) m() : INTEGER := M;
+            END;
+            PROCEDURE M(t : T) : INTEGER =
+            BEGIN RETURN t.seen; END M;
+            "#,
+        );
+        assert!(a.field_needs_check("seen"));
+        assert!(!a.field_needs_check("hidden"));
+    }
+
+    #[test]
+    fn no_incremental_procs_means_nothing_tracked() {
+        let (_p, a) = analyzed(
+            r#"
+            VAR g : INTEGER;
+            PROCEDURE F() : INTEGER = BEGIN RETURN g; END F;
+            "#,
+        );
+        assert_eq!(a.reachable_count(), 0);
+        assert!(!a.global_needs_check(0));
+    }
+
+    #[test]
+    fn method_dispatch_is_conservative() {
+        // A non-incremental method impl is still reachable because the
+        // cached procedure performs *some* method call.
+        let (p, a) = analyzed(
+            r#"
+            TYPE T = OBJECT
+                x : INTEGER;
+            METHODS
+                plain() : INTEGER := Plain;
+            END;
+            PROCEDURE Plain(t : T) : INTEGER = BEGIN RETURN t.x; END Plain;
+            (*CACHED*) PROCEDURE F(t : T) : INTEGER =
+            BEGIN RETURN t.plain(); END F;
+            "#,
+        );
+        assert!(a.reachable[p.proc_by_name["Plain"]]);
+        assert!(a.field_needs_check("x"));
+    }
+}

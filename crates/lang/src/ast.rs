@@ -1,0 +1,369 @@
+//! Surface abstract syntax of Alphonse-L.
+//!
+//! This is the tree the parser produces and the unparser prints. It is
+//! name-based; the resolver lowers it to the executable HIR (see
+//! [`crate::hir`]). The Alphonse program transformation (Section 5 of the
+//! paper) is expressed as a rewrite over this surface syntax so the
+//! transformed program can be unparsed and inspected, exactly like the
+//! paper's Algorithm 2 example.
+
+use crate::token::Pragma;
+
+/// A whole Alphonse-L compilation unit: a sequence of declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Top-level declarations in source order.
+    pub decls: Vec<Decl>,
+}
+
+/// A top-level declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// `TYPE Name = [Super] OBJECT … END;`
+    Type(TypeDecl),
+    /// `PROCEDURE Name(…) [: T] = [VAR …] BEGIN … END Name;`
+    Proc(ProcDecl),
+    /// `VAR a, b : T [:= e];` at top level.
+    Global(GlobalDecl),
+}
+
+/// An object type declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDecl {
+    /// Declared type name.
+    pub name: String,
+    /// Supertype name, if any (single inheritance).
+    pub parent: Option<String>,
+    /// New fields introduced by this type.
+    pub fields: Vec<FieldDecl>,
+    /// New methods introduced by this type.
+    pub methods: Vec<MethodDecl>,
+    /// Overrides of inherited methods.
+    pub overrides: Vec<OverrideDecl>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// One field group: `a, b : T;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Field names declared by this group.
+    pub names: Vec<String>,
+    /// Their common type.
+    pub ty: TypeExpr,
+}
+
+/// A method declaration: `[pragma] m(params) [: T] := ImplProc;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    /// `(*MAINTAINED*)` pragma, if present.
+    pub pragma: Option<Pragma>,
+    /// Method name.
+    pub name: String,
+    /// Parameters (the receiver is implicit).
+    pub params: Vec<Param>,
+    /// Return type, if the method is a function.
+    pub ret: Option<TypeExpr>,
+    /// Name of the top-level procedure implementing the method.
+    pub impl_proc: String,
+    /// Source line.
+    pub line: u32,
+}
+
+/// An override: `[pragma] m := ImplProc;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverrideDecl {
+    /// `(*MAINTAINED*)` pragma, if present.
+    pub pragma: Option<Pragma>,
+    /// Name of the inherited method being overridden.
+    pub name: String,
+    /// Name of the replacement implementation procedure.
+    pub impl_proc: String,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A procedure declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcDecl {
+    /// `(*CACHED*)` pragma, if present.
+    pub pragma: Option<Pragma>,
+    /// Procedure name.
+    pub name: String,
+    /// Value parameters.
+    pub params: Vec<Param>,
+    /// Return type for function procedures.
+    pub ret: Option<TypeExpr>,
+    /// Local variable declarations (`VAR …` before `BEGIN`).
+    pub locals: Vec<LocalDecl>,
+    /// Statement list of the body.
+    pub body: Vec<Stmt>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: TypeExpr,
+}
+
+/// A local variable group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDecl {
+    /// Names declared by this group.
+    pub names: Vec<String>,
+    /// Their common type.
+    pub ty: TypeExpr,
+    /// Optional initializer (applied to every name in the group).
+    pub init: Option<Expr>,
+}
+
+/// A top-level variable group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Names declared by this group.
+    pub names: Vec<String>,
+    /// Their common type.
+    pub ty: TypeExpr,
+    /// Optional initializer (a constant expression).
+    pub init: Option<Expr>,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A type expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `INTEGER`
+    Integer,
+    /// `BOOLEAN`
+    Boolean,
+    /// `TEXT`
+    Text,
+    /// A declared object type.
+    Named(String),
+    /// `ARRAY OF T` — a heap-allocated array reference (the paper's
+    /// spreadsheet, Algorithm 10, keeps its `Cell` objects in one).
+    Array(Box<TypeExpr>),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `target := expr;` — target must be a variable or field designator.
+    Assign {
+        /// Assignment target ([`Expr::Var`] or [`Expr::Field`]).
+        target: Expr,
+        /// Value.
+        value: Expr,
+        /// Source line.
+        line: u32,
+    },
+    /// `IF … THEN … {ELSIF … THEN …} [ELSE …] END;`
+    If {
+        /// `(condition, body)` arms: the `IF` arm followed by `ELSIF` arms.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// `ELSE` body (possibly empty).
+        else_body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `WHILE cond DO … END;`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `FOR i := a TO b [BY s] DO … END;`
+    For {
+        /// Loop variable (declared by the loop, scoped to its body).
+        var: String,
+        /// Start value.
+        from: Expr,
+        /// Inclusive end value.
+        to: Expr,
+        /// Step (default 1).
+        by: Option<Expr>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: u32,
+    },
+    /// `RETURN [expr];`
+    Return {
+        /// Returned value for function procedures.
+        value: Option<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// An expression evaluated for its effects (must be a call).
+    Expr {
+        /// The call expression.
+        expr: Expr,
+        /// Source line.
+        line: u32,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `DIV`
+    Div,
+    /// `MOD`
+    Mod,
+    /// `&` (text concatenation)
+    Concat,
+    /// `=`
+    Eq,
+    /// `#`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND` (short-circuit)
+    And,
+    /// `OR` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// What a call invokes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Callee {
+    /// A top-level procedure (or builtin) by name: `f(args)`.
+    Proc(String),
+    /// A method on an object: `obj.m(args)`. The receiver may be any
+    /// expression — the paper chains calls like `RotateRight(t).balance()`.
+    Method {
+        /// Receiver expression.
+        obj: Box<Expr>,
+        /// Method name.
+        name: String,
+    },
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Text literal.
+    Text(String),
+    /// `TRUE` / `FALSE`.
+    Bool(bool),
+    /// `NIL`.
+    Nil,
+    /// A variable read (local, parameter, or global).
+    Var {
+        /// Variable name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// A field read `obj.f`.
+    Field {
+        /// Object expression.
+        obj: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// A procedure or method call.
+    Call {
+        /// What is being invoked.
+        callee: Callee,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `NEW(TypeName)`.
+    New {
+        /// The object type to allocate.
+        type_name: String,
+        /// Source line.
+        line: u32,
+    },
+    /// `NEW(ARRAY OF T, size)` — allocates a default-initialized array.
+    NewArray {
+        /// Element type.
+        elem: TypeExpr,
+        /// Number of elements.
+        size: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// An array element read `a[i]`.
+    Index {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Element index.
+        index: Box<Expr>,
+        /// Source line.
+        line: u32,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `(*UNCHECKED*) expr` — dependence recording suppressed
+    /// (Section 6.4).
+    Unchecked(Box<Expr>),
+}
+
+impl Expr {
+    /// Source line of the expression, where known.
+    pub fn line(&self) -> Option<u32> {
+        match self {
+            Expr::Var { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::New { line, .. }
+            | Expr::NewArray { line, .. }
+            | Expr::Index { line, .. } => Some(*line),
+            Expr::Unary { expr, .. } | Expr::Unchecked(expr) => expr.line(),
+            Expr::Binary { lhs, .. } => lhs.line(),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Errors produced by the Alphonse-L pipeline.
+
+use std::fmt;
+
+/// Any error from lexing, parsing, resolution, type checking or execution
+/// of an Alphonse-L program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexical error (bad character, unterminated comment/string, …).
+    Lex {
+        /// 1-based source line.
+        line: u32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Syntax error.
+    Parse {
+        /// 1-based source line.
+        line: u32,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Name-resolution or declaration error.
+    Resolve {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Static type error.
+    Type {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Runtime error during interpretation (NIL dereference, fuel
+    /// exhaustion, missing RETURN, …).
+    Runtime {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl LangError {
+    pub(crate) fn lex(line: u32, message: impl Into<String>) -> Self {
+        LangError::Lex {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse(line: u32, message: impl Into<String>) -> Self {
+        LangError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn resolve(message: impl Into<String>) -> Self {
+        LangError::Resolve {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn ty(message: impl Into<String>) -> Self {
+        LangError::Type {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn runtime(message: impl Into<String>) -> Self {
+        LangError::Runtime {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { line, message } => write!(f, "lex error (line {line}): {message}"),
+            LangError::Parse { line, message } => {
+                write!(f, "parse error (line {line}): {message}")
+            }
+            LangError::Resolve { message } => write!(f, "resolve error: {message}"),
+            LangError::Type { message } => write!(f, "type error: {message}"),
+            LangError::Runtime { message } => write!(f, "runtime error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Convenient result alias for the pipeline.
+pub type Result<T> = std::result::Result<T, LangError>;

@@ -1,0 +1,213 @@
+//! Object heap with lazily tracked storage.
+//!
+//! Every field of every object is an *abstract location* (paper
+//! Section 4.3). Following Algorithm 3, a location only gets a dependency
+//! graph node (`nodeptr`) the first time it is read **while an Alphonse
+//! procedure is executing**; until then it is plain storage with zero
+//! tracking overhead — this is what makes embedded use cheap (Section 6.1).
+//! Writes never create nodes (Algorithm 4 checks `nodeptr(l) # NIL`).
+
+use crate::hir::{Ty, TypeId};
+use crate::value::{ArrId, ObjId, Val};
+use alphonse::{Runtime, Var};
+
+/// One storage location: plain until promoted to a tracked variable.
+#[derive(Debug, Clone)]
+pub(crate) enum Slot {
+    /// Untracked storage (no dependency-graph node yet).
+    Plain(Val),
+    /// Tracked storage; the value lives in the Alphonse runtime.
+    Tracked(Var<Val>),
+}
+
+impl Slot {
+    pub(crate) fn new(v: Val) -> Slot {
+        Slot::Plain(v)
+    }
+
+    /// Reads the slot. In Alphonse mode (`rt` present), a read inside an
+    /// incremental procedure promotes the slot and records the dependence.
+    pub(crate) fn read(&mut self, rt: Option<&Runtime>) -> Val {
+        match self {
+            Slot::Tracked(var) => {
+                var.get(rt.expect("tracked slot implies Alphonse mode"))
+            }
+            Slot::Plain(v) => {
+                if let Some(rt) = rt {
+                    if rt.in_tracked_context() {
+                        let var = rt.var(v.clone());
+                        let out = var.get(rt);
+                        *self = Slot::Tracked(var);
+                        return out;
+                    }
+                }
+                v.clone()
+            }
+        }
+    }
+
+    /// Writes the slot (the `modify` operation when tracked).
+    pub(crate) fn write(&mut self, rt: Option<&Runtime>, v: Val) {
+        match self {
+            Slot::Tracked(var) => var.set(rt.expect("tracked slot implies Alphonse mode"), v),
+            Slot::Plain(old) => *old = v,
+        }
+    }
+
+    /// Returns `true` once the slot has a dependency-graph node.
+    pub(crate) fn is_tracked(&self) -> bool {
+        matches!(self, Slot::Tracked(_))
+    }
+}
+
+/// Default value of a field of the given type.
+pub(crate) fn default_val(ty: Ty) -> Val {
+    match ty {
+        Ty::Integer => Val::Int(0),
+        Ty::Boolean => Val::Bool(false),
+        Ty::Text => Val::text(""),
+        Ty::Object(_) | Ty::Array(_) => Val::Nil,
+    }
+}
+
+#[derive(Debug)]
+struct ObjData {
+    ty: TypeId,
+    fields: Vec<Slot>,
+}
+
+/// The interpreter's object heap.
+#[derive(Debug, Default)]
+pub(crate) struct Heap {
+    objects: Vec<ObjData>,
+    arrays: Vec<Vec<Slot>>,
+}
+
+impl Heap {
+    pub(crate) fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates an object of `ty` with default-initialized fields.
+    pub(crate) fn alloc(&mut self, ty: TypeId, field_types: &[Ty]) -> ObjId {
+        let id = u32::try_from(self.objects.len()).expect("too many objects");
+        self.objects.push(ObjData {
+            ty,
+            fields: field_types.iter().map(|&t| Slot::new(default_val(t))).collect(),
+        });
+        ObjId(id)
+    }
+
+    /// Dynamic type of an object.
+    pub(crate) fn type_of(&self, o: ObjId) -> TypeId {
+        self.objects[o.0 as usize].ty
+    }
+
+    /// Number of objects allocated.
+    pub(crate) fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of field slots that have been promoted to tracked storage.
+    pub(crate) fn tracked_slots(&self) -> usize {
+        self.objects
+            .iter()
+            .flat_map(|o| &o.fields)
+            .filter(|s| s.is_tracked())
+            .count()
+    }
+
+    pub(crate) fn read_field(&mut self, rt: Option<&Runtime>, o: ObjId, field: usize) -> Val {
+        self.objects[o.0 as usize].fields[field].read(rt)
+    }
+
+    pub(crate) fn write_field(&mut self, rt: Option<&Runtime>, o: ObjId, field: usize, v: Val) {
+        self.objects[o.0 as usize].fields[field].write(rt, v);
+    }
+
+    /// Allocates an array of `len` default-initialized elements of `elem`.
+    pub(crate) fn alloc_array(&mut self, elem: Ty, len: usize) -> ArrId {
+        let id = u32::try_from(self.arrays.len()).expect("too many arrays");
+        self.arrays.push((0..len).map(|_| Slot::new(default_val(elem))).collect());
+        ArrId(id)
+    }
+
+    /// Length of an array.
+    pub(crate) fn array_len(&self, a: ArrId) -> usize {
+        self.arrays[a.0 as usize].len()
+    }
+
+    /// Bounds-checked element read. Returns `None` when out of bounds.
+    pub(crate) fn read_element(
+        &mut self,
+        rt: Option<&Runtime>,
+        a: ArrId,
+        i: i64,
+    ) -> Option<Val> {
+        let slots = &mut self.arrays[a.0 as usize];
+        let idx = usize::try_from(i).ok().filter(|&i| i < slots.len())?;
+        Some(slots[idx].read(rt))
+    }
+
+    /// Bounds-checked element write. Returns `false` when out of bounds.
+    pub(crate) fn write_element(
+        &mut self,
+        rt: Option<&Runtime>,
+        a: ArrId,
+        i: i64,
+        v: Val,
+    ) -> bool {
+        let slots = &mut self.arrays[a.0 as usize];
+        match usize::try_from(i).ok().filter(|&i| i < slots.len()) {
+            Some(idx) => {
+                slots[idx].write(rt, v);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_slots_read_their_writes() {
+        let mut heap = Heap::new();
+        let o = heap.alloc(0, &[Ty::Integer, Ty::Text]);
+        assert_eq!(heap.read_field(None, o, 0), Val::Int(0));
+        assert_eq!(heap.read_field(None, o, 1), Val::text(""));
+        heap.write_field(None, o, 0, Val::Int(7));
+        assert_eq!(heap.read_field(None, o, 0), Val::Int(7));
+        assert_eq!(heap.tracked_slots(), 0);
+    }
+
+    #[test]
+    fn reads_outside_procedures_do_not_promote() {
+        let rt = Runtime::new();
+        let mut heap = Heap::new();
+        let o = heap.alloc(0, &[Ty::Integer]);
+        let _ = heap.read_field(Some(&rt), o, 0);
+        assert_eq!(heap.tracked_slots(), 0, "no promotion outside call stack");
+        assert_eq!(rt.node_count(), 0);
+    }
+
+    #[test]
+    fn default_values_match_types() {
+        assert_eq!(default_val(Ty::Integer), Val::Int(0));
+        assert_eq!(default_val(Ty::Boolean), Val::Bool(false));
+        assert_eq!(default_val(Ty::Text), Val::text(""));
+        assert_eq!(default_val(Ty::Object(3)), Val::Nil);
+    }
+
+    #[test]
+    fn type_of_is_recorded() {
+        let mut heap = Heap::new();
+        let a = heap.alloc(2, &[]);
+        let b = heap.alloc(5, &[]);
+        assert_eq!(heap.type_of(a), 2);
+        assert_eq!(heap.type_of(b), 5);
+        assert_eq!(heap.len(), 2);
+    }
+}

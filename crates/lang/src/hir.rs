@@ -1,0 +1,337 @@
+//! Resolved, executable representation of an Alphonse-L program.
+//!
+//! The resolver lowers the surface AST into this form: names become dense
+//! indices (type ids, procedure ids, global indices, local slots, field
+//! offsets, method slots), inheritance is flattened, and pragmas are
+//! attached to the procedures they make incremental.
+
+use crate::ast::{BinOp, UnOp};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Index of a declared object type.
+pub type TypeId = usize;
+/// Index of a top-level procedure.
+pub type ProcId = usize;
+/// Index of an interned array type (see [`Program::array_elems`]).
+pub type ArrayTyId = usize;
+
+/// A resolved type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// `INTEGER`
+    Integer,
+    /// `BOOLEAN`
+    Boolean,
+    /// `TEXT`
+    Text,
+    /// A declared object type.
+    Object(TypeId),
+    /// `ARRAY OF T`, interned structurally.
+    Array(ArrayTyId),
+}
+
+/// Evaluation strategy resolved from a pragma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Lazy update on call.
+    #[default]
+    Demand,
+    /// Update during change propagation.
+    Eager,
+}
+
+/// How a procedure participates in incremental computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncrKind {
+    /// Marked `(*CACHED*)` directly.
+    Cached,
+    /// Implements a `(*MAINTAINED*)` method.
+    Maintained,
+}
+
+/// A field of an object type (inherited fields flattened in).
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Ty,
+}
+
+/// One method slot of an object type, with the implementation this type
+/// dispatches to.
+#[derive(Debug, Clone)]
+pub struct MethodImpl {
+    /// Method name.
+    pub name: String,
+    /// Parameter types (receiver excluded).
+    pub params: Vec<Ty>,
+    /// Return type, if any.
+    pub ret: Option<Ty>,
+    /// Whether the method is `(*MAINTAINED*)` (consistent across the
+    /// hierarchy; checked by the resolver).
+    pub maintained: bool,
+    /// The implementing procedure for this type.
+    pub impl_proc: ProcId,
+}
+
+/// A resolved object type.
+#[derive(Debug, Clone)]
+pub struct TypeInfo {
+    /// Declared name.
+    pub name: String,
+    /// Supertype, if any.
+    pub parent: Option<TypeId>,
+    /// This type followed by all its ancestors, nearest first.
+    pub ancestry: Vec<TypeId>,
+    /// All fields, inherited first, in slot order.
+    pub fields: Vec<FieldInfo>,
+    /// All method slots, inherited first; overrides replace `impl_proc`.
+    pub methods: Vec<MethodImpl>,
+}
+
+/// A resolved top-level variable.
+#[derive(Debug, Clone)]
+pub struct GlobalInfo {
+    /// Declared name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Ty,
+    /// Optional initializer, run at program start.
+    pub init: Option<HExpr>,
+}
+
+/// A resolved procedure.
+#[derive(Debug, Clone)]
+pub struct ProcInfo {
+    /// Declared name.
+    pub name: String,
+    /// `Some` if calls to this procedure are incremental instances
+    /// (paper Section 3.3), with the evaluation strategy.
+    pub incremental: Option<(IncrKind, Strategy)>,
+    /// LRU cache capacity from a `(*CACHED LRU n*)` pragma.
+    pub cache_capacity: Option<usize>,
+    /// Parameter names and types. Parameters occupy frame slots `0..n`.
+    pub params: Vec<(String, Ty)>,
+    /// Return type for function procedures.
+    pub ret: Option<Ty>,
+    /// Total frame slots (params + locals + FOR variables).
+    pub frame_size: usize,
+    /// Local initializers: (slot, type, optional expression).
+    pub local_inits: Vec<(usize, Ty, Option<HExpr>)>,
+    /// Body statements.
+    pub body: Vec<HStmt>,
+}
+
+/// Built-in procedures of the base language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Builtin {
+    /// `MAX(a, b)` on integers (used by the paper's Height).
+    Max,
+    /// `MIN(a, b)` on integers.
+    Min,
+    /// `ABS(a)` on integers.
+    Abs,
+    /// `Print(x)` — appends to the program's output stream. Models the
+    /// paper's "concatenation to a top-level stream variable".
+    Print,
+    /// `LEN(a)` — number of elements of an array.
+    Len,
+}
+
+/// A resolved expression.
+#[derive(Debug, Clone)]
+pub enum HExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Text literal.
+    Text(Rc<str>),
+    /// Boolean literal.
+    Bool(bool),
+    /// `NIL`.
+    Nil,
+    /// Read of a frame slot (parameter, local, FOR variable).
+    Local(usize),
+    /// Read of a top-level variable.
+    Global(usize),
+    /// Read of `obj.field` (by flattened field offset).
+    Field {
+        /// Receiver.
+        obj: Box<HExpr>,
+        /// Field offset.
+        field: usize,
+    },
+    /// Call of a top-level procedure.
+    CallProc {
+        /// Callee.
+        proc: ProcId,
+        /// Arguments.
+        args: Vec<HExpr>,
+    },
+    /// Dynamically dispatched method call.
+    CallMethod {
+        /// Receiver.
+        obj: Box<HExpr>,
+        /// Method slot (valid for the receiver's static type and all
+        /// subtypes).
+        slot: usize,
+        /// Arguments (receiver excluded).
+        args: Vec<HExpr>,
+    },
+    /// Call of a built-in.
+    CallBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Arguments.
+        args: Vec<HExpr>,
+    },
+    /// `NEW(T)`.
+    New(TypeId),
+    /// `NEW(ARRAY OF T, size)`.
+    NewArray {
+        /// Element type.
+        elem: Ty,
+        /// Element count.
+        size: Box<HExpr>,
+    },
+    /// Array element read `a[i]`.
+    Index {
+        /// Array expression.
+        arr: Box<HExpr>,
+        /// Index expression.
+        index: Box<HExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<HExpr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<HExpr>,
+        /// Right operand.
+        rhs: Box<HExpr>,
+    },
+    /// Expression whose dependence recording is suppressed (Section 6.4).
+    Unchecked(Box<HExpr>),
+}
+
+/// A resolved statement.
+#[derive(Debug, Clone)]
+pub enum HStmt {
+    /// Assignment to a frame slot.
+    AssignLocal {
+        /// Target slot.
+        slot: usize,
+        /// Value.
+        value: HExpr,
+    },
+    /// Assignment to a top-level variable.
+    AssignGlobal {
+        /// Target global index.
+        index: usize,
+        /// Value.
+        value: HExpr,
+    },
+    /// Assignment to an array element.
+    AssignIndex {
+        /// Array expression.
+        arr: HExpr,
+        /// Index expression.
+        index: HExpr,
+        /// Value.
+        value: HExpr,
+    },
+    /// Assignment to an object field.
+    AssignField {
+        /// Receiver.
+        obj: HExpr,
+        /// Field offset.
+        field: usize,
+        /// Value.
+        value: HExpr,
+    },
+    /// Conditional.
+    If {
+        /// `(condition, body)` arms.
+        arms: Vec<(HExpr, Vec<HStmt>)>,
+        /// `ELSE` body.
+        else_body: Vec<HStmt>,
+    },
+    /// `WHILE` loop.
+    While {
+        /// Condition.
+        cond: HExpr,
+        /// Body.
+        body: Vec<HStmt>,
+    },
+    /// `FOR` loop.
+    For {
+        /// Frame slot of the loop variable.
+        slot: usize,
+        /// Start value.
+        from: HExpr,
+        /// Inclusive end.
+        to: HExpr,
+        /// Step (default 1).
+        by: Option<HExpr>,
+        /// Body.
+        body: Vec<HStmt>,
+    },
+    /// `RETURN`.
+    Return(Option<HExpr>),
+    /// Call evaluated for effect.
+    Expr(HExpr),
+}
+
+/// A fully resolved Alphonse-L program.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// Object types, in declaration order.
+    pub types: Vec<TypeInfo>,
+    /// Procedures, in declaration order.
+    pub procs: Vec<ProcInfo>,
+    /// Top-level variables, in declaration order.
+    pub globals: Vec<GlobalInfo>,
+    /// Name lookup for types.
+    pub type_by_name: HashMap<String, TypeId>,
+    /// Name lookup for procedures.
+    pub proc_by_name: HashMap<String, ProcId>,
+    /// Name lookup for globals.
+    pub global_by_name: HashMap<String, usize>,
+    /// Element types of interned array types, indexed by [`ArrayTyId`].
+    pub array_elems: Vec<Ty>,
+}
+
+impl Program {
+    /// Element type of the interned array type `a`.
+    pub fn array_elem(&self, a: ArrayTyId) -> Ty {
+        self.array_elems[a]
+    }
+
+    /// Returns `true` if `sub` is `sup` or a descendant of it.
+    pub fn is_subtype(&self, sub: TypeId, sup: TypeId) -> bool {
+        self.types[sub].ancestry.contains(&sup)
+    }
+
+    /// Looks up a method slot by name on `ty` (inherited slots included).
+    pub fn method_slot(&self, ty: TypeId, name: &str) -> Option<usize> {
+        self.types[ty].methods.iter().position(|m| m.name == name)
+    }
+
+    /// Looks up a field offset by name on `ty` (inherited fields included).
+    pub fn field_offset(&self, ty: TypeId, name: &str) -> Option<usize> {
+        self.types[ty].fields.iter().position(|f| f.name == name)
+    }
+
+    /// Number of incremental procedures (cached or maintained).
+    pub fn incremental_proc_count(&self) -> usize {
+        self.procs.iter().filter(|p| p.incremental.is_some()).count()
+    }
+}

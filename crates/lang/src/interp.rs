@@ -1,0 +1,750 @@
+//! The Alphonse-L interpreter.
+//!
+//! One program, two execution models (paper Theorem 5.1 promises they agree):
+//!
+//! * [`Mode::Conventional`] — pragmas are ignored; every call runs its body.
+//!   This is the paper's "conventional execution", the baseline for
+//!   experiment E2.
+//! * [`Mode::Alphonse`] — the instrumented semantics of Section 5: reads and
+//!   writes of heap fields and top-level variables go through `access` /
+//!   `modify` (with lazy `nodeptr` creation), and calls to incremental
+//!   procedures go through `call` (Algorithm 5) via the `alphonse` runtime.
+//!
+//! The host program plays the *mutator*: it calls procedures, reads and
+//! writes globals and fields through the [`Interp`] API, and the Maintained
+//! portion reacts incrementally.
+
+use crate::error::{LangError, Result};
+use crate::heap::{default_val, Heap, Slot};
+use crate::hir::*;
+use crate::value::{ObjId, Val};
+use alphonse::{Memo, Runtime, Strategy as RtStrategy};
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::rc::{Rc, Weak};
+
+/// Execution model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Ignore pragmas; exhaustive re-execution (the paper's conventional
+    /// execution of an Alphonse-L program).
+    Conventional,
+    /// Incremental execution through the Alphonse runtime.
+    Alphonse,
+}
+
+/// Default execution fuel (statements + expressions + calls).
+const DEFAULT_FUEL: u64 = 500_000_000;
+
+enum Flow {
+    Normal,
+    Return(Val),
+}
+
+/// Per-procedure argument table (paper Section 4.2), created lazily.
+type ProcMemo = Memo<Vec<Val>, Val>;
+
+struct Shared {
+    program: Rc<Program>,
+    mode: Mode,
+    rt: Option<Runtime>,
+    heap: RefCell<Heap>,
+    globals: RefCell<Vec<Slot>>,
+    memos: RefCell<Vec<Option<ProcMemo>>>,
+    output: RefCell<String>,
+    pending_error: RefCell<Option<LangError>>,
+    /// Instances whose cached value was committed while an error was
+    /// pending — their sentinel `Nil` results must not be reused.
+    poisoned: RefCell<Vec<(ProcId, Vec<Val>)>>,
+    steps: Cell<u64>,
+    fuel: Cell<u64>,
+}
+
+/// An executable Alphonse-L program instance.
+///
+/// # Example
+///
+/// ```
+/// use alphonse_lang::{compile, Interp, Mode, Val};
+///
+/// let program = compile(
+///     "(*CACHED*) PROCEDURE Double(n : INTEGER) : INTEGER =
+///      BEGIN RETURN n + n; END Double;",
+/// ).unwrap();
+/// let interp = Interp::new(program, Mode::Alphonse).unwrap();
+/// assert_eq!(interp.call("Double", vec![Val::Int(21)]).unwrap(), Val::Int(42));
+/// ```
+pub struct Interp {
+    shared: Rc<Shared>,
+}
+
+impl fmt::Debug for Interp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interp")
+            .field("mode", &self.shared.mode)
+            .field("objects", &self.shared.heap.borrow().len())
+            .finish()
+    }
+}
+
+impl Interp {
+    /// Creates an interpreter for `program`, running top-level variable
+    /// initializers. In [`Mode::Alphonse`] a default [`Runtime`] is built.
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime error if a global initializer fails.
+    pub fn new(program: Rc<Program>, mode: Mode) -> Result<Interp> {
+        let rt = match mode {
+            Mode::Conventional => None,
+            Mode::Alphonse => Some(Runtime::new()),
+        };
+        Self::build(program, mode, rt)
+    }
+
+    /// Creates an Alphonse-mode interpreter over a caller-configured
+    /// runtime (partitioning, scheduling, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns a runtime error if a global initializer fails.
+    pub fn with_runtime(program: Rc<Program>, rt: Runtime) -> Result<Interp> {
+        Self::build(program, Mode::Alphonse, Some(rt))
+    }
+
+    fn build(program: Rc<Program>, mode: Mode, rt: Option<Runtime>) -> Result<Interp> {
+        let n_procs = program.procs.len();
+        let globals = program
+            .globals
+            .iter()
+            .map(|g| Slot::new(default_val(g.ty)))
+            .collect();
+        let shared = Rc::new(Shared {
+            program,
+            mode,
+            rt,
+            heap: RefCell::new(Heap::new()),
+            globals: RefCell::new(globals),
+            memos: RefCell::new(vec![None; n_procs]),
+            output: RefCell::new(String::new()),
+            pending_error: RefCell::new(None),
+            poisoned: RefCell::new(Vec::new()),
+            steps: Cell::new(0),
+            fuel: Cell::new(DEFAULT_FUEL),
+        });
+        // Run global initializers in declaration order (mutator context).
+        let inits: Vec<(usize, HExpr)> = shared
+            .program
+            .globals
+            .iter()
+            .enumerate()
+            .filter_map(|(i, g)| g.init.clone().map(|e| (i, e)))
+            .collect();
+        for (i, init) in inits {
+            let mut frame = Vec::new();
+            let v = shared.eval_expr(&init, &mut frame)?;
+            shared.globals.borrow_mut()[i].write(shared.rt.as_ref(), v);
+        }
+        Ok(Interp { shared })
+    }
+
+    /// The execution model in use.
+    pub fn mode(&self) -> Mode {
+        self.shared.mode
+    }
+
+    /// The resolved program being executed.
+    pub fn program(&self) -> &Rc<Program> {
+        &self.shared.program
+    }
+
+    /// The Alphonse runtime ([`None`] in conventional mode).
+    pub fn runtime(&self) -> Option<&Runtime> {
+        self.shared.rt.as_ref()
+    }
+
+    /// Statements/expressions/calls executed so far — the
+    /// machine-independent `T` of the paper's Section 9.2.
+    pub fn steps(&self) -> u64 {
+        self.shared.steps.get()
+    }
+
+    /// Sets the remaining execution fuel (guards against runaway programs).
+    pub fn set_fuel(&self, fuel: u64) {
+        self.shared.fuel.set(fuel);
+    }
+
+    /// Everything `Print` produced so far.
+    pub fn output(&self) -> String {
+        self.shared.output.borrow().clone()
+    }
+
+    /// Returns and clears the accumulated output.
+    pub fn take_output(&self) -> String {
+        std::mem::take(&mut self.shared.output.borrow_mut())
+    }
+
+    /// Number of heap objects allocated.
+    pub fn heap_objects(&self) -> usize {
+        self.shared.heap.borrow().len()
+    }
+
+    /// Number of storage locations promoted to tracked status (Alphonse
+    /// mode only; 0 otherwise).
+    pub fn tracked_slots(&self) -> usize {
+        self.shared.heap.borrow().tracked_slots()
+    }
+
+    /// Runs pending change propagation (no-op in conventional mode).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces any runtime error raised by an eager procedure during
+    /// propagation; the failing instances are un-cached so they re-execute
+    /// on the next demand.
+    pub fn propagate(&self) -> Result<()> {
+        if let Some(rt) = &self.shared.rt {
+            rt.propagate();
+        }
+        self.boundary(Ok(()))
+    }
+
+    fn boundary<T>(&self, r: Result<T>) -> Result<T> {
+        // Surface an error trapped inside a memoized execution, and forget
+        // every sentinel value it left behind.
+        let pending = self.shared.pending_error.borrow_mut().take();
+        self.shared.drain_poisoned();
+        if let Some(e) = pending {
+            return Err(e);
+        }
+        r
+    }
+
+    /// Calls a top-level procedure by name (mutator → Maintained portion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Resolve`] for unknown names and
+    /// [`LangError::Runtime`] for execution failures.
+    pub fn call(&self, name: &str, args: Vec<Val>) -> Result<Val> {
+        let pid = *self
+            .shared
+            .program
+            .proc_by_name
+            .get(name)
+            .ok_or_else(|| LangError::resolve(format!("unknown procedure {name}")))?;
+        let r = self.shared.call_proc(pid, args);
+        self.boundary(r)
+    }
+
+    /// Calls a method on an object by name, with dynamic dispatch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `recv` is not an object, the method is unknown,
+    /// or execution fails.
+    pub fn call_method(&self, recv: Val, method: &str, mut args: Vec<Val>) -> Result<Val> {
+        let Val::Obj(o) = recv else {
+            return Err(LangError::runtime(format!(
+                "method call .{method}() on non-object {recv}"
+            )));
+        };
+        let ty = self.shared.heap.borrow().type_of(o);
+        let slot = self
+            .shared
+            .program
+            .method_slot(ty, method)
+            .ok_or_else(|| {
+                LangError::resolve(format!(
+                    "type {} has no method {method}",
+                    self.shared.program.types[ty].name
+                ))
+            })?;
+        let pid = self.shared.program.types[ty].methods[slot].impl_proc;
+        args.insert(0, Val::Obj(o));
+        let r = self.shared.call_proc(pid, args);
+        self.boundary(r)
+    }
+
+    /// Reads a top-level variable (mutator read: never records dependence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Resolve`] for unknown names.
+    pub fn global(&self, name: &str) -> Result<Val> {
+        let idx = self.global_index(name)?;
+        Ok(self.shared.globals.borrow_mut()[idx].read(self.shared.rt.as_ref()))
+    }
+
+    /// Writes a top-level variable (a mutator state change; seeds change
+    /// propagation in Alphonse mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Resolve`] for unknown names.
+    pub fn set_global(&self, name: &str, v: Val) -> Result<()> {
+        let idx = self.global_index(name)?;
+        self.shared.globals.borrow_mut()[idx].write(self.shared.rt.as_ref(), v);
+        Ok(())
+    }
+
+    fn global_index(&self, name: &str) -> Result<usize> {
+        self.shared
+            .program
+            .global_by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::resolve(format!("unknown global {name}")))
+    }
+
+    /// Allocates an object of the named type (host-side `NEW`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Resolve`] for unknown types.
+    pub fn new_object(&self, type_name: &str) -> Result<Val> {
+        let ty = *self
+            .shared
+            .program
+            .type_by_name
+            .get(type_name)
+            .ok_or_else(|| LangError::resolve(format!("unknown type {type_name}")))?;
+        Ok(Val::Obj(self.shared.alloc(ty)))
+    }
+
+    /// Reads `obj.field` (mutator read).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `obj` is not an object or has no such field.
+    pub fn field(&self, obj: &Val, field: &str) -> Result<Val> {
+        let (o, off) = self.field_ref(obj, field)?;
+        Ok(self
+            .shared
+            .heap
+            .borrow_mut()
+            .read_field(self.shared.rt.as_ref(), o, off))
+    }
+
+    /// Writes `obj.field` (a mutator state change).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `obj` is not an object or has no such field.
+    pub fn set_field(&self, obj: &Val, field: &str, v: Val) -> Result<()> {
+        let (o, off) = self.field_ref(obj, field)?;
+        self.shared
+            .heap
+            .borrow_mut()
+            .write_field(self.shared.rt.as_ref(), o, off, v);
+        Ok(())
+    }
+
+    fn field_ref(&self, obj: &Val, field: &str) -> Result<(ObjId, usize)> {
+        let Val::Obj(o) = obj else {
+            return Err(LangError::runtime(format!(
+                "field access .{field} on non-object {obj}"
+            )));
+        };
+        let ty = self.shared.heap.borrow().type_of(*o);
+        let off = self.shared.program.field_offset(ty, field).ok_or_else(|| {
+            LangError::resolve(format!(
+                "type {} has no field {field}",
+                self.shared.program.types[ty].name
+            ))
+        })?;
+        Ok((*o, off))
+    }
+}
+
+impl Shared {
+    fn alloc(&self, ty: TypeId) -> ObjId {
+        let field_types: Vec<Ty> = self.program.types[ty]
+            .fields
+            .iter()
+            .map(|f| f.ty)
+            .collect();
+        self.heap.borrow_mut().alloc(ty, &field_types)
+    }
+
+    fn burn(&self) -> Result<()> {
+        self.steps.set(self.steps.get() + 1);
+        let f = self.fuel.get();
+        if f == 0 {
+            return Err(LangError::runtime("execution fuel exhausted"));
+        }
+        self.fuel.set(f - 1);
+        Ok(())
+    }
+
+    /// Un-caches every instance whose value was committed under a pending
+    /// error, so failed computations re-execute instead of replaying a
+    /// sentinel `Nil`.
+    fn drain_poisoned(&self) {
+        let Some(rt) = self.rt.as_ref() else { return };
+        let poisoned = std::mem::take(&mut *self.poisoned.borrow_mut());
+        for (pid, args) in poisoned {
+            if let Some(memo) = self.memos.borrow()[pid].clone() {
+                memo.forget(rt, &args);
+            }
+        }
+    }
+
+    /// Calls a procedure: through its memo (Algorithm 5) when it is an
+    /// incremental procedure and the mode is Alphonse, directly otherwise.
+    fn call_proc(self: &Rc<Self>, pid: ProcId, args: Vec<Val>) -> Result<Val> {
+        self.burn()?;
+        if self.mode == Mode::Alphonse && self.program.procs[pid].incremental.is_some() {
+            let memo = self.memo_for(pid);
+            let rt = self.rt.as_ref().expect("Alphonse mode has a runtime");
+            let out = memo.call(rt, args);
+            if let Some(e) = self.pending_error.borrow().clone() {
+                self.drain_poisoned();
+                return Err(e);
+            }
+            Ok(out)
+        } else {
+            self.execute_proc(pid, args)
+        }
+    }
+
+    /// Gets or creates the memo (argument table) for an incremental
+    /// procedure.
+    fn memo_for(self: &Rc<Self>, pid: ProcId) -> ProcMemo {
+        if let Some(m) = &self.memos.borrow()[pid] {
+            return m.clone();
+        }
+        let info = &self.program.procs[pid];
+        let (_, strategy) = info.incremental.expect("memo_for on incremental proc");
+        let rt_strategy = match strategy {
+            Strategy::Demand => RtStrategy::Demand,
+            Strategy::Eager => RtStrategy::Eager,
+        };
+        let weak: Weak<Shared> = Rc::downgrade(self);
+        let rt = self.rt.as_ref().expect("Alphonse mode has a runtime");
+        let body = move |_rt: &Runtime, args: &Vec<Val>| {
+            let shared = weak.upgrade().expect("interpreter dropped during call");
+            let out = match shared.execute_proc(pid, args.clone()) {
+                Ok(v) => v,
+                Err(e) => {
+                    shared.pending_error.borrow_mut().get_or_insert(e);
+                    Val::Nil
+                }
+            };
+            // Any value committed while an error is pending is a sentinel
+            // (either this body failed, or the quick-unwind skipped it); it
+            // must be forgotten before the cache can be trusted again.
+            if shared.pending_error.borrow().is_some() {
+                shared.poisoned.borrow_mut().push((pid, args.clone()));
+            }
+            out
+        };
+        let memo = match info.cache_capacity {
+            Some(capacity) => rt.memo_bounded(&info.name, rt_strategy, capacity, body),
+            None => rt.memo_with(&info.name, rt_strategy, body),
+        };
+        self.memos.borrow_mut()[pid] = Some(memo.clone());
+        memo
+    }
+
+    /// Runs a procedure body in a fresh frame.
+    fn execute_proc(self: &Rc<Self>, pid: ProcId, args: Vec<Val>) -> Result<Val> {
+        if self.pending_error.borrow().is_some() {
+            // An inner memoized execution already failed; unwind quickly.
+            return Ok(Val::Nil);
+        }
+        let info = &self.program.procs[pid];
+        debug_assert_eq!(args.len(), info.params.len(), "arity checked statically");
+        let mut frame = args;
+        frame.resize(info.frame_size, Val::Nil);
+        for (slot, ty, init) in &info.local_inits {
+            let v = match init {
+                Some(e) => self.eval_expr(e, &mut frame)?,
+                None => default_val(*ty),
+            };
+            frame[*slot] = v;
+        }
+        match self.eval_stmts(&info.body, &mut frame)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => {
+                if info.ret.is_some() {
+                    Err(LangError::runtime(format!(
+                        "function procedure {} finished without RETURN",
+                        info.name
+                    )))
+                } else {
+                    Ok(Val::Nil)
+                }
+            }
+        }
+    }
+
+    fn eval_stmts(self: &Rc<Self>, stmts: &[HStmt], frame: &mut Vec<Val>) -> Result<Flow> {
+        for s in stmts {
+            if let Flow::Return(v) = self.eval_stmt(s, frame)? {
+                return Ok(Flow::Return(v));
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn eval_stmt(self: &Rc<Self>, stmt: &HStmt, frame: &mut Vec<Val>) -> Result<Flow> {
+        self.burn()?;
+        match stmt {
+            HStmt::AssignLocal { slot, value } => {
+                let v = self.eval_expr(value, frame)?;
+                frame[*slot] = v;
+                Ok(Flow::Normal)
+            }
+            HStmt::AssignGlobal { index, value } => {
+                let v = self.eval_expr(value, frame)?;
+                self.globals.borrow_mut()[*index].write(self.rt.as_ref(), v);
+                Ok(Flow::Normal)
+            }
+            HStmt::AssignIndex { arr, index, value } => {
+                let a = self.eval_expr(arr, frame)?;
+                let i = self.eval_expr(index, frame)?.as_int();
+                let v = self.eval_expr(value, frame)?;
+                let Val::Arr(a) = a else {
+                    return Err(LangError::runtime("element assignment to NIL array"));
+                };
+                if !self
+                    .heap
+                    .borrow_mut()
+                    .write_element(self.rt.as_ref(), a, i, v)
+                {
+                    return Err(LangError::runtime(format!(
+                        "array index {i} out of bounds"
+                    )));
+                }
+                Ok(Flow::Normal)
+            }
+            HStmt::AssignField { obj, field, value } => {
+                let o = self.eval_expr(obj, frame)?;
+                let v = self.eval_expr(value, frame)?;
+                let Val::Obj(o) = o else {
+                    return Err(LangError::runtime("field assignment to NIL"));
+                };
+                self.heap
+                    .borrow_mut()
+                    .write_field(self.rt.as_ref(), o, *field, v);
+                Ok(Flow::Normal)
+            }
+            HStmt::If { arms, else_body } => {
+                for (cond, body) in arms {
+                    if self.eval_expr(cond, frame)?.as_bool() {
+                        return self.eval_stmts(body, frame);
+                    }
+                }
+                self.eval_stmts(else_body, frame)
+            }
+            HStmt::While { cond, body } => {
+                while self.eval_expr(cond, frame)?.as_bool() {
+                    self.burn()?;
+                    if let Flow::Return(v) = self.eval_stmts(body, frame)? {
+                        return Ok(Flow::Return(v));
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            HStmt::For {
+                slot,
+                from,
+                to,
+                by,
+                body,
+            } => {
+                let from = self.eval_expr(from, frame)?.as_int();
+                let to = self.eval_expr(to, frame)?.as_int();
+                let step = match by {
+                    Some(e) => self.eval_expr(e, frame)?.as_int(),
+                    None => 1,
+                };
+                if step == 0 {
+                    return Err(LangError::runtime("FOR step of 0"));
+                }
+                let mut i = from;
+                while (step > 0 && i <= to) || (step < 0 && i >= to) {
+                    self.burn()?;
+                    frame[*slot] = Val::Int(i);
+                    if let Flow::Return(v) = self.eval_stmts(body, frame)? {
+                        return Ok(Flow::Return(v));
+                    }
+                    i = match i.checked_add(step) {
+                        Some(next) => next,
+                        None => break,
+                    };
+                }
+                Ok(Flow::Normal)
+            }
+            HStmt::Return(e) => {
+                let v = match e {
+                    Some(e) => self.eval_expr(e, frame)?,
+                    None => Val::Nil,
+                };
+                Ok(Flow::Return(v))
+            }
+            HStmt::Expr(e) => {
+                self.eval_expr(e, frame)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn eval_expr(self: &Rc<Self>, e: &HExpr, frame: &mut Vec<Val>) -> Result<Val> {
+        self.burn()?;
+        match e {
+            HExpr::Int(v) => Ok(Val::Int(*v)),
+            HExpr::Text(s) => Ok(Val::Text(Rc::clone(s))),
+            HExpr::Bool(b) => Ok(Val::Bool(*b)),
+            HExpr::Nil => Ok(Val::Nil),
+            HExpr::Local(slot) => Ok(frame[*slot].clone()),
+            HExpr::Global(idx) => {
+                Ok(self.globals.borrow_mut()[*idx].read(self.rt.as_ref()))
+            }
+            HExpr::Field { obj, field } => {
+                let o = self.eval_expr(obj, frame)?;
+                let Val::Obj(o) = o else {
+                    return Err(LangError::runtime("field access on NIL"));
+                };
+                Ok(self
+                    .heap
+                    .borrow_mut()
+                    .read_field(self.rt.as_ref(), o, *field))
+            }
+            HExpr::New(ty) => Ok(Val::Obj(self.alloc(*ty))),
+            HExpr::NewArray { elem, size } => {
+                let n = self.eval_expr(size, frame)?.as_int();
+                let n = usize::try_from(n)
+                    .map_err(|_| LangError::runtime(format!("negative array size {n}")))?;
+                Ok(Val::Arr(self.heap.borrow_mut().alloc_array(*elem, n)))
+            }
+            HExpr::Index { arr, index } => {
+                let a = self.eval_expr(arr, frame)?;
+                let i = self.eval_expr(index, frame)?.as_int();
+                let Val::Arr(a) = a else {
+                    return Err(LangError::runtime("indexing NIL array"));
+                };
+                self.heap
+                    .borrow_mut()
+                    .read_element(self.rt.as_ref(), a, i)
+                    .ok_or_else(|| {
+                        LangError::runtime(format!("array index {i} out of bounds"))
+                    })
+            }
+            HExpr::CallProc { proc, args } => {
+                let argv = self.eval_args(args, frame)?;
+                self.call_proc(*proc, argv)
+            }
+            HExpr::CallMethod { obj, slot, args } => {
+                let recv = self.eval_expr(obj, frame)?;
+                let Val::Obj(o) = recv else {
+                    return Err(LangError::runtime("method call on NIL"));
+                };
+                let ty = self.heap.borrow().type_of(o);
+                let pid = self.program.types[ty].methods[*slot].impl_proc;
+                let mut argv = self.eval_args(args, frame)?;
+                argv.insert(0, Val::Obj(o));
+                self.call_proc(pid, argv)
+            }
+            HExpr::CallBuiltin { builtin, args } => {
+                let argv = self.eval_args(args, frame)?;
+                self.builtin(*builtin, argv)
+            }
+            HExpr::Unary { op, expr } => {
+                let v = self.eval_expr(expr, frame)?;
+                Ok(match op {
+                    crate::ast::UnOp::Neg => Val::Int(v.as_int().wrapping_neg()),
+                    crate::ast::UnOp::Not => Val::Bool(!v.as_bool()),
+                })
+            }
+            HExpr::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, frame),
+            HExpr::Unchecked(inner) => match &self.rt {
+                Some(rt) => {
+                    let rt = rt.clone();
+                    rt.untracked(|| self.eval_expr(inner, frame))
+                }
+                None => self.eval_expr(inner, frame),
+            },
+        }
+    }
+
+    fn eval_args(self: &Rc<Self>, args: &[HExpr], frame: &mut Vec<Val>) -> Result<Vec<Val>> {
+        args.iter().map(|a| self.eval_expr(a, frame)).collect()
+    }
+
+    fn binary(
+        self: &Rc<Self>,
+        op: crate::ast::BinOp,
+        lhs: &HExpr,
+        rhs: &HExpr,
+        frame: &mut Vec<Val>,
+    ) -> Result<Val> {
+        use crate::ast::BinOp as B;
+        // Short-circuit forms first.
+        match op {
+            B::And => {
+                return Ok(Val::Bool(
+                    self.eval_expr(lhs, frame)?.as_bool() && self.eval_expr(rhs, frame)?.as_bool(),
+                ))
+            }
+            B::Or => {
+                return Ok(Val::Bool(
+                    self.eval_expr(lhs, frame)?.as_bool() || self.eval_expr(rhs, frame)?.as_bool(),
+                ))
+            }
+            _ => {}
+        }
+        let l = self.eval_expr(lhs, frame)?;
+        let r = self.eval_expr(rhs, frame)?;
+        Ok(match op {
+            B::Add => Val::Int(l.as_int().wrapping_add(r.as_int())),
+            B::Sub => Val::Int(l.as_int().wrapping_sub(r.as_int())),
+            B::Mul => Val::Int(l.as_int().wrapping_mul(r.as_int())),
+            B::Div => {
+                let d = r.as_int();
+                if d == 0 {
+                    return Err(LangError::runtime("DIV by zero"));
+                }
+                Val::Int(l.as_int().wrapping_div(d))
+            }
+            B::Mod => {
+                let d = r.as_int();
+                if d == 0 {
+                    return Err(LangError::runtime("MOD by zero"));
+                }
+                Val::Int(l.as_int().wrapping_rem(d))
+            }
+            B::Concat => match (l, r) {
+                (Val::Text(a), Val::Text(b)) => Val::Text(Rc::from(format!("{a}{b}").as_str())),
+                _ => return Err(LangError::runtime("& on non-text values")),
+            },
+            B::Eq => Val::Bool(l == r),
+            B::Ne => Val::Bool(l != r),
+            B::Lt => Val::Bool(l.as_int() < r.as_int()),
+            B::Le => Val::Bool(l.as_int() <= r.as_int()),
+            B::Gt => Val::Bool(l.as_int() > r.as_int()),
+            B::Ge => Val::Bool(l.as_int() >= r.as_int()),
+            B::And | B::Or => unreachable!("handled above"),
+        })
+    }
+
+    fn builtin(&self, b: Builtin, args: Vec<Val>) -> Result<Val> {
+        Ok(match b {
+            Builtin::Max => Val::Int(args[0].as_int().max(args[1].as_int())),
+            Builtin::Min => Val::Int(args[0].as_int().min(args[1].as_int())),
+            Builtin::Abs => Val::Int(args[0].as_int().wrapping_abs()),
+            Builtin::Len => {
+                let Val::Arr(a) = args[0] else {
+                    return Err(LangError::runtime("LEN of NIL array"));
+                };
+                Val::Int(self.heap.borrow().array_len(a) as i64)
+            }
+            Builtin::Print => {
+                use std::fmt::Write;
+                let _ = writeln!(self.output.borrow_mut(), "{}", args[0]);
+                Val::Nil
+            }
+        })
+    }
+}

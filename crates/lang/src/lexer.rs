@@ -1,0 +1,425 @@
+//! Lexer for Alphonse-L.
+//!
+//! Comments are Modula-3 style `(* … *)` and nest. Comments whose first
+//! word is an Alphonse pragma name (`MAINTAINED`, `CACHED`, `UNCHECKED`)
+//! are *not* discarded: they become [`Token::Pragma`] tokens, mirroring how
+//! the paper smuggles Alphonse annotations past a conventional compiler
+//! (Section 3: "all L programs are valid Alphonse-L programs").
+
+use crate::error::{LangError, Result};
+use crate::token::{Pragma, PragmaStrategy, Spanned, Token};
+
+/// Tokenizes `source` into a vector of spanned tokens.
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] on unterminated comments or strings, malformed
+/// pragmas, integer overflow, or unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Spanned>,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, token: Token, line: u32) {
+        self.out.push(Spanned { token, line });
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>> {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                ' ' | '\t' | '\r' | '\n' => {
+                    self.bump();
+                }
+                '(' if self.peek2() == Some('*') => {
+                    self.comment_or_pragma()?;
+                }
+                '(' => {
+                    self.bump();
+                    self.push(Token::LParen, line);
+                }
+                ')' => {
+                    self.bump();
+                    self.push(Token::RParen, line);
+                }
+                ';' => {
+                    self.bump();
+                    self.push(Token::Semi, line);
+                }
+                ',' => {
+                    self.bump();
+                    self.push(Token::Comma, line);
+                }
+                '.' => {
+                    self.bump();
+                    self.push(Token::Dot, line);
+                }
+                '[' => {
+                    self.bump();
+                    self.push(Token::LBracket, line);
+                }
+                ']' => {
+                    self.bump();
+                    self.push(Token::RBracket, line);
+                }
+                '+' => {
+                    self.bump();
+                    self.push(Token::Plus, line);
+                }
+                '-' => {
+                    self.bump();
+                    self.push(Token::Minus, line);
+                }
+                '*' => {
+                    self.bump();
+                    self.push(Token::Star, line);
+                }
+                '&' => {
+                    self.bump();
+                    self.push(Token::Amp, line);
+                }
+                '=' => {
+                    self.bump();
+                    self.push(Token::Eq, line);
+                }
+                '#' => {
+                    self.bump();
+                    self.push(Token::Ne, line);
+                }
+                ':' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Token::Assign, line);
+                    } else {
+                        self.push(Token::Colon, line);
+                    }
+                }
+                '<' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Token::Le, line);
+                    } else {
+                        self.push(Token::Lt, line);
+                    }
+                }
+                '>' => {
+                    self.bump();
+                    if self.peek() == Some('=') {
+                        self.bump();
+                        self.push(Token::Ge, line);
+                    } else {
+                        self.push(Token::Gt, line);
+                    }
+                }
+                '"' => self.text_literal()?,
+                c if c.is_ascii_digit() => self.number()?,
+                c if c.is_ascii_alphabetic() || c == '_' => self.word(),
+                other => {
+                    return Err(LangError::lex(line, format!("unexpected character {other:?}")))
+                }
+            }
+        }
+        Ok(self.out)
+    }
+
+    fn text_literal(&mut self) -> Result<()> {
+        let line = self.line;
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => {
+                    return Err(LangError::lex(line, "unterminated text literal"))
+                }
+                Some('"') => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\\') => s.push('\\'),
+                    Some('"') => s.push('"'),
+                    other => {
+                        return Err(LangError::lex(
+                            line,
+                            format!("bad escape {other:?} in text literal"),
+                        ))
+                    }
+                },
+                Some(c) => s.push(c),
+            }
+        }
+        self.push(Token::Text(s), line);
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<()> {
+        let line = self.line;
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let value: i64 = s
+            .parse()
+            .map_err(|_| LangError::lex(line, format!("integer literal {s} overflows")))?;
+        self.push(Token::Int(value), line);
+        Ok(())
+    }
+
+    fn word(&mut self) {
+        let line = self.line;
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let token = match s.as_str() {
+            "TYPE" => Token::Type,
+            "OBJECT" => Token::Object,
+            "METHODS" => Token::Methods,
+            "OVERRIDES" => Token::Overrides,
+            "END" => Token::End,
+            "PROCEDURE" => Token::Procedure,
+            "BEGIN" => Token::Begin,
+            "VAR" => Token::Var,
+            "IF" => Token::If,
+            "THEN" => Token::Then,
+            "ELSIF" => Token::Elsif,
+            "ELSE" => Token::Else,
+            "WHILE" => Token::While,
+            "DO" => Token::Do,
+            "FOR" => Token::For,
+            "TO" => Token::To,
+            "BY" => Token::By,
+            "RETURN" => Token::Return,
+            "NEW" => Token::New,
+            "NIL" => Token::Nil,
+            "TRUE" => Token::True,
+            "FALSE" => Token::False,
+            "DIV" => Token::Div,
+            "MOD" => Token::Mod,
+            "AND" => Token::And,
+            "OR" => Token::Or,
+            "NOT" => Token::Not,
+            "ARRAY" => Token::Array,
+            "OF" => Token::Of,
+            _ => Token::Ident(s),
+        };
+        self.push(token, line);
+    }
+
+    /// Consumes `(* … *)`; emits a pragma token if the body names one.
+    fn comment_or_pragma(&mut self) -> Result<()> {
+        let line = self.line;
+        self.bump(); // (
+        self.bump(); // *
+        let mut depth = 1u32;
+        let mut body = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(LangError::lex(line, "unterminated comment")),
+                Some('(') if self.peek2() == Some('*') => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                    body.push_str("(*");
+                }
+                Some('*') if self.peek2() == Some(')') => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    body.push_str("*)");
+                }
+                Some(_) => body.push(self.bump().expect("peeked")),
+            }
+        }
+        let words: Vec<&str> = body.split_whitespace().collect();
+        let capacity = |n: &str| -> Result<Option<u32>> {
+            n.parse::<u32>()
+                .ok()
+                .filter(|&c| c > 0)
+                .map(Some)
+                .ok_or_else(|| {
+                    LangError::lex(line, format!("bad LRU capacity in pragma (*{body}*)"))
+                })
+        };
+        let pragma = match words.as_slice() {
+            ["MAINTAINED"] => Some(Pragma::Maintained(PragmaStrategy::Demand)),
+            ["MAINTAINED", "DEMAND"] => Some(Pragma::Maintained(PragmaStrategy::Demand)),
+            ["MAINTAINED", "EAGER"] => Some(Pragma::Maintained(PragmaStrategy::Eager)),
+            ["CACHED"] => Some(Pragma::Cached(PragmaStrategy::Demand, None)),
+            ["CACHED", "DEMAND"] => Some(Pragma::Cached(PragmaStrategy::Demand, None)),
+            ["CACHED", "EAGER"] => Some(Pragma::Cached(PragmaStrategy::Eager, None)),
+            ["CACHED", "LRU", n] => Some(Pragma::Cached(PragmaStrategy::Demand, capacity(n)?)),
+            ["CACHED", "DEMAND", "LRU", n] => {
+                Some(Pragma::Cached(PragmaStrategy::Demand, capacity(n)?))
+            }
+            ["CACHED", "EAGER", "LRU", n] => {
+                Some(Pragma::Cached(PragmaStrategy::Eager, capacity(n)?))
+            }
+            ["UNCHECKED"] => Some(Pragma::Unchecked),
+            [first, ..] if ["MAINTAINED", "CACHED", "UNCHECKED"].contains(first) => {
+                return Err(LangError::lex(line, format!("malformed pragma (*{body}*)")));
+            }
+            _ => None, // ordinary comment
+        };
+        if let Some(p) = pragma {
+            self.push(Token::Pragma(p), line);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("TYPE Tree = OBJECT END;"),
+            vec![
+                Token::Type,
+                Token::Ident("Tree".into()),
+                Token::Eq,
+                Token::Object,
+                Token::End,
+                Token::Semi
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks(":= = # < <= > >= + - * & ."),
+            vec![
+                Token::Assign,
+                Token::Eq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Amp,
+                Token::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            toks(r#"42 "hi\n" TRUE FALSE NIL"#),
+            vec![
+                Token::Int(42),
+                Token::Text("hi\n".into()),
+                Token::True,
+                Token::False,
+                Token::Nil
+            ]
+        );
+    }
+
+    #[test]
+    fn plain_comments_are_skipped() {
+        assert_eq!(toks("1 (* a comment (* nested *) done *) 2"), vec![
+            Token::Int(1),
+            Token::Int(2)
+        ]);
+    }
+
+    #[test]
+    fn pragmas_are_tokens() {
+        assert_eq!(
+            toks("(*MAINTAINED*) (*MAINTAINED EAGER*) (*CACHED*) (*UNCHECKED*)"),
+            vec![
+                Token::Pragma(Pragma::Maintained(PragmaStrategy::Demand)),
+                Token::Pragma(Pragma::Maintained(PragmaStrategy::Eager)),
+                Token::Pragma(Pragma::Cached(PragmaStrategy::Demand, None)),
+                Token::Pragma(Pragma::Unchecked),
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_pragma_is_an_error() {
+        assert!(lex("(*MAINTAINED SOMETIMES*)").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(lex("(* oops").is_err());
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let ts = lex("a\nb\n  c").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn bad_character_reports_line() {
+        match lex("x\n@") {
+            Err(LangError::Lex { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_integer_overflows() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+}

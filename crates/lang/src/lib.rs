@@ -1,0 +1,74 @@
+//! **Alphonse-L** — the language half of the Alphonse reproduction
+//! (Hoover, PLDI 1992).
+//!
+//! The paper presents Alphonse as a *program transformation system* over an
+//! imperative object-oriented base language (Modula-3 in the paper's
+//! implementation, Section 8). This crate provides the full pipeline for a
+//! Modula-3-flavoured base language:
+//!
+//! 1. [`lex`] / [`parse`] — front end, with the Alphonse pragmas
+//!    (`(*MAINTAINED*)`, `(*CACHED*)`, `(*UNCHECKED*)`) recognized inside
+//!    comments so that every base-language program is a valid Alphonse-L
+//!    program (Section 3).
+//! 2. [`resolve`] — name resolution, inheritance flattening, and static type
+//!    checking, enforcing the pragma discipline of Section 3.3.
+//! 3. [`transform`](transform()) — the source-to-source rewrite of Section 5
+//!    (Algorithm 2): reads become `access`, writes become `modify`, calls
+//!    become `call`, with the static-check elimination of Section 6.1.
+//! 4. [`unparse`] — prints surface syntax, including transformed programs.
+//! 5. [`Interp`] — executes a program either conventionally (exhaustive) or
+//!    incrementally through the `alphonse` runtime; Theorem 5.1 says the two
+//!    agree, and this repository's differential tests check exactly that.
+//!
+//! # Example
+//!
+//! ```
+//! use alphonse_lang::{compile, Interp, Mode, Val};
+//!
+//! let program = compile(r#"
+//!     VAR base : INTEGER := 10;
+//!     (*CACHED*) PROCEDURE Scaled(k : INTEGER) : INTEGER =
+//!     BEGIN RETURN base * k; END Scaled;
+//! "#).unwrap();
+//!
+//! let interp = Interp::new(program, Mode::Alphonse).unwrap();
+//! assert_eq!(interp.call("Scaled", vec![Val::Int(3)]).unwrap(), Val::Int(30));
+//! interp.set_global("base", Val::Int(100)).unwrap();          // mutator change
+//! assert_eq!(interp.call("Scaled", vec![Val::Int(3)]).unwrap(), Val::Int(300));
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod ast;
+mod error;
+mod heap;
+pub mod hir;
+mod interp;
+mod lexer;
+mod parser;
+mod resolve;
+pub mod token;
+mod transform;
+mod unparse;
+mod value;
+
+pub use error::{LangError, Result};
+pub use interp::{Interp, Mode};
+pub use lexer::lex;
+pub use parser::parse;
+pub use resolve::resolve;
+pub use transform::{transform, TransformOptions, TransformReport};
+pub use unparse::{expr_str, unparse};
+pub use value::{ObjId, Val};
+
+use std::rc::Rc;
+
+/// Front-end pipeline: lex, parse, resolve and type-check `source`.
+///
+/// # Errors
+///
+/// Returns the first error of any stage.
+pub fn compile(source: &str) -> Result<Rc<hir::Program>> {
+    Ok(Rc::new(resolve(&parse(source)?)?))
+}

@@ -1,0 +1,985 @@
+//! Recursive-descent parser for Alphonse-L.
+
+use crate::ast::*;
+use crate::error::{LangError, Result};
+use crate::lexer::lex;
+use crate::token::{Pragma, Spanned, Token};
+
+/// Parses an Alphonse-L source text into a [`Module`].
+///
+/// # Errors
+///
+/// Returns [`LangError::Lex`] or [`LangError::Parse`] on malformed input.
+///
+/// # Example
+///
+/// ```
+/// let module = alphonse_lang::parse("VAR x : INTEGER := 1;").unwrap();
+/// assert_eq!(module.decls.len(), 1);
+/// ```
+pub fn parse(source: &str) -> Result<Module> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.module()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |s| s.line)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos)?.token.clone();
+        self.pos += 1;
+        Some(t)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{t}`, found {}",
+                self.describe_current()
+            )))
+        }
+    }
+
+    fn describe_current(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("`{t}`"),
+            None => "end of input".to_string(),
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> LangError {
+        LangError::parse(self.line(), message)
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek() {
+            Some(Token::Ident(_)) => match self.bump() {
+                Some(Token::Ident(s)) => Ok(s),
+                _ => unreachable!(),
+            },
+            _ => Err(self.err(format!(
+                "expected {what} identifier, found {}",
+                self.describe_current()
+            ))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    fn module(&mut self) -> Result<Module> {
+        let mut decls = Vec::new();
+        loop {
+            // A pragma may precede PROCEDURE (CACHED) declarations.
+            match self.peek() {
+                None => break,
+                Some(Token::Type) => decls.push(Decl::Type(self.type_decl()?)),
+                Some(Token::Var) => decls.push(Decl::Global(self.global_decl()?)),
+                Some(Token::Procedure) => decls.push(Decl::Proc(self.proc_decl(None)?)),
+                Some(Token::Pragma(_)) => {
+                    let pragma = match self.bump() {
+                        Some(Token::Pragma(p)) => p,
+                        _ => unreachable!(),
+                    };
+                    if !matches!(pragma, Pragma::Cached(..)) {
+                        return Err(self.err(
+                            "only a (*CACHED*) pragma may precede a top-level declaration",
+                        ));
+                    }
+                    if self.peek() != Some(&Token::Procedure) {
+                        return Err(self.err("expected PROCEDURE after (*CACHED*) pragma"));
+                    }
+                    decls.push(Decl::Proc(self.proc_decl(Some(pragma))?));
+                }
+                Some(_) => {
+                    return Err(self.err(format!(
+                        "expected a declaration, found {}",
+                        self.describe_current()
+                    )))
+                }
+            }
+        }
+        Ok(Module { decls })
+    }
+
+    fn type_expr(&mut self) -> Result<TypeExpr> {
+        if self.eat(&Token::Array) {
+            self.expect(&Token::Of)?;
+            let elem = self.type_expr()?;
+            return Ok(TypeExpr::Array(Box::new(elem)));
+        }
+        match self.peek() {
+            Some(Token::Ident(s)) => {
+                let t = match s.as_str() {
+                    "INTEGER" => TypeExpr::Integer,
+                    "BOOLEAN" => TypeExpr::Boolean,
+                    "TEXT" => TypeExpr::Text,
+                    other => TypeExpr::Named(other.to_string()),
+                };
+                self.bump();
+                Ok(t)
+            }
+            _ => Err(self.err(format!(
+                "expected a type, found {}",
+                self.describe_current()
+            ))),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>> {
+        let mut names = vec![self.ident("variable")?];
+        while self.eat(&Token::Comma) {
+            names.push(self.ident("variable")?);
+        }
+        Ok(names)
+    }
+
+    fn global_decl(&mut self) -> Result<GlobalDecl> {
+        let line = self.line();
+        self.expect(&Token::Var)?;
+        let names = self.ident_list()?;
+        self.expect(&Token::Colon)?;
+        let ty = self.type_expr()?;
+        let init = if self.eat(&Token::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect(&Token::Semi)?;
+        Ok(GlobalDecl {
+            names,
+            ty,
+            init,
+            line,
+        })
+    }
+
+    fn type_decl(&mut self) -> Result<TypeDecl> {
+        let line = self.line();
+        self.expect(&Token::Type)?;
+        let name = self.ident("type")?;
+        self.expect(&Token::Eq)?;
+        let parent = match self.peek() {
+            Some(Token::Ident(_)) => Some(self.ident("supertype")?),
+            _ => None,
+        };
+        self.expect(&Token::Object)?;
+        let mut fields = Vec::new();
+        // Field groups until METHODS / OVERRIDES / END.
+        while matches!(self.peek(), Some(Token::Ident(_))) {
+            let names = self.ident_list()?;
+            self.expect(&Token::Colon)?;
+            let ty = self.type_expr()?;
+            self.expect(&Token::Semi)?;
+            fields.push(FieldDecl { names, ty });
+        }
+        let mut methods = Vec::new();
+        if self.eat(&Token::Methods) {
+            while !matches!(self.peek(), Some(Token::Overrides | Token::End)) {
+                methods.push(self.method_decl()?);
+            }
+        }
+        let mut overrides = Vec::new();
+        if self.eat(&Token::Overrides) {
+            while self.peek() != Some(&Token::End) {
+                overrides.push(self.override_decl()?);
+            }
+        }
+        self.expect(&Token::End)?;
+        self.expect(&Token::Semi)?;
+        Ok(TypeDecl {
+            name,
+            parent,
+            fields,
+            methods,
+            overrides,
+            line,
+        })
+    }
+
+    fn method_pragma(&mut self) -> Result<Option<Pragma>> {
+        if let Some(Token::Pragma(p)) = self.peek() {
+            let p = *p;
+            if !matches!(p, Pragma::Maintained(_)) {
+                return Err(self.err("only (*MAINTAINED*) applies to methods"));
+            }
+            self.bump();
+            Ok(Some(p))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn method_decl(&mut self) -> Result<MethodDecl> {
+        let line = self.line();
+        let pragma = self.method_pragma()?;
+        let name = self.ident("method")?;
+        let params = if self.peek() == Some(&Token::LParen) {
+            self.params()?
+        } else {
+            Vec::new()
+        };
+        let ret = if self.eat(&Token::Colon) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        self.expect(&Token::Assign)?;
+        let impl_proc = self.ident("implementation procedure")?;
+        self.expect(&Token::Semi)?;
+        Ok(MethodDecl {
+            pragma,
+            name,
+            params,
+            ret,
+            impl_proc,
+            line,
+        })
+    }
+
+    fn override_decl(&mut self) -> Result<OverrideDecl> {
+        let line = self.line();
+        let pragma = self.method_pragma()?;
+        let name = self.ident("method")?;
+        self.expect(&Token::Assign)?;
+        let impl_proc = self.ident("implementation procedure")?;
+        self.expect(&Token::Semi)?;
+        Ok(OverrideDecl {
+            pragma,
+            name,
+            impl_proc,
+            line,
+        })
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>> {
+        self.expect(&Token::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                let names = self.ident_list()?;
+                self.expect(&Token::Colon)?;
+                let ty = self.type_expr()?;
+                for name in names {
+                    params.push(Param {
+                        name,
+                        ty: ty.clone(),
+                    });
+                }
+                if !self.eat(&Token::Semi) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(params)
+    }
+
+    fn proc_decl(&mut self, pragma: Option<Pragma>) -> Result<ProcDecl> {
+        let line = self.line();
+        self.expect(&Token::Procedure)?;
+        let name = self.ident("procedure")?;
+        let params = self.params()?;
+        let ret = if self.eat(&Token::Colon) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        self.expect(&Token::Eq)?;
+        let mut locals = Vec::new();
+        while self.eat(&Token::Var) {
+            loop {
+                let names = self.ident_list()?;
+                self.expect(&Token::Colon)?;
+                let ty = self.type_expr()?;
+                let init = if self.eat(&Token::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Token::Semi)?;
+                locals.push(LocalDecl { names, ty, init });
+                if !matches!(self.peek(), Some(Token::Ident(_))) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::Begin)?;
+        let body = self.stmt_list(&[Token::End])?;
+        self.expect(&Token::End)?;
+        // Optional trailing procedure name (Modula-3 style).
+        if let Some(Token::Ident(s)) = self.peek() {
+            if *s == name {
+                self.bump();
+            } else {
+                let s = s.clone();
+                return Err(self.err(format!(
+                    "END trailer {s} does not match procedure name {name}"
+                )));
+            }
+        }
+        self.expect(&Token::Semi)?;
+        Ok(ProcDecl {
+            pragma,
+            name,
+            params,
+            ret,
+            locals,
+            body,
+            line,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn stmt_list(&mut self, terminators: &[Token]) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unexpected end of input in statement list")),
+                Some(t) if terminators.contains(t) => break,
+                _ => stmts.push(self.stmt()?),
+            }
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            Some(Token::If) => self.if_stmt(),
+            Some(Token::While) => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(&Token::Do)?;
+                let body = self.stmt_list(&[Token::End])?;
+                self.expect(&Token::End)?;
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Some(Token::For) => {
+                self.bump();
+                let var = self.ident("loop variable")?;
+                self.expect(&Token::Assign)?;
+                let from = self.expr()?;
+                self.expect(&Token::To)?;
+                let to = self.expr()?;
+                let by = if self.eat(&Token::By) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.expect(&Token::Do)?;
+                let body = self.stmt_list(&[Token::End])?;
+                self.expect(&Token::End)?;
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::For {
+                    var,
+                    from,
+                    to,
+                    by,
+                    body,
+                    line,
+                })
+            }
+            Some(Token::Return) => {
+                self.bump();
+                let value = if self.peek() == Some(&Token::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&Token::Semi)?;
+                Ok(Stmt::Return { value, line })
+            }
+            _ => {
+                // Assignment or call statement: parse a postfix expression.
+                let e = self.expr()?;
+                if self.eat(&Token::Assign) {
+                    if !matches!(e, Expr::Var { .. } | Expr::Field { .. } | Expr::Index { .. }) {
+                        return Err(self.err(
+                            "assignment target must be a variable, field or array element",
+                        ));
+                    }
+                    let value = self.expr()?;
+                    self.expect(&Token::Semi)?;
+                    Ok(Stmt::Assign {
+                        target: e,
+                        value,
+                        line,
+                    })
+                } else {
+                    if !matches!(e, Expr::Call { .. }) {
+                        return Err(self.err("expression statement must be a call"));
+                    }
+                    self.expect(&Token::Semi)?;
+                    Ok(Stmt::Expr { expr: e, line })
+                }
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        let line = self.line();
+        self.expect(&Token::If)?;
+        let mut arms = Vec::new();
+        let cond = self.expr()?;
+        self.expect(&Token::Then)?;
+        let body = self.stmt_list(&[Token::Elsif, Token::Else, Token::End])?;
+        arms.push((cond, body));
+        let mut else_body = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Token::Elsif) => {
+                    self.bump();
+                    let c = self.expr()?;
+                    self.expect(&Token::Then)?;
+                    let b = self.stmt_list(&[Token::Elsif, Token::Else, Token::End])?;
+                    arms.push((c, b));
+                }
+                Some(Token::Else) => {
+                    self.bump();
+                    else_body = self.stmt_list(&[Token::End])?;
+                    self.expect(&Token::End)?;
+                    self.expect(&Token::Semi)?;
+                    break;
+                }
+                Some(Token::End) => {
+                    self.bump();
+                    self.expect(&Token::Semi)?;
+                    break;
+                }
+                _ => return Err(self.err("expected ELSIF, ELSE or END in IF statement")),
+            }
+        }
+        Ok(Stmt::If {
+            arms,
+            else_body,
+            line,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.not_expr()?;
+        while self.eat(&Token::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Not) {
+            let e = self.not_expr()?;
+            Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+            })
+        } else {
+            self.rel_expr()
+        }
+    }
+
+    fn rel_expr(&mut self) -> Result<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                Some(Token::Amp) => BinOp::Concat,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Div) => BinOp::Div,
+                Some(Token::Mod) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            let e = self.unary_expr()?;
+            Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+            })
+        } else {
+            self.postfix_expr()
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                Some(Token::Dot) => {
+                    self.bump();
+                    let line = self.line();
+                    let name = self.ident("field or method")?;
+                    if self.peek() == Some(&Token::LParen) {
+                        let args = self.args()?;
+                        e = Expr::Call {
+                            callee: Callee::Method {
+                                obj: Box::new(e),
+                                name,
+                            },
+                            args,
+                            line,
+                        };
+                    } else {
+                        e = Expr::Field {
+                            obj: Box::new(e),
+                            name,
+                            line,
+                        };
+                    }
+                }
+                Some(Token::LBracket) => {
+                    self.bump();
+                    let line = self.line();
+                    let index = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    e = Expr::Index {
+                        arr: Box::new(e),
+                        index: Box::new(index),
+                        line,
+                    };
+                }
+                Some(Token::LParen) => {
+                    // Only a bare variable can become a procedure call.
+                    if let Expr::Var { name, line } = e {
+                        let args = self.args()?;
+                        e = Expr::Call {
+                            callee: Callee::Proc(name),
+                            args,
+                            line,
+                        };
+                    } else {
+                        return Err(self.err("only procedures and methods can be called"));
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>> {
+        self.expect(&Token::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        let line = self.line();
+        match self.peek() {
+            Some(Token::Int(_)) => match self.bump() {
+                Some(Token::Int(v)) => Ok(Expr::Int(v)),
+                _ => unreachable!(),
+            },
+            Some(Token::Text(_)) => match self.bump() {
+                Some(Token::Text(s)) => Ok(Expr::Text(s)),
+                _ => unreachable!(),
+            },
+            Some(Token::True) => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            Some(Token::False) => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            Some(Token::Nil) => {
+                self.bump();
+                Ok(Expr::Nil)
+            }
+            Some(Token::New) => {
+                self.bump();
+                self.expect(&Token::LParen)?;
+                if self.peek() == Some(&Token::Array) {
+                    let elem = self.type_expr()?;
+                    let TypeExpr::Array(elem) = elem else {
+                        unreachable!("type_expr on ARRAY returns Array");
+                    };
+                    self.expect(&Token::Comma)?;
+                    let size = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::NewArray {
+                        elem: *elem,
+                        size: Box::new(size),
+                        line,
+                    });
+                }
+                let type_name = self.ident("type")?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::New { type_name, line })
+            }
+            Some(Token::Pragma(Pragma::Unchecked)) => {
+                self.bump();
+                let e = self.postfix_expr()?;
+                Ok(Expr::Unchecked(Box::new(e)))
+            }
+            Some(Token::Pragma(_)) => Err(self.err("unexpected pragma in expression")),
+            Some(Token::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.ident("variable")?;
+                Ok(Expr::Var { name, line })
+            }
+            _ => Err(self.err(format!(
+                "expected an expression, found {}",
+                self.describe_current()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals() {
+        let m = parse("VAR a, b : INTEGER := 3; VAR t : TEXT;").unwrap();
+        assert_eq!(m.decls.len(), 2);
+        match &m.decls[0] {
+            Decl::Global(g) => {
+                assert_eq!(g.names, vec!["a", "b"]);
+                assert_eq!(g.ty, TypeExpr::Integer);
+                assert_eq!(g.init, Some(Expr::Int(3)));
+            }
+            other => panic!("expected global, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_the_papers_tree_type() {
+        // Algorithm 1 of the paper, modulo OCR noise.
+        let src = r#"
+            TYPE Tree = OBJECT
+                left, right : Tree;
+            METHODS
+                (*MAINTAINED*) height() : INTEGER := Height;
+            END;
+            TYPE TreeNil = Tree OBJECT
+            OVERRIDES
+                (*MAINTAINED*) height := HeightNil;
+            END;
+            PROCEDURE Height(t : Tree) : INTEGER =
+            BEGIN
+                RETURN MAX(t.left.height(), t.right.height()) + 1
+            END Height;
+            PROCEDURE HeightNil(t : Tree) : INTEGER =
+            BEGIN RETURN 0 END HeightNil;
+        "#;
+        // Statement lists require semicolons after RETURN; add them.
+        let src = src.replace("+ 1\n            END Height", "+ 1;\n            END Height");
+        let src = src.replace("RETURN 0 END", "RETURN 0; END");
+        let m = parse(&src).unwrap();
+        assert_eq!(m.decls.len(), 4);
+        match &m.decls[0] {
+            Decl::Type(t) => {
+                assert_eq!(t.name, "Tree");
+                assert_eq!(t.fields[0].names, vec!["left", "right"]);
+                assert_eq!(t.methods[0].name, "height");
+                assert!(t.methods[0].pragma.is_some());
+            }
+            other => panic!("expected type, got {other:?}"),
+        }
+        match &m.decls[1] {
+            Decl::Type(t) => {
+                assert_eq!(t.parent.as_deref(), Some("Tree"));
+                assert_eq!(t.overrides[0].impl_proc, "HeightNil");
+            }
+            other => panic!("expected type, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_chained_calls() {
+        let src = r#"
+            PROCEDURE F(t : Tree) : Tree =
+            BEGIN
+                RETURN RotateRight(t).balance();
+            END F;
+        "#;
+        let m = parse(src).unwrap();
+        match &m.decls[0] {
+            Decl::Proc(p) => match &p.body[0] {
+                Stmt::Return {
+                    value: Some(Expr::Call { callee, .. }),
+                    ..
+                } => match callee {
+                    Callee::Method { name, obj } => {
+                        assert_eq!(name, "balance");
+                        assert!(matches!(**obj, Expr::Call { .. }));
+                    }
+                    other => panic!("expected method call, got {other:?}"),
+                },
+                other => panic!("expected return of call, got {other:?}"),
+            },
+            other => panic!("expected proc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            PROCEDURE P(n : INTEGER) : INTEGER =
+            VAR s : INTEGER := 0;
+            BEGIN
+                FOR i := 1 TO n DO s := s + i; END;
+                WHILE s > 100 DO s := s - 100; END;
+                IF s = 0 THEN RETURN 0;
+                ELSIF s < 10 THEN RETURN 1;
+                ELSE RETURN 2;
+                END;
+            END P;
+        "#;
+        let m = parse(src).unwrap();
+        match &m.decls[0] {
+            Decl::Proc(p) => {
+                assert_eq!(p.body.len(), 3);
+                assert!(matches!(p.body[0], Stmt::For { .. }));
+                assert!(matches!(p.body[1], Stmt::While { .. }));
+                match &p.body[2] {
+                    Stmt::If { arms, else_body, .. } => {
+                        assert_eq!(arms.len(), 2);
+                        assert_eq!(else_body.len(), 1);
+                    }
+                    other => panic!("expected if, got {other:?}"),
+                }
+            }
+            other => panic!("expected proc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cached_pragma_on_procedure() {
+        let src = r#"
+            (*CACHED*) PROCEDURE Fib(n : INTEGER) : INTEGER =
+            BEGIN
+                IF n < 2 THEN RETURN n; END;
+                RETURN Fib(n - 1) + Fib(n - 2);
+            END Fib;
+        "#;
+        let m = parse(src).unwrap();
+        match &m.decls[0] {
+            Decl::Proc(p) => assert!(p.pragma.is_some()),
+            other => panic!("expected proc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unchecked_expression() {
+        let src = r#"
+            PROCEDURE F(t : Tree) : INTEGER =
+            BEGIN
+                RETURN (*UNCHECKED*) t.left.height() + t.right.height();
+            END F;
+        "#;
+        let m = parse(src).unwrap();
+        match &m.decls[0] {
+            Decl::Proc(p) => match &p.body[0] {
+                Stmt::Return {
+                    value: Some(Expr::Binary { lhs, .. }),
+                    ..
+                } => assert!(matches!(**lhs, Expr::Unchecked(_))),
+                other => panic!("unexpected {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn rejects_assignment_to_call() {
+        let src = "PROCEDURE F() = BEGIN G() := 1; END F;";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_non_call_statement() {
+        let src = "PROCEDURE F() = BEGIN 1 + 2; END F;";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn operator_precedence_is_standard() {
+        let src = "VAR x : INTEGER := 1 + 2 * 3;";
+        let m = parse(src).unwrap();
+        match &m.decls[0] {
+            Decl::Global(g) => match g.init.as_ref().unwrap() {
+                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn parses_arrays() {
+        let src = r#"
+            VAR xs : ARRAY OF INTEGER;
+            VAR grid : ARRAY OF ARRAY OF Tree;
+            PROCEDURE F(n : INTEGER) : INTEGER =
+            BEGIN
+                xs := NEW(ARRAY OF INTEGER, n * 2);
+                xs[0] := 1;
+                xs[n - 1] := xs[0] + 1;
+                RETURN xs[n DIV 2];
+            END F;
+        "#;
+        let m = parse(src).unwrap();
+        match &m.decls[0] {
+            Decl::Global(g) => {
+                assert_eq!(g.ty, TypeExpr::Array(Box::new(TypeExpr::Integer)));
+            }
+            other => panic!("expected global, got {other:?}"),
+        }
+        match &m.decls[2] {
+            Decl::Proc(p) => {
+                assert!(matches!(
+                    p.body[0],
+                    Stmt::Assign { value: Expr::NewArray { .. }, .. }
+                ));
+                assert!(matches!(
+                    p.body[1],
+                    Stmt::Assign { target: Expr::Index { .. }, .. }
+                ));
+            }
+            other => panic!("expected proc, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn indexed_call_results_parse() {
+        // Indexing binds as a postfix like field selection.
+        let src = "PROCEDURE F() : INTEGER = BEGIN RETURN G()[1].x; END F;";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "VAR x : INTEGER := 1;\nVAR y INTEGER;";
+        match parse(src) {
+            Err(LangError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+}

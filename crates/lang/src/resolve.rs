@@ -1,0 +1,1247 @@
+//! Name resolution and static type checking.
+//!
+//! Lowers the surface AST to [`crate::hir`], enforcing:
+//!
+//! * declaration rules: unique names, known supertypes, acyclic
+//!   inheritance, methods implemented by declared procedures with
+//!   compatible signatures;
+//! * the pragma discipline of Section 3.3: `(*MAINTAINED*)` on methods and
+//!   overrides (consistently across a hierarchy), `(*CACHED*)` on
+//!   procedures, and no procedure serving two incompatible incremental
+//!   roles;
+//! * conventional static typing with nominal subtyping and `NIL`
+//!   compatibility.
+
+use crate::ast;
+use crate::error::{LangError, Result};
+use crate::hir::*;
+use crate::token::{Pragma, PragmaStrategy};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Resolves and type-checks a parsed module.
+///
+/// # Errors
+///
+/// Returns [`LangError::Resolve`] for naming/declaration problems and
+/// [`LangError::Type`] for type errors.
+pub fn resolve(module: &ast::Module) -> Result<Program> {
+    Resolver::default().run(module)
+}
+
+/// Inferred type of an expression: a concrete type or the bottom `NIL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ETy {
+    Known(Ty),
+    NilLit,
+}
+
+impl ETy {
+    fn describe(&self, prog: &Program) -> String {
+        match self {
+            ETy::NilLit => "NIL".to_string(),
+            ETy::Known(Ty::Integer) => "INTEGER".to_string(),
+            ETy::Known(Ty::Boolean) => "BOOLEAN".to_string(),
+            ETy::Known(Ty::Text) => "TEXT".to_string(),
+            ETy::Known(Ty::Object(t)) => prog.types[*t].name.clone(),
+            ETy::Known(Ty::Array(a)) => {
+                format!("ARRAY OF {}", ETy::Known(prog.array_elems[*a]).describe(prog))
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Resolver {
+    prog: Program,
+}
+
+struct ProcCtx {
+    /// name -> frame slot for params and visible locals.
+    scopes: Vec<HashMap<String, (usize, Ty)>>,
+    /// Slots of FOR loop variables currently in scope (read-only, as in
+    /// Modula-3).
+    for_slots: Vec<usize>,
+    frame_size: usize,
+    ret: Option<Ty>,
+}
+
+impl ProcCtx {
+    fn lookup(&self, name: &str) -> Option<(usize, Ty)> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn declare(&mut self, name: &str, ty: Ty) -> Result<usize> {
+        let slot = self.frame_size;
+        self.frame_size += 1;
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.to_string(), (slot, ty)).is_some() {
+            return Err(LangError::resolve(format!(
+                "duplicate declaration of {name} in the same scope"
+            )));
+        }
+        Ok(slot)
+    }
+}
+
+fn strategy(p: PragmaStrategy) -> Strategy {
+    match p {
+        PragmaStrategy::Demand => Strategy::Demand,
+        PragmaStrategy::Eager => Strategy::Eager,
+    }
+}
+
+impl Resolver {
+    fn run(mut self, module: &ast::Module) -> Result<Program> {
+        // Pass 1: collect type names (so types can reference each other).
+        for decl in &module.decls {
+            if let ast::Decl::Type(t) = decl {
+                if self.prog.type_by_name.contains_key(&t.name) {
+                    return Err(LangError::resolve(format!(
+                        "duplicate type {}",
+                        t.name
+                    )));
+                }
+                let id = self.prog.types.len();
+                self.prog.types.push(TypeInfo {
+                    name: t.name.clone(),
+                    parent: None,
+                    ancestry: Vec::new(),
+                    fields: Vec::new(),
+                    methods: Vec::new(),
+                });
+                self.prog.type_by_name.insert(t.name.clone(), id);
+            }
+        }
+        // Pass 2: collect procedure signatures and globals.
+        for decl in &module.decls {
+            match decl {
+                ast::Decl::Proc(p) => self.collect_proc_signature(p)?,
+                ast::Decl::Global(g) => self.collect_globals(g)?,
+                ast::Decl::Type(_) => {}
+            }
+        }
+        // Pass 3: build type structure (fields, methods, inheritance).
+        for decl in &module.decls {
+            if let ast::Decl::Type(t) = decl {
+                self.build_type(t)?;
+            }
+        }
+        // Pass 3b: mark procedures implementing maintained methods.
+        self.mark_maintained(module)?;
+        // Pass 4: resolve global initializers.
+        let globals_src: Vec<&ast::GlobalDecl> = module
+            .decls
+            .iter()
+            .filter_map(|d| match d {
+                ast::Decl::Global(g) => Some(g),
+                _ => None,
+            })
+            .collect();
+        let mut gi = 0;
+        for g in globals_src {
+            for _ in &g.names {
+                if let Some(init) = &g.init {
+                    let mut ctx = ProcCtx {
+                        scopes: vec![HashMap::new()],
+                        for_slots: Vec::new(),
+                        frame_size: 0,
+                        ret: None,
+                    };
+                    let (e, ety) = self.expr(init, &mut ctx)?;
+                    let want = self.prog.globals[gi].ty;
+                    self.require_assignable(ety, want, "global initializer")?;
+                    // Initializers run in declaration order: referencing a
+                    // later-declared global would silently read its default.
+                    self.reject_forward_global_refs(&e, gi)?;
+                    self.prog.globals[gi].init = Some(e);
+                }
+                gi += 1;
+            }
+        }
+        // Pass 5: resolve procedure bodies.
+        let procs_src: Vec<&ast::ProcDecl> = module
+            .decls
+            .iter()
+            .filter_map(|d| match d {
+                ast::Decl::Proc(p) => Some(p),
+                _ => None,
+            })
+            .collect();
+        for p in procs_src {
+            self.resolve_proc_body(p)?;
+        }
+        Ok(self.prog)
+    }
+
+    /// Rejects reads of globals declared after index `current` inside a
+    /// global initializer (they would observe the default value, not their
+    /// declared initializer).
+    fn reject_forward_global_refs(&self, e: &HExpr, current: usize) -> Result<()> {
+        let mut bad = None;
+        walk_hexpr(e, &mut |x| {
+            if let HExpr::Global(j) = x {
+                if *j >= current && bad.is_none() {
+                    bad = Some(*j);
+                }
+            }
+        });
+        match bad {
+            Some(j) => Err(LangError::resolve(format!(
+                "global initializer references {} before it is initialized",
+                self.prog.globals[j].name
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    fn lower_type(&mut self, t: &ast::TypeExpr) -> Result<Ty> {
+        match t {
+            ast::TypeExpr::Integer => Ok(Ty::Integer),
+            ast::TypeExpr::Boolean => Ok(Ty::Boolean),
+            ast::TypeExpr::Text => Ok(Ty::Text),
+            ast::TypeExpr::Named(name) => self
+                .prog
+                .type_by_name
+                .get(name)
+                .map(|&id| Ty::Object(id))
+                .ok_or_else(|| LangError::resolve(format!("unknown type {name}"))),
+            ast::TypeExpr::Array(elem) => {
+                let elem = self.lower_type(elem)?;
+                Ok(Ty::Array(self.intern_array(elem)))
+            }
+        }
+    }
+
+    /// Interns `ARRAY OF elem` structurally, so equal array types share an
+    /// id and `Ty` stays `Copy`.
+    fn intern_array(&mut self, elem: Ty) -> usize {
+        if let Some(i) = self.prog.array_elems.iter().position(|&e| e == elem) {
+            return i;
+        }
+        self.prog.array_elems.push(elem);
+        self.prog.array_elems.len() - 1
+    }
+
+    fn collect_proc_signature(&mut self, p: &ast::ProcDecl) -> Result<()> {
+        if matches!(p.name.as_str(), "MAX" | "MIN" | "ABS" | "Print" | "LEN") {
+            return Err(LangError::resolve(format!(
+                "procedure name {} collides with a builtin",
+                p.name
+            )));
+        }
+        if self.prog.proc_by_name.contains_key(&p.name) {
+            return Err(LangError::resolve(format!("duplicate procedure {}", p.name)));
+        }
+        let mut params = Vec::new();
+        for param in &p.params {
+            params.push((param.name.clone(), self.lower_type(&param.ty)?));
+        }
+        let ret = p.ret.as_ref().map(|t| self.lower_type(t)).transpose()?;
+        let incremental = match p.pragma {
+            Some(Pragma::Cached(s, _)) => Some((IncrKind::Cached, strategy(s))),
+            Some(_) => {
+                return Err(LangError::resolve(format!(
+                    "procedure {} carries a non-CACHED pragma",
+                    p.name
+                )))
+            }
+            None => None,
+        };
+        let cache_capacity = match p.pragma {
+            Some(Pragma::Cached(_, cap)) => cap.map(|c| c as usize),
+            _ => None,
+        };
+        let id = self.prog.procs.len();
+        self.prog.procs.push(ProcInfo {
+            name: p.name.clone(),
+            incremental,
+            cache_capacity,
+            params,
+            ret,
+            frame_size: 0,
+            local_inits: Vec::new(),
+            body: Vec::new(),
+        });
+        self.prog.proc_by_name.insert(p.name.clone(), id);
+        Ok(())
+    }
+
+    fn collect_globals(&mut self, g: &ast::GlobalDecl) -> Result<()> {
+        let ty = self.lower_type(&g.ty)?;
+        for name in &g.names {
+            if self.prog.global_by_name.contains_key(name) {
+                return Err(LangError::resolve(format!("duplicate global {name}")));
+            }
+            let idx = self.prog.globals.len();
+            self.prog.globals.push(GlobalInfo {
+                name: name.clone(),
+                ty,
+                init: None,
+            });
+            self.prog.global_by_name.insert(name.clone(), idx);
+        }
+        Ok(())
+    }
+
+    fn build_type(&mut self, t: &ast::TypeDecl) -> Result<()> {
+        let id = self.prog.type_by_name[&t.name];
+        // Parent linkage + flattened fields/methods. Parents must already be
+        // fully built; require declaration before use (checks cycles too).
+        let (mut fields, mut methods, parent, mut ancestry) = match &t.parent {
+            Some(pname) => {
+                let pid = *self.prog.type_by_name.get(pname).ok_or_else(|| {
+                    LangError::resolve(format!("unknown supertype {pname} of {}", t.name))
+                })?;
+                let pinfo = &self.prog.types[pid];
+                if pinfo.ancestry.is_empty() && pid != id {
+                    return Err(LangError::resolve(format!(
+                        "supertype {pname} must be declared before {}",
+                        t.name
+                    )));
+                }
+                if pid == id {
+                    return Err(LangError::resolve(format!("type {} inherits itself", t.name)));
+                }
+                (
+                    pinfo.fields.clone(),
+                    pinfo.methods.clone(),
+                    Some(pid),
+                    pinfo.ancestry.clone(),
+                )
+            }
+            None => (Vec::new(), Vec::new(), None, Vec::new()),
+        };
+        ancestry.insert(0, id);
+        // Commit ancestry before checking method signatures: the receiver
+        // compatibility check consults `is_subtype` on this very type.
+        self.prog.types[id].parent = parent;
+        self.prog.types[id].ancestry = ancestry;
+
+        for group in &t.fields {
+            let ty = self.lower_type(&group.ty)?;
+            for name in &group.names {
+                if fields.iter().any(|f| &f.name == name) {
+                    return Err(LangError::resolve(format!(
+                        "duplicate field {name} in type {}",
+                        t.name
+                    )));
+                }
+                fields.push(FieldInfo {
+                    name: name.clone(),
+                    ty,
+                });
+            }
+        }
+
+        for m in &t.methods {
+            if methods.iter().any(|mm| mm.name == m.name) {
+                return Err(LangError::resolve(format!(
+                    "method {} redeclared in type {} (use OVERRIDES)",
+                    m.name, t.name
+                )));
+            }
+            let impl_proc = self.expect_proc(&m.impl_proc, &m.name)?;
+            let mut params = Vec::new();
+            for p in &m.params {
+                params.push(self.lower_type(&p.ty)?);
+            }
+            let ret = m.ret.as_ref().map(|t| self.lower_type(t)).transpose()?;
+            self.check_method_signature(id, impl_proc, &params, ret, &m.name)?;
+            methods.push(MethodImpl {
+                name: m.name.clone(),
+                params,
+                ret,
+                maintained: matches!(m.pragma, Some(Pragma::Maintained(_))),
+                impl_proc,
+            });
+        }
+
+        for o in &t.overrides {
+            let impl_proc = self.expect_proc(&o.impl_proc, &o.name)?;
+            let slot = methods
+                .iter()
+                .position(|mm| mm.name == o.name)
+                .ok_or_else(|| {
+                    LangError::resolve(format!(
+                        "override of unknown method {} in type {}",
+                        o.name, t.name
+                    ))
+                })?;
+            let maintained_here = matches!(o.pragma, Some(Pragma::Maintained(_)));
+            if methods[slot].maintained != maintained_here {
+                return Err(LangError::resolve(format!(
+                    "override of {} in {} must {}carry (*MAINTAINED*) to match its declaration",
+                    o.name,
+                    t.name,
+                    if methods[slot].maintained { "" } else { "not " }
+                )));
+            }
+            let (params, ret) = (methods[slot].params.clone(), methods[slot].ret);
+            self.check_method_signature(id, impl_proc, &params, ret, &o.name)?;
+            methods[slot].impl_proc = impl_proc;
+        }
+
+        let info = &mut self.prog.types[id];
+        info.fields = fields;
+        info.methods = methods;
+        Ok(())
+    }
+
+    fn expect_proc(&self, name: &str, method: &str) -> Result<ProcId> {
+        self.prog.proc_by_name.get(name).copied().ok_or_else(|| {
+            LangError::resolve(format!(
+                "method {method} names unknown implementation procedure {name}"
+            ))
+        })
+    }
+
+    /// The implementing procedure must take the receiver (typed as this
+    /// type or an ancestor) followed by the method parameters.
+    fn check_method_signature(
+        &self,
+        ty: TypeId,
+        proc: ProcId,
+        params: &[Ty],
+        ret: Option<Ty>,
+        method: &str,
+    ) -> Result<()> {
+        let p = &self.prog.procs[proc];
+        if p.params.len() != params.len() + 1 {
+            return Err(LangError::ty(format!(
+                "procedure {} implements method {method} but takes {} parameters (receiver + {} expected)",
+                p.name,
+                p.params.len(),
+                params.len()
+            )));
+        }
+        match p.params[0].1 {
+            Ty::Object(recv) if self.prog.is_subtype(ty, recv) => {}
+            _ => {
+                return Err(LangError::ty(format!(
+                    "procedure {} implementing {method} must take the receiver ({}) first",
+                    p.name, self.prog.types[ty].name
+                )))
+            }
+        }
+        for (i, want) in params.iter().enumerate() {
+            if p.params[i + 1].1 != *want {
+                return Err(LangError::ty(format!(
+                    "procedure {} parameter {} does not match method {method}",
+                    p.name,
+                    i + 1
+                )));
+            }
+        }
+        if p.ret != ret {
+            return Err(LangError::ty(format!(
+                "procedure {} return type does not match method {method}",
+                p.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Marks procedures that implement maintained methods as incremental,
+    /// with the strategy named on the method/override pragma.
+    fn mark_maintained(&mut self, module: &ast::Module) -> Result<()> {
+        for decl in &module.decls {
+            let ast::Decl::Type(t) = decl else { continue };
+            let pragmas = t
+                .methods
+                .iter()
+                .map(|m| (m.pragma, &m.impl_proc))
+                .chain(t.overrides.iter().map(|o| (o.pragma, &o.impl_proc)));
+            for (pragma, impl_name) in pragmas {
+                let Some(Pragma::Maintained(s)) = pragma else {
+                    continue;
+                };
+                let pid = self.prog.proc_by_name[impl_name];
+                let new = (IncrKind::Maintained, strategy(s));
+                match self.prog.procs[pid].incremental {
+                    None => self.prog.procs[pid].incremental = Some(new),
+                    Some(existing) if existing == new => {}
+                    Some(_) => {
+                        return Err(LangError::resolve(format!(
+                            "procedure {impl_name} is used with conflicting incremental pragmas"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Bodies
+    // ------------------------------------------------------------------
+
+    fn resolve_proc_body(&mut self, p: &ast::ProcDecl) -> Result<()> {
+        let pid = self.prog.proc_by_name[&p.name];
+        let ret = self.prog.procs[pid].ret;
+        let mut ctx = ProcCtx {
+            scopes: vec![HashMap::new()],
+            for_slots: Vec::new(),
+            frame_size: 0,
+            ret,
+        };
+        let params = self.prog.procs[pid].params.clone();
+        for (name, ty) in &params {
+            ctx.declare(name, *ty)?;
+        }
+        let mut local_inits = Vec::new();
+        for group in &p.locals {
+            let ty = self.lower_type(&group.ty)?;
+            for name in &group.names {
+                let init = group
+                    .init
+                    .as_ref()
+                    .map(|e| {
+                        let (he, ety) = self.expr(e, &mut ctx)?;
+                        self.require_assignable(ety, ty, &format!("initializer of {name}"))?;
+                        Ok::<HExpr, LangError>(he)
+                    })
+                    .transpose()?;
+                let slot = ctx.declare(name, ty)?;
+                local_inits.push((slot, ty, init));
+            }
+        }
+        let body = self.stmts(&p.body, &mut ctx)?;
+        let info = &mut self.prog.procs[pid];
+        info.frame_size = ctx.frame_size;
+        info.local_inits = local_inits;
+        info.body = body;
+        Ok(())
+    }
+
+    fn stmts(&mut self, stmts: &[ast::Stmt], ctx: &mut ProcCtx) -> Result<Vec<HStmt>> {
+        stmts.iter().map(|s| self.stmt(s, ctx)).collect()
+    }
+
+    fn stmt(&mut self, s: &ast::Stmt, ctx: &mut ProcCtx) -> Result<HStmt> {
+        match s {
+            ast::Stmt::Assign { target, value, .. } => {
+                let (hv, vty) = self.expr(value, ctx)?;
+                match target {
+                    ast::Expr::Var { name, .. } => {
+                        if let Some((slot, ty)) = ctx.lookup(name) {
+                            if ctx.for_slots.contains(&slot) {
+                                return Err(LangError::ty(format!(
+                                    "FOR variable {name} is read-only"
+                                )));
+                            }
+                            self.require_assignable(vty, ty, &format!("assignment to {name}"))?;
+                            Ok(HStmt::AssignLocal { slot, value: hv })
+                        } else if let Some(&idx) = self.prog.global_by_name.get(name) {
+                            let ty = self.prog.globals[idx].ty;
+                            self.require_assignable(vty, ty, &format!("assignment to {name}"))?;
+                            Ok(HStmt::AssignGlobal { index: idx, value: hv })
+                        } else {
+                            Err(LangError::resolve(format!("unknown variable {name}")))
+                        }
+                    }
+                    ast::Expr::Field { obj, name, .. } => {
+                        let (hobj, oty) = self.expr(obj, ctx)?;
+                        let (field, fty) = self.field_of(oty, name)?;
+                        self.require_assignable(vty, fty, &format!("assignment to .{name}"))?;
+                        Ok(HStmt::AssignField {
+                            obj: hobj,
+                            field,
+                            value: hv,
+                        })
+                    }
+                    ast::Expr::Index { arr, index, .. } => {
+                        let (harr, aty) = self.expr(arr, ctx)?;
+                        let elem = match aty {
+                            ETy::Known(Ty::Array(a)) => self.prog.array_elems[a],
+                            other => {
+                                return Err(LangError::ty(format!(
+                                    "indexing non-array {}",
+                                    other.describe(&self.prog)
+                                )))
+                            }
+                        };
+                        let (hidx, ity) = self.expr(index, ctx)?;
+                        self.require(ity, Ty::Integer, "array index")?;
+                        self.require_assignable(vty, elem, "array element assignment")?;
+                        Ok(HStmt::AssignIndex {
+                            arr: harr,
+                            index: hidx,
+                            value: hv,
+                        })
+                    }
+                    _ => Err(LangError::resolve(
+                        "assignment target must be a variable, field or array element"
+                            .to_string(),
+                    )),
+                }
+            }
+            ast::Stmt::If {
+                arms, else_body, ..
+            } => {
+                let mut harms = Vec::new();
+                for (cond, body) in arms {
+                    let (hc, cty) = self.expr(cond, ctx)?;
+                    self.require(cty, Ty::Boolean, "IF condition")?;
+                    ctx.scopes.push(HashMap::new());
+                    let hb = self.stmts(body, ctx)?;
+                    ctx.scopes.pop();
+                    harms.push((hc, hb));
+                }
+                ctx.scopes.push(HashMap::new());
+                let helse = self.stmts(else_body, ctx)?;
+                ctx.scopes.pop();
+                Ok(HStmt::If {
+                    arms: harms,
+                    else_body: helse,
+                })
+            }
+            ast::Stmt::While { cond, body, .. } => {
+                let (hc, cty) = self.expr(cond, ctx)?;
+                self.require(cty, Ty::Boolean, "WHILE condition")?;
+                ctx.scopes.push(HashMap::new());
+                let hb = self.stmts(body, ctx)?;
+                ctx.scopes.pop();
+                Ok(HStmt::While { cond: hc, body: hb })
+            }
+            ast::Stmt::For {
+                var,
+                from,
+                to,
+                by,
+                body,
+                ..
+            } => {
+                let (hfrom, fty) = self.expr(from, ctx)?;
+                self.require(fty, Ty::Integer, "FOR start")?;
+                let (hto, tty) = self.expr(to, ctx)?;
+                self.require(tty, Ty::Integer, "FOR bound")?;
+                let hby = by
+                    .as_ref()
+                    .map(|e| {
+                        let (he, ety) = self.expr(e, ctx)?;
+                        self.require(ety, Ty::Integer, "FOR step")?;
+                        Ok::<HExpr, LangError>(he)
+                    })
+                    .transpose()?;
+                ctx.scopes.push(HashMap::new());
+                let slot = ctx.declare(var, Ty::Integer)?;
+                ctx.for_slots.push(slot);
+                let hb = self.stmts(body, ctx)?;
+                ctx.for_slots.pop();
+                ctx.scopes.pop();
+                Ok(HStmt::For {
+                    slot,
+                    from: hfrom,
+                    to: hto,
+                    by: hby,
+                    body: hb,
+                })
+            }
+            ast::Stmt::Return { value, .. } => match (value, ctx.ret) {
+                (None, None) => Ok(HStmt::Return(None)),
+                (Some(e), Some(want)) => {
+                    let (he, ety) = self.expr(e, ctx)?;
+                    self.require_assignable(ety, want, "RETURN value")?;
+                    Ok(HStmt::Return(Some(he)))
+                }
+                (None, Some(_)) => Err(LangError::ty(
+                    "RETURN without a value in a function procedure".to_string(),
+                )),
+                (Some(_), None) => Err(LangError::ty(
+                    "RETURN with a value in a proper procedure".to_string(),
+                )),
+            },
+            ast::Stmt::Expr { expr, .. } => {
+                let (he, _) = self.expr_allow_void(expr, ctx)?;
+                Ok(HStmt::Expr(he))
+            }
+        }
+    }
+
+    fn field_of(&self, oty: ETy, name: &str) -> Result<(usize, Ty)> {
+        match oty {
+            ETy::Known(Ty::Object(t)) => {
+                let off = self.prog.field_offset(t, name).ok_or_else(|| {
+                    LangError::ty(format!(
+                        "type {} has no field {name}",
+                        self.prog.types[t].name
+                    ))
+                })?;
+                Ok((off, self.prog.types[t].fields[off].ty))
+            }
+            other => Err(LangError::ty(format!(
+                "field access .{name} on non-object {}",
+                other.describe(&self.prog)
+            ))),
+        }
+    }
+
+    fn require(&self, got: ETy, want: Ty, what: &str) -> Result<()> {
+        self.require_assignable(got, want, what)
+    }
+
+    fn require_assignable(&self, got: ETy, want: Ty, what: &str) -> Result<()> {
+        let ok = match (got, want) {
+            (ETy::NilLit, Ty::Object(_)) | (ETy::NilLit, Ty::Array(_)) => true,
+            (ETy::Known(Ty::Object(a)), Ty::Object(b)) => self.prog.is_subtype(a, b),
+            (ETy::Known(a), b) => a == b,
+            (ETy::NilLit, _) => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(LangError::ty(format!(
+                "{what}: expected {}, found {}",
+                ETy::Known(want).describe(&self.prog),
+                got.describe(&self.prog)
+            )))
+        }
+    }
+
+    fn expr(&mut self, e: &ast::Expr, ctx: &mut ProcCtx) -> Result<(HExpr, ETy)> {
+        let (he, ty) = self.expr_allow_void(e, ctx)?;
+        match ty {
+            Some(t) => Ok((he, t)),
+            None => Err(LangError::ty(
+                "call of a proper procedure used as a value".to_string(),
+            )),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn expr_allow_void(
+        &mut self,
+        e: &ast::Expr,
+        ctx: &mut ProcCtx,
+    ) -> Result<(HExpr, Option<ETy>)> {
+        use ast::Expr as E;
+        match e {
+            E::Int(v) => Ok((HExpr::Int(*v), Some(ETy::Known(Ty::Integer)))),
+            E::Text(s) => Ok((
+                HExpr::Text(Rc::from(s.as_str())),
+                Some(ETy::Known(Ty::Text)),
+            )),
+            E::Bool(b) => Ok((HExpr::Bool(*b), Some(ETy::Known(Ty::Boolean)))),
+            E::Nil => Ok((HExpr::Nil, Some(ETy::NilLit))),
+            E::Var { name, .. } => {
+                if let Some((slot, ty)) = ctx.lookup(name) {
+                    Ok((HExpr::Local(slot), Some(ETy::Known(ty))))
+                } else if let Some(&idx) = self.prog.global_by_name.get(name) {
+                    Ok((
+                        HExpr::Global(idx),
+                        Some(ETy::Known(self.prog.globals[idx].ty)),
+                    ))
+                } else {
+                    Err(LangError::resolve(format!("unknown variable {name}")))
+                }
+            }
+            E::Field { obj, name, .. } => {
+                let (hobj, oty) = self.expr(obj, ctx)?;
+                let (field, fty) = self.field_of(oty, name)?;
+                Ok((
+                    HExpr::Field {
+                        obj: Box::new(hobj),
+                        field,
+                    },
+                    Some(ETy::Known(fty)),
+                ))
+            }
+            E::New { type_name, .. } => {
+                let t = self
+                    .prog
+                    .type_by_name
+                    .get(type_name)
+                    .copied()
+                    .ok_or_else(|| LangError::resolve(format!("NEW of unknown type {type_name}")))?;
+                Ok((HExpr::New(t), Some(ETy::Known(Ty::Object(t)))))
+            }
+            E::Unchecked(inner) => {
+                let (he, ty) = self.expr(inner, ctx)?;
+                Ok((HExpr::Unchecked(Box::new(he)), Some(ty)))
+            }
+            E::NewArray { elem, size, .. } => {
+                let elem = self.lower_type(elem)?;
+                let (hsize, sty) = self.expr(size, ctx)?;
+                self.require(sty, Ty::Integer, "array size")?;
+                let a = self.intern_array(elem);
+                Ok((
+                    HExpr::NewArray {
+                        elem,
+                        size: Box::new(hsize),
+                    },
+                    Some(ETy::Known(Ty::Array(a))),
+                ))
+            }
+            E::Index { arr, index, .. } => {
+                let (harr, aty) = self.expr(arr, ctx)?;
+                let elem = match aty {
+                    ETy::Known(Ty::Array(a)) => self.prog.array_elems[a],
+                    other => {
+                        return Err(LangError::ty(format!(
+                            "indexing non-array {}",
+                            other.describe(&self.prog)
+                        )))
+                    }
+                };
+                let (hidx, ity) = self.expr(index, ctx)?;
+                self.require(ity, Ty::Integer, "array index")?;
+                Ok((
+                    HExpr::Index {
+                        arr: Box::new(harr),
+                        index: Box::new(hidx),
+                    },
+                    Some(ETy::Known(elem)),
+                ))
+            }
+            E::Unary { op, expr } => {
+                let (he, ty) = self.expr(expr, ctx)?;
+                match op {
+                    ast::UnOp::Neg => self.require(ty, Ty::Integer, "unary -")?,
+                    ast::UnOp::Not => self.require(ty, Ty::Boolean, "NOT")?,
+                }
+                let out = match op {
+                    ast::UnOp::Neg => Ty::Integer,
+                    ast::UnOp::Not => Ty::Boolean,
+                };
+                Ok((
+                    HExpr::Unary {
+                        op: *op,
+                        expr: Box::new(he),
+                    },
+                    Some(ETy::Known(out)),
+                ))
+            }
+            E::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, ctx),
+            E::Call { callee, args, .. } => self.call(callee, args, ctx),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn binary(
+        &mut self,
+        op: ast::BinOp,
+        lhs: &ast::Expr,
+        rhs: &ast::Expr,
+        ctx: &mut ProcCtx,
+    ) -> Result<(HExpr, Option<ETy>)> {
+        use ast::BinOp as B;
+        let (hl, lt) = self.expr(lhs, ctx)?;
+        let (hr, rt) = self.expr(rhs, ctx)?;
+        let out = match op {
+            B::Add | B::Sub | B::Mul | B::Div | B::Mod => {
+                self.require(lt, Ty::Integer, "arithmetic operand")?;
+                self.require(rt, Ty::Integer, "arithmetic operand")?;
+                Ty::Integer
+            }
+            B::Concat => {
+                self.require(lt, Ty::Text, "& operand")?;
+                self.require(rt, Ty::Text, "& operand")?;
+                Ty::Text
+            }
+            B::Lt | B::Le | B::Gt | B::Ge => {
+                self.require(lt, Ty::Integer, "comparison operand")?;
+                self.require(rt, Ty::Integer, "comparison operand")?;
+                Ty::Boolean
+            }
+            B::And | B::Or => {
+                self.require(lt, Ty::Boolean, "boolean operand")?;
+                self.require(rt, Ty::Boolean, "boolean operand")?;
+                Ty::Boolean
+            }
+            B::Eq | B::Ne => {
+                let compatible = match (lt, rt) {
+                    (ETy::NilLit, ETy::NilLit) => true,
+                    (ETy::NilLit, ETy::Known(Ty::Object(_) | Ty::Array(_)))
+                    | (ETy::Known(Ty::Object(_) | Ty::Array(_)), ETy::NilLit) => true,
+                    (ETy::Known(Ty::Object(a)), ETy::Known(Ty::Object(b))) => {
+                        self.prog.is_subtype(a, b) || self.prog.is_subtype(b, a)
+                    }
+                    (ETy::Known(a), ETy::Known(b)) => a == b,
+                    _ => false,
+                };
+                if !compatible {
+                    return Err(LangError::ty(format!(
+                        "= / # on incompatible types {} and {}",
+                        lt.describe(&self.prog),
+                        rt.describe(&self.prog)
+                    )));
+                }
+                Ty::Boolean
+            }
+        };
+        Ok((
+            HExpr::Binary {
+                op,
+                lhs: Box::new(hl),
+                rhs: Box::new(hr),
+            },
+            Some(ETy::Known(out)),
+        ))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn call(
+        &mut self,
+        callee: &ast::Callee,
+        args: &[ast::Expr],
+        ctx: &mut ProcCtx,
+    ) -> Result<(HExpr, Option<ETy>)> {
+        match callee {
+            ast::Callee::Proc(name) => {
+                // Builtins first.
+                let builtin = match name.as_str() {
+                    "MAX" => Some(Builtin::Max),
+                    "MIN" => Some(Builtin::Min),
+                    "ABS" => Some(Builtin::Abs),
+                    "Print" => Some(Builtin::Print),
+                    "LEN" => Some(Builtin::Len),
+                    _ => None,
+                };
+                if let Some(b) = builtin {
+                    return self.builtin_call(b, args, ctx);
+                }
+                let pid = self.prog.proc_by_name.get(name).copied().ok_or_else(|| {
+                    LangError::resolve(format!("call of unknown procedure {name}"))
+                })?;
+                let (param_tys, ret) = {
+                    let p = &self.prog.procs[pid];
+                    (
+                        p.params.iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+                        p.ret,
+                    )
+                };
+                let hargs = self.check_args(name, &param_tys, args, ctx)?;
+                Ok((
+                    HExpr::CallProc { proc: pid, args: hargs },
+                    ret.map(ETy::Known),
+                ))
+            }
+            ast::Callee::Method { obj, name } => {
+                let (hobj, oty) = self.expr(obj, ctx)?;
+                let t = match oty {
+                    ETy::Known(Ty::Object(t)) => t,
+                    other => {
+                        return Err(LangError::ty(format!(
+                            "method call .{name}() on non-object {}",
+                            other.describe(&self.prog)
+                        )))
+                    }
+                };
+                let slot = self.prog.method_slot(t, name).ok_or_else(|| {
+                    LangError::ty(format!(
+                        "type {} has no method {name}",
+                        self.prog.types[t].name
+                    ))
+                })?;
+                let (param_tys, ret) = {
+                    let m = &self.prog.types[t].methods[slot];
+                    (m.params.clone(), m.ret)
+                };
+                let hargs = self.check_args(name, &param_tys, args, ctx)?;
+                Ok((
+                    HExpr::CallMethod {
+                        obj: Box::new(hobj),
+                        slot,
+                        args: hargs,
+                    },
+                    ret.map(ETy::Known),
+                ))
+            }
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn builtin_call(
+        &mut self,
+        b: Builtin,
+        args: &[ast::Expr],
+        ctx: &mut ProcCtx,
+    ) -> Result<(HExpr, Option<ETy>)> {
+        let (arity, ret) = match b {
+            Builtin::Max | Builtin::Min => (2, Some(ETy::Known(Ty::Integer))),
+            Builtin::Abs | Builtin::Len => (1, Some(ETy::Known(Ty::Integer))),
+            Builtin::Print => (1, None),
+        };
+        if args.len() != arity {
+            return Err(LangError::ty(format!(
+                "builtin {b:?} takes {arity} argument(s), got {}",
+                args.len()
+            )));
+        }
+        let mut hargs = Vec::new();
+        for a in args {
+            let (ha, aty) = self.expr(a, ctx)?;
+            match b {
+                Builtin::Print => {}
+                Builtin::Len => {
+                    if !matches!(aty, ETy::Known(Ty::Array(_))) {
+                        return Err(LangError::ty(format!(
+                            "LEN of non-array {}",
+                            aty.describe(&self.prog)
+                        )));
+                    }
+                }
+                _ => self.require(aty, Ty::Integer, "builtin argument")?,
+            }
+            hargs.push(ha);
+        }
+        Ok((HExpr::CallBuiltin { builtin: b, args: hargs }, ret))
+    }
+
+    fn check_args(
+        &mut self,
+        name: &str,
+        params: &[Ty],
+        args: &[ast::Expr],
+        ctx: &mut ProcCtx,
+    ) -> Result<Vec<HExpr>> {
+        if params.len() != args.len() {
+            return Err(LangError::ty(format!(
+                "{name} takes {} argument(s), got {}",
+                params.len(),
+                args.len()
+            )));
+        }
+        let mut out = Vec::new();
+        for (a, want) in args.iter().zip(params) {
+            let (ha, aty) = self.expr(a, ctx)?;
+            self.require_assignable(aty, *want, &format!("argument of {name}"))?;
+            out.push(ha);
+        }
+        Ok(out)
+    }
+}
+
+/// Visits every sub-expression of `e`, including `e` itself.
+fn walk_hexpr(e: &HExpr, f: &mut impl FnMut(&HExpr)) {
+    f(e);
+    match e {
+        HExpr::Field { obj, .. } => walk_hexpr(obj, f),
+        HExpr::CallProc { args, .. } | HExpr::CallBuiltin { args, .. } => {
+            for a in args {
+                walk_hexpr(a, f);
+            }
+        }
+        HExpr::CallMethod { obj, args, .. } => {
+            walk_hexpr(obj, f);
+            for a in args {
+                walk_hexpr(a, f);
+            }
+        }
+        HExpr::NewArray { size, .. } => walk_hexpr(size, f),
+        HExpr::Index { arr, index } => {
+            walk_hexpr(arr, f);
+            walk_hexpr(index, f);
+        }
+        HExpr::Unary { expr, .. } | HExpr::Unchecked(expr) => walk_hexpr(expr, f),
+        HExpr::Binary { lhs, rhs, .. } => {
+            walk_hexpr(lhs, f);
+            walk_hexpr(rhs, f);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn ok(src: &str) -> Program {
+        resolve(&parse(src).unwrap()).unwrap()
+    }
+
+    fn fails(src: &str) -> LangError {
+        resolve(&parse(src).unwrap()).unwrap_err()
+    }
+
+    const TREE: &str = r#"
+        TYPE Tree = OBJECT
+            left, right : Tree;
+        METHODS
+            (*MAINTAINED*) height() : INTEGER := Height;
+        END;
+        TYPE TreeNil = Tree OBJECT
+        OVERRIDES
+            (*MAINTAINED*) height := HeightNil;
+        END;
+        PROCEDURE Height(t : Tree) : INTEGER =
+        BEGIN
+            RETURN MAX(t.left.height(), t.right.height()) + 1;
+        END Height;
+        PROCEDURE HeightNil(t : Tree) : INTEGER =
+        BEGIN RETURN 0; END HeightNil;
+    "#;
+
+    #[test]
+    fn resolves_the_tree_program() {
+        let p = ok(TREE);
+        assert_eq!(p.types.len(), 2);
+        assert_eq!(p.procs.len(), 2);
+        let tree = p.type_by_name["Tree"];
+        let treenil = p.type_by_name["TreeNil"];
+        assert!(p.is_subtype(treenil, tree));
+        assert!(!p.is_subtype(tree, treenil));
+        // Both impls are marked incremental (maintained).
+        assert_eq!(p.incremental_proc_count(), 2);
+        // Override redirects the slot.
+        let slot = p.method_slot(treenil, "height").unwrap();
+        assert_eq!(
+            p.types[treenil].methods[slot].impl_proc,
+            p.proc_by_name["HeightNil"]
+        );
+        assert_eq!(
+            p.types[tree].methods[slot].impl_proc,
+            p.proc_by_name["Height"]
+        );
+    }
+
+    #[test]
+    fn inherited_fields_are_flattened() {
+        let p = ok(r#"
+            TYPE A = OBJECT x : INTEGER; END;
+            TYPE B = A OBJECT y : INTEGER; END;
+        "#);
+        let b = p.type_by_name["B"];
+        assert_eq!(p.field_offset(b, "x"), Some(0));
+        assert_eq!(p.field_offset(b, "y"), Some(1));
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let e = fails("PROCEDURE F() = BEGIN x := 1; END F;");
+        assert!(matches!(e, LangError::Resolve { .. }));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let e = fails(r#"VAR x : INTEGER := TRUE;"#);
+        assert!(matches!(e, LangError::Type { .. }));
+        let e = fails(
+            "PROCEDURE F(n : INTEGER) : INTEGER = BEGIN RETURN n; END F;
+             VAR y : BOOLEAN := F(1) & \"x\";",
+        );
+        assert!(matches!(e, LangError::Type { .. }));
+    }
+
+    #[test]
+    fn maintained_override_consistency_is_enforced() {
+        let e = fails(r#"
+            TYPE A = OBJECT
+            METHODS
+                (*MAINTAINED*) m() : INTEGER := M1;
+            END;
+            TYPE B = A OBJECT
+            OVERRIDES
+                m := M2;
+            END;
+            PROCEDURE M1(a : A) : INTEGER = BEGIN RETURN 1; END M1;
+            PROCEDURE M2(b : B) : INTEGER = BEGIN RETURN 2; END M2;
+        "#);
+        assert!(matches!(e, LangError::Resolve { .. }), "{e}");
+    }
+
+    #[test]
+    fn method_signature_mismatch_is_an_error() {
+        let e = fails(r#"
+            TYPE A = OBJECT
+            METHODS
+                m(x : INTEGER) : INTEGER := M1;
+            END;
+            PROCEDURE M1(a : A) : INTEGER = BEGIN RETURN 1; END M1;
+        "#);
+        assert!(matches!(e, LangError::Type { .. }));
+    }
+
+    #[test]
+    fn nil_is_assignable_to_objects_only() {
+        ok(r#"
+            TYPE A = OBJECT END;
+            VAR a : A := NIL;
+        "#);
+        let e = fails("VAR x : INTEGER := NIL;");
+        assert!(matches!(e, LangError::Type { .. }));
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(matches!(
+            fails("VAR x : INTEGER; VAR x : INTEGER;"),
+            LangError::Resolve { .. }
+        ));
+        assert!(matches!(
+            fails("TYPE A = OBJECT END; TYPE A = OBJECT END;"),
+            LangError::Resolve { .. }
+        ));
+    }
+
+    #[test]
+    fn supertype_must_be_declared_first() {
+        let e = fails(r#"
+            TYPE B = A OBJECT END;
+            TYPE A = OBJECT END;
+        "#);
+        assert!(matches!(e, LangError::Resolve { .. }));
+    }
+
+    #[test]
+    fn subtype_arguments_are_accepted() {
+        ok(r#"
+            TYPE A = OBJECT END;
+            TYPE B = A OBJECT END;
+            PROCEDURE F(a : A) = BEGIN RETURN; END F;
+            PROCEDURE G(b : B) = BEGIN F(b); END G;
+        "#);
+    }
+
+    #[test]
+    fn for_variable_is_scoped() {
+        let e = fails(
+            "PROCEDURE F() : INTEGER =
+             BEGIN
+                FOR i := 1 TO 3 DO Print(i); END;
+                RETURN i;
+             END F;",
+        );
+        assert!(matches!(e, LangError::Resolve { .. }));
+    }
+
+    #[test]
+    fn array_types_intern_structurally() {
+        let p = ok(r#"
+            VAR a, b : ARRAY OF INTEGER;
+            VAR c : ARRAY OF TEXT;
+            VAR d : ARRAY OF ARRAY OF INTEGER;
+            PROCEDURE F() =
+            BEGIN a := b; END F;
+        "#);
+        assert_eq!(p.array_elems.len(), 3, "INTEGER, TEXT, ARRAY OF INTEGER");
+    }
+
+    #[test]
+    fn array_type_errors() {
+        let e = fails("VAR a : ARRAY OF INTEGER; VAR b : ARRAY OF TEXT;
+                       PROCEDURE F() = BEGIN a := b; END F;");
+        assert!(matches!(e, LangError::Type { .. }));
+        let e = fails("VAR a : ARRAY OF INTEGER;
+                       PROCEDURE F() : INTEGER = BEGIN RETURN a[TRUE]; END F;");
+        assert!(matches!(e, LangError::Type { .. }));
+        let e = fails("PROCEDURE F(x : INTEGER) : INTEGER = BEGIN RETURN x[0]; END F;");
+        assert!(matches!(e, LangError::Type { .. }));
+        let e = fails("PROCEDURE F(x : INTEGER) : INTEGER = BEGIN RETURN LEN(x); END F;");
+        assert!(matches!(e, LangError::Type { .. }));
+    }
+
+    #[test]
+    fn cached_pragma_marks_procedure() {
+        let p = ok(r#"
+            (*CACHED*) PROCEDURE F(n : INTEGER) : INTEGER =
+            BEGIN RETURN n * 2; END F;
+        "#);
+        assert_eq!(
+            p.procs[0].incremental,
+            Some((IncrKind::Cached, Strategy::Demand))
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Tokens of Alphonse-L.
+//!
+//! Alphonse-L is the paper's `Alphonse-L` instantiated with a Modula-3
+//! flavoured base language `L` (Section 3.2 uses Modula-3 notation). The
+//! Alphonse pragmas are comments to the base language, exactly as in the
+//! paper: `(*MAINTAINED*)`, `(*CACHED*)` (each optionally with a `DEMAND` or
+//! `EAGER` evaluation strategy argument) and `(*UNCHECKED*)`.
+
+use std::fmt;
+
+/// Evaluation strategy named in a pragma (paper Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PragmaStrategy {
+    /// Update lazily on calls (`DEMAND`, the default).
+    Demand,
+    /// Update during change propagation (`EAGER`).
+    Eager,
+}
+
+/// An Alphonse pragma recognized by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pragma {
+    /// `(*MAINTAINED*)` — marks a method as incrementally maintained.
+    Maintained(PragmaStrategy),
+    /// `(*CACHED*)` — marks a procedure as function-cached, optionally
+    /// with an LRU cache capacity (`(*CACHED LRU 64*)`) — the paper's
+    /// cache-size / replacement-algorithm pragma arguments (Section 3.3).
+    Cached(PragmaStrategy, Option<u32>),
+    /// `(*UNCHECKED*)` — suppresses dependence recording for the following
+    /// expression (Section 6.4).
+    Unchecked,
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    // Literals and identifiers.
+    /// Integer literal.
+    Int(i64),
+    /// Text (string) literal.
+    Text(String),
+    /// Identifier.
+    Ident(String),
+    /// Alphonse pragma comment.
+    Pragma(Pragma),
+
+    // Keywords.
+    /// `TYPE`
+    Type,
+    /// `OBJECT`
+    Object,
+    /// `METHODS`
+    Methods,
+    /// `OVERRIDES`
+    Overrides,
+    /// `END`
+    End,
+    /// `PROCEDURE`
+    Procedure,
+    /// `BEGIN`
+    Begin,
+    /// `VAR`
+    Var,
+    /// `IF`
+    If,
+    /// `THEN`
+    Then,
+    /// `ELSIF`
+    Elsif,
+    /// `ELSE`
+    Else,
+    /// `WHILE`
+    While,
+    /// `DO`
+    Do,
+    /// `FOR`
+    For,
+    /// `TO`
+    To,
+    /// `BY`
+    By,
+    /// `RETURN`
+    Return,
+    /// `NEW`
+    New,
+    /// `NIL`
+    Nil,
+    /// `TRUE`
+    True,
+    /// `FALSE`
+    False,
+    /// `DIV`
+    Div,
+    /// `MOD`
+    Mod,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `NOT`
+    Not,
+    /// `ARRAY`
+    Array,
+    /// `OF`
+    Of,
+
+    // Punctuation and operators.
+    /// `:=`
+    Assign,
+    /// `=`
+    Eq,
+    /// `#`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `&`
+    Amp,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Text(s) => write!(f, "{s:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Pragma(p) => write!(f, "(*{p:?}*)"),
+            Token::Type => write!(f, "TYPE"),
+            Token::Object => write!(f, "OBJECT"),
+            Token::Methods => write!(f, "METHODS"),
+            Token::Overrides => write!(f, "OVERRIDES"),
+            Token::End => write!(f, "END"),
+            Token::Procedure => write!(f, "PROCEDURE"),
+            Token::Begin => write!(f, "BEGIN"),
+            Token::Var => write!(f, "VAR"),
+            Token::If => write!(f, "IF"),
+            Token::Then => write!(f, "THEN"),
+            Token::Elsif => write!(f, "ELSIF"),
+            Token::Else => write!(f, "ELSE"),
+            Token::While => write!(f, "WHILE"),
+            Token::Do => write!(f, "DO"),
+            Token::For => write!(f, "FOR"),
+            Token::To => write!(f, "TO"),
+            Token::By => write!(f, "BY"),
+            Token::Return => write!(f, "RETURN"),
+            Token::New => write!(f, "NEW"),
+            Token::Nil => write!(f, "NIL"),
+            Token::True => write!(f, "TRUE"),
+            Token::False => write!(f, "FALSE"),
+            Token::Div => write!(f, "DIV"),
+            Token::Mod => write!(f, "MOD"),
+            Token::And => write!(f, "AND"),
+            Token::Or => write!(f, "OR"),
+            Token::Not => write!(f, "NOT"),
+            Token::Array => write!(f, "ARRAY"),
+            Token::Of => write!(f, "OF"),
+            Token::Assign => write!(f, ":="),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "#"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Amp => write!(f, "&"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Semi => write!(f, ";"),
+            Token::Colon => write!(f, ":"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+        }
+    }
+}
+
+/// A token together with its source line (1-based) for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token itself.
+    pub token: Token,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}

@@ -1,0 +1,590 @@
+//! The Alphonse program transformation (paper Section 5, Algorithm 2).
+//!
+//! Rewrites a surface module so that every relevant read becomes
+//! `access(…)`, every relevant write becomes `modify(…, …)`, and every
+//! relevant call becomes `call(…, …)` — producing the intermediate form the
+//! paper's Algorithm 2 displays. The output is meant for inspection and
+//! unparsing (the runtime behaviour of the operations lives in the
+//! `alphonse` crate; the interpreter applies the same decisions directly).
+//!
+//! Two levels of precision:
+//!
+//! * [`TransformOptions::optimize`] off — the uniform instrumentation of
+//!   Section 5: every access that *could* be top-level is wrapped.
+//! * on — the Section 6.1 dataflow analysis drops checks for variables and
+//!   procedures that can never be involved in the Alphonse computation.
+
+use crate::analysis::{analyze, Instrumentation};
+use crate::ast::*;
+use crate::hir::Program;
+use std::collections::HashSet;
+
+/// Options for [`transform`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransformOptions {
+    /// Apply the Section 6.1 static check elimination.
+    pub optimize: bool,
+}
+
+/// Counts of instrumented and plain operations — the quantity the
+/// Section 6.1 optimization reduces (reported by experiment E2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransformReport {
+    /// Reads wrapped in `access`.
+    pub accesses: usize,
+    /// Writes wrapped in `modify`.
+    pub modifies: usize,
+    /// Calls wrapped in `call`.
+    pub calls: usize,
+    /// Reads left plain (locals, or statically irrelevant).
+    pub plain_reads: usize,
+    /// Writes left plain.
+    pub plain_writes: usize,
+    /// Calls left plain (builtins, or statically non-incremental).
+    pub plain_calls: usize,
+}
+
+impl TransformReport {
+    /// Total instrumented operations.
+    pub fn instrumented(&self) -> usize {
+        self.accesses + self.modifies + self.calls
+    }
+
+    /// Total operations considered.
+    pub fn total(&self) -> usize {
+        self.instrumented() + self.plain_reads + self.plain_writes + self.plain_calls
+    }
+}
+
+/// Applies the transformation, returning the rewritten module and a count
+/// of what was instrumented.
+///
+/// The module must already have passed [`crate::resolve`]; `program` is the
+/// resolved form used for the Section 6.1 analysis.
+pub fn transform(
+    module: &Module,
+    program: &Program,
+    options: TransformOptions,
+) -> (Module, TransformReport) {
+    let instr = options.optimize.then(|| analyze(program));
+    let mut t = Transformer {
+        program,
+        instr,
+        report: TransformReport::default(),
+        locals: Vec::new(),
+    };
+    let decls = module.decls.iter().map(|d| t.decl(d)).collect();
+    (Module { decls }, t.report)
+}
+
+struct Transformer<'a> {
+    program: &'a Program,
+    /// `Some` when the Section 6.1 optimization is active.
+    instr: Option<Instrumentation>,
+    report: TransformReport,
+    /// Names bound locally (params, locals, FOR variables) in the current
+    /// procedure — their accesses are never instrumented (stack storage is
+    /// excluded by the paper's TOP restriction).
+    locals: Vec<HashSet<String>>,
+}
+
+fn wrap(name: &str, args: Vec<Expr>, line: u32) -> Expr {
+    Expr::Call {
+        callee: Callee::Proc(name.to_string()),
+        args,
+        line,
+    }
+}
+
+impl Transformer<'_> {
+    fn is_local(&self, name: &str) -> bool {
+        self.locals.iter().any(|s| s.contains(name))
+    }
+
+    fn global_tracked(&self, name: &str) -> bool {
+        match &self.instr {
+            None => true,
+            Some(i) => self
+                .program
+                .global_by_name
+                .get(name)
+                .is_some_and(|&idx| i.global_needs_check(idx)),
+        }
+    }
+
+    fn field_tracked(&self, name: &str) -> bool {
+        match &self.instr {
+            None => true,
+            Some(i) => i.field_needs_check(name),
+        }
+    }
+
+    fn arrays_tracked(&self) -> bool {
+        match &self.instr {
+            None => true,
+            Some(i) => i.tracked_arrays,
+        }
+    }
+
+    fn proc_call_tracked(&self, name: &str) -> bool {
+        let Some(&pid) = self.program.proc_by_name.get(name) else {
+            return false; // builtin
+        };
+        match &self.instr {
+            // Unoptimized: any top-level procedure call goes through `call`
+            // (Algorithm 5 begins with the `tableptr = NIL` dynamic test).
+            None => true,
+            Some(_) => self.program.procs[pid].incremental.is_some(),
+        }
+    }
+
+    fn method_call_tracked(&self, name: &str) -> bool {
+        match &self.instr {
+            None => true,
+            Some(_) => self.program.types.iter().any(|t| {
+                t.methods
+                    .iter()
+                    .any(|m| m.name == name && self.program.procs[m.impl_proc].incremental.is_some())
+            }),
+        }
+    }
+
+    fn decl(&mut self, d: &Decl) -> Decl {
+        match d {
+            Decl::Type(_) | Decl::Global(_) => d.clone(),
+            Decl::Proc(p) => Decl::Proc(self.proc(p)),
+        }
+    }
+
+    fn proc(&mut self, p: &ProcDecl) -> ProcDecl {
+        let mut scope = HashSet::new();
+        for param in &p.params {
+            scope.insert(param.name.clone());
+        }
+        for l in &p.locals {
+            for n in &l.names {
+                scope.insert(n.clone());
+            }
+        }
+        self.locals.push(scope);
+        let locals = p
+            .locals
+            .iter()
+            .map(|l| LocalDecl {
+                names: l.names.clone(),
+                ty: l.ty.clone(),
+                init: l.init.as_ref().map(|e| self.read(e, false)),
+            })
+            .collect();
+        let body = self.stmts(&p.body);
+        self.locals.pop();
+        ProcDecl {
+            pragma: p.pragma,
+            name: p.name.clone(),
+            params: p.params.clone(),
+            ret: p.ret.clone(),
+            locals,
+            body,
+        line: p.line,
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> Vec<Stmt> {
+        stmts.iter().map(|s| self.stmt(s)).collect()
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Stmt {
+        match s {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => {
+                let value = self.read(value, false);
+                match target {
+                    Expr::Var { name, line: vline } => {
+                        if !self.is_local(name) && self.global_tracked(name) {
+                            self.report.modifies += 1;
+                            // x := e  ~~>  modify(x, e)
+                            Stmt::Expr {
+                                expr: wrap(
+                                    "modify",
+                                    vec![
+                                        Expr::Var {
+                                            name: name.clone(),
+                                            line: *vline,
+                                        },
+                                        value,
+                                    ],
+                                    *line,
+                                ),
+                                line: *line,
+                            }
+                        } else {
+                            self.report.plain_writes += 1;
+                            Stmt::Assign {
+                                target: target.clone(),
+                                value,
+                                line: *line,
+                            }
+                        }
+                    }
+                    Expr::Field {
+                        obj,
+                        name,
+                        line: fline,
+                    } => {
+                        // o.f := e — the receiver is *read* (pointer
+                        // dereference counts as a read access of the
+                        // pointer, Section 5), the field is modified.
+                        let obj = self.read(obj, false);
+                        if self.field_tracked(name) {
+                            self.report.modifies += 1;
+                            Stmt::Expr {
+                                expr: wrap(
+                                    "modify",
+                                    vec![
+                                        Expr::Field {
+                                            obj: Box::new(obj),
+                                            name: name.clone(),
+                                            line: *fline,
+                                        },
+                                        value,
+                                    ],
+                                    *line,
+                                ),
+                                line: *line,
+                            }
+                        } else {
+                            self.report.plain_writes += 1;
+                            Stmt::Assign {
+                                target: Expr::Field {
+                                    obj: Box::new(obj),
+                                    name: name.clone(),
+                                    line: *fline,
+                                },
+                                value,
+                                line: *line,
+                            }
+                        }
+                    }
+                    Expr::Index {
+                        arr,
+                        index,
+                        line: iline,
+                    } => {
+                        let arr = self.read(arr, false);
+                        let index = self.read(index, false);
+                        let target = Expr::Index {
+                            arr: Box::new(arr),
+                            index: Box::new(index),
+                            line: *iline,
+                        };
+                        if self.arrays_tracked() {
+                            self.report.modifies += 1;
+                            Stmt::Expr {
+                                expr: wrap("modify", vec![target, value], *line),
+                                line: *line,
+                            }
+                        } else {
+                            self.report.plain_writes += 1;
+                            Stmt::Assign {
+                                target,
+                                value,
+                                line: *line,
+                            }
+                        }
+                    }
+                    other => Stmt::Assign {
+                        target: other.clone(),
+                        value,
+                        line: *line,
+                    },
+                }
+            }
+            Stmt::If {
+                arms,
+                else_body,
+                line,
+            } => Stmt::If {
+                arms: arms
+                    .iter()
+                    .map(|(c, b)| (self.read(c, false), self.stmts(b)))
+                    .collect(),
+                else_body: self.stmts(else_body),
+                line: *line,
+            },
+            Stmt::While { cond, body, line } => Stmt::While {
+                cond: self.read(cond, false),
+                body: self.stmts(body),
+                line: *line,
+            },
+            Stmt::For {
+                var,
+                from,
+                to,
+                by,
+                body,
+                line,
+            } => {
+                let from = self.read(from, false);
+                let to = self.read(to, false);
+                let by = by.as_ref().map(|e| self.read(e, false));
+                self.locals
+                    .last_mut()
+                    .expect("inside a procedure")
+                    .insert(var.clone());
+                let body = self.stmts(body);
+                Stmt::For {
+                    var: var.clone(),
+                    from,
+                    to,
+                    by,
+                    body,
+                    line: *line,
+                }
+            }
+            Stmt::Return { value, line } => Stmt::Return {
+                value: value.as_ref().map(|e| self.read(e, false)),
+                line: *line,
+            },
+            Stmt::Expr { expr, line } => Stmt::Expr {
+                expr: self.read(expr, false),
+                line: *line,
+            },
+        }
+    }
+
+    /// Rewrites an expression in read position. `unchecked` suppresses
+    /// access wrapping (Section 6.4) but not call wrapping (caching still
+    /// applies inside UNCHECKED regions).
+    fn read(&mut self, e: &Expr, unchecked: bool) -> Expr {
+        match e {
+            Expr::Int(_) | Expr::Text(_) | Expr::Bool(_) | Expr::Nil | Expr::New { .. } => {
+                e.clone()
+            }
+            Expr::NewArray { elem, size, line } => Expr::NewArray {
+                elem: elem.clone(),
+                size: Box::new(self.read(size, unchecked)),
+                line: *line,
+            },
+            Expr::Index { arr, index, line } => {
+                let indexed = Expr::Index {
+                    arr: Box::new(self.read(arr, unchecked)),
+                    index: Box::new(self.read(index, unchecked)),
+                    line: *line,
+                };
+                if !unchecked && self.arrays_tracked() {
+                    self.report.accesses += 1;
+                    wrap("access", vec![indexed], *line)
+                } else {
+                    self.report.plain_reads += 1;
+                    indexed
+                }
+            }
+            Expr::Var { name, line } => {
+                if !unchecked && !self.is_local(name) && self.global_tracked(name) {
+                    self.report.accesses += 1;
+                    wrap("access", vec![e.clone()], *line)
+                } else {
+                    self.report.plain_reads += 1;
+                    e.clone()
+                }
+            }
+            Expr::Field { obj, name, line } => {
+                let obj = self.read(obj, unchecked);
+                let field = Expr::Field {
+                    obj: Box::new(obj),
+                    name: name.clone(),
+                    line: *line,
+                };
+                if !unchecked && self.field_tracked(name) {
+                    self.report.accesses += 1;
+                    wrap("access", vec![field], *line)
+                } else {
+                    self.report.plain_reads += 1;
+                    field
+                }
+            }
+            Expr::Call { callee, args, line } => {
+                let args: Vec<Expr> = args.iter().map(|a| self.read(a, unchecked)).collect();
+                match callee {
+                    Callee::Proc(name) => {
+                        if self.proc_call_tracked(name) {
+                            self.report.calls += 1;
+                            // f(a…)  ~~>  call(f, a…)
+                            let mut call_args = vec![Expr::Var {
+                                name: name.clone(),
+                                line: *line,
+                            }];
+                            call_args.extend(args);
+                            wrap("call", call_args, *line)
+                        } else {
+                            self.report.plain_calls += 1;
+                            Expr::Call {
+                                callee: callee.clone(),
+                                args,
+                                line: *line,
+                            }
+                        }
+                    }
+                    Callee::Method { obj, name } => {
+                        let obj = self.read(obj, unchecked);
+                        if self.method_call_tracked(name) {
+                            self.report.calls += 1;
+                            // o.m(a…)  ~~>  call(o.m, a…)
+                            let mut call_args = vec![Expr::Field {
+                                obj: Box::new(obj),
+                                name: name.clone(),
+                                line: *line,
+                            }];
+                            call_args.extend(args);
+                            wrap("call", call_args, *line)
+                        } else {
+                            self.report.plain_calls += 1;
+                            Expr::Call {
+                                callee: Callee::Method {
+                                    obj: Box::new(obj),
+                                    name: name.clone(),
+                                },
+                                args,
+                                line: *line,
+                            }
+                        }
+                    }
+                }
+            }
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(self.read(expr, unchecked)),
+            },
+            Expr::Binary { op, lhs, rhs } => Expr::Binary {
+                op: *op,
+                lhs: Box::new(self.read(lhs, unchecked)),
+                rhs: Box::new(self.read(rhs, unchecked)),
+            },
+            Expr::Unchecked(inner) => Expr::Unchecked(Box::new(self.read(inner, true))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::resolve::resolve;
+    use crate::unparse::unparse;
+
+    fn transformed(src: &str, optimize: bool) -> (Module, TransformReport) {
+        let m = parse(src).unwrap();
+        let p = resolve(&m).unwrap();
+        transform(&m, &p, TransformOptions { optimize })
+    }
+
+    /// The paper's Algorithm 2 example, adapted to Alphonse-L (we have no
+    /// pointer dereference, so `y^` is modelled by a field).
+    const ALG2: &str = r#"
+        VAR b : INTEGER;
+        VAR p : INTEGER;
+        (*CACHED*) PROCEDURE P2(n : INTEGER) : INTEGER =
+        BEGIN RETURN n; END P2;
+        PROCEDURE P1(c : INTEGER) : INTEGER =
+        VAR a : INTEGER;
+        BEGIN
+            FOR a2 := 1 TO 10 DO
+                a := a2;
+                p := P2(a + b + c);
+            END;
+            RETURN p;
+        END P1;
+    "#;
+
+    #[test]
+    fn algorithm2_shape_is_reproduced() {
+        let (m, report) = transformed(ALG2, false);
+        let printed = unparse(&m);
+        // The assignment to top-level p becomes modify(p, call(P2, …)) with
+        // b accessed and locals a, c untouched — Algorithm 2's exact shape.
+        assert!(
+            printed.contains("modify(p, call(P2, (a + access(b)) + c));"),
+            "unexpected transform output:\n{printed}"
+        );
+        // RETURN p reads top-level storage.
+        assert!(printed.contains("RETURN access(p);"), "{printed}");
+        assert!(report.accesses >= 2);
+        assert!(report.modifies == 1);
+        assert!(report.calls >= 1);
+        // Locals a, a2, c never instrumented.
+        assert!(!printed.contains("access(a)"), "{printed}");
+        assert!(!printed.contains("access(c)"), "{printed}");
+    }
+
+    #[test]
+    fn optimization_drops_untracked_sites() {
+        let src = r#"
+            VAR used, unused : INTEGER;
+            (*CACHED*) PROCEDURE F(x : INTEGER) : INTEGER =
+            BEGIN RETURN used + x; END F;
+            PROCEDURE Mutator() =
+            BEGIN
+                unused := unused + 1;
+                used := used + 1;
+            END Mutator;
+        "#;
+        let (_, full) = transformed(src, false);
+        let (m, opt) = transformed(src, true);
+        assert!(
+            opt.instrumented() < full.instrumented(),
+            "6.1 must reduce instrumentation: {opt:?} vs {full:?}"
+        );
+        let printed = unparse(&m);
+        // `unused` is provably uninvolved; `used` must stay checked even in
+        // the mutator (its writes drive invalidation).
+        assert!(!printed.contains("access(unused)"), "{printed}");
+        assert!(!printed.contains("modify(unused"), "{printed}");
+        assert!(printed.contains("modify(used"), "{printed}");
+    }
+
+    #[test]
+    fn method_calls_are_wrapped() {
+        let src = r#"
+            TYPE T = OBJECT
+                x : INTEGER;
+            METHODS
+                (*MAINTAINED*) m() : INTEGER := M;
+            END;
+            PROCEDURE M(t : T) : INTEGER = BEGIN RETURN t.x; END M;
+            PROCEDURE Use(t : T) : INTEGER = BEGIN RETURN t.m(); END Use;
+        "#;
+        let (m, _) = transformed(src, true);
+        let printed = unparse(&m);
+        assert!(printed.contains("call(t.m)"), "{printed}");
+        assert!(printed.contains("access(t.x)"), "{printed}");
+    }
+
+    #[test]
+    fn unchecked_expressions_skip_access_but_keep_call() {
+        let src = r#"
+            VAR g : INTEGER;
+            (*CACHED*) PROCEDURE F() : INTEGER = BEGIN RETURN g; END F;
+            (*CACHED*) PROCEDURE H() : INTEGER =
+            BEGIN RETURN (*UNCHECKED*) (g + F()); END H;
+        "#;
+        let (m, _) = transformed(src, false);
+        let printed = unparse(&m);
+        // Inside H's UNCHECKED region: g not accessed, F still call-wrapped.
+        let h_part = printed.split("PROCEDURE H").nth(1).unwrap();
+        assert!(!h_part.contains("access(g)"), "{printed}");
+        assert!(h_part.contains("call(F)"), "{printed}");
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let (_, r) = transformed(ALG2, false);
+        assert_eq!(
+            r.total(),
+            r.accesses + r.modifies + r.calls + r.plain_reads + r.plain_writes + r.plain_calls
+        );
+        assert!(r.total() > 5);
+    }
+}

@@ -1,0 +1,405 @@
+//! Pretty-printer for Alphonse-L surface syntax.
+//!
+//! Used to display programs, to round-trip-test the parser, and to render
+//! the output of the Section 5 program transformation the way the paper's
+//! Algorithm 2 does.
+
+use crate::ast::*;
+use crate::token::{Pragma, PragmaStrategy};
+use std::fmt::Write;
+
+/// Renders a module as parseable source text.
+pub fn unparse(module: &Module) -> String {
+    let mut p = Printer::default();
+    for d in &module.decls {
+        p.decl(d);
+    }
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+fn pragma_str(p: &Pragma) -> String {
+    let strat = |s: &PragmaStrategy| match s {
+        PragmaStrategy::Demand => "",
+        PragmaStrategy::Eager => " EAGER",
+    };
+    match p {
+        Pragma::Maintained(s) => format!("(*MAINTAINED{}*)", strat(s)),
+        Pragma::Cached(s, capacity) => {
+            let cap = capacity
+                .map(|c| format!(" LRU {c}"))
+                .unwrap_or_default();
+            format!("(*CACHED{}{cap}*)", strat(s))
+        }
+        Pragma::Unchecked => "(*UNCHECKED*)".to_string(),
+    }
+}
+
+fn type_str(t: &TypeExpr) -> String {
+    match t {
+        TypeExpr::Integer => "INTEGER".to_string(),
+        TypeExpr::Boolean => "BOOLEAN".to_string(),
+        TypeExpr::Text => "TEXT".to_string(),
+        TypeExpr::Named(n) => n.clone(),
+        TypeExpr::Array(elem) => format!("ARRAY OF {}", type_str(elem)),
+    }
+}
+
+impl Printer {
+    fn line(&mut self, text: &str) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+        self.out.push_str(text);
+        self.out.push('\n');
+    }
+
+    fn decl(&mut self, d: &Decl) {
+        match d {
+            Decl::Global(g) => {
+                let init = g
+                    .init
+                    .as_ref()
+                    .map(|e| format!(" := {}", expr_str(e)))
+                    .unwrap_or_default();
+                self.line(&format!(
+                    "VAR {} : {}{init};",
+                    g.names.join(", "),
+                    type_str(&g.ty)
+                ));
+            }
+            Decl::Type(t) => self.type_decl(t),
+            Decl::Proc(p) => self.proc_decl(p),
+        }
+    }
+
+    fn type_decl(&mut self, t: &TypeDecl) {
+        let parent = t
+            .parent
+            .as_ref()
+            .map(|p| format!("{p} "))
+            .unwrap_or_default();
+        self.line(&format!("TYPE {} = {parent}OBJECT", t.name));
+        self.indent += 1;
+        for f in &t.fields {
+            self.line(&format!("{} : {};", f.names.join(", "), type_str(&f.ty)));
+        }
+        self.indent -= 1;
+        if !t.methods.is_empty() {
+            self.line("METHODS");
+            self.indent += 1;
+            for m in &t.methods {
+                let pragma = m
+                    .pragma
+                    .as_ref()
+                    .map(|p| format!("{} ", pragma_str(p)))
+                    .unwrap_or_default();
+                let params = if m.params.is_empty() {
+                    "()".to_string()
+                } else {
+                    format!(
+                        "({})",
+                        m.params
+                            .iter()
+                            .map(|p| format!("{} : {}", p.name, type_str(&p.ty)))
+                            .collect::<Vec<_>>()
+                            .join("; ")
+                    )
+                };
+                let ret = m
+                    .ret
+                    .as_ref()
+                    .map(|t| format!(" : {}", type_str(t)))
+                    .unwrap_or_default();
+                self.line(&format!("{pragma}{}{params}{ret} := {};", m.name, m.impl_proc));
+            }
+            self.indent -= 1;
+        }
+        if !t.overrides.is_empty() {
+            self.line("OVERRIDES");
+            self.indent += 1;
+            for o in &t.overrides {
+                let pragma = o
+                    .pragma
+                    .as_ref()
+                    .map(|p| format!("{} ", pragma_str(p)))
+                    .unwrap_or_default();
+                self.line(&format!("{pragma}{} := {};", o.name, o.impl_proc));
+            }
+            self.indent -= 1;
+        }
+        self.line("END;");
+    }
+
+    fn proc_decl(&mut self, p: &ProcDecl) {
+        let pragma = p
+            .pragma
+            .as_ref()
+            .map(|pr| format!("{} ", pragma_str(pr)))
+            .unwrap_or_default();
+        let params = p
+            .params
+            .iter()
+            .map(|pa| format!("{} : {}", pa.name, type_str(&pa.ty)))
+            .collect::<Vec<_>>()
+            .join("; ");
+        let ret = p
+            .ret
+            .as_ref()
+            .map(|t| format!(" : {}", type_str(t)))
+            .unwrap_or_default();
+        self.line(&format!("{pragma}PROCEDURE {}({params}){ret} =", p.name));
+        for l in &p.locals {
+            let init = l
+                .init
+                .as_ref()
+                .map(|e| format!(" := {}", expr_str(e)))
+                .unwrap_or_default();
+            self.line(&format!(
+                "VAR {} : {}{init};",
+                l.names.join(", "),
+                type_str(&l.ty)
+            ));
+        }
+        self.line("BEGIN");
+        self.indent += 1;
+        for s in &p.body {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line(&format!("END {};", p.name));
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { target, value, .. } => {
+                self.line(&format!("{} := {};", expr_str(target), expr_str(value)));
+            }
+            Stmt::If {
+                arms, else_body, ..
+            } => {
+                for (i, (cond, body)) in arms.iter().enumerate() {
+                    let kw = if i == 0 { "IF" } else { "ELSIF" };
+                    self.line(&format!("{kw} {} THEN", expr_str(cond)));
+                    self.indent += 1;
+                    for s in body {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                if !else_body.is_empty() {
+                    self.line("ELSE");
+                    self.indent += 1;
+                    for s in else_body {
+                        self.stmt(s);
+                    }
+                    self.indent -= 1;
+                }
+                self.line("END;");
+            }
+            Stmt::While { cond, body, .. } => {
+                self.line(&format!("WHILE {} DO", expr_str(cond)));
+                self.indent += 1;
+                for s in body {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("END;");
+            }
+            Stmt::For {
+                var,
+                from,
+                to,
+                by,
+                body,
+                ..
+            } => {
+                let by = by
+                    .as_ref()
+                    .map(|e| format!(" BY {}", expr_str(e)))
+                    .unwrap_or_default();
+                self.line(&format!(
+                    "FOR {var} := {} TO {}{by} DO",
+                    expr_str(from),
+                    expr_str(to)
+                ));
+                self.indent += 1;
+                for s in body {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.line("END;");
+            }
+            Stmt::Return { value, .. } => match value {
+                Some(e) => self.line(&format!("RETURN {};", expr_str(e))),
+                None => self.line("RETURN;"),
+            },
+            Stmt::Expr { expr, .. } => self.line(&format!("{};", expr_str(expr))),
+        }
+    }
+}
+
+fn bin_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "DIV",
+        BinOp::Mod => "MOD",
+        BinOp::Concat => "&",
+        BinOp::Eq => "=",
+        BinOp::Ne => "#",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "AND",
+        BinOp::Or => "OR",
+    }
+}
+
+/// Renders an expression (fully parenthesized compounds, so precedence
+/// survives a round trip).
+pub fn expr_str(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Text(s) => format!("{s:?}"),
+        Expr::Bool(true) => "TRUE".to_string(),
+        Expr::Bool(false) => "FALSE".to_string(),
+        Expr::Nil => "NIL".to_string(),
+        Expr::Var { name, .. } => name.clone(),
+        Expr::Field { obj, name, .. } => format!("{}.{name}", expr_str(obj)),
+        Expr::Call { callee, args, .. } => {
+            let args: Vec<String> = args.iter().map(expr_str).collect();
+            let mut out = String::new();
+            match callee {
+                Callee::Proc(name) => write!(out, "{name}").unwrap(),
+                Callee::Method { obj, name } => write!(out, "{}.{name}", expr_str(obj)).unwrap(),
+            }
+            write!(out, "({})", args.join(", ")).unwrap();
+            out
+        }
+        Expr::New { type_name, .. } => format!("NEW({type_name})"),
+        Expr::NewArray { elem, size, .. } => {
+            format!("NEW(ARRAY OF {}, {})", type_str(elem), expr_str(size))
+        }
+        Expr::Index { arr, index, .. } => format!("{}[{}]", expr_str(arr), expr_str(index)),
+        Expr::Unary { op, expr } => match op {
+            UnOp::Neg => format!("-{}", paren(expr)),
+            UnOp::Not => format!("NOT {}", paren(expr)),
+        },
+        Expr::Binary { op, lhs, rhs } =>
+
+            format!("{} {} {}", paren(lhs), bin_str(*op), paren(rhs)),
+        Expr::Unchecked(inner) => format!("(*UNCHECKED*) {}", paren(inner)),
+    }
+}
+
+fn paren(e: &Expr) -> String {
+    match e {
+        Expr::Binary { .. } | Expr::Unary { .. } => format!("({})", expr_str(e)),
+        _ => expr_str(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// The printer emits valid syntax and is a fixpoint under
+    /// reparse-and-reprint (trees differ only in source line numbers, which
+    /// printing normalizes away).
+    fn round_trip(src: &str) {
+        let m1 = parse(src).unwrap();
+        let printed = unparse(&m1);
+        let m2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let reprinted = unparse(&m2);
+        assert_eq!(printed, reprinted, "printing is not a fixpoint");
+    }
+
+    #[test]
+    fn round_trips_globals_and_procs() {
+        round_trip(
+            r#"
+            VAR a, b : INTEGER := 3;
+            (*CACHED EAGER*) PROCEDURE F(x : INTEGER; y : TEXT) : INTEGER =
+            VAR t : INTEGER := x * 2;
+            BEGIN
+                IF t > 0 AND x # 3 THEN RETURN t;
+                ELSIF NOT (x = 1) THEN t := -t;
+                ELSE Print(y & "!");
+                END;
+                WHILE t < 100 DO t := t + a; END;
+                FOR i := 1 TO 10 BY 2 DO t := t + i; END;
+                RETURN MAX(t, 0);
+            END F;
+            "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_object_types() {
+        round_trip(
+            r#"
+            TYPE Tree = OBJECT
+                left, right : Tree;
+                key : INTEGER;
+            METHODS
+                (*MAINTAINED*) height() : INTEGER := Height;
+                find(k : INTEGER) : BOOLEAN := Find;
+            END;
+            TYPE TreeNil = Tree OBJECT
+            OVERRIDES
+                (*MAINTAINED*) height := HeightNil;
+            END;
+            PROCEDURE Height(t : Tree) : INTEGER =
+            BEGIN RETURN MAX(t.left.height(), t.right.height()) + 1; END Height;
+            PROCEDURE HeightNil(t : Tree) : INTEGER =
+            BEGIN RETURN 0; END HeightNil;
+            PROCEDURE Find(t : Tree; k : INTEGER) : BOOLEAN =
+            BEGIN RETURN t.key = k; END Find;
+            "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_chained_and_unchecked() {
+        round_trip(
+            r#"
+            PROCEDURE F(t : Tree) : INTEGER =
+            BEGIN
+                t.left := RotateRight(t).balance();
+                RETURN (*UNCHECKED*) t.left.height();
+            END F;
+            TYPE Tree = OBJECT left : Tree; END;
+            "#,
+        );
+    }
+
+    #[test]
+    fn round_trips_arrays() {
+        round_trip(
+            r#"
+            VAR xs : ARRAY OF INTEGER;
+            VAR grid : ARRAY OF ARRAY OF TEXT;
+            PROCEDURE F(n : INTEGER) : INTEGER =
+            BEGIN
+                xs := NEW(ARRAY OF INTEGER, n);
+                xs[0] := LEN(xs);
+                RETURN xs[n - 1];
+            END F;
+            "#,
+        );
+    }
+
+    #[test]
+    fn text_escapes_survive() {
+        round_trip(r#"VAR s : TEXT := "a\"b\\c\nd";"#);
+    }
+}

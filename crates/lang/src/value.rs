@@ -1,0 +1,123 @@
+//! Runtime values of Alphonse-L.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Identity of a heap object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjId(pub(crate) u32);
+
+/// Identity of a heap array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrId(pub(crate) u32);
+
+impl fmt::Display for ArrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arr#{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// A first-class Alphonse-L value.
+///
+/// Values are comparable and hashable: they key the paper's *argument
+/// tables* (Section 4.2) and participate in quiescence cutoff comparisons.
+/// Object values compare by identity, exactly as Modula-3 reference
+/// equality does.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Val {
+    /// `INTEGER`
+    Int(i64),
+    /// `BOOLEAN`
+    Bool(bool),
+    /// `TEXT`
+    Text(Rc<str>),
+    /// `NIL`
+    Nil,
+    /// Reference to a heap object.
+    Obj(ObjId),
+    /// Reference to a heap array (compares by identity).
+    Arr(ArrId),
+}
+
+impl Val {
+    /// Text helper.
+    pub fn text(s: &str) -> Val {
+        Val::Text(Rc::from(s))
+    }
+
+    /// Extracts an integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an integer (indicates a type-checker bug
+    /// or host misuse).
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Val::Int(v) => *v,
+            other => panic!("expected INTEGER, found {other}"),
+        }
+    }
+
+    /// Extracts a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a boolean.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Val::Bool(v) => *v,
+            other => panic!("expected BOOLEAN, found {other}"),
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(v) => write!(f, "{v}"),
+            Val::Bool(v) => write!(f, "{}", if *v { "TRUE" } else { "FALSE" }),
+            Val::Text(s) => write!(f, "{s}"),
+            Val::Nil => write!(f, "NIL"),
+            Val::Obj(o) => write!(f, "{o}"),
+            Val::Arr(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Val::Int(5).to_string(), "5");
+        assert_eq!(Val::Bool(true).to_string(), "TRUE");
+        assert_eq!(Val::text("hi").to_string(), "hi");
+        assert_eq!(Val::Nil.to_string(), "NIL");
+        assert_eq!(Val::Obj(ObjId(3)).to_string(), "obj#3");
+    }
+
+    #[test]
+    fn text_values_compare_by_content() {
+        assert_eq!(Val::text("a"), Val::text("a"));
+        assert_ne!(Val::text("a"), Val::text("b"));
+    }
+
+    #[test]
+    fn objects_compare_by_identity() {
+        assert_eq!(Val::Obj(ObjId(1)), Val::Obj(ObjId(1)));
+        assert_ne!(Val::Obj(ObjId(1)), Val::Obj(ObjId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected INTEGER")]
+    fn as_int_panics_on_wrong_kind() {
+        Val::Nil.as_int();
+    }
+}

@@ -1,0 +1,266 @@
+//! Experiment E11 — Theorem 5.1 as a property test.
+//!
+//! "Given an Alphonse program P, Alphonse execution of P will produce the
+//! same output as a conventional execution of P." We generate random
+//! Alphonse-L programs (cached procedures over mutable globals, with
+//! branching and cross-procedure calls) and random mutator scripts, run
+//! them under both execution models, and require identical results at every
+//! observation point.
+
+use alphonse_lang::{compile, Interp, Mode, Val};
+use proptest::prelude::*;
+use std::fmt::Write;
+
+/// One term of a generated procedure body.
+#[derive(Debug, Clone)]
+enum Term {
+    Global(usize, i64),
+    Param(i64),
+    /// coeff * ProcJ(argument-expression-selector)
+    Call(usize, ArgSel, i64),
+}
+
+/// How a nested call computes its argument.
+#[derive(Debug, Clone, Copy)]
+enum ArgSel {
+    Const(i64),
+    Param,
+    ParamMinusOne,
+}
+
+#[derive(Debug, Clone)]
+struct ProcSpec {
+    /// Terms summed for the main branch.
+    terms: Vec<Term>,
+    /// If `Some(c)`: `IF x < c THEN RETURN <alt>; END;` first.
+    branch: Option<(i64, i64)>,
+    eager: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set(usize, i64),
+    Call(usize, i64),
+    Propagate,
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    n_globals: usize,
+    inits: Vec<i64>,
+    procs: Vec<ProcSpec>,
+    script: Vec<Op>,
+}
+
+/// Renders the case as Alphonse-L source.
+fn render(case: &Case) -> String {
+    let mut src = String::new();
+    for (i, init) in case.inits.iter().enumerate() {
+        writeln!(src, "VAR g{i} : INTEGER := {init};").unwrap();
+    }
+    for (k, p) in case.procs.iter().enumerate() {
+        let strategy = if p.eager { " EAGER" } else { "" };
+        writeln!(
+            src,
+            "(*CACHED{strategy}*) PROCEDURE P{k}(x : INTEGER) : INTEGER ="
+        )
+        .unwrap();
+        writeln!(src, "BEGIN").unwrap();
+        if let Some((cutoff, alt)) = p.branch {
+            writeln!(src, "    IF x < {cutoff} THEN RETURN {alt}; END;").unwrap();
+        }
+        let mut expr = String::from("0");
+        for t in &p.terms {
+            match t {
+                Term::Global(g, c) => write!(expr, " + {c} * g{g}").unwrap(),
+                Term::Param(c) => write!(expr, " + {c} * x").unwrap(),
+                Term::Call(j, sel, c) => {
+                    let arg = match sel {
+                        ArgSel::Const(v) => format!("{v}"),
+                        ArgSel::Param => "x".to_string(),
+                        ArgSel::ParamMinusOne => "x - 1".to_string(),
+                    };
+                    write!(expr, " + {c} * P{j}({arg})").unwrap();
+                }
+            }
+        }
+        writeln!(src, "    RETURN {expr};").unwrap();
+        writeln!(src, "END P{k};").unwrap();
+    }
+    // Negative coefficients would render as `+ -3 * x`; the grammar accepts
+    // unary minus there, so nothing special is needed.
+    src
+}
+
+fn run_case(case: &Case) {
+    let src = render(case);
+    let program = compile(&src).unwrap_or_else(|e| panic!("generated program invalid: {e}\n{src}"));
+    let conv = Interp::new(program.clone(), Mode::Conventional).unwrap();
+    let alph = Interp::new(program, Mode::Alphonse).unwrap();
+    conv.set_fuel(50_000_000);
+    alph.set_fuel(50_000_000);
+    for op in &case.script {
+        match op {
+            Op::Set(g, v) => {
+                let name = format!("g{}", g % case.n_globals);
+                conv.set_global(&name, Val::Int(*v)).unwrap();
+                alph.set_global(&name, Val::Int(*v)).unwrap();
+            }
+            Op::Call(k, arg) => {
+                let name = format!("P{}", k % case.procs.len());
+                let c = conv.call(&name, vec![Val::Int(*arg)]);
+                let a = alph.call(&name, vec![Val::Int(*arg)]);
+                match (c, a) {
+                    (Ok(cv), Ok(av)) => assert_eq!(
+                        cv, av,
+                        "Theorem 5.1 violated for {name}({arg})\nprogram:\n{src}"
+                    ),
+                    // Fuel exhaustion may hit one mode and not the other
+                    // (the whole point is that they do different amounts of
+                    // work); any *error* outcome ends the comparison.
+                    _ => return,
+                }
+            }
+            Op::Propagate => {
+                let _ = alph.propagate(); // fuel errors possible; states may legitimately diverge afterwards
+            }
+        }
+    }
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (2usize..5, 1usize..6).prop_flat_map(|(n_globals, n_procs)| {
+        let term = move |k: usize| {
+            let call_term = if k == 0 {
+                Just(Term::Param(1)).boxed()
+            } else {
+                (
+                    0..k,
+                    prop_oneof![
+                        (-4i64..5).prop_map(ArgSel::Const),
+                        Just(ArgSel::Param),
+                        Just(ArgSel::ParamMinusOne),
+                    ],
+                    -3i64..4,
+                )
+                    .prop_map(|(j, sel, c)| Term::Call(j, sel, c))
+                    .boxed()
+            };
+            prop_oneof![
+                3 => ((0..n_globals), -3i64..4).prop_map(|(g, c)| Term::Global(g, c)),
+                2 => (-3i64..4).prop_map(Term::Param),
+                2 => call_term,
+            ]
+        };
+        let proc_spec = move |k: usize| {
+            (
+                proptest::collection::vec(term(k), 1..5),
+                proptest::option::of((-3i64..4, -10i64..10)),
+                any::<bool>(),
+            )
+                .prop_map(|(terms, branch, eager)| ProcSpec {
+                    terms,
+                    branch,
+                    eager,
+                })
+        };
+        let procs: Vec<_> = (0..n_procs).map(proc_spec).collect();
+        let op = prop_oneof![
+            3 => ((0..n_globals), -50i64..50).prop_map(|(g, v)| Op::Set(g, v)),
+            4 => (any::<usize>(), -8i64..8).prop_map(|(k, a)| Op::Call(k, a)),
+            1 => Just(Op::Propagate),
+        ];
+        (
+            proptest::collection::vec(-20i64..20, n_globals),
+            procs,
+            proptest::collection::vec(op, 1..30),
+        )
+            .prop_map(move |(inits, procs, script)| Case {
+                n_globals,
+                inits,
+                procs,
+                script,
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn alphonse_execution_equals_conventional(case in case_strategy()) {
+        run_case(&case);
+    }
+
+    /// Generated programs also exercise the printer: unparse is a fixpoint
+    /// under reparse for every program the generator can produce.
+    #[test]
+    fn generated_programs_round_trip_through_unparse(case in case_strategy()) {
+        use alphonse_lang::{parse, unparse};
+        let src = render(&case);
+        let printed = unparse(&parse(&src).unwrap());
+        let reprinted = unparse(&parse(&printed).unwrap());
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    /// The transformation (both uniform and §6.1-optimized) never panics on
+    /// generated programs and its report accounting is internally
+    /// consistent.
+    #[test]
+    fn generated_programs_transform_cleanly(case in case_strategy()) {
+        use alphonse_lang::{parse, transform, unparse, TransformOptions};
+        let src = render(&case);
+        let module = parse(&src).unwrap();
+        let program = compile(&src).unwrap();
+        for optimize in [false, true] {
+            let (out, report) = transform(&module, &program, TransformOptions { optimize });
+            prop_assert_eq!(
+                report.total(),
+                report.accesses + report.modifies + report.calls
+                    + report.plain_reads + report.plain_writes + report.plain_calls
+            );
+            // The transformed module still unparses (it is display syntax).
+            let _ = unparse(&out);
+        }
+        // Optimized never instruments more than uniform.
+        let (_, uniform) = transform(&module, &program, TransformOptions { optimize: false });
+        let (_, optimized) = transform(&module, &program, TransformOptions { optimize: true });
+        prop_assert!(optimized.instrumented() <= uniform.instrumented());
+    }
+}
+
+#[test]
+fn a_known_tricky_case_agrees() {
+    // Recursive calls with ParamMinusOne arguments plus a base-case branch
+    // exercise deep instance chains.
+    let case = Case {
+        n_globals: 2,
+        inits: vec![5, -3],
+        procs: vec![
+            ProcSpec {
+                terms: vec![Term::Global(0, 2), Term::Param(1)],
+                branch: None,
+                eager: false,
+            },
+            ProcSpec {
+                terms: vec![
+                    Term::Call(0, ArgSel::Param, 1),
+                    Term::Call(1, ArgSel::ParamMinusOne, 1),
+                    Term::Global(1, 1),
+                ],
+                branch: Some((0, 7)),
+                eager: true,
+            },
+        ],
+        script: vec![
+            Op::Call(1, 6),
+            Op::Set(0, 9),
+            Op::Propagate,
+            Op::Call(1, 6),
+            Op::Set(1, 0),
+            Op::Call(1, 7),
+            Op::Call(0, 3),
+        ],
+    };
+    run_case(&case);
+}

@@ -1,0 +1,277 @@
+//! Algorithms 6–9 — the paper's attribute-grammar translation, written in
+//! Alphonse-L and executed by the interpreter.
+//!
+//! This is the paper's Section 7.1 worked example: the let-expression
+//! grammar's productions become object types, synthesized `value` becomes a
+//! zero-argument maintained method, inherited `env` becomes a one-argument
+//! maintained method whose body does the `IF c = o.expl` context dispatch.
+//! Environments are objects with a `lookup` method dispatched by subtype
+//! (EmptyEnv vs ConsEnv), matching the paper's abstract Env operations.
+
+use alphonse_lang::{compile, Interp, Mode, Val};
+
+const AG: &str = r#"
+    (* ----- environments: EmptyEnv / UpdateEnv / LookupEnv ----- *)
+    TYPE Env = OBJECT
+    METHODS
+        lookup(n : TEXT) : INTEGER := LookupEmpty;
+    END;
+    TYPE ConsEnv = Env OBJECT
+        name : TEXT;
+        val : INTEGER;
+        rest : Env;
+    OVERRIDES
+        lookup := LookupCons;
+    END;
+
+    PROCEDURE LookupEmpty(e : Env; n : TEXT) : INTEGER =
+    BEGIN RETURN 0; END LookupEmpty;
+
+    PROCEDURE LookupCons(e : ConsEnv; n : TEXT) : INTEGER =
+    BEGIN
+        IF e.name = n THEN RETURN e.val; END;
+        RETURN e.rest.lookup(n);
+    END LookupCons;
+
+    PROCEDURE UpdateEnv(base : Env; n : TEXT; v : INTEGER) : Env =
+    VAR e : ConsEnv;
+    BEGIN
+        e := NEW(ConsEnv);
+        e.name := n;
+        e.val := v;
+        e.rest := base;
+        RETURN e;
+    END UpdateEnv;
+
+    (* ----- the paper's Algorithm 7: basic types ----- *)
+    TYPE Exp = OBJECT
+        parent : Exp;
+    METHODS
+        (*MAINTAINED*) value() : INTEGER := NoValue;
+        (*MAINTAINED*) env(c : Exp) : Env := NoEnv;
+    END;
+
+    PROCEDURE NoValue(o : Exp) : INTEGER =
+    BEGIN RETURN 0; END NoValue;
+
+    PROCEDURE NoEnv(o : Exp; c : Exp) : Env =
+    BEGIN RETURN NIL; END NoEnv;
+
+    (* ----- Algorithm 8: one type per production ----- *)
+    TYPE RootExp = Exp OBJECT
+        exp : Exp;
+    OVERRIDES
+        (*MAINTAINED*) value := RootVal;
+        (*MAINTAINED*) env := NullEnv;
+    END;
+
+    TYPE PlusExp = Exp OBJECT
+        expl, exp2 : Exp;
+    OVERRIDES
+        (*MAINTAINED*) value := SumVal;
+        (*MAINTAINED*) env := PassEnv;
+    END;
+
+    TYPE LetExp = Exp OBJECT
+        expl, exp2 : Exp;
+        id : TEXT;
+    OVERRIDES
+        (*MAINTAINED*) value := Exp2Val;
+        (*MAINTAINED*) env := LetEnv;
+    END;
+
+    TYPE IdExp = Exp OBJECT
+        id : TEXT;
+    OVERRIDES
+        (*MAINTAINED*) value := IdVal;
+    END;
+
+    TYPE IntExp = Exp OBJECT
+        int : INTEGER;
+    OVERRIDES
+        (*MAINTAINED*) value := IntVal;
+    END;
+
+    (* ----- Algorithm 9: method implementations ----- *)
+    PROCEDURE RootVal(o : RootExp) : INTEGER =
+    BEGIN RETURN o.exp.value(); END RootVal;
+
+    PROCEDURE NullEnv(o : RootExp; c : Exp) : Env =
+    BEGIN RETURN NEW(Env); END NullEnv;
+
+    PROCEDURE SumVal(o : PlusExp) : INTEGER =
+    BEGIN RETURN o.expl.value() + o.exp2.value(); END SumVal;
+
+    PROCEDURE PassEnv(o : PlusExp; c : Exp) : Env =
+    BEGIN RETURN o.parent.env(o); END PassEnv;
+
+    PROCEDURE Exp2Val(o : LetExp) : INTEGER =
+    BEGIN RETURN o.exp2.value(); END Exp2Val;
+
+    PROCEDURE LetEnv(o : LetExp; c : Exp) : Env =
+    BEGIN
+        IF c = o.expl THEN
+            RETURN o.parent.env(o);
+        ELSE
+            RETURN UpdateEnv(o.parent.env(o), o.id, o.expl.value());
+        END;
+    END LetEnv;
+
+    PROCEDURE IdVal(o : IdExp) : INTEGER =
+    BEGIN RETURN o.parent.env(o).lookup(o.id); END IdVal;
+
+    PROCEDURE IntVal(o : IntExp) : INTEGER =
+    BEGIN RETURN o.int; END IntVal;
+
+    (* ----- tree builders (the parser's output, hand-rolled) ----- *)
+    PROCEDURE MakeInt(v : INTEGER) : Exp =
+    VAR e : IntExp;
+    BEGIN e := NEW(IntExp); e.int := v; RETURN e; END MakeInt;
+
+    PROCEDURE MakeId(n : TEXT) : Exp =
+    VAR e : IdExp;
+    BEGIN e := NEW(IdExp); e.id := n; RETURN e; END MakeId;
+
+    PROCEDURE MakePlus(a, b : Exp) : Exp =
+    VAR e : PlusExp;
+    BEGIN
+        e := NEW(PlusExp);
+        e.expl := a;
+        e.exp2 := b;
+        a.parent := e;
+        b.parent := e;
+        RETURN e;
+    END MakePlus;
+
+    PROCEDURE MakeLet(n : TEXT; bound, body : Exp) : Exp =
+    VAR e : LetExp;
+    BEGIN
+        e := NEW(LetExp);
+        e.id := n;
+        e.expl := bound;
+        e.exp2 := body;
+        bound.parent := e;
+        body.parent := e;
+        RETURN e;
+    END MakeLet;
+
+    PROCEDURE MakeRoot(e : Exp) : Exp =
+    VAR r : RootExp;
+    BEGIN
+        r := NEW(RootExp);
+        r.exp := e;
+        e.parent := r;
+        RETURN r;
+    END MakeRoot;
+
+    (* let a = 10 in let b = a + 5 in a + b ni ni *)
+    VAR root, boundA : Exp;
+
+    PROCEDURE Build() =
+    VAR inner, outer : Exp;
+    BEGIN
+        boundA := MakeInt(10);
+        inner := MakeLet("b", MakePlus(MakeId("a"), MakeInt(5)),
+                         MakePlus(MakeId("a"), MakeId("b")));
+        outer := MakeLet("a", boundA, inner);
+        root := MakeRoot(outer);
+    END Build;
+
+    PROCEDURE Value() : INTEGER =
+    BEGIN RETURN root.value(); END Value;
+"#;
+
+fn setup(mode: Mode) -> Interp {
+    let program = compile(AG).expect("AG program compiles");
+    let interp = Interp::new(program, mode).unwrap();
+    interp.call("Build", vec![]).unwrap();
+    interp
+}
+
+#[test]
+fn the_papers_example_attributes_correctly() {
+    for mode in [Mode::Conventional, Mode::Alphonse] {
+        let interp = setup(mode);
+        // a = 10, b = a + 5 = 15, a + b = 25.
+        assert_eq!(
+            interp.call("Value", vec![]).unwrap(),
+            Val::Int(25),
+            "mode {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn repeat_attribution_is_cached() {
+    let interp = setup(Mode::Alphonse);
+    interp.call("Value", vec![]).unwrap();
+    let rt = interp.runtime().unwrap().clone();
+    let before = rt.stats();
+    for _ in 0..5 {
+        assert_eq!(interp.call("Value", vec![]).unwrap(), Val::Int(25));
+    }
+    let d = rt.stats().delta_since(&before);
+    assert_eq!(d.executions, 0, "fully cached re-attribution");
+}
+
+#[test]
+fn terminal_edit_reattributes() {
+    let interp = setup(Mode::Alphonse);
+    assert_eq!(interp.call("Value", vec![]).unwrap(), Val::Int(25));
+    // Edit the literal bound to `a`: 10 -> 100. a=100, b=105, a+b=205.
+    let bound = interp.global("boundA").unwrap();
+    interp.set_field(&bound, "int", Val::Int(100)).unwrap();
+    assert_eq!(interp.call("Value", vec![]).unwrap(), Val::Int(205));
+
+    // And in conventional mode, the same edit gives the same answer
+    // (Theorem 5.1), just exhaustively.
+    let conv = setup(Mode::Conventional);
+    let bound = conv.global("boundA").unwrap();
+    conv.set_field(&bound, "int", Val::Int(100)).unwrap();
+    assert_eq!(conv.call("Value", vec![]).unwrap(), Val::Int(205));
+}
+
+#[test]
+fn subtree_replacement_reattributes() {
+    let interp = setup(Mode::Alphonse);
+    assert_eq!(interp.call("Value", vec![]).unwrap(), Val::Int(25));
+    // Replace the binding of `a` with `3 + 4`: a=7, b=12, a+b=19.
+    let three_plus_four = {
+        let three = interp.call("MakeInt", vec![Val::Int(3)]).unwrap();
+        let four = interp.call("MakeInt", vec![Val::Int(4)]).unwrap();
+        interp.call("MakePlus", vec![three, four]).unwrap()
+    };
+    // outer let is root.exp; set its expl and the parent pointer.
+    let root = interp.global("root").unwrap();
+    let outer = interp.field(&root, "exp").unwrap();
+    interp
+        .set_field(&outer, "expl", three_plus_four.clone())
+        .unwrap();
+    interp
+        .set_field(&three_plus_four, "parent", outer.clone())
+        .unwrap();
+    assert_eq!(interp.call("Value", vec![]).unwrap(), Val::Int(19));
+}
+
+#[test]
+fn shadowing_follows_environment_chains() {
+    // Build: let a = 1 in let a = a + 1 in a ni ni  => 2
+    let program = compile(AG).unwrap();
+    let interp = Interp::new(program, Mode::Alphonse).unwrap();
+    let one = interp.call("MakeInt", vec![Val::Int(1)]).unwrap();
+    let inner_bound = {
+        let a_ref = interp.call("MakeId", vec![Val::text("a")]).unwrap();
+        let one2 = interp.call("MakeInt", vec![Val::Int(1)]).unwrap();
+        interp.call("MakePlus", vec![a_ref, one2]).unwrap()
+    };
+    let body = interp.call("MakeId", vec![Val::text("a")]).unwrap();
+    let inner = interp
+        .call("MakeLet", vec![Val::text("a"), inner_bound, body])
+        .unwrap();
+    let outer = interp
+        .call("MakeLet", vec![Val::text("a"), one, inner])
+        .unwrap();
+    let root = interp.call("MakeRoot", vec![outer]).unwrap();
+    let v = interp.call_method(root, "value", vec![]).unwrap();
+    assert_eq!(v, Val::Int(2));
+}

@@ -1,0 +1,267 @@
+//! Algorithm 11 — the paper's self-balancing AVL tree, written in
+//! Alphonse-L and executed by the interpreter.
+//!
+//! This is the paper's most demanding program: the maintained `balance`
+//! method performs rotations as side effects on tracked fields and
+//! re-enters its own executing instances (`RETURN RotateRight(t).balance()`
+//! reaches the caller's instance through the demoted child).
+
+use alphonse_lang::{compile, Interp, Mode, Val};
+
+const AVL: &str = r#"
+    TYPE Avl = OBJECT
+        left, right : Avl;
+        key : INTEGER;
+    METHODS
+        (*MAINTAINED*) height() : INTEGER := Height;
+        (*MAINTAINED*) balance() : Avl := Balance;
+    END;
+    TYPE AvlNil = Avl OBJECT
+    OVERRIDES
+        (*MAINTAINED*) height := HeightNil;
+        (*MAINTAINED*) balance := BalanceNil;
+    END;
+
+    PROCEDURE Height(t : Avl) : INTEGER =
+    BEGIN
+        RETURN MAX(t.left.height(), t.right.height()) + 1;
+    END Height;
+
+    PROCEDURE HeightNil(t : Avl) : INTEGER =
+    BEGIN RETURN 0; END HeightNil;
+
+    PROCEDURE Diff(t : Avl) : INTEGER =
+    BEGIN RETURN t.left.height() - t.right.height(); END Diff;
+
+    PROCEDURE RotateRight(t : Avl) : Avl =
+    VAR s, b : Avl;
+    BEGIN
+        s := t.left;
+        b := s.right;
+        s.right := t;
+        t.left := b;
+        RETURN s;
+    END RotateRight;
+
+    PROCEDURE RotateLeft(t : Avl) : Avl =
+    VAR s, b : Avl;
+    BEGIN
+        s := t.right;
+        b := s.left;
+        s.left := t;
+        t.right := b;
+        RETURN s;
+    END RotateLeft;
+
+    PROCEDURE Balance(t : Avl) : Avl =
+    BEGIN
+        t.left := t.left.balance();
+        t.right := t.right.balance();
+        IF Diff(t) > 1 THEN
+            IF Diff(t.left) < 0 THEN
+                t.left := RotateLeft(t.left);
+            END;
+            RETURN RotateRight(t).balance();
+        ELSIF Diff(t) < -1 THEN
+            IF Diff(t.right) > 0 THEN
+                t.right := RotateRight(t.right);
+            END;
+            RETURN RotateLeft(t).balance();
+        END;
+        RETURN t;
+    END Balance;
+
+    PROCEDURE BalanceNil(t : Avl) : Avl =
+    BEGIN RETURN t; END BalanceNil;
+
+    VAR nil, root : Avl;
+
+    PROCEDURE Init() =
+    BEGIN
+        nil := NEW(AvlNil);
+        root := nil;
+    END Init;
+
+    PROCEDURE MakeLeaf(key : INTEGER) : Avl =
+    VAR t : Avl;
+    BEGIN
+        t := NEW(Avl);
+        t.key := key;
+        t.left := nil;
+        t.right := nil;
+        RETURN t;
+    END MakeLeaf;
+
+    (* Plain unbalanced-BST insertion: the mutator side. *)
+    PROCEDURE Insert(key : INTEGER) =
+    VAR cur : Avl;
+    BEGIN
+        IF root = nil THEN
+            root := MakeLeaf(key);
+            RETURN;
+        END;
+        cur := root;
+        WHILE TRUE DO
+            IF key = cur.key THEN
+                RETURN;
+            ELSIF key < cur.key THEN
+                IF cur.left = nil THEN
+                    cur.left := MakeLeaf(key);
+                    RETURN;
+                END;
+                cur := cur.left;
+            ELSE
+                IF cur.right = nil THEN
+                    cur.right := MakeLeaf(key);
+                    RETURN;
+                END;
+                cur := cur.right;
+            END;
+        END;
+    END Insert;
+
+    (* "The programmer is simply required to call the balance method prior
+       to performing a search operation." *)
+    PROCEDURE Rebalance() =
+    BEGIN root := root.balance(); END Rebalance;
+
+    PROCEDURE Contains(key : INTEGER) : BOOLEAN =
+    VAR cur : Avl;
+    BEGIN
+        Rebalance();
+        cur := root;
+        WHILE cur # nil DO
+            IF key = cur.key THEN RETURN TRUE;
+            ELSIF key < cur.key THEN cur := cur.left;
+            ELSE cur := cur.right;
+            END;
+        END;
+        RETURN FALSE;
+    END Contains;
+
+    (* Exhaustive validation helpers (test oracle). *)
+    PROCEDURE CheckAvl(t : Avl) : BOOLEAN =
+    VAR d : INTEGER;
+    BEGIN
+        IF t = nil THEN RETURN TRUE; END;
+        d := Diff(t);
+        IF d > 1 OR d < -1 THEN RETURN FALSE; END;
+        RETURN CheckAvl(t.left) AND CheckAvl(t.right);
+    END CheckAvl;
+
+    PROCEDURE CheckRoot() : BOOLEAN =
+    BEGIN RETURN CheckAvl(root); END CheckRoot;
+
+    PROCEDURE RootHeight() : INTEGER =
+    BEGIN RETURN root.height(); END RootHeight;
+
+    PROCEDURE CountKeys(t : Avl) : INTEGER =
+    BEGIN
+        IF t = nil THEN RETURN 0; END;
+        RETURN CountKeys(t.left) + CountKeys(t.right) + 1;
+    END CountKeys;
+
+    PROCEDURE Size() : INTEGER =
+    BEGIN RETURN CountKeys(root); END Size;
+"#;
+
+fn setup(mode: Mode) -> Interp {
+    let program = compile(AVL).expect("AVL program compiles");
+    let interp = Interp::new(program, mode).unwrap();
+    interp.set_fuel(2_000_000_000);
+    interp.call("Init", vec![]).unwrap();
+    interp
+}
+
+#[test]
+fn sorted_insertions_self_balance() {
+    let interp = setup(Mode::Alphonse);
+    for k in 0..64 {
+        interp.call("Insert", vec![Val::Int(k)]).unwrap();
+        interp.call("Rebalance", vec![]).unwrap();
+    }
+    assert_eq!(interp.call("CheckRoot", vec![]).unwrap(), Val::Bool(true));
+    assert_eq!(interp.call("Size", vec![]).unwrap(), Val::Int(64));
+    let h = interp.call("RootHeight", vec![]).unwrap();
+    match h {
+        Val::Int(h) => assert!(h <= 8, "64 sorted keys must balance to height <= 8, got {h}"),
+        other => panic!("unexpected {other:?}"),
+    }
+    for k in [0i64, 31, 63] {
+        assert_eq!(
+            interp.call("Contains", vec![Val::Int(k)]).unwrap(),
+            Val::Bool(true)
+        );
+    }
+    assert_eq!(
+        interp.call("Contains", vec![Val::Int(100)]).unwrap(),
+        Val::Bool(false)
+    );
+}
+
+#[test]
+fn batched_offline_balancing_works() {
+    // The paper: "the algorithm is both an off-line as well as on-line
+    // algorithm" — build a fully degenerate chain, balance once.
+    let interp = setup(Mode::Alphonse);
+    for k in 0..128 {
+        interp.call("Insert", vec![Val::Int(k)]).unwrap();
+    }
+    interp.call("Rebalance", vec![]).unwrap();
+    assert_eq!(interp.call("CheckRoot", vec![]).unwrap(), Val::Bool(true));
+    assert_eq!(interp.call("Size", vec![]).unwrap(), Val::Int(128));
+}
+
+#[test]
+fn incremental_rebalance_is_cheap() {
+    let interp = setup(Mode::Alphonse);
+    for k in 0..256 {
+        interp.call("Insert", vec![Val::Int(k)]).unwrap();
+        interp.call("Rebalance", vec![]).unwrap();
+    }
+    let rt = interp.runtime().unwrap().clone();
+    // One more insert: the incremental work is near the path length, far
+    // below the 256 instances a full re-execution would need.
+    let before = rt.stats();
+    interp.call("Insert", vec![Val::Int(1000)]).unwrap();
+    interp.call("Rebalance", vec![]).unwrap();
+    let d = rt.stats().delta_since(&before);
+    assert!(
+        d.executions <= 80,
+        "per-insert rebalance should be ~path-sized, got {}",
+        d.executions
+    );
+    assert_eq!(interp.call("CheckRoot", vec![]).unwrap(), Val::Bool(true));
+}
+
+#[test]
+fn conventional_and_alphonse_agree() {
+    let conv = setup(Mode::Conventional);
+    let alph = setup(Mode::Alphonse);
+    // Deterministic pseudo-random keys.
+    let mut x: i64 = 12345;
+    let mut keys = Vec::new();
+    for _ in 0..48 {
+        x = (x.wrapping_mul(1103515245).wrapping_add(12345)) % 1000;
+        keys.push(x.abs() % 100);
+    }
+    for &k in &keys {
+        conv.call("Insert", vec![Val::Int(k)]).unwrap();
+        alph.call("Insert", vec![Val::Int(k)]).unwrap();
+        conv.call("Rebalance", vec![]).unwrap();
+        alph.call("Rebalance", vec![]).unwrap();
+    }
+    assert_eq!(
+        conv.call("Size", vec![]).unwrap(),
+        alph.call("Size", vec![]).unwrap()
+    );
+    assert_eq!(conv.call("CheckRoot", vec![]).unwrap(), Val::Bool(true));
+    assert_eq!(alph.call("CheckRoot", vec![]).unwrap(), Val::Bool(true));
+    for probe in 0..100 {
+        assert_eq!(
+            conv.call("Contains", vec![Val::Int(probe)]).unwrap(),
+            alph.call("Contains", vec![Val::Int(probe)]).unwrap(),
+            "Contains({probe}) diverged (Theorem 5.1)"
+        );
+    }
+}

@@ -1,0 +1,269 @@
+//! Algorithm 10 — the paper's spreadsheet, written in Alphonse-L.
+//!
+//! "We can extend the previous attribute grammar into a spreadsheet … An
+//! array of Cell objects represents the spreadsheet. In order to allow the
+//! cell functions to reference the values of other cells, we add a CellExp
+//! production … This example shows the use of top-level data references and
+//! illustrates how one Alphonse program can be used to construct another."
+
+use alphonse_lang::{compile, Interp, Mode, Val};
+
+const SHEET: &str = r#"
+    (* Expression trees, abbreviated from Algorithms 7-9 (no environments:
+       spreadsheet formulas are closed except for cell references). *)
+    TYPE Exp = OBJECT
+    METHODS
+        (*MAINTAINED*) value() : INTEGER := NoValue;
+    END;
+    PROCEDURE NoValue(o : Exp) : INTEGER =
+    BEGIN RETURN 0; END NoValue;
+
+    TYPE IntExp = Exp OBJECT
+        int : INTEGER;
+    OVERRIDES
+        (*MAINTAINED*) value := IntVal;
+    END;
+    PROCEDURE IntVal(o : IntExp) : INTEGER =
+    BEGIN RETURN o.int; END IntVal;
+
+    TYPE PlusExp = Exp OBJECT
+        expl, exp2 : Exp;
+    OVERRIDES
+        (*MAINTAINED*) value := SumVal;
+    END;
+    PROCEDURE SumVal(o : PlusExp) : INTEGER =
+    BEGIN RETURN o.expl.value() + o.exp2.value(); END SumVal;
+
+    (* The Cell object of Algorithm 10. *)
+    TYPE Cell = OBJECT
+        func : Exp;
+    METHODS
+        (*MAINTAINED*) value() : INTEGER := CellFuncVal;
+    END;
+    PROCEDURE CellFuncVal(o : Cell) : INTEGER =
+    BEGIN RETURN o.func.value(); END CellFuncVal;
+
+    (* cells : ARRAY [0..W*H-1] OF Cell — the paper's 2-D array flattened
+       row-major. *)
+    VAR cells : ARRAY OF Cell;
+    VAR width : INTEGER;
+
+    (* CellExp: "uses two integer valued terminal fields to select another
+       cell in the array and return the result of its value method". *)
+    TYPE CellExp = Exp OBJECT
+        x, y : INTEGER;
+    OVERRIDES
+        (*MAINTAINED*) value := CellVal;
+    END;
+    PROCEDURE CellVal(o : CellExp) : INTEGER =
+    BEGIN
+        RETURN cells[o.x * width + o.y].value();
+    END CellVal;
+
+    (* ----- setup and builders ----- *)
+    PROCEDURE Init(w, h : INTEGER) =
+    VAR c : Cell;
+    BEGIN
+        width := w;
+        cells := NEW(ARRAY OF Cell, w * h);
+        FOR i := 0 TO w * h - 1 DO
+            c := NEW(Cell);
+            c.func := MakeInt(0);
+            cells[i] := c;
+        END;
+    END Init;
+
+    PROCEDURE MakeInt(v : INTEGER) : Exp =
+    VAR e : IntExp;
+    BEGIN e := NEW(IntExp); e.int := v; RETURN e; END MakeInt;
+
+    PROCEDURE MakePlus(a, b : Exp) : Exp =
+    VAR e : PlusExp;
+    BEGIN e := NEW(PlusExp); e.expl := a; e.exp2 := b; RETURN e; END MakePlus;
+
+    PROCEDURE MakeCellRef(x, y : INTEGER) : Exp =
+    VAR e : CellExp;
+    BEGIN e := NEW(CellExp); e.x := x; e.y := y; RETURN e; END MakeCellRef;
+
+    PROCEDURE SetFunc(x, y : INTEGER; f : Exp) =
+    BEGIN cells[x * width + y].func := f; END SetFunc;
+
+    PROCEDURE ValueAt(x, y : INTEGER) : INTEGER =
+    BEGIN RETURN cells[x * width + y].value(); END ValueAt;
+
+    PROCEDURE CellCount() : INTEGER =
+    BEGIN RETURN LEN(cells); END CellCount;
+"#;
+
+fn setup(mode: Mode, w: i64, h: i64) -> Interp {
+    let program = compile(SHEET).expect("spreadsheet program compiles");
+    let interp = Interp::new(program, mode).unwrap();
+    interp.call("Init", vec![Val::Int(w), Val::Int(h)]).unwrap();
+    interp
+}
+
+#[test]
+fn cells_evaluate_their_expression_trees() {
+    for mode in [Mode::Conventional, Mode::Alphonse] {
+        let interp = setup(mode, 4, 4);
+        assert_eq!(interp.call("CellCount", vec![]).unwrap(), Val::Int(16));
+        // cells[1,1] = 20 + 22.
+        let f = {
+            let a = interp.call("MakeInt", vec![Val::Int(20)]).unwrap();
+            let b = interp.call("MakeInt", vec![Val::Int(22)]).unwrap();
+            interp.call("MakePlus", vec![a, b]).unwrap()
+        };
+        interp
+            .call("SetFunc", vec![Val::Int(1), Val::Int(1), f])
+            .unwrap();
+        assert_eq!(
+            interp
+                .call("ValueAt", vec![Val::Int(1), Val::Int(1)])
+                .unwrap(),
+            Val::Int(42),
+            "mode {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn cell_references_cross_the_grid() {
+    let interp = setup(Mode::Alphonse, 3, 3);
+    // cells[0,0] = 7; cells[2,2] = cells[0,0] + cells[0,0].
+    let seven = interp.call("MakeInt", vec![Val::Int(7)]).unwrap();
+    interp
+        .call("SetFunc", vec![Val::Int(0), Val::Int(0), seven])
+        .unwrap();
+    let f = {
+        let r1 = interp
+            .call("MakeCellRef", vec![Val::Int(0), Val::Int(0)])
+            .unwrap();
+        let r2 = interp
+            .call("MakeCellRef", vec![Val::Int(0), Val::Int(0)])
+            .unwrap();
+        interp.call("MakePlus", vec![r1, r2]).unwrap()
+    };
+    interp
+        .call("SetFunc", vec![Val::Int(2), Val::Int(2), f])
+        .unwrap();
+    assert_eq!(
+        interp
+            .call("ValueAt", vec![Val::Int(2), Val::Int(2)])
+            .unwrap(),
+        Val::Int(14)
+    );
+    // Edit the source cell's formula: the dependent cell updates.
+    let fifty = interp.call("MakeInt", vec![Val::Int(50)]).unwrap();
+    interp
+        .call("SetFunc", vec![Val::Int(0), Val::Int(0), fifty])
+        .unwrap();
+    assert_eq!(
+        interp
+            .call("ValueAt", vec![Val::Int(2), Val::Int(2)])
+            .unwrap(),
+        Val::Int(100)
+    );
+}
+
+#[test]
+fn one_edit_recomputes_only_its_cone() {
+    let interp = setup(Mode::Alphonse, 4, 4);
+    // A chain: cell[0,k] = cell[0,k-1] + 1 for k = 1..3; two independent
+    // cells elsewhere.
+    let one = interp.call("MakeInt", vec![Val::Int(1)]).unwrap();
+    interp
+        .call("SetFunc", vec![Val::Int(0), Val::Int(0), one])
+        .unwrap();
+    for k in 1..4i64 {
+        let f = {
+            let prev = interp
+                .call("MakeCellRef", vec![Val::Int(0), Val::Int(k - 1)])
+                .unwrap();
+            let one = interp.call("MakeInt", vec![Val::Int(1)]).unwrap();
+            interp.call("MakePlus", vec![prev, one]).unwrap()
+        };
+        interp
+            .call("SetFunc", vec![Val::Int(0), Val::Int(k), f])
+            .unwrap();
+    }
+    assert_eq!(
+        interp
+            .call("ValueAt", vec![Val::Int(0), Val::Int(3)])
+            .unwrap(),
+        Val::Int(4)
+    );
+    // Edit the head: the whole chain re-evaluates, but nothing else.
+    let rt = interp.runtime().unwrap().clone();
+    let hundred = interp.call("MakeInt", vec![Val::Int(100)]).unwrap();
+    let before = rt.stats();
+    interp
+        .call("SetFunc", vec![Val::Int(0), Val::Int(0), hundred])
+        .unwrap();
+    assert_eq!(
+        interp
+            .call("ValueAt", vec![Val::Int(0), Val::Int(3)])
+            .unwrap(),
+        Val::Int(103)
+    );
+    let d = rt.stats().delta_since(&before);
+    assert!(
+        d.executions <= 12,
+        "chain of 4 cells + expressions, got {} executions",
+        d.executions
+    );
+}
+
+#[test]
+fn out_of_bounds_reference_is_a_runtime_error() {
+    let interp = setup(Mode::Alphonse, 2, 2);
+    let f = interp
+        .call("MakeCellRef", vec![Val::Int(5), Val::Int(5)])
+        .unwrap();
+    interp
+        .call("SetFunc", vec![Val::Int(0), Val::Int(0), f])
+        .unwrap();
+    let err = interp
+        .call("ValueAt", vec![Val::Int(0), Val::Int(0)])
+        .unwrap_err();
+    assert!(err.to_string().contains("out of bounds"), "{err}");
+}
+
+#[test]
+fn conventional_and_alphonse_agree_on_random_sheets() {
+    let conv = setup(Mode::Conventional, 3, 3);
+    let alph = setup(Mode::Alphonse, 3, 3);
+    // Fill every cell with k, then wire diagonal references, then edit.
+    for interp in [&conv, &alph] {
+        for x in 0..3i64 {
+            for y in 0..3i64 {
+                let v = interp
+                    .call("MakeInt", vec![Val::Int(x * 10 + y)])
+                    .unwrap();
+                interp
+                    .call("SetFunc", vec![Val::Int(x), Val::Int(y), v])
+                    .unwrap();
+            }
+        }
+        for k in 1..3i64 {
+            let f = {
+                let r = interp
+                    .call("MakeCellRef", vec![Val::Int(k - 1), Val::Int(k - 1)])
+                    .unwrap();
+                let c = interp.call("MakeInt", vec![Val::Int(k)]).unwrap();
+                interp.call("MakePlus", vec![r, c]).unwrap()
+            };
+            interp
+                .call("SetFunc", vec![Val::Int(k), Val::Int(k), f])
+                .unwrap();
+        }
+    }
+    for x in 0..3i64 {
+        for y in 0..3i64 {
+            assert_eq!(
+                conv.call("ValueAt", vec![Val::Int(x), Val::Int(y)]).unwrap(),
+                alph.call("ValueAt", vec![Val::Int(x), Val::Int(y)]).unwrap(),
+                "cell ({x},{y}) diverged"
+            );
+        }
+    }
+}

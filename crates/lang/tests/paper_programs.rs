@@ -1,0 +1,219 @@
+//! The paper's own example programs, executed end-to-end in both modes.
+
+use alphonse_lang::{compile, Interp, Mode, Val};
+
+/// Algorithm 1: the maintained-height tree, plus host-callable builders.
+const HEIGHT_TREE: &str = r#"
+    TYPE Tree = OBJECT
+        left, right : Tree;
+    METHODS
+        (*MAINTAINED*) height() : INTEGER := Height;
+    END;
+    TYPE TreeNil = Tree OBJECT
+    OVERRIDES
+        (*MAINTAINED*) height := HeightNil;
+    END;
+
+    PROCEDURE Height(t : Tree) : INTEGER =
+    BEGIN
+        RETURN MAX(t.left.height(), t.right.height()) + 1;
+    END Height;
+
+    PROCEDURE HeightNil(t : Tree) : INTEGER =
+    BEGIN RETURN 0; END HeightNil;
+
+    VAR nil : Tree;
+
+    PROCEDURE Init() =
+    BEGIN nil := NEW(TreeNil); END Init;
+
+    PROCEDURE MakeNode(l, r : Tree) : Tree =
+    VAR t : Tree;
+    BEGIN
+        t := NEW(Tree);
+        t.left := l;
+        t.right := r;
+        RETURN t;
+    END MakeNode;
+
+    PROCEDURE BuildBalanced(depth : INTEGER) : Tree =
+    BEGIN
+        IF depth = 0 THEN RETURN nil; END;
+        RETURN MakeNode(BuildBalanced(depth - 1), BuildBalanced(depth - 1));
+    END BuildBalanced;
+"#;
+
+fn setup(mode: Mode) -> (Interp, Val) {
+    let program = compile(HEIGHT_TREE).expect("paper program compiles");
+    let interp = Interp::new(program, mode).unwrap();
+    interp.call("Init", vec![]).unwrap();
+    let root = interp.call("BuildBalanced", vec![Val::Int(5)]).unwrap();
+    (interp, root)
+}
+
+#[test]
+fn maintained_height_is_correct_in_both_modes() {
+    for mode in [Mode::Conventional, Mode::Alphonse] {
+        let (interp, root) = setup(mode);
+        assert_eq!(
+            interp.call_method(root.clone(), "height", vec![]).unwrap(),
+            Val::Int(5),
+            "mode {mode:?}"
+        );
+    }
+}
+
+#[test]
+fn repeat_height_queries_are_cached_in_alphonse_mode() {
+    let (interp, root) = setup(Mode::Alphonse);
+    interp.call_method(root.clone(), "height", vec![]).unwrap();
+    let rt = interp.runtime().unwrap();
+    let before = rt.stats();
+    for _ in 0..5 {
+        interp.call_method(root.clone(), "height", vec![]).unwrap();
+    }
+    let d = rt.stats().delta_since(&before);
+    assert_eq!(d.executions, 0, "repeat queries are O(1) cache hits");
+    assert_eq!(d.cache_hits, 5);
+}
+
+#[test]
+fn conventional_mode_recomputes_exhaustively() {
+    let (interp, root) = setup(Mode::Conventional);
+    let s0 = interp.steps();
+    interp.call_method(root.clone(), "height", vec![]).unwrap();
+    let first = interp.steps() - s0;
+    let s1 = interp.steps();
+    interp.call_method(root.clone(), "height", vec![]).unwrap();
+    let second = interp.steps() - s1;
+    assert_eq!(first, second, "every query repeats the full pass");
+    assert!(first > 100, "a depth-5 tree costs hundreds of steps");
+}
+
+#[test]
+fn leaf_change_updates_incrementally() {
+    let (interp, root) = setup(Mode::Alphonse);
+    interp.call_method(root.clone(), "height", vec![]).unwrap();
+
+    // Mutator: graft a 2-chain under the leftmost leaf node.
+    let mut leftmost = root.clone();
+    loop {
+        let l = interp.field(&leftmost, "left").unwrap();
+        // Stop when the child is the shared nil (its `left` is NIL).
+        if interp.field(&l, "left").unwrap() == Val::Nil {
+            break;
+        }
+        leftmost = l;
+    }
+    let nil = interp.global("nil").unwrap();
+    let n1 = interp
+        .call("MakeNode", vec![nil.clone(), nil.clone()])
+        .unwrap();
+    let n2 = interp.call("MakeNode", vec![n1, nil.clone()]).unwrap();
+    interp.set_field(&leftmost, "left", n2).unwrap();
+
+    let rt = interp.runtime().unwrap();
+    let before = rt.stats();
+    assert_eq!(
+        interp.call_method(root.clone(), "height", vec![]).unwrap(),
+        Val::Int(7)
+    );
+    let d = rt.stats().delta_since(&before);
+    // Only the path to the root plus the new nodes re-executes — far less
+    // than the 63 internal nodes of the full tree.
+    assert!(
+        d.executions <= 12,
+        "expected ~path-length executions, got {}",
+        d.executions
+    );
+}
+
+#[test]
+fn both_modes_agree_after_mutations() {
+    let (conv, conv_root) = setup(Mode::Conventional);
+    let (alph, alph_root) = setup(Mode::Alphonse);
+    // Same mutation on both: cut the root's right subtree down to nil.
+    let nil_c = conv.global("nil").unwrap();
+    let nil_a = alph.global("nil").unwrap();
+    conv.set_field(&conv_root, "right", nil_c).unwrap();
+    alph.set_field(&alph_root, "right", nil_a).unwrap();
+    let hc = conv.call_method(conv_root, "height", vec![]).unwrap();
+    let ha = alph.call_method(alph_root, "height", vec![]).unwrap();
+    assert_eq!(hc, ha, "Theorem 5.1: identical results");
+    assert_eq!(hc, Val::Int(5), "left subtree still has depth 4 + root");
+}
+
+/// The `(*CACHED*)` pragma on a classic exponential recursion.
+const FIB: &str = r#"
+    (*CACHED*) PROCEDURE Fib(n : INTEGER) : INTEGER =
+    BEGIN
+        IF n < 2 THEN RETURN n; END;
+        RETURN Fib(n - 1) + Fib(n - 2);
+    END Fib;
+"#;
+
+#[test]
+fn cached_fib_is_linear_conventional_is_exponential() {
+    let program = compile(FIB).unwrap();
+    let alph = Interp::new(program.clone(), Mode::Alphonse).unwrap();
+    let conv = Interp::new(program, Mode::Conventional).unwrap();
+    assert_eq!(alph.call("Fib", vec![Val::Int(25)]).unwrap(), Val::Int(75025));
+    assert_eq!(conv.call("Fib", vec![Val::Int(25)]).unwrap(), Val::Int(75025));
+    // Function caching turns the call tree into a chain.
+    let rt = alph.runtime().unwrap();
+    assert_eq!(rt.stats().executions, 26);
+    assert!(
+        conv.steps() > 100 * alph.steps() / 10,
+        "conventional recomputation dwarfs cached execution: {} vs {}",
+        conv.steps(),
+        alph.steps()
+    );
+}
+
+/// Non-combinator caching (Section 4.2): a cached procedure reading a
+/// top-level variable is correctly invalidated by mutator writes.
+const NON_COMBINATOR: &str = r#"
+    VAR rate : INTEGER := 7;
+
+    (*CACHED*) PROCEDURE Scaled(n : INTEGER) : INTEGER =
+    BEGIN
+        RETURN n * rate;
+    END Scaled;
+"#;
+
+#[test]
+fn cached_procedures_may_read_global_state() {
+    let program = compile(NON_COMBINATOR).unwrap();
+    let interp = Interp::new(program, Mode::Alphonse).unwrap();
+    assert_eq!(interp.call("Scaled", vec![Val::Int(3)]).unwrap(), Val::Int(21));
+    assert_eq!(interp.call("Scaled", vec![Val::Int(3)]).unwrap(), Val::Int(21));
+    let rt = interp.runtime().unwrap().clone();
+    assert_eq!(rt.stats().executions, 1, "second call is a pure hit");
+    interp.set_global("rate", Val::Int(10)).unwrap();
+    assert_eq!(interp.call("Scaled", vec![Val::Int(3)]).unwrap(), Val::Int(30));
+}
+
+/// Section 6.4: `(*UNCHECKED*)` removes dependencies by programmer fiat.
+const UNCHECKED: &str = r#"
+    VAR probe, stable : INTEGER := 0;
+
+    (*CACHED*) PROCEDURE Mixed(n : INTEGER) : INTEGER =
+    BEGIN
+        RETURN stable + (*UNCHECKED*) probe;
+    END Mixed;
+"#;
+
+#[test]
+fn unchecked_reads_do_not_invalidate_lang() {
+    let program = compile(UNCHECKED).unwrap();
+    let interp = Interp::new(program, Mode::Alphonse).unwrap();
+    interp.set_global("stable", Val::Int(1)).unwrap();
+    interp.set_global("probe", Val::Int(100)).unwrap();
+    assert_eq!(interp.call("Mixed", vec![Val::Int(0)]).unwrap(), Val::Int(101));
+    // probe changes are invisible (stale by design)…
+    interp.set_global("probe", Val::Int(999)).unwrap();
+    assert_eq!(interp.call("Mixed", vec![Val::Int(0)]).unwrap(), Val::Int(101));
+    // …until a tracked dependency changes.
+    interp.set_global("stable", Val::Int(2)).unwrap();
+    assert_eq!(interp.call("Mixed", vec![Val::Int(0)]).unwrap(), Val::Int(1001));
+}

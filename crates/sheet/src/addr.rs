@@ -1,0 +1,122 @@
+//! Cell addresses in the familiar `B12` notation.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A cell coordinate: zero-based column and row.
+///
+/// # Example
+///
+/// ```
+/// use alphonse_sheet::Addr;
+/// let a: Addr = "B12".parse().unwrap();
+/// assert_eq!((a.col, a.row), (1, 11));
+/// assert_eq!(a.to_string(), "B12");
+/// assert_eq!("AA1".parse::<Addr>().unwrap().col, 26);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr {
+    /// Zero-based column (`A` = 0).
+    pub col: u32,
+    /// Zero-based row (`1` = 0).
+    pub row: u32,
+}
+
+impl Addr {
+    /// Builds an address from zero-based coordinates.
+    pub fn new(col: u32, row: u32) -> Addr {
+        Addr { col, row }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Column in bijective base 26.
+        let mut c = self.col + 1;
+        let mut letters = Vec::new();
+        while c > 0 {
+            let rem = (c - 1) % 26;
+            letters.push(char::from(b'A' + rem as u8));
+            c = (c - 1) / 26;
+        }
+        for ch in letters.iter().rev() {
+            write!(f, "{ch}")?;
+        }
+        write!(f, "{}", self.row + 1)
+    }
+}
+
+/// Error parsing an [`Addr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddrError(pub(crate) String);
+
+impl fmt::Display for ParseAddrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cell address: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAddrError {}
+
+impl FromStr for Addr {
+    type Err = ParseAddrError;
+
+    fn from_str(s: &str) -> Result<Addr, ParseAddrError> {
+        let bytes = s.as_bytes();
+        let letters_end = bytes
+            .iter()
+            .position(|b| !b.is_ascii_alphabetic())
+            .unwrap_or(bytes.len());
+        if letters_end == 0 || letters_end == bytes.len() {
+            return Err(ParseAddrError(s.to_string()));
+        }
+        let mut col: u64 = 0;
+        for &b in &bytes[..letters_end] {
+            col = col * 26 + u64::from(b.to_ascii_uppercase() - b'A' + 1);
+            if col > u64::from(u32::MAX / 2) {
+                return Err(ParseAddrError(s.to_string()));
+            }
+        }
+        let row: u32 = s[letters_end..]
+            .parse::<u32>()
+            .ok()
+            .filter(|&r| r >= 1)
+            .ok_or_else(|| ParseAddrError(s.to_string()))?;
+        Ok(Addr {
+            col: (col - 1) as u32,
+            row: row - 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_letter_round_trip() {
+        for col in 0..60u32 {
+            for row in [0u32, 5, 99] {
+                let a = Addr::new(col, row);
+                let parsed: Addr = a.to_string().parse().unwrap();
+                assert_eq!(parsed, a);
+            }
+        }
+    }
+
+    #[test]
+    fn known_addresses() {
+        assert_eq!("A1".parse::<Addr>().unwrap(), Addr::new(0, 0));
+        assert_eq!("Z9".parse::<Addr>().unwrap(), Addr::new(25, 8));
+        assert_eq!("AA1".parse::<Addr>().unwrap(), Addr::new(26, 0));
+        assert_eq!("AB10".parse::<Addr>().unwrap(), Addr::new(27, 9));
+        assert_eq!("b2".parse::<Addr>().unwrap(), Addr::new(1, 1), "case-insensitive");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "1", "A", "A0", "1A", "A-1", "A1B"] {
+            assert!(bad.parse::<Addr>().is_err(), "{bad:?} should not parse");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Full-recalculation baseline spreadsheet.
+//!
+//! The conventional execution of the Section 7.2 program: every query
+//! re-evaluates the queried cell's whole dependency cone from the formulas,
+//! with no caching. Used by experiment E6 to quantify the incremental
+//! speedup.
+
+use crate::addr::Addr;
+use crate::formula::{CellValue, Formula};
+use crate::sheet::eval_formula;
+use std::cell::{Cell, RefCell};
+use std::fmt;
+
+/// A spreadsheet that recomputes from scratch on every query.
+///
+/// # Example
+///
+/// ```
+/// use alphonse_sheet::RecalcSheet;
+/// let s = RecalcSheet::new(4, 4);
+/// s.set("A1", "21").unwrap();
+/// s.set("B1", "=A1+A1").unwrap();
+/// assert_eq!(s.value("B1").unwrap().num(), Some(42));
+/// ```
+pub struct RecalcSheet {
+    width: u32,
+    height: u32,
+    formulas: RefCell<Vec<Formula>>,
+    evaluations: Cell<u64>,
+}
+
+impl fmt::Debug for RecalcSheet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecalcSheet")
+            .field("width", &self.width)
+            .field("height", &self.height)
+            .finish()
+    }
+}
+
+impl RecalcSheet {
+    /// Creates a `width × height` sheet of zero cells.
+    pub fn new(width: u32, height: u32) -> RecalcSheet {
+        RecalcSheet {
+            width,
+            height,
+            formulas: RefCell::new(vec![
+                Formula::Num(0);
+                width as usize * height as usize
+            ]),
+            evaluations: Cell::new(0),
+        }
+    }
+
+    fn index(&self, a: Addr) -> Option<usize> {
+        (a.col < self.width && a.row < self.height)
+            .then(|| (a.row * self.width + a.col) as usize)
+    }
+
+    /// Sets a cell from source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for bad addresses or formulas (cycles are detected
+    /// lazily at evaluation time and yield [`CellValue::Error`]).
+    pub fn set(&self, addr: &str, src: &str) -> Result<(), String> {
+        let addr: Addr = addr.parse().map_err(|e| format!("{e}"))?;
+        let f = crate::formula::parse_formula(src)?;
+        let idx = self.index(addr).ok_or_else(|| format!("{addr} out of bounds"))?;
+        self.formulas.borrow_mut()[idx] = f;
+        Ok(())
+    }
+
+    /// Value of a cell, recomputed exhaustively.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unparseable addresses.
+    pub fn value(&self, addr: &str) -> Result<CellValue, String> {
+        let addr: Addr = addr.parse().map_err(|e| format!("{e}"))?;
+        Ok(self.value_at(addr))
+    }
+
+    /// Value by coordinate, recomputed exhaustively.
+    pub fn value_at(&self, addr: Addr) -> CellValue {
+        let mut on_path = std::collections::HashSet::new();
+        self.eval(addr, &mut on_path)
+    }
+
+    fn eval(&self, addr: Addr, on_path: &mut std::collections::HashSet<Addr>) -> CellValue {
+        self.evaluations.set(self.evaluations.get() + 1);
+        let Some(idx) = self.index(addr) else {
+            return CellValue::Error;
+        };
+        if !on_path.insert(addr) {
+            return CellValue::Error; // dynamic cycle detection
+        }
+        let f = self.formulas.borrow()[idx].clone();
+        let out = eval_formula(&f, &mut |a| self.eval(a, on_path));
+        on_path.remove(&addr);
+        out
+    }
+
+    /// Cell evaluations performed so far (work counter).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations.get()
+    }
+
+    /// Resets the work counter.
+    pub fn reset_counters(&self) {
+        self.evaluations.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_basic_arithmetic() {
+        let s = RecalcSheet::new(8, 8);
+        s.set("A1", "5").unwrap();
+        s.set("A2", "=A1*A1").unwrap();
+        s.set("A3", "=A2-A1+SUM(A1:A2)").unwrap();
+        assert_eq!(s.value("A3").unwrap(), CellValue::Num(50));
+    }
+
+    #[test]
+    fn every_query_repeats_work() {
+        let s = RecalcSheet::new(8, 8);
+        s.set("A1", "1").unwrap();
+        s.set("B1", "=A1+1").unwrap();
+        s.reset_counters();
+        s.value("B1").unwrap();
+        let first = s.evaluations();
+        s.value("B1").unwrap();
+        assert_eq!(s.evaluations(), first * 2, "no caching");
+    }
+
+    #[test]
+    fn dynamic_cycles_yield_error() {
+        let s = RecalcSheet::new(4, 4);
+        s.set("A1", "=A2").unwrap();
+        s.set("A2", "=A1").unwrap();
+        assert_eq!(s.value("A1").unwrap(), CellValue::Error);
+    }
+
+    #[test]
+    fn diamond_reconverges() {
+        // A1 referenced twice through B-cells: visited-set must allow
+        // re-visiting on sibling paths (it is a path set, not a seen set).
+        let s = RecalcSheet::new(4, 4);
+        s.set("A1", "3").unwrap();
+        s.set("B1", "=A1+1").unwrap();
+        s.set("B2", "=A1+2").unwrap();
+        s.set("C1", "=B1+B2").unwrap();
+        assert_eq!(s.value("C1").unwrap(), CellValue::Num(9));
+    }
+}

@@ -1,0 +1,40 @@
+//! The spreadsheet of the Alphonse paper, Section 7.2.
+//!
+//! The paper builds a spreadsheet by giving every `Cell` object an
+//! expression tree and a maintained `value` method, and adding a `CellExp`
+//! production that reads another cell's value — "one Alphonse program used
+//! to construct another". This crate reproduces that application:
+//!
+//! * [`Sheet`] — the incremental spreadsheet on the Alphonse runtime:
+//!   formulas live in tracked storage, cell values are maintained method
+//!   instances, and one edit re-evaluates only the affected cells.
+//! * [`RecalcSheet`] — the conventional-execution baseline that recomputes
+//!   a cell's full dependency cone on every query (experiment E6).
+//! * [`parse_formula`] / [`Formula`] — `=A1+2*SUM(B1:B9)` formula language.
+//!
+//! # Example
+//!
+//! ```
+//! use alphonse::Runtime;
+//! use alphonse_sheet::Sheet;
+//!
+//! let rt = Runtime::new();
+//! let sheet = Sheet::new(&rt, 26, 100);
+//! sheet.set("A1", "100").unwrap();
+//! sheet.set("A2", "=A1/4").unwrap();
+//! sheet.set("A3", "=SUM(A1:A2)").unwrap();
+//! assert_eq!(sheet.value("A3").unwrap().num(), Some(125));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod baseline;
+mod formula;
+mod sheet;
+
+pub use addr::{Addr, ParseAddrError};
+pub use baseline::RecalcSheet;
+pub use formula::{parse_formula, CellValue, Formula, Op};
+pub use sheet::{Sheet, SheetError};

@@ -1,0 +1,316 @@
+//! Baselines for the maintained-height experiment (E1/E2).
+//!
+//! * [`ExhaustiveTree`] — the "conventional execution" of Algorithm 1: every
+//!   height query runs the full recursive pass, so a query after each of m
+//!   changes costs O(m·n).
+//! * [`HandcodedTree`] — Section 9's "ambitious programmer": a height field
+//!   in each node plus parent pointers; each child-pointer change walks
+//!   toward the root updating cached heights. Matches what Alphonse derives
+//!   automatically, minus batching.
+
+use std::cell::Cell;
+use std::fmt;
+
+const NIL: usize = usize::MAX;
+
+/// Plain binary tree: heights recomputed exhaustively on every query.
+///
+/// # Example
+///
+/// ```
+/// use alphonse_trees::ExhaustiveTree;
+/// let mut t = ExhaustiveTree::new();
+/// let l = t.new_leaf();
+/// let r = t.new_leaf();
+/// let root = t.new_node(l, r);
+/// assert_eq!(t.height(root), 2);
+/// ```
+pub struct ExhaustiveTree {
+    left: Vec<usize>,
+    right: Vec<usize>,
+    visits: Cell<u64>,
+}
+
+impl fmt::Debug for ExhaustiveTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExhaustiveTree")
+            .field("nodes", &self.left.len())
+            .finish()
+    }
+}
+
+impl Default for ExhaustiveTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExhaustiveTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        ExhaustiveTree {
+            left: Vec::new(),
+            right: Vec::new(),
+            visits: Cell::new(0),
+        }
+    }
+
+    /// Allocates a node with the given children (`usize::MAX` = none).
+    pub fn new_node(&mut self, left: usize, right: usize) -> usize {
+        self.left.push(left);
+        self.right.push(right);
+        self.left.len() - 1
+    }
+
+    /// Allocates a leaf.
+    pub fn new_leaf(&mut self) -> usize {
+        self.new_node(NIL, NIL)
+    }
+
+    /// Re-links a node's left child.
+    pub fn set_left(&mut self, n: usize, child: usize) {
+        self.left[n] = child;
+    }
+
+    /// Re-links a node's right child.
+    pub fn set_right(&mut self, n: usize, child: usize) {
+        self.right[n] = child;
+    }
+
+    /// Exhaustive height query: O(|subtree|) every time.
+    pub fn height(&self, n: usize) -> i64 {
+        if n == NIL {
+            return 0;
+        }
+        self.visits.set(self.visits.get() + 1);
+        1 + self.height(self.left[n]).max(self.height(self.right[n]))
+    }
+
+    /// Nodes visited by height queries so far.
+    pub fn visits(&self) -> u64 {
+        self.visits.get()
+    }
+
+    /// Resets the visit counter.
+    pub fn reset_counters(&self) {
+        self.visits.set(0);
+    }
+
+    /// Builds a perfectly balanced tree with `n` nodes; returns its root
+    /// (`usize::MAX` when `n == 0`).
+    pub fn build_balanced(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return NIL;
+        }
+        let half = (n - 1) / 2;
+        let l = self.build_balanced(half);
+        let r = self.build_balanced(n - 1 - half);
+        self.new_node(l, r)
+    }
+}
+
+/// Hand-coded incremental heights: cached height per node, parent pointers,
+/// path-to-root updates on every change (Section 9's comparison program).
+///
+/// # Example
+///
+/// ```
+/// use alphonse_trees::HandcodedTree;
+/// let mut t = HandcodedTree::new();
+/// let root = t.build_balanced(15);
+/// assert_eq!(t.height(root), 4);
+/// ```
+pub struct HandcodedTree {
+    left: Vec<usize>,
+    right: Vec<usize>,
+    parent: Vec<usize>,
+    height: Vec<i64>,
+    updates: Cell<u64>,
+}
+
+impl fmt::Debug for HandcodedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HandcodedTree")
+            .field("nodes", &self.left.len())
+            .finish()
+    }
+}
+
+impl Default for HandcodedTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HandcodedTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        HandcodedTree {
+            left: Vec::new(),
+            right: Vec::new(),
+            parent: Vec::new(),
+            height: Vec::new(),
+            updates: Cell::new(0),
+        }
+    }
+
+    fn h(&self, n: usize) -> i64 {
+        if n == NIL {
+            0
+        } else {
+            self.height[n]
+        }
+    }
+
+    /// Allocates a node over the given children, adopting them.
+    pub fn new_node(&mut self, left: usize, right: usize) -> usize {
+        let id = self.left.len();
+        self.left.push(left);
+        self.right.push(right);
+        self.parent.push(NIL);
+        self.height.push(1 + self.h(left).max(self.h(right)));
+        if left != NIL {
+            self.parent[left] = id;
+        }
+        if right != NIL {
+            self.parent[right] = id;
+        }
+        id
+    }
+
+    /// Allocates a leaf.
+    pub fn new_leaf(&mut self) -> usize {
+        self.new_node(NIL, NIL)
+    }
+
+    /// Re-links a child and updates cached heights on the path to the root,
+    /// stopping as soon as a height is unchanged (the hand-coded cutoff).
+    pub fn set_left(&mut self, n: usize, child: usize) {
+        self.left[n] = child;
+        if child != NIL {
+            self.parent[child] = n;
+        }
+        self.update_upward(n);
+    }
+
+    /// Re-links a right child (see [`HandcodedTree::set_left`]).
+    pub fn set_right(&mut self, n: usize, child: usize) {
+        self.right[n] = child;
+        if child != NIL {
+            self.parent[child] = n;
+        }
+        self.update_upward(n);
+    }
+
+    fn update_upward(&mut self, mut n: usize) {
+        while n != NIL {
+            self.updates.set(self.updates.get() + 1);
+            let h = 1 + self.h(self.left[n]).max(self.h(self.right[n]));
+            if h == self.height[n] {
+                break;
+            }
+            self.height[n] = h;
+            n = self.parent[n];
+        }
+    }
+
+    /// O(1) height query from the cache.
+    pub fn height(&self, n: usize) -> i64 {
+        self.h(n)
+    }
+
+    /// Per-node update steps performed so far.
+    pub fn updates(&self) -> u64 {
+        self.updates.get()
+    }
+
+    /// Resets the update counter.
+    pub fn reset_counters(&self) {
+        self.updates.set(0);
+    }
+
+    /// Builds a perfectly balanced tree with `n` nodes.
+    pub fn build_balanced(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return NIL;
+        }
+        let half = (n - 1) / 2;
+        let l = self.build_balanced(half);
+        let r = self.build_balanced(n - 1 - half);
+        self.new_node(l, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_height_counts_visits() {
+        let mut t = ExhaustiveTree::new();
+        let root = t.build_balanced(15);
+        t.reset_counters();
+        assert_eq!(t.height(root), 4);
+        assert_eq!(t.visits(), 15, "full pass visits every node");
+        assert_eq!(t.height(root), 4);
+        assert_eq!(t.visits(), 30, "every query repeats the pass");
+    }
+
+    #[test]
+    fn handcoded_matches_exhaustive() {
+        let mut e = ExhaustiveTree::new();
+        let re = e.build_balanced(31);
+        let mut h = HandcodedTree::new();
+        let rh = h.build_balanced(31);
+        assert_eq!(e.height(re), h.height(rh));
+    }
+
+    #[test]
+    fn handcoded_updates_along_path_only() {
+        let mut t = HandcodedTree::new();
+        let root = t.build_balanced(127);
+        // Find the leftmost leaf.
+        let mut leaf = root;
+        while t.left[leaf] != NIL {
+            leaf = t.left[leaf];
+        }
+        t.reset_counters();
+        let chain_bottom = t.new_leaf();
+        let chain_top = t.new_node(chain_bottom, NIL);
+        t.set_left(leaf, chain_top);
+        assert_eq!(t.height(root), 9);
+        assert!(
+            t.updates() <= 8,
+            "path-length updates expected, got {}",
+            t.updates()
+        );
+    }
+
+    #[test]
+    fn handcoded_cutoff_stops_early() {
+        let mut t = HandcodedTree::new();
+        let root = t.build_balanced(127);
+        // Swap a leaf for another leaf: heights unchanged anywhere.
+        let mut leaf = root;
+        while t.left[leaf] != NIL {
+            leaf = t.left[leaf];
+        }
+        let parent_of_leaf = t.parent[leaf];
+        t.reset_counters();
+        let fresh = t.new_leaf();
+        t.set_left(parent_of_leaf, fresh);
+        assert!(t.updates() <= 1, "unchanged height stops at one step");
+        assert_eq!(t.height(root), 7);
+    }
+
+    #[test]
+    fn relinking_to_nil_shrinks_height() {
+        let mut t = HandcodedTree::new();
+        let a = t.new_leaf();
+        let b = t.new_node(a, NIL);
+        let c = t.new_node(b, NIL);
+        assert_eq!(t.height(c), 3);
+        t.set_left(c, NIL);
+        assert_eq!(t.height(c), 1);
+    }
+}

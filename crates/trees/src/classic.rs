@@ -1,0 +1,357 @@
+//! Baseline: a textbook AVL tree with hand-written incremental rebalancing.
+//!
+//! This is the "complex algorithm … typically used to avoid the redundant
+//! computation" that the paper's introduction contrasts with Alphonse
+//! specifications, and the comparator for experiment E7. It stores heights
+//! in the nodes and rebalances along the insertion/deletion path, counting
+//! the nodes it touches so benches can compare work against the maintained
+//! version.
+
+use std::cell::Cell;
+use std::fmt;
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: i64,
+    left: usize,
+    right: usize,
+    height: i64,
+}
+
+/// A conventional AVL tree (Adelson-Velskii & Landis 1962, as in the
+/// paper's references) used as the hand-coded baseline.
+///
+/// # Example
+///
+/// ```
+/// use alphonse_trees::ClassicAvl;
+/// let mut t = ClassicAvl::new();
+/// for k in 0..100 { t.insert(k); }
+/// assert!(t.is_avl());
+/// assert!(t.contains(99));
+/// assert!(!t.contains(100));
+/// ```
+pub struct ClassicAvl {
+    nodes: Vec<Node>,
+    root: usize,
+    len: usize,
+    /// Nodes visited by all operations so far (work counter).
+    visits: Cell<u64>,
+    /// Rotations performed so far.
+    rotations: Cell<u64>,
+}
+
+impl fmt::Debug for ClassicAvl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ClassicAvl")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl Default for ClassicAvl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClassicAvl {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        ClassicAvl {
+            nodes: Vec::new(),
+            root: NIL,
+            len: 0,
+            visits: Cell::new(0),
+            rotations: Cell::new(0),
+        }
+    }
+
+    /// Number of keys stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total nodes visited by all operations (machine-independent work).
+    pub fn visits(&self) -> u64 {
+        self.visits.get()
+    }
+
+    /// Total rotations performed.
+    pub fn rotations(&self) -> u64 {
+        self.rotations.get()
+    }
+
+    /// Resets the work counters.
+    pub fn reset_counters(&self) {
+        self.visits.set(0);
+        self.rotations.set(0);
+    }
+
+    fn visit(&self) {
+        self.visits.set(self.visits.get() + 1);
+    }
+
+    fn h(&self, n: usize) -> i64 {
+        if n == NIL {
+            0
+        } else {
+            self.nodes[n].height
+        }
+    }
+
+    fn update_height(&mut self, n: usize) {
+        let h = 1 + self.h(self.nodes[n].left).max(self.h(self.nodes[n].right));
+        self.nodes[n].height = h;
+    }
+
+    fn bf(&self, n: usize) -> i64 {
+        self.h(self.nodes[n].left) - self.h(self.nodes[n].right)
+    }
+
+    fn rotate_right(&mut self, t: usize) -> usize {
+        self.rotations.set(self.rotations.get() + 1);
+        let s = self.nodes[t].left;
+        let b = self.nodes[s].right;
+        self.nodes[s].right = t;
+        self.nodes[t].left = b;
+        self.update_height(t);
+        self.update_height(s);
+        s
+    }
+
+    fn rotate_left(&mut self, t: usize) -> usize {
+        self.rotations.set(self.rotations.get() + 1);
+        let s = self.nodes[t].right;
+        let b = self.nodes[s].left;
+        self.nodes[s].left = t;
+        self.nodes[t].right = b;
+        self.update_height(t);
+        self.update_height(s);
+        s
+    }
+
+    fn fixup(&mut self, n: usize) -> usize {
+        self.update_height(n);
+        let b = self.bf(n);
+        if b > 1 {
+            if self.bf(self.nodes[n].left) < 0 {
+                self.nodes[n].left = self.rotate_left(self.nodes[n].left);
+            }
+            self.rotate_right(n)
+        } else if b < -1 {
+            if self.bf(self.nodes[n].right) > 0 {
+                self.nodes[n].right = self.rotate_right(self.nodes[n].right);
+            }
+            self.rotate_left(n)
+        } else {
+            n
+        }
+    }
+
+    /// Inserts `key`; returns `false` on duplicates.
+    pub fn insert(&mut self, key: i64) -> bool {
+        let (root, inserted) = self.insert_rec(self.root, key);
+        self.root = root;
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    fn insert_rec(&mut self, n: usize, key: i64) -> (usize, bool) {
+        if n == NIL {
+            self.nodes.push(Node {
+                key,
+                left: NIL,
+                right: NIL,
+                height: 1,
+            });
+            return (self.nodes.len() - 1, true);
+        }
+        self.visit();
+        let k = self.nodes[n].key;
+        if key == k {
+            return (n, false);
+        }
+        let inserted;
+        if key < k {
+            let (nl, ins) = self.insert_rec(self.nodes[n].left, key);
+            self.nodes[n].left = nl;
+            inserted = ins;
+        } else {
+            let (nr, ins) = self.insert_rec(self.nodes[n].right, key);
+            self.nodes[n].right = nr;
+            inserted = ins;
+        }
+        if inserted {
+            (self.fixup(n), true)
+        } else {
+            (n, false)
+        }
+    }
+
+    /// Removes `key`; returns `false` if absent.
+    pub fn remove(&mut self, key: i64) -> bool {
+        let (root, removed) = self.remove_rec(self.root, key);
+        self.root = root;
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_rec(&mut self, n: usize, key: i64) -> (usize, bool) {
+        if n == NIL {
+            return (NIL, false);
+        }
+        self.visit();
+        let k = self.nodes[n].key;
+        let removed;
+        if key < k {
+            let (nl, r) = self.remove_rec(self.nodes[n].left, key);
+            self.nodes[n].left = nl;
+            removed = r;
+        } else if key > k {
+            let (nr, r) = self.remove_rec(self.nodes[n].right, key);
+            self.nodes[n].right = nr;
+            removed = r;
+        } else {
+            let (l, r) = (self.nodes[n].left, self.nodes[n].right);
+            if l == NIL {
+                return (r, true);
+            }
+            if r == NIL {
+                return (l, true);
+            }
+            let mut succ = r;
+            while self.nodes[succ].left != NIL {
+                self.visit();
+                succ = self.nodes[succ].left;
+            }
+            self.nodes[n].key = self.nodes[succ].key;
+            let sk = self.nodes[succ].key;
+            let (nr, _) = self.remove_rec(r, sk);
+            self.nodes[n].right = nr;
+            removed = true;
+        }
+        if removed {
+            (self.fixup(n), true)
+        } else {
+            (n, false)
+        }
+    }
+
+    /// Searches for `key`.
+    pub fn contains(&self, key: i64) -> bool {
+        let mut cur = self.root;
+        while cur != NIL {
+            self.visit();
+            let k = self.nodes[cur].key;
+            if key == k {
+                return true;
+            }
+            cur = if key < k {
+                self.nodes[cur].left
+            } else {
+                self.nodes[cur].right
+            };
+        }
+        false
+    }
+
+    /// Sorted key sequence.
+    pub fn keys(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.len);
+        self.inorder(self.root, &mut out);
+        out
+    }
+
+    fn inorder(&self, n: usize, out: &mut Vec<i64>) {
+        if n == NIL {
+            return;
+        }
+        self.inorder(self.nodes[n].left, out);
+        out.push(self.nodes[n].key);
+        self.inorder(self.nodes[n].right, out);
+    }
+
+    /// Exhaustive validation of the AVL property.
+    pub fn is_avl(&self) -> bool {
+        fn check(t: &ClassicAvl, n: usize) -> Option<i64> {
+            if n == NIL {
+                return Some(0);
+            }
+            let l = check(t, t.nodes[n].left)?;
+            let r = check(t, t.nodes[n].right)?;
+            ((l - r).abs() <= 1 && t.nodes[n].height == l.max(r) + 1).then_some(l.max(r) + 1)
+        }
+        check(self, self.root).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_inserts_stay_balanced() {
+        let mut t = ClassicAvl::new();
+        for k in 0..1000 {
+            assert!(t.insert(k));
+        }
+        assert!(t.is_avl());
+        assert_eq!(t.len(), 1000);
+        assert_eq!(t.keys(), (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut t = ClassicAvl::new();
+        assert!(t.insert(1));
+        assert!(!t.insert(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn removals_keep_balance() {
+        let mut t = ClassicAvl::new();
+        for k in 0..100 {
+            t.insert(k);
+        }
+        for k in (0..100).step_by(2) {
+            assert!(t.remove(k));
+        }
+        assert!(!t.remove(0));
+        assert!(t.is_avl());
+        assert_eq!(t.keys(), (1..100).step_by(2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn contains_and_counters() {
+        let mut t = ClassicAvl::new();
+        for k in 0..64 {
+            t.insert(k);
+        }
+        t.reset_counters();
+        assert!(t.contains(63));
+        assert!(!t.contains(-1));
+        // Balanced: a search visits at most ~log2(64)+1 nodes.
+        assert!(t.visits() <= 16, "visits {}", t.visits());
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = ClassicAvl::new();
+        assert!(t.is_empty());
+        assert!(t.is_avl());
+        assert!(!t.contains(0));
+        assert!(t.keys().is_empty());
+    }
+}

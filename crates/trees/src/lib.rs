@@ -1,0 +1,31 @@
+//! Tree data structures from the Alphonse paper, plus baselines.
+//!
+//! Two Alphonse programs and three conventional comparators:
+//!
+//! * [`MaintainedTree`] — Algorithm 1: per-node subtree heights maintained
+//!   by a `(*MAINTAINED*)` method (Section 3.4).
+//! * [`MaintainedAvl`] — Algorithm 11: a self-balancing AVL tree whose
+//!   `balance` method performs rotations as tracked side effects
+//!   (Section 7.3).
+//! * [`ExhaustiveTree`] — conventional execution: heights recomputed from
+//!   scratch at every query.
+//! * [`HandcodedTree`] — Section 9's "ambitious programmer" comparison:
+//!   cached heights updated along parent pointers on every change.
+//! * [`ClassicAvl`] — a textbook AVL tree with hand-written rebalancing.
+//!
+//! These drive experiments E1, E5 and E7 (see the repository's DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arena;
+mod avl;
+mod baseline;
+mod classic;
+mod maintained;
+
+pub use arena::{NodeRef, TreeStore};
+pub use avl::MaintainedAvl;
+pub use baseline::{ExhaustiveTree, HandcodedTree};
+pub use classic::ClassicAvl;
+pub use maintained::MaintainedTree;

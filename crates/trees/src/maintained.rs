@@ -1,0 +1,246 @@
+//! Algorithm 1: the maintained-height tree.
+//!
+//! The paper's first example maintains, for every node of a binary tree, the
+//! height of the subtree rooted there, via a `(*MAINTAINED*)` method:
+//!
+//! ```modula3
+//! PROCEDURE Height(t : Tree) : INTEGER =
+//! BEGIN RETURN max(t.left.height(), t.right.height()) + 1 END Height;
+//! ```
+//!
+//! Section 3.4 states the costs this reproduction measures (experiment E1):
+//! the first `height` call on `t` takes O(|subtree(t)|); subsequent calls on
+//! `t` or any descendant take O(1); a single child-pointer change costs
+//! O(height) plus propagation bookkeeping; and a batch of changes costs
+//! O(|AFFECTED|) — the set of height values that actually differ.
+
+use crate::arena::{NodeRef, TreeStore};
+use alphonse::{Memo, Runtime, Strategy};
+use std::fmt;
+use std::rc::Rc;
+
+/// A binary tree whose per-node heights are incrementally maintained.
+///
+/// # Example
+///
+/// ```
+/// use alphonse::Runtime;
+/// use alphonse_trees::MaintainedTree;
+///
+/// let rt = Runtime::new();
+/// let tree = MaintainedTree::new(&rt);
+/// let root = tree.store().build_balanced(&(0..15).collect::<Vec<_>>());
+/// assert_eq!(tree.height(root), 4);      // first call: O(n)
+/// assert_eq!(tree.height(root), 4);      // cached: O(1)
+/// ```
+pub struct MaintainedTree {
+    store: Rc<TreeStore>,
+    height: Memo<NodeRef, i64>,
+}
+
+impl fmt::Debug for MaintainedTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MaintainedTree")
+            .field("nodes", &self.store.len())
+            .field("height_instances", &self.height.instance_count())
+            .finish()
+    }
+}
+
+impl MaintainedTree {
+    /// Creates an empty maintained tree with demand evaluation.
+    pub fn new(rt: &Runtime) -> Self {
+        Self::with_strategy(rt, Strategy::Demand)
+    }
+
+    /// Creates an empty maintained tree with the given evaluation strategy
+    /// for the `height` method.
+    pub fn with_strategy(rt: &Runtime, strategy: Strategy) -> Self {
+        let store = TreeStore::new(rt);
+        let s = Rc::clone(&store);
+        let height = rt.memo_recursive_with("height", strategy, move |rt, me, &t: &NodeRef| {
+            // HeightNil: the override on the nil sentinel returns 0.
+            if t.is_nil() {
+                return 0i64;
+            }
+            let l = me.call(rt, s.left(t));
+            let r = me.call(rt, s.right(t));
+            l.max(r) + 1
+        });
+        MaintainedTree { store, height }
+    }
+
+    /// The underlying node storage (allocation, links, traversal).
+    pub fn store(&self) -> &Rc<TreeStore> {
+        &self.store
+    }
+
+    /// The maintained `height` method. The first call on a subtree computes
+    /// exhaustively; later calls are answered from the cache until links
+    /// below change.
+    pub fn height(&self, t: NodeRef) -> i64 {
+        self.height.call(self.store.runtime(), t)
+    }
+
+    /// Direct access to the height memo (for benchmarks that inspect
+    /// instances).
+    pub fn height_memo(&self) -> &Memo<NodeRef, i64> {
+        &self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: i64) -> (Runtime, MaintainedTree, NodeRef) {
+        let rt = Runtime::new();
+        let tree = MaintainedTree::new(&rt);
+        let keys: Vec<i64> = (0..n).collect();
+        let root = tree.store().build_balanced(&keys);
+        (rt, tree, root)
+    }
+
+    #[test]
+    fn height_matches_exhaustive_on_balanced_tree() {
+        let (_rt, tree, root) = setup(31);
+        assert_eq!(tree.height(root), tree.store().height_exhaustive(root));
+        assert_eq!(tree.height(root), 5);
+    }
+
+    #[test]
+    fn height_of_empty_tree_is_zero() {
+        let rt = Runtime::new();
+        let tree = MaintainedTree::new(&rt);
+        assert_eq!(tree.height(NodeRef::NIL), 0);
+    }
+
+    #[test]
+    fn repeat_queries_are_cached() {
+        let (rt, tree, root) = setup(63);
+        tree.height(root);
+        let before = rt.stats();
+        for _ in 0..10 {
+            assert_eq!(tree.height(root), 6);
+        }
+        let d = rt.stats().delta_since(&before);
+        assert_eq!(d.executions, 0, "repeat queries re-execute nothing");
+        assert_eq!(d.cache_hits, 10);
+    }
+
+    #[test]
+    fn descendant_queries_hit_cache_after_root_query() {
+        let (rt, tree, root) = setup(31);
+        tree.height(root);
+        let probe = tree.store().left(tree.store().left(root));
+        let before = rt.stats();
+        assert_eq!(tree.height(probe), 3);
+        let d = rt.stats().delta_since(&before);
+        assert_eq!(d.executions, 0, "descendant heights were computed already");
+    }
+
+    #[test]
+    fn leaf_relink_updates_path_only() {
+        let (rt, tree, root) = setup(63);
+        tree.height(root);
+        // Graft a new chain under the leftmost leaf: height grows.
+        let store = tree.store();
+        let mut leftmost = root;
+        let mut depth = 1;
+        while !store.left(leftmost).is_nil() {
+            leftmost = store.left(leftmost);
+            depth += 1;
+        }
+        let extra = store.new_node(-1, store.new_leaf(-2), NodeRef::NIL);
+        store.set_left(leftmost, extra);
+        let before = rt.stats();
+        assert_eq!(tree.height(root), 8); // 6 + 2 new levels
+        let d = rt.stats().delta_since(&before);
+        // Only the path from the leaf to the root (plus the two new nodes
+        // and the nil sentinel instance) re-executes: far fewer than the 63
+        // executions of a full recomputation.
+        assert!(
+            d.executions <= (depth + 3) as u64 + 2,
+            "expected ~path-length executions, got {}",
+            d.executions
+        );
+    }
+
+    #[test]
+    fn unchanged_subtree_swap_cuts_off() {
+        // Swapping a subtree for another of the same height must not change
+        // any ancestor height: quiescence stops the propagation.
+        let (rt, tree, root) = setup(31);
+        tree.height(root);
+        let store = tree.store();
+        let l = store.left(root);
+        // Replace root.left with a fresh balanced subtree of equal height.
+        let fresh = store.build_balanced(&(100..115).collect::<Vec<_>>());
+        store.set_left(root, fresh);
+        assert_eq!(tree.height(root), 5);
+        // Old subtree's cached heights are still valid if re-attached.
+        store.set_left(root, l);
+        let before = rt.stats();
+        assert_eq!(tree.height(root), 5);
+        let d = rt.stats().delta_since(&before);
+        // The root's height instance re-executes (its left field changed),
+        // but the re-attached subtree is fully cached.
+        assert!(d.executions <= 2, "got {}", d.executions);
+    }
+
+    #[test]
+    fn batched_changes_coalesce() {
+        let (rt, tree, root) = setup(127);
+        tree.height(root);
+        let store = tree.store();
+        // Graft three chains under distinct leaves, then query once.
+        let mut leaves = Vec::new();
+        fn collect_leaves(store: &TreeStore, n: NodeRef, out: &mut Vec<NodeRef>) {
+            if n.is_nil() {
+                return;
+            }
+            if store.left(n).is_nil() && store.right(n).is_nil() {
+                out.push(n);
+            } else {
+                collect_leaves(store, store.left(n), out);
+                collect_leaves(store, store.right(n), out);
+            }
+        }
+        collect_leaves(store, root, &mut leaves);
+        for (i, &leaf) in leaves.iter().take(3).enumerate() {
+            store.set_left(leaf, store.new_leaf(1000 + i as i64));
+        }
+        let before = rt.stats();
+        assert_eq!(tree.height(root), 8);
+        let d = rt.stats().delta_since(&before);
+        let full = 127 + 3;
+        assert!(
+            d.executions < full / 2,
+            "batched update should re-execute a small fraction, got {}",
+            d.executions
+        );
+    }
+
+    #[test]
+    fn eager_strategy_updates_on_propagate() {
+        let rt = Runtime::new();
+        let tree = MaintainedTree::with_strategy(&rt, Strategy::Eager);
+        let root = tree.store().build_balanced(&(0..15).collect::<Vec<_>>());
+        assert_eq!(tree.height(root), 4);
+        tree.store().set_left(root, NodeRef::NIL);
+        rt.propagate();
+        let before = rt.stats();
+        assert_eq!(tree.height(root), 4); // right side still depth 3 + root... recompute below
+        let d = rt.stats().delta_since(&before);
+        assert_eq!(d.executions, 0, "eager propagation already updated");
+    }
+
+    #[test]
+    fn chain_heights_are_linear() {
+        let rt = Runtime::new();
+        let tree = MaintainedTree::new(&rt);
+        let keys: Vec<i64> = (0..20).collect();
+        let root = tree.store().build_left_chain(&keys);
+        assert_eq!(tree.height(root), 20);
+    }
+}

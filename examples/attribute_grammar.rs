@@ -1,0 +1,114 @@
+//! Attribute grammars on Alphonse (Section 7.1).
+//!
+//! Run with `cargo run --example attribute_grammar`.
+//!
+//! First the paper's let-expression grammar (Algorithms 6–9) under editing,
+//! then a custom grammar (Knuth-style binary numbers) to show the toolkit
+//! is not tied to one language.
+
+use alphonse::Runtime;
+use alphonse_agkit::{
+    parse_let, AgEvaluator, AgTree, AttrVal, ExhaustiveAg, Grammar, LetLang,
+};
+use std::rc::Rc;
+
+fn main() {
+    let_language_demo();
+    println!();
+    binary_number_demo();
+}
+
+fn let_language_demo() {
+    println!("== let-expression grammar (paper Algorithms 6-9) ==");
+    let rt = Runtime::new();
+    let (tree, lang) = LetLang::tree(&rt);
+    let src = "let a = 10 in let b = a + 5 in a + b + (let a = 1 in a + b ni) ni ni";
+    println!("program: {src}");
+    let expr = parse_let(src).unwrap();
+    let (root, outer_let) = expr.instantiate(&tree, &lang);
+    let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+    println!("value  = {}", eval.syn(root, lang.value));
+    println!(
+        "attribute instances: {}, runtime executions: {}",
+        eval.instance_count(),
+        rt.stats().executions
+    );
+
+    // Edit the outer binding 10 -> 100 and re-demand: only the spine
+    // through the environments re-attributes.
+    let bound = tree.child(outer_let, 0).unwrap();
+    let before = rt.stats();
+    tree.set_terminal(bound, 0, AttrVal::Int(100));
+    println!("after a=100: value = {}", eval.syn(root, lang.value));
+    let d = rt.stats().delta_since(&before);
+    println!("incremental re-attribution: {} executions", d.executions);
+
+    let exhaustive = ExhaustiveAg::new(Rc::clone(&tree));
+    exhaustive.syn(root, lang.value);
+    println!(
+        "exhaustive evaluation of the same tree: {} equation evaluations",
+        exhaustive.evaluations()
+    );
+}
+
+/// Binary numbers with a fractional point — the classic inherited-attribute
+/// example: each digit's value depends on its position.
+fn binary_number_demo() {
+    println!("== custom grammar: binary numbers (inherited positions) ==");
+    let mut g = Grammar::builder();
+    // value*1000 (to stay integral), and inherited scale exponent.
+    let value = g.synthesized("milli_value");
+    let scale = g.inherited("scale");
+    let digit = g.production("Digit", 0, 1); // terminal: 0 or 1
+    let pair = g.production("Pair", 2, 0); // two digit groups side by side
+    let number = g.production("Number", 1, 0); // root: integer part only
+
+    g.syn_eq(digit, value, move |ctx| {
+        let bit = ctx.terminal(0).as_int();
+        let exp = ctx.inh(scale).as_int();
+        // milli-value of bit * 2^exp (exp may be negative).
+        let v = if exp >= 0 {
+            bit * (1 << exp) * 1000
+        } else {
+            bit * 1000 / (1 << (-exp))
+        };
+        AttrVal::Int(v)
+    });
+    g.syn_eq(pair, value, move |ctx| {
+        AttrVal::Int(ctx.child_syn(0, value).as_int() + ctx.child_syn(1, value).as_int())
+    });
+    g.syn_eq(number, value, move |ctx| ctx.child_syn(0, value));
+    // Positions: the right sibling keeps the parent's scale; the left
+    // sibling is one binary place higher.
+    g.inh_eq(number, 0, scale, |_ctx| AttrVal::Int(0));
+    g.inh_eq(pair, 0, scale, move |ctx| {
+        AttrVal::Int(ctx.parent_inh(scale).as_int() + 1)
+    });
+    g.inh_eq(pair, 1, scale, move |ctx| ctx.parent_inh(scale));
+
+    let rt = Runtime::new();
+    let tree = AgTree::new(&rt, Rc::new(g.build()));
+    // Build 1101 as Pair(Pair(Pair(1,1),0),1).
+    let d = |bit: i64| tree.new_node(digit, vec![AttrVal::Int(bit)]);
+    let p11 = tree.build(pair, vec![], &[d(1), d(1)]);
+    let p110 = tree.build(pair, vec![], &[p11, d(0)]);
+    let p1101 = tree.build(pair, vec![], &[p110, d(1)]);
+    let root = tree.build(number, vec![], &[p1101]);
+    let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+    println!("1101(2) = {} / 1000", eval.syn(root, value).as_int());
+    assert_eq!(eval.syn(root, value).as_int(), 13_000);
+
+    // Flip the most significant bit: 0101.
+    let msb = tree.child(p11, 0).unwrap();
+    tree.set_terminal(msb, 0, AttrVal::Int(0));
+    println!("0101(2) = {} / 1000", eval.syn(root, value).as_int());
+    assert_eq!(eval.syn(root, value).as_int(), 5_000);
+
+    // Structural edit: graft the whole number one place left by pairing
+    // with a fresh 1 on the right: 01011.
+    let wider = tree.build(pair, vec![], &[p1101, d(1)]);
+    tree.set_child(root, 0, Some(wider));
+    println!("01011(2) = {} / 1000", eval.syn(root, value).as_int());
+    assert_eq!(eval.syn(root, value).as_int(), 11_000);
+    println!("total executions: {}", rt.stats().executions);
+}

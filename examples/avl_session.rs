@@ -1,0 +1,73 @@
+//! The paper's self-balancing AVL tree (Section 7.3, Algorithm 11).
+//!
+//! Run with `cargo run --example avl_session`.
+//!
+//! Insertion and search are the plain unbalanced-BST algorithms; the
+//! maintained `balance` method — ordinary exhaustive code plus a
+//! `(*MAINTAINED*)` marker — performs the rotations incrementally when
+//! called before a search. The demo contrasts the incremental work against
+//! a textbook AVL and a full-rebuild estimate.
+
+use alphonse::Runtime;
+use alphonse_trees::{ClassicAvl, MaintainedAvl};
+
+fn main() {
+    let rt = Runtime::new();
+    let mut avl = MaintainedAvl::new(&rt);
+    let mut classic = ClassicAvl::new();
+
+    println!("== adversarial sorted insertions (0..512) ==");
+    for k in 0..512 {
+        avl.insert(k);
+        avl.rebalance();
+        classic.insert(k);
+    }
+    println!(
+        "maintained: height {} for {} keys (AVL: {}), runtime executions {}",
+        avl.height(),
+        avl.len(),
+        avl.is_avl(),
+        rt.stats().executions
+    );
+    println!(
+        "classic:    visits {}, rotations {}",
+        classic.visits(),
+        classic.rotations()
+    );
+
+    println!("\n== per-insert incremental cost ==");
+    for k in [1000i64, 1001, 1002, 1003] {
+        let before = rt.stats();
+        avl.insert(k);
+        avl.rebalance();
+        let d = rt.stats().delta_since(&before);
+        println!(
+            "insert {k}: {} balance/height re-executions, {} cache hits (tree height {})",
+            d.executions,
+            d.cache_hits,
+            avl.height()
+        );
+    }
+
+    println!("\n== off-line usage: batch 256 inserts, one rebalance ==");
+    let before = rt.stats();
+    for k in 2000..2256 {
+        avl.insert(k);
+    }
+    avl.rebalance();
+    let d = rt.stats().delta_since(&before);
+    println!(
+        "batched: {} re-executions for 256 inserts ({:.1} per insert), AVL: {}",
+        d.executions,
+        d.executions as f64 / 256.0,
+        avl.is_avl()
+    );
+
+    println!("\n== searches are plain BST searches ==");
+    for k in [0, 511, 1001, 2100, 9999] {
+        println!("contains({k}) = {}", avl.contains(k));
+    }
+
+    assert!(avl.is_avl() && avl.is_bst());
+    println!("\ninvariants hold; final stats: {:?}", rt.stats());
+}

@@ -1,0 +1,112 @@
+//! The full Alphonse-L pipeline, end to end (paper Sections 3, 5, 6.1, 8).
+//!
+//! Run with `cargo run --example lang_pipeline`.
+//!
+//! Takes the paper's Algorithm 2 program, shows the source-to-source
+//! transformation output (uniform and with the Section 6.1 optimization),
+//! then executes a maintained-height program under both execution models
+//! and compares the work.
+
+use alphonse_lang::{
+    compile, parse, transform, unparse, Interp, Mode, TransformOptions, Val,
+};
+use std::rc::Rc;
+
+const ALG2: &str = r#"
+    VAR b, p : INTEGER;
+
+    (*CACHED*) PROCEDURE P2(n : INTEGER) : INTEGER =
+    BEGIN RETURN n * n; END P2;
+
+    PROCEDURE P1(c : INTEGER) : INTEGER =
+    VAR a : INTEGER;
+    BEGIN
+        FOR i := 1 TO 10 DO
+            a := i;
+            p := P2(a + b + c);
+        END;
+        RETURN p;
+    END P1;
+"#;
+
+const HEIGHT: &str = r#"
+    TYPE Tree = OBJECT
+        left, right : Tree;
+    METHODS
+        (*MAINTAINED*) height() : INTEGER := Height;
+    END;
+    TYPE TreeNil = Tree OBJECT
+    OVERRIDES
+        (*MAINTAINED*) height := HeightNil;
+    END;
+    PROCEDURE Height(t : Tree) : INTEGER =
+    BEGIN RETURN MAX(t.left.height(), t.right.height()) + 1; END Height;
+    PROCEDURE HeightNil(t : Tree) : INTEGER =
+    BEGIN RETURN 0; END HeightNil;
+    VAR nil : Tree;
+    PROCEDURE Init() = BEGIN nil := NEW(TreeNil); END Init;
+    PROCEDURE MakeNode(l, r : Tree) : Tree =
+    VAR t : Tree;
+    BEGIN t := NEW(Tree); t.left := l; t.right := r; RETURN t; END MakeNode;
+    PROCEDURE Build(depth : INTEGER) : Tree =
+    BEGIN
+        IF depth = 0 THEN RETURN nil; END;
+        RETURN MakeNode(Build(depth - 1), Build(depth - 1));
+    END Build;
+"#;
+
+fn main() {
+    println!("== the Algorithm 2 transformation ==");
+    let module = parse(ALG2).unwrap();
+    let program = compile(ALG2).unwrap();
+    let (uniform, report_u) = transform(&module, &program, TransformOptions { optimize: false });
+    println!("--- uniform instrumentation (Section 5) ---");
+    print!("{}", unparse(&uniform));
+    println!(
+        "[{} instrumented operations: {} access, {} modify, {} call]",
+        report_u.instrumented(),
+        report_u.accesses,
+        report_u.modifies,
+        report_u.calls
+    );
+    let (optimized, report_o) = transform(&module, &program, TransformOptions { optimize: true });
+    println!("\n--- after Section 6.1 check elimination ---");
+    print!("{}", unparse(&optimized));
+    println!(
+        "[{} instrumented operations — {} checks removed statically]",
+        report_o.instrumented(),
+        report_u.instrumented() - report_o.instrumented()
+    );
+
+    println!("\n== one program, two execution models (Theorem 5.1) ==");
+    let program = compile(HEIGHT).unwrap();
+    for mode in [Mode::Conventional, Mode::Alphonse] {
+        let interp = Interp::new(Rc::clone(&program), mode).unwrap();
+        interp.call("Init", vec![]).unwrap();
+        let root = interp.call("Build", vec![Val::Int(7)]).unwrap();
+        let h1 = interp.call_method(root.clone(), "height", vec![]).unwrap();
+        let s_before = interp.steps();
+        // 50 mutate+query rounds.
+        let nil = interp.global("nil").unwrap();
+        let sub = interp.field(&root, "left").unwrap();
+        let mut last = Val::Nil;
+        for i in 0..50 {
+            let v = if i % 2 == 0 { nil.clone() } else { sub.clone() };
+            interp.set_field(&root, "left", v).unwrap();
+            last = interp.call_method(root.clone(), "height", vec![]).unwrap();
+        }
+        println!(
+            "{mode:?}: initial height {h1:?}, final {last:?}, interpreter steps for 50 updates: {}",
+            interp.steps() - s_before
+        );
+        if let Some(rt) = interp.runtime() {
+            println!(
+                "          runtime: {} nodes, {} edges, {} executions, {} cache hits",
+                rt.node_count(),
+                rt.edge_count(),
+                rt.stats().executions,
+                rt.stats().cache_hits
+            );
+        }
+    }
+}

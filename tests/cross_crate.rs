@@ -1,0 +1,97 @@
+//! Cross-crate integration: several Alphonse applications sharing one
+//! runtime, with graph partitioning keeping them independent.
+
+use alphonse::{Runtime, Strategy};
+use alphonse_agkit::{parse_let, AgEvaluator, LetLang};
+use alphonse_sheet::Sheet;
+use alphonse_trees::{MaintainedAvl, MaintainedTree};
+use std::rc::Rc;
+
+#[test]
+fn three_applications_share_one_partitioned_runtime() {
+    let rt = Runtime::builder().partitioning(true).build();
+
+    // Application 1: a spreadsheet.
+    let sheet = Sheet::new(&rt, 8, 8);
+    sheet.set("A1", "10").unwrap();
+    sheet.set("B1", "=A1*A1").unwrap();
+
+    // Application 2: a maintained-height tree.
+    let tree = MaintainedTree::new(&rt);
+    let root = tree.store().build_balanced(&(0..31).collect::<Vec<_>>());
+
+    // Application 3: the let-language attribute grammar.
+    let (ag_tree, lang) = LetLang::tree(&rt);
+    let expr = parse_let("let x = 5 in x + x ni").unwrap();
+    let (ag_root, _) = expr.instantiate(&ag_tree, &lang);
+    let ag = AgEvaluator::new(&rt, Rc::clone(&ag_tree));
+
+    assert_eq!(sheet.value("B1").unwrap().num(), Some(100));
+    assert_eq!(tree.height(root), 5);
+    assert_eq!(ag.syn(ag_root, lang.value).as_int(), 10);
+
+    // Mutate only the spreadsheet; the other components must not re-run.
+    let before = rt.stats();
+    sheet.set("A1", "12").unwrap();
+    assert_eq!(tree.height(root), 5);
+    assert_eq!(ag.syn(ag_root, lang.value).as_int(), 10);
+    let d = rt.stats().delta_since(&before);
+    assert_eq!(
+        d.executions, 0,
+        "tree/AG queries must be pure hits while sheet dirt is pending in its own partition"
+    );
+    assert!(rt.dirty_count() > 0, "sheet change still pending");
+    assert_eq!(sheet.value("B1").unwrap().num(), Some(144));
+    assert_eq!(rt.dirty_count(), 0);
+}
+
+#[test]
+fn trees_and_sheet_interleave_on_global_runtime() {
+    // Without partitioning everything still works; a query anywhere just
+    // drains the shared inconsistent set first.
+    let rt = Runtime::new();
+    let sheet = Sheet::new(&rt, 4, 4);
+    let mut avl = MaintainedAvl::new(&rt);
+    sheet.set("A1", "1").unwrap();
+    sheet.set("A2", "=A1+1").unwrap();
+    for k in 0..64 {
+        avl.insert(k);
+    }
+    avl.rebalance();
+    assert!(avl.is_avl());
+    for round in 0..10 {
+        sheet.set("A1", &round.to_string()).unwrap();
+        avl.insert(100 + round);
+        avl.rebalance();
+        assert_eq!(sheet.value("A2").unwrap().num(), Some(round + 1));
+        assert!(avl.is_avl());
+        assert!(avl.contains(100 + round));
+    }
+    assert_eq!(avl.len(), 74);
+}
+
+#[test]
+fn eager_memo_observes_sheet_changes_via_propagate() {
+    // A Rust-level eager memo derived from a spreadsheet cell: propagation
+    // updates it without any query — applications compose through the
+    // shared dependency graph.
+    let rt = Runtime::new();
+    let sheet = Rc::new(Sheet::new(&rt, 4, 4));
+    sheet.set("A1", "5").unwrap();
+    sheet.set("A2", "=A1*3").unwrap();
+    let s = Rc::clone(&sheet);
+    let watch = rt.memo_with("watch", Strategy::Eager, move |_rt, &(): &()| {
+        s.value_at(alphonse_sheet::Addr::new(0, 1))
+    });
+    assert_eq!(watch.call(&rt, ()).num(), Some(15));
+
+    sheet.set("A1", "7").unwrap();
+    rt.propagate(); // eager: the derived value updates here
+    let before = rt.stats();
+    assert_eq!(watch.call(&rt, ()).num(), Some(21));
+    assert_eq!(
+        rt.stats().delta_since(&before).executions,
+        0,
+        "the call after propagate is a pure cache hit"
+    );
+}

@@ -1,0 +1,266 @@
+//! The paper's quantitative claims, asserted as scaling tests.
+//!
+//! These are the testable halves of the experiments in DESIGN.md: where a
+//! bench measures and reports, these tests assert the *shape* — who wins,
+//! and how work scales with input size.
+
+use alphonse::{Runtime, Scheduling, Strategy};
+use alphonse_sheet::{RecalcSheet, Sheet};
+use alphonse_trees::{ExhaustiveTree, MaintainedTree, NodeRef};
+
+/// §3.4: repeat height queries are O(1); the exhaustive baseline pays
+/// O(n) per query.
+#[test]
+fn claim_repeat_queries_are_constant_time() {
+    for n in [128usize, 1024] {
+        let rt = Runtime::new();
+        let tree = MaintainedTree::new(&rt);
+        let root = tree.store().build_balanced(&(0..n as i64).collect::<Vec<_>>());
+        tree.height(root);
+        let before = rt.stats();
+        for _ in 0..20 {
+            tree.height(root);
+        }
+        let d = rt.stats().delta_since(&before);
+        assert_eq!(d.executions, 0, "n={n}");
+        // Baseline pays n visits per query at any size.
+        let mut ex = ExhaustiveTree::new();
+        let ex_root = ex.build_balanced(n);
+        ex.reset_counters();
+        ex.height(ex_root);
+        assert_eq!(ex.visits(), n as u64);
+    }
+}
+
+/// §3.4: a single child-pointer change costs O(height), independent of n
+/// up to the depth difference.
+#[test]
+fn claim_single_change_costs_height_not_n() {
+    let mut costs = Vec::new();
+    for n in [255usize, 4095] {
+        let rt = Runtime::new();
+        let tree = MaintainedTree::new(&rt);
+        let store = tree.store().clone();
+        let root = store.build_balanced(&(0..n as i64).collect::<Vec<_>>());
+        tree.height(root);
+        // Relink deepest-left leaf.
+        let mut leaf = root;
+        while !store.left(leaf).is_nil() {
+            leaf = store.left(leaf);
+        }
+        let before = rt.stats();
+        store.set_left(leaf, store.new_leaf(-1));
+        tree.height(root);
+        let d = rt.stats().delta_since(&before);
+        costs.push(d.executions);
+    }
+    // 16x more nodes, but only +4 levels: cost grows by a constant, not 16x.
+    let (small, large) = (costs[0], costs[1]);
+    assert!(
+        large <= small + 8,
+        "update cost must track height: {small} -> {large}"
+    );
+}
+
+/// §3.4: batching — k changes then one query cost less than k separate
+/// change+query rounds.
+#[test]
+fn claim_batched_changes_coalesce() {
+    let n = 1023usize;
+    let build = || {
+        let rt = Runtime::new();
+        let tree = MaintainedTree::new(&rt);
+        let root = tree
+            .store()
+            .build_balanced(&(0..n as i64).collect::<Vec<_>>());
+        tree.height(root);
+        (rt, tree, root)
+    };
+    let relink_targets = |tree: &MaintainedTree, root: NodeRef| -> Vec<NodeRef> {
+        // 8 internal nodes on the left spine.
+        let store = tree.store();
+        let mut out = Vec::new();
+        let mut cur = root;
+        for _ in 0..8 {
+            cur = store.left(cur);
+            out.push(cur);
+        }
+        out
+    };
+    let (rt_b, tree_b, root_b) = build();
+    let targets = relink_targets(&tree_b, root_b);
+    let before = rt_b.stats();
+    for &t in &targets {
+        tree_b.store().set_right(t, tree_b.store().new_leaf(0));
+    }
+    tree_b.height(root_b);
+    let batched = rt_b.stats().delta_since(&before).executions;
+
+    let (rt_s, tree_s, root_s) = build();
+    let targets = relink_targets(&tree_s, root_s);
+    let before = rt_s.stats();
+    for &t in &targets {
+        tree_s.store().set_right(t, tree_s.store().new_leaf(0));
+        tree_s.height(root_s);
+    }
+    let separate = rt_s.stats().delta_since(&before).executions;
+    assert!(
+        batched < separate,
+        "batched {batched} must beat separate {separate} (shared ancestors updated once)"
+    );
+}
+
+/// §9.1: dependency-graph space is O(M) for tree-structured dependence.
+#[test]
+fn claim_space_scales_linearly_for_trees() {
+    let mut per_node = Vec::new();
+    for n in [256usize, 2048] {
+        let rt = Runtime::new();
+        let tree = MaintainedTree::new(&rt);
+        let root = tree.store().build_balanced(&(0..n as i64).collect::<Vec<_>>());
+        tree.height(root);
+        per_node.push(rt.edge_count() as f64 / n as f64);
+    }
+    let ratio = per_node[1] / per_node[0];
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "edges per node must be size-independent, got {per_node:?}"
+    );
+}
+
+/// §6.4: UNCHECKED descent drops per-lookup dependence from O(log n) to
+/// O(1).
+#[test]
+fn claim_unchecked_reduces_dependence() {
+    let n = 1023usize;
+    let run = |unchecked: bool| -> u64 {
+        let rt = Runtime::new();
+        let tree = MaintainedTree::new(&rt);
+        let store = std::rc::Rc::clone(tree.store());
+        let root = store.build_balanced(&(0..n as i64).collect::<Vec<_>>());
+        let contains = rt.memo("contains", move |rt, &key: &i64| {
+            let descend = |s: &alphonse_trees::TreeStore| {
+                let mut cur = root;
+                while !cur.is_nil() {
+                    let k = s.key(cur);
+                    if k == key {
+                        return cur;
+                    }
+                    cur = if key < k { s.left(cur) } else { s.right(cur) };
+                }
+                NodeRef::NIL
+            };
+            let found = if unchecked {
+                rt.untracked(|| descend(&store))
+            } else {
+                descend(&store)
+            };
+            !found.is_nil() && store.key(found) == key
+        });
+        let before = rt.stats();
+        for key in 0..64 {
+            assert!(contains.call(&rt, key * 16));
+        }
+        rt.stats().delta_since(&before).edges_created
+    };
+    let tracked = run(false);
+    let unchecked = run(true);
+    assert!(
+        unchecked * 3 < tracked,
+        "unchecked {unchecked} must be far below tracked {tracked}"
+    );
+}
+
+/// §7.2: a spreadsheet edit costs work proportional to its cone, while the
+/// baseline recalculates the reachable sheet.
+#[test]
+fn claim_sheet_edit_beats_full_recalc() {
+    let rows = 128u32;
+    let rt = Runtime::new();
+    let inc = Sheet::new(&rt, 2, rows);
+    let base = RecalcSheet::new(2, rows);
+    for r in 1..=rows {
+        let v = r.to_string();
+        inc.set(&format!("A{r}"), &v).unwrap();
+        base.set(&format!("A{r}"), &v).unwrap();
+    }
+    let f = format!("=SUM(A1:A{rows})");
+    inc.set("B1", &f).unwrap();
+    base.set("B1", &f).unwrap();
+    let probe = "B1";
+    inc.value(probe).unwrap();
+    // Edit one source cell: the affected cone is {the cell, the sum}.
+    let edit = format!("A{}", rows / 2);
+    let before = rt.stats();
+    inc.set(&edit, "1000").unwrap();
+    inc.value(probe).unwrap();
+    let inc_work = rt.stats().delta_since(&before).executions;
+    base.reset_counters();
+    base.set(&edit, "1000").unwrap();
+    base.value(probe).unwrap();
+    let recalc = base.evaluations();
+    assert_eq!(inc.value(probe).unwrap(), base.value(probe).unwrap());
+    assert!(
+        inc_work * 10 < recalc,
+        "incremental {inc_work} vs recalc {recalc}"
+    );
+}
+
+/// §4.5: height-order scheduling never does more eager work than FIFO, and
+/// strictly less on deep ladders.
+#[test]
+fn claim_topological_order_minimizes_reexecution() {
+    let run = |mode: Scheduling, depth: usize| -> u64 {
+        let rt = Runtime::builder().scheduling(mode).build();
+        let src = rt.var(1i64);
+        let mut prev = rt.memo_with("l0", Strategy::Eager, move |rt, &(): &()| src.get(rt));
+        prev.call(&rt, ());
+        for i in 1..depth {
+            let below = prev.clone();
+            let m = rt.memo_with(&format!("l{i}"), Strategy::Eager, move |rt, &(): &()| {
+                below.call(rt, ()) + src.get(rt)
+            });
+            m.call(&rt, ());
+            prev = m;
+        }
+        let before = rt.stats();
+        src.set(&rt, 2);
+        rt.propagate();
+        rt.stats().delta_since(&before).executions
+    };
+    for depth in [16usize, 64] {
+        let h = run(Scheduling::HeightOrder, depth);
+        let f = run(Scheduling::Fifo, depth);
+        assert_eq!(h, depth as u64, "height order: once per level");
+        assert!(f > h, "depth {depth}: fifo {f} must exceed height {h}");
+    }
+}
+
+/// §6.3: with partitioning, pending changes in other components do not
+/// delay (or force work for) a query.
+#[test]
+fn claim_partitioning_isolates_queries() {
+    let k = 64usize;
+    let run = |partitioning: bool| -> u64 {
+        let rt = Runtime::builder().partitioning(partitioning).build();
+        let mut vars = Vec::new();
+        let mut memos = Vec::new();
+        for i in 0..k {
+            let v = rt.var(i as i64);
+            let m = rt.memo_with(&format!("m{i}"), Strategy::Eager, move |rt, &(): &()| {
+                v.get(rt) + 1
+            });
+            m.call(&rt, ());
+            vars.push(v);
+            memos.push(m);
+        }
+        for v in vars.iter().take(k - 1) {
+            v.set(&rt, 999);
+        }
+        let before = rt.stats();
+        memos[k - 1].call(&rt, ());
+        rt.stats().delta_since(&before).executions
+    };
+    assert_eq!(run(true), 0, "partitioned query forces nothing");
+    assert!(run(false) >= (k - 1) as u64, "global set forces the world");
+}
