@@ -126,13 +126,14 @@ impl AgTree {
     /// Parent of a node (tracked read).
     pub fn parent(&self, n: AgNodeId) -> Option<AgNodeId> {
         let var = self.nodes.borrow()[n.index()].parent;
-        var.get(&self.rt)
+        // Borrow-based read: attribute rules chase these links constantly.
+        var.with(&self.rt, |&p| p)
     }
 
     /// Child `i` of a node (tracked read).
     pub fn child(&self, n: AgNodeId, i: usize) -> Option<AgNodeId> {
         let var = self.nodes.borrow()[n.index()].children[i];
-        var.get(&self.rt)
+        var.with(&self.rt, |&c| c)
     }
 
     /// Terminal value `i` of a node (tracked read).
@@ -154,7 +155,7 @@ impl AgTree {
             // Only sever the back pointer if it still points here: the old
             // child may have been re-parented first (e.g. grafting a node
             // into a wider structure before swapping it in).
-            if pvar.get(&self.rt) == Some(n) {
+            if pvar.with(&self.rt, |&p| p == Some(n)) {
                 pvar.set(&self.rt, None);
             }
         }

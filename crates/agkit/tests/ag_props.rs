@@ -16,12 +16,11 @@ fn expr_strategy() -> impl Strategy<Value = LetExpr> {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| LetExpr::Plus(Box::new(a), Box::new(b))),
-            (0u8..4, inner.clone(), inner)
-                .prop_map(|(v, bound, body)| LetExpr::Let(
-                    format!("v{v}"),
-                    Box::new(bound),
-                    Box::new(body)
-                )),
+            (0u8..4, inner.clone(), inner).prop_map(|(v, bound, body)| LetExpr::Let(
+                format!("v{v}"),
+                Box::new(bound),
+                Box::new(body)
+            )),
         ]
     })
 }

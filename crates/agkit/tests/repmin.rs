@@ -18,7 +18,9 @@ struct RepMin {
     root: ProdId,
     /// Synthesized: minimum of the subtree.
     min: SynId,
-    /// Inherited: the global minimum, flowing back down.
+    /// Inherited: the global minimum, flowing back down. Only the equations
+    /// capture it; kept here to document the attribute set.
+    #[allow(dead_code)]
     global: InhId,
     /// Synthesized: the leaf's replacement value (= global minimum).
     rep: SynId,

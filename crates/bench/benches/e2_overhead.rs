@@ -11,7 +11,10 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_millis(800));
     g.sample_size(10);
     for depth in [6i64, 8] {
-        for (label, mode) in [("conventional", Mode::Conventional), ("alphonse", Mode::Alphonse)] {
+        for (label, mode) in [
+            ("conventional", Mode::Conventional),
+            ("alphonse", Mode::Alphonse),
+        ] {
             g.bench_with_input(
                 BenchmarkId::new(format!("initial_{label}"), depth),
                 &depth,
@@ -26,7 +29,10 @@ fn bench(c: &mut Criterion) {
             );
         }
         // Incremental update phase: Alphonse should win despite overhead.
-        for (label, mode) in [("conventional", Mode::Conventional), ("alphonse", Mode::Alphonse)] {
+        for (label, mode) in [
+            ("conventional", Mode::Conventional),
+            ("alphonse", Mode::Alphonse),
+        ] {
             let interp = Interp::new(Rc::clone(&program), mode).unwrap();
             interp.call("Init", vec![]).unwrap();
             let root = interp.call("BuildBalanced", vec![Val::Int(depth)]).unwrap();

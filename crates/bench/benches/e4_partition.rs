@@ -21,7 +21,11 @@ fn bench(c: &mut Criterion) {
                 vars.push(v);
                 memos.push(m);
             }
-            let label = if partitioning { "partitioned" } else { "global" };
+            let label = if partitioning {
+                "partitioned"
+            } else {
+                "global"
+            };
             let mut tick = 0i64;
             g.bench_with_input(BenchmarkId::new(label, k), &k, |b, _| {
                 b.iter(|| {

@@ -39,7 +39,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for n in [1023usize, 4095] {
         for unchecked in [false, true] {
-            let label = if unchecked { "unchecked_lookups" } else { "tracked_lookups" };
+            let label = if unchecked {
+                "unchecked_lookups"
+            } else {
+                "tracked_lookups"
+            };
             g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 b.iter(|| {
                     let (rt, contains) = lookup_world(n, unchecked);

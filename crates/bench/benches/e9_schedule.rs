@@ -24,7 +24,10 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_millis(800));
     g.sample_size(20);
     for depth in [32usize, 128] {
-        for (label, mode) in [("height", Scheduling::HeightOrder), ("fifo", Scheduling::Fifo)] {
+        for (label, mode) in [
+            ("height", Scheduling::HeightOrder),
+            ("fifo", Scheduling::Fifo),
+        ] {
             let (rt, src) = ladder(mode, depth);
             let mut v = 1i64;
             g.bench_with_input(BenchmarkId::new(label, depth), &depth, |b, _| {

@@ -1,28 +1,66 @@
 //! Prints every experiment table in order (regenerates EXPERIMENTS.md data).
+//!
+//! Usage: `all_experiments [--json] [e2 e7 ...]`
+//!
+//! With `--json`, each table is additionally written to `BENCH_<ID>.json`
+//! in the current directory so future changes have a machine-readable perf
+//! trajectory to diff against. Positional arguments select a subset of
+//! experiments by id (case-insensitive), e.g. `all_experiments --json e2`.
 use alphonse_bench::experiments as ex;
+use alphonse_bench::table::Table;
 
 fn main() {
-    print!("{}", ex::e1_height_tree(&[64, 256, 1024, 4096]));
-    println!();
-    print!("{}", ex::e2_overhead(&[4, 6, 8]));
-    println!();
-    print!("{}", ex::e3_space(&[16, 64, 256, 1024]));
-    println!();
-    print!("{}", ex::e4_partition(&[8, 64, 512]));
-    println!();
-    print!("{}", ex::e5_unchecked(&[255, 1023, 4095]));
-    println!();
-    print!("{}", ex::e6_sheet(&[16, 64, 256]));
-    println!();
-    print!("{}", ex::e6_ag(&[8, 12, 16, 20]));
-    println!();
-    print!("{}", ex::e7_avl(&[256, 1024, 4096]));
-    println!();
-    print!("{}", ex::e8_noncombinator(&[16, 128, 1024]));
-    println!();
-    print!("{}", ex::e9_schedule(&[8, 32, 128, 512]));
-    println!();
-    print!("{}", ex::e10_strategy(&[16, 64, 256]));
-    println!();
-    print!("{}", ex::e12_cache_capacity(&[8, 32, 128, 256]));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    if let Some(unknown) = args.iter().find(|a| a.starts_with("--") && *a != "--json") {
+        eprintln!("unknown flag: {unknown}");
+        eprintln!("usage: all_experiments [--json] [e2 e7 ...]");
+        std::process::exit(2);
+    }
+    let filter: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_ascii_lowercase())
+        .collect();
+
+    type Entry = (&'static str, fn() -> Table);
+    let experiments: &[Entry] = &[
+        ("E1", || ex::e1_height_tree(&[64, 256, 1024, 4096])),
+        ("E2", || ex::e2_overhead(&[4, 6, 8])),
+        ("E3", || ex::e3_space(&[16, 64, 256, 1024])),
+        ("E4", || ex::e4_partition(&[8, 64, 512])),
+        ("E5", || ex::e5_unchecked(&[255, 1023, 4095])),
+        ("E6_SHEET", || ex::e6_sheet(&[16, 64, 256])),
+        ("E6_AG", || ex::e6_ag(&[8, 12, 16, 20])),
+        ("E7", || ex::e7_avl(&[256, 1024, 4096])),
+        ("E8", || ex::e8_noncombinator(&[16, 128, 1024])),
+        ("E9", || ex::e9_schedule(&[8, 32, 128, 512])),
+        ("E10", || ex::e10_strategy(&[16, 64, 256])),
+        ("E12", || ex::e12_cache_capacity(&[8, 32, 128, 256])),
+    ];
+
+    let mut first = true;
+    let mut matched = false;
+    for (id, build) in experiments {
+        if !filter.is_empty() && !filter.contains(&id.to_ascii_lowercase()) {
+            continue;
+        }
+        matched = true;
+        let table = build();
+        if !first {
+            println!();
+        }
+        first = false;
+        print!("{table}");
+        if json {
+            let path = format!("BENCH_{id}.json");
+            std::fs::write(&path, table.to_json())
+                .unwrap_or_else(|e| panic!("failed to write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+    if !matched {
+        eprintln!("no experiment matches {filter:?}");
+        std::process::exit(2);
+    }
 }

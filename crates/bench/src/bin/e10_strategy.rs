@@ -1,4 +1,7 @@
 //! Prints the E10 table (demand vs eager, §3.3).
 fn main() {
-    print!("{}", alphonse_bench::experiments::e10_strategy(&[16, 64, 256]));
+    print!(
+        "{}",
+        alphonse_bench::experiments::e10_strategy(&[16, 64, 256])
+    );
 }

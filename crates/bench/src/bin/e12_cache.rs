@@ -1,4 +1,7 @@
 //! Prints the E12 table (LRU cache capacity, §3.3).
 fn main() {
-    print!("{}", alphonse_bench::experiments::e12_cache_capacity(&[8, 32, 128, 256]));
+    print!(
+        "{}",
+        alphonse_bench::experiments::e12_cache_capacity(&[8, 32, 128, 256])
+    );
 }

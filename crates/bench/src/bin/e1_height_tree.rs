@@ -1,4 +1,7 @@
 //! Prints the E1 table (maintained height tree, §3.4).
 fn main() {
-    print!("{}", alphonse_bench::experiments::e1_height_tree(&[64, 256, 1024, 4096]));
+    print!(
+        "{}",
+        alphonse_bench::experiments::e1_height_tree(&[64, 256, 1024, 4096])
+    );
 }

@@ -1,4 +1,7 @@
 //! Prints the E3 table (dependency-graph space, §9.1).
 fn main() {
-    print!("{}", alphonse_bench::experiments::e3_space(&[16, 64, 256, 1024]));
+    print!(
+        "{}",
+        alphonse_bench::experiments::e3_space(&[16, 64, 256, 1024])
+    );
 }

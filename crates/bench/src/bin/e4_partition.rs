@@ -1,4 +1,7 @@
 //! Prints the E4 table (graph partitioning, §6.3).
 fn main() {
-    print!("{}", alphonse_bench::experiments::e4_partition(&[8, 64, 512]));
+    print!(
+        "{}",
+        alphonse_bench::experiments::e4_partition(&[8, 64, 512])
+    );
 }

@@ -1,4 +1,7 @@
 //! Prints the E5 table (UNCHECKED lookups, §6.4).
 fn main() {
-    print!("{}", alphonse_bench::experiments::e5_unchecked(&[255, 1023, 4095]));
+    print!(
+        "{}",
+        alphonse_bench::experiments::e5_unchecked(&[255, 1023, 4095])
+    );
 }

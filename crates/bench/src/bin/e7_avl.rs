@@ -1,4 +1,7 @@
 //! Prints the E7 table (maintained AVL, §7.3).
 fn main() {
-    print!("{}", alphonse_bench::experiments::e7_avl(&[256, 1024, 4096]));
+    print!(
+        "{}",
+        alphonse_bench::experiments::e7_avl(&[256, 1024, 4096])
+    );
 }

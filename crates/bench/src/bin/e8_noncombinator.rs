@@ -1,4 +1,7 @@
 //! Prints the E8 table (non-combinator caching, §4.2).
 fn main() {
-    print!("{}", alphonse_bench::experiments::e8_noncombinator(&[16, 128, 1024]));
+    print!(
+        "{}",
+        alphonse_bench::experiments::e8_noncombinator(&[16, 128, 1024])
+    );
 }

@@ -1,4 +1,7 @@
 //! Prints the E9 table (propagation scheduling, §4.5).
 fn main() {
-    print!("{}", alphonse_bench::experiments::e9_schedule(&[8, 32, 128, 512]));
+    print!(
+        "{}",
+        alphonse_bench::experiments::e9_schedule(&[8, 32, 128, 512])
+    );
 }

@@ -13,6 +13,7 @@ use alphonse_sheet::{RecalcSheet, Sheet};
 use alphonse_trees::{ClassicAvl, ExhaustiveTree, HandcodedTree, MaintainedAvl, NodeRef};
 use rand::Rng;
 use std::rc::Rc;
+use std::time::Instant;
 
 /// E1 (§3.4): maintained heights — first call O(n), repeats O(1), one
 /// pointer change O(height), batched changes O(|AFFECTED|).
@@ -106,15 +107,31 @@ pub fn e1_height_tree(sizes: &[usize]) -> Table {
 /// E2 (§9.2): dynamic dependence analysis is O(T) — constant-factor
 /// instrumentation overhead on a from-scratch run, repaid by incremental
 /// updates; §6.1 reduces the number of instrumented sites.
+///
+/// Besides the machine-independent step counts, this reports wall-clock
+/// time for the from-scratch run and the 100-round update loop (the
+/// instrumented/conventional overhead ratio the paper claims is a
+/// constant factor), plus the runtime's hot-path counters: reads served
+/// borrow-only vs. cloned, frame-epoch dedup hits, and memo-table probes.
 pub fn e2_overhead(depths: &[i64]) -> Table {
     let mut t = Table::new(
-        "E2 — instrumentation overhead (§9.2) and §6.1 site reduction",
+        "E2 — instrumentation overhead (§9.2): steps, wall-clock, hot-path counters, §6.1 sites",
         &[
             "tree_depth",
             "conv_steps_initial",
             "alph_steps_initial",
             "conv_steps_100_updates",
             "alph_exec_100_updates",
+            "conv_init_us",
+            "alph_init_us",
+            "init_overhead",
+            "conv_upd_us",
+            "alph_upd_us",
+            "upd_speedup",
+            "borrow_reads",
+            "cloned_reads",
+            "dedup_hits",
+            "memo_probes",
             "sites_uniform",
             "sites_optimized",
         ],
@@ -131,6 +148,19 @@ pub fn e2_overhead(depths: &[i64]) -> Table {
             interp.call_method(root.clone(), "height", vec![]).unwrap();
             (interp, root)
         };
+        // Wall-clock for the from-scratch run: best of three fresh runs per
+        // mode, so one scheduling hiccup does not skew the ratio.
+        let time_initial = |mode: Mode| -> f64 {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let _ = run(mode);
+                best = best.min(start.elapsed().as_secs_f64() * 1e6);
+            }
+            best
+        };
+        let conv_init_us = time_initial(Mode::Conventional);
+        let alph_init_us = time_initial(Mode::Alphonse);
         let (conv, conv_root) = run(Mode::Conventional);
         let conv_initial = conv.steps();
         let (alph, alph_root) = run(Mode::Alphonse);
@@ -139,28 +169,53 @@ pub fn e2_overhead(depths: &[i64]) -> Table {
         let nil_c = conv.global("nil").unwrap();
         let sub_c = conv.field(&conv_root, "left").unwrap();
         let s0 = conv.steps();
+        let upd_start = Instant::now();
         for i in 0..100 {
-            let v = if i % 2 == 0 { nil_c.clone() } else { sub_c.clone() };
+            let v = if i % 2 == 0 {
+                nil_c.clone()
+            } else {
+                sub_c.clone()
+            };
             conv.set_field(&conv_root, "left", v).unwrap();
-            conv.call_method(conv_root.clone(), "height", vec![]).unwrap();
+            conv.call_method(conv_root.clone(), "height", vec![])
+                .unwrap();
         }
+        let conv_upd_us = upd_start.elapsed().as_secs_f64() * 1e6;
         let conv_updates = conv.steps() - s0;
         let nil_a = alph.global("nil").unwrap();
         let sub_a = alph.field(&alph_root, "left").unwrap();
         let rt = alph.runtime().unwrap().clone();
         let before = rt.stats();
+        let upd_start = Instant::now();
         for i in 0..100 {
-            let v = if i % 2 == 0 { nil_a.clone() } else { sub_a.clone() };
+            let v = if i % 2 == 0 {
+                nil_a.clone()
+            } else {
+                sub_a.clone()
+            };
             alph.set_field(&alph_root, "left", v).unwrap();
-            alph.call_method(alph_root.clone(), "height", vec![]).unwrap();
+            alph.call_method(alph_root.clone(), "height", vec![])
+                .unwrap();
         }
-        let alph_exec = rt.stats().delta_since(&before).executions;
+        let alph_upd_us = upd_start.elapsed().as_secs_f64() * 1e6;
+        let hot = rt.stats().delta_since(&before);
+        let alph_exec = hot.executions;
         t.row_strings(vec![
             depth.to_string(),
             conv_initial.to_string(),
             alph_initial.to_string(),
             conv_updates.to_string(),
             alph_exec.to_string(),
+            format!("{conv_init_us:.1}"),
+            format!("{alph_init_us:.1}"),
+            format!("{:.2}", alph_init_us / conv_init_us),
+            format!("{conv_upd_us:.1}"),
+            format!("{alph_upd_us:.1}"),
+            format!("{:.2}", conv_upd_us / alph_upd_us),
+            hot.borrow_reads.to_string(),
+            hot.cloned_reads.to_string(),
+            hot.dedup_hits.to_string(),
+            hot.memo_probes.to_string(),
             uniform.instrumented().to_string(),
             optimized.instrumented().to_string(),
         ]);
@@ -324,7 +379,7 @@ pub fn e5_unchecked(sizes: &[usize]) -> Table {
             store.set_left(root, l); // same value: no-op write first
             let ll = store.left(l);
             store.set_left(l, ll); // still same
-            // A real (value-changing) edit: swap root's grandchildren.
+                                   // A real (value-changing) edit: swap root's grandchildren.
             let lr = store.right(l);
             store.set_left(l, lr);
             store.set_right(l, ll);
@@ -467,8 +522,7 @@ pub fn e7_avl(sizes: &[usize]) -> Table {
                 avl.insert(k);
                 avl.rebalance();
             }
-            let maintained =
-                rt.stats().delta_since(&before).executions as f64 / (n - half) as f64;
+            let maintained = rt.stats().delta_since(&before).executions as f64 / (n - half) as f64;
             let mut classic = ClassicAvl::new();
             for &k in &keys[..half] {
                 classic.insert(k);
@@ -552,11 +606,9 @@ pub fn e9_schedule(depths: &[usize]) -> Table {
             prev.call(&rt, ());
             for i in 1..d {
                 let below = prev.clone();
-                let m = rt.memo_with(
-                    &format!("lvl{i}"),
-                    Strategy::Eager,
-                    move |rt, &(): &()| below.call(rt, ()) + src.get(rt),
-                );
+                let m = rt.memo_with(&format!("lvl{i}"), Strategy::Eager, move |rt, &(): &()| {
+                    below.call(rt, ()) + src.get(rt)
+                });
                 m.call(&rt, ());
                 prev = m;
             }
@@ -701,9 +753,12 @@ pub fn e12_cache_capacity(capacities: &[usize]) -> Table {
     for &capacity in capacities {
         let rt = Runtime::new();
         let base = rt.var(1i64);
-        let f = rt.memo_bounded("bounded", Strategy::Demand, capacity, move |rt, &x: &i64| {
-            base.get(rt) * x
-        });
+        let f = rt.memo_bounded(
+            "bounded",
+            Strategy::Demand,
+            capacity,
+            move |rt, &x: &i64| base.get(rt) * x,
+        );
         let mut r = workloads::rng(3);
         for _ in 0..rounds * distinct {
             // 80% of calls hit the hot 20% of the key space.

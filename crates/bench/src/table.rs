@@ -26,13 +26,66 @@ impl Table {
     /// Appends a row (stringifies each cell).
     pub fn row<T: fmt::Display>(&mut self, cells: &[T]) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Appends a pre-stringified row.
     pub fn row_strings(&mut self, cells: Vec<String>) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
         self.rows.push(cells);
+    }
+
+    /// Serializes the table as JSON: the title plus one object per row
+    /// keyed by column header. Cells that parse as numbers are emitted as
+    /// JSON numbers so downstream tooling can chart the perf trajectory.
+    /// Hand-rolled because the workspace builds offline without serde.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn cell_value(s: &str) -> String {
+            if let Ok(v) = s.parse::<i64>() {
+                return v.to_string();
+            }
+            if let Ok(v) = s.parse::<f64>() {
+                if v.is_finite() {
+                    return format!("{v}");
+                }
+            }
+            format!("\"{}\"", escape(s))
+        }
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"title\": \"{}\",\n", escape(&self.title)));
+        out.push_str("  \"rows\": [\n");
+        for (ri, row) in self.rows.iter().enumerate() {
+            out.push_str("    {");
+            for (ci, (header, cell)) in self.headers.iter().zip(row).enumerate() {
+                if ci > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {}", escape(header), cell_value(cell)));
+            }
+            out.push('}');
+            if ri + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
     }
 }
 

@@ -52,8 +52,7 @@ pub fn depth_of(store: &TreeStore, root: NodeRef, node: NodeRef) -> Option<usize
         if cur == node {
             return Some(d);
         }
-        go(store, store.left(cur), node, d + 1)
-            .or_else(|| go(store, store.right(cur), node, d + 1))
+        go(store, store.left(cur), node, d + 1).or_else(|| go(store, store.right(cur), node, d + 1))
     }
     go(store, root, node, 0)
 }

@@ -1,7 +1,8 @@
 //! Inconsistent-set containers with pluggable draining order.
 
+use crate::fxhash::FxHashSet;
 use alphonse_graph::{HeightQueue, NodeId};
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Order in which the evaluator drains the inconsistent set.
 ///
@@ -28,7 +29,7 @@ pub(crate) enum DirtySet {
     Height(HeightQueue),
     Fifo {
         queue: VecDeque<NodeId>,
-        members: HashSet<NodeId>,
+        members: FxHashSet<NodeId>,
     },
 }
 
@@ -38,7 +39,7 @@ impl DirtySet {
             Scheduling::HeightOrder => DirtySet::Height(HeightQueue::new()),
             Scheduling::Fifo => DirtySet::Fifo {
                 queue: VecDeque::new(),
-                members: HashSet::new(),
+                members: FxHashSet::default(),
             },
         }
     }

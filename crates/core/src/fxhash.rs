@@ -1,0 +1,134 @@
+//! Inline FxHash-style hasher for hot-path hash tables.
+//!
+//! Memo argument tables and the partitioned dirty store are probed on
+//! every incremental call, where the default SipHash's keyed security is
+//! pure overhead — the keys are program-internal argument vectors and
+//! dense node ids, not attacker-controlled input. This is the multiply-
+//! and-rotate word hash used by rustc and Firefox ("FxHash"), written
+//! inline because the workspace takes no external dependencies beyond the
+//! pre-approved set (DESIGN.md, "Dependencies").
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fast, non-cryptographic, non-keyed word-at-a-time hasher.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(chunk));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut chunk = [0u8; 4];
+            chunk.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u32::from_le_bytes(chunk) as u64);
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let mut chunk = [0u8; 2];
+            chunk.copy_from_slice(&bytes[..2]);
+            self.add_to_hash(u16::from_le_bytes(chunk) as u64);
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(b as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_length_sensitive() {
+        assert_eq!(hash_of(b"alphonse"), hash_of(b"alphonse"));
+        assert_ne!(hash_of(b"alphonse"), hash_of(b"alphonse!"));
+        assert_ne!(hash_of(b"a"), hash_of(b"b"));
+    }
+
+    #[test]
+    fn maps_and_sets_behave() {
+        let mut m: FxHashMap<Vec<i64>, u32> = FxHashMap::default();
+        m.insert(vec![1, 2, 3], 7);
+        m.insert(vec![], 9);
+        assert_eq!(m.get(&vec![1, 2, 3]), Some(&7));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i * 31);
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&310));
+    }
+
+    #[test]
+    fn integer_writes_spread_dense_keys() {
+        // Dense node ids must not collapse onto a few buckets.
+        let mut buckets = [0u32; 16];
+        for i in 0u64..4096 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            buckets[(h.finish() >> 60) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 0), "all top-nibble buckets hit");
+    }
+}

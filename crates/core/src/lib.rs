@@ -16,7 +16,7 @@
 //! | Paper concept | Library form |
 //! |---|---|
 //! | top-level storage location | [`Var<T>`] |
-//! | `access(v)` (Algorithm 3) | [`Var::get`] / [`Runtime::raw_read`] |
+//! | `access(v)` (Algorithm 3) | [`Var::get`] / [`Var::with`] / [`Runtime::with_value`] / [`Runtime::raw_read`] |
 //! | `modify(l, v)` (Algorithm 4) | [`Var::set`] / [`Runtime::raw_write`] |
 //! | `(*CACHED*)` / `(*MAINTAINED*)` procedure | [`Memo<A, R>`] |
 //! | `call(p, a…)` (Algorithm 5) | [`Memo::call`] |
@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 mod dirty;
+pub mod fxhash;
 mod memo;
 mod runtime;
 mod stats;

@@ -1,10 +1,10 @@
 //! Incremental procedures: cached functions and maintained methods.
 
+use crate::fxhash::FxHashMap;
 use crate::runtime::{Executor, Runtime, Strategy};
-use crate::value::{downcast_value, Value};
+use crate::value::{downcast_box, downcast_ref, Value};
 use alphonse_graph::NodeId;
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::fmt;
 use std::hash::Hash;
 use std::rc::{Rc, Weak};
@@ -36,8 +36,8 @@ pub(crate) struct MemoInner<A, R> {
     #[allow(clippy::type_complexity)]
     f: Box<dyn Fn(&Runtime, &A) -> R>,
     /// The paper's *argument table* (Section 4.2): one dependency-graph node
-    /// per distinct argument vector.
-    table: RefCell<HashMap<A, Entry>>,
+    /// per distinct argument vector. FxHash-keyed: probed on every call.
+    table: RefCell<FxHashMap<A, Entry>>,
     /// Logical clock for LRU stamps.
     clock: std::cell::Cell<u64>,
     /// Values dropped by the replacement policy so far.
@@ -120,7 +120,7 @@ impl Runtime {
                 rt_id: self.id,
                 capacity: None,
                 f: Box::new(f),
-                table: RefCell::new(HashMap::new()),
+                table: RefCell::new(FxHashMap::default()),
                 clock: std::cell::Cell::new(0),
                 evictions: std::cell::Cell::new(0),
             }),
@@ -154,7 +154,7 @@ impl Runtime {
                 rt_id: self.id,
                 capacity: Some(capacity),
                 f: Box::new(f),
-                table: RefCell::new(HashMap::new()),
+                table: RefCell::new(FxHashMap::default()),
                 clock: std::cell::Cell::new(0),
                 evictions: std::cell::Cell::new(0),
             }),
@@ -207,7 +207,7 @@ impl Runtime {
                     };
                     f(rt, &me, a)
                 }),
-                table: RefCell::new(HashMap::new()),
+                table: RefCell::new(FxHashMap::default()),
                 clock: std::cell::Cell::new(0),
                 evictions: std::cell::Cell::new(0),
             }
@@ -248,12 +248,51 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
     /// Panics if `rt` is not the runtime the memo was defined in, or if the
     /// computation turns out to be cyclic (paper restriction DET).
     pub fn call(&self, rt: &Runtime, args: A) -> R {
+        let node = self.settle(rt, args);
+        self.finish(rt, node, R::clone)
+    }
+
+    /// Calls the procedure and hands the result to `f` by reference instead
+    /// of cloning it out of the cache — the zero-allocation form of
+    /// [`Memo::call`] for results that do not need to escape.
+    ///
+    /// Dependence recording, cache consultation and re-execution are
+    /// identical to [`Memo::call`]; only the final hand-off differs. On a
+    /// cache hit no clone of `R` happens at all. The runtime is borrowed
+    /// while `f` runs: the closure must not write tracked state, call memos
+    /// or run propagation, or the underlying `RefCell` panics.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alphonse::Runtime;
+    /// let rt = Runtime::new();
+    /// let words = rt.var(vec!["a".to_string(), "bb".to_string()]);
+    /// let joined = rt.memo("joined", move |rt, &(): &()| {
+    ///     words.with(rt, |w| w.join("+"))
+    /// });
+    /// let len = joined.call_with(&rt, (), |s| s.len());
+    /// assert_eq!(len, 4);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// As for [`Memo::call`].
+    pub fn call_with<O>(&self, rt: &Runtime, args: A, f: impl FnOnce(&R) -> O) -> O {
+        let node = self.settle(rt, args);
+        self.finish(rt, node, f)
+    }
+
+    /// Steps 1–2 of Algorithm 5: argument-table lookup (instantiating on a
+    /// miss) and pre-call evaluation of pending changes.
+    fn settle(&self, rt: &Runtime, args: A) -> NodeId {
         assert_eq!(
             self.inner.rt_id, rt.id,
             "Memo {:?} used with a different Runtime than it was defined in",
             self.inner.name
         );
         rt.note_call();
+        rt.note_probe();
         let stamp = self.inner.clock.get() + 1;
         self.inner.clock.set(stamp);
         let mut created = false;
@@ -269,7 +308,8 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
                     let inner = Rc::clone(&self.inner);
                     let a = args.clone();
                     let executor: Executor = Rc::new(move |rt| Box::new((inner.f)(rt, &a)));
-                    let n = rt.alloc_comp(Rc::clone(&self.inner.name), self.inner.strategy, executor);
+                    let n =
+                        rt.alloc_comp(Rc::clone(&self.inner.name), self.inner.strategy, executor);
                     table.insert(
                         args,
                         Entry {
@@ -287,6 +327,16 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
         if !created {
             rt.evaluate_before_call(node);
         }
+        node
+    }
+
+    /// Steps 3–4 of Algorithm 5: consult the cache, re-execute on a miss,
+    /// record the caller's dependence, and hand the typed result to `f`
+    /// in place (no `Box`, and no clone unless `f` itself clones).
+    fn finish<O>(&self, rt: &Runtime, node: NodeId, f: impl FnOnce(&R) -> O) -> O {
+        // `f` runs at most once; the Option lets the consistent-cache
+        // closure and the post-execution paths share it.
+        let mut f = Some(f);
         // Note: the paper's Algorithm 5 records the caller's dependence edge
         // before checking consistency. We record it after the callee has
         // settled (cache hit or completed re-execution) instead — the
@@ -294,13 +344,22 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
         // AVL balance method (Section 7.3) would otherwise transiently pair
         // a stale caller→callee edge with the fresh callee→caller one and
         // trip cycle detection.
-        if let Some(v) = rt.cached_if_consistent(node) {
+        let hit = rt.with_cached_if_consistent(node, |v| {
+            (f.take().expect("first use of f"))(downcast_ref::<R>(v, self.name()))
+        });
+        if let Some(out) = hit {
             rt.record_dependence(node);
-            return downcast_value(&*v, self.name());
+            return out;
         }
-        let (v, _) = rt.execute_node(node);
+        let (uncommitted, _) = rt.execute_node(node);
         rt.record_dependence(node);
-        downcast_value(&*v, self.name())
+        let f = f.take().expect("cache miss: f not yet used");
+        match uncommitted {
+            // Superseded re-entrant execution: its value was handed back
+            // instead of committed; consume the box directly.
+            Some(v) => f(&downcast_box::<R>(v, self.name())),
+            None => rt.with_comp_value(node, |v| f(downcast_ref::<R>(v, self.name()))),
+        }
     }
 
     /// The dependency-graph node for a given argument vector, if that
@@ -332,9 +391,7 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
         let mut live: Vec<(u64, NodeId)> = table
             .values()
             .filter(|e| {
-                e.node != just_created
-                    && rt.node_has_value(e.node)
-                    && !rt.node_on_stack(e.node)
+                e.node != just_created && rt.node_has_value(e.node) && !rt.node_on_stack(e.node)
             })
             .map(|e| (e.last_use, e.node))
             .collect();

@@ -10,11 +10,11 @@
 //! runs before incremental calls.
 
 use crate::dirty::{DirtySet, Scheduling};
+use crate::fxhash::FxHashMap;
 use crate::stats::Stats;
 use crate::value::Value;
 use alphonse_graph::{DepGraph, NodeId, UnionFind};
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -75,9 +75,15 @@ pub(crate) struct NodeData {
 
 struct Frame {
     node: NodeId,
-    /// Nodes already recorded as dependencies of this execution
-    /// (per-execution edge deduplication).
-    accessed: HashSet<NodeId>,
+    /// This execution's stamp in the runtime-wide `last_accessed` table.
+    /// Per-execution edge deduplication checks a node's stamp against this
+    /// epoch instead of probing a per-frame hash set, so starting a frame
+    /// allocates nothing.
+    epoch: u64,
+    /// Stamps this frame overwrote that may belong to a live enclosing
+    /// frame; restored LIFO when this frame pops so the enclosing
+    /// execution's dedup set survives nested (incl. re-entrant) calls.
+    overflow: Vec<(NodeId, u64)>,
     /// Depth of nested `untracked` regions active in this frame
     /// (the `(*UNCHECKED*)` pragma of Section 6.4).
     suppress: u32,
@@ -92,7 +98,7 @@ enum DirtyStore {
     Global(DirtySet),
     /// One inconsistent set per dependency-graph partition, keyed by the
     /// partition's current union-find root (Section 6.3).
-    Partitioned(HashMap<NodeId, DirtySet>),
+    Partitioned(FxHashMap<NodeId, DirtySet>),
 }
 
 pub(crate) struct Inner {
@@ -105,6 +111,14 @@ pub(crate) struct Inner {
     dedup_edges: bool,
     evaluating: bool,
     exec_gen: u64,
+    /// Frame-epoch stamp per node (indexed by dense `NodeId`): the epoch of
+    /// the execution frame that most recently recorded a dependence on the
+    /// node. Epoch 0 is reserved for "never accessed". Epochs are globally
+    /// unique per frame, so a stale stamp can never be mistaken for the
+    /// current frame's.
+    last_accessed: Vec<u64>,
+    /// Epoch of the most recently started execution frame.
+    frame_epoch: u64,
     stats: Stats,
 }
 
@@ -163,7 +177,7 @@ impl RuntimeBuilder {
     /// Builds the runtime.
     pub fn build(self) -> Runtime {
         let dirty = if self.partitioning {
-            DirtyStore::Partitioned(HashMap::new())
+            DirtyStore::Partitioned(FxHashMap::default())
         } else {
             DirtyStore::Global(DirtySet::new(self.scheduling))
         };
@@ -178,6 +192,8 @@ impl RuntimeBuilder {
                 dedup_edges: self.dedup_edges,
                 evaluating: false,
                 exec_gen: 0,
+                last_accessed: Vec::new(),
+                frame_epoch: 0,
                 stats: Stats::default(),
             })),
             id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
@@ -268,6 +284,7 @@ impl Inner {
     /// executing (paper Algorithm 3's `CreateEdge` step), merging partitions
     /// as Section 6.3 prescribes.
     fn record_dependence(&mut self, n: NodeId) {
+        let depth = self.stack.len();
         let Some(frame) = self.stack.last_mut() else {
             return;
         };
@@ -278,8 +295,23 @@ impl Inner {
             self.stats.untracked_reads += 1;
             return;
         }
-        if self.dedup_edges && !frame.accessed.insert(n) {
-            return;
+        if self.dedup_edges {
+            // O(1) per-execution dedup: the edge was already recorded iff
+            // the node's stamp equals this frame's epoch. Epochs are
+            // globally unique, so stamps left by finished frames can never
+            // be mistaken for the current one.
+            let slot = &mut self.last_accessed[n.index()];
+            if *slot == frame.epoch {
+                self.stats.dedup_hits += 1;
+                return;
+            }
+            if *slot != 0 && depth > 1 {
+                // The stamp may belong to a live enclosing frame; remember
+                // it so popping this frame restores the enclosing
+                // execution's dedup set.
+                frame.overflow.push((n, *slot));
+            }
+            *slot = frame.epoch;
         }
         let v = frame.node;
         self.graph.add_edge(n, v);
@@ -290,10 +322,7 @@ impl Inner {
              deterministic and acyclic (paper restriction DET)",
             n,
             v,
-            self.nodes[v.index()]
-                .name
-                .as_deref()
-                .unwrap_or("<unnamed>"),
+            self.nodes[v.index()].name.as_deref().unwrap_or("<unnamed>"),
         );
         if let Some(uf) = self.partition.as_mut() {
             uf.ensure(n);
@@ -315,6 +344,7 @@ impl Inner {
         let n = self.graph.add_node();
         debug_assert_eq!(n.index(), self.nodes.len());
         self.nodes.push(data);
+        self.last_accessed.push(0);
         if let Some(uf) = self.partition.as_mut() {
             uf.ensure(n);
         }
@@ -458,6 +488,7 @@ impl Runtime {
         {
             let mut inner = self.inner.borrow_mut();
             inner.stats.reads += 1;
+            inner.stats.cloned_reads += 1;
             inner.record_dependence(n);
         }
         let inner = self.inner.borrow();
@@ -467,6 +498,36 @@ impl Runtime {
             .as_ref()
             .expect("location always holds a value")
             .dyn_clone()
+    }
+
+    /// Reads a location in place, without boxing or cloning the value: the
+    /// borrow-based form of the paper's `access` (Algorithm 3). The
+    /// dependence of the currently executing incremental procedure (if any)
+    /// is recorded exactly as for [`Runtime::raw_read`], but the cached
+    /// value is handed to `f` by reference instead of being cloned out.
+    ///
+    /// This is the hot-path read used by [`Var::get`](crate::Var::get) and
+    /// [`Var::with`](crate::Var::with). Use [`Runtime::raw_read`] only when
+    /// the value must outlive the read (escape the closure).
+    ///
+    /// The runtime is borrowed for the duration of `f`: the closure must not
+    /// re-enter runtime operations that mutate state (writes, memo calls,
+    /// propagation) or it will panic on the `RefCell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a location of this runtime.
+    pub fn with_value<R>(&self, n: NodeId, f: impl FnOnce(&dyn Value) -> R) -> R {
+        {
+            let mut inner = self.inner.borrow_mut();
+            inner.stats.reads += 1;
+            inner.stats.borrow_reads += 1;
+            inner.record_dependence(n);
+        }
+        let inner = self.inner.borrow();
+        let nd = &inner.nodes[n.index()];
+        debug_assert!(nd.comp.is_none(), "with_value on a computation node");
+        f(&**nd.value.as_ref().expect("location always holds a value"))
     }
 
     /// Writes a location — the paper's `modify` (Algorithm 4): the write
@@ -537,8 +598,14 @@ impl Runtime {
         self.inner.borrow_mut().record_dependence(n);
     }
 
-    /// Returns the cached value if the computation node is consistent.
-    pub(crate) fn cached_if_consistent(&self, n: NodeId) -> Option<Box<dyn Value>> {
+    /// Runs `f` on the cached value if the computation node is consistent,
+    /// without cloning it out of the cache. Returns `None` (without calling
+    /// `f`) on a miss: inconsistent, or consistent but evicted.
+    pub(crate) fn with_cached_if_consistent<R>(
+        &self,
+        n: NodeId,
+        f: impl FnOnce(&dyn Value) -> R,
+    ) -> Option<R> {
         let mut inner = self.inner.borrow_mut();
         let nd = &inner.nodes[n.index()];
         let comp = nd.comp.as_ref().expect("computation node");
@@ -546,10 +613,15 @@ impl Runtime {
             return None;
         }
         match &nd.value {
-            Some(v) => {
-                let v = v.dyn_clone();
+            Some(_) => {
                 inner.stats.cache_hits += 1;
-                Some(v)
+                drop(inner);
+                let inner = self.inner.borrow();
+                let v = inner.nodes[n.index()]
+                    .value
+                    .as_ref()
+                    .expect("checked above");
+                Some(f(&**v))
             }
             // Consistent but value-less: either a self-recursive first
             // execution (DET violation — diagnose) or an evicted value
@@ -563,9 +635,33 @@ impl Runtime {
         }
     }
 
+    /// Runs `f` on the committed value of a computation node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has never committed a value.
+    pub(crate) fn with_comp_value<R>(&self, n: NodeId, f: impl FnOnce(&dyn Value) -> R) -> R {
+        let inner = self.inner.borrow();
+        let v = inner.nodes[n.index()]
+            .value
+            .as_ref()
+            .expect("execution just committed a value");
+        f(&**v)
+    }
+
+    /// Counts one memo argument-table probe (hash lookup on the call path).
+    pub(crate) fn note_probe(&self) {
+        self.inner.borrow_mut().stats.memo_probes += 1;
+    }
+
     /// Re-executes computation node `n` per Algorithm 5: drop its old
     /// dependencies, push it on the call stack, run the body, cache the
-    /// result. Returns the computed value and whether the cache changed.
+    /// result. Returns the value only when it was *not* committed to the
+    /// cache (`Some` = superseded execution's uncommitted result, which the
+    /// caller must consume directly), plus whether the cache changed. The
+    /// common committed case returns `(None, changed)` and the value is read
+    /// from the cache with [`Runtime::with_comp_value`] — this avoids the
+    /// extra `dyn_clone` per execution the old signature forced.
     ///
     /// Re-entrant executions (an instance re-executing while an older
     /// execution of the same instance is still on the stack, as the AVL
@@ -574,7 +670,7 @@ impl Runtime {
     /// commits to the cache; a superseded outer execution still returns its
     /// computed value to its caller but leaves cache, consistency flag and
     /// dependency edges to the fresher run.
-    pub(crate) fn execute_node(&self, n: NodeId) -> (Box<dyn Value>, bool) {
+    pub(crate) fn execute_node(&self, n: NodeId) -> (Option<Box<dyn Value>>, bool) {
         let (executor, my_gen) = {
             let mut inner = self.inner.borrow_mut();
             inner.stats.executions += 1;
@@ -603,9 +699,12 @@ impl Runtime {
             comp.on_stack += 1;
             comp.cur_gen = my_gen;
             let executor = comp.executor.clone();
+            inner.frame_epoch += 1;
+            let epoch = inner.frame_epoch;
             inner.stack.push(Frame {
                 node: n,
-                accessed: HashSet::new(),
+                epoch,
+                overflow: Vec::new(),
                 suppress: 0,
                 stale: false,
             });
@@ -615,6 +714,13 @@ impl Runtime {
         let mut inner = self.inner.borrow_mut();
         let frame = inner.stack.pop().expect("frame pushed above");
         debug_assert_eq!(frame.node, n, "call stack imbalance");
+        // Restore the stamps this frame overwrote, newest first, so the
+        // enclosing execution's dedup set is exactly what it was before the
+        // nested call (a node stamped by several nested frames gets its
+        // oldest surviving stamp back).
+        for (node, stamp) in frame.overflow.into_iter().rev() {
+            inner.last_accessed[node.index()] = stamp;
+        }
         let nd = &mut inner.nodes[n.index()];
         let comp = nd.comp.as_mut().expect("computation");
         comp.on_stack -= 1;
@@ -622,7 +728,7 @@ impl Runtime {
             // A nested execution superseded this one; its cache entry is the
             // one that matches the current program state. Hand our value to
             // the caller without committing it.
-            return (value, false);
+            return (Some(value), false);
         }
         let requeue = std::mem::take(&mut comp.requeue);
         inner.stats.comparisons += 1;
@@ -631,11 +737,11 @@ impl Runtime {
             Some(old) => !old.dyn_eq(&*value),
             None => true,
         };
-        nd.value = Some(value.dyn_clone());
+        nd.value = Some(value);
         if requeue {
             inner.insert_dirty(n);
         }
-        (value, changed)
+        (None, changed)
     }
 
     /// If changes are pending that could affect `n`, run the evaluation

@@ -43,6 +43,18 @@ pub struct Stats {
     pub nodes_created: u64,
     /// Reads performed inside `untracked` regions (Section 6.4 UNCHECKED).
     pub untracked_reads: u64,
+    /// Tracked reads served in place through the borrow-based API
+    /// (`Runtime::with_value` and the typed wrappers built on it) — no
+    /// clone, no box.
+    pub borrow_reads: u64,
+    /// Tracked reads that cloned the value out of the cache
+    /// (`Runtime::raw_read` and typed reads whose value escapes).
+    pub cloned_reads: u64,
+    /// Dependence recordings skipped because the frame-epoch table showed
+    /// the edge was already recorded in the current execution frame.
+    pub dedup_hits: u64,
+    /// Memo argument-table lookups (hash probes on the call path).
+    pub memo_probes: u64,
 }
 
 impl Stats {
@@ -75,7 +87,11 @@ impl Stats {
             propagation_steps,
             comparisons,
             nodes_created,
-            untracked_reads
+            untracked_reads,
+            borrow_reads,
+            cloned_reads,
+            dedup_hits,
+            memo_probes
         )
     }
 

@@ -20,6 +20,9 @@ pub trait Value: Any + fmt::Debug {
     fn dyn_clone(&self) -> Box<dyn Value>;
     /// Upcast used for downcasting to the concrete type.
     fn as_any(&self) -> &dyn Any;
+    /// Consuming upcast: lets an owned boxed value be downcast to its
+    /// concrete type without cloning.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
 impl<T: Any + fmt::Debug + PartialEq + Clone> Value for T {
@@ -34,24 +37,56 @@ impl<T: Any + fmt::Debug + PartialEq + Clone> Value for T {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
 }
 
 /// Downcasts a cached value to its concrete type, cloning it out.
+///
+/// The production read paths are borrow-based ([`downcast_ref`]) or
+/// consuming ([`downcast_box`]); this cloning form survives for tests.
 ///
 /// # Panics
 ///
 /// Panics if the cached value has a different concrete type, which indicates
 /// a typed handle (`Var`/`Memo`) was forged for the wrong node.
+#[cfg(test)]
 pub(crate) fn downcast_value<T: Clone + 'static>(v: &dyn Value, what: &str) -> T {
-    v.as_any()
-        .downcast_ref::<T>()
-        .unwrap_or_else(|| {
-            panic!(
-                "type mismatch reading {what}: expected {}, found {v:?}",
-                std::any::type_name::<T>()
-            )
-        })
-        .clone()
+    downcast_ref::<T>(v, what).clone()
+}
+
+/// Downcasts a borrowed cached value to its concrete type without cloning —
+/// the borrow-based read path.
+///
+/// # Panics
+///
+/// Panics if the cached value has a different concrete type, which indicates
+/// a typed handle (`Var`/`Memo`) was forged for the wrong node.
+pub(crate) fn downcast_ref<'a, T: 'static>(v: &'a dyn Value, what: &str) -> &'a T {
+    v.as_any().downcast_ref::<T>().unwrap_or_else(|| {
+        panic!(
+            "type mismatch reading {what}: expected {}, found {v:?}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Downcasts an owned boxed value to its concrete type, consuming the box —
+/// no clone.
+///
+/// # Panics
+///
+/// Panics on a concrete-type mismatch, like [`downcast_ref`].
+pub(crate) fn downcast_box<T: 'static>(v: Box<dyn Value>, what: &str) -> T {
+    match v.into_any().downcast::<T>() {
+        Ok(b) => *b,
+        Err(_) => panic!(
+            "type mismatch reading {what}: expected {}",
+            std::any::type_name::<T>()
+        ),
+    }
 }
 
 #[cfg(test)]

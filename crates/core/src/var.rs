@@ -1,7 +1,7 @@
 //! Typed handles to tracked storage locations.
 
 use crate::runtime::Runtime;
-use crate::value::{downcast_value, Value};
+use crate::value::{downcast_ref, Value};
 use alphonse_graph::NodeId;
 use std::fmt;
 use std::marker::PhantomData;
@@ -74,7 +74,35 @@ impl<T: Value + PartialEq + Clone> Var<T> {
     /// Panics if `rt` is not the runtime this variable was created in.
     pub fn get(&self, rt: &Runtime) -> T {
         self.check(rt);
-        downcast_value(&*rt.raw_read(self.node), "Var::get")
+        // Borrow-based read: one typed clone out of the cache, no boxing.
+        rt.with_value(self.node, |v| downcast_ref::<T>(v, "Var::get").clone())
+    }
+
+    /// Runs `f` on the current value in place — no clone at all — recording
+    /// a dependence exactly like [`Var::get`]. This is the zero-allocation
+    /// read for values that do not need to escape (e.g. summing a field of
+    /// a large struct).
+    ///
+    /// The runtime is borrowed while `f` runs: the closure must not write
+    /// tracked state, call memos or run propagation, or the underlying
+    /// `RefCell` panics. Use [`Var::get`] when the value must escape.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alphonse::Runtime;
+    /// let rt = Runtime::new();
+    /// let v = rt.var(vec![1i64, 2, 3]);
+    /// let sum: i64 = v.with(&rt, |xs| xs.iter().sum());
+    /// assert_eq!(sum, 6);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rt` is not the runtime this variable was created in.
+    pub fn with<R>(&self, rt: &Runtime, f: impl FnOnce(&T) -> R) -> R {
+        self.check(rt);
+        rt.with_value(self.node, |v| f(downcast_ref::<T>(v, "Var::with")))
     }
 
     /// Reads the current value without recording a dependence — the

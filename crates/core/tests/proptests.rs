@@ -136,8 +136,14 @@ fn run_case(case: &Case) {
 }
 
 fn case_strategy() -> impl Strategy<Value = Case> {
-    (1usize..6, 1usize..10, any::<bool>(), any::<bool>(), any::<bool>()).prop_flat_map(
-        |(n_vars, n_memos, partitioning, fifo, dedup)| {
+    (
+        1usize..6,
+        1usize..10,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_flat_map(|(n_vars, n_memos, partitioning, fifo, dedup)| {
             let memo_spec = move |k: usize| {
                 let input = prop_oneof![
                     (0..n_vars).prop_map(Input::Var),
@@ -178,8 +184,7 @@ fn case_strategy() -> impl Strategy<Value = Case> {
                     fifo,
                     dedup,
                 })
-        },
-    )
+        })
 }
 
 proptest! {
@@ -215,5 +220,25 @@ proptest! {
         // Instances never exceed distinct argument count.
         let distinct: std::collections::HashSet<_> = args.iter().collect();
         prop_assert_eq!(square.instance_count(), distinct.len());
+    }
+
+    /// The borrow-based read path and the boxing read path agree on every
+    /// value, for both scalar and heap-allocated types.
+    #[test]
+    fn borrow_and_boxing_reads_agree(writes in proptest::collection::vec(any::<i64>(), 1..40)) {
+        let rt = Runtime::new();
+        let v = rt.var(0i64);
+        let s = rt.var(String::new());
+        for &w in &writes {
+            v.set(&rt, w);
+            s.set(&rt, w.to_string());
+            prop_assert_eq!(v.with(&rt, |&x| x), w);
+            prop_assert_eq!(v.get(&rt), w);
+            let boxed = rt.raw_read(v.node());
+            prop_assert!(boxed.dyn_eq(&w));
+            prop_assert!(rt.with_value(v.node(), |val| val.dyn_eq(&*boxed)));
+            prop_assert_eq!(s.with(&rt, |x| x.len()), w.to_string().len());
+            prop_assert!(rt.raw_read(s.node()).dyn_eq(&w.to_string()));
+        }
     }
 }

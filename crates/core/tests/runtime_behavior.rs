@@ -168,7 +168,11 @@ fn untracked_reads_do_not_invalidate() {
     assert_eq!(m.call(&rt, ()), 101, "stale by design: untracked read");
     assert_eq!(n.get(), 1);
     tracked.set(&rt, 2);
-    assert_eq!(m.call(&rt, ()), 1001, "tracked change picks up new peek too");
+    assert_eq!(
+        m.call(&rt, ()),
+        1001,
+        "tracked change picks up new peek too"
+    );
     assert_eq!(n.get(), 2);
 }
 
@@ -299,6 +303,109 @@ fn edges_are_deduplicated_per_execution_by_default() {
     let m2 = rt2.memo("m2", move |rt, &(): &()| b.get(rt) + b.get(rt) + b.get(rt));
     m2.call(&rt2, ());
     assert_eq!(rt2.stats().edges_created, 3, "paper-literal parallel edges");
+}
+
+#[test]
+fn epoch_dedup_survives_nested_frames() {
+    // Nested calls: outer reads `a`, calls inner (which reads `a` itself),
+    // then reads `a` again. The nested frame overwrites `a`'s epoch stamp;
+    // popping it must restore the outer frame's stamp so the second outer
+    // read is recognized as already recorded — without the restore the set
+    // "leaks" and a duplicate a→outer edge appears.
+    let rt = Runtime::new();
+    let a = rt.var(1i64);
+    let inner = rt.memo("inner", move |rt, &(): &()| a.get(rt) * 2);
+    let ic = inner.clone();
+    let outer = rt.memo("outer", move |rt, &(): &()| {
+        let x = a.get(rt); // edge a → outer
+        let y = ic.call(rt, ()); // nested frame: edge a → inner
+        let z = a.get(rt); // must dedup against the first outer read
+        x + y + z
+    });
+    assert_eq!(outer.call(&rt, ()), 4);
+    let s = rt.stats();
+    assert_eq!(s.edges_created, 3, "exactly a→outer, a→inner, inner→outer");
+    assert_eq!(s.dedup_hits, 1, "outer's second read of a deduped");
+}
+
+#[test]
+fn epoch_dedup_does_not_leak_between_executions() {
+    // Stamps left by finished frames must never be mistaken for the current
+    // frame's: consecutive executions of different instances reading the
+    // same var each record their own edge.
+    let rt = Runtime::new();
+    let a = rt.var(1i64);
+    let m1 = rt.memo("m1", move |rt, &(): &()| a.get(rt));
+    let m2 = rt.memo("m2", move |rt, &(): &()| a.get(rt));
+    m1.call(&rt, ());
+    m2.call(&rt, ());
+    let s = rt.stats();
+    assert_eq!(s.edges_created, 2, "one edge per instance");
+    assert_eq!(s.dedup_hits, 0, "no false dedup across executions");
+}
+
+#[test]
+fn read_counters_distinguish_borrow_and_clone() {
+    let rt = Runtime::new();
+    let v = rt.var(7i64);
+    assert_eq!(v.get(&rt), 7); // borrow-based typed read
+    assert_eq!(v.with(&rt, |&x| x * 2), 14); // borrow-based in-place read
+    assert!(rt.raw_read(v.node()).dyn_eq(&7i64)); // boxing read
+    let s = rt.stats();
+    assert_eq!(s.reads, 3);
+    assert_eq!(s.borrow_reads, 2);
+    assert_eq!(s.cloned_reads, 1);
+}
+
+#[test]
+fn memo_probes_count_argument_table_lookups() {
+    let rt = Runtime::new();
+    let m = rt.memo("m", |_rt, &k: &i64| k * 2);
+    for _ in 0..3 {
+        m.call(&rt, 1);
+    }
+    m.call_with(&rt, 2, |&v| assert_eq!(v, 4));
+    assert_eq!(rt.stats().memo_probes, 4, "one probe per call");
+}
+
+#[test]
+fn call_with_matches_call() {
+    let rt = Runtime::new();
+    let base = rt.var(vec![1i64, 2, 3]);
+    let sum = rt.memo("sum", move |rt, &(): &()| base.with(rt, |xs| xs.to_vec()));
+    // Cache miss path…
+    assert_eq!(sum.call_with(&rt, (), |v| v.len()), 3);
+    // …and cache hit path read the same value `call` clones out.
+    assert_eq!(sum.call_with(&rt, (), |v| v.iter().sum::<i64>()), 6);
+    assert_eq!(sum.call(&rt, ()), vec![1, 2, 3]);
+    base.set(&rt, vec![10]);
+    assert_eq!(
+        sum.call_with(&rt, (), |v| v[0]),
+        10,
+        "invalidation reaches call_with"
+    );
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "on a computation node")]
+fn with_value_rejects_computation_nodes() {
+    let rt = Runtime::new();
+    let m = rt.memo("m", |_rt, &(): &()| 1i64);
+    m.call(&rt, ());
+    let n = m.instance_node(&()).expect("instance exists");
+    rt.with_value(n, |_| ());
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "on a computation node")]
+fn raw_read_rejects_computation_nodes() {
+    let rt = Runtime::new();
+    let m = rt.memo("m", |_rt, &(): &()| 1i64);
+    m.call(&rt, ());
+    let n = m.instance_node(&()).expect("instance exists");
+    let _ = rt.raw_read(n);
 }
 
 #[test]

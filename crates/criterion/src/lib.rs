@@ -1,0 +1,172 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no registry access, so the pre-approved
+//! external crates are vendored as minimal, API-compatible stubs (see
+//! DESIGN.md, "Dependencies"). This harness keeps criterion's calling
+//! convention (`benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`) and performs a simple
+//! warm-up + timed-loop measurement, reporting mean ns/iter to stdout.
+//! It has none of criterion's statistics, plotting, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name}");
+        BenchmarkGroup {
+            name,
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            _parent: self,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes its sample by the
+    /// measurement window instead of a fixed sample count.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut bencher, input);
+        match bencher.report {
+            Some((iters, mean_ns)) => {
+                println!(
+                    "{}/{}: {:>12.1} ns/iter ({} iters)",
+                    self.name, id.id, mean_ns, iters
+                )
+            }
+            None => println!("{}/{}: no measurement taken", self.name, id.id),
+        }
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = BenchmarkId { id: name.into() };
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((iters, mean_ns)) => {
+                println!(
+                    "{}/{}: {:>12.1} ns/iter ({} iters)",
+                    self.name, id.id, mean_ns, iters
+                )
+            }
+            None => println!("{}/{}: no measurement taken", self.name, id.id),
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the measured closure; mirrors `criterion::Bencher`.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    report: Option<(u64, f64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        let measure_end = start + self.measurement;
+        while Instant::now() < measure_end {
+            black_box(f());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        let mean_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+        self.report = Some((iters, mean_ns));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

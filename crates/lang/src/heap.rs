@@ -29,9 +29,7 @@ impl Slot {
     /// incremental procedure promotes the slot and records the dependence.
     pub(crate) fn read(&mut self, rt: Option<&Runtime>) -> Val {
         match self {
-            Slot::Tracked(var) => {
-                var.get(rt.expect("tracked slot implies Alphonse mode"))
-            }
+            Slot::Tracked(var) => var.get(rt.expect("tracked slot implies Alphonse mode")),
             Slot::Plain(v) => {
                 if let Some(rt) = rt {
                     if rt.in_tracked_context() {
@@ -93,7 +91,10 @@ impl Heap {
         let id = u32::try_from(self.objects.len()).expect("too many objects");
         self.objects.push(ObjData {
             ty,
-            fields: field_types.iter().map(|&t| Slot::new(default_val(t))).collect(),
+            fields: field_types
+                .iter()
+                .map(|&t| Slot::new(default_val(t)))
+                .collect(),
         });
         ObjId(id)
     }
@@ -128,7 +129,8 @@ impl Heap {
     /// Allocates an array of `len` default-initialized elements of `elem`.
     pub(crate) fn alloc_array(&mut self, elem: Ty, len: usize) -> ArrId {
         let id = u32::try_from(self.arrays.len()).expect("too many arrays");
-        self.arrays.push((0..len).map(|_| Slot::new(default_val(elem))).collect());
+        self.arrays
+            .push((0..len).map(|_| Slot::new(default_val(elem))).collect());
         ArrId(id)
     }
 
@@ -138,25 +140,14 @@ impl Heap {
     }
 
     /// Bounds-checked element read. Returns `None` when out of bounds.
-    pub(crate) fn read_element(
-        &mut self,
-        rt: Option<&Runtime>,
-        a: ArrId,
-        i: i64,
-    ) -> Option<Val> {
+    pub(crate) fn read_element(&mut self, rt: Option<&Runtime>, a: ArrId, i: i64) -> Option<Val> {
         let slots = &mut self.arrays[a.0 as usize];
         let idx = usize::try_from(i).ok().filter(|&i| i < slots.len())?;
         Some(slots[idx].read(rt))
     }
 
     /// Bounds-checked element write. Returns `false` when out of bounds.
-    pub(crate) fn write_element(
-        &mut self,
-        rt: Option<&Runtime>,
-        a: ArrId,
-        i: i64,
-        v: Val,
-    ) -> bool {
+    pub(crate) fn write_element(&mut self, rt: Option<&Runtime>, a: ArrId, i: i64, v: Val) -> bool {
         let slots = &mut self.arrays[a.0 as usize];
         match usize::try_from(i).ok().filter(|&i| i < slots.len()) {
             Some(idx) => {

@@ -332,6 +332,9 @@ impl Program {
 
     /// Number of incremental procedures (cached or maintained).
     pub fn incremental_proc_count(&self) -> usize {
-        self.procs.iter().filter(|p| p.incremental.is_some()).count()
+        self.procs
+            .iter()
+            .filter(|p| p.incremental.is_some())
+            .count()
     }
 }

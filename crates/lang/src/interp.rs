@@ -250,16 +250,12 @@ impl Interp {
             )));
         };
         let ty = self.shared.heap.borrow().type_of(o);
-        let slot = self
-            .shared
-            .program
-            .method_slot(ty, method)
-            .ok_or_else(|| {
-                LangError::resolve(format!(
-                    "type {} has no method {method}",
-                    self.shared.program.types[ty].name
-                ))
-            })?;
+        let slot = self.shared.program.method_slot(ty, method).ok_or_else(|| {
+            LangError::resolve(format!(
+                "type {} has no method {method}",
+                self.shared.program.types[ty].name
+            ))
+        })?;
         let pid = self.shared.program.types[ty].methods[slot].impl_proc;
         args.insert(0, Val::Obj(o));
         let r = self.shared.call_proc(pid, args);
@@ -359,11 +355,7 @@ impl Interp {
 
 impl Shared {
     fn alloc(&self, ty: TypeId) -> ObjId {
-        let field_types: Vec<Ty> = self.program.types[ty]
-            .fields
-            .iter()
-            .map(|f| f.ty)
-            .collect();
+        let field_types: Vec<Ty> = self.program.types[ty].fields.iter().map(|f| f.ty).collect();
         self.heap.borrow_mut().alloc(ty, &field_types)
     }
 
@@ -513,9 +505,7 @@ impl Shared {
                     .borrow_mut()
                     .write_element(self.rt.as_ref(), a, i, v)
                 {
-                    return Err(LangError::runtime(format!(
-                        "array index {i} out of bounds"
-                    )));
+                    return Err(LangError::runtime(format!("array index {i} out of bounds")));
                 }
                 Ok(Flow::Normal)
             }
@@ -599,9 +589,7 @@ impl Shared {
             HExpr::Bool(b) => Ok(Val::Bool(*b)),
             HExpr::Nil => Ok(Val::Nil),
             HExpr::Local(slot) => Ok(frame[*slot].clone()),
-            HExpr::Global(idx) => {
-                Ok(self.globals.borrow_mut()[*idx].read(self.rt.as_ref()))
-            }
+            HExpr::Global(idx) => Ok(self.globals.borrow_mut()[*idx].read(self.rt.as_ref())),
             HExpr::Field { obj, field } => {
                 let o = self.eval_expr(obj, frame)?;
                 let Val::Obj(o) = o else {
@@ -628,9 +616,7 @@ impl Shared {
                 self.heap
                     .borrow_mut()
                     .read_element(self.rt.as_ref(), a, i)
-                    .ok_or_else(|| {
-                        LangError::runtime(format!("array index {i} out of bounds"))
-                    })
+                    .ok_or_else(|| LangError::runtime(format!("array index {i} out of bounds")))
             }
             HExpr::CallProc { proc, args } => {
                 let argv = self.eval_args(args, frame)?;

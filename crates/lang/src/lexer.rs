@@ -147,7 +147,10 @@ impl Lexer {
                 c if c.is_ascii_digit() => self.number()?,
                 c if c.is_ascii_alphabetic() || c == '_' => self.word(),
                 other => {
-                    return Err(LangError::lex(line, format!("unexpected character {other:?}")))
+                    return Err(LangError::lex(
+                        line,
+                        format!("unexpected character {other:?}"),
+                    ))
                 }
             }
         }
@@ -160,9 +163,7 @@ impl Lexer {
         let mut s = String::new();
         loop {
             match self.bump() {
-                None | Some('\n') => {
-                    return Err(LangError::lex(line, "unterminated text literal"))
-                }
+                None | Some('\n') => return Err(LangError::lex(line, "unterminated text literal")),
                 Some('"') => break,
                 Some('\\') => match self.bump() {
                     Some('n') => s.push('\n'),
@@ -372,10 +373,10 @@ mod tests {
 
     #[test]
     fn plain_comments_are_skipped() {
-        assert_eq!(toks("1 (* a comment (* nested *) done *) 2"), vec![
-            Token::Int(1),
-            Token::Int(2)
-        ]);
+        assert_eq!(
+            toks("1 (* a comment (* nested *) done *) 2"),
+            vec![Token::Int(1), Token::Int(2)]
+        );
     }
 
     #[test]

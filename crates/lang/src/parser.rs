@@ -58,10 +58,7 @@ impl Parser {
         if self.eat(t) {
             Ok(())
         } else {
-            Err(self.err(format!(
-                "expected `{t}`, found {}",
-                self.describe_current()
-            )))
+            Err(self.err(format!("expected `{t}`, found {}", self.describe_current())))
         }
     }
 
@@ -108,9 +105,8 @@ impl Parser {
                         _ => unreachable!(),
                     };
                     if !matches!(pragma, Pragma::Cached(..)) {
-                        return Err(self.err(
-                            "only a (*CACHED*) pragma may precede a top-level declaration",
-                        ));
+                        return Err(self
+                            .err("only a (*CACHED*) pragma may precede a top-level declaration"));
                     }
                     if self.peek() != Some(&Token::Procedure) {
                         return Err(self.err("expected PROCEDURE after (*CACHED*) pragma"));
@@ -424,10 +420,12 @@ impl Parser {
                 // Assignment or call statement: parse a postfix expression.
                 let e = self.expr()?;
                 if self.eat(&Token::Assign) {
-                    if !matches!(e, Expr::Var { .. } | Expr::Field { .. } | Expr::Index { .. }) {
-                        return Err(self.err(
-                            "assignment target must be a variable, field or array element",
-                        ));
+                    if !matches!(
+                        e,
+                        Expr::Var { .. } | Expr::Field { .. } | Expr::Index { .. }
+                    ) {
+                        return Err(self
+                            .err("assignment target must be a variable, field or array element"));
                     }
                     let value = self.expr()?;
                     self.expect(&Token::Semi)?;
@@ -787,7 +785,10 @@ mod tests {
             BEGIN RETURN 0 END HeightNil;
         "#;
         // Statement lists require semicolons after RETURN; add them.
-        let src = src.replace("+ 1\n            END Height", "+ 1;\n            END Height");
+        let src = src.replace(
+            "+ 1\n            END Height",
+            "+ 1;\n            END Height",
+        );
         let src = src.replace("RETURN 0 END", "RETURN 0; END");
         let m = parse(&src).unwrap();
         assert_eq!(m.decls.len(), 4);
@@ -857,7 +858,9 @@ mod tests {
                 assert!(matches!(p.body[0], Stmt::For { .. }));
                 assert!(matches!(p.body[1], Stmt::While { .. }));
                 match &p.body[2] {
-                    Stmt::If { arms, else_body, .. } => {
+                    Stmt::If {
+                        arms, else_body, ..
+                    } => {
                         assert_eq!(arms.len(), 2);
                         assert_eq!(else_body.len(), 1);
                     }
@@ -923,7 +926,11 @@ mod tests {
         let m = parse(src).unwrap();
         match &m.decls[0] {
             Decl::Global(g) => match g.init.as_ref().unwrap() {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("unexpected {other:?}"),
@@ -956,11 +963,17 @@ mod tests {
             Decl::Proc(p) => {
                 assert!(matches!(
                     p.body[0],
-                    Stmt::Assign { value: Expr::NewArray { .. }, .. }
+                    Stmt::Assign {
+                        value: Expr::NewArray { .. },
+                        ..
+                    }
                 ));
                 assert!(matches!(
                     p.body[1],
-                    Stmt::Assign { target: Expr::Index { .. }, .. }
+                    Stmt::Assign {
+                        target: Expr::Index { .. },
+                        ..
+                    }
                 ));
             }
             other => panic!("expected proc, got {other:?}"),

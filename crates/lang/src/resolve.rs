@@ -45,7 +45,10 @@ impl ETy {
             ETy::Known(Ty::Text) => "TEXT".to_string(),
             ETy::Known(Ty::Object(t)) => prog.types[*t].name.clone(),
             ETy::Known(Ty::Array(a)) => {
-                format!("ARRAY OF {}", ETy::Known(prog.array_elems[*a]).describe(prog))
+                format!(
+                    "ARRAY OF {}",
+                    ETy::Known(prog.array_elems[*a]).describe(prog)
+                )
             }
         }
     }
@@ -97,10 +100,7 @@ impl Resolver {
         for decl in &module.decls {
             if let ast::Decl::Type(t) = decl {
                 if self.prog.type_by_name.contains_key(&t.name) {
-                    return Err(LangError::resolve(format!(
-                        "duplicate type {}",
-                        t.name
-                    )));
+                    return Err(LangError::resolve(format!("duplicate type {}", t.name)));
                 }
                 let id = self.prog.types.len();
                 self.prog.types.push(TypeInfo {
@@ -231,7 +231,10 @@ impl Resolver {
             )));
         }
         if self.prog.proc_by_name.contains_key(&p.name) {
-            return Err(LangError::resolve(format!("duplicate procedure {}", p.name)));
+            return Err(LangError::resolve(format!(
+                "duplicate procedure {}",
+                p.name
+            )));
         }
         let mut params = Vec::new();
         for param in &p.params {
@@ -301,7 +304,10 @@ impl Resolver {
                     )));
                 }
                 if pid == id {
-                    return Err(LangError::resolve(format!("type {} inherits itself", t.name)));
+                    return Err(LangError::resolve(format!(
+                        "type {} inherits itself",
+                        t.name
+                    )));
                 }
                 (
                     pinfo.fields.clone(),
@@ -535,7 +541,10 @@ impl Resolver {
                         } else if let Some(&idx) = self.prog.global_by_name.get(name) {
                             let ty = self.prog.globals[idx].ty;
                             self.require_assignable(vty, ty, &format!("assignment to {name}"))?;
-                            Ok(HStmt::AssignGlobal { index: idx, value: hv })
+                            Ok(HStmt::AssignGlobal {
+                                index: idx,
+                                value: hv,
+                            })
                         } else {
                             Err(LangError::resolve(format!("unknown variable {name}")))
                         }
@@ -571,8 +580,7 @@ impl Resolver {
                         })
                     }
                     _ => Err(LangError::resolve(
-                        "assignment target must be a variable, field or array element"
-                            .to_string(),
+                        "assignment target must be a variable, field or array element".to_string(),
                     )),
                 }
             }
@@ -753,7 +761,9 @@ impl Resolver {
                     .type_by_name
                     .get(type_name)
                     .copied()
-                    .ok_or_else(|| LangError::resolve(format!("NEW of unknown type {type_name}")))?;
+                    .ok_or_else(|| {
+                        LangError::resolve(format!("NEW of unknown type {type_name}"))
+                    })?;
                 Ok((HExpr::New(t), Some(ETy::Known(Ty::Object(t)))))
             }
             E::Unchecked(inner) => {
@@ -906,14 +916,14 @@ impl Resolver {
                 })?;
                 let (param_tys, ret) = {
                     let p = &self.prog.procs[pid];
-                    (
-                        p.params.iter().map(|(_, t)| *t).collect::<Vec<_>>(),
-                        p.ret,
-                    )
+                    (p.params.iter().map(|(_, t)| *t).collect::<Vec<_>>(), p.ret)
                 };
                 let hargs = self.check_args(name, &param_tys, args, ctx)?;
                 Ok((
-                    HExpr::CallProc { proc: pid, args: hargs },
+                    HExpr::CallProc {
+                        proc: pid,
+                        args: hargs,
+                    },
                     ret.map(ETy::Known),
                 ))
             }
@@ -986,7 +996,13 @@ impl Resolver {
             }
             hargs.push(ha);
         }
-        Ok((HExpr::CallBuiltin { builtin: b, args: hargs }, ret))
+        Ok((
+            HExpr::CallBuiltin {
+                builtin: b,
+                args: hargs,
+            },
+            ret,
+        ))
     }
 
     fn check_args(
@@ -1127,7 +1143,8 @@ mod tests {
 
     #[test]
     fn maintained_override_consistency_is_enforced() {
-        let e = fails(r#"
+        let e = fails(
+            r#"
             TYPE A = OBJECT
             METHODS
                 (*MAINTAINED*) m() : INTEGER := M1;
@@ -1138,19 +1155,22 @@ mod tests {
             END;
             PROCEDURE M1(a : A) : INTEGER = BEGIN RETURN 1; END M1;
             PROCEDURE M2(b : B) : INTEGER = BEGIN RETURN 2; END M2;
-        "#);
+        "#,
+        );
         assert!(matches!(e, LangError::Resolve { .. }), "{e}");
     }
 
     #[test]
     fn method_signature_mismatch_is_an_error() {
-        let e = fails(r#"
+        let e = fails(
+            r#"
             TYPE A = OBJECT
             METHODS
                 m(x : INTEGER) : INTEGER := M1;
             END;
             PROCEDURE M1(a : A) : INTEGER = BEGIN RETURN 1; END M1;
-        "#);
+        "#,
+        );
         assert!(matches!(e, LangError::Type { .. }));
     }
 
@@ -1178,10 +1198,12 @@ mod tests {
 
     #[test]
     fn supertype_must_be_declared_first() {
-        let e = fails(r#"
+        let e = fails(
+            r#"
             TYPE B = A OBJECT END;
             TYPE A = OBJECT END;
-        "#);
+        "#,
+        );
         assert!(matches!(e, LangError::Resolve { .. }));
     }
 
@@ -1221,11 +1243,15 @@ mod tests {
 
     #[test]
     fn array_type_errors() {
-        let e = fails("VAR a : ARRAY OF INTEGER; VAR b : ARRAY OF TEXT;
-                       PROCEDURE F() = BEGIN a := b; END F;");
+        let e = fails(
+            "VAR a : ARRAY OF INTEGER; VAR b : ARRAY OF TEXT;
+                       PROCEDURE F() = BEGIN a := b; END F;",
+        );
         assert!(matches!(e, LangError::Type { .. }));
-        let e = fails("VAR a : ARRAY OF INTEGER;
-                       PROCEDURE F() : INTEGER = BEGIN RETURN a[TRUE]; END F;");
+        let e = fails(
+            "VAR a : ARRAY OF INTEGER;
+                       PROCEDURE F() : INTEGER = BEGIN RETURN a[TRUE]; END F;",
+        );
         assert!(matches!(e, LangError::Type { .. }));
         let e = fails("PROCEDURE F(x : INTEGER) : INTEGER = BEGIN RETURN x[0]; END F;");
         assert!(matches!(e, LangError::Type { .. }));

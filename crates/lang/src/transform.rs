@@ -142,9 +142,9 @@ impl Transformer<'_> {
         match &self.instr {
             None => true,
             Some(_) => self.program.types.iter().any(|t| {
-                t.methods
-                    .iter()
-                    .any(|m| m.name == name && self.program.procs[m.impl_proc].incremental.is_some())
+                t.methods.iter().any(|m| {
+                    m.name == name && self.program.procs[m.impl_proc].incremental.is_some()
+                })
             }),
         }
     }
@@ -185,7 +185,7 @@ impl Transformer<'_> {
             ret: p.ret.clone(),
             locals,
             body,
-        line: p.line,
+            line: p.line,
         }
     }
 

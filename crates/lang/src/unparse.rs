@@ -31,9 +31,7 @@ fn pragma_str(p: &Pragma) -> String {
     match p {
         Pragma::Maintained(s) => format!("(*MAINTAINED{}*)", strat(s)),
         Pragma::Cached(s, capacity) => {
-            let cap = capacity
-                .map(|c| format!(" LRU {c}"))
-                .unwrap_or_default();
+            let cap = capacity.map(|c| format!(" LRU {c}")).unwrap_or_default();
             format!("(*CACHED{}{cap}*)", strat(s))
         }
         Pragma::Unchecked => "(*UNCHECKED*)".to_string(),
@@ -116,7 +114,10 @@ impl Printer {
                     .as_ref()
                     .map(|t| format!(" : {}", type_str(t)))
                     .unwrap_or_default();
-                self.line(&format!("{pragma}{}{params}{ret} := {};", m.name, m.impl_proc));
+                self.line(&format!(
+                    "{pragma}{}{params}{ret} := {};",
+                    m.name, m.impl_proc
+                ));
             }
             self.indent -= 1;
         }
@@ -293,9 +294,7 @@ pub fn expr_str(e: &Expr) -> String {
             UnOp::Neg => format!("-{}", paren(expr)),
             UnOp::Not => format!("NOT {}", paren(expr)),
         },
-        Expr::Binary { op, lhs, rhs } =>
-
-            format!("{} {} {}", paren(lhs), bin_str(*op), paren(rhs)),
+        Expr::Binary { op, lhs, rhs } => format!("{} {} {}", paren(lhs), bin_str(*op), paren(rhs)),
         Expr::Unchecked(inner) => format!("(*UNCHECKED*) {}", paren(inner)),
     }
 }

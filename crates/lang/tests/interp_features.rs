@@ -40,10 +40,22 @@ fn loops_and_arithmetic() {
         END Collatz;
     "#;
     for interp in both(src) {
-        assert_eq!(interp.call("SumTo", vec![Val::Int(100)]).unwrap(), Val::Int(5050));
-        assert_eq!(interp.call("SumTo", vec![Val::Int(0)]).unwrap(), Val::Int(0));
-        assert_eq!(interp.call("CountDown", vec![Val::Int(5)]).unwrap(), Val::Int(5));
-        assert_eq!(interp.call("Collatz", vec![Val::Int(27)]).unwrap(), Val::Int(111));
+        assert_eq!(
+            interp.call("SumTo", vec![Val::Int(100)]).unwrap(),
+            Val::Int(5050)
+        );
+        assert_eq!(
+            interp.call("SumTo", vec![Val::Int(0)]).unwrap(),
+            Val::Int(0)
+        );
+        assert_eq!(
+            interp.call("CountDown", vec![Val::Int(5)]).unwrap(),
+            Val::Int(5)
+        );
+        assert_eq!(
+            interp.call("Collatz", vec![Val::Int(27)]).unwrap(),
+            Val::Int(111)
+        );
     }
 }
 
@@ -185,7 +197,10 @@ fn runtime_errors_are_reported() {
         BEGIN WHILE TRUE DO END; END Spin;
     "#;
     for interp in both(src) {
-        assert_eq!(interp.call("DivBy", vec![Val::Int(4)]).unwrap(), Val::Int(25));
+        assert_eq!(
+            interp.call("DivBy", vec![Val::Int(4)]).unwrap(),
+            Val::Int(25)
+        );
         assert!(matches!(
             interp.call("DivBy", vec![Val::Int(0)]),
             Err(LangError::Runtime { .. })
@@ -381,10 +396,7 @@ fn new_static_rejections() {
     // Duplicate parameter names.
     assert!(compile("PROCEDURE F(x : INTEGER; x : INTEGER) = BEGIN RETURN; END F;").is_err());
     // Local duplicating a parameter.
-    assert!(compile(
-        "PROCEDURE F(x : INTEGER) = VAR x : INTEGER; BEGIN RETURN; END F;"
-    )
-    .is_err());
+    assert!(compile("PROCEDURE F(x : INTEGER) = VAR x : INTEGER; BEGIN RETURN; END F;").is_err());
     // Builtin name collision.
     assert!(compile("PROCEDURE MAX(a : INTEGER) : INTEGER = BEGIN RETURN a; END MAX;").is_err());
     // Forward reference in a global initializer.
@@ -392,10 +404,7 @@ fn new_static_rejections() {
     // Backward reference is fine.
     assert!(compile("VAR b : INTEGER := 10; VAR a : INTEGER := b + 1;").is_ok());
     // FOR variable is read-only.
-    assert!(compile(
-        "PROCEDURE F() = BEGIN FOR i := 1 TO 3 DO i := 5; END; END F;"
-    )
-    .is_err());
+    assert!(compile("PROCEDURE F() = BEGIN FOR i := 1 TO 3 DO i := 5; END; END F;").is_err());
     // Mismatched END trailer is diagnosed by name.
     let err = compile("PROCEDURE Foo() = BEGIN RETURN; END Fo0;").unwrap_err();
     assert!(err.to_string().contains("does not match"), "{err}");

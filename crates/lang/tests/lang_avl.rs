@@ -184,7 +184,10 @@ fn sorted_insertions_self_balance() {
     assert_eq!(interp.call("Size", vec![]).unwrap(), Val::Int(64));
     let h = interp.call("RootHeight", vec![]).unwrap();
     match h {
-        Val::Int(h) => assert!(h <= 8, "64 sorted keys must balance to height <= 8, got {h}"),
+        Val::Int(h) => assert!(
+            h <= 8,
+            "64 sorted keys must balance to height <= 8, got {h}"
+        ),
         other => panic!("unexpected {other:?}"),
     }
     for k in [0i64, 31, 63] {

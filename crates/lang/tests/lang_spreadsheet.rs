@@ -236,9 +236,7 @@ fn conventional_and_alphonse_agree_on_random_sheets() {
     for interp in [&conv, &alph] {
         for x in 0..3i64 {
             for y in 0..3i64 {
-                let v = interp
-                    .call("MakeInt", vec![Val::Int(x * 10 + y)])
-                    .unwrap();
+                let v = interp.call("MakeInt", vec![Val::Int(x * 10 + y)]).unwrap();
                 interp
                     .call("SetFunc", vec![Val::Int(x), Val::Int(y), v])
                     .unwrap();
@@ -260,8 +258,10 @@ fn conventional_and_alphonse_agree_on_random_sheets() {
     for x in 0..3i64 {
         for y in 0..3i64 {
             assert_eq!(
-                conv.call("ValueAt", vec![Val::Int(x), Val::Int(y)]).unwrap(),
-                alph.call("ValueAt", vec![Val::Int(x), Val::Int(y)]).unwrap(),
+                conv.call("ValueAt", vec![Val::Int(x), Val::Int(y)])
+                    .unwrap(),
+                alph.call("ValueAt", vec![Val::Int(x), Val::Int(y)])
+                    .unwrap(),
                 "cell ({x},{y}) diverged"
             );
         }

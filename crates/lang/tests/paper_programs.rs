@@ -157,8 +157,14 @@ fn cached_fib_is_linear_conventional_is_exponential() {
     let program = compile(FIB).unwrap();
     let alph = Interp::new(program.clone(), Mode::Alphonse).unwrap();
     let conv = Interp::new(program, Mode::Conventional).unwrap();
-    assert_eq!(alph.call("Fib", vec![Val::Int(25)]).unwrap(), Val::Int(75025));
-    assert_eq!(conv.call("Fib", vec![Val::Int(25)]).unwrap(), Val::Int(75025));
+    assert_eq!(
+        alph.call("Fib", vec![Val::Int(25)]).unwrap(),
+        Val::Int(75025)
+    );
+    assert_eq!(
+        conv.call("Fib", vec![Val::Int(25)]).unwrap(),
+        Val::Int(75025)
+    );
     // Function caching turns the call tree into a chain.
     let rt = alph.runtime().unwrap();
     assert_eq!(rt.stats().executions, 26);
@@ -185,12 +191,21 @@ const NON_COMBINATOR: &str = r#"
 fn cached_procedures_may_read_global_state() {
     let program = compile(NON_COMBINATOR).unwrap();
     let interp = Interp::new(program, Mode::Alphonse).unwrap();
-    assert_eq!(interp.call("Scaled", vec![Val::Int(3)]).unwrap(), Val::Int(21));
-    assert_eq!(interp.call("Scaled", vec![Val::Int(3)]).unwrap(), Val::Int(21));
+    assert_eq!(
+        interp.call("Scaled", vec![Val::Int(3)]).unwrap(),
+        Val::Int(21)
+    );
+    assert_eq!(
+        interp.call("Scaled", vec![Val::Int(3)]).unwrap(),
+        Val::Int(21)
+    );
     let rt = interp.runtime().unwrap().clone();
     assert_eq!(rt.stats().executions, 1, "second call is a pure hit");
     interp.set_global("rate", Val::Int(10)).unwrap();
-    assert_eq!(interp.call("Scaled", vec![Val::Int(3)]).unwrap(), Val::Int(30));
+    assert_eq!(
+        interp.call("Scaled", vec![Val::Int(3)]).unwrap(),
+        Val::Int(30)
+    );
 }
 
 /// Section 6.4: `(*UNCHECKED*)` removes dependencies by programmer fiat.
@@ -209,11 +224,20 @@ fn unchecked_reads_do_not_invalidate_lang() {
     let interp = Interp::new(program, Mode::Alphonse).unwrap();
     interp.set_global("stable", Val::Int(1)).unwrap();
     interp.set_global("probe", Val::Int(100)).unwrap();
-    assert_eq!(interp.call("Mixed", vec![Val::Int(0)]).unwrap(), Val::Int(101));
+    assert_eq!(
+        interp.call("Mixed", vec![Val::Int(0)]).unwrap(),
+        Val::Int(101)
+    );
     // probe changes are invisible (stale by design)…
     interp.set_global("probe", Val::Int(999)).unwrap();
-    assert_eq!(interp.call("Mixed", vec![Val::Int(0)]).unwrap(), Val::Int(101));
+    assert_eq!(
+        interp.call("Mixed", vec![Val::Int(0)]).unwrap(),
+        Val::Int(101)
+    );
     // …until a tracked dependency changes.
     interp.set_global("stable", Val::Int(2)).unwrap();
-    assert_eq!(interp.call("Mixed", vec![Val::Int(0)]).unwrap(), Val::Int(1001));
+    assert_eq!(
+        interp.call("Mixed", vec![Val::Int(0)]).unwrap(),
+        Val::Int(1001)
+    );
 }

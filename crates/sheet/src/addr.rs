@@ -110,7 +110,11 @@ mod tests {
         assert_eq!("Z9".parse::<Addr>().unwrap(), Addr::new(25, 8));
         assert_eq!("AA1".parse::<Addr>().unwrap(), Addr::new(26, 0));
         assert_eq!("AB10".parse::<Addr>().unwrap(), Addr::new(27, 9));
-        assert_eq!("b2".parse::<Addr>().unwrap(), Addr::new(1, 1), "case-insensitive");
+        assert_eq!(
+            "b2".parse::<Addr>().unwrap(),
+            Addr::new(1, 1),
+            "case-insensitive"
+        );
     }
 
     #[test]

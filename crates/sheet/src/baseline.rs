@@ -44,17 +44,13 @@ impl RecalcSheet {
         RecalcSheet {
             width,
             height,
-            formulas: RefCell::new(vec![
-                Formula::Num(0);
-                width as usize * height as usize
-            ]),
+            formulas: RefCell::new(vec![Formula::Num(0); width as usize * height as usize]),
             evaluations: Cell::new(0),
         }
     }
 
     fn index(&self, a: Addr) -> Option<usize> {
-        (a.col < self.width && a.row < self.height)
-            .then(|| (a.row * self.width + a.col) as usize)
+        (a.col < self.width && a.row < self.height).then(|| (a.row * self.width + a.col) as usize)
     }
 
     /// Sets a cell from source text.
@@ -66,7 +62,9 @@ impl RecalcSheet {
     pub fn set(&self, addr: &str, src: &str) -> Result<(), String> {
         let addr: Addr = addr.parse().map_err(|e| format!("{e}"))?;
         let f = crate::formula::parse_formula(src)?;
-        let idx = self.index(addr).ok_or_else(|| format!("{addr} out of bounds"))?;
+        let idx = self
+            .index(addr)
+            .ok_or_else(|| format!("{addr} out of bounds"))?;
         self.formulas.borrow_mut()[idx] = f;
         Ok(())
     }

@@ -306,17 +306,16 @@ mod tests {
     fn parses_numbers_and_refs() {
         assert_eq!(parse_formula("42").unwrap(), Formula::Num(42));
         assert_eq!(parse_formula(" -7 ").unwrap(), Formula::Num(-7));
-        assert_eq!(
-            parse_formula("=B2").unwrap(),
-            Formula::Ref(Addr::new(1, 1))
-        );
+        assert_eq!(parse_formula("=B2").unwrap(), Formula::Ref(Addr::new(1, 1)));
     }
 
     #[test]
     fn precedence_and_parens() {
         let f = parse_formula("=1+2*3").unwrap();
         match f {
-            Formula::Bin { op: Op::Add, rhs, .. } => {
+            Formula::Bin {
+                op: Op::Add, rhs, ..
+            } => {
                 assert!(matches!(&*rhs, Formula::Bin { op: Op::Mul, .. }));
             }
             other => panic!("unexpected {other:?}"),

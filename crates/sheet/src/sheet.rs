@@ -48,8 +48,7 @@ struct Cells {
 
 impl Cells {
     fn index(&self, a: Addr) -> Option<usize> {
-        (a.col < self.width && a.row < self.height)
-            .then(|| (a.row * self.width + a.col) as usize)
+        (a.col < self.width && a.row < self.height).then(|| (a.row * self.width + a.col) as usize)
     }
 }
 
@@ -168,11 +167,16 @@ impl Sheet {
             if !visited.insert(a) {
                 continue;
             }
-            let cells = self.cells.borrow();
-            if let Some(i) = cells.index(a) {
-                // Untracked peek: cycle checking is mutator bookkeeping.
-                let f = cells.formulas[i].get_untracked(&self.rt);
-                work.extend(f.references());
+            let var = {
+                let cells = self.cells.borrow();
+                cells.index(a).map(|i| cells.formulas[i])
+            };
+            if let Some(var) = var {
+                // Untracked peek at the references, in place: cycle checking
+                // is mutator bookkeeping, and cloning the whole formula per
+                // visited cell would make every edit pay for it.
+                let refs = self.rt.untracked(|| var.with(&self.rt, |f| f.references()));
+                work.extend(refs);
             }
         }
         Ok(())
@@ -208,10 +212,7 @@ impl Sheet {
 }
 
 /// Evaluates a formula, resolving references through `deref`.
-pub(crate) fn eval_formula(
-    f: &Formula,
-    deref: &mut impl FnMut(Addr) -> CellValue,
-) -> CellValue {
+pub(crate) fn eval_formula(f: &Formula, deref: &mut impl FnMut(Addr) -> CellValue) -> CellValue {
     match f {
         Formula::Num(v) => CellValue::Num(*v),
         Formula::Ref(a) => deref(*a),

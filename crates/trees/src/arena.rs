@@ -120,17 +120,19 @@ impl TreeStore {
 
     /// Reads `n.key` (tracked when inside a maintained method).
     pub fn key(&self, n: NodeRef) -> i64 {
-        self.field(n, "key", |f| f.key).get(&self.rt)
+        // Borrow-based read: these field loads are the hottest operation in
+        // every tree experiment, so copy the scalar out in place.
+        self.field(n, "key", |f| f.key).with(&self.rt, |&k| k)
     }
 
     /// Reads `n.left` (tracked when inside a maintained method).
     pub fn left(&self, n: NodeRef) -> NodeRef {
-        self.field(n, "left", |f| f.left).get(&self.rt)
+        self.field(n, "left", |f| f.left).with(&self.rt, |&c| c)
     }
 
     /// Reads `n.right` (tracked when inside a maintained method).
     pub fn right(&self, n: NodeRef) -> NodeRef {
-        self.field(n, "right", |f| f.right).get(&self.rt)
+        self.field(n, "right", |f| f.right).with(&self.rt, |&c| c)
     }
 
     /// Writes `n.left`.

@@ -426,7 +426,9 @@ mod tests {
         // Deterministic pseudo-random walk.
         let mut x: u64 = 0x243F_6A88_85A3_08D3;
         for _ in 0..400 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = (x >> 33) as i64 % 64;
             if x & 4 == 0 {
                 assert_eq!(avl.insert(key), expected.insert(key));
@@ -441,5 +443,33 @@ mod tests {
         avl.rebalance();
         assert!(avl.is_avl());
         assert_eq!(avl.keys(), expected.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reentrant_balance_keeps_edge_dedup_sound() {
+        // `avl_balance` re-enters itself after a rotation (it calls the memo
+        // on the rotated root while the original execution is still on the
+        // stack), so its frames exercise the epoch-stamp overflow path: the
+        // inner frame restamps nodes the superseded outer frame already
+        // recorded, and popping it must restore those stamps. If restoration
+        // broke, the enclosing frames would either drop edges (stale results
+        // after mutations) or duplicate them. Sorted insertion maximizes
+        // rotations.
+        let rt = Runtime::new();
+        let mut avl = MaintainedAvl::new(&rt);
+        for k in 0..128 {
+            avl.insert(k);
+            avl.rebalance();
+            assert!(avl.is_avl());
+        }
+        assert!(rt.stats().dedup_hits > 0, "rotations revisit fields");
+        // Edges recorded across re-entrant executions must still trigger
+        // recomputation: mutate a deep key and check the tree heals.
+        assert!(avl.remove(0));
+        assert!(avl.remove(1));
+        avl.rebalance();
+        assert!(avl.is_avl());
+        assert!(avl.is_bst());
+        assert_eq!(avl.keys(), (2..128).collect::<Vec<_>>());
     }
 }

@@ -7,9 +7,7 @@
 //! is not tied to one language.
 
 use alphonse::Runtime;
-use alphonse_agkit::{
-    parse_let, AgEvaluator, AgTree, AttrVal, ExhaustiveAg, Grammar, LetLang,
-};
+use alphonse_agkit::{parse_let, AgEvaluator, AgTree, AttrVal, ExhaustiveAg, Grammar, LetLang};
 use std::rc::Rc;
 
 fn main() {

@@ -7,9 +7,7 @@
 //! then executes a maintained-height program under both execution models
 //! and compares the work.
 
-use alphonse_lang::{
-    compile, parse, transform, unparse, Interp, Mode, TransformOptions, Val,
-};
+use alphonse_lang::{compile, parse, transform, unparse, Interp, Mode, TransformOptions, Val};
 use std::rc::Rc;
 
 const ALG2: &str = r#"

@@ -18,7 +18,9 @@ fn main() {
     let sheet = Sheet::new(&rt, W, H);
     let interactive = std::env::args().any(|a| a == "--repl");
     if interactive {
-        println!("alphonse spreadsheet ({W}x{H}) — `A1 = =B2+1`, `print A1`, `show`, `stats`, `quit`");
+        println!(
+            "alphonse spreadsheet ({W}x{H}) — `A1 = =B2+1`, `print A1`, `show`, `stats`, `quit`"
+        );
         let stdin = io::stdin();
         loop {
             print!("> ");

@@ -15,7 +15,9 @@ fn claim_repeat_queries_are_constant_time() {
     for n in [128usize, 1024] {
         let rt = Runtime::new();
         let tree = MaintainedTree::new(&rt);
-        let root = tree.store().build_balanced(&(0..n as i64).collect::<Vec<_>>());
+        let root = tree
+            .store()
+            .build_balanced(&(0..n as i64).collect::<Vec<_>>());
         tree.height(root);
         let before = rt.stats();
         for _ in 0..20 {
@@ -117,7 +119,9 @@ fn claim_space_scales_linearly_for_trees() {
     for n in [256usize, 2048] {
         let rt = Runtime::new();
         let tree = MaintainedTree::new(&rt);
-        let root = tree.store().build_balanced(&(0..n as i64).collect::<Vec<_>>());
+        let root = tree
+            .store()
+            .build_balanced(&(0..n as i64).collect::<Vec<_>>());
         tree.height(root);
         per_node.push(rt.edge_count() as f64 / n as f64);
     }
