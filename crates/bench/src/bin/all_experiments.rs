@@ -1,20 +1,26 @@
 //! Prints every experiment table in order (regenerates EXPERIMENTS.md data).
 //!
-//! Usage: `all_experiments [--json] [e2 e7 ...]`
+//! Usage: `all_experiments [--json] [--quick] [e2 e7 ...]`
 //!
 //! With `--json`, each table is additionally written to `BENCH_<ID>.json`
 //! in the current directory so future changes have a machine-readable perf
-//! trajectory to diff against. Positional arguments select a subset of
-//! experiments by id (case-insensitive), e.g. `all_experiments --json e2`.
+//! trajectory to diff against. With `--quick`, every experiment runs on a
+//! reduced parameter set (CI smoke mode — same columns, smaller sizes).
+//! Positional arguments select a subset of experiments by id
+//! (case-insensitive), e.g. `all_experiments --json e2`.
 use alphonse_bench::experiments as ex;
 use alphonse_bench::table::Table;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
-    if let Some(unknown) = args.iter().find(|a| a.starts_with("--") && *a != "--json") {
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| a.starts_with("--") && *a != "--json" && *a != "--quick")
+    {
         eprintln!("unknown flag: {unknown}");
-        eprintln!("usage: all_experiments [--json] [e2 e7 ...]");
+        eprintln!("usage: all_experiments [--json] [--quick] [e2 e7 ...]");
         std::process::exit(2);
     }
     let filter: Vec<String> = args
@@ -23,20 +29,56 @@ fn main() {
         .map(|a| a.to_ascii_lowercase())
         .collect();
 
-    type Entry = (&'static str, fn() -> Table);
+    // Each entry takes the quick flag and picks its parameter set.
+    type Entry = (&'static str, fn(bool) -> Table);
     let experiments: &[Entry] = &[
-        ("E1", || ex::e1_height_tree(&[64, 256, 1024, 4096])),
-        ("E2", || ex::e2_overhead(&[4, 6, 8])),
-        ("E3", || ex::e3_space(&[16, 64, 256, 1024])),
-        ("E4", || ex::e4_partition(&[8, 64, 512])),
-        ("E5", || ex::e5_unchecked(&[255, 1023, 4095])),
-        ("E6_SHEET", || ex::e6_sheet(&[16, 64, 256])),
-        ("E6_AG", || ex::e6_ag(&[8, 12, 16, 20])),
-        ("E7", || ex::e7_avl(&[256, 1024, 4096])),
-        ("E8", || ex::e8_noncombinator(&[16, 128, 1024])),
-        ("E9", || ex::e9_schedule(&[8, 32, 128, 512])),
-        ("E10", || ex::e10_strategy(&[16, 64, 256])),
-        ("E12", || ex::e12_cache_capacity(&[8, 32, 128, 256])),
+        ("E1", |q| {
+            ex::e1_height_tree(if q {
+                &[64, 256]
+            } else {
+                &[64, 256, 1024, 4096]
+            })
+        }),
+        ("E2", |q| {
+            ex::e2_overhead(if q { &[4, 6] } else { &[4, 6, 8] })
+        }),
+        ("E3", |q| {
+            ex::e3_space(if q { &[16, 64] } else { &[16, 64, 256, 1024] })
+        }),
+        ("E4", |q| {
+            ex::e4_partition(if q { &[8, 64] } else { &[8, 64, 512] })
+        }),
+        ("E5", |q| {
+            ex::e5_unchecked(if q { &[255] } else { &[255, 1023, 4095] })
+        }),
+        ("E6_SHEET", |q| {
+            ex::e6_sheet(if q { &[16, 64] } else { &[16, 64, 256] })
+        }),
+        ("E6_AG", |q| {
+            ex::e6_ag(if q { &[8, 12] } else { &[8, 12, 16, 20] })
+        }),
+        ("E7", |q| {
+            ex::e7_avl(if q { &[256] } else { &[256, 1024, 4096] })
+        }),
+        ("E8", |q| {
+            ex::e8_noncombinator(if q { &[16, 128] } else { &[16, 128, 1024] })
+        }),
+        ("E9", |q| {
+            ex::e9_schedule(if q { &[8, 32] } else { &[8, 32, 128, 512] })
+        }),
+        ("E10", |q| {
+            ex::e10_strategy(if q { &[16, 64] } else { &[16, 64, 256] })
+        }),
+        ("E12", |q| {
+            ex::e12_cache_capacity(if q { &[8, 32] } else { &[8, 32, 128, 256] })
+        }),
+        ("E13", |q| {
+            ex::e13_bulk_edits(if q {
+                &[1, 16, 256]
+            } else {
+                &[1, 16, 256, 4096]
+            })
+        }),
     ];
 
     let mut first = true;
@@ -46,7 +88,7 @@ fn main() {
             continue;
         }
         matched = true;
-        let table = build();
+        let table = build(quick);
         if !first {
             println!();
         }

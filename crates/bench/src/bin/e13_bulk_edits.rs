@@ -1,0 +1,7 @@
+//! Prints the E13 table (bulk edits: `Var::set` vs `Runtime::batch`).
+fn main() {
+    print!(
+        "{}",
+        alphonse_bench::experiments::e13_bulk_edits(&[1, 16, 256, 4096])
+    );
+}

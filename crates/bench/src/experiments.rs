@@ -1,4 +1,4 @@
-//! The ten experiments reproducing the paper's quantitative claims.
+//! The experiments reproducing the paper's quantitative claims.
 //!
 //! Every function returns a [`Table`] of machine-independent work counters;
 //! the `eN_*` binaries print them and EXPERIMENTS.md records the comparison
@@ -594,10 +594,17 @@ pub fn e8_noncombinator(table_sizes: &[usize]) -> Table {
 pub fn e9_schedule(depths: &[usize]) -> Table {
     let mut t = Table::new(
         "E9 — propagation order (§4.5): eager re-executions per change wave",
-        &["ladder_depth", "height_order_exec", "fifo_exec", "ratio"],
+        &[
+            "ladder_depth",
+            "height_order_exec",
+            "fifo_exec",
+            "ratio",
+            "height_us/wave",
+            "fifo_us/wave",
+        ],
     );
     for &d in depths {
-        let run = |mode: Scheduling| -> u64 {
+        let run = |mode: Scheduling| -> (u64, f64) {
             let rt = Runtime::builder().scheduling(mode).build();
             let src = rt.var(1i64);
             // Ladder: level i reads level i-1 AND the source directly, with
@@ -613,17 +620,21 @@ pub fn e9_schedule(depths: &[usize]) -> Table {
                 prev = m;
             }
             let before = rt.stats();
+            let start = Instant::now();
             src.set(&rt, 2);
             rt.propagate();
-            rt.stats().delta_since(&before).executions
+            let us = start.elapsed().as_secs_f64() * 1e6;
+            (rt.stats().delta_since(&before).executions, us)
         };
-        let h = run(Scheduling::HeightOrder);
-        let f = run(Scheduling::Fifo);
+        let (h, h_us) = run(Scheduling::HeightOrder);
+        let (f, f_us) = run(Scheduling::Fifo);
         t.row_strings(vec![
             d.to_string(),
             h.to_string(),
             f.to_string(),
             format!("{:.2}x", f as f64 / h.max(1) as f64),
+            format!("{h_us:.1}"),
+            format!("{f_us:.1}"),
         ]);
     }
     t
@@ -778,6 +789,152 @@ pub fn e12_cache_capacity(capacities: &[usize]) -> Table {
             f.evictions().to_string(),
             format!("{:.1}%", 100.0 * s.cache_hits as f64 / s.calls as f64),
         ]);
+    }
+    t
+}
+
+/// E13: bulk edits — k random leaf writes per wave over a 64-leaf
+/// reduction grid, issued one `Var::set` at a time vs one `Runtime::batch`
+/// transaction, under both drain orders. Both arms propagate once per
+/// wave, so their propagation work is identical by construction and the
+/// write-phase timing (`*_wr_us`) isolates what the transaction buys:
+/// one runtime borrow per wave and, once k exceeds the location count
+/// (the bulk-edit regime batching exists for — repeated pastes, counters,
+/// accumulation loops), heavy coalescing — each multiply-written location
+/// gets a single cutoff comparison instead of one per write. The scratch columns show the
+/// propagation fan-out buffer reaching steady state after the first wave
+/// (equal `scratch_w1`/`scratch_final` ⇒ zero fan-out allocations after
+/// warm-up).
+pub fn e13_bulk_edits(ks: &[usize]) -> Table {
+    let mut t = Table::new(
+        "E13 — bulk edits: k random writes per wave, Var::set vs Runtime::batch",
+        &[
+            "k",
+            "sched",
+            "set_wr_us",
+            "batch_wr_us",
+            "wr_speedup",
+            "set_us/wave",
+            "batch_us/wave",
+            "speedup",
+            "coalesced",
+            "set_dirtied",
+            "batch_dirtied",
+            "scratch_w1",
+            "scratch_final",
+        ],
+    );
+    const LEAVES: usize = 64;
+    const GROUP: usize = 8;
+    for &k in ks {
+        let waves_n = (4096 / k.max(1)).clamp(4, 64);
+        for sched in [Scheduling::HeightOrder, Scheduling::Fifo] {
+            // Pre-generate the edit stream once so both arms replay the
+            // identical writes.
+            let mut r = workloads::rng(13 + k as u64);
+            let edit_waves: Vec<Vec<(usize, i64)>> = (0..waves_n)
+                .map(|_| {
+                    (0..k)
+                        .map(|_| (r.gen_range(0..LEAVES), r.gen_range(0..16i64)))
+                        .collect()
+                })
+                .collect();
+            // Runs one arm once: returns (write-phase us/wave, total
+            // us/wave, stats delta, scratch hwm after wave 1, scratch hwm at
+            // the end).
+            let run_once = |batched: bool| {
+                let rt = Runtime::builder().scheduling(sched).build();
+                let vars: Vec<_> = (0..LEAVES).map(|i| rt.var(i as i64)).collect();
+                let groups: Vec<_> = vars
+                    .chunks(GROUP)
+                    .enumerate()
+                    .map(|(g, chunk)| {
+                        let chunk = chunk.to_vec();
+                        rt.memo_with(
+                            &format!("group{g}"),
+                            Strategy::Eager,
+                            move |rt, &(): &()| chunk.iter().map(|v| v.get(rt)).sum::<i64>(),
+                        )
+                    })
+                    .collect();
+                let gs = groups.clone();
+                let total = rt.memo_with("total", Strategy::Eager, move |rt, &(): &()| {
+                    gs.iter().map(|g| g.call(rt, ())).sum::<i64>()
+                });
+                total.call(&rt, ());
+                rt.propagate();
+                let before = rt.stats();
+                let mut scratch_w1 = 0u64;
+                let mut write_secs = 0.0f64;
+                let start = Instant::now();
+                for (w, wave) in edit_waves.iter().enumerate() {
+                    let wr = Instant::now();
+                    if batched {
+                        rt.batch(|tx| {
+                            for &(i, v) in wave {
+                                vars[i].set_in(tx, v);
+                            }
+                        });
+                    } else {
+                        for &(i, v) in wave {
+                            vars[i].set(&rt, v);
+                        }
+                    }
+                    write_secs += wr.elapsed().as_secs_f64();
+                    rt.propagate();
+                    if w == 0 {
+                        scratch_w1 = rt.stats().scratch_hwm;
+                    }
+                }
+                let us = start.elapsed().as_secs_f64() * 1e6 / waves_n as f64;
+                let wr_us = write_secs * 1e6 / waves_n as f64;
+                (
+                    wr_us,
+                    us,
+                    rt.stats().delta_since(&before),
+                    scratch_w1,
+                    rt.stats().scratch_hwm,
+                )
+            };
+            // Min-of-reps on a fresh fixture each time, to damp timer and
+            // allocator noise; counters are deterministic, so any rep's
+            // stats delta is representative.
+            let run = |batched: bool| {
+                let mut best = run_once(batched);
+                for _ in 1..4 {
+                    let r = run_once(batched);
+                    best.0 = if r.0 < best.0 { r.0 } else { best.0 };
+                    best.1 = if r.1 < best.1 { r.1 } else { best.1 };
+                }
+                best
+            };
+            let (set_wr_us, set_us, set_d, _, _) = run(false);
+            let (batch_wr_us, batch_us, batch_d, scratch_w1, scratch_final) = run(true);
+            // Coalescing can only shrink the propagation work (a location
+            // restored to its pre-batch value within one wave never
+            // dirties), never grow it.
+            assert!(
+                batch_d.executions <= set_d.executions,
+                "batch re-executed more than sequential: {} > {}",
+                batch_d.executions,
+                set_d.executions
+            );
+            t.row_strings(vec![
+                k.to_string(),
+                format!("{sched:?}"),
+                format!("{set_wr_us:.1}"),
+                format!("{batch_wr_us:.1}"),
+                format!("{:.2}x", set_wr_us / batch_wr_us.max(1e-9)),
+                format!("{set_us:.1}"),
+                format!("{batch_us:.1}"),
+                format!("{:.2}x", set_us / batch_us.max(1e-9)),
+                batch_d.coalesced_writes.to_string(),
+                set_d.dirtied.to_string(),
+                batch_d.dirtied.to_string(),
+                scratch_w1.to_string(),
+                scratch_final.to_string(),
+            ]);
+        }
     }
     t
 }

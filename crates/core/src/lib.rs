@@ -18,6 +18,7 @@
 //! | top-level storage location | [`Var<T>`] |
 //! | `access(v)` (Algorithm 3) | [`Var::get`] / [`Var::with`] / [`Runtime::with_value`] / [`Runtime::raw_read`] |
 //! | `modify(l, v)` (Algorithm 4) | [`Var::set`] / [`Runtime::raw_write`] |
+//! | batched `modify` sequence | [`Runtime::batch`] + [`Var::set_in`] / [`Batch::write`] |
 //! | `(*CACHED*)` / `(*MAINTAINED*)` procedure | [`Memo<A, R>`] |
 //! | `call(p, a…)` (Algorithm 5) | [`Memo::call`] |
 //! | `DEMAND` / `EAGER` evaluation | [`Strategy`] |
@@ -55,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod dirty;
 pub mod fxhash;
 mod memo;
@@ -63,6 +65,7 @@ mod stats;
 mod value;
 mod var;
 
+pub use batch::Batch;
 pub use dirty::Scheduling;
 pub use memo::{Memo, MemoArgs, MemoResult};
 pub use runtime::{NodeKind, Runtime, RuntimeBuilder, Strategy};

@@ -73,6 +73,10 @@ pub(crate) struct NodeData {
     pub(crate) name: Option<Rc<str>>,
 }
 
+/// Buffered batch writes: one `(location, final value)` entry per distinct
+/// written location, in first-write order.
+pub(crate) type PendingWrites = Vec<(NodeId, Box<dyn Value>)>;
+
 struct Frame {
     node: NodeId,
     /// This execution's stamp in the runtime-wide `last_accessed` table.
@@ -119,6 +123,16 @@ pub(crate) struct Inner {
     last_accessed: Vec<u64>,
     /// Epoch of the most recently started execution frame.
     frame_epoch: u64,
+    /// Reusable buffer for successor fan-out during propagation. Taken and
+    /// returned around each use so steady-state drains allocate nothing;
+    /// its capacity high-water mark is tracked in `stats.scratch_hwm`.
+    succ_scratch: Vec<NodeId>,
+    /// Reusable buffers for [`Runtime::batch`]: the pending-write list and
+    /// the `NodeId`-indexed coalescing slot map (`slot + 1`, `0` = none).
+    /// Taken at batch start and returned cleared (capacity kept) at commit,
+    /// so steady-state batches allocate nothing for their bookkeeping.
+    batch_pending: PendingWrites,
+    batch_slots: Vec<usize>,
     stats: Stats,
 }
 
@@ -194,6 +208,9 @@ impl RuntimeBuilder {
                 exec_gen: 0,
                 last_accessed: Vec::new(),
                 frame_epoch: 0,
+                succ_scratch: Vec::new(),
+                batch_pending: Vec::new(),
+                batch_slots: Vec::new(),
                 stats: Stats::default(),
             })),
             id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
@@ -336,6 +353,55 @@ impl Inner {
                             .absorb(&mut lost);
                     }
                 }
+            }
+        }
+    }
+
+    /// Marks every successor of `u` dirty — the fan-out step of the
+    /// Section 4.5 marking rule. Successors are staged through the
+    /// runtime-owned scratch buffer (the graph borrow must end before
+    /// `insert_dirty` can mutate heights/partitions), so at steady state
+    /// this performs zero heap allocations; `stats.scratch_hwm` records the
+    /// buffer's capacity high-water mark as evidence.
+    fn dirty_succs_of(&mut self, u: NodeId) {
+        let mut scratch = std::mem::take(&mut self.succ_scratch);
+        self.graph.succs_into(u, &mut scratch);
+        self.stats.scratch_hwm = self.stats.scratch_hwm.max(scratch.capacity() as u64);
+        for &s in &scratch {
+            self.insert_dirty(s);
+        }
+        self.succ_scratch = scratch;
+    }
+
+    /// Stores `value` into location `n` — the shared tail of `modify`
+    /// (Algorithm 4) used by both `raw_write` and batch commit: record the
+    /// writer's dependence, compare against the stored value (the cutoff
+    /// comparison is only charged when a prior value exists), and dirty the
+    /// location's readers when the value actually changed.
+    fn write_location(&mut self, n: NodeId, value: Box<dyn Value>) {
+        self.record_dependence(n);
+        let nd = &mut self.nodes[n.index()];
+        debug_assert!(nd.comp.is_none(), "write on a computation node");
+        let (changed, compared) = match &nd.value {
+            Some(old) => (!old.dyn_eq(&*value), true),
+            None => (true, false),
+        };
+        nd.value = Some(value);
+        if compared {
+            self.stats.comparisons += 1;
+        }
+        if changed {
+            self.stats.changes += 1;
+            // Only locations some incremental instance has actually read
+            // need propagation — the paper's Algorithm 4 guards with
+            // `nodeptr(l) # NIL` for the same reason. Skipping reader-less
+            // locations is not merely an optimization: dirt queued before
+            // the first reader exists would be processed *after* that
+            // reader consumed the post-write value, spuriously marking it
+            // mid-construction and breaking the frontier invariant of the
+            // Section 4.5 marking rule.
+            if self.graph.has_succs(n) {
+                self.insert_dirty(n);
             }
         }
     }
@@ -541,29 +607,43 @@ impl Runtime {
     pub fn raw_write(&self, n: NodeId, value: Box<dyn Value>) {
         let mut inner = self.inner.borrow_mut();
         inner.stats.writes += 1;
-        inner.record_dependence(n);
-        inner.stats.comparisons += 1;
-        let nd = &mut inner.nodes[n.index()];
-        debug_assert!(nd.comp.is_none(), "raw_write on a computation node");
-        let changed = match &nd.value {
-            Some(old) => !old.dyn_eq(&*value),
-            None => true,
-        };
-        nd.value = Some(value);
-        if changed {
-            inner.stats.changes += 1;
-            // Only locations some incremental instance has actually read
-            // need propagation — the paper's Algorithm 4 guards with
-            // `nodeptr(l) # NIL` for the same reason. Skipping reader-less
-            // locations is not merely an optimization: dirt queued before
-            // the first reader exists would be processed *after* that
-            // reader consumed the post-write value, spuriously marking it
-            // mid-construction and breaking the frontier invariant of the
-            // Section 4.5 marking rule.
-            if inner.graph.has_succs(n) {
-                inner.insert_dirty(n);
-            }
+        inner.write_location(n, value);
+    }
+
+    /// Hands out the runtime-owned batch buffers (empty, warm capacity) for
+    /// a new transaction. A nested batch simply gets fresh empty buffers.
+    pub(crate) fn take_batch_buffers(&self) -> (PendingWrites, Vec<usize>) {
+        let mut inner = self.inner.borrow_mut();
+        (
+            std::mem::take(&mut inner.batch_pending),
+            std::mem::take(&mut inner.batch_slots),
+        )
+    }
+
+    /// Commits a coalesced write transaction: one borrow of the runtime for
+    /// the whole set of writes, each applied with the same `modify`
+    /// semantics as [`Runtime::raw_write`]. `pending` holds one entry per
+    /// distinct written location (last write wins); `submitted` and
+    /// `coalesced` are the transaction's raw tallies for the stats. The
+    /// drained buffers are stowed back on the runtime for the next batch.
+    pub(crate) fn commit_batch(
+        &self,
+        mut pending: PendingWrites,
+        mut slots: Vec<usize>,
+        submitted: u64,
+        coalesced: u64,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.batches += 1;
+        inner.stats.batched_writes += submitted;
+        inner.stats.coalesced_writes += coalesced;
+        for (n, value) in pending.drain(..) {
+            slots[n.index()] = 0; // reset only the touched slots
+            inner.stats.writes += 1;
+            inner.write_location(n, value);
         }
+        inner.batch_pending = pending;
+        inner.batch_slots = slots;
     }
 
     // ------------------------------------------------------------------
@@ -731,13 +811,17 @@ impl Runtime {
             return (Some(value), false);
         }
         let requeue = std::mem::take(&mut comp.requeue);
-        inner.stats.comparisons += 1;
         let nd = &mut inner.nodes[n.index()];
-        let changed = match &nd.value {
-            Some(old) => !old.dyn_eq(&*value),
-            None => true,
+        // A first execution has no previous value: it counts as changed
+        // without charging a cutoff comparison.
+        let (changed, compared) = match &nd.value {
+            Some(old) => (!old.dyn_eq(&*value), true),
+            None => (true, false),
         };
         nd.value = Some(value);
+        if compared {
+            inner.stats.comparisons += 1;
+        }
         if requeue {
             inner.insert_dirty(n);
         }
@@ -938,11 +1022,7 @@ impl Runtime {
                 Step::Execute(u) => {
                     let (_, changed) = self.execute_node(u);
                     if changed {
-                        let mut inner = self.inner.borrow_mut();
-                        let succs: Vec<NodeId> = inner.graph.succs(u).collect();
-                        for s in succs {
-                            inner.insert_dirty(s);
-                        }
+                        self.inner.borrow_mut().dirty_succs_of(u);
                     }
                 }
             }
@@ -972,10 +1052,7 @@ impl Runtime {
             // Storage location: forward the change to everything computed
             // from it.
             None => {
-                let succs: Vec<NodeId> = inner.graph.succs(u).collect();
-                for s in succs {
-                    inner.insert_dirty(s);
-                }
+                inner.dirty_succs_of(u);
                 Step::Continue
             }
             Some(comp) => match comp.strategy {
@@ -983,10 +1060,7 @@ impl Runtime {
                 Strategy::Demand => {
                     if comp.consistent {
                         comp.consistent = false;
-                        let succs: Vec<NodeId> = inner.graph.succs(u).collect();
-                        for s in succs {
-                            inner.insert_dirty(s);
-                        }
+                        inner.dirty_succs_of(u);
                     }
                     Step::Continue
                 }
@@ -998,10 +1072,7 @@ impl Runtime {
                         // mark it stale and have it re-queued on completion.
                         comp.consistent = false;
                         comp.requeue = true;
-                        let succs: Vec<NodeId> = inner.graph.succs(u).collect();
-                        for s in succs {
-                            inner.insert_dirty(s);
-                        }
+                        inner.dirty_succs_of(u);
                         Step::Continue
                     } else {
                         Step::Execute(u)

@@ -55,6 +55,18 @@ pub struct Stats {
     pub dedup_hits: u64,
     /// Memo argument-table lookups (hash probes on the call path).
     pub memo_probes: u64,
+    /// Write transactions committed (`Runtime::batch` calls).
+    pub batches: u64,
+    /// Writes submitted through a transaction handle (before coalescing).
+    pub batched_writes: u64,
+    /// Batched writes absorbed by last-write-wins coalescing: repeated
+    /// writes to the same location within one transaction, all but the
+    /// final of which never reach storage.
+    pub coalesced_writes: u64,
+    /// High-water mark (in nodes of capacity) of the runtime's reusable
+    /// successor scratch buffer. Once propagation reaches steady state this
+    /// stops growing: fan-out performs zero heap allocations.
+    pub scratch_hwm: u64,
 }
 
 impl Stats {
@@ -91,7 +103,11 @@ impl Stats {
             borrow_reads,
             cloned_reads,
             dedup_hits,
-            memo_probes
+            memo_probes,
+            batches,
+            batched_writes,
+            coalesced_writes,
+            scratch_hwm
         )
     }
 

@@ -1,5 +1,6 @@
 //! Typed handles to tracked storage locations.
 
+use crate::batch::Batch;
 use crate::runtime::Runtime;
 use crate::value::{downcast_ref, Value};
 use alphonse_graph::NodeId;
@@ -134,6 +135,60 @@ impl<T: Value + PartialEq + Clone> Var<T> {
     pub fn update(&self, rt: &Runtime, f: impl FnOnce(T) -> T) {
         let v = self.get(rt);
         self.set(rt, f(v));
+    }
+
+    /// Buffers a write of `value` in the transaction `tx` — the batched form
+    /// of [`Var::set`]. Repeated writes to the same variable within one
+    /// batch coalesce (last write wins); the surviving value is compared
+    /// against the pre-batch stored value once, at commit.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alphonse::Runtime;
+    /// let rt = Runtime::new();
+    /// let x = rt.var(1i64);
+    /// rt.batch(|tx| {
+    ///     x.set_in(tx, 2);
+    ///     x.set_in(tx, 3);
+    /// });
+    /// assert_eq!(x.get(&rt), 3);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` belongs to a different runtime than this variable.
+    pub fn set_in(&self, tx: &mut Batch<'_>, value: T) {
+        self.check(tx.runtime());
+        tx.write(self.node, Box::new(value));
+    }
+
+    /// Reads this variable *through* the transaction: the pending buffered
+    /// value if `tx` has one, otherwise the committed value (read exactly
+    /// like [`Var::get`], including dependence recording). This gives bulk
+    /// mutators read-your-writes visibility inside a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` belongs to a different runtime than this variable.
+    pub fn get_in(&self, tx: &Batch<'_>) -> T {
+        self.check(tx.runtime());
+        match tx.pending_value(self.node) {
+            Some(v) => downcast_ref::<T>(v, "Var::get_in").clone(),
+            None => self.get(tx.runtime()),
+        }
+    }
+
+    /// Applies `f` to the value visible in the transaction (pending write if
+    /// any, committed value otherwise) and buffers the result — the batched
+    /// form of [`Var::update`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx` belongs to a different runtime than this variable.
+    pub fn update_in(&self, tx: &mut Batch<'_>, f: impl FnOnce(T) -> T) {
+        let v = self.get_in(tx);
+        self.set_in(tx, f(v));
     }
 
     /// The dependency-graph node backing this variable.

@@ -1,0 +1,203 @@
+//! Batched write transactions: observational equivalence and cutoff
+//! regressions.
+//!
+//! A `Runtime::batch` of N writes must be indistinguishable from N
+//! sequential `Var::set` calls — same final variable values, same memo
+//! results, same quiescent state — while performing no *more* recomputation
+//! (coalescing can only shrink the dirty frontier, e.g. a location written
+//! and then restored to its pre-batch value inside one batch never dirties
+//! at all).
+
+use alphonse::{Memo, Runtime, Scheduling, Strategy};
+use proptest::prelude::*;
+
+/// A fixed dataflow shape: `vars` feed group memos, group memos feed one
+/// total memo. Deterministic, so two runtimes built from it are twins.
+struct Fixture {
+    rt: Runtime,
+    vars: Vec<alphonse::Var<i64>>,
+    groups: Vec<Memo<(), i64>>,
+    total: Memo<(), i64>,
+}
+
+fn fixture(n_vars: usize, group: usize, strategy: Strategy, fifo: bool) -> Fixture {
+    let rt = Runtime::builder()
+        .scheduling(if fifo {
+            Scheduling::Fifo
+        } else {
+            Scheduling::HeightOrder
+        })
+        .build();
+    let vars: Vec<_> = (0..n_vars).map(|i| rt.var(i as i64)).collect();
+    let groups: Vec<Memo<(), i64>> = vars
+        .chunks(group)
+        .enumerate()
+        .map(|(g, chunk)| {
+            let chunk = chunk.to_vec();
+            rt.memo_with(&format!("group{g}"), strategy, move |rt, &(): &()| {
+                chunk.iter().map(|v| v.get(rt)).sum()
+            })
+        })
+        .collect();
+    let gs = groups.clone();
+    let total = rt.memo_with("total", strategy, move |rt, &(): &()| {
+        gs.iter().map(|g| g.call(rt, ())).sum()
+    });
+    // Warm: populate the dependency graph, reach quiescence.
+    total.call(&rt, ());
+    rt.propagate();
+    Fixture {
+        rt,
+        vars,
+        groups,
+        total,
+    }
+}
+
+/// Applies `script` to twin fixtures — sequentially on one, as a single
+/// batch on the other — and checks observational equivalence plus the
+/// no-extra-work bound.
+fn check_equivalence(n_vars: usize, script: &[(usize, i64)], strategy: Strategy, fifo: bool) {
+    let seq = fixture(n_vars, 4, strategy, fifo);
+    let bat = fixture(n_vars, 4, strategy, fifo);
+    let seq_before = seq.rt.stats();
+    let bat_before = bat.rt.stats();
+
+    for &(i, v) in script {
+        seq.vars[i % n_vars].set(&seq.rt, v);
+    }
+    bat.rt.batch(|tx| {
+        for &(i, v) in script {
+            bat.vars[i % n_vars].set_in(tx, v);
+        }
+    });
+
+    seq.rt.propagate();
+    bat.rt.propagate();
+    assert_eq!(seq.rt.dirty_count(), 0);
+    assert_eq!(bat.rt.dirty_count(), 0, "batch must reach quiescence too");
+
+    for (a, b) in seq.vars.iter().zip(&bat.vars) {
+        assert_eq!(a.get(&seq.rt), b.get(&bat.rt), "final variable values");
+    }
+    for (a, b) in seq.groups.iter().zip(&bat.groups) {
+        assert_eq!(a.call(&seq.rt, ()), b.call(&bat.rt, ()), "group results");
+    }
+    assert_eq!(
+        seq.total.call(&seq.rt, ()),
+        bat.total.call(&bat.rt, ()),
+        "total result"
+    );
+
+    let ds = seq.rt.stats().delta_since(&seq_before);
+    let db = bat.rt.stats().delta_since(&bat_before);
+    assert!(
+        db.executions <= ds.executions,
+        "batch re-executed more than sequential: {} > {}",
+        db.executions,
+        ds.executions
+    );
+    assert!(
+        db.dirtied <= ds.dirtied,
+        "batch dirtied more than sequential: {} > {}",
+        db.dirtied,
+        ds.dirtied
+    );
+    assert_eq!(db.batches, 1);
+    assert_eq!(db.batched_writes, script.len() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `Runtime::batch` of N writes ≡ N sequential `Var::set` calls, for
+    /// both strategies and both drain orders, under scripts heavy with
+    /// repeated writes to the same location (to exercise coalescing).
+    #[test]
+    fn batch_is_observationally_equivalent_to_sequential_sets(
+        script in proptest::collection::vec((0usize..12, -50i64..50), 1..60),
+        eager in any::<bool>(),
+        fifo in any::<bool>(),
+    ) {
+        let strategy = if eager { Strategy::Eager } else { Strategy::Demand };
+        check_equivalence(12, &script, strategy, fifo);
+    }
+}
+
+#[test]
+fn same_value_twice_in_one_batch_triggers_zero_propagation() {
+    let f = fixture(8, 4, Strategy::Eager, false);
+    let v0 = f.vars[0].get(&f.rt);
+    let before = f.rt.stats();
+    f.rt.batch(|tx| {
+        f.vars[0].set_in(tx, v0);
+        f.vars[0].set_in(tx, v0);
+    });
+    let d = f.rt.stats().delta_since(&before);
+    assert_eq!(f.rt.dirty_count(), 0, "unchanged value must not dirty");
+    assert_eq!(d.dirtied, 0);
+    assert_eq!(d.changes, 0);
+    assert_eq!(d.comparisons, 1, "one cutoff comparison per location");
+    assert_eq!(d.coalesced_writes, 1);
+    let before = f.rt.stats();
+    f.rt.propagate();
+    assert_eq!(f.rt.stats().delta_since(&before).executions, 0);
+}
+
+#[test]
+fn same_value_across_batches_triggers_zero_propagation() {
+    let f = fixture(8, 4, Strategy::Eager, false);
+    f.rt.batch(|tx| f.vars[3].set_in(tx, 99));
+    f.rt.propagate();
+    let before = f.rt.stats();
+    f.rt.batch(|tx| f.vars[3].set_in(tx, 99));
+    let d = f.rt.stats().delta_since(&before);
+    assert_eq!(f.rt.dirty_count(), 0);
+    assert_eq!(d.dirtied, 0);
+    assert_eq!(d.changes, 0);
+}
+
+#[test]
+fn write_then_restore_in_one_batch_never_dirties() {
+    // Coalescing strictly beats the sequential path here: set-then-restore
+    // collapses to a single compare-equal against the pre-batch value,
+    // while sequential sets would dirty and re-execute (then cut off).
+    let f = fixture(8, 4, Strategy::Eager, false);
+    let v0 = f.vars[0].get(&f.rt);
+    let before = f.rt.stats();
+    f.rt.batch(|tx| {
+        f.vars[0].set_in(tx, v0 + 1000);
+        f.vars[0].set_in(tx, v0);
+    });
+    let d = f.rt.stats().delta_since(&before);
+    assert_eq!(f.rt.dirty_count(), 0);
+    assert_eq!(d.dirtied, 0);
+    assert_eq!(d.executions, 0);
+}
+
+#[test]
+fn scratch_high_water_mark_stops_growing_at_steady_state() {
+    // After the first full propagation wave the scratch buffer has seen the
+    // widest fan-out in the graph; later waves must not grow it — i.e.
+    // successor fan-out is allocation-free at steady state.
+    let f = fixture(64, 8, Strategy::Eager, false);
+    for i in 0..64 {
+        f.vars[i].set(&f.rt, 1_000 + i as i64);
+    }
+    f.rt.propagate();
+    let hwm_after_first_wave = f.rt.stats().scratch_hwm;
+    assert!(hwm_after_first_wave > 0, "propagation must use the scratch");
+    for wave in 0..10 {
+        f.rt.batch(|tx| {
+            for i in 0..64 {
+                f.vars[i].set_in(tx, (wave * 64 + i) as i64);
+            }
+        });
+        f.rt.propagate();
+    }
+    assert_eq!(
+        f.rt.stats().scratch_hwm,
+        hwm_after_first_wave,
+        "scratch buffer grew after steady state: fan-out allocated"
+    );
+}

@@ -319,6 +319,33 @@ impl DepGraph {
             edge: self.nodes[v.index()].first_in,
         }
     }
+
+    /// Calls `f` once per successor of `u` (including duplicates from
+    /// parallel edges), without constructing an iterator adapter chain.
+    ///
+    /// This is the fan-out primitive of the propagation drain loop: callers
+    /// that must release a borrow of the graph before acting on the
+    /// successors pair it with [`DepGraph::succs_into`] and a reusable
+    /// scratch buffer instead of collecting into a fresh `Vec`.
+    #[inline]
+    pub fn for_each_succ(&self, u: NodeId, mut f: impl FnMut(NodeId)) {
+        let mut e = self.nodes[u.index()].first_out;
+        while e != NIL {
+            let edge = self.edges[e as usize];
+            f(NodeId(edge.dst));
+            e = edge.next_out;
+        }
+    }
+
+    /// Clears `out` and fills it with the successors of `u` (duplicates
+    /// included). Reusing one caller-owned buffer across calls makes the
+    /// steady-state fan-out allocation-free: once the buffer's capacity
+    /// covers the widest fan-out seen, no further heap traffic occurs.
+    #[inline]
+    pub fn succs_into(&self, u: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        self.for_each_succ(u, |s| out.push(s));
+    }
 }
 
 /// Iterator over successor nodes, created by [`DepGraph::succs`].
@@ -475,6 +502,40 @@ mod tests {
         g.add_edge(a, b);
         g.add_edge(b, a);
         assert!(g.cycle_suspected());
+    }
+
+    #[test]
+    fn for_each_succ_matches_iterator() {
+        let mut g = DepGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b);
+        g.add_edge(a, c);
+        g.add_edge(a, b); // parallel edge preserved by both forms
+        let mut via_fn = Vec::new();
+        g.for_each_succ(a, |s| via_fn.push(s));
+        assert_eq!(via_fn, g.succs(a).collect::<Vec<_>>());
+        assert_eq!(via_fn.len(), 3);
+    }
+
+    #[test]
+    fn succs_into_reuses_buffer_capacity() {
+        let mut g = DepGraph::new();
+        let a = g.add_node();
+        let targets: Vec<_> = (0..8).map(|_| g.add_node()).collect();
+        for &t in &targets {
+            g.add_edge(a, t);
+        }
+        let mut buf = Vec::new();
+        g.succs_into(a, &mut buf);
+        assert_eq!(buf.len(), 8);
+        let cap = buf.capacity();
+        g.succs_into(a, &mut buf);
+        assert_eq!(buf.len(), 8);
+        assert_eq!(buf.capacity(), cap, "refill must not reallocate");
+        g.succs_into(targets[0], &mut buf);
+        assert!(buf.is_empty(), "clears stale contents for leaf nodes");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::hir::{Ty, TypeId};
 use crate::value::{ArrId, ObjId, Val};
-use alphonse::{Runtime, Var};
+use alphonse::{Batch, Runtime, Var};
 
 /// One storage location: plain until promoted to a tracked variable.
 #[derive(Debug, Clone)]
@@ -48,6 +48,17 @@ impl Slot {
     pub(crate) fn write(&mut self, rt: Option<&Runtime>, v: Val) {
         match self {
             Slot::Tracked(var) => var.set(rt.expect("tracked slot implies Alphonse mode"), v),
+            Slot::Plain(old) => *old = v,
+        }
+    }
+
+    /// Writes the slot through a write transaction. Tracked slots buffer the
+    /// write in `tx` (committed with the batch's single dirty frontier);
+    /// plain slots have no dependency-graph node — per Algorithm 4 writes
+    /// never create one — so they are stored immediately.
+    pub(crate) fn write_in(&mut self, tx: &mut Batch<'_>, v: Val) {
+        match self {
+            Slot::Tracked(var) => var.set_in(tx, v),
             Slot::Plain(old) => *old = v,
         }
     }
@@ -126,6 +137,12 @@ impl Heap {
         self.objects[o.0 as usize].fields[field].write(rt, v);
     }
 
+    /// Batched field write: tracked slots buffer into `tx`, plain slots
+    /// store immediately (see [`Slot::write_in`]).
+    pub(crate) fn write_field_in(&mut self, tx: &mut Batch<'_>, o: ObjId, field: usize, v: Val) {
+        self.objects[o.0 as usize].fields[field].write_in(tx, v);
+    }
+
     /// Allocates an array of `len` default-initialized elements of `elem`.
     pub(crate) fn alloc_array(&mut self, elem: Ty, len: usize) -> ArrId {
         let id = u32::try_from(self.arrays.len()).expect("too many arrays");
@@ -157,6 +174,25 @@ impl Heap {
             None => false,
         }
     }
+
+    /// Batched bounds-checked element write. Returns `false` when out of
+    /// bounds.
+    pub(crate) fn write_element_in(
+        &mut self,
+        tx: &mut Batch<'_>,
+        a: ArrId,
+        i: i64,
+        v: Val,
+    ) -> bool {
+        let slots = &mut self.arrays[a.0 as usize];
+        match usize::try_from(i).ok().filter(|&i| i < slots.len()) {
+            Some(idx) => {
+                slots[idx].write_in(tx, v);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,6 +218,31 @@ mod tests {
         let _ = heap.read_field(Some(&rt), o, 0);
         assert_eq!(heap.tracked_slots(), 0, "no promotion outside call stack");
         assert_eq!(rt.node_count(), 0);
+    }
+
+    #[test]
+    fn batched_writes_hit_tracked_and_plain_slots() {
+        let rt = Runtime::new();
+        let mut heap = Heap::new();
+        let o = heap.alloc(0, &[Ty::Integer, Ty::Integer]);
+        let a = heap.alloc_array(Ty::Integer, 4);
+        // Promote field 0 by hand (promotion normally happens on a tracked
+        // read inside an incremental procedure); field 1 stays plain.
+        heap.objects[o.0 as usize].fields[0] = Slot::Tracked(rt.var(Val::Int(0)));
+        rt.batch(|tx| {
+            heap.write_field_in(tx, o, 0, Val::Int(7)); // tracked: buffered
+            heap.write_field_in(tx, o, 1, Val::Int(8)); // plain: immediate
+            assert!(heap.write_element_in(tx, a, 2, Val::Int(9)));
+            assert!(!heap.write_element_in(tx, a, 99, Val::Int(0)));
+        });
+        assert_eq!(heap.read_field(None, o, 1), Val::Int(8));
+        assert_eq!(heap.read_element(None, a, 2), Some(Val::Int(9)));
+        assert_eq!(
+            heap.read_field(Some(&rt), o, 0),
+            Val::Int(7),
+            "tracked write committed at batch end"
+        );
+        assert_eq!(rt.stats().batches, 1);
     }
 
     #[test]

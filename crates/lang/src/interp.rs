@@ -284,6 +284,37 @@ impl Interp {
         Ok(())
     }
 
+    /// Writes several top-level variables in one write transaction — the
+    /// bulk form of [`Interp::set_global`]. All names are resolved before
+    /// anything is written, so an unknown name leaves every global
+    /// untouched. In Alphonse mode the tracked writes commit as a single
+    /// coalesced dirty frontier (repeated writes to one global follow
+    /// last-write-wins); in conventional mode this is a plain loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::Resolve`] for unknown names.
+    pub fn set_globals<'a>(&self, edits: impl IntoIterator<Item = (&'a str, Val)>) -> Result<()> {
+        let mut resolved = Vec::new();
+        for (name, v) in edits {
+            resolved.push((self.global_index(name)?, v));
+        }
+        let mut globals = self.shared.globals.borrow_mut();
+        match self.shared.rt.as_ref() {
+            Some(rt) => rt.batch(|tx| {
+                for (idx, v) in resolved {
+                    globals[idx].write_in(tx, v);
+                }
+            }),
+            None => {
+                for (idx, v) in resolved {
+                    globals[idx].write(None, v);
+                }
+            }
+        }
+        Ok(())
+    }
+
     fn global_index(&self, name: &str) -> Result<usize> {
         self.shared
             .program
@@ -333,6 +364,88 @@ impl Interp {
             .heap
             .borrow_mut()
             .write_field(self.shared.rt.as_ref(), o, off, v);
+        Ok(())
+    }
+
+    /// Writes several object fields in one write transaction — the bulk
+    /// form of [`Interp::set_field`]. All targets are resolved before
+    /// anything is written, so a bad target leaves the heap untouched.
+    /// Fields already promoted to tracked storage commit as one coalesced
+    /// dirty frontier; still-plain fields are stored immediately (writes
+    /// never create dependency-graph nodes, per Algorithm 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any target is not an object or has no such
+    /// field.
+    pub fn set_fields<'a>(
+        &self,
+        edits: impl IntoIterator<Item = (&'a Val, &'a str, Val)>,
+    ) -> Result<()> {
+        let mut resolved = Vec::new();
+        for (obj, field, v) in edits {
+            let (o, off) = self.field_ref(obj, field)?;
+            resolved.push((o, off, v));
+        }
+        let mut heap = self.shared.heap.borrow_mut();
+        match self.shared.rt.as_ref() {
+            Some(rt) => rt.batch(|tx| {
+                for (o, off, v) in resolved {
+                    heap.write_field_in(tx, o, off, v);
+                }
+            }),
+            None => {
+                for (o, off, v) in resolved {
+                    heap.write_field(None, o, off, v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes several elements of one array in one write transaction. All
+    /// indices are bounds-checked before anything is written, so a bad
+    /// index leaves the array untouched. Elements already promoted to
+    /// tracked storage commit as one coalesced dirty frontier; still-plain
+    /// elements are stored immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `arr` is not an array or any index is out of
+    /// bounds.
+    pub fn set_elements(
+        &self,
+        arr: &Val,
+        edits: impl IntoIterator<Item = (i64, Val)>,
+    ) -> Result<()> {
+        let Val::Arr(a) = arr else {
+            return Err(LangError::runtime(format!(
+                "element assignment on non-array {arr}"
+            )));
+        };
+        let mut heap = self.shared.heap.borrow_mut();
+        let len = heap.array_len(*a);
+        let mut resolved = Vec::new();
+        for (i, v) in edits {
+            if usize::try_from(i).ok().filter(|&i| i < len).is_none() {
+                return Err(LangError::runtime(format!(
+                    "element index {i} out of bounds for array of length {len}"
+                )));
+            }
+            resolved.push((i, v));
+        }
+        match self.shared.rt.as_ref() {
+            Some(rt) => rt.batch(|tx| {
+                for (i, v) in resolved {
+                    heap.write_element_in(tx, *a, i, v);
+                }
+            }),
+            None => {
+                for (i, v) in resolved {
+                    heap.write_element(None, *a, i, v);
+                }
+            }
+        }
         Ok(())
     }
 

@@ -296,6 +296,113 @@ fn tracked_slots_grow_only_under_incremental_reads() {
 }
 
 #[test]
+fn bulk_global_writes_commit_as_one_batch() {
+    let src = r#"
+        VAR a, b, c : INTEGER;
+        (*CACHED*) PROCEDURE Sum() : INTEGER = BEGIN RETURN a + b + c; END Sum;
+    "#;
+    for interp in both(src) {
+        interp.call("Sum", vec![]).unwrap();
+        interp
+            .set_globals([
+                ("a", Val::Int(1)),
+                ("b", Val::Int(2)),
+                ("a", Val::Int(10)), // last write wins
+                ("c", Val::Int(3)),
+            ])
+            .unwrap();
+        assert_eq!(interp.call("Sum", vec![]).unwrap(), Val::Int(15));
+        assert_eq!(interp.global("a").unwrap(), Val::Int(10));
+        if let Some(rt) = interp.runtime() {
+            let s = rt.stats();
+            assert_eq!(s.batches, 1);
+            assert_eq!(s.batched_writes, 4);
+            assert_eq!(s.coalesced_writes, 1);
+        }
+    }
+}
+
+#[test]
+fn bulk_global_writes_are_atomic_on_unknown_names() {
+    let src = "VAR a : INTEGER;";
+    let interp = run(src, Mode::Alphonse);
+    assert!(interp
+        .set_globals([("a", Val::Int(5)), ("nope", Val::Int(1))])
+        .is_err());
+    assert_eq!(
+        interp.global("a").unwrap(),
+        Val::Int(0),
+        "failed bulk write must not apply any edit"
+    );
+}
+
+#[test]
+fn bulk_field_writes_match_sequential_writes() {
+    let src = r#"
+        TYPE P = OBJECT x, y : INTEGER; END;
+        VAR p : P;
+        PROCEDURE Mk() = BEGIN p := NEW(P); END Mk;
+        (*CACHED*) PROCEDURE Mag() : INTEGER =
+        BEGIN RETURN p.x * p.x + p.y * p.y; END Mag;
+    "#;
+    for interp in both(src) {
+        interp.call("Mk", vec![]).unwrap();
+        interp.call("Mag", vec![]).unwrap(); // promotes p.x / p.y if tracked
+        let p = interp.global("p").unwrap();
+        interp
+            .set_fields([(&p, "x", Val::Int(3)), (&p, "y", Val::Int(4))])
+            .unwrap();
+        assert_eq!(interp.call("Mag", vec![]).unwrap(), Val::Int(25));
+        assert!(interp
+            .set_fields([(&p, "x", Val::Int(9)), (&p, "nope", Val::Int(0))])
+            .is_err());
+        assert_eq!(
+            interp.field(&p, "x").unwrap(),
+            Val::Int(3),
+            "failed bulk write must not apply any edit"
+        );
+    }
+}
+
+#[test]
+fn bulk_element_writes_match_sequential_writes() {
+    let src = r#"
+        VAR data : ARRAY OF INTEGER;
+        PROCEDURE Init(n : INTEGER) =
+        BEGIN data := NEW(ARRAY OF INTEGER, n); END Init;
+        (*CACHED*) PROCEDURE SumAll() : INTEGER =
+        VAR s : INTEGER := 0;
+        BEGIN
+            FOR i := 0 TO LEN(data) - 1 DO s := s + data[i]; END;
+            RETURN s;
+        END SumAll;
+    "#;
+    for interp in both(src) {
+        interp.call("Init", vec![Val::Int(4)]).unwrap();
+        interp.call("SumAll", vec![]).unwrap(); // promotes elements if tracked
+        let data = interp.global("data").unwrap();
+        interp
+            .set_elements(
+                &data,
+                [(0, Val::Int(1)), (2, Val::Int(2)), (0, Val::Int(10))],
+            )
+            .unwrap();
+        assert_eq!(interp.call("SumAll", vec![]).unwrap(), Val::Int(12));
+        // A bad index leaves the array untouched.
+        assert!(interp
+            .set_elements(&data, [(1, Val::Int(50)), (99, Val::Int(0))])
+            .is_err());
+        assert_eq!(interp.call("SumAll", vec![]).unwrap(), Val::Int(12));
+    }
+    // Non-array target.
+    let interp = run(src, Mode::Alphonse);
+    let err = interp
+        .set_elements(&Val::Int(5), [(0, Val::Int(0))])
+        .unwrap_err();
+    assert!(err.to_string().contains("non-array"), "{err}");
+}
+
+#[test]
 fn steps_counter_and_debug() {
     let src = "PROCEDURE F() : INTEGER = BEGIN RETURN 1; END F;";
     let interp = run(src, Mode::Conventional);

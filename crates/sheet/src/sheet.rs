@@ -155,9 +155,92 @@ impl Sheet {
         Ok(())
     }
 
+    /// Sets many cells from source text in one write transaction — the bulk
+    /// form of [`Sheet::set`]. All edits are validated (bounds, parse,
+    /// cycles) against the *post-batch* sheet before anything is written, so
+    /// the batch is atomic: either every edit lands or none does. Repeated
+    /// edits to the same address follow last-write-wins, matching the
+    /// runtime's transaction semantics.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alphonse::Runtime;
+    /// use alphonse_sheet::Sheet;
+    /// let rt = Runtime::new();
+    /// let sheet = Sheet::new(&rt, 10, 10);
+    /// sheet
+    ///     .set_bulk([("A1", "2"), ("A2", "3"), ("B1", "=A1*A2")])
+    ///     .unwrap();
+    /// assert_eq!(sheet.value("B1").unwrap().num(), Some(6));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SheetError`] encountered; no cell is modified on
+    /// error.
+    pub fn set_bulk<'a>(
+        &self,
+        edits: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<(), SheetError> {
+        let mut parsed = Vec::new();
+        for (addr, src) in edits {
+            let addr: Addr = addr
+                .parse()
+                .map_err(|e: crate::addr::ParseAddrError| SheetError::Parse(e.to_string()))?;
+            let formula = crate::formula::parse_formula(src).map_err(SheetError::Parse)?;
+            parsed.push((addr, formula));
+        }
+        self.set_formulas(parsed)
+    }
+
+    /// Sets many cells to already-parsed formulas in one write transaction.
+    /// See [`Sheet::set_bulk`] for the atomicity and last-write-wins rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SheetError`] on out-of-bounds addresses or cycles in the
+    /// post-batch sheet; no cell is modified on error.
+    pub fn set_formulas(&self, edits: Vec<(Addr, Formula)>) -> Result<(), SheetError> {
+        // Last-write-wins overlay: the formulas the sheet would hold after
+        // the batch, used both for validation and for cycle walks, so
+        // cross-edit cycles (A1=B1 and B1=A1 in one batch) are caught even
+        // though neither formula is stored yet.
+        let mut overlay = std::collections::HashMap::new();
+        {
+            let cells = self.cells.borrow();
+            for (addr, formula) in &edits {
+                cells.index(*addr).ok_or(SheetError::OutOfBounds(*addr))?;
+                overlay.insert(*addr, formula.clone());
+            }
+        }
+        for (addr, formula) in &overlay {
+            self.check_acyclic_with(*addr, formula, &overlay)?;
+        }
+        self.rt.batch(|tx| {
+            let cells = self.cells.borrow();
+            for (addr, formula) in edits {
+                let idx = cells.index(addr).expect("validated above");
+                cells.formulas[idx].set_in(tx, formula);
+            }
+        });
+        Ok(())
+    }
+
     /// Static cycle rejection: walks the would-be dependency graph from the
     /// new formula; reaching `addr` again means a cycle.
     fn check_acyclic(&self, addr: Addr, formula: &Formula) -> Result<(), SheetError> {
+        self.check_acyclic_with(addr, formula, &std::collections::HashMap::new())
+    }
+
+    /// Cycle walk against the sheet with `overlay` applied on top: pending
+    /// (not yet committed) formulas shadow stored ones.
+    fn check_acyclic_with(
+        &self,
+        addr: Addr,
+        formula: &Formula,
+        overlay: &std::collections::HashMap<Addr, Formula>,
+    ) -> Result<(), SheetError> {
         let mut visited = std::collections::HashSet::new();
         let mut work: Vec<Addr> = formula.references();
         while let Some(a) = work.pop() {
@@ -165,6 +248,10 @@ impl Sheet {
                 return Err(SheetError::Cycle(addr));
             }
             if !visited.insert(a) {
+                continue;
+            }
+            if let Some(f) = overlay.get(&a) {
+                work.extend(f.references());
                 continue;
             }
             let var = {
@@ -365,6 +452,54 @@ mod tests {
         // because dirtying is conservative — but A1's own value instance
         // changes. Keep the bound loose but far below full recalc.
         assert!(d.executions <= 3, "got {}", d.executions);
+    }
+
+    #[test]
+    fn bulk_edit_matches_sequential_edits() {
+        let seq = sheet();
+        let bulk = sheet();
+        let edits = [
+            ("A1", "4"),
+            ("A2", "=A1+1"),
+            ("A3", "=A2*A1"),
+            ("A1", "6"), // last write wins
+        ];
+        for (a, src) in edits {
+            seq.set(a, src).unwrap();
+        }
+        bulk.set_bulk(edits).unwrap();
+        for a in ["A1", "A2", "A3"] {
+            assert_eq!(bulk.value(a).unwrap(), seq.value(a).unwrap(), "{a}");
+        }
+        let s = bulk.runtime().stats();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.batched_writes, 4);
+        assert_eq!(s.coalesced_writes, 1);
+    }
+
+    #[test]
+    fn bulk_edit_rejects_cross_edit_cycles_atomically() {
+        let s = sheet();
+        s.set("A1", "1").unwrap();
+        // Neither formula alone is cyclic against the stored sheet; together
+        // they are. The whole batch must be rejected and nothing written.
+        assert!(matches!(
+            s.set_bulk([("B1", "=C1"), ("C1", "=B1"), ("A1", "99")]),
+            Err(SheetError::Cycle(_))
+        ));
+        assert_eq!(s.value("A1").unwrap(), CellValue::Num(1));
+        assert_eq!(s.value("B1").unwrap(), CellValue::Num(0));
+    }
+
+    #[test]
+    fn bulk_edit_overlay_shadows_stored_formulas() {
+        let s = sheet();
+        s.set("A1", "=A2").unwrap();
+        s.set("A2", "3").unwrap();
+        // Stored sheet has A1 -> A2; the batch rewrites A1 away from A2 and
+        // points A2 at A1's *new* formula — acyclic post-batch, so allowed.
+        s.set_bulk([("A1", "5"), ("A2", "=A1+1")]).unwrap();
+        assert_eq!(s.value("A2").unwrap(), CellValue::Num(6));
     }
 
     #[test]

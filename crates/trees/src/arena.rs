@@ -8,7 +8,7 @@
 //! performed inside maintained methods are recorded as dependencies and
 //! writes seed change propagation.
 
-use alphonse::{Runtime, Var};
+use alphonse::{Batch, Runtime, Var};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -150,6 +150,39 @@ impl TreeStore {
         self.field(n, "key", |f| f.key).set(&self.rt, key);
     }
 
+    /// Reads `n.key` through a write transaction: the pending value if the
+    /// batch wrote it, the stored value otherwise.
+    pub fn key_in(&self, tx: &Batch<'_>, n: NodeRef) -> i64 {
+        self.field(n, "key", |f| f.key).get_in(tx)
+    }
+
+    /// Reads `n.left` through a write transaction (read-your-writes).
+    pub fn left_in(&self, tx: &Batch<'_>, n: NodeRef) -> NodeRef {
+        self.field(n, "left", |f| f.left).get_in(tx)
+    }
+
+    /// Reads `n.right` through a write transaction (read-your-writes).
+    pub fn right_in(&self, tx: &Batch<'_>, n: NodeRef) -> NodeRef {
+        self.field(n, "right", |f| f.right).get_in(tx)
+    }
+
+    /// Writes `n.left` through a write transaction — the batched form of
+    /// [`TreeStore::set_left`] for multi-link restructurings (rotations,
+    /// bulk rebuilds) that should commit as one dirty frontier.
+    pub fn set_left_in(&self, tx: &mut Batch<'_>, n: NodeRef, child: NodeRef) {
+        self.field(n, "left", |f| f.left).set_in(tx, child);
+    }
+
+    /// Writes `n.right` through a write transaction.
+    pub fn set_right_in(&self, tx: &mut Batch<'_>, n: NodeRef, child: NodeRef) {
+        self.field(n, "right", |f| f.right).set_in(tx, child);
+    }
+
+    /// Writes `n.key` through a write transaction.
+    pub fn set_key_in(&self, tx: &mut Batch<'_>, n: NodeRef, key: i64) {
+        self.field(n, "key", |f| f.key).set_in(tx, key);
+    }
+
     /// In-order keys of the subtree rooted at `root` (plain reads; call from
     /// mutator code only).
     pub fn inorder(&self, root: NodeRef) -> Vec<i64> {
@@ -257,6 +290,28 @@ mod tests {
         assert_eq!(store.right(a), NodeRef::NIL);
         store.set_key(b, 99);
         assert_eq!(store.key(b), 99);
+    }
+
+    #[test]
+    fn batched_relink_commits_one_frontier() {
+        let rt = Runtime::new();
+        let store = TreeStore::new(&rt);
+        let a = store.new_leaf(1);
+        let b = store.new_leaf(2);
+        let c = store.new_leaf(3);
+        // Swap b and c between a's child slots in one transaction.
+        store.set_left(a, b);
+        store.set_right(a, c);
+        rt.batch(|tx| {
+            store.set_left_in(tx, a, c);
+            store.set_right_in(tx, a, b);
+            store.set_key_in(tx, a, 10);
+        });
+        assert_eq!(store.left(a), c);
+        assert_eq!(store.right(a), b);
+        assert_eq!(store.key(a), 10);
+        assert_eq!(rt.stats().batches, 1);
+        assert_eq!(rt.stats().batched_writes, 3);
     }
 
     #[test]

@@ -176,6 +176,57 @@ impl MaintainedAvl {
         }
     }
 
+    /// Inserts many keys in one write transaction — the batched form of
+    /// [`MaintainedAvl::insert`]. The BST descent reads child links through
+    /// the transaction (read-your-writes), so later keys see the leaves
+    /// linked by earlier ones, but the tracked link writes commit as a
+    /// single deduplicated dirty frontier. Returns the number of keys
+    /// actually inserted (duplicates are ignored, as in `insert`).
+    pub fn insert_all(&mut self, keys: impl IntoIterator<Item = i64>) -> usize {
+        let store = Rc::clone(&self.store);
+        let rt = store.runtime().clone();
+        let mut inserted = 0usize;
+        let mut root = self.root;
+        rt.batch(|tx| {
+            'keys: for key in keys {
+                if root.is_nil() {
+                    root = store.new_leaf(key);
+                    inserted += 1;
+                    continue;
+                }
+                let mut cur = root;
+                loop {
+                    let k = store.key_in(tx, cur);
+                    if key == k {
+                        continue 'keys;
+                    }
+                    if key < k {
+                        let l = store.left_in(tx, cur);
+                        if l.is_nil() {
+                            let leaf = store.new_leaf(key);
+                            store.set_left_in(tx, cur, leaf);
+                            inserted += 1;
+                            continue 'keys;
+                        }
+                        cur = l;
+                    } else {
+                        let r = store.right_in(tx, cur);
+                        if r.is_nil() {
+                            let leaf = store.new_leaf(key);
+                            store.set_right_in(tx, cur, leaf);
+                            inserted += 1;
+                            continue 'keys;
+                        }
+                        cur = r;
+                    }
+                }
+            }
+        });
+        self.root = root;
+        self.len += inserted;
+        inserted
+    }
+
     /// Plain BST deletion. Returns `true` if the key was present.
     pub fn remove(&mut self, key: i64) -> bool {
         let (removed, new_root) = remove_rec(&self.store, self.root, key);
@@ -371,17 +422,37 @@ mod tests {
 
     #[test]
     fn batched_inserts_then_one_rebalance() {
-        // The off-line usage: build a degenerate chain, balance once.
+        // The off-line usage: build a degenerate chain in one write
+        // transaction, balance once.
         let rt = Runtime::new();
         let mut avl = MaintainedAvl::new(&rt);
-        for k in 0..256 {
-            avl.insert(k);
-        }
+        assert_eq!(avl.insert_all(0..256), 256);
+        assert_eq!(rt.stats().batches, 1);
         avl.rebalance();
         assert!(avl.is_avl());
         assert!(avl.is_bst());
         assert_eq!(avl.keys().len(), 256);
         assert!(avl.height() <= 10);
+    }
+
+    #[test]
+    fn insert_all_matches_sequential_inserts() {
+        let keys = [13i64, 5, 21, 13, 8, 1, 34, 2, 5, 55, 3];
+        let rt_seq = Runtime::new();
+        let mut seq = MaintainedAvl::new(&rt_seq);
+        let mut n_seq = 0;
+        for &k in &keys {
+            n_seq += usize::from(seq.insert(k));
+        }
+        let rt_bulk = Runtime::new();
+        let mut bulk = MaintainedAvl::new(&rt_bulk);
+        let n_bulk = bulk.insert_all(keys);
+        assert_eq!(n_bulk, n_seq);
+        assert_eq!(bulk.len(), seq.len());
+        seq.rebalance();
+        bulk.rebalance();
+        assert_eq!(bulk.keys(), seq.keys());
+        assert!(bulk.is_avl() && bulk.is_bst());
     }
 
     #[test]

@@ -207,9 +207,14 @@ mod tests {
             }
         }
         collect_leaves(store, root, &mut leaves);
-        for (i, &leaf) in leaves.iter().take(3).enumerate() {
-            store.set_left(leaf, store.new_leaf(1000 + i as i64));
-        }
+        // Graft all three chains in one write transaction: one borrow, one
+        // dirty frontier.
+        let grafts: Vec<_> = (0..3).map(|i| store.new_leaf(1000 + i as i64)).collect();
+        rt.batch(|tx| {
+            for (&leaf, &graft) in leaves.iter().take(3).zip(&grafts) {
+                store.set_left_in(tx, leaf, graft);
+            }
+        });
         let before = rt.stats();
         assert_eq!(tree.height(root), 8);
         let d = rt.stats().delta_since(&before);
