@@ -100,12 +100,33 @@ impl AgTree {
         );
         let mut nodes = self.nodes.borrow_mut();
         let id = AgNodeId(u32::try_from(nodes.len()).expect("too many AG nodes"));
-        nodes.push(NodeData {
-            prod,
-            parent: self.rt.var(None),
-            children: (0..spec_arity).map(|_| self.rt.var(None)).collect(),
-            terminals: terminals.into_iter().map(|v| self.rt.var(v)).collect(),
-        });
+        let data = if self.rt.tracing() {
+            // Trace labels name each structural var after the production and
+            // slot ("Plus#4.child0") so graph exports stay readable. Skipped
+            // entirely on untraced runtimes.
+            let name = self.grammar.prod_name(prod);
+            let base = format!("{}#{}", name, id.0);
+            NodeData {
+                prod,
+                parent: self.rt.var_named(&format!("{base}.parent"), None),
+                children: (0..spec_arity)
+                    .map(|i| self.rt.var_named(&format!("{base}.child{i}"), None))
+                    .collect(),
+                terminals: terminals
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| self.rt.var_named(&format!("{base}.term{i}"), v))
+                    .collect(),
+            }
+        } else {
+            NodeData {
+                prod,
+                parent: self.rt.var(None),
+                children: (0..spec_arity).map(|_| self.rt.var(None)).collect(),
+                terminals: terminals.into_iter().map(|v| self.rt.var(v)).collect(),
+            }
+        };
+        nodes.push(data);
         id
     }
 

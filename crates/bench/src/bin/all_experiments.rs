@@ -1,18 +1,27 @@
 //! Prints every experiment table in order (regenerates EXPERIMENTS.md data).
 //!
-//! Usage: `all_experiments [--json] [--quick] [e2 e7 ...]`
+//! Usage: `all_experiments [--json] [--quick] [--trace <chrome|dot|hot>] [e2 e7 ...]`
 //!
 //! With `--json`, each table is additionally written to `BENCH_<ID>.json`
 //! in the current directory so future changes have a machine-readable perf
 //! trajectory to diff against. With `--quick`, every experiment runs on a
 //! reduced parameter set (CI smoke mode — same columns, smaller sizes).
-//! Positional arguments select a subset of experiments by id
-//! (case-insensitive), e.g. `all_experiments --json e2`.
+//! With `--trace`, every runtime the experiments build reports into the
+//! chosen trace consumer: `chrome` writes a Perfetto-loadable
+//! `TRACE_all.json`, `dot` writes the final dependency graph to
+//! `TRACE_all.dot`, `hot` prints a per-node hot-spot table (see
+//! `alphonse_bench::trace_support`). Positional arguments select a subset
+//! of experiments by id (case-insensitive), e.g.
+//! `all_experiments --json e2`.
 use alphonse_bench::experiments as ex;
 use alphonse_bench::table::Table;
+use alphonse_bench::trace_support::TraceSession;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Must come first: removes `--trace <mode>` so the mode token is not
+    // mistaken for an experiment-id filter below.
+    let trace = TraceSession::from_args(&mut args, "all");
     let json = args.iter().any(|a| a == "--json");
     let quick = args.iter().any(|a| a == "--quick");
     if let Some(unknown) = args
@@ -20,7 +29,9 @@ fn main() {
         .find(|a| a.starts_with("--") && *a != "--json" && *a != "--quick")
     {
         eprintln!("unknown flag: {unknown}");
-        eprintln!("usage: all_experiments [--json] [--quick] [e2 e7 ...]");
+        eprintln!(
+            "usage: all_experiments [--json] [--quick] [--trace <chrome|dot|hot>] [e2 e7 ...]"
+        );
         std::process::exit(2);
     }
     let filter: Vec<String> = args
@@ -104,5 +115,8 @@ fn main() {
     if !matched {
         eprintln!("no experiment matches {filter:?}");
         std::process::exit(2);
+    }
+    if let Some(session) = trace {
+        session.finish();
     }
 }

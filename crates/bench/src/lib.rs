@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod table;
+pub mod trace_support;
 pub mod workloads;
 
 pub use table::Table;

@@ -1,0 +1,185 @@
+//! `--trace` plumbing shared by the benchmark binaries.
+//!
+//! The bench bins construct their runtimes internally, so a sink cannot be
+//! attached by hand; instead this module installs a thread-local *default*
+//! sink ([`alphonse::trace::set_default_sink`]) before the experiments run,
+//! which every runtime built afterwards picks up. Three modes:
+//!
+//! | flag             | consumer                           | artifact               |
+//! |------------------|------------------------------------|------------------------|
+//! | `--trace chrome` | [`alphonse::trace::ChromeTrace`]   | `TRACE_<stem>.json`    |
+//! | `--trace dot`    | [`alphonse::trace::GraphSink`]     | `TRACE_<stem>.dot`     |
+//! | `--trace hot`    | [`alphonse::trace::Profiler`]      | top-K table on stdout  |
+//!
+//! The chrome artifact loads directly in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`; the DOT artifact renders with
+//! `dot -Tsvg TRACE_<stem>.dot`. When a binary runs several experiments the
+//! chrome timeline and the profiler aggregate across all of them, while the
+//! graph mirror keeps the most recently constructed runtime.
+
+use alphonse::trace::{self, ChromeTrace, GraphSink, Profiler, TraceSink};
+use std::rc::Rc;
+
+/// Which trace consumer `--trace` selected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Chrome trace-event JSON (Perfetto-loadable) written to `TRACE_<stem>.json`.
+    Chrome,
+    /// DOT rendering of the final dependency graph written to `TRACE_<stem>.dot`.
+    Dot,
+    /// Per-node hot-spot table printed to stdout.
+    Hot,
+}
+
+/// Extracts a `--trace <mode>` or `--trace=<mode>` flag from `args`,
+/// removing the consumed tokens so downstream positional parsing never sees
+/// them.
+///
+/// # Errors
+///
+/// Returns a usage message if the flag is present but the mode is missing
+/// or not one of `chrome`, `dot`, `hot`.
+pub fn take_trace_flag(args: &mut Vec<String>) -> Result<Option<TraceMode>, String> {
+    let mode_of = |s: &str| match s {
+        "chrome" => Ok(TraceMode::Chrome),
+        "dot" => Ok(TraceMode::Dot),
+        "hot" => Ok(TraceMode::Hot),
+        other => Err(format!(
+            "unknown trace mode `{other}` (expected chrome, dot or hot)"
+        )),
+    };
+    let Some(i) = args
+        .iter()
+        .position(|a| a == "--trace" || a.starts_with("--trace="))
+    else {
+        return Ok(None);
+    };
+    let flag = args.remove(i);
+    let mode = if let Some(value) = flag.strip_prefix("--trace=") {
+        mode_of(value)?
+    } else {
+        if i >= args.len() {
+            return Err("--trace requires a mode: chrome, dot or hot".to_string());
+        }
+        mode_of(&args.remove(i))?
+    };
+    Ok(Some(mode))
+}
+
+/// An installed trace session: holds the sink for the chosen [`TraceMode`]
+/// and knows how to flush its artifact.
+///
+/// Construct with [`TraceSession::start`] *before* any runtime is built and
+/// call [`TraceSession::finish`] after the workload completes.
+pub struct TraceSession {
+    mode: TraceMode,
+    stem: String,
+    chrome: Option<Rc<ChromeTrace>>,
+    graph: Option<Rc<GraphSink>>,
+    profiler: Option<Rc<Profiler>>,
+}
+
+impl TraceSession {
+    /// Creates the sink for `mode`, installs it as the thread-local default
+    /// sink, and remembers `stem` for the artifact file name.
+    pub fn start(mode: TraceMode, stem: &str) -> TraceSession {
+        let mut session = TraceSession {
+            mode,
+            stem: stem.to_string(),
+            chrome: None,
+            graph: None,
+            profiler: None,
+        };
+        let sink: Rc<dyn TraceSink> = match mode {
+            TraceMode::Chrome => {
+                let s = Rc::new(ChromeTrace::new());
+                session.chrome = Some(s.clone());
+                s
+            }
+            TraceMode::Dot => {
+                let s = Rc::new(GraphSink::new());
+                session.graph = Some(s.clone());
+                s
+            }
+            TraceMode::Hot => {
+                let s = Rc::new(Profiler::new());
+                session.profiler = Some(s.clone());
+                s
+            }
+        };
+        trace::set_default_sink(Some(sink));
+        session
+    }
+
+    /// Convenience: parse `--trace` out of `args` and start a session if the
+    /// flag was given. Exits the process with a usage message on a malformed
+    /// flag (bench binaries have no fancier error channel).
+    pub fn from_args(args: &mut Vec<String>, stem: &str) -> Option<TraceSession> {
+        match take_trace_flag(args) {
+            Ok(mode) => mode.map(|m| TraceSession::start(m, stem)),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Uninstalls the default sink and flushes the artifact: writes
+    /// `TRACE_<stem>.json` / `TRACE_<stem>.dot` into the current directory
+    /// (next to the `BENCH_*.json` files) or prints the hot-node table.
+    pub fn finish(self) {
+        trace::set_default_sink(None);
+        match self.mode {
+            TraceMode::Chrome => {
+                let path = format!("TRACE_{}.json", self.stem);
+                let json = self.chrome.expect("chrome session holds a sink").to_json();
+                std::fs::write(&path, json).expect("write chrome trace");
+                eprintln!("wrote {path} (load at https://ui.perfetto.dev)");
+            }
+            TraceMode::Dot => {
+                let path = format!("TRACE_{}.dot", self.stem);
+                let dot = self.graph.expect("dot session holds a sink").to_dot();
+                std::fs::write(&path, dot).expect("write dot trace");
+                eprintln!("wrote {path} (render with: dot -Tsvg {path})");
+            }
+            TraceMode::Hot => {
+                let prof = self.profiler.expect("hot session holds a sink");
+                println!("\n{}", prof.report(20));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_separate_and_inline_forms() {
+        let mut a = args(&["--quick", "--trace", "chrome", "e2"]);
+        assert_eq!(take_trace_flag(&mut a).unwrap(), Some(TraceMode::Chrome));
+        assert_eq!(a, args(&["--quick", "e2"]));
+
+        let mut b = args(&["--trace=hot"]);
+        assert_eq!(take_trace_flag(&mut b).unwrap(), Some(TraceMode::Hot));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn absent_flag_is_none_and_args_untouched() {
+        let mut a = args(&["--json", "e6"]);
+        assert_eq!(take_trace_flag(&mut a).unwrap(), None);
+        assert_eq!(a, args(&["--json", "e6"]));
+    }
+
+    #[test]
+    fn rejects_bad_or_missing_mode() {
+        assert!(take_trace_flag(&mut args(&["--trace", "flame"])).is_err());
+        assert!(take_trace_flag(&mut args(&["--trace"])).is_err());
+        assert!(take_trace_flag(&mut args(&["--trace="])).is_err());
+    }
+}

@@ -71,6 +71,18 @@ impl DirtySet {
         }
     }
 
+    /// Visits every queued node, in no particular order.
+    pub(crate) fn for_each_member(&self, mut f: impl FnMut(NodeId)) {
+        match self {
+            DirtySet::Height(q) => q.for_each_member(f),
+            DirtySet::Fifo { members, .. } => {
+                for &n in members {
+                    f(n);
+                }
+            }
+        }
+    }
+
     pub(crate) fn is_empty(&self) -> bool {
         match self {
             DirtySet::Height(q) => q.is_empty(),

@@ -25,6 +25,7 @@
 //! | evaluation routine (Section 4.5) | [`Runtime::propagate`] + automatic pre-call evaluation |
 //! | graph partitioning (Section 6.3) | [`RuntimeBuilder::partitioning`] |
 //! | `(*UNCHECKED*)` (Section 6.4) | [`Runtime::untracked`] / [`Var::get_untracked`] |
+//! | dependency information for debugging (Section 1) | [`Runtime::explain`] / [`trace`] sinks ([`Runtime::set_sink`]) |
 //!
 //! # Quickstart
 //!
@@ -62,6 +63,7 @@ pub mod fxhash;
 mod memo;
 mod runtime;
 mod stats;
+pub mod trace;
 mod value;
 mod var;
 

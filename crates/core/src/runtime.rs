@@ -12,6 +12,9 @@
 use crate::dirty::{DirtySet, Scheduling};
 use crate::fxhash::FxHashMap;
 use crate::stats::Stats;
+#[cfg(feature = "trace")]
+use crate::trace::TraceEvent;
+use crate::trace::{DirtyReason, GraphSnapshot, SnapshotNode, TraceSink};
 use crate::value::Value;
 use alphonse_graph::{DepGraph, NodeId, UnionFind};
 use std::cell::RefCell;
@@ -20,6 +23,24 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Delivers an event to the installed trace sink, if any.
+///
+/// The event expression is only evaluated inside the sink-present branch, so
+/// with no sink each site costs a single untaken, well-predicted branch;
+/// without the `trace` feature the sites compile out entirely. The sink is
+/// cloned out of the slot first (an `Rc` bump) so the event may borrow the
+/// same `Inner` the slot lives in.
+macro_rules! emit {
+    ($inner:expr, $ev:expr) => {
+        #[cfg(feature = "trace")]
+        {
+            if let Some(sink) = $inner.sink.as_ref().map(Rc::clone) {
+                sink.event(&$ev);
+            }
+        }
+    };
+}
 
 /// The re-execution closure of an incremental procedure instance: runs the
 /// body against the runtime and returns the fresh cached value.
@@ -133,6 +154,10 @@ pub(crate) struct Inner {
     /// so steady-state batches allocate nothing for their bookkeeping.
     batch_pending: PendingWrites,
     batch_slots: Vec<usize>,
+    /// Installed trace sink ([`crate::trace`]). `None` — the default — keeps
+    /// every emission site down to one untaken branch.
+    #[cfg(feature = "trace")]
+    sink: Option<Rc<dyn TraceSink>>,
     stats: Stats,
 }
 
@@ -211,6 +236,8 @@ impl RuntimeBuilder {
                 succ_scratch: Vec::new(),
                 batch_pending: Vec::new(),
                 batch_slots: Vec::new(),
+                #[cfg(feature = "trace")]
+                sink: crate::trace::default_sink(),
                 stats: Stats::default(),
             })),
             id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
@@ -281,7 +308,8 @@ impl Inner {
     }
 
     /// Inserts `n` into the inconsistent set of its partition.
-    fn insert_dirty(&mut self, n: NodeId) {
+    #[cfg_attr(not(feature = "trace"), allow(unused_variables))]
+    fn insert_dirty(&mut self, n: NodeId, reason: DirtyReason) {
         let height = self.graph.height(n);
         let scheduling = self.scheduling;
         let root = self.partition.as_mut().map(|uf| uf.find(n));
@@ -294,6 +322,7 @@ impl Inner {
         };
         if fresh {
             self.stats.dirtied += 1;
+            emit!(self, TraceEvent::Dirtied { node: n, reason });
         }
     }
 
@@ -333,6 +362,7 @@ impl Inner {
         let v = frame.node;
         self.graph.add_edge(n, v);
         self.stats.edges_created += 1;
+        emit!(self, TraceEvent::EdgeAdded { from: n, to: v });
         assert!(
             !self.graph.cycle_suspected(),
             "dependency cycle detected at {} -> {} ({}): incremental procedures must be \
@@ -368,7 +398,7 @@ impl Inner {
         self.graph.succs_into(u, &mut scratch);
         self.stats.scratch_hwm = self.stats.scratch_hwm.max(scratch.capacity() as u64);
         for &s in &scratch {
-            self.insert_dirty(s);
+            self.insert_dirty(s, DirtyReason::Fanout);
         }
         self.succ_scratch = scratch;
     }
@@ -390,6 +420,11 @@ impl Inner {
         if compared {
             self.stats.comparisons += 1;
         }
+        emit!(self, TraceEvent::Write { node: n, changed });
+        #[cfg(feature = "trace")]
+        if compared && !changed {
+            emit!(self, TraceEvent::CutoffStop { node: n });
+        }
         if changed {
             self.stats.changes += 1;
             // Only locations some incremental instance has actually read
@@ -401,7 +436,7 @@ impl Inner {
             // mid-construction and breaking the frontier invariant of the
             // Section 4.5 marking rule.
             if self.graph.has_succs(n) {
-                self.insert_dirty(n);
+                self.insert_dirty(n, DirtyReason::WriteChanged);
             }
         }
     }
@@ -409,12 +444,29 @@ impl Inner {
     fn alloc_node(&mut self, data: NodeData) -> NodeId {
         let n = self.graph.add_node();
         debug_assert_eq!(n.index(), self.nodes.len());
+        #[cfg(feature = "trace")]
+        let (kind, label) = (
+            if data.comp.is_some() {
+                NodeKind::Computation
+            } else {
+                NodeKind::Location
+            },
+            data.name.clone(),
+        );
         self.nodes.push(data);
         self.last_accessed.push(0);
         if let Some(uf) = self.partition.as_mut() {
             uf.ensure(n);
         }
         self.stats.nodes_created += 1;
+        emit!(
+            self,
+            TraceEvent::NodeCreated {
+                node: n,
+                kind,
+                label
+            }
+        );
         n
     }
 }
@@ -457,6 +509,256 @@ impl Runtime {
     /// Resets all work counters to zero.
     pub fn reset_stats(&self) {
         self.inner.borrow_mut().stats = Stats::default();
+    }
+
+    // ------------------------------------------------------------------
+    // Observability (see `crate::trace` for the event taxonomy).
+    // ------------------------------------------------------------------
+
+    /// Installs `sink` as this runtime's trace sink, returning the previous
+    /// one; pass `None` to detach. Events are delivered synchronously while
+    /// the runtime is internally borrowed — see [`crate::trace`] for the
+    /// sink contract (in short: a sink must never re-enter runtime
+    /// operations).
+    #[cfg(feature = "trace")]
+    pub fn set_sink(&self, sink: Option<Rc<dyn TraceSink>>) -> Option<Rc<dyn TraceSink>> {
+        std::mem::replace(&mut self.inner.borrow_mut().sink, sink)
+    }
+
+    /// Without the `trace` feature sinks cannot be attached: this stub
+    /// ignores `sink` and returns `None`, keeping callers source-compatible
+    /// across feature configurations.
+    #[cfg(not(feature = "trace"))]
+    pub fn set_sink(&self, _sink: Option<Rc<dyn TraceSink>>) -> Option<Rc<dyn TraceSink>> {
+        None
+    }
+
+    /// Runs `f` with `sink` installed, then restores the previously
+    /// installed sink (a scoped form of [`Runtime::set_sink`]).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use alphonse::trace::Recorder;
+    /// use alphonse::Runtime;
+    /// use std::rc::Rc;
+    ///
+    /// let rt = Runtime::new();
+    /// let x = rt.var(1i64);
+    /// let rec = Rc::new(Recorder::new(64));
+    /// rt.with_trace(rec.clone(), || x.set(&rt, 2));
+    /// assert!(!rec.is_empty());
+    /// ```
+    pub fn with_trace<R>(&self, sink: Rc<dyn TraceSink>, f: impl FnOnce() -> R) -> R {
+        let prev = self.set_sink(Some(sink));
+        let out = f();
+        self.set_sink(prev);
+        out
+    }
+
+    /// Returns `true` if a trace sink is currently installed (always
+    /// `false` without the `trace` feature). Substrates consult this before
+    /// allocating diagnostic labels on hot construction paths, keeping the
+    /// no-observer configuration allocation-free.
+    pub fn tracing(&self) -> bool {
+        #[cfg(feature = "trace")]
+        {
+            self.inner.borrow().sink.is_some()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            false
+        }
+    }
+
+    /// Assigns a diagnostic label to node `n`, visible in
+    /// [`Runtime::explain`], [`Runtime::dump_graph`], graph snapshots and
+    /// the trace stream ([`crate::trace::TraceEvent::Labeled`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not belong to this runtime.
+    pub fn set_label(&self, n: NodeId, label: &str) {
+        let mut inner = self.inner.borrow_mut();
+        let label: Rc<str> = Rc::from(label);
+        inner.nodes[n.index()].name = Some(Rc::clone(&label));
+        emit!(inner, TraceEvent::Labeled { node: n, label });
+    }
+
+    /// The diagnostic label of node `n`, if one was assigned (memo names
+    /// are assigned automatically; [`Runtime::var_named`] and
+    /// [`Runtime::set_label`] cover the rest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` does not belong to this runtime.
+    pub fn node_label(&self, n: NodeId) -> Option<String> {
+        self.inner.borrow().nodes[n.index()]
+            .name
+            .as_deref()
+            .map(str::to_owned)
+    }
+
+    /// A point-in-time copy of the dependency graph with full runtime
+    /// fidelity — kind, label, consistency flag, dirty-queue membership,
+    /// partition root and execution recency per node — renderable with
+    /// [`crate::trace::render_dot`]. Prefer this over
+    /// [`crate::trace::GraphSink`] while the runtime is still alive.
+    pub fn graph_snapshot(&self) -> GraphSnapshot {
+        let mut guard = self.inner.borrow_mut();
+        let inner = &mut *guard;
+        let n_nodes = inner.nodes.len();
+        let mut queued = vec![false; n_nodes];
+        match &inner.dirty {
+            DirtyStore::Global(s) => s.for_each_member(|m| queued[m.index()] = true),
+            DirtyStore::Partitioned(map) => {
+                for s in map.values() {
+                    s.for_each_member(|m| queued[m.index()] = true);
+                }
+            }
+        }
+        let roots: Vec<Option<NodeId>> = match inner.partition.as_mut() {
+            Some(uf) => (0..n_nodes)
+                .map(|i| Some(uf.find(NodeId::from_index(i))))
+                .collect(),
+            None => vec![None; n_nodes],
+        };
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut edges = Vec::new();
+        for (i, nd) in inner.nodes.iter().enumerate() {
+            let id = NodeId::from_index(i);
+            let (kind, consistent, last_exec) = match &nd.comp {
+                None => (NodeKind::Location, true, 0),
+                Some(c) => (NodeKind::Computation, c.consistent, c.cur_gen),
+            };
+            nodes.push(SnapshotNode {
+                id,
+                kind,
+                label: nd.name.as_deref().map(str::to_owned),
+                consistent,
+                queued: queued[i],
+                partition: roots[i],
+                last_exec,
+                execs: 0,
+            });
+            for s in inner.graph.succs(id) {
+                edges.push((id, s));
+            }
+        }
+        GraphSnapshot { nodes, edges }
+    }
+
+    /// Verifies the runtime's internal data-structure invariants. Debug
+    /// builds only — release builds compile this to a no-op, so harnesses
+    /// (like the E11 differential tests) can call it unconditionally.
+    ///
+    /// Checked invariants:
+    ///
+    /// * the call stack is empty (only call this between top-level
+    ///   operations) and every node's `on_stack` counter is zero;
+    /// * edge symmetry: the graph's successor and predecessor lists agree
+    ///   as edge multisets;
+    /// * every queued dirty node is a node of this runtime, and with
+    ///   partitioning on it is queued under its own partition root;
+    /// * at quiescence (no dirty nodes anywhere), the Section 4.5 marking
+    ///   frontier invariant: every computation that depends on an
+    ///   inconsistent computation is itself inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) describing the first violated invariant.
+    pub fn check_invariants(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut guard = self.inner.borrow_mut();
+            let inner = &mut *guard;
+            assert!(
+                inner.stack.is_empty(),
+                "check_invariants: {} execution frame(s) still active; only call between \
+                 top-level operations",
+                inner.stack.len()
+            );
+            let n_nodes = inner.nodes.len();
+            for (i, nd) in inner.nodes.iter().enumerate() {
+                if let Some(c) = &nd.comp {
+                    assert_eq!(
+                        c.on_stack, 0,
+                        "check_invariants: node {i} has on_stack={} with an empty call stack",
+                        c.on_stack
+                    );
+                }
+            }
+            // Edge symmetry: every succ edge must have a matching pred edge
+            // and vice versa, as multisets.
+            let mut balance: FxHashMap<(NodeId, NodeId), i64> = FxHashMap::default();
+            for i in 0..n_nodes {
+                let u = NodeId::from_index(i);
+                for v in inner.graph.succs(u) {
+                    *balance.entry((u, v)).or_insert(0) += 1;
+                }
+                for p in inner.graph.preds(u) {
+                    *balance.entry((p, u)).or_insert(0) -= 1;
+                }
+            }
+            for ((u, v), count) in balance {
+                assert_eq!(
+                    count, 0,
+                    "check_invariants: edge {u} -> {v} appears {count:+} more time(s) in the \
+                     successor lists than in the predecessor lists"
+                );
+            }
+            // Dirty-set sanity.
+            let mut dirty_total = 0usize;
+            let mut uf = inner.partition.as_mut();
+            match &inner.dirty {
+                DirtyStore::Global(s) => s.for_each_member(|m| {
+                    assert!(
+                        m.index() < n_nodes,
+                        "check_invariants: dirty set contains unknown node {m}"
+                    );
+                    dirty_total += 1;
+                }),
+                DirtyStore::Partitioned(map) => {
+                    for (&root, s) in map {
+                        s.for_each_member(|m| {
+                            assert!(
+                                m.index() < n_nodes,
+                                "check_invariants: dirty set contains unknown node {m}"
+                            );
+                            if let Some(uf) = uf.as_deref_mut() {
+                                assert_eq!(
+                                    uf.find(m),
+                                    root,
+                                    "check_invariants: node {m} queued under stale partition \
+                                     root {root}"
+                                );
+                            }
+                            dirty_total += 1;
+                        });
+                    }
+                }
+            }
+            // Marking frontier (Section 4.5): once all dirt has drained,
+            // nothing consistent may sit downstream of anything inconsistent.
+            if dirty_total == 0 {
+                for i in 0..n_nodes {
+                    let u = NodeId::from_index(i);
+                    let stale = inner.nodes[i].comp.as_ref().is_some_and(|c| !c.consistent);
+                    if !stale {
+                        continue;
+                    }
+                    for v in inner.graph.succs(u) {
+                        if let Some(c) = inner.nodes[v.index()].comp.as_ref() {
+                            assert!(
+                                !c.consistent,
+                                "check_invariants: marking frontier violated — consistent \
+                                 node {v} depends on inconsistent node {u}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Number of dependency-graph nodes (locations + procedure instances).
@@ -555,6 +857,7 @@ impl Runtime {
             let mut inner = self.inner.borrow_mut();
             inner.stats.reads += 1;
             inner.stats.cloned_reads += 1;
+            emit!(inner, TraceEvent::Read { node: n });
             inner.record_dependence(n);
         }
         let inner = self.inner.borrow();
@@ -588,6 +891,7 @@ impl Runtime {
             let mut inner = self.inner.borrow_mut();
             inner.stats.reads += 1;
             inner.stats.borrow_reads += 1;
+            emit!(inner, TraceEvent::Read { node: n });
             inner.record_dependence(n);
         }
         let inner = self.inner.borrow();
@@ -637,6 +941,13 @@ impl Runtime {
         inner.stats.batches += 1;
         inner.stats.batched_writes += submitted;
         inner.stats.coalesced_writes += coalesced;
+        emit!(
+            inner,
+            TraceEvent::BatchCommit {
+                writes: submitted,
+                coalesced,
+            }
+        );
         for (n, value) in pending.drain(..) {
             slots[n.index()] = 0; // reset only the touched slots
             inner.stats.writes += 1;
@@ -695,6 +1006,7 @@ impl Runtime {
         match &nd.value {
             Some(_) => {
                 inner.stats.cache_hits += 1;
+                emit!(inner, TraceEvent::CacheHit { node: n });
                 drop(inner);
                 let inner = self.inner.borrow();
                 let v = inner.nodes[n.index()]
@@ -788,6 +1100,19 @@ impl Runtime {
                 suppress: 0,
                 stale: false,
             });
+            #[cfg(feature = "trace")]
+            {
+                emit!(inner, TraceEvent::ExecuteBegin { node: n });
+                if removed > 0 {
+                    emit!(
+                        inner,
+                        TraceEvent::EdgesRemoved {
+                            node: n,
+                            count: removed,
+                        }
+                    );
+                }
+            }
             (executor, my_gen)
         };
         let value = executor(self);
@@ -804,13 +1129,25 @@ impl Runtime {
         let nd = &mut inner.nodes[n.index()];
         let comp = nd.comp.as_mut().expect("computation");
         comp.on_stack -= 1;
-        if comp.cur_gen != my_gen {
+        let superseded = comp.cur_gen != my_gen;
+        let requeue = if superseded {
+            false
+        } else {
+            std::mem::take(&mut comp.requeue)
+        };
+        if superseded {
             // A nested execution superseded this one; its cache entry is the
             // one that matches the current program state. Hand our value to
             // the caller without committing it.
+            emit!(
+                inner,
+                TraceEvent::ExecuteEnd {
+                    node: n,
+                    changed: false,
+                }
+            );
             return (Some(value), false);
         }
-        let requeue = std::mem::take(&mut comp.requeue);
         let nd = &mut inner.nodes[n.index()];
         // A first execution has no previous value: it counts as changed
         // without charging a cutoff comparison.
@@ -822,8 +1159,13 @@ impl Runtime {
         if compared {
             inner.stats.comparisons += 1;
         }
+        emit!(inner, TraceEvent::ExecuteEnd { node: n, changed });
+        #[cfg(feature = "trace")]
+        if compared && !changed {
+            emit!(inner, TraceEvent::CutoffStop { node: n });
+        }
         if requeue {
-            inner.insert_dirty(n);
+            inner.insert_dirty(n, DirtyReason::Requeue);
         }
         (None, changed)
     }
@@ -1002,12 +1344,19 @@ impl Runtime {
     /// partition containing this node; `None`: evaluate everything.
     /// `max_steps` bounds the number of dirty nodes processed (preemption).
     fn evaluate_bounded(&self, origin: Option<NodeId>, max_steps: u64) {
+        #[cfg(feature = "trace")]
+        let steps_before;
         {
             let mut inner = self.inner.borrow_mut();
             if inner.evaluating {
                 return;
             }
             inner.evaluating = true;
+            #[cfg(feature = "trace")]
+            {
+                steps_before = inner.stats.propagation_steps;
+            }
+            emit!(inner, TraceEvent::PropagateBegin);
         }
         let mut steps = 0u64;
         while steps < max_steps {
@@ -1027,7 +1376,14 @@ impl Runtime {
                 }
             }
         }
-        self.inner.borrow_mut().evaluating = false;
+        let mut inner = self.inner.borrow_mut();
+        inner.evaluating = false;
+        emit!(
+            inner,
+            TraceEvent::PropagateEnd {
+                steps: inner.stats.propagation_steps - steps_before,
+            }
+        );
     }
 
     /// Pops and processes one dirty node; mutation-only cases are handled

@@ -4,13 +4,55 @@
 //! reproduction measures *work* — executions avoided, edges maintained,
 //! propagation steps — in addition to wall-clock time. Every counter is a
 //! simple monotone tally maintained by the runtime.
+//!
+//! Counters answer *how much*; for *which node* and *why* — per-event
+//! observability, timelines, flame traces and hot-node profiles — see the
+//! [`crate::trace`] module, which streams the individual operations these
+//! tallies aggregate.
+
+use std::fmt;
+
+/// Applies a macro to the complete list of [`Stats`] counter fields.
+///
+/// This is the single source of truth for the field list: `delta_since`
+/// builds an exhaustive struct literal from it (so a newly added counter
+/// that is missing here fails to compile rather than silently skipping
+/// delta math), and [`Stats::fields`] / `Display` render from it.
+macro_rules! for_each_counter {
+    ($m:ident) => {
+        $m!(
+            executions,
+            cache_hits,
+            calls,
+            reads,
+            writes,
+            changes,
+            edges_created,
+            edges_removed,
+            dirtied,
+            propagation_steps,
+            comparisons,
+            nodes_created,
+            untracked_reads,
+            borrow_reads,
+            cloned_reads,
+            dedup_hits,
+            memo_probes,
+            batches,
+            batched_writes,
+            coalesced_writes,
+            scratch_hwm
+        )
+    };
+}
 
 /// A snapshot of runtime work counters.
 ///
 /// Obtain one with [`Runtime::stats`](crate::Runtime::stats); reset the
 /// tallies with [`Runtime::reset_stats`](crate::Runtime::reset_stats).
 /// Subtracting two snapshots (via [`Stats::delta_since`]) isolates the work
-/// done by one phase of a program.
+/// done by one phase of a program. The `Display` implementation renders an
+/// aligned name/value table.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub struct Stats {
@@ -78,37 +120,26 @@ impl Stats {
     /// corresponding counter of `self` (snapshots out of order).
     #[must_use]
     pub fn delta_since(&self, earlier: &Stats) -> Stats {
+        // Exhaustive struct literal: a counter missing from
+        // `for_each_counter!` is a compile error here, not a silent zero.
         macro_rules! sub {
-            ($($f:ident),*) => {
+            ($($f:ident),* $(,)?) => {
                 Stats { $($f: {
                     debug_assert!(self.$f >= earlier.$f, concat!("stats went backwards: ", stringify!($f)));
                     self.$f - earlier.$f
                 }),* }
             };
         }
-        sub!(
-            executions,
-            cache_hits,
-            calls,
-            reads,
-            writes,
-            changes,
-            edges_created,
-            edges_removed,
-            dirtied,
-            propagation_steps,
-            comparisons,
-            nodes_created,
-            untracked_reads,
-            borrow_reads,
-            cloned_reads,
-            dedup_hits,
-            memo_probes,
-            batches,
-            batched_writes,
-            coalesced_writes,
-            scratch_hwm
-        )
+        for_each_counter!(sub)
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order.
+    #[must_use]
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! list {
+            ($($f:ident),* $(,)?) => { vec![$((stringify!($f), self.$f)),*] };
+        }
+        for_each_counter!(list)
     }
 
     /// Total "work" proxy: executions plus propagation steps plus edge
@@ -119,15 +150,52 @@ impl Stats {
     }
 }
 
+impl fmt::Display for Stats {
+    /// Renders the counters as an aligned two-column table (names
+    /// left-aligned, values right-aligned), with the [`Stats::work`]
+    /// aggregate as the final row.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut rows = self.fields();
+        rows.push(("work()", self.work()));
+        let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        let val_w = rows
+            .iter()
+            .map(|(_, v)| v.to_string().len())
+            .max()
+            .unwrap_or(1);
+        for (i, (name, value)) in rows.iter().enumerate() {
+            if i + 1 == rows.len() {
+                write!(f, "{name:<name_w$}  {value:>val_w$}")?;
+            } else {
+                writeln!(f, "{name:<name_w$}  {value:>val_w$}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Writes `value(i)` into the i-th counter, in declaration order.
+    fn set_all(s: &mut Stats, value: impl Fn(u64) -> u64) {
+        macro_rules! assign {
+            ($($f:ident),* $(,)?) => {{
+                let mut i = 0u64;
+                $(s.$f = value(i); i += 1;)*
+                let _ = i;
+            }};
+        }
+        for_each_counter!(assign)
+    }
 
     #[test]
     fn default_is_zero() {
         let s = Stats::default();
         assert_eq!(s.work(), 0);
         assert_eq!(s.executions, 0);
+        assert!(s.fields().iter().all(|&(_, v)| v == 0));
     }
 
     #[test]
@@ -147,6 +215,53 @@ mod tests {
         assert_eq!(d.executions, 3);
         assert_eq!(d.cache_hits, 3);
         assert_eq!(d.edges_created, 7);
+    }
+
+    #[test]
+    fn delta_round_trips_every_counter() {
+        // Every counter gets a distinct nonzero value on both sides; the
+        // delta must differ per field too. Because `set_all`, `fields` and
+        // `delta_since` are all generated from `for_each_counter!`, a new
+        // counter is covered here automatically — and a counter missing
+        // from the macro list breaks `delta_since`'s struct literal at
+        // compile time.
+        let mut early = Stats::default();
+        let mut late = Stats::default();
+        set_all(&mut early, |i| i + 1);
+        set_all(&mut late, |i| (i + 1) * 10);
+        let d = late.delta_since(&early);
+        for (i, (name, v)) in d.fields().into_iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(v, (i + 1) * 9, "delta miscomputed for counter `{name}`");
+        }
+        // And the delta against zero recovers `late` exactly.
+        assert_eq!(late.delta_since(&Stats::default()), late);
+    }
+
+    #[test]
+    fn display_is_aligned_and_complete() {
+        let mut s = Stats::default();
+        set_all(&mut s, |i| 10u64.pow((i % 5) as u32));
+        let table = s.to_string();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(
+            lines.len(),
+            s.fields().len() + 1,
+            "one row per counter plus the work() footer"
+        );
+        // Aligned: every row has the same width.
+        let widths: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(
+            widths.windows(2).all(|w| w[0] == w[1]),
+            "rows not aligned:\n{table}"
+        );
+        assert!(lines.last().unwrap().starts_with("work()"));
+        for (name, _) in s.fields() {
+            assert!(
+                table.contains(name),
+                "missing counter `{name}` in:\n{table}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,1108 @@
+//! Runtime observability: a pluggable trace-event stream and its consumers.
+//!
+//! The aggregate counters of [`crate::Stats`] answer *how much* work the
+//! runtime did; this module answers *which* node did it and *why*. Every
+//! instrumented operation of the paper — `access`, `modify`, `call`
+//! (Algorithms 3–5) and the Section 4.5 evaluation routine — emits a
+//! [`TraceEvent`] to the sink installed with
+//! [`Runtime::set_sink`](crate::Runtime::set_sink) (or
+//! [`Runtime::with_trace`](crate::Runtime::with_trace)).
+//!
+//! # Zero-cost when disabled
+//!
+//! With no sink installed, every emission site costs exactly one untaken,
+//! well-predicted branch (`Option::is_some` on the sink slot); no event
+//! value is ever constructed. Compiling `alphonse` with
+//! `--no-default-features` (dropping the `trace` feature) removes the sites
+//! entirely. Experiment E2's instrumentation-overhead ratio is the
+//! regression gate for this claim.
+//!
+//! # Sink contract
+//!
+//! Events are delivered synchronously, **while the runtime's internal state
+//! is borrowed**. A sink must therefore never call back into the runtime
+//! that is tracing it (no reads, writes, memo calls, or propagation) — doing
+//! so panics on the interior `RefCell`. Sinks use interior mutability
+//! (events arrive through `&self`) and are single-threaded, like the
+//! runtime itself.
+//!
+//! # Consumers
+//!
+//! | Consumer | Question it answers |
+//! |---|---|
+//! | [`Recorder`] | "what exactly happened, in order?" — bounded ring buffer with per-node timelines |
+//! | [`ChromeTrace`] | "where does wall-clock time go?" — `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)-loadable spans |
+//! | [`GraphSink`] + [`render_dot`] | "what does the dependency graph look like?" — live DOT export |
+//! | [`Profiler`] | "which nodes are hot?" — per-node execution counts and self/cumulative time |
+//!
+//! # Example
+//!
+//! ```
+//! use alphonse::trace::{Recorder, TraceEvent};
+//! use alphonse::Runtime;
+//! use std::rc::Rc;
+//!
+//! let rt = Runtime::new();
+//! let v = rt.var_named("v", 1i64);
+//! let double = rt.memo("double", move |rt, &(): &()| v.get(rt) * 2);
+//! double.call(&rt, ());
+//!
+//! let rec = Rc::new(Recorder::new(128));
+//! rt.set_sink(Some(rec.clone()));
+//! v.set(&rt, 3);
+//! rt.set_sink(None);
+//!
+//! assert!(matches!(
+//!     rec.events().first(),
+//!     Some(TraceEvent::Write { changed: true, .. })
+//! ));
+//! ```
+
+use crate::runtime::NodeKind;
+use alphonse_graph::{NodeId, UnionFind};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Event taxonomy
+// ---------------------------------------------------------------------------
+
+/// Why a node was inserted into an inconsistent set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirtyReason {
+    /// A write changed the stored value of the location (`modify`,
+    /// Algorithm 4).
+    WriteChanged,
+    /// A predecessor's value changed and the marking rule of Section 4.5
+    /// fanned the dirt out to this successor.
+    Fanout,
+    /// An eager node was superseded while executing and re-queued itself on
+    /// completion.
+    Requeue,
+}
+
+/// One observable step of the runtime.
+///
+/// Node-bearing events carry the dense [`NodeId`]; labels arrive separately
+/// through [`TraceEvent::NodeCreated`] / [`TraceEvent::Labeled`], so a sink
+/// can maintain its own id→label map and outlive the runtime.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceEvent {
+    /// A dependency-graph node was allocated.
+    NodeCreated {
+        /// The new node.
+        node: NodeId,
+        /// Location or computation.
+        kind: NodeKind,
+        /// Diagnostic name, when known at allocation (memo name).
+        label: Option<Rc<str>>,
+    },
+    /// A node was given (or re-given) a diagnostic label after allocation.
+    Labeled {
+        /// The labeled node.
+        node: NodeId,
+        /// The new label.
+        label: Rc<str>,
+    },
+    /// A tracked read of a location (`access`, Algorithm 3).
+    Read {
+        /// The location read.
+        node: NodeId,
+    },
+    /// A tracked write to a location (`modify`, Algorithm 4).
+    Write {
+        /// The location written.
+        node: NodeId,
+        /// Whether the stored value actually changed.
+        changed: bool,
+    },
+    /// A node entered an inconsistent set.
+    Dirtied {
+        /// The dirtied node.
+        node: NodeId,
+        /// Why it was dirtied.
+        reason: DirtyReason,
+    },
+    /// The Section 4.5 evaluation routine started draining dirty nodes.
+    PropagateBegin,
+    /// The evaluation routine finished (drained, or hit its step bound).
+    PropagateEnd {
+        /// Dirty nodes processed during this run.
+        steps: u64,
+    },
+    /// An incremental procedure instance began (re-)executing its body.
+    ExecuteBegin {
+        /// The computation node.
+        node: NodeId,
+    },
+    /// The execution begun by the matching [`TraceEvent::ExecuteBegin`]
+    /// finished.
+    ExecuteEnd {
+        /// The computation node.
+        node: NodeId,
+        /// Whether the committed value differs from the previous one
+        /// (always `false` for superseded re-entrant executions).
+        changed: bool,
+    },
+    /// A call was answered from the cache without running the body.
+    CacheHit {
+        /// The consistent computation node.
+        node: NodeId,
+    },
+    /// A cutoff comparison found the recomputed (or rewritten) value equal
+    /// to the stored one: change propagation stops here.
+    CutoffStop {
+        /// The node whose value did not change.
+        node: NodeId,
+    },
+    /// A dependence edge was recorded (`CreateEdge`, Algorithm 3).
+    EdgeAdded {
+        /// The node depended upon (predecessor).
+        from: NodeId,
+        /// The depending computation (successor, top of the call stack).
+        to: NodeId,
+    },
+    /// `RemovePredEdges` dropped a node's incoming edges before
+    /// re-execution (Algorithm 5).
+    EdgesRemoved {
+        /// The computation whose dependencies were discarded.
+        node: NodeId,
+        /// Number of edges dropped.
+        count: u64,
+    },
+    /// A write transaction committed ([`Runtime::batch`](crate::Runtime::batch)).
+    BatchCommit {
+        /// Writes submitted through the transaction (before coalescing).
+        writes: u64,
+        /// Writes absorbed by last-write-wins coalescing.
+        coalesced: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The node this event is about, if any.
+    pub fn node(&self) -> Option<NodeId> {
+        match self {
+            TraceEvent::NodeCreated { node, .. }
+            | TraceEvent::Labeled { node, .. }
+            | TraceEvent::Read { node }
+            | TraceEvent::Write { node, .. }
+            | TraceEvent::Dirtied { node, .. }
+            | TraceEvent::ExecuteBegin { node }
+            | TraceEvent::ExecuteEnd { node, .. }
+            | TraceEvent::CacheHit { node }
+            | TraceEvent::CutoffStop { node }
+            | TraceEvent::EdgesRemoved { node, .. } => Some(*node),
+            TraceEvent::EdgeAdded { from, .. } => Some(*from),
+            TraceEvent::PropagateBegin
+            | TraceEvent::PropagateEnd { .. }
+            | TraceEvent::BatchCommit { .. } => None,
+        }
+    }
+}
+
+/// Receives the runtime's trace events.
+///
+/// Implementations must obey the sink contract described in the
+/// [module docs](self): events arrive synchronously while the runtime is
+/// internally borrowed, so the sink must never re-enter runtime operations.
+pub trait TraceSink {
+    /// Called once per observable runtime step, in program order.
+    fn event(&self, ev: &TraceEvent);
+}
+
+// ---------------------------------------------------------------------------
+// Default sink (process-wide hook for harnesses)
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static DEFAULT_SINK: RefCell<Option<Rc<dyn TraceSink>>> = const { RefCell::new(None) };
+}
+
+/// Installs a sink that every [`Runtime`] *built after this call* (on this
+/// thread) starts with, and returns the previous default. Pass `None` to
+/// clear.
+///
+/// This is the hook benchmark harnesses use to trace workloads that
+/// construct their runtimes internally; prefer
+/// [`Runtime::set_sink`](crate::Runtime::set_sink) when you hold the
+/// runtime.
+pub fn set_default_sink(sink: Option<Rc<dyn TraceSink>>) -> Option<Rc<dyn TraceSink>> {
+    DEFAULT_SINK.with(|s| std::mem::replace(&mut *s.borrow_mut(), sink))
+}
+
+#[cfg_attr(not(feature = "trace"), allow(dead_code))]
+pub(crate) fn default_sink() -> Option<Rc<dyn TraceSink>> {
+    DEFAULT_SINK.with(|s| s.borrow().clone())
+}
+
+// ---------------------------------------------------------------------------
+// Recorder: bounded in-memory ring buffer
+// ---------------------------------------------------------------------------
+
+/// A bounded in-memory event recorder with queryable per-node timelines.
+///
+/// Keeps the most recent `capacity` events (older ones are dropped and
+/// counted in [`Recorder::dropped`]); each record carries a microsecond
+/// timestamp relative to the recorder's creation.
+pub struct Recorder {
+    start: Instant,
+    capacity: usize,
+    buf: RefCell<VecDeque<(u64, TraceEvent)>>,
+    dropped: Cell<u64>,
+}
+
+impl Recorder {
+    /// Creates a recorder keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Recorder {
+        assert!(capacity > 0, "recorder capacity must be positive");
+        Recorder {
+            start: Instant::now(),
+            capacity,
+            buf: RefCell::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: Cell::new(0),
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// Returns `true` if no events are held.
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+
+    /// Events evicted by the ring bound so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Discards all held events (the drop counter is kept).
+    pub fn clear(&self) {
+        self.buf.borrow_mut().clear();
+    }
+
+    /// All held events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.borrow().iter().map(|(_, e)| e.clone()).collect()
+    }
+
+    /// All held events with their timestamps (µs since recorder creation).
+    pub fn records(&self) -> Vec<(u64, TraceEvent)> {
+        self.buf.borrow().iter().cloned().collect()
+    }
+
+    /// The timeline of one node: every held event about `n`, oldest first,
+    /// with timestamps (µs since recorder creation). Edge events appear in
+    /// the timeline of **both** endpoints.
+    pub fn timeline(&self, n: NodeId) -> Vec<(u64, TraceEvent)> {
+        self.buf
+            .borrow()
+            .iter()
+            .filter(|(_, e)| {
+                e.node() == Some(n) || matches!(e, TraceEvent::EdgeAdded { to, .. } if *to == n)
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+impl TraceSink for Recorder {
+    fn event(&self, ev: &TraceEvent) {
+        let ts = self.start.elapsed().as_micros() as u64;
+        let mut buf = self.buf.borrow_mut();
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.set(self.dropped.get() + 1);
+        }
+        buf.push_back((ts, ev.clone()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Label map shared by the self-contained sinks
+// ---------------------------------------------------------------------------
+
+/// Dense id→label map maintained from `NodeCreated` / `Labeled` events.
+#[derive(Default)]
+struct Labels {
+    names: RefCell<Vec<Option<Rc<str>>>>,
+}
+
+impl Labels {
+    fn observe(&self, ev: &TraceEvent) {
+        match ev {
+            TraceEvent::NodeCreated { node, label, .. } => {
+                let mut names = self.names.borrow_mut();
+                let i = node.index();
+                if names.len() <= i {
+                    names.resize(i + 1, None);
+                }
+                names[i] = label.clone();
+            }
+            TraceEvent::Labeled { node, label } => {
+                let mut names = self.names.borrow_mut();
+                let i = node.index();
+                if names.len() <= i {
+                    names.resize(i + 1, None);
+                }
+                names[i] = Some(Rc::clone(label));
+            }
+            _ => {}
+        }
+    }
+
+    fn clear(&self) {
+        self.names.borrow_mut().clear();
+    }
+
+    fn of(&self, n: NodeId) -> String {
+        match self.names.borrow().get(n.index()) {
+            Some(Some(name)) => format!("{name} ({n})"),
+            _ => n.to_string(),
+        }
+    }
+
+    fn raw(&self, n: NodeId) -> Option<String> {
+        self.names
+            .borrow()
+            .get(n.index())
+            .and_then(|o| o.as_deref().map(str::to_owned))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event exporter
+// ---------------------------------------------------------------------------
+
+/// Exports the event stream in the Chrome trace-event JSON format, loadable
+/// in `chrome://tracing` or [Perfetto](https://ui.perfetto.dev).
+///
+/// Executions and propagation runs become duration (`B`/`E`) spans; writes,
+/// dirtyings, cache hits, cutoffs and batch commits become instant (`i`)
+/// events. Per-node names come from the label events in the stream, so the
+/// exporter stays valid after the traced runtime is dropped.
+///
+/// Very hot per-read events ([`TraceEvent::Read`], [`TraceEvent::EdgeAdded`],
+/// [`TraceEvent::EdgesRemoved`]) are tallied into span arguments instead of
+/// emitted individually, keeping traces loadable for large runs.
+pub struct ChromeTrace {
+    start: Instant,
+    labels: Labels,
+    records: RefCell<Vec<String>>,
+    /// Reads and new edges observed since the current innermost span began
+    /// (attached to that span's `args` at its end).
+    reads_in_span: Cell<u64>,
+    edges_in_span: Cell<u64>,
+}
+
+impl Default for ChromeTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ChromeTrace {
+    /// Creates an empty exporter; timestamps are relative to this call.
+    pub fn new() -> ChromeTrace {
+        ChromeTrace {
+            start: Instant::now(),
+            labels: Labels::default(),
+            records: RefCell::new(Vec::new()),
+            reads_in_span: Cell::new(0),
+            edges_in_span: Cell::new(0),
+        }
+    }
+
+    fn ts(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1e6
+    }
+
+    fn push(&self, record: String) {
+        self.records.borrow_mut().push(record);
+    }
+
+    fn span_begin(&self, name: &str, cat: &str) {
+        let rec = format!(
+            r#"{{"name":"{}","cat":"{cat}","ph":"B","ts":{:.3},"pid":1,"tid":1}}"#,
+            json_escape(name),
+            self.ts()
+        );
+        self.push(rec);
+    }
+
+    fn span_end(&self, args: String) {
+        let rec = format!(
+            r#"{{"ph":"E","ts":{:.3},"pid":1,"tid":1,"args":{{{args}}}}}"#,
+            self.ts()
+        );
+        self.push(rec);
+    }
+
+    fn instant(&self, name: &str, cat: &str, args: String) {
+        let rec = format!(
+            r#"{{"name":"{}","cat":"{cat}","ph":"i","s":"t","ts":{:.3},"pid":1,"tid":1,"args":{{{args}}}}}"#,
+            json_escape(name),
+            self.ts()
+        );
+        self.push(rec);
+    }
+
+    /// Number of JSON records accumulated so far.
+    pub fn len(&self) -> usize {
+        self.records.borrow().len()
+    }
+
+    /// Returns `true` if no records were accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.records.borrow().is_empty()
+    }
+
+    /// Renders the accumulated records as a complete Chrome trace JSON
+    /// document (a JSON array of event objects).
+    pub fn to_json(&self) -> String {
+        let records = self.records.borrow();
+        let mut out = String::with_capacity(records.iter().map(|r| r.len() + 2).sum::<usize>() + 2);
+        out.push_str("[\n");
+        for (i, r) in records.iter().enumerate() {
+            out.push_str(r);
+            if i + 1 < records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl TraceSink for ChromeTrace {
+    fn event(&self, ev: &TraceEvent) {
+        self.labels.observe(ev);
+        match ev {
+            TraceEvent::NodeCreated { .. } | TraceEvent::Labeled { .. } => {}
+            TraceEvent::Read { .. } => self.reads_in_span.set(self.reads_in_span.get() + 1),
+            TraceEvent::EdgeAdded { .. } => self.edges_in_span.set(self.edges_in_span.get() + 1),
+            TraceEvent::EdgesRemoved { .. } => {}
+            TraceEvent::Write { node, changed } => self.instant(
+                &format!("write {}", self.labels.of(*node)),
+                "write",
+                format!(r#""changed":{changed}"#),
+            ),
+            TraceEvent::Dirtied { node, reason } => self.instant(
+                &format!("dirty {}", self.labels.of(*node)),
+                "dirty",
+                format!(r#""reason":"{reason:?}""#),
+            ),
+            TraceEvent::PropagateBegin => {
+                self.span_begin("propagate", "propagate");
+            }
+            TraceEvent::PropagateEnd { steps } => {
+                self.span_end(format!(r#""steps":{steps}"#));
+            }
+            TraceEvent::ExecuteBegin { node } => {
+                self.reads_in_span.set(0);
+                self.edges_in_span.set(0);
+                self.span_begin(&format!("exec {}", self.labels.of(*node)), "execute");
+            }
+            TraceEvent::ExecuteEnd { changed, .. } => {
+                self.span_end(format!(
+                    r#""changed":{changed},"reads":{},"edges":{}"#,
+                    self.reads_in_span.get(),
+                    self.edges_in_span.get()
+                ));
+            }
+            TraceEvent::CacheHit { node } => self.instant(
+                &format!("hit {}", self.labels.of(*node)),
+                "cache",
+                String::new(),
+            ),
+            TraceEvent::CutoffStop { node } => self.instant(
+                &format!("cutoff {}", self.labels.of(*node)),
+                "cutoff",
+                String::new(),
+            ),
+            TraceEvent::BatchCommit { writes, coalesced } => self.instant(
+                "batch commit",
+                "batch",
+                format!(r#""writes":{writes},"coalesced":{coalesced}"#),
+            ),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dependency-graph snapshots and the DOT exporter
+// ---------------------------------------------------------------------------
+
+/// One node of a [`GraphSnapshot`].
+#[derive(Debug, Clone)]
+pub struct SnapshotNode {
+    /// The dependency-graph node.
+    pub id: NodeId,
+    /// Location or computation.
+    pub kind: NodeKind,
+    /// Diagnostic label, when one was assigned.
+    pub label: Option<String>,
+    /// For computations: the consistency flag (`true` for locations).
+    pub consistent: bool,
+    /// Whether the node currently sits in an inconsistent set.
+    pub queued: bool,
+    /// Canonical partition root (Section 6.3), when partitioning is on.
+    pub partition: Option<NodeId>,
+    /// Ordinal of the node's most recent execution start (0 = never
+    /// executed). The node with the highest ordinal executed last.
+    pub last_exec: u64,
+    /// Total executions observed (only populated by event-driven mirrors
+    /// such as [`GraphSink`]; a live [`Runtime::graph_snapshot`] reports 0).
+    pub execs: u64,
+}
+
+/// A point-in-time copy of the dependency graph, renderable with
+/// [`render_dot`]. Obtained from a live runtime
+/// ([`Runtime::graph_snapshot`](crate::Runtime::graph_snapshot)) or from an
+/// event-stream mirror ([`GraphSink::snapshot`]).
+#[derive(Debug, Clone, Default)]
+pub struct GraphSnapshot {
+    /// All nodes, in id order.
+    pub nodes: Vec<SnapshotNode>,
+    /// All dependence edges, `(predecessor, successor)`.
+    pub edges: Vec<(NodeId, NodeId)>,
+}
+
+/// Renders a [`GraphSnapshot`] as a Graphviz DOT document.
+///
+/// Visual encoding:
+/// * **kind** — locations are grey boxes, computations are ellipses;
+/// * **dirty state** — consistent computations are green, stale ones
+///   salmon; nodes queued in an inconsistent set get a bold red border;
+/// * **last execution** — the most recently executed node is drawn with a
+///   double outline, and every executed node shows its execution ordinal
+///   (`#k`);
+/// * **partitions** — with partitioning on, each component becomes a
+///   `subgraph cluster`.
+pub fn render_dot(snap: &GraphSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("digraph alphonse {\n");
+    out.push_str("  rankdir=BT;\n");
+    out.push_str("  node [fontname=\"Helvetica\" fontsize=10];\n");
+    let latest = snap.nodes.iter().map(|n| n.last_exec).max().unwrap_or(0);
+
+    let node_line = |n: &SnapshotNode| -> String {
+        let mut label = match &n.label {
+            Some(l) => format!("{}\\n{}", l.replace('"', "'"), n.id),
+            None => n.id.to_string(),
+        };
+        if n.last_exec > 0 {
+            let _ = write!(label, " #{}", n.last_exec);
+        }
+        if n.execs > 0 {
+            let _ = write!(label, "\\nexecs={}", n.execs);
+        }
+        let (shape, fill) = match n.kind {
+            NodeKind::Location => ("box", "lightsteelblue"),
+            NodeKind::Computation if n.consistent => ("ellipse", "palegreen"),
+            NodeKind::Computation => ("ellipse", "salmon"),
+        };
+        let mut attrs = format!("label=\"{label}\" shape={shape} style=filled fillcolor={fill}");
+        if n.queued {
+            attrs.push_str(" color=red penwidth=2");
+        }
+        if n.last_exec > 0 && n.last_exec == latest {
+            attrs.push_str(" peripheries=2");
+        }
+        format!("  {} [{attrs}];\n", n.id)
+    };
+
+    // Group by partition when any node carries one.
+    if snap.nodes.iter().any(|n| n.partition.is_some()) {
+        let mut roots: Vec<NodeId> = snap.nodes.iter().filter_map(|n| n.partition).collect();
+        roots.sort();
+        roots.dedup();
+        for root in roots {
+            let _ = writeln!(out, "  subgraph cluster_{} {{", root.index());
+            let _ = writeln!(out, "    label=\"partition {root}\";");
+            for n in snap.nodes.iter().filter(|n| n.partition == Some(root)) {
+                out.push_str("  ");
+                out.push_str(&node_line(n));
+            }
+            out.push_str("  }\n");
+        }
+        for n in snap.nodes.iter().filter(|n| n.partition.is_none()) {
+            out.push_str(&node_line(n));
+        }
+    } else {
+        for n in &snap.nodes {
+            out.push_str(&node_line(n));
+        }
+    }
+
+    let mut edges = snap.edges.clone();
+    edges.sort();
+    for (u, v) in edges {
+        let _ = writeln!(out, "  {u} -> {v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// An event-driven mirror of the dependency graph.
+///
+/// Maintains nodes, labels, edges, dirty flags, execution ordinals and a
+/// union-find partition mirror purely from the trace stream, so a DOT
+/// rendering stays available after the traced runtime is gone. Node ids are
+/// per-runtime: when several runtimes share one sink (e.g. via
+/// [`set_default_sink`]), the mirror resets each time a fresh runtime's
+/// first node arrives, so it reflects the most recently started runtime.
+/// For a live runtime prefer
+/// [`Runtime::graph_snapshot`](crate::Runtime::graph_snapshot), which reads
+/// the authoritative state.
+#[derive(Default)]
+pub struct GraphSink {
+    labels: Labels,
+    kinds: RefCell<Vec<NodeKind>>,
+    /// Incoming-edge lists, indexed by successor — mirrors the direction
+    /// `RemovePredEdges` clears in bulk.
+    preds: RefCell<Vec<Vec<NodeId>>>,
+    dirty: RefCell<Vec<bool>>,
+    execs: RefCell<Vec<(u64, u64)>>, // (count, last ordinal)
+    uf: RefCell<UnionFind>,
+    exec_clock: Cell<u64>,
+}
+
+impl GraphSink {
+    /// Creates an empty mirror.
+    pub fn new() -> GraphSink {
+        GraphSink::default()
+    }
+
+    fn ensure(&self, n: NodeId) {
+        let i = n.index();
+        let mut kinds = self.kinds.borrow_mut();
+        if kinds.len() <= i {
+            kinds.resize(i + 1, NodeKind::Location);
+            self.preds.borrow_mut().resize(i + 1, Vec::new());
+            self.dirty.borrow_mut().resize(i + 1, false);
+            self.execs.borrow_mut().resize(i + 1, (0, 0));
+        }
+        self.uf.borrow_mut().ensure(n);
+    }
+
+    /// Number of nodes mirrored so far.
+    pub fn node_count(&self) -> usize {
+        self.kinds.borrow().len()
+    }
+
+    /// A renderable snapshot of the mirrored graph.
+    pub fn snapshot(&self) -> GraphSnapshot {
+        let kinds = self.kinds.borrow();
+        let preds = self.preds.borrow();
+        let dirty = self.dirty.borrow();
+        let execs = self.execs.borrow();
+        let mut uf = self.uf.borrow_mut();
+        let partitioned = kinds.len() > 1;
+        let mut nodes = Vec::with_capacity(kinds.len());
+        let mut edges = Vec::new();
+        for i in 0..kinds.len() {
+            let id = NodeId::from_index(i);
+            let (count, last) = execs[i];
+            nodes.push(SnapshotNode {
+                id,
+                kind: kinds[i],
+                label: self.labels.raw(id),
+                consistent: !dirty[i],
+                queued: dirty[i],
+                partition: partitioned.then(|| uf.find(id)),
+                last_exec: last,
+                execs: count,
+            });
+            for &p in &preds[i] {
+                edges.push((p, id));
+            }
+        }
+        GraphSnapshot { nodes, edges }
+    }
+
+    /// Convenience: render the current snapshot as DOT.
+    pub fn to_dot(&self) -> String {
+        render_dot(&self.snapshot())
+    }
+}
+
+impl TraceSink for GraphSink {
+    fn event(&self, ev: &TraceEvent) {
+        if let TraceEvent::NodeCreated { node, .. } = ev {
+            if node.index() == 0 && self.node_count() > 0 {
+                // A fresh runtime started mirroring into this sink; its ids
+                // restart from zero, so drop the previous runtime's graph.
+                self.labels.clear();
+                self.kinds.borrow_mut().clear();
+                self.preds.borrow_mut().clear();
+                self.dirty.borrow_mut().clear();
+                self.execs.borrow_mut().clear();
+                *self.uf.borrow_mut() = UnionFind::new();
+                self.exec_clock.set(0);
+            }
+        }
+        self.labels.observe(ev);
+        match ev {
+            TraceEvent::NodeCreated { node, kind, .. } => {
+                self.ensure(*node);
+                self.kinds.borrow_mut()[node.index()] = *kind;
+            }
+            TraceEvent::EdgeAdded { from, to } => {
+                self.ensure(*from);
+                self.ensure(*to);
+                self.preds.borrow_mut()[to.index()].push(*from);
+                self.uf.borrow_mut().union(*from, *to);
+            }
+            TraceEvent::EdgesRemoved { node, .. } => {
+                self.ensure(*node);
+                self.preds.borrow_mut()[node.index()].clear();
+            }
+            TraceEvent::Dirtied { node, .. } => {
+                self.ensure(*node);
+                self.dirty.borrow_mut()[node.index()] = true;
+            }
+            TraceEvent::ExecuteBegin { node } => {
+                self.ensure(*node);
+                let clock = self.exec_clock.get() + 1;
+                self.exec_clock.set(clock);
+                let mut execs = self.execs.borrow_mut();
+                let (count, _) = execs[node.index()];
+                execs[node.index()] = (count + 1, clock);
+            }
+            TraceEvent::ExecuteEnd { node, .. } => {
+                self.ensure(*node);
+                self.dirty.borrow_mut()[node.index()] = false;
+            }
+            TraceEvent::Write { node, .. } => {
+                // A location settles once written; dirt on it drains at the
+                // next propagation, which pops it immediately.
+                self.ensure(*node);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-node profiler
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone, Copy)]
+struct NodeProfile {
+    execs: u64,
+    cache_hits: u64,
+    dirtied: u64,
+    cumulative: Duration,
+    self_time: Duration,
+}
+
+struct ProfFrame {
+    node: NodeId,
+    start: Instant,
+    child_time: Duration,
+}
+
+/// Aggregates per-node execution statistics from the event stream:
+/// execution count, cumulative and self wall-clock time, cache hits and
+/// dirtyings. [`Profiler::report`] prints the top-K hot nodes as a table.
+#[derive(Default)]
+pub struct Profiler {
+    labels: Labels,
+    per_node: RefCell<Vec<NodeProfile>>,
+    stack: RefCell<Vec<ProfFrame>>,
+    propagations: Cell<u64>,
+    propagate_time: Cell<Duration>,
+    propagate_start: RefCell<Vec<Instant>>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    fn slot(&self, n: NodeId) -> std::cell::RefMut<'_, Vec<NodeProfile>> {
+        let mut per = self.per_node.borrow_mut();
+        if per.len() <= n.index() {
+            per.resize(n.index() + 1, NodeProfile::default());
+        }
+        per
+    }
+
+    /// Propagation runs observed.
+    pub fn propagations(&self) -> u64 {
+        self.propagations.get()
+    }
+
+    /// Total wall-clock time spent inside propagation runs.
+    pub fn propagate_time(&self) -> Duration {
+        self.propagate_time.get()
+    }
+
+    /// Total executions observed across all nodes.
+    pub fn total_execs(&self) -> u64 {
+        self.per_node.borrow().iter().map(|p| p.execs).sum()
+    }
+
+    /// The `top_k` hottest nodes by self time, as an aligned table.
+    pub fn report(&self, top_k: usize) -> String {
+        let per = self.per_node.borrow();
+        let mut rows: Vec<(NodeId, NodeProfile)> = per
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.execs > 0 || p.cache_hits > 0 || p.dirtied > 0)
+            .map(|(i, p)| (NodeId::from_index(i), *p))
+            .collect();
+        rows.sort_by(|a, b| {
+            b.1.self_time
+                .cmp(&a.1.self_time)
+                .then(b.1.execs.cmp(&a.1.execs))
+                .then(a.0.cmp(&b.0))
+        });
+        rows.truncate(top_k);
+
+        let header = ["node", "execs", "hits", "dirtied", "self_us", "cum_us"];
+        let mut cells: Vec<[String; 6]> = Vec::with_capacity(rows.len());
+        for (id, p) in &rows {
+            cells.push([
+                self.labels.of(*id),
+                p.execs.to_string(),
+                p.cache_hits.to_string(),
+                p.dirtied.to_string(),
+                format!("{:.1}", p.self_time.as_secs_f64() * 1e6),
+                format!("{:.1}", p.cumulative.as_secs_f64() * 1e6),
+            ]);
+        }
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in &cells {
+            for (w, c) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "hot nodes (top {} by self time; {} propagations, {:.1} us propagating)",
+            rows.len(),
+            self.propagations.get(),
+            self.propagate_time.get().as_secs_f64() * 1e6,
+        );
+        let fmt_row = |cols: &[String]| -> String {
+            let mut line = String::new();
+            for (i, (c, w)) in cols.iter().zip(&widths).enumerate() {
+                if i == 0 {
+                    let _ = write!(line, "{c:<w$}");
+                } else {
+                    let _ = write!(line, "  {c:>w$}");
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(
+            &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        ));
+        for row in &cells {
+            out.push_str(&fmt_row(row.as_slice()));
+        }
+        out
+    }
+}
+
+impl TraceSink for Profiler {
+    fn event(&self, ev: &TraceEvent) {
+        self.labels.observe(ev);
+        match ev {
+            TraceEvent::ExecuteBegin { node } => {
+                self.stack.borrow_mut().push(ProfFrame {
+                    node: *node,
+                    start: Instant::now(),
+                    child_time: Duration::ZERO,
+                });
+            }
+            TraceEvent::ExecuteEnd { node, .. } => {
+                let Some(frame) = self.stack.borrow_mut().pop() else {
+                    return; // sink attached mid-execution
+                };
+                debug_assert_eq!(frame.node, *node, "profiler stack imbalance");
+                let elapsed = frame.start.elapsed();
+                {
+                    let mut per = self.slot(*node);
+                    let p = &mut per[node.index()];
+                    p.execs += 1;
+                    p.cumulative += elapsed;
+                    p.self_time += elapsed.saturating_sub(frame.child_time);
+                }
+                if let Some(parent) = self.stack.borrow_mut().last_mut() {
+                    parent.child_time += elapsed;
+                }
+            }
+            TraceEvent::CacheHit { node } => {
+                self.slot(*node)[node.index()].cache_hits += 1;
+            }
+            TraceEvent::Dirtied { node, .. } => {
+                self.slot(*node)[node.index()].dirtied += 1;
+            }
+            TraceEvent::PropagateBegin => {
+                self.propagate_start.borrow_mut().push(Instant::now());
+            }
+            TraceEvent::PropagateEnd { .. } => {
+                if let Some(start) = self.propagate_start.borrow_mut().pop() {
+                    self.propagations.set(self.propagations.get() + 1);
+                    self.propagate_time
+                        .set(self.propagate_time.get() + start.elapsed());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_ring_drops_oldest() {
+        let rec = Recorder::new(2);
+        for i in 0..3 {
+            rec.event(&TraceEvent::Read {
+                node: NodeId::from_index(i),
+            });
+        }
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 1);
+        let evs = rec.events();
+        assert_eq!(evs[0].node(), Some(NodeId::from_index(1)));
+        assert_eq!(evs[1].node(), Some(NodeId::from_index(2)));
+    }
+
+    #[test]
+    fn chrome_json_is_balanced_and_named() {
+        let c = ChromeTrace::new();
+        let n = NodeId::from_index(0);
+        c.event(&TraceEvent::NodeCreated {
+            node: n,
+            kind: NodeKind::Computation,
+            label: Some(Rc::from("he\"llo")),
+        });
+        c.event(&TraceEvent::ExecuteBegin { node: n });
+        c.event(&TraceEvent::Read { node: n });
+        c.event(&TraceEvent::ExecuteEnd {
+            node: n,
+            changed: true,
+        });
+        let json = c.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains(r#"exec he\"llo"#), "{json}");
+        assert!(json.contains(r#""reads":1"#), "{json}");
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn graph_sink_mirrors_edges_and_removals() {
+        let g = GraphSink::new();
+        let a = NodeId::from_index(0);
+        let b = NodeId::from_index(1);
+        for (n, kind) in [(a, NodeKind::Location), (b, NodeKind::Computation)] {
+            g.event(&TraceEvent::NodeCreated {
+                node: n,
+                kind,
+                label: None,
+            });
+        }
+        g.event(&TraceEvent::EdgeAdded { from: a, to: b });
+        assert_eq!(g.snapshot().edges, vec![(a, b)]);
+        g.event(&TraceEvent::EdgesRemoved { node: b, count: 1 });
+        assert!(g.snapshot().edges.is_empty());
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph alphonse"));
+    }
+
+    #[test]
+    fn profiler_attributes_self_time_to_frames() {
+        let p = Profiler::new();
+        let outer = NodeId::from_index(0);
+        let inner = NodeId::from_index(1);
+        p.event(&TraceEvent::ExecuteBegin { node: outer });
+        p.event(&TraceEvent::ExecuteBegin { node: inner });
+        p.event(&TraceEvent::ExecuteEnd {
+            node: inner,
+            changed: true,
+        });
+        p.event(&TraceEvent::ExecuteEnd {
+            node: outer,
+            changed: true,
+        });
+        assert_eq!(p.total_execs(), 2);
+        let report = p.report(10);
+        assert!(report.contains("execs"), "{report}");
+    }
+
+    #[test]
+    fn render_dot_is_deterministic() {
+        let snap = GraphSnapshot {
+            nodes: vec![
+                SnapshotNode {
+                    id: NodeId::from_index(0),
+                    kind: NodeKind::Location,
+                    label: Some("x".into()),
+                    consistent: true,
+                    queued: false,
+                    partition: None,
+                    last_exec: 0,
+                    execs: 0,
+                },
+                SnapshotNode {
+                    id: NodeId::from_index(1),
+                    kind: NodeKind::Computation,
+                    label: Some("f".into()),
+                    consistent: false,
+                    queued: true,
+                    partition: None,
+                    last_exec: 3,
+                    execs: 2,
+                },
+            ],
+            edges: vec![(NodeId::from_index(0), NodeId::from_index(1))],
+        };
+        let a = render_dot(&snap);
+        let b = render_dot(&snap);
+        assert_eq!(a, b);
+        assert!(a.contains("salmon"));
+        assert!(a.contains("penwidth=2"));
+        assert!(a.contains("peripheries=2"));
+    }
+}

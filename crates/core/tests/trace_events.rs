@@ -1,0 +1,346 @@
+//! Event-stream correctness: the trace a canonical diamond graph produces,
+//! sink management, and the DOT exporter's golden output.
+
+use alphonse::trace::{
+    render_dot, ChromeTrace, DirtyReason, GraphSink, Profiler, Recorder, TraceEvent, TraceSink,
+};
+use alphonse::{NodeId, Runtime, Strategy, Var};
+use std::rc::Rc;
+
+/// Builds the canonical diamond over variable `a`:
+///
+/// ```text
+///        top = left + right
+///       /                  \
+///   left = a / 100      right = a * 2     (both arms EAGER)
+///       \                  /
+///              a
+/// ```
+///
+/// With `a: 10 -> 20`, `left` recomputes to the same value (0) — the cutoff
+/// arm — while `right` changes and forces exactly one re-execution of `top`.
+///
+/// Allocation order (instances materialize on first call): `a` = n0,
+/// `top` = n1, `left` = n2, `right` = n3.
+fn diamond(rt: &Runtime) -> (Var<i64>, [NodeId; 4]) {
+    let a = rt.var_named("a", 10i64);
+    let left = rt.memo_with("left", Strategy::Eager, move |rt, &(): &()| a.get(rt) / 100);
+    let right = rt.memo_with("right", Strategy::Eager, move |rt, &(): &()| a.get(rt) * 2);
+    let (l, r) = (left.clone(), right.clone());
+    let top = rt.memo_with("top", Strategy::Eager, move |rt, &(): &()| {
+        l.call(rt, ()) + r.call(rt, ())
+    });
+    assert_eq!(top.call(rt, ()), 20);
+    let nodes = [
+        a.node(),
+        left.instance_node(&()).unwrap(),
+        right.instance_node(&()).unwrap(),
+        top.instance_node(&()).unwrap(),
+    ];
+    (a, nodes)
+}
+
+#[test]
+fn diamond_write_produces_exact_event_sequence() {
+    let rt = Runtime::new();
+    let (a, [na, nleft, nright, ntop]) = diamond(&rt);
+
+    let rec = Rc::new(Recorder::new(1024));
+    rt.set_sink(Some(rec.clone()));
+    a.set(&rt, 20);
+    rt.propagate();
+    rt.set_sink(None);
+
+    let got = rec.events();
+    let expected = vec![
+        // The write changes `a` and seeds propagation.
+        TraceEvent::Write {
+            node: na,
+            changed: true,
+        },
+        TraceEvent::Dirtied {
+            node: na,
+            reason: DirtyReason::WriteChanged,
+        },
+        TraceEvent::PropagateBegin,
+        // Draining `a` fans the dirt out to both arms, in `a`'s
+        // successor-list order.
+        TraceEvent::Dirtied {
+            node: nright,
+            reason: DirtyReason::Fanout,
+        },
+        TraceEvent::Dirtied {
+            node: nleft,
+            reason: DirtyReason::Fanout,
+        },
+        // Both arms sit at height 1; the height queue breaks the tie
+        // toward the higher node id, so `right` re-executes first.
+        TraceEvent::ExecuteBegin { node: nright },
+        TraceEvent::EdgesRemoved {
+            node: nright,
+            count: 1,
+        },
+        TraceEvent::Read { node: na },
+        TraceEvent::EdgeAdded {
+            from: na,
+            to: nright,
+        },
+        TraceEvent::ExecuteEnd {
+            node: nright,
+            changed: true,
+        },
+        // Only the changed arm dirties `top`.
+        TraceEvent::Dirtied {
+            node: ntop,
+            reason: DirtyReason::Fanout,
+        },
+        // The cutoff arm: 20/100 == 10/100, so change stops here.
+        TraceEvent::ExecuteBegin { node: nleft },
+        TraceEvent::EdgesRemoved {
+            node: nleft,
+            count: 1,
+        },
+        TraceEvent::Read { node: na },
+        TraceEvent::EdgeAdded {
+            from: na,
+            to: nleft,
+        },
+        TraceEvent::ExecuteEnd {
+            node: nleft,
+            changed: false,
+        },
+        TraceEvent::CutoffStop { node: nleft },
+        // The single re-execution above the fan-in: both arms answer from
+        // cache, and only the changed sum commits.
+        TraceEvent::ExecuteBegin { node: ntop },
+        TraceEvent::EdgesRemoved {
+            node: ntop,
+            count: 2,
+        },
+        TraceEvent::CacheHit { node: nleft },
+        TraceEvent::EdgeAdded {
+            from: nleft,
+            to: ntop,
+        },
+        TraceEvent::CacheHit { node: nright },
+        TraceEvent::EdgeAdded {
+            from: nright,
+            to: ntop,
+        },
+        TraceEvent::ExecuteEnd {
+            node: ntop,
+            changed: true,
+        },
+        // Four dirty nodes processed: a, right, left, top.
+        TraceEvent::PropagateEnd { steps: 4 },
+    ];
+    assert_eq!(
+        got, expected,
+        "diamond trace diverged.\ngot:\n{got:#?}\nexpected:\n{expected:#?}"
+    );
+}
+
+#[test]
+fn dot_export_matches_golden() {
+    let rt = Runtime::new();
+    let (a, _) = diamond(&rt);
+    a.set(&rt, 20);
+    rt.propagate();
+
+    let dot = render_dot(&rt.graph_snapshot());
+    // Execution ordinals: initial build is top=1, left=2, right=3; the
+    // update re-executes right=4, left=5, top=6 — so `top` executed last
+    // and is drawn with a double outline.
+    let golden = "\
+digraph alphonse {
+  rankdir=BT;
+  node [fontname=\"Helvetica\" fontsize=10];
+  n0 [label=\"a\\nn0\" shape=box style=filled fillcolor=lightsteelblue];
+  n1 [label=\"top\\nn1 #6\" shape=ellipse style=filled fillcolor=palegreen peripheries=2];
+  n2 [label=\"left\\nn2 #5\" shape=ellipse style=filled fillcolor=palegreen];
+  n3 [label=\"right\\nn3 #4\" shape=ellipse style=filled fillcolor=palegreen];
+  n0 -> n2;
+  n0 -> n3;
+  n2 -> n1;
+  n3 -> n1;
+}
+";
+    assert_eq!(dot, golden, "DOT output diverged:\n{dot}");
+}
+
+#[test]
+fn graph_sink_mirror_agrees_with_live_snapshot_topology() {
+    let rt = Runtime::new();
+    let mirror = Rc::new(GraphSink::new());
+    rt.set_sink(Some(mirror.clone()));
+    let (a, _) = diamond(&rt);
+    a.set(&rt, 20);
+    rt.propagate();
+    rt.set_sink(None);
+
+    let live = rt.graph_snapshot();
+    let mirrored = mirror.snapshot();
+    assert_eq!(live.nodes.len(), mirrored.nodes.len());
+    let mut live_edges = live.edges.clone();
+    let mut mirror_edges = mirrored.edges.clone();
+    live_edges.sort();
+    mirror_edges.sort();
+    assert_eq!(live_edges, mirror_edges);
+    for (l, m) in live.nodes.iter().zip(&mirrored.nodes) {
+        assert_eq!(l.kind, m.kind, "kind mismatch at {}", l.id);
+        assert_eq!(l.label, m.label, "label mismatch at {}", l.id);
+    }
+    // The event-driven mirror also carries execution counts the live
+    // snapshot cannot: 3 initial executions + 3 re-executions.
+    assert_eq!(mirrored.nodes.iter().map(|n| n.execs).sum::<u64>(), 6);
+}
+
+#[test]
+fn with_trace_restores_previous_sink() {
+    let rt = Runtime::new();
+    let x = rt.var(1i64);
+    let outer = Rc::new(Recorder::new(64));
+    let inner = Rc::new(Recorder::new(64));
+    rt.set_sink(Some(outer.clone()));
+    x.set(&rt, 2); // seen by outer
+    rt.with_trace(inner.clone(), || x.set(&rt, 3)); // seen by inner only
+    x.set(&rt, 4); // seen by outer
+    rt.set_sink(None);
+    assert_eq!(outer.events().len(), 2);
+    assert_eq!(inner.events().len(), 1);
+}
+
+#[test]
+fn recorder_timeline_filters_per_node() {
+    let rt = Runtime::new();
+    let (a, [na, nleft, ..]) = diamond(&rt);
+    let rec = Rc::new(Recorder::new(1024));
+    rt.set_sink(Some(rec.clone()));
+    a.set(&rt, 20);
+    rt.propagate();
+    rt.set_sink(None);
+
+    let a_line = rec.timeline(na);
+    assert!(a_line
+        .iter()
+        .all(|(_, e)| e.node() == Some(na) || matches!(e, TraceEvent::EdgeAdded { .. })));
+    assert!(a_line
+        .iter()
+        .any(|(_, e)| matches!(e, TraceEvent::Write { .. })));
+    let left_line = rec.timeline(nleft);
+    assert!(left_line
+        .iter()
+        .any(|(_, e)| matches!(e, TraceEvent::CutoffStop { .. })));
+    // Timestamps are monotone.
+    assert!(a_line.windows(2).all(|w| w[0].0 <= w[1].0));
+}
+
+#[test]
+fn chrome_trace_from_diamond_is_valid_json_shape() {
+    let rt = Runtime::new();
+    let chrome = Rc::new(ChromeTrace::new());
+    rt.set_sink(Some(chrome.clone()));
+    let (a, _) = diamond(&rt);
+    a.set(&rt, 20);
+    rt.propagate();
+    rt.set_sink(None);
+
+    let json = chrome.to_json();
+    assert!(json.starts_with("[\n") && json.ends_with(']'));
+    // Spans balance: one E per B (3 initial + 3 re-executions + 1
+    // propagation run).
+    let begins = json.matches(r#""ph":"B""#).count();
+    let ends = json.matches(r#""ph":"E""#).count();
+    assert_eq!(begins, ends, "unbalanced spans:\n{json}");
+    assert_eq!(begins, 7, "expected 6 exec spans + 1 propagate span");
+    assert!(json.contains(r#""name":"exec top (n1)""#), "{json}");
+    assert!(json.contains(r#""name":"cutoff left (n2)""#), "{json}");
+}
+
+#[test]
+fn profiler_counts_diamond_executions() {
+    let rt = Runtime::new();
+    let prof = Rc::new(Profiler::new());
+    rt.set_sink(Some(prof.clone()));
+    let (a, _) = diamond(&rt);
+    a.set(&rt, 20);
+    rt.propagate();
+    rt.set_sink(None);
+
+    assert_eq!(prof.total_execs(), 6); // 3 initial + 3 re-executions
+    assert_eq!(prof.propagations(), 1); // only the explicit rt.propagate()
+    let report = prof.report(3);
+    assert!(report.contains("top (n1)"), "{report}");
+    assert!(
+        report.lines().count() <= 2 + 3,
+        "top-k not applied:\n{report}"
+    );
+}
+
+#[test]
+fn default_sink_attaches_to_runtimes_built_after_install() {
+    let rec = Rc::new(Recorder::new(64));
+    let prev = alphonse::trace::set_default_sink(Some(rec.clone()));
+    assert!(prev.is_none());
+    let rt = Runtime::new();
+    let _ = rt.var(7i64);
+    alphonse::trace::set_default_sink(None);
+    assert!(
+        rec.events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::NodeCreated { .. })),
+        "builder did not consult the thread-local default sink"
+    );
+    // Runtimes built after clearing stay silent.
+    let before = rec.len();
+    let rt2 = Runtime::new();
+    rt2.var(1i64);
+    assert_eq!(rec.len(), before);
+}
+
+#[test]
+fn tracing_reflects_sink_presence() {
+    let rt = Runtime::new();
+    assert!(!rt.tracing());
+    rt.set_sink(Some(Rc::new(Recorder::new(8))));
+    assert!(rt.tracing());
+    rt.set_sink(None);
+    assert!(!rt.tracing());
+}
+
+#[test]
+fn check_invariants_passes_through_diamond_lifecycle() {
+    let rt = Runtime::new();
+    rt.check_invariants();
+    let (a, _) = diamond(&rt);
+    rt.check_invariants();
+    a.set(&rt, 20);
+    rt.check_invariants(); // dirty queued, pre-propagation
+    rt.propagate();
+    rt.check_invariants();
+
+    let part = Runtime::builder().partitioning(true).build();
+    let (b, _) = diamond(&part);
+    b.set(&part, 20);
+    part.propagate();
+    part.check_invariants();
+}
+
+/// A sink that fails the test if it ever receives an event.
+struct PanicSink;
+impl TraceSink for PanicSink {
+    fn event(&self, ev: &TraceEvent) {
+        panic!("detached sink received {ev:?}");
+    }
+}
+
+#[test]
+fn detached_sink_receives_nothing() {
+    let rt = Runtime::new();
+    let prev = rt.set_sink(Some(Rc::new(PanicSink)));
+    assert!(prev.is_none());
+    let restored = rt.set_sink(None);
+    assert!(restored.is_some());
+    let x = rt.var(1i64);
+    x.set(&rt, 2); // must not reach PanicSink
+}

@@ -78,6 +78,13 @@ impl HeightQueue {
         self.members.contains(&n)
     }
 
+    /// Visits every queued node, in no particular order.
+    pub fn for_each_member(&self, mut f: impl FnMut(NodeId)) {
+        for &n in &self.members {
+            f(n);
+        }
+    }
+
     /// Number of queued nodes.
     pub fn len(&self) -> usize {
         self.members.len()

@@ -44,10 +44,103 @@ enum Flow {
 /// Per-procedure argument table (paper Section 4.2), created lazily.
 type ProcMemo = Memo<Vec<Val>, Val>;
 
+/// An observability consumer requested through the `ALPHONSE_TRACE`
+/// environment variable (Alphonse mode only):
+///
+/// * `chrome[:path]` — Chrome trace-event JSON, written to `path` (default
+///   `alphonse_trace.json`) when the interpreter is dropped.
+/// * `dot[:path]` — DOT rendering of the final dependency graph (default
+///   `alphonse_trace.dot`), taken from the live runtime at drop.
+/// * `hot[:k]` — per-node profile; the top-`k` table (default 10) goes to
+///   stderr at drop.
+///
+/// A malformed value is reported on stderr and ignored — an observability
+/// knob must never turn a working program into a failing one.
+enum TraceHook {
+    Chrome {
+        sink: Rc<alphonse::trace::ChromeTrace>,
+        path: String,
+    },
+    Dot {
+        path: String,
+    },
+    Hot {
+        sink: Rc<alphonse::trace::Profiler>,
+        k: usize,
+    },
+}
+
+impl TraceHook {
+    /// Parses `ALPHONSE_TRACE` and attaches the requested sink to `rt`.
+    fn from_env(rt: &Runtime) -> Option<TraceHook> {
+        let spec = std::env::var("ALPHONSE_TRACE").ok()?;
+        let (mode, arg) = match spec.split_once(':') {
+            Some((m, a)) => (m, Some(a)),
+            None => (spec.as_str(), None),
+        };
+        match mode {
+            "chrome" => {
+                let sink = Rc::new(alphonse::trace::ChromeTrace::new());
+                rt.set_sink(Some(sink.clone()));
+                Some(TraceHook::Chrome {
+                    sink,
+                    path: arg.unwrap_or("alphonse_trace.json").to_string(),
+                })
+            }
+            // The graph is snapshotted live at drop; no sink needed.
+            "dot" => Some(TraceHook::Dot {
+                path: arg.unwrap_or("alphonse_trace.dot").to_string(),
+            }),
+            "hot" => {
+                let k = match arg {
+                    None => 10,
+                    Some(a) => match a.parse() {
+                        Ok(k) => k,
+                        Err(_) => {
+                            eprintln!("ALPHONSE_TRACE: ignoring bad top-k `{a}` (want hot[:k])");
+                            10
+                        }
+                    },
+                };
+                let sink = Rc::new(alphonse::trace::Profiler::new());
+                rt.set_sink(Some(sink.clone()));
+                Some(TraceHook::Hot { sink, k })
+            }
+            other => {
+                eprintln!(
+                    "ALPHONSE_TRACE: unknown mode `{other}` \
+                     (expected chrome[:path], dot[:path] or hot[:k]); tracing disabled"
+                );
+                None
+            }
+        }
+    }
+
+    /// Writes/prints the artifact. `rt` is the interpreter's runtime.
+    fn flush(&self, rt: &Runtime) {
+        match self {
+            TraceHook::Chrome { sink, path } => match std::fs::write(path, sink.to_json()) {
+                Ok(()) => eprintln!("ALPHONSE_TRACE: wrote {path}"),
+                Err(e) => eprintln!("ALPHONSE_TRACE: failed to write {path}: {e}"),
+            },
+            TraceHook::Dot { path } => {
+                let dot = alphonse::trace::render_dot(&rt.graph_snapshot());
+                match std::fs::write(path, dot) {
+                    Ok(()) => eprintln!("ALPHONSE_TRACE: wrote {path}"),
+                    Err(e) => eprintln!("ALPHONSE_TRACE: failed to write {path}: {e}"),
+                }
+            }
+            TraceHook::Hot { sink, k } => eprintln!("{}", sink.report(*k)),
+        }
+    }
+}
+
 struct Shared {
     program: Rc<Program>,
     mode: Mode,
     rt: Option<Runtime>,
+    /// `ALPHONSE_TRACE` consumer, flushed when the interpreter drops.
+    trace: Option<TraceHook>,
     heap: RefCell<Heap>,
     globals: RefCell<Vec<Slot>>,
     memos: RefCell<Vec<Option<ProcMemo>>>,
@@ -119,10 +212,12 @@ impl Interp {
             .iter()
             .map(|g| Slot::new(default_val(g.ty)))
             .collect();
+        let trace = rt.as_ref().and_then(TraceHook::from_env);
         let shared = Rc::new(Shared {
             program,
             mode,
             rt,
+            trace,
             heap: RefCell::new(Heap::new()),
             globals: RefCell::new(globals),
             memos: RefCell::new(vec![None; n_procs]),
@@ -463,6 +558,14 @@ impl Interp {
             ))
         })?;
         Ok((*o, off))
+    }
+}
+
+impl Drop for Shared {
+    fn drop(&mut self) {
+        if let (Some(hook), Some(rt)) = (self.trace.take(), self.rt.as_ref()) {
+            hook.flush(rt);
+        }
     }
 }
 

@@ -99,12 +99,23 @@ fn run_case(case: &Case) {
     let alph = Interp::new(program, Mode::Alphonse).unwrap();
     conv.set_fuel(50_000_000);
     alph.set_fuel(50_000_000);
+    // Every random script doubles as a structural audit: after each mutator
+    // operation the runtime's internal invariants (edge symmetry, dirty-set
+    // sanity, empty execution stack) must hold. `check_invariants` is a
+    // debug-build no-op-free deep check; see its docs.
+    let audit = || {
+        if let Some(rt) = alph.runtime() {
+            rt.check_invariants();
+        }
+    };
+    audit();
     for op in &case.script {
         match op {
             Op::Set(g, v) => {
                 let name = format!("g{}", g % case.n_globals);
                 conv.set_global(&name, Val::Int(*v)).unwrap();
                 alph.set_global(&name, Val::Int(*v)).unwrap();
+                audit();
             }
             Op::Call(k, arg) => {
                 let name = format!("P{}", k % case.procs.len());
@@ -120,9 +131,11 @@ fn run_case(case: &Case) {
                     // work); any *error* outcome ends the comparison.
                     _ => return,
                 }
+                audit();
             }
             Op::Propagate => {
                 let _ = alph.propagate(); // fuel errors possible; states may legitimately diverge afterwards
+                audit();
             }
         }
     }

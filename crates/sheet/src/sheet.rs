@@ -89,8 +89,19 @@ impl Sheet {
     /// Creates a `width × height` sheet of empty (`0`) cells tracked in
     /// `rt`.
     pub fn new(rt: &Runtime, width: u32, height: u32) -> Sheet {
+        let tracing = rt.tracing();
         let formulas = (0..width as usize * height as usize)
-            .map(|_| rt.var(Formula::Num(0)))
+            .map(|i| {
+                // Trace labels carry the cell address ("A1", "B7", …) so
+                // exporters name cells, not bare node ids. Skipped entirely
+                // on untraced runtimes.
+                if tracing {
+                    let a = Addr::new(i as u32 % width, i as u32 / width);
+                    rt.var_named(&a.to_string(), Formula::Num(0))
+                } else {
+                    rt.var(Formula::Num(0))
+                }
+            })
             .collect();
         let cells = Rc::new(RefCell::new(Cells {
             width,

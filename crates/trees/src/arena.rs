@@ -100,11 +100,23 @@ impl TreeStore {
     pub fn new_node(&self, key: i64, left: NodeRef, right: NodeRef) -> NodeRef {
         let mut nodes = self.nodes.borrow_mut();
         let id = u32::try_from(nodes.len()).expect("too many tree nodes");
-        nodes.push(Fields {
-            key: self.rt.var(key),
-            left: self.rt.var(left),
-            right: self.rt.var(right),
-        });
+        let fields = if self.rt.tracing() {
+            // Trace labels name each field var after its tree slot so graph
+            // exports read "t3.key" instead of a bare node id. Skipped
+            // entirely on untraced runtimes — allocation stays label-free.
+            Fields {
+                key: self.rt.var_named(&format!("t{id}.key"), key),
+                left: self.rt.var_named(&format!("t{id}.left"), left),
+                right: self.rt.var_named(&format!("t{id}.right"), right),
+            }
+        } else {
+            Fields {
+                key: self.rt.var(key),
+                left: self.rt.var(left),
+                right: self.rt.var(right),
+            }
+        };
+        nodes.push(fields);
         NodeRef(id)
     }
 
