@@ -148,11 +148,14 @@ pub fn e2_overhead(depths: &[i64]) -> Table {
             interp.call_method(root.clone(), "height", vec![]).unwrap();
             (interp, root)
         };
-        // Wall-clock for the from-scratch run: best of three fresh runs per
-        // mode, so one scheduling hiccup does not skew the ratio.
+        // Wall-clock for the from-scratch run: one untimed warmup, then best
+        // of seven fresh runs per mode — at tree depth 4 the whole run is
+        // tens of microseconds, so a single scheduling hiccup would
+        // otherwise skew the ratio badly.
         let time_initial = |mode: Mode| -> f64 {
+            let _ = run(mode);
             let mut best = f64::INFINITY;
-            for _ in 0..3 {
+            for _ in 0..7 {
                 let start = Instant::now();
                 let _ = run(mode);
                 best = best.min(start.elapsed().as_secs_f64() * 1e6);

@@ -782,6 +782,15 @@ impl Runtime {
         !self.inner.borrow().stack.is_empty()
     }
 
+    /// Returns `true` if a read performed right now would actually record a
+    /// dependence edge: an incremental procedure is executing, its frame is
+    /// not stale, and no `(*UNCHECKED*)` suppression is active. Useful for
+    /// asserting that statically pruned accesses really are irrelevant.
+    pub fn recording_context(&self) -> bool {
+        let inner = self.inner.borrow();
+        matches!(inner.stack.last(), Some(f) if !f.stale && f.suppress == 0)
+    }
+
     /// What kind of entity node `n` represents.
     ///
     /// # Panics

@@ -7,16 +7,24 @@
 //! to identify the many variables and procedures where the results of these
 //! tests are statically known."
 //!
-//! The analysis computes, conservatively:
+//! This module is a thin client of the effect-inference engine
+//! ([`crate::effects`]): it projects the effect table down to the decision
+//! the instrumentation sites need — *does this access require a runtime
+//! check?* A location needs checks exactly when some procedure reachable
+//! from an incremental root performs a **checked read** of it: dependence
+//! nodes are only ever created by such reads, so a location no reachable
+//! procedure checked-reads can never have nodes hanging off it, and both
+//! its reads and its writes may take the uninstrumented fast path. (This is
+//! sharper than the previous read∪write criterion: write-only locations are
+//! no longer tracked.)
 //!
-//! * the set of procedures reachable from incremental procedures (dynamic
-//!   method dispatch is approximated by "any method implementation");
-//! * the top-level variables such procedures may touch — only accesses to
-//!   those need instrumentation anywhere in the program;
-//! * the field names such procedures may touch — likewise;
-//! * the procedures/method slots whose calls can be incremental instances.
+//! The table also exposes which procedures are pure combinators: calls to a
+//! pure `(*CACHED*)` procedure need no `R(p)` global encoding and record no
+//! dependence on the callee's instance, because no state change can ever
+//! invalidate it.
 
-use crate::hir::{HExpr, HStmt, ProcId, Program};
+use crate::effects::{infer, EffectTable};
+use crate::hir::Program;
 use std::collections::HashSet;
 
 /// Result of the Section 6.1 instrumentation analysis.
@@ -25,14 +33,21 @@ pub struct Instrumentation {
     /// Procedures reachable from some incremental procedure (including the
     /// incremental procedures themselves).
     pub reachable: Vec<bool>,
-    /// Globals that some reachable procedure reads or writes; only these
-    /// need `access`/`modify` instrumentation.
+    /// Globals that some reachable procedure checked-reads; only these need
+    /// `access`/`modify` instrumentation.
     pub tracked_globals: Vec<bool>,
-    /// Field names that some reachable procedure reads or writes.
+    /// Field names that some reachable procedure checked-reads.
     pub tracked_fields: HashSet<String>,
-    /// Whether any reachable procedure touches array elements (arrays are
-    /// tracked as a class, like fields).
+    /// Field offsets that some reachable procedure checked-reads — the
+    /// offset-indexed view used by the interpreter. This is sharper than
+    /// the name-based view: a name is tracked if *any* type binds it at a
+    /// tracked offset, while an offset is tracked only if actually read.
+    pub tracked_field_offsets: Vec<bool>,
+    /// Whether any reachable procedure checked-reads array elements (arrays
+    /// are tracked as a class, like fields).
     pub tracked_arrays: bool,
+    /// Procedures proven to be pure combinators (see [`crate::effects`]).
+    pub pure_procs: Vec<bool>,
 }
 
 impl Instrumentation {
@@ -46,6 +61,15 @@ impl Instrumentation {
         self.tracked_fields.contains(name)
     }
 
+    /// Does an access to a field at this flattened offset need
+    /// instrumentation?
+    pub fn field_offset_needs_check(&self, offset: usize) -> bool {
+        self.tracked_field_offsets
+            .get(offset)
+            .copied()
+            .unwrap_or(false)
+    }
+
     /// Number of procedures reachable from the Maintained portion.
     pub fn reachable_count(&self) -> usize {
         self.reachable.iter().filter(|b| **b).count()
@@ -54,197 +78,56 @@ impl Instrumentation {
 
 /// Runs the analysis over a resolved program.
 pub fn analyze(program: &Program) -> Instrumentation {
-    // Conservative call graph: direct calls use the edge; a method call may
-    // dispatch to any procedure installed as a method implementation.
-    let method_impls: HashSet<ProcId> = program
+    analyze_with(program, &infer(program))
+}
+
+/// Runs the analysis over a resolved program, reusing an already-computed
+/// effect table.
+pub fn analyze_with(program: &Program, effects: &EffectTable) -> Instrumentation {
+    let mut tracked_globals = vec![false; program.globals.len()];
+    let max_fields = program
         .types
         .iter()
-        .flat_map(|t| t.methods.iter().map(|m| m.impl_proc))
-        .collect();
-
-    let mut reachable = vec![false; program.procs.len()];
-    let mut work: Vec<ProcId> = program
-        .procs
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| p.incremental.is_some())
-        .map(|(i, _)| i)
-        .collect();
-    for &p in &work {
-        reachable[p] = true;
-    }
-    while let Some(p) = work.pop() {
-        let mut targets = Vec::new();
-        let mut uses_methods = false;
-        for_each_expr(&program.procs[p], &mut |e| match e {
-            HExpr::CallProc { proc, .. } => targets.push(*proc),
-            HExpr::CallMethod { .. } => uses_methods = true,
-            _ => {}
-        });
-        if uses_methods {
-            targets.extend(method_impls.iter().copied());
-        }
-        for t in targets {
-            if !reachable[t] {
-                reachable[t] = true;
-                work.push(t);
-            }
-        }
-    }
-
-    let mut tracked_globals = vec![false; program.globals.len()];
-    let mut tracked_field_offsets: HashSet<usize> = HashSet::new();
+        .map(|t| t.fields.len())
+        .max()
+        .unwrap_or(0);
+    let mut tracked_field_offsets = vec![false; max_fields];
     let mut tracked_arrays = false;
-    for (pid, info) in program.procs.iter().enumerate() {
-        if !reachable[pid] {
+
+    for (pid, facts) in effects.facts.iter().enumerate() {
+        if !effects.reachable[pid] {
             continue;
         }
-        for_each_expr(info, &mut |e| match e {
-            HExpr::Global(i) => tracked_globals[*i] = true,
-            HExpr::Field { field, .. } => {
-                tracked_field_offsets.insert(*field);
-            }
-            HExpr::Index { .. } => tracked_arrays = true,
-            _ => {}
-        });
-        for_each_stmt(info, &mut |s| match s {
-            HStmt::AssignGlobal { index, .. } => tracked_globals[*index] = true,
-            HStmt::AssignField { field, .. } => {
-                tracked_field_offsets.insert(*field);
-            }
-            HStmt::AssignIndex { .. } => tracked_arrays = true,
-            _ => {}
-        });
+        for &g in &facts.direct.reads_globals {
+            tracked_globals[g] = true;
+        }
+        for &f in &facts.direct.reads_fields {
+            tracked_field_offsets[f] = true;
+        }
+        tracked_arrays |= facts.direct.reads_arrays;
     }
-    // Offsets are only meaningful per type; conservatively mark every field
-    // NAME that occupies a tracked offset in any type.
-    let mut tracked_fields = HashSet::new();
+
+    // Offsets are only meaningful per type; the name-based transform must
+    // conservatively wrap every field NAME that occupies a tracked offset
+    // in any type. (Dependence nodes live on (object, offset) slots, so
+    // the interpreter's offset view stays sharp: an access at an unread
+    // offset can never hit a node, whatever the field is called.)
+    let mut tracked_fields: HashSet<String> = HashSet::new();
     for t in &program.types {
         for (off, f) in t.fields.iter().enumerate() {
-            if tracked_field_offsets.contains(&off) {
+            if tracked_field_offsets[off] {
                 tracked_fields.insert(f.name.clone());
             }
         }
     }
 
     Instrumentation {
-        reachable,
+        reachable: effects.reachable.clone(),
         tracked_globals,
         tracked_fields,
+        tracked_field_offsets,
         tracked_arrays,
-    }
-}
-
-fn for_each_expr(info: &crate::hir::ProcInfo, f: &mut impl FnMut(&HExpr)) {
-    fn walk_e(e: &HExpr, f: &mut impl FnMut(&HExpr)) {
-        f(e);
-        match e {
-            HExpr::Field { obj, .. } => walk_e(obj, f),
-            HExpr::CallProc { args, .. } | HExpr::CallBuiltin { args, .. } => {
-                for a in args {
-                    walk_e(a, f);
-                }
-            }
-            HExpr::CallMethod { obj, args, .. } => {
-                walk_e(obj, f);
-                for a in args {
-                    walk_e(a, f);
-                }
-            }
-            HExpr::Unary { expr, .. } | HExpr::Unchecked(expr) => walk_e(expr, f),
-            HExpr::NewArray { size, .. } => walk_e(size, f),
-            HExpr::Index { arr, index } => {
-                walk_e(arr, f);
-                walk_e(index, f);
-            }
-            HExpr::Binary { lhs, rhs, .. } => {
-                walk_e(lhs, f);
-                walk_e(rhs, f);
-            }
-            _ => {}
-        }
-    }
-    fn walk_s(s: &HStmt, f: &mut impl FnMut(&HExpr)) {
-        match s {
-            HStmt::AssignLocal { value, .. } | HStmt::AssignGlobal { value, .. } => {
-                walk_e(value, f)
-            }
-            HStmt::AssignField { obj, value, .. } => {
-                walk_e(obj, f);
-                walk_e(value, f);
-            }
-            HStmt::AssignIndex { arr, index, value } => {
-                walk_e(arr, f);
-                walk_e(index, f);
-                walk_e(value, f);
-            }
-            HStmt::If { arms, else_body } => {
-                for (c, b) in arms {
-                    walk_e(c, f);
-                    for s in b {
-                        walk_s(s, f);
-                    }
-                }
-                for s in else_body {
-                    walk_s(s, f);
-                }
-            }
-            HStmt::While { cond, body } => {
-                walk_e(cond, f);
-                for s in body {
-                    walk_s(s, f);
-                }
-            }
-            HStmt::For {
-                from, to, by, body, ..
-            } => {
-                walk_e(from, f);
-                walk_e(to, f);
-                if let Some(b) = by {
-                    walk_e(b, f);
-                }
-                for s in body {
-                    walk_s(s, f);
-                }
-            }
-            HStmt::Return(Some(e)) | HStmt::Expr(e) => walk_e(e, f),
-            HStmt::Return(None) => {}
-        }
-    }
-    for (_, _, init) in &info.local_inits {
-        if let Some(e) = init {
-            walk_e(e, f);
-        }
-    }
-    for s in &info.body {
-        walk_s(s, f);
-    }
-}
-
-fn for_each_stmt(info: &crate::hir::ProcInfo, f: &mut impl FnMut(&HStmt)) {
-    fn walk(s: &HStmt, f: &mut impl FnMut(&HStmt)) {
-        f(s);
-        match s {
-            HStmt::If { arms, else_body } => {
-                for (_, b) in arms {
-                    for s in b {
-                        walk(s, f);
-                    }
-                }
-                for s in else_body {
-                    walk(s, f);
-                }
-            }
-            HStmt::While { body, .. } | HStmt::For { body, .. } => {
-                for s in body {
-                    walk(s, f);
-                }
-            }
-            _ => {}
-        }
-    }
-    for s in &info.body {
-        walk(s, f);
+        pure_procs: effects.pure_procs.clone(),
     }
 }
 
@@ -310,6 +193,8 @@ mod tests {
         );
         assert!(a.field_needs_check("seen"));
         assert!(!a.field_needs_check("hidden"));
+        assert!(a.field_offset_needs_check(0));
+        assert!(!a.field_offset_needs_check(1));
     }
 
     #[test]
@@ -327,7 +212,7 @@ mod tests {
     #[test]
     fn method_dispatch_is_conservative() {
         // A non-incremental method impl is still reachable because the
-        // cached procedure performs *some* method call.
+        // cached procedure dispatches a method of that name.
         let (p, a) = analyzed(
             r#"
             TYPE T = OBJECT
@@ -342,5 +227,61 @@ mod tests {
         );
         assert!(a.reachable[p.proc_by_name["Plain"]]);
         assert!(a.field_needs_check("x"));
+    }
+
+    #[test]
+    fn write_only_locations_take_the_fast_path() {
+        // `sink` is written by a reachable procedure but never checked-read
+        // by one: no dependence node can ever be created for it, so even
+        // its writes need no instrumentation.
+        let (p, a) = analyzed(
+            r#"
+            VAR src, sink : INTEGER;
+            (*CACHED*) PROCEDURE F() : INTEGER =
+            BEGIN sink := src; RETURN src; END F;
+            "#,
+        );
+        assert!(a.global_needs_check(p.global_by_name["src"]));
+        assert!(!a.global_needs_check(p.global_by_name["sink"]));
+    }
+
+    #[test]
+    fn pure_combinators_are_identified() {
+        let (p, a) = analyzed(
+            r#"
+            VAR g : INTEGER;
+            (*CACHED*) PROCEDURE Fib(n : INTEGER) : INTEGER =
+            BEGIN
+                IF n < 2 THEN RETURN n; END;
+                RETURN Fib(n - 1) + Fib(n - 2);
+            END Fib;
+            (*CACHED*) PROCEDURE Scaled(n : INTEGER) : INTEGER =
+            BEGIN RETURN n * g; END Scaled;
+            "#,
+        );
+        assert!(a.pure_procs[p.proc_by_name["Fib"]]);
+        assert!(!a.pure_procs[p.proc_by_name["Scaled"]]);
+    }
+
+    #[test]
+    fn field_names_are_conservative_but_offsets_stay_sharp() {
+        // `val` sits at offset 0 in A (read by the cached procedure) and at
+        // offset 1 in B (never read by reachable code). The name view must
+        // wrap every `x.val` — and drags in `pad`, which shares the tracked
+        // offset — while the offset view keeps offset 1 on the fast path:
+        // nodes live on (object, offset) slots, and no read ever touches a
+        // B-object slot at offset 1 in tracked context.
+        let (_p, a) = analyzed(
+            r#"
+            TYPE A = OBJECT val : INTEGER; END;
+            TYPE B = OBJECT pad : INTEGER; val : INTEGER; END;
+            (*CACHED*) PROCEDURE F(a : A) : INTEGER =
+            BEGIN RETURN a.val; END F;
+            "#,
+        );
+        assert!(a.field_needs_check("val"));
+        assert!(a.field_needs_check("pad"), "shares offset 0 with A.val");
+        assert!(a.field_offset_needs_check(0));
+        assert!(!a.field_offset_needs_check(1), "offset view stays sharp");
     }
 }

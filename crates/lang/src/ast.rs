@@ -7,7 +7,7 @@
 //! transformed program can be unparsed and inspected, exactly like the
 //! paper's Algorithm 2 example.
 
-use crate::token::Pragma;
+use crate::token::{Pragma, Span};
 
 /// A whole Alphonse-L compilation unit: a sequence of declarations.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,8 +40,8 @@ pub struct TypeDecl {
     pub methods: Vec<MethodDecl>,
     /// Overrides of inherited methods.
     pub overrides: Vec<OverrideDecl>,
-    /// Source line.
-    pub line: u32,
+    /// Source position.
+    pub span: Span,
 }
 
 /// One field group: `a, b : T;`.
@@ -66,8 +66,8 @@ pub struct MethodDecl {
     pub ret: Option<TypeExpr>,
     /// Name of the top-level procedure implementing the method.
     pub impl_proc: String,
-    /// Source line.
-    pub line: u32,
+    /// Source position.
+    pub span: Span,
 }
 
 /// An override: `[pragma] m := ImplProc;`.
@@ -79,8 +79,8 @@ pub struct OverrideDecl {
     pub name: String,
     /// Name of the replacement implementation procedure.
     pub impl_proc: String,
-    /// Source line.
-    pub line: u32,
+    /// Source position.
+    pub span: Span,
 }
 
 /// A procedure declaration.
@@ -98,8 +98,8 @@ pub struct ProcDecl {
     pub locals: Vec<LocalDecl>,
     /// Statement list of the body.
     pub body: Vec<Stmt>,
-    /// Source line.
-    pub line: u32,
+    /// Source position.
+    pub span: Span,
 }
 
 /// A formal parameter.
@@ -131,8 +131,8 @@ pub struct GlobalDecl {
     pub ty: TypeExpr,
     /// Optional initializer (a constant expression).
     pub init: Option<Expr>,
-    /// Source line.
-    pub line: u32,
+    /// Source position.
+    pub span: Span,
 }
 
 /// A type expression.
@@ -160,8 +160,8 @@ pub enum Stmt {
         target: Expr,
         /// Value.
         value: Expr,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// `IF … THEN … {ELSIF … THEN …} [ELSE …] END;`
     If {
@@ -169,8 +169,8 @@ pub enum Stmt {
         arms: Vec<(Expr, Vec<Stmt>)>,
         /// `ELSE` body (possibly empty).
         else_body: Vec<Stmt>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// `WHILE cond DO … END;`
     While {
@@ -178,8 +178,8 @@ pub enum Stmt {
         cond: Expr,
         /// Loop body.
         body: Vec<Stmt>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// `FOR i := a TO b [BY s] DO … END;`
     For {
@@ -193,22 +193,22 @@ pub enum Stmt {
         by: Option<Expr>,
         /// Loop body.
         body: Vec<Stmt>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// `RETURN [expr];`
     Return {
         /// Returned value for function procedures.
         value: Option<Expr>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// An expression evaluated for its effects (must be a call).
     Expr {
         /// The call expression.
         expr: Expr,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
 }
 
@@ -284,8 +284,8 @@ pub enum Expr {
     Var {
         /// Variable name.
         name: String,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// A field read `obj.f`.
     Field {
@@ -293,8 +293,8 @@ pub enum Expr {
         obj: Box<Expr>,
         /// Field name.
         name: String,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// A procedure or method call.
     Call {
@@ -302,15 +302,15 @@ pub enum Expr {
         callee: Callee,
         /// Actual arguments.
         args: Vec<Expr>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// `NEW(TypeName)`.
     New {
         /// The object type to allocate.
         type_name: String,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// `NEW(ARRAY OF T, size)` — allocates a default-initialized array.
     NewArray {
@@ -318,8 +318,8 @@ pub enum Expr {
         elem: TypeExpr,
         /// Number of elements.
         size: Box<Expr>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// An array element read `a[i]`.
     Index {
@@ -327,8 +327,8 @@ pub enum Expr {
         arr: Box<Expr>,
         /// Element index.
         index: Box<Expr>,
-        /// Source line.
-        line: u32,
+        /// Source position.
+        span: Span,
     },
     /// Unary operation.
     Unary {
@@ -348,22 +348,38 @@ pub enum Expr {
     },
     /// `(*UNCHECKED*) expr` — dependence recording suppressed
     /// (Section 6.4).
-    Unchecked(Box<Expr>),
+    Unchecked {
+        /// The expression whose reads go unrecorded.
+        expr: Box<Expr>,
+        /// Position of the pragma itself.
+        span: Span,
+    },
 }
 
 impl Expr {
-    /// Source line of the expression, where known.
-    pub fn line(&self) -> Option<u32> {
+    /// Source position of the expression, where known.
+    ///
+    /// Literals carry no span; for compound expressions without one of
+    /// their own, the position of the first spanned operand is used — and,
+    /// unlike the old `line()` accessor, a spanless left operand falls
+    /// through to the right one instead of reporting "unknown".
+    pub fn span(&self) -> Option<Span> {
         match self {
-            Expr::Var { line, .. }
-            | Expr::Field { line, .. }
-            | Expr::Call { line, .. }
-            | Expr::New { line, .. }
-            | Expr::NewArray { line, .. }
-            | Expr::Index { line, .. } => Some(*line),
-            Expr::Unary { expr, .. } | Expr::Unchecked(expr) => expr.line(),
-            Expr::Binary { lhs, .. } => lhs.line(),
+            Expr::Var { span, .. }
+            | Expr::Field { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::New { span, .. }
+            | Expr::NewArray { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Unchecked { span, .. } => Some(*span),
+            Expr::Unary { expr, .. } => expr.span(),
+            Expr::Binary { lhs, rhs, .. } => lhs.span().or_else(|| rhs.span()),
             _ => None,
         }
+    }
+
+    /// Source line of the expression, where known.
+    pub fn line(&self) -> Option<u32> {
+        self.span().map(|s| s.line)
     }
 }

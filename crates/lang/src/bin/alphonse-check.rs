@@ -1,0 +1,114 @@
+//! `alphonse-check` — static analysis and lints for Alphonse-L programs.
+//!
+//! ```text
+//! usage: alphonse-check [--json] [--deny-warnings] <file.alf>...
+//! ```
+//!
+//! Parses and resolves each file, runs effect inference and the W01–W05
+//! lint pass, and reports diagnostics — human-readable with source
+//! excerpts by default, one JSON document per run with `--json`.
+//!
+//! Exit status: 0 when no diagnostic is an error (warnings allowed unless
+//! `--deny-warnings`), 1 when the program is rejected, 2 on usage or I/O
+//! errors. Front-end failures (lex/parse/resolve) are reported as `E00`
+//! diagnostics rather than aborting the run, so CI can consume one format.
+
+use alphonse_lang::diag::{report_json, Diagnostic, Severity};
+use alphonse_lang::token::Span;
+use alphonse_lang::{lints, parse, resolve, LangError};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: alphonse-check [--json] [--deny-warnings] <file.alf>...");
+    ExitCode::from(2)
+}
+
+/// Runs the full pipeline on one source text, folding front-end errors
+/// into the diagnostic stream as `E00`.
+fn check_source(source: &str) -> Vec<Diagnostic> {
+    let module = match parse(source) {
+        Ok(m) => m,
+        Err(e) => return vec![front_end_error(e)],
+    };
+    match resolve(&module) {
+        Ok(program) => lints::lint(&program),
+        Err(e) => vec![front_end_error(e)],
+    }
+}
+
+fn front_end_error(e: LangError) -> Diagnostic {
+    let span = match &e {
+        LangError::Lex { line, .. } | LangError::Parse { line, .. } => Span::new(*line, 1),
+        _ => Span::NONE,
+    };
+    Diagnostic::error("E00", span, e.to_string())
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => return usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("alphonse-check: unknown option `{arg}`");
+                return usage();
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut reports = Vec::new();
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("alphonse-check: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let diags = check_source(&source);
+        errors += diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        warnings += diags
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count();
+        if json {
+            reports.push(report_json(file, &diags));
+        } else {
+            for d in &diags {
+                print!("{}", d.render(file, &source));
+            }
+        }
+    }
+
+    if json {
+        match reports.len() {
+            1 => println!("{}", reports[0]),
+            _ => println!("[{}]", reports.join(",")),
+        }
+    } else if errors + warnings > 0 {
+        println!(
+            "alphonse-check: {errors} error{}, {warnings} warning{}",
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" }
+        );
+    }
+
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,764 @@
+//! Per-procedure effect inference over the HIR.
+//!
+//! This is the static half of the paper's Section 6: for every procedure we
+//! compute which top-level storage classes it reads and writes — globals
+//! (by index), object fields (by flattened offset), and arrays — both
+//! directly and transitively through calls. Method dispatch is resolved by
+//! name: a call of method `m` may land on any implementation of an `m`
+//! slot, so its effects are the union over those implementations.
+//!
+//! On top of the fixpoint the table classifies procedures:
+//!
+//! * **pure combinators** — procedures whose result depends only on their
+//!   arguments (no global/field/array reads or writes, no allocation, no
+//!   output, no `(*UNCHECKED*)` reads, no dynamic dispatch, all callees
+//!   pure). These are the paper's combinators in the strict Section 4
+//!   sense; a cached pure procedure needs no `R(p)` global encoding and no
+//!   dependence edges pointing at its instances.
+//! * **reachable from an incremental root** — the Section 6.1 reachability
+//!   used to prune instrumentation (see [`crate::analysis`]).
+//!
+//! The table also keeps per-site facts (write sites, `(*UNCHECKED*)`
+//! regions, identity-argument calls) that the lint pass
+//! ([`crate::lints`]) turns into span-carrying diagnostics.
+
+use crate::hir::{Builtin, HExpr, HStmt, ProcId, Program};
+use crate::token::Span;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A class of top-level storage, as tracked by the analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Loc {
+    /// A top-level variable, by global index.
+    Global(usize),
+    /// An object field, by flattened offset.
+    Field(usize),
+    /// Any array element (arrays are tracked as one class).
+    Arrays,
+}
+
+/// Describes a location with source-level names for diagnostics.
+pub fn describe_loc(program: &Program, loc: Loc) -> String {
+    match loc {
+        Loc::Global(i) => format!("global `{}`", program.globals[i].name),
+        Loc::Field(off) => {
+            let mut names: Vec<&str> = program
+                .types
+                .iter()
+                .filter_map(|t| t.fields.get(off).map(|f| f.name.as_str()))
+                .collect();
+            names.sort_unstable();
+            names.dedup();
+            if names.is_empty() {
+                format!("field at offset {off}")
+            } else {
+                format!("field `{}`", names.join("`/`"))
+            }
+        }
+        Loc::Arrays => "array elements".to_string(),
+    }
+}
+
+/// A set of read/written storage classes plus the non-storage effects that
+/// matter for purity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EffectSet {
+    /// Globals read (checked reads only — `(*UNCHECKED*)` reads are kept
+    /// separately).
+    pub reads_globals: BTreeSet<usize>,
+    /// Globals written.
+    pub writes_globals: BTreeSet<usize>,
+    /// Field offsets read.
+    pub reads_fields: BTreeSet<usize>,
+    /// Field offsets written.
+    pub writes_fields: BTreeSet<usize>,
+    /// Reads any array element.
+    pub reads_arrays: bool,
+    /// Writes any array element.
+    pub writes_arrays: bool,
+    /// Allocates objects or arrays (`NEW`).
+    pub allocates: bool,
+    /// Produces output (`Print`).
+    pub prints: bool,
+}
+
+impl EffectSet {
+    /// Unions `other` into `self`; returns `true` if anything changed.
+    fn absorb(&mut self, other: &EffectSet) -> bool {
+        let before = (
+            self.reads_globals.len(),
+            self.writes_globals.len(),
+            self.reads_fields.len(),
+            self.writes_fields.len(),
+            self.reads_arrays,
+            self.writes_arrays,
+            self.allocates,
+            self.prints,
+        );
+        self.reads_globals
+            .extend(other.reads_globals.iter().copied());
+        self.writes_globals
+            .extend(other.writes_globals.iter().copied());
+        self.reads_fields.extend(other.reads_fields.iter().copied());
+        self.writes_fields
+            .extend(other.writes_fields.iter().copied());
+        self.reads_arrays |= other.reads_arrays;
+        self.writes_arrays |= other.writes_arrays;
+        self.allocates |= other.allocates;
+        self.prints |= other.prints;
+        before
+            != (
+                self.reads_globals.len(),
+                self.writes_globals.len(),
+                self.reads_fields.len(),
+                self.writes_fields.len(),
+                self.reads_arrays,
+                self.writes_arrays,
+                self.allocates,
+                self.prints,
+            )
+    }
+
+    /// True if the set records no effect at all.
+    pub fn is_empty(&self) -> bool {
+        self.reads().is_empty() && self.writes().is_empty() && !self.allocates && !self.prints
+    }
+
+    /// The locations read, in deterministic order.
+    pub fn reads(&self) -> Vec<Loc> {
+        let mut out: Vec<Loc> = self.reads_globals.iter().map(|&g| Loc::Global(g)).collect();
+        out.extend(self.reads_fields.iter().map(|&f| Loc::Field(f)));
+        if self.reads_arrays {
+            out.push(Loc::Arrays);
+        }
+        out
+    }
+
+    /// The locations written, in deterministic order.
+    pub fn writes(&self) -> Vec<Loc> {
+        let mut out: Vec<Loc> = self
+            .writes_globals
+            .iter()
+            .map(|&g| Loc::Global(g))
+            .collect();
+        out.extend(self.writes_fields.iter().map(|&f| Loc::Field(f)));
+        if self.writes_arrays {
+            out.push(Loc::Arrays);
+        }
+        out
+    }
+
+    /// True if `self` reads any location that `other` writes.
+    pub fn reads_overlap_writes(&self, other: &EffectSet) -> bool {
+        self.reads_globals
+            .iter()
+            .any(|g| other.writes_globals.contains(g))
+            || self
+                .reads_fields
+                .iter()
+                .any(|f| other.writes_fields.contains(f))
+            || (self.reads_arrays && other.writes_arrays)
+    }
+}
+
+/// One write to top-level storage, with its source position.
+#[derive(Debug, Clone)]
+pub struct WriteSite {
+    /// What is written.
+    pub target: Loc,
+    /// Position of the assignment.
+    pub span: Span,
+}
+
+/// One `(*UNCHECKED*)` region, with everything it suppresses.
+#[derive(Debug, Clone)]
+pub struct UncheckedSite {
+    /// Position of the pragma.
+    pub span: Span,
+    /// Locations read syntactically inside the region.
+    pub reads: EffectSet,
+    /// Procedures called inside the region.
+    pub calls: BTreeSet<ProcId>,
+    /// Method names dispatched inside the region.
+    pub dispatches: BTreeSet<String>,
+}
+
+/// Direct (intraprocedural) facts about one procedure.
+#[derive(Debug, Clone, Default)]
+pub struct ProcFacts {
+    /// Checked reads/writes performed by the body itself.
+    pub direct: EffectSet,
+    /// Reads performed under `(*UNCHECKED*)` (union over all regions).
+    pub unchecked_reads: EffectSet,
+    /// Procedures called directly.
+    pub calls: BTreeSet<ProcId>,
+    /// Method names dispatched directly.
+    pub dispatches: BTreeSet<String>,
+    /// Write sites, for W01 diagnostics.
+    pub write_sites: Vec<WriteSite>,
+    /// `(*UNCHECKED*)` regions, for W02/W04 diagnostics.
+    pub unchecked_sites: Vec<UncheckedSite>,
+    /// Callees invoked with exactly this procedure's formals, in order —
+    /// an edge of the identity-argument call graph used for W05 (such a
+    /// chain re-requests the *same instance* and cannot terminate).
+    pub identity_calls: BTreeSet<ProcId>,
+    /// Method names dispatched with `Local(0)` as receiver and the
+    /// remaining formals as arguments (identity dispatch, see above).
+    pub identity_dispatches: BTreeSet<String>,
+}
+
+/// The result of effect inference over a whole program.
+#[derive(Debug, Clone)]
+pub struct EffectTable {
+    /// Per-procedure direct facts.
+    pub facts: Vec<ProcFacts>,
+    /// Transitive effects (direct ∪ callees, dispatch resolved by name).
+    pub transitive: Vec<EffectSet>,
+    /// Transitive effects following only direct calls — the part of a
+    /// cached procedure's read set that the static `R(p)` enumeration can
+    /// name without resolving dynamic dispatch.
+    pub transitive_static: Vec<EffectSet>,
+    /// Procedures proven to be pure combinators.
+    pub pure_procs: Vec<bool>,
+    /// Procedures reachable from an incremental root (Section 6.1).
+    pub reachable: Vec<bool>,
+    /// Method name → implementing procedures (across all types).
+    pub impls_by_name: BTreeMap<String, BTreeSet<ProcId>>,
+}
+
+/// Runs effect inference on a resolved program.
+pub fn infer(program: &Program) -> EffectTable {
+    let n = program.procs.len();
+    let facts: Vec<ProcFacts> = (0..n).map(|p| collect(program, p)).collect();
+
+    let mut impls_by_name: BTreeMap<String, BTreeSet<ProcId>> = BTreeMap::new();
+    for t in &program.types {
+        for m in &t.methods {
+            impls_by_name
+                .entry(m.name.clone())
+                .or_default()
+                .insert(m.impl_proc);
+        }
+    }
+
+    let succs_of = |f: &ProcFacts, with_dispatch: bool| -> BTreeSet<ProcId> {
+        let mut s = f.calls.clone();
+        if with_dispatch {
+            for name in &f.dispatches {
+                if let Some(impls) = impls_by_name.get(name) {
+                    s.extend(impls.iter().copied());
+                }
+            }
+        }
+        s
+    };
+    let succs: Vec<BTreeSet<ProcId>> = facts.iter().map(|f| succs_of(f, true)).collect();
+    let static_succs: Vec<BTreeSet<ProcId>> = facts.iter().map(|f| succs_of(f, false)).collect();
+
+    let transitive = close(&facts, &succs);
+    let transitive_static = close(&facts, &static_succs);
+
+    // Purity: greatest fixpoint — start from the local test and knock out
+    // procedures whose callees (including dispatch targets) are impure.
+    let mut pure_procs: Vec<bool> = facts
+        .iter()
+        .map(|f| f.direct.is_empty() && f.unchecked_reads.is_empty() && f.dispatches.is_empty())
+        .collect();
+    loop {
+        let mut changed = false;
+        for p in 0..n {
+            if pure_procs[p] && succs[p].iter().any(|&q| !pure_procs[q]) {
+                pure_procs[p] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Section 6.1 reachability: BFS from incremental roots.
+    let mut reachable = vec![false; n];
+    let mut queue: VecDeque<ProcId> = (0..n)
+        .filter(|&p| program.procs[p].incremental.is_some())
+        .collect();
+    for &p in &queue {
+        reachable[p] = true;
+    }
+    while let Some(p) = queue.pop_front() {
+        for &q in &succs[p] {
+            if !reachable[q] {
+                reachable[q] = true;
+                queue.push_back(q);
+            }
+        }
+    }
+
+    EffectTable {
+        facts,
+        transitive,
+        transitive_static,
+        pure_procs,
+        reachable,
+        impls_by_name,
+    }
+}
+
+/// Least-fixpoint union of direct effects along `succs` edges.
+fn close(facts: &[ProcFacts], succs: &[BTreeSet<ProcId>]) -> Vec<EffectSet> {
+    let mut out: Vec<EffectSet> = facts.iter().map(|f| f.direct.clone()).collect();
+    loop {
+        let mut changed = false;
+        for p in 0..facts.len() {
+            let merged: Vec<EffectSet> = succs[p].iter().map(|&q| out[q].clone()).collect();
+            for m in &merged {
+                changed |= out[p].absorb(m);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+impl EffectTable {
+    /// All implementing procedures of dispatched method names in `names`.
+    pub fn dispatch_targets<'a>(
+        &self,
+        names: impl IntoIterator<Item = &'a String>,
+    ) -> BTreeSet<ProcId> {
+        let mut out = BTreeSet::new();
+        for name in names {
+            if let Some(impls) = self.impls_by_name.get(name) {
+                out.extend(impls.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// The reads an `(*UNCHECKED*)` region actually suppresses at runtime:
+    /// its syntactic reads plus the reads of *non-incremental* procedures
+    /// it (transitively) calls — those run in the suppressed frame.
+    /// Incremental callees open their own frames and record normally.
+    ///
+    /// Also returns whether the region suppresses at least one dependence
+    /// on an incremental instance (calling a cached/maintained procedure
+    /// under the pragma unhooks the caller from that instance).
+    pub fn suppressed_by(&self, program: &Program, site: &UncheckedSite) -> (EffectSet, bool) {
+        let mut reads = site.reads.clone();
+        let mut hits_incremental = false;
+        let mut queue: VecDeque<ProcId> = VecDeque::new();
+        let mut seen: BTreeSet<ProcId> = BTreeSet::new();
+        let enqueue = |p: ProcId, queue: &mut VecDeque<ProcId>, seen: &mut BTreeSet<ProcId>| {
+            if seen.insert(p) {
+                queue.push_back(p);
+            }
+        };
+        for &p in &site.calls {
+            enqueue(p, &mut queue, &mut seen);
+        }
+        for p in self.dispatch_targets(site.dispatches.iter()) {
+            enqueue(p, &mut queue, &mut seen);
+        }
+        while let Some(p) = queue.pop_front() {
+            if program.procs[p].incremental.is_some() {
+                hits_incremental = true;
+                continue; // tracks its own dependencies
+            }
+            let f = &self.facts[p];
+            reads.absorb(&f.direct);
+            reads.absorb(&f.unchecked_reads);
+            for &q in &f.calls {
+                enqueue(q, &mut queue, &mut seen);
+            }
+            for q in self.dispatch_targets(f.dispatches.iter()) {
+                enqueue(q, &mut queue, &mut seen);
+            }
+        }
+        // Only reads matter for suppression; drop write/alloc noise that
+        // `absorb` may have copied in from callees.
+        reads.writes_globals.clear();
+        reads.writes_fields.clear();
+        reads.writes_arrays = false;
+        reads.allocates = false;
+        reads.prints = false;
+        (reads, hits_incremental)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Direct-fact collection
+// ----------------------------------------------------------------------
+
+struct Collector<'a> {
+    program: &'a Program,
+    /// Arity of the procedure being collected (for identity-call edges).
+    arity: usize,
+    facts: ProcFacts,
+    /// Index into `facts.unchecked_sites` while inside a region.
+    region: Option<usize>,
+}
+
+fn collect(program: &Program, pid: ProcId) -> ProcFacts {
+    let info = &program.procs[pid];
+    let mut c = Collector {
+        program,
+        arity: info.params.len(),
+        facts: ProcFacts::default(),
+        region: None,
+    };
+    for (_, _, init) in &info.local_inits {
+        if let Some(e) = init {
+            c.expr(e);
+        }
+    }
+    for s in &info.body {
+        c.stmt(s);
+    }
+    c.facts
+}
+
+impl Collector<'_> {
+    fn read(&mut self, loc: Loc) {
+        let set = match self.region {
+            Some(r) => {
+                let site = &mut self.facts.unchecked_sites[r];
+                match loc {
+                    Loc::Global(g) => {
+                        site.reads.reads_globals.insert(g);
+                    }
+                    Loc::Field(f) => {
+                        site.reads.reads_fields.insert(f);
+                    }
+                    Loc::Arrays => site.reads.reads_arrays = true,
+                }
+                &mut self.facts.unchecked_reads
+            }
+            None => &mut self.facts.direct,
+        };
+        match loc {
+            Loc::Global(g) => {
+                set.reads_globals.insert(g);
+            }
+            Loc::Field(f) => {
+                set.reads_fields.insert(f);
+            }
+            Loc::Arrays => set.reads_arrays = true,
+        }
+    }
+
+    fn write(&mut self, loc: Loc, span: Span) {
+        match loc {
+            Loc::Global(g) => {
+                self.facts.direct.writes_globals.insert(g);
+            }
+            Loc::Field(f) => {
+                self.facts.direct.writes_fields.insert(f);
+            }
+            Loc::Arrays => self.facts.direct.writes_arrays = true,
+        }
+        self.facts.write_sites.push(WriteSite { target: loc, span });
+    }
+
+    /// True if `args` are exactly the formals `first..first+len` in order
+    /// and cover the whole frame of formals.
+    fn identity_args(&self, first: usize, args: &[HExpr]) -> bool {
+        first + args.len() == self.arity
+            && args
+                .iter()
+                .enumerate()
+                .all(|(i, a)| matches!(a, HExpr::Local(s) if *s == first + i))
+    }
+
+    fn stmt(&mut self, s: &HStmt) {
+        match s {
+            HStmt::AssignLocal { value, .. } => self.expr(value),
+            HStmt::AssignGlobal { span, index, value } => {
+                self.expr(value);
+                self.write(Loc::Global(*index), *span);
+            }
+            HStmt::AssignIndex {
+                span,
+                arr,
+                index,
+                value,
+            } => {
+                self.expr(arr);
+                self.expr(index);
+                self.expr(value);
+                self.write(Loc::Arrays, *span);
+            }
+            HStmt::AssignField {
+                span,
+                obj,
+                field,
+                value,
+            } => {
+                self.expr(obj);
+                self.expr(value);
+                self.write(Loc::Field(*field), *span);
+            }
+            HStmt::If { arms, else_body } => {
+                for (c, body) in arms {
+                    self.expr(c);
+                    for s in body {
+                        self.stmt(s);
+                    }
+                }
+                for s in else_body {
+                    self.stmt(s);
+                }
+            }
+            HStmt::While { cond, body } => {
+                self.expr(cond);
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+            HStmt::For {
+                from, to, by, body, ..
+            } => {
+                self.expr(from);
+                self.expr(to);
+                if let Some(b) = by {
+                    self.expr(b);
+                }
+                for s in body {
+                    self.stmt(s);
+                }
+            }
+            HStmt::Return(Some(e)) => self.expr(e),
+            HStmt::Return(None) => {}
+            HStmt::Expr(e) => self.expr(e),
+        }
+    }
+
+    fn expr(&mut self, e: &HExpr) {
+        match e {
+            HExpr::Int(_) | HExpr::Text(_) | HExpr::Bool(_) | HExpr::Nil | HExpr::Local(_) => {}
+            HExpr::Global(g) => self.read(Loc::Global(*g)),
+            HExpr::Field { obj, field } => {
+                self.expr(obj);
+                self.read(Loc::Field(*field));
+            }
+            HExpr::Index { arr, index } => {
+                self.expr(arr);
+                self.expr(index);
+                self.read(Loc::Arrays);
+            }
+            HExpr::CallProc { proc, args } => {
+                self.facts.calls.insert(*proc);
+                if let Some(r) = self.region {
+                    self.facts.unchecked_sites[r].calls.insert(*proc);
+                }
+                if self.identity_args(0, args)
+                    && self.program.procs[*proc].params.len() == args.len()
+                {
+                    self.facts.identity_calls.insert(*proc);
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            HExpr::CallMethod {
+                name, obj, args, ..
+            } => {
+                self.facts.dispatches.insert(name.to_string());
+                if let Some(r) = self.region {
+                    self.facts.unchecked_sites[r]
+                        .dispatches
+                        .insert(name.to_string());
+                }
+                if matches!(**obj, HExpr::Local(0)) && self.identity_args(1, args) {
+                    self.facts.identity_dispatches.insert(name.to_string());
+                }
+                self.expr(obj);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            HExpr::CallBuiltin { builtin, args } => {
+                if *builtin == Builtin::Print {
+                    self.facts.direct.prints = true;
+                }
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            HExpr::New(_) => self.facts.direct.allocates = true,
+            HExpr::NewArray { size, .. } => {
+                self.facts.direct.allocates = true;
+                self.expr(size);
+            }
+            HExpr::Unary { expr, .. } => self.expr(expr),
+            HExpr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            HExpr::Unchecked { expr, span } => {
+                let outer = self.region;
+                if outer.is_none() {
+                    self.facts.unchecked_sites.push(UncheckedSite {
+                        span: *span,
+                        reads: EffectSet::default(),
+                        calls: BTreeSet::new(),
+                        dispatches: BTreeSet::new(),
+                    });
+                    self.region = Some(self.facts.unchecked_sites.len() - 1);
+                }
+                self.expr(expr);
+                self.region = outer;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::resolve::resolve;
+
+    fn table(src: &str) -> (Program, EffectTable) {
+        let program = resolve(&parse(src).unwrap()).unwrap();
+        let t = infer(&program);
+        (program, t)
+    }
+
+    #[test]
+    fn direct_reads_and_writes_are_collected() {
+        let (p, t) = table(
+            "VAR a, b : INTEGER;
+             PROCEDURE F(x : INTEGER) : INTEGER =
+             BEGIN a := b + x; RETURN a; END F;",
+        );
+        let f = p.proc_by_name["F"];
+        assert_eq!(t.facts[f].direct.writes_globals, BTreeSet::from([0]));
+        assert_eq!(t.facts[f].direct.reads_globals, BTreeSet::from([0, 1]));
+        assert_eq!(t.facts[f].write_sites.len(), 1);
+        assert_eq!(t.facts[f].write_sites[0].target, Loc::Global(0));
+    }
+
+    #[test]
+    fn transitive_effects_flow_through_calls() {
+        let (p, t) = table(
+            "VAR g : INTEGER;
+             PROCEDURE Leaf() : INTEGER = BEGIN RETURN g; END Leaf;
+             PROCEDURE Mid() : INTEGER = BEGIN RETURN Leaf(); END Mid;
+             PROCEDURE Top() : INTEGER = BEGIN RETURN Mid(); END Top;",
+        );
+        let top = p.proc_by_name["Top"];
+        assert!(t.facts[top].direct.reads_globals.is_empty());
+        assert_eq!(t.transitive[top].reads_globals, BTreeSet::from([0]));
+    }
+
+    #[test]
+    fn dispatch_unions_all_implementations() {
+        let (p, t) = table(
+            "VAR g : INTEGER;
+             TYPE A = OBJECT METHODS m() : INTEGER := MA; END;
+             TYPE B = A OBJECT OVERRIDES m := MB; END;
+             PROCEDURE MA(a : A) : INTEGER = BEGIN RETURN 0; END MA;
+             PROCEDURE MB(b : B) : INTEGER = BEGIN RETURN g; END MB;
+             PROCEDURE Use(a : A) : INTEGER = BEGIN RETURN a.m(); END Use;",
+        );
+        let use_ = p.proc_by_name["Use"];
+        // Use's transitive reads include MB's global read even though the
+        // static receiver type is A.
+        assert_eq!(t.transitive[use_].reads_globals, BTreeSet::from([0]));
+        // ... but the dispatch-free closure does not see it.
+        assert!(t.transitive_static[use_].reads_globals.is_empty());
+    }
+
+    #[test]
+    fn purity_is_transitive_and_tolerates_recursion() {
+        let (p, t) = table(
+            "VAR g : INTEGER;
+             (*CACHED*) PROCEDURE Fib(n : INTEGER) : INTEGER =
+             BEGIN
+                IF n < 2 THEN RETURN n; END;
+                RETURN Fib(n - 1) + Fib(n - 2);
+             END Fib;
+             PROCEDURE Tainted(n : INTEGER) : INTEGER = BEGIN RETURN n + g; END Tainted;
+             PROCEDURE Wrapper(n : INTEGER) : INTEGER = BEGIN RETURN Tainted(n); END Wrapper;",
+        );
+        assert!(t.pure_procs[p.proc_by_name["Fib"]]);
+        assert!(!t.pure_procs[p.proc_by_name["Tainted"]]);
+        assert!(!t.pure_procs[p.proc_by_name["Wrapper"]]);
+    }
+
+    #[test]
+    fn allocation_print_and_unchecked_reads_break_purity() {
+        let (p, t) = table(
+            "VAR g : INTEGER;
+             TYPE T = OBJECT END;
+             PROCEDURE Alloc() : T = BEGIN RETURN NEW(T); END Alloc;
+             PROCEDURE Noisy(n : INTEGER) = BEGIN Print(n); END Noisy;
+             PROCEDURE Peek() : INTEGER = BEGIN RETURN (*UNCHECKED*) g; END Peek;",
+        );
+        assert!(!t.pure_procs[p.proc_by_name["Alloc"]]);
+        assert!(!t.pure_procs[p.proc_by_name["Noisy"]]);
+        assert!(!t.pure_procs[p.proc_by_name["Peek"]]);
+        // The unchecked read is not a checked read…
+        let peek = p.proc_by_name["Peek"];
+        assert!(t.facts[peek].direct.reads_globals.is_empty());
+        // …but is remembered as a suppressed one.
+        assert_eq!(
+            t.facts[peek].unchecked_reads.reads_globals,
+            BTreeSet::from([0])
+        );
+        assert_eq!(t.facts[peek].unchecked_sites.len(), 1);
+    }
+
+    #[test]
+    fn identity_call_edges_require_exact_formals() {
+        let (p, t) = table(
+            "PROCEDURE A(x, y : INTEGER) : INTEGER = BEGIN RETURN B(x, y); END A;
+             PROCEDURE B(x, y : INTEGER) : INTEGER = BEGIN RETURN C(x - 1, y); END B;
+             PROCEDURE C(x, y : INTEGER) : INTEGER = BEGIN RETURN x + y; END C;",
+        );
+        let a = p.proc_by_name["A"];
+        let b = p.proc_by_name["B"];
+        assert_eq!(
+            t.facts[a].identity_calls,
+            BTreeSet::from([p.proc_by_name["B"]])
+        );
+        assert!(t.facts[b].identity_calls.is_empty(), "x - 1 is not x");
+    }
+
+    #[test]
+    fn suppressed_reads_follow_plain_calls_but_stop_at_incremental() {
+        let (p, t) = table(
+            "VAR seen, hidden : INTEGER;
+             PROCEDURE Plain() : INTEGER = BEGIN RETURN hidden; END Plain;
+             (*CACHED*) PROCEDURE Cached() : INTEGER = BEGIN RETURN seen; END Cached;
+             PROCEDURE Use() : INTEGER =
+             BEGIN RETURN (*UNCHECKED*) (Plain() + Cached()); END Use;",
+        );
+        let use_ = p.proc_by_name["Use"];
+        let site = &t.facts[use_].unchecked_sites[0];
+        let (reads, hits_incremental) = t.suppressed_by(&p, site);
+        // Plain's read of `hidden` runs in the suppressed frame…
+        assert_eq!(
+            reads.reads_globals,
+            BTreeSet::from([p.global_by_name["hidden"]])
+        );
+        // …while Cached records its own dependence on `seen`, and the
+        // region suppresses the dependence on Cached's instance.
+        assert!(hits_incremental);
+    }
+
+    #[test]
+    fn reachability_starts_at_incremental_roots() {
+        let (p, t) = table(
+            "VAR g : INTEGER;
+             (*CACHED*) PROCEDURE Root() : INTEGER = BEGIN RETURN Helper(); END Root;
+             PROCEDURE Helper() : INTEGER = BEGIN RETURN g; END Helper;
+             PROCEDURE Orphan() = BEGIN g := 1; END Orphan;",
+        );
+        assert!(t.reachable[p.proc_by_name["Root"]]);
+        assert!(t.reachable[p.proc_by_name["Helper"]]);
+        assert!(!t.reachable[p.proc_by_name["Orphan"]]);
+    }
+}

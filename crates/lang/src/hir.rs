@@ -6,6 +6,7 @@
 //! attached to the procedures they make incremental.
 
 use crate::ast::{BinOp, UnOp};
+use crate::token::Span;
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -72,6 +73,8 @@ pub struct MethodImpl {
     /// Whether the method is `(*MAINTAINED*)` (consistent across the
     /// hierarchy; checked by the resolver).
     pub maintained: bool,
+    /// Position of the declaring `METHODS` entry (not of overrides).
+    pub span: Span,
     /// The implementing procedure for this type.
     pub impl_proc: ProcId,
 }
@@ -122,6 +125,8 @@ pub struct ProcInfo {
     pub local_inits: Vec<(usize, Ty, Option<HExpr>)>,
     /// Body statements.
     pub body: Vec<HStmt>,
+    /// Position of the `PROCEDURE` declaration.
+    pub span: Span,
 }
 
 /// Built-in procedures of the base language.
@@ -171,6 +176,11 @@ pub enum HExpr {
     },
     /// Dynamically dispatched method call.
     CallMethod {
+        /// Position of the call site.
+        span: Span,
+        /// Method name (slot indices are only meaningful within one type
+        /// hierarchy; the static analyses match dispatch targets by name).
+        name: Rc<str>,
         /// Receiver.
         obj: Box<HExpr>,
         /// Method slot (valid for the receiver's static type and all
@@ -219,7 +229,12 @@ pub enum HExpr {
         rhs: Box<HExpr>,
     },
     /// Expression whose dependence recording is suppressed (Section 6.4).
-    Unchecked(Box<HExpr>),
+    Unchecked {
+        /// The expression whose reads go unrecorded.
+        expr: Box<HExpr>,
+        /// Position of the pragma.
+        span: Span,
+    },
 }
 
 /// A resolved statement.
@@ -234,6 +249,8 @@ pub enum HStmt {
     },
     /// Assignment to a top-level variable.
     AssignGlobal {
+        /// Position of the assignment.
+        span: Span,
         /// Target global index.
         index: usize,
         /// Value.
@@ -241,6 +258,8 @@ pub enum HStmt {
     },
     /// Assignment to an array element.
     AssignIndex {
+        /// Position of the assignment.
+        span: Span,
         /// Array expression.
         arr: HExpr,
         /// Index expression.
@@ -250,6 +269,8 @@ pub enum HStmt {
     },
     /// Assignment to an object field.
     AssignField {
+        /// Position of the assignment.
+        span: Span,
         /// Receiver.
         obj: HExpr,
         /// Field offset.

@@ -14,6 +14,7 @@
 //! writes globals and fields through the [`Interp`] API, and the Maintained
 //! portion reacts incrementally.
 
+use crate::analysis::{analyze, Instrumentation};
 use crate::error::{LangError, Result};
 use crate::heap::{default_val, Heap, Slot};
 use crate::hir::*;
@@ -139,6 +140,9 @@ struct Shared {
     program: Rc<Program>,
     mode: Mode,
     rt: Option<Runtime>,
+    /// Section 6.1 instrumentation decisions: accesses the analysis proved
+    /// irrelevant bypass the runtime entirely (`None` handles below).
+    instr: Instrumentation,
     /// `ALPHONSE_TRACE` consumer, flushed when the interpreter drops.
     trace: Option<TraceHook>,
     heap: RefCell<Heap>,
@@ -213,10 +217,12 @@ impl Interp {
             .map(|g| Slot::new(default_val(g.ty)))
             .collect();
         let trace = rt.as_ref().and_then(TraceHook::from_env);
+        let instr = analyze(&program);
         let shared = Rc::new(Shared {
             program,
             mode,
             rt,
+            instr,
             trace,
             heap: RefCell::new(Heap::new()),
             globals: RefCell::new(globals),
@@ -238,7 +244,7 @@ impl Interp {
         for (i, init) in inits {
             let mut frame = Vec::new();
             let v = shared.eval_expr(&init, &mut frame)?;
-            shared.globals.borrow_mut()[i].write(shared.rt.as_ref(), v);
+            shared.globals.borrow_mut()[i].write(shared.rt_global(i), v);
         }
         Ok(Interp { shared })
     }
@@ -256,6 +262,12 @@ impl Interp {
     /// The Alphonse runtime ([`None`] in conventional mode).
     pub fn runtime(&self) -> Option<&Runtime> {
         self.shared.rt.as_ref()
+    }
+
+    /// The Section 6.1 instrumentation decisions this interpreter executes
+    /// under (computed for every program, in both modes).
+    pub fn instrumentation(&self) -> &Instrumentation {
+        &self.shared.instr
     }
 
     /// Statements/expressions/calls executed so far — the
@@ -364,7 +376,7 @@ impl Interp {
     /// Returns [`LangError::Resolve`] for unknown names.
     pub fn global(&self, name: &str) -> Result<Val> {
         let idx = self.global_index(name)?;
-        Ok(self.shared.globals.borrow_mut()[idx].read(self.shared.rt.as_ref()))
+        Ok(self.shared.globals.borrow_mut()[idx].read(self.shared.rt_global(idx)))
     }
 
     /// Writes a top-level variable (a mutator state change; seeds change
@@ -375,7 +387,7 @@ impl Interp {
     /// Returns [`LangError::Resolve`] for unknown names.
     pub fn set_global(&self, name: &str, v: Val) -> Result<()> {
         let idx = self.global_index(name)?;
-        self.shared.globals.borrow_mut()[idx].write(self.shared.rt.as_ref(), v);
+        self.shared.globals.borrow_mut()[idx].write(self.shared.rt_global(idx), v);
         Ok(())
     }
 
@@ -445,7 +457,7 @@ impl Interp {
             .shared
             .heap
             .borrow_mut()
-            .read_field(self.shared.rt.as_ref(), o, off))
+            .read_field(self.shared.rt_field(off), o, off))
     }
 
     /// Writes `obj.field` (a mutator state change).
@@ -458,7 +470,7 @@ impl Interp {
         self.shared
             .heap
             .borrow_mut()
-            .write_field(self.shared.rt.as_ref(), o, off, v);
+            .write_field(self.shared.rt_field(off), o, off, v);
         Ok(())
     }
 
@@ -570,6 +582,35 @@ impl Drop for Shared {
 }
 
 impl Shared {
+    /// Runtime handle for an access to global `idx` — `None` when the
+    /// Section 6.1 analysis proved the access can never involve a node.
+    fn rt_global(&self, idx: usize) -> Option<&Runtime> {
+        self.rt
+            .as_ref()
+            .filter(|_| self.instr.global_needs_check(idx))
+    }
+
+    /// Runtime handle for an access to a field at `offset` (see
+    /// [`Shared::rt_global`]).
+    fn rt_field(&self, offset: usize) -> Option<&Runtime> {
+        self.rt
+            .as_ref()
+            .filter(|_| self.instr.field_offset_needs_check(offset))
+    }
+
+    /// Runtime handle for an array element access (see
+    /// [`Shared::rt_global`]).
+    fn rt_arrays(&self) -> Option<&Runtime> {
+        self.rt.as_ref().filter(|_| self.instr.tracked_arrays)
+    }
+
+    /// True if a read performed right now would record a dependence edge.
+    /// A statically pruned read must never happen in such a context (only
+    /// consulted by debug assertions; optimized out of release builds).
+    fn recording(&self) -> bool {
+        self.rt.as_ref().is_some_and(Runtime::recording_context)
+    }
+
     fn alloc(&self, ty: TypeId) -> ObjId {
         let field_types: Vec<Ty> = self.program.types[ty].fields.iter().map(|f| f.ty).collect();
         self.heap.borrow_mut().alloc(ty, &field_types)
@@ -605,7 +646,16 @@ impl Shared {
         if self.mode == Mode::Alphonse && self.program.procs[pid].incremental.is_some() {
             let memo = self.memo_for(pid);
             let rt = self.rt.as_ref().expect("Alphonse mode has a runtime");
-            let out = memo.call(rt, args);
+            // A pure combinator depends only on its arguments: no state
+            // change can ever invalidate its instances, so the caller need
+            // not record a dependence on them. The memo still runs the call
+            // (preserving caching, LRU bounds, and cycle detection); only
+            // the caller→instance edge is suppressed.
+            let out = if self.instr.pure_procs[pid] {
+                rt.untracked(|| memo.call(rt, args))
+            } else {
+                memo.call(rt, args)
+            };
             if let Some(e) = self.pending_error.borrow().clone() {
                 self.drain_poisoned();
                 return Err(e);
@@ -704,12 +754,14 @@ impl Shared {
                 frame[*slot] = v;
                 Ok(Flow::Normal)
             }
-            HStmt::AssignGlobal { index, value } => {
+            HStmt::AssignGlobal { index, value, .. } => {
                 let v = self.eval_expr(value, frame)?;
-                self.globals.borrow_mut()[*index].write(self.rt.as_ref(), v);
+                self.globals.borrow_mut()[*index].write(self.rt_global(*index), v);
                 Ok(Flow::Normal)
             }
-            HStmt::AssignIndex { arr, index, value } => {
+            HStmt::AssignIndex {
+                arr, index, value, ..
+            } => {
                 let a = self.eval_expr(arr, frame)?;
                 let i = self.eval_expr(index, frame)?.as_int();
                 let v = self.eval_expr(value, frame)?;
@@ -719,13 +771,15 @@ impl Shared {
                 if !self
                     .heap
                     .borrow_mut()
-                    .write_element(self.rt.as_ref(), a, i, v)
+                    .write_element(self.rt_arrays(), a, i, v)
                 {
                     return Err(LangError::runtime(format!("array index {i} out of bounds")));
                 }
                 Ok(Flow::Normal)
             }
-            HStmt::AssignField { obj, field, value } => {
+            HStmt::AssignField {
+                obj, field, value, ..
+            } => {
                 let o = self.eval_expr(obj, frame)?;
                 let v = self.eval_expr(value, frame)?;
                 let Val::Obj(o) = o else {
@@ -733,7 +787,7 @@ impl Shared {
                 };
                 self.heap
                     .borrow_mut()
-                    .write_field(self.rt.as_ref(), o, *field, v);
+                    .write_field(self.rt_field(*field), o, *field, v);
                 Ok(Flow::Normal)
             }
             HStmt::If { arms, else_body } => {
@@ -805,16 +859,19 @@ impl Shared {
             HExpr::Bool(b) => Ok(Val::Bool(*b)),
             HExpr::Nil => Ok(Val::Nil),
             HExpr::Local(slot) => Ok(frame[*slot].clone()),
-            HExpr::Global(idx) => Ok(self.globals.borrow_mut()[*idx].read(self.rt.as_ref())),
+            HExpr::Global(idx) => {
+                let rt = self.rt_global(*idx);
+                debug_assert!(rt.is_some() || !self.recording(), "pruned a recorded read");
+                Ok(self.globals.borrow_mut()[*idx].read(rt))
+            }
             HExpr::Field { obj, field } => {
                 let o = self.eval_expr(obj, frame)?;
                 let Val::Obj(o) = o else {
                     return Err(LangError::runtime("field access on NIL"));
                 };
-                Ok(self
-                    .heap
-                    .borrow_mut()
-                    .read_field(self.rt.as_ref(), o, *field))
+                let rt = self.rt_field(*field);
+                debug_assert!(rt.is_some() || !self.recording(), "pruned a recorded read");
+                Ok(self.heap.borrow_mut().read_field(rt, o, *field))
             }
             HExpr::New(ty) => Ok(Val::Obj(self.alloc(*ty))),
             HExpr::NewArray { elem, size } => {
@@ -829,16 +886,20 @@ impl Shared {
                 let Val::Arr(a) = a else {
                     return Err(LangError::runtime("indexing NIL array"));
                 };
+                let rt = self.rt_arrays();
+                debug_assert!(rt.is_some() || !self.recording(), "pruned a recorded read");
                 self.heap
                     .borrow_mut()
-                    .read_element(self.rt.as_ref(), a, i)
+                    .read_element(rt, a, i)
                     .ok_or_else(|| LangError::runtime(format!("array index {i} out of bounds")))
             }
             HExpr::CallProc { proc, args } => {
                 let argv = self.eval_args(args, frame)?;
                 self.call_proc(*proc, argv)
             }
-            HExpr::CallMethod { obj, slot, args } => {
+            HExpr::CallMethod {
+                obj, slot, args, ..
+            } => {
                 let recv = self.eval_expr(obj, frame)?;
                 let Val::Obj(o) = recv else {
                     return Err(LangError::runtime("method call on NIL"));
@@ -861,7 +922,7 @@ impl Shared {
                 })
             }
             HExpr::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, frame),
-            HExpr::Unchecked(inner) => match &self.rt {
+            HExpr::Unchecked { expr: inner, .. } => match &self.rt {
                 Some(rt) => {
                     let rt = rt.clone();
                     rt.untracked(|| self.eval_expr(inner, frame))

@@ -7,7 +7,7 @@
 //! (Section 3: "all L programs are valid Alphonse-L programs").
 
 use crate::error::{LangError, Result};
-use crate::token::{Pragma, PragmaStrategy, Spanned, Token};
+use crate::token::{Pragma, PragmaStrategy, Span, Spanned, Token};
 
 /// Tokenizes `source` into a vector of spanned tokens.
 ///
@@ -20,6 +20,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>> {
         chars: source.chars().collect(),
         pos: 0,
         line: 1,
+        col: 1,
         out: Vec::new(),
     }
     .run()
@@ -29,6 +30,7 @@ struct Lexer {
     chars: Vec<char>,
     pos: usize,
     line: u32,
+    col: u32,
     out: Vec<Spanned>,
 }
 
@@ -41,22 +43,30 @@ impl Lexer {
         self.chars.get(self.pos + 1).copied()
     }
 
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
     fn bump(&mut self) -> Option<char> {
         let c = self.peek()?;
         self.pos += 1;
         if c == '\n' {
             self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
         }
         Some(c)
     }
 
-    fn push(&mut self, token: Token, line: u32) {
-        self.out.push(Spanned { token, line });
+    fn push(&mut self, token: Token, span: Span) {
+        self.out.push(Spanned { token, span });
     }
 
     fn run(mut self) -> Result<Vec<Spanned>> {
         while let Some(c) = self.peek() {
-            let line = self.line;
+            let span = self.span();
+            let line = span.line;
             match c {
                 ' ' | '\t' | '\r' | '\n' => {
                     self.bump();
@@ -66,81 +76,81 @@ impl Lexer {
                 }
                 '(' => {
                     self.bump();
-                    self.push(Token::LParen, line);
+                    self.push(Token::LParen, span);
                 }
                 ')' => {
                     self.bump();
-                    self.push(Token::RParen, line);
+                    self.push(Token::RParen, span);
                 }
                 ';' => {
                     self.bump();
-                    self.push(Token::Semi, line);
+                    self.push(Token::Semi, span);
                 }
                 ',' => {
                     self.bump();
-                    self.push(Token::Comma, line);
+                    self.push(Token::Comma, span);
                 }
                 '.' => {
                     self.bump();
-                    self.push(Token::Dot, line);
+                    self.push(Token::Dot, span);
                 }
                 '[' => {
                     self.bump();
-                    self.push(Token::LBracket, line);
+                    self.push(Token::LBracket, span);
                 }
                 ']' => {
                     self.bump();
-                    self.push(Token::RBracket, line);
+                    self.push(Token::RBracket, span);
                 }
                 '+' => {
                     self.bump();
-                    self.push(Token::Plus, line);
+                    self.push(Token::Plus, span);
                 }
                 '-' => {
                     self.bump();
-                    self.push(Token::Minus, line);
+                    self.push(Token::Minus, span);
                 }
                 '*' => {
                     self.bump();
-                    self.push(Token::Star, line);
+                    self.push(Token::Star, span);
                 }
                 '&' => {
                     self.bump();
-                    self.push(Token::Amp, line);
+                    self.push(Token::Amp, span);
                 }
                 '=' => {
                     self.bump();
-                    self.push(Token::Eq, line);
+                    self.push(Token::Eq, span);
                 }
                 '#' => {
                     self.bump();
-                    self.push(Token::Ne, line);
+                    self.push(Token::Ne, span);
                 }
                 ':' => {
                     self.bump();
                     if self.peek() == Some('=') {
                         self.bump();
-                        self.push(Token::Assign, line);
+                        self.push(Token::Assign, span);
                     } else {
-                        self.push(Token::Colon, line);
+                        self.push(Token::Colon, span);
                     }
                 }
                 '<' => {
                     self.bump();
                     if self.peek() == Some('=') {
                         self.bump();
-                        self.push(Token::Le, line);
+                        self.push(Token::Le, span);
                     } else {
-                        self.push(Token::Lt, line);
+                        self.push(Token::Lt, span);
                     }
                 }
                 '>' => {
                     self.bump();
                     if self.peek() == Some('=') {
                         self.bump();
-                        self.push(Token::Ge, line);
+                        self.push(Token::Ge, span);
                     } else {
-                        self.push(Token::Gt, line);
+                        self.push(Token::Gt, span);
                     }
                 }
                 '"' => self.text_literal()?,
@@ -158,7 +168,8 @@ impl Lexer {
     }
 
     fn text_literal(&mut self) -> Result<()> {
-        let line = self.line;
+        let span = self.span();
+        let line = span.line;
         self.bump(); // opening quote
         let mut s = String::new();
         loop {
@@ -180,12 +191,13 @@ impl Lexer {
                 Some(c) => s.push(c),
             }
         }
-        self.push(Token::Text(s), line);
+        self.push(Token::Text(s), span);
         Ok(())
     }
 
     fn number(&mut self) -> Result<()> {
-        let line = self.line;
+        let span = self.span();
+        let line = span.line;
         let mut s = String::new();
         while let Some(c) = self.peek() {
             if c.is_ascii_digit() {
@@ -198,12 +210,12 @@ impl Lexer {
         let value: i64 = s
             .parse()
             .map_err(|_| LangError::lex(line, format!("integer literal {s} overflows")))?;
-        self.push(Token::Int(value), line);
+        self.push(Token::Int(value), span);
         Ok(())
     }
 
     fn word(&mut self) {
-        let line = self.line;
+        let span = self.span();
         let mut s = String::new();
         while let Some(c) = self.peek() {
             if c.is_ascii_alphanumeric() || c == '_' {
@@ -245,12 +257,13 @@ impl Lexer {
             "OF" => Token::Of,
             _ => Token::Ident(s),
         };
-        self.push(token, line);
+        self.push(token, span);
     }
 
     /// Consumes `(* … *)`; emits a pragma token if the body names one.
     fn comment_or_pragma(&mut self) -> Result<()> {
-        let line = self.line;
+        let span = self.span();
+        let line = span.line;
         self.bump(); // (
         self.bump(); // *
         let mut depth = 1u32;
@@ -307,7 +320,7 @@ impl Lexer {
             _ => None, // ordinary comment
         };
         if let Some(p) = pragma {
-            self.push(Token::Pragma(p), line);
+            self.push(Token::Pragma(p), span);
         }
         Ok(())
     }
@@ -406,9 +419,29 @@ mod tests {
     #[test]
     fn line_numbers_advance() {
         let ts = lex("a\nb\n  c").unwrap();
-        assert_eq!(ts[0].line, 1);
-        assert_eq!(ts[1].line, 2);
-        assert_eq!(ts[2].line, 3);
+        assert_eq!(ts[0].span, Span::new(1, 1));
+        assert_eq!(ts[1].span, Span::new(2, 1));
+        assert_eq!(ts[2].span, Span::new(3, 3));
+    }
+
+    #[test]
+    fn columns_point_at_token_starts() {
+        let ts = lex("x := foo(1);\n  (*CACHED*) y").unwrap();
+        let spans: Vec<Span> = ts.iter().map(|s| s.span).collect();
+        assert_eq!(
+            spans,
+            vec![
+                Span::new(1, 1),  // x
+                Span::new(1, 3),  // :=
+                Span::new(1, 6),  // foo
+                Span::new(1, 9),  // (
+                Span::new(1, 10), // 1
+                Span::new(1, 11), // )
+                Span::new(1, 12), // ;
+                Span::new(2, 3),  // (*CACHED*)
+                Span::new(2, 14), // y
+            ]
+        );
     }
 
     #[test]

@@ -41,11 +41,14 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod diag;
+pub mod effects;
 mod error;
 mod heap;
 pub mod hir;
 mod interp;
 mod lexer;
+pub mod lints;
 mod parser;
 mod resolve;
 pub mod token;

@@ -1,0 +1,504 @@
+//! Lint pass over the effect-inference results (`alphonse-check`).
+//!
+//! Five lints, each grounded in a hazard the paper discusses:
+//!
+//! * **W01** (error) — a `(*CACHED*)` computation transitively performs a
+//!   write to non-local storage. A cache hit skips the body, and with it
+//!   the write, so incremental and conventional execution observably
+//!   diverge (the combinator restriction of Section 4 / Theorem 5.1).
+//!   `(*MAINTAINED*)` methods are exempt: the paper's Algorithm 11
+//!   deliberately rebalances an AVL tree from inside maintained methods.
+//! * **W02** (warning) — an `(*UNCHECKED*)` expression reads state that
+//!   some procedure of the program mutates. The suppressed dependence is
+//!   exactly the one that would have kept the cached value fresh
+//!   (Section 6.4's stale-value hazard).
+//! * **W03** (warning) — a `(*CACHED*)` procedure reaches global reads
+//!   only through dynamic method dispatch. The static `R(p)` enumeration
+//!   of Section 6 cannot name those globals without resolving dispatch, so
+//!   its encoding degrades to the conservative union over all overrides.
+//! * **W04** (warning) — a pragma with no effect: an `(*UNCHECKED*)`
+//!   region that suppresses nothing, a `(*MAINTAINED*)` method no
+//!   procedure dispatches, or a `(*CACHED*)` procedure no procedure calls.
+//! * **W05** (error) — an incremental procedure re-requests its own
+//!   instance: a call cycle in which every call passes the caller's
+//!   formals through unchanged. If such a call executes, the runtime's
+//!   cycle detection (Algorithm 5) aborts the program.
+
+use crate::diag::{self, Diagnostic};
+use crate::effects::{describe_loc, infer, EffectSet, EffectTable, Loc};
+use crate::hir::{IncrKind, ProcId, Program};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Runs every lint over a resolved program.
+pub fn lint(program: &Program) -> Vec<Diagnostic> {
+    lint_with(program, &infer(program))
+}
+
+/// Runs every lint, reusing an already-computed effect table.
+pub fn lint_with(program: &Program, effects: &EffectTable) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    w01_cached_writes(program, effects, &mut out);
+    w02_stale_unchecked(program, effects, &mut out);
+    w03_dispatch_escapes_rp(program, effects, &mut out);
+    w04_dead_pragmas(program, effects, &mut out);
+    w05_identity_cycles(program, effects, &mut out);
+    diag::sort(&mut out);
+    out.dedup();
+    out
+}
+
+fn is_cached(program: &Program, p: ProcId) -> bool {
+    matches!(program.procs[p].incremental, Some((IncrKind::Cached, _)))
+}
+
+/// Procedures reachable from `root` through *non-incremental* callees
+/// (`root` itself included). Incremental callees open their own instances
+/// and are vetted on their own.
+fn plain_reach(program: &Program, effects: &EffectTable, root: ProcId) -> Vec<ProcId> {
+    let mut seen = BTreeSet::from([root]);
+    let mut queue = VecDeque::from([root]);
+    let mut out = vec![root];
+    while let Some(p) = queue.pop_front() {
+        let f = &effects.facts[p];
+        let mut next: BTreeSet<ProcId> = f.calls.clone();
+        next.extend(effects.dispatch_targets(f.dispatches.iter()));
+        for q in next {
+            if program.procs[q].incremental.is_some() || !seen.insert(q) {
+                continue;
+            }
+            out.push(q);
+            queue.push_back(q);
+        }
+    }
+    out
+}
+
+fn w01_cached_writes(program: &Program, effects: &EffectTable, out: &mut Vec<Diagnostic>) {
+    // site (owner proc, site index) -> cached roots that reach it.
+    let mut hits: BTreeMap<(ProcId, usize), BTreeSet<ProcId>> = BTreeMap::new();
+    for root in 0..program.procs.len() {
+        if !is_cached(program, root) {
+            continue;
+        }
+        for q in plain_reach(program, effects, root) {
+            for (i, _) in effects.facts[q].write_sites.iter().enumerate() {
+                hits.entry((q, i)).or_default().insert(root);
+            }
+        }
+    }
+    for ((owner, i), roots) in hits {
+        let site = &effects.facts[owner].write_sites[i];
+        let mut d = Diagnostic::error(
+            "W01",
+            site.span,
+            format!(
+                "assignment to {} inside a (*CACHED*) computation — a cache \
+                 hit replays the result but skips this effect, diverging from \
+                 conventional execution",
+                describe_loc(program, site.target)
+            ),
+        );
+        for root in roots {
+            let rname = &program.procs[root].name;
+            d = d.with_note(if root == owner {
+                format!("`{rname}` is marked (*CACHED*)")
+            } else {
+                format!(
+                    "reached from (*CACHED*) procedure `{rname}` via `{}`",
+                    program.procs[owner].name
+                )
+            });
+        }
+        out.push(d);
+    }
+}
+
+/// Union of everything any procedure of the program writes (writes are
+/// never suppressed, so every writer is a potential staleness source).
+fn all_writes(effects: &EffectTable) -> EffectSet {
+    let mut w = EffectSet::default();
+    for f in &effects.facts {
+        w.writes_globals.extend(f.direct.writes_globals.iter());
+        w.writes_fields.extend(f.direct.writes_fields.iter());
+        w.writes_arrays |= f.direct.writes_arrays;
+    }
+    w
+}
+
+/// Writers of `loc`, by name, for diagnostics.
+fn writers_of(program: &Program, effects: &EffectTable, loc: Loc) -> Vec<String> {
+    let mut names = Vec::new();
+    for (p, f) in effects.facts.iter().enumerate() {
+        let writes = match loc {
+            Loc::Global(g) => f.direct.writes_globals.contains(&g),
+            Loc::Field(o) => f.direct.writes_fields.contains(&o),
+            Loc::Arrays => f.direct.writes_arrays,
+        };
+        if writes {
+            names.push(program.procs[p].name.clone());
+        }
+    }
+    names
+}
+
+fn w02_stale_unchecked(program: &Program, effects: &EffectTable, out: &mut Vec<Diagnostic>) {
+    let writes = all_writes(effects);
+    for (p, f) in effects.facts.iter().enumerate() {
+        if !effects.reachable[p] {
+            continue; // the pragma is dead there — W04's business
+        }
+        for site in &f.unchecked_sites {
+            let (reads, _) = effects.suppressed_by(program, site);
+            if !reads.reads_overlap_writes(&writes) {
+                continue;
+            }
+            let mut d = Diagnostic::warning(
+                "W02",
+                site.span,
+                "(*UNCHECKED*) suppresses dependence on state this program \
+                 mutates — the enclosing cached value can go stale",
+            );
+            for loc in reads.reads() {
+                let written = match loc {
+                    Loc::Global(g) => writes.writes_globals.contains(&g),
+                    Loc::Field(o) => writes.writes_fields.contains(&o),
+                    Loc::Arrays => writes.writes_arrays,
+                };
+                if written {
+                    d = d.with_note(format!(
+                        "{} is written by `{}`",
+                        describe_loc(program, loc),
+                        writers_of(program, effects, loc).join("`, `")
+                    ));
+                }
+            }
+            out.push(d);
+        }
+    }
+}
+
+fn w03_dispatch_escapes_rp(program: &Program, effects: &EffectTable, out: &mut Vec<Diagnostic>) {
+    for p in 0..program.procs.len() {
+        if !is_cached(program, p) {
+            continue;
+        }
+        let full = &effects.transitive[p].reads_globals;
+        let stat = &effects.transitive_static[p].reads_globals;
+        let escaped: Vec<usize> = full.difference(stat).copied().collect();
+        if escaped.is_empty() {
+            continue;
+        }
+        let mut d = Diagnostic::warning(
+            "W03",
+            program.procs[p].span,
+            format!(
+                "(*CACHED*) procedure `{}` reaches global reads only through \
+                 dynamic method dispatch; the static R(p) encoding cannot \
+                 name them and falls back to the union over all overrides",
+                program.procs[p].name
+            ),
+        );
+        for g in escaped {
+            d = d.with_note(format!(
+                "{} is only read behind a dispatch",
+                describe_loc(program, Loc::Global(g))
+            ));
+        }
+        out.push(d);
+    }
+}
+
+fn w04_dead_pragmas(program: &Program, effects: &EffectTable, out: &mut Vec<Diagnostic>) {
+    // (a) UNCHECKED regions that suppress nothing.
+    for (p, f) in effects.facts.iter().enumerate() {
+        for site in &f.unchecked_sites {
+            if !effects.reachable[p] {
+                out.push(Diagnostic::warning(
+                    "W04",
+                    site.span,
+                    format!(
+                        "(*UNCHECKED*) has no effect: `{}` never executes \
+                         inside an incremental computation",
+                        program.procs[p].name
+                    ),
+                ));
+                continue;
+            }
+            let (reads, hits_incremental) = effects.suppressed_by(program, site);
+            if reads.reads().is_empty() && !hits_incremental {
+                out.push(Diagnostic::warning(
+                    "W04",
+                    site.span,
+                    "(*UNCHECKED*) has no effect: the expression performs no \
+                     tracked reads and calls no incremental procedure",
+                ));
+            }
+        }
+    }
+
+    // (b) MAINTAINED methods no procedure dispatches.
+    let dispatched: BTreeSet<&str> = effects
+        .facts
+        .iter()
+        .flat_map(|f| f.dispatches.iter().map(String::as_str))
+        .collect();
+    let mut seen_methods: BTreeSet<&str> = BTreeSet::new();
+    for t in &program.types {
+        for m in &t.methods {
+            if m.maintained && seen_methods.insert(&m.name) && !dispatched.contains(m.name.as_str())
+            {
+                out.push(Diagnostic::warning(
+                    "W04",
+                    m.span,
+                    format!(
+                        "(*MAINTAINED*) method `{}` is never dispatched by \
+                         program code; host calls still update incrementally, \
+                         but no procedure depends on it",
+                        m.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    // (c) CACHED procedures no procedure calls (self-recursion counts as a
+    // use: the memo is what makes such a procedure efficient).
+    let mut called: BTreeSet<ProcId> = BTreeSet::new();
+    for f in &effects.facts {
+        called.extend(f.calls.iter().copied());
+        called.extend(effects.dispatch_targets(f.dispatches.iter()));
+    }
+    for p in 0..program.procs.len() {
+        if is_cached(program, p) && !called.contains(&p) {
+            out.push(Diagnostic::warning(
+                "W04",
+                program.procs[p].span,
+                format!(
+                    "(*CACHED*) procedure `{}` is never called by program \
+                     code; host calls are still cached, but nothing is \
+                     memoized across procedures",
+                    program.procs[p].name
+                ),
+            ));
+        }
+    }
+}
+
+fn w05_identity_cycles(program: &Program, effects: &EffectTable, out: &mut Vec<Diagnostic>) {
+    let n = program.procs.len();
+    // Identity-argument call graph: an edge means the callee's instance has
+    // exactly the caller's arguments.
+    let succs: Vec<BTreeSet<ProcId>> = (0..n)
+        .map(|p| {
+            let f = &effects.facts[p];
+            let mut s = f.identity_calls.clone();
+            s.extend(effects.dispatch_targets(f.identity_dispatches.iter()));
+            s
+        })
+        .collect();
+    for p in 0..n {
+        if program.procs[p].incremental.is_none() {
+            continue;
+        }
+        // BFS back to p, remembering parents to reconstruct the cycle.
+        let mut parent: Vec<Option<ProcId>> = vec![None; n];
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([p]);
+        let mut closes = None;
+        'bfs: while let Some(q) = queue.pop_front() {
+            for &r in &succs[q] {
+                if r == p {
+                    closes = Some(q);
+                    break 'bfs;
+                }
+                if seen.insert(r) {
+                    parent[r] = Some(q);
+                    queue.push_back(r);
+                }
+            }
+        }
+        let Some(mut q) = closes else { continue };
+        let mut cycle = vec![p];
+        let mut tail = Vec::new();
+        while q != p {
+            tail.push(q);
+            q = parent[q].expect("reached via BFS");
+        }
+        tail.reverse();
+        cycle.extend(tail);
+        let path: Vec<&str> = cycle
+            .iter()
+            .chain([&p])
+            .map(|&i| program.procs[i].name.as_str())
+            .collect();
+        out.push(
+            Diagnostic::error(
+                "W05",
+                program.procs[p].span,
+                format!(
+                    "incremental procedure `{}` re-requests its own instance: \
+                     every call in the cycle {} passes the caller's arguments \
+                     through unchanged",
+                    program.procs[p].name,
+                    path.join(" -> ")
+                ),
+            )
+            .with_note(
+                "if this call executes, the runtime's cycle detection \
+                 (Algorithm 5) aborts the program",
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::resolve::resolve;
+
+    fn lints(src: &str) -> Vec<Diagnostic> {
+        lint(&resolve(&parse(src).unwrap()).unwrap())
+    }
+
+    fn codes(ds: &[Diagnostic]) -> Vec<&'static str> {
+        ds.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn w01_fires_on_cached_writes_and_spares_maintained() {
+        let ds = lints(
+            "VAR count : INTEGER;
+             (*CACHED*) PROCEDURE Tally(n : INTEGER) : INTEGER =
+             BEGIN count := count + 1; RETURN n; END Tally;
+             PROCEDURE Use(n : INTEGER) : INTEGER = BEGIN RETURN Tally(n + 1); END Use;",
+        );
+        assert_eq!(codes(&ds), ["W01"]);
+        assert_eq!(ds[0].span.line, 3);
+
+        // The same write inside a MAINTAINED method is the paper's own
+        // Algorithm 11 idiom — clean.
+        let ds = lints(
+            "TYPE T = OBJECT
+                v : INTEGER;
+             METHODS
+                (*MAINTAINED*) bump() : INTEGER := Bump;
+             END;
+             PROCEDURE Bump(t : T) : INTEGER =
+             BEGIN t.v := t.v + 1; RETURN t.v; END Bump;
+             PROCEDURE Use(t : T) : INTEGER = BEGIN RETURN t.bump(); END Use;",
+        );
+        assert!(codes(&ds).is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn w01_traverses_plain_helpers_but_not_incremental_callees() {
+        let ds = lints(
+            "VAR log : INTEGER;
+             PROCEDURE Helper() = BEGIN log := log + 1; END Helper;
+             (*CACHED*) PROCEDURE F(n : INTEGER) : INTEGER =
+             BEGIN Helper(); RETURN n; END F;
+             PROCEDURE Use(n : INTEGER) : INTEGER = BEGIN RETURN F(n + 1); END Use;",
+        );
+        assert_eq!(codes(&ds), ["W01"]);
+        assert!(ds[0].notes.iter().any(|n| n.contains("via `Helper`")));
+    }
+
+    #[test]
+    fn w02_fires_only_when_suppressed_state_is_mutated() {
+        let dirty = lints(
+            "VAR rate : INTEGER;
+             PROCEDURE SetRate(r : INTEGER) = BEGIN rate := r; END SetRate;
+             (*CACHED*) PROCEDURE Q(n : INTEGER) : INTEGER =
+             BEGIN RETURN (*UNCHECKED*) rate * n; END Q;
+             PROCEDURE Use(n : INTEGER) : INTEGER = BEGIN RETURN Q(n + 1); END Use;",
+        );
+        assert_eq!(codes(&dirty), ["W02"]);
+        assert!(dirty[0].notes[0].contains("`SetRate`"), "{dirty:?}");
+
+        let clean = lints(
+            "VAR rate : INTEGER;
+             (*CACHED*) PROCEDURE Q(n : INTEGER) : INTEGER =
+             BEGIN RETURN (*UNCHECKED*) rate * n; END Q;
+             PROCEDURE Use(n : INTEGER) : INTEGER = BEGIN RETURN Q(n + 1); END Use;",
+        );
+        assert!(codes(&clean).is_empty(), "host-only writes: {clean:?}");
+    }
+
+    #[test]
+    fn w03_fires_when_global_reads_hide_behind_dispatch() {
+        let ds = lints(
+            "VAR bias : INTEGER;
+             TYPE A = OBJECT METHODS cost() : INTEGER := CostA; END;
+             PROCEDURE CostA(a : A) : INTEGER = BEGIN RETURN bias; END CostA;
+             (*CACHED*) PROCEDURE Total(a : A) : INTEGER =
+             BEGIN RETURN a.cost(); END Total;
+             PROCEDURE Use(a : A) : INTEGER = BEGIN RETURN Total(a); END Use;",
+        );
+        assert_eq!(codes(&ds), ["W03"]);
+        assert!(ds[0].message.contains("`Total`"));
+    }
+
+    #[test]
+    fn w04_flags_unchecked_without_tracked_reads() {
+        let ds = lints(
+            "(*CACHED*) PROCEDURE F(n : INTEGER) : INTEGER =
+             BEGIN RETURN (*UNCHECKED*) (n + 1); END F;
+             PROCEDURE Use(n : INTEGER) : INTEGER = BEGIN RETURN F(n); END Use;",
+        );
+        assert_eq!(codes(&ds), ["W04"]);
+    }
+
+    #[test]
+    fn w04_flags_undispatched_maintained_and_uncalled_cached() {
+        let ds = lints(
+            "VAR g : INTEGER;
+             TYPE T = OBJECT
+                v : INTEGER;
+             METHODS
+                (*MAINTAINED*) m() : INTEGER := M;
+             END;
+             PROCEDURE M(t : T) : INTEGER = BEGIN RETURN t.v; END M;
+             (*CACHED*) PROCEDURE Lonely(n : INTEGER) : INTEGER =
+             BEGIN RETURN n + g; END Lonely;",
+        );
+        assert_eq!(codes(&ds), ["W04", "W04"]);
+    }
+
+    #[test]
+    fn w04_accepts_self_recursive_cached_procedures() {
+        let ds = lints(
+            "(*CACHED*) PROCEDURE Fib(n : INTEGER) : INTEGER =
+             BEGIN
+                IF n < 2 THEN RETURN n; END;
+                RETURN Fib(n - 1) + Fib(n - 2);
+             END Fib;",
+        );
+        assert!(codes(&ds).is_empty(), "{ds:?}");
+    }
+
+    #[test]
+    fn w05_fires_on_identity_cycles_through_helpers() {
+        let ds = lints(
+            "(*CACHED*) PROCEDURE P(x : INTEGER) : INTEGER =
+             BEGIN RETURN Q(x); END P;
+             PROCEDURE Q(x : INTEGER) : INTEGER =
+             BEGIN RETURN P(x); END Q;
+             PROCEDURE Use(x : INTEGER) : INTEGER = BEGIN RETURN P(x); END Use;",
+        );
+        assert_eq!(codes(&ds), ["W05"]);
+        assert!(ds[0].message.contains("P -> Q -> P"), "{ds:?}");
+    }
+
+    #[test]
+    fn w05_ignores_progressing_recursion() {
+        let ds = lints(
+            "(*CACHED*) PROCEDURE Fact(n : INTEGER) : INTEGER =
+             BEGIN
+                IF n <= 1 THEN RETURN 1; END;
+                RETURN n * Fact(n - 1);
+             END Fact;",
+        );
+        assert!(codes(&ds).is_empty(), "`n - 1` is not `n`: {ds:?}");
+    }
+}

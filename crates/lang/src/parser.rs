@@ -3,7 +3,7 @@
 use crate::ast::*;
 use crate::error::{LangError, Result};
 use crate::lexer::lex;
-use crate::token::{Pragma, Spanned, Token};
+use crate::token::{Pragma, Span, Spanned, Token};
 
 /// Parses an Alphonse-L source text into a [`Module`].
 ///
@@ -32,11 +32,15 @@ impl Parser {
         self.tokens.get(self.pos).map(|s| &s.token)
     }
 
-    fn line(&self) -> u32 {
+    fn span(&self) -> Span {
         self.tokens
             .get(self.pos)
             .or_else(|| self.tokens.last())
-            .map_or(0, |s| s.line)
+            .map_or(Span::NONE, |s| s.span)
+    }
+
+    fn line(&self) -> u32 {
+        self.span().line
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -157,7 +161,7 @@ impl Parser {
     }
 
     fn global_decl(&mut self) -> Result<GlobalDecl> {
-        let line = self.line();
+        let span = self.span();
         self.expect(&Token::Var)?;
         let names = self.ident_list()?;
         self.expect(&Token::Colon)?;
@@ -172,12 +176,12 @@ impl Parser {
             names,
             ty,
             init,
-            line,
+            span,
         })
     }
 
     fn type_decl(&mut self) -> Result<TypeDecl> {
-        let line = self.line();
+        let span = self.span();
         self.expect(&Token::Type)?;
         let name = self.ident("type")?;
         self.expect(&Token::Eq)?;
@@ -215,7 +219,7 @@ impl Parser {
             fields,
             methods,
             overrides,
-            line,
+            span,
         })
     }
 
@@ -233,7 +237,7 @@ impl Parser {
     }
 
     fn method_decl(&mut self) -> Result<MethodDecl> {
-        let line = self.line();
+        let span = self.span();
         let pragma = self.method_pragma()?;
         let name = self.ident("method")?;
         let params = if self.peek() == Some(&Token::LParen) {
@@ -255,12 +259,12 @@ impl Parser {
             params,
             ret,
             impl_proc,
-            line,
+            span,
         })
     }
 
     fn override_decl(&mut self) -> Result<OverrideDecl> {
-        let line = self.line();
+        let span = self.span();
         let pragma = self.method_pragma()?;
         let name = self.ident("method")?;
         self.expect(&Token::Assign)?;
@@ -270,7 +274,7 @@ impl Parser {
             pragma,
             name,
             impl_proc,
-            line,
+            span,
         })
     }
 
@@ -298,7 +302,7 @@ impl Parser {
     }
 
     fn proc_decl(&mut self, pragma: Option<Pragma>) -> Result<ProcDecl> {
-        let line = self.line();
+        let span = self.span();
         self.expect(&Token::Procedure)?;
         let name = self.ident("procedure")?;
         let params = self.params()?;
@@ -348,7 +352,7 @@ impl Parser {
             ret,
             locals,
             body,
-            line,
+            span,
         })
     }
 
@@ -369,7 +373,7 @@ impl Parser {
     }
 
     fn stmt(&mut self) -> Result<Stmt> {
-        let line = self.line();
+        let span = self.span();
         match self.peek() {
             Some(Token::If) => self.if_stmt(),
             Some(Token::While) => {
@@ -379,7 +383,7 @@ impl Parser {
                 let body = self.stmt_list(&[Token::End])?;
                 self.expect(&Token::End)?;
                 self.expect(&Token::Semi)?;
-                Ok(Stmt::While { cond, body, line })
+                Ok(Stmt::While { cond, body, span })
             }
             Some(Token::For) => {
                 self.bump();
@@ -403,7 +407,7 @@ impl Parser {
                     to,
                     by,
                     body,
-                    line,
+                    span,
                 })
             }
             Some(Token::Return) => {
@@ -414,7 +418,7 @@ impl Parser {
                     Some(self.expr()?)
                 };
                 self.expect(&Token::Semi)?;
-                Ok(Stmt::Return { value, line })
+                Ok(Stmt::Return { value, span })
             }
             _ => {
                 // Assignment or call statement: parse a postfix expression.
@@ -432,21 +436,21 @@ impl Parser {
                     Ok(Stmt::Assign {
                         target: e,
                         value,
-                        line,
+                        span,
                     })
                 } else {
                     if !matches!(e, Expr::Call { .. }) {
                         return Err(self.err("expression statement must be a call"));
                     }
                     self.expect(&Token::Semi)?;
-                    Ok(Stmt::Expr { expr: e, line })
+                    Ok(Stmt::Expr { expr: e, span })
                 }
             }
         }
     }
 
     fn if_stmt(&mut self) -> Result<Stmt> {
-        let line = self.line();
+        let span = self.span();
         self.expect(&Token::If)?;
         let mut arms = Vec::new();
         let cond = self.expr()?;
@@ -481,7 +485,7 @@ impl Parser {
         Ok(Stmt::If {
             arms,
             else_body,
-            line,
+            span,
         })
     }
 
@@ -613,7 +617,7 @@ impl Parser {
             match self.peek() {
                 Some(Token::Dot) => {
                     self.bump();
-                    let line = self.line();
+                    let span = self.span();
                     let name = self.ident("field or method")?;
                     if self.peek() == Some(&Token::LParen) {
                         let args = self.args()?;
@@ -623,35 +627,35 @@ impl Parser {
                                 name,
                             },
                             args,
-                            line,
+                            span,
                         };
                     } else {
                         e = Expr::Field {
                             obj: Box::new(e),
                             name,
-                            line,
+                            span,
                         };
                     }
                 }
                 Some(Token::LBracket) => {
                     self.bump();
-                    let line = self.line();
+                    let span = self.span();
                     let index = self.expr()?;
                     self.expect(&Token::RBracket)?;
                     e = Expr::Index {
                         arr: Box::new(e),
                         index: Box::new(index),
-                        line,
+                        span,
                     };
                 }
                 Some(Token::LParen) => {
                     // Only a bare variable can become a procedure call.
-                    if let Expr::Var { name, line } = e {
+                    if let Expr::Var { name, span } = e {
                         let args = self.args()?;
                         e = Expr::Call {
                             callee: Callee::Proc(name),
                             args,
-                            line,
+                            span,
                         };
                     } else {
                         return Err(self.err("only procedures and methods can be called"));
@@ -679,7 +683,7 @@ impl Parser {
     }
 
     fn primary_expr(&mut self) -> Result<Expr> {
-        let line = self.line();
+        let span = self.span();
         match self.peek() {
             Some(Token::Int(_)) => match self.bump() {
                 Some(Token::Int(v)) => Ok(Expr::Int(v)),
@@ -715,17 +719,20 @@ impl Parser {
                     return Ok(Expr::NewArray {
                         elem: *elem,
                         size: Box::new(size),
-                        line,
+                        span,
                     });
                 }
                 let type_name = self.ident("type")?;
                 self.expect(&Token::RParen)?;
-                Ok(Expr::New { type_name, line })
+                Ok(Expr::New { type_name, span })
             }
             Some(Token::Pragma(Pragma::Unchecked)) => {
                 self.bump();
                 let e = self.postfix_expr()?;
-                Ok(Expr::Unchecked(Box::new(e)))
+                Ok(Expr::Unchecked {
+                    expr: Box::new(e),
+                    span,
+                })
             }
             Some(Token::Pragma(_)) => Err(self.err("unexpected pragma in expression")),
             Some(Token::LParen) => {
@@ -736,7 +743,7 @@ impl Parser {
             }
             Some(Token::Ident(_)) => {
                 let name = self.ident("variable")?;
-                Ok(Expr::Var { name, line })
+                Ok(Expr::Var { name, span })
             }
             _ => Err(self.err(format!(
                 "expected an expression, found {}",
@@ -901,7 +908,7 @@ mod tests {
                 Stmt::Return {
                     value: Some(Expr::Binary { lhs, .. }),
                     ..
-                } => assert!(matches!(**lhs, Expr::Unchecked(_))),
+                } => assert!(matches!(**lhs, Expr::Unchecked { .. })),
                 other => panic!("unexpected {other:?}"),
             },
             _ => unreachable!(),

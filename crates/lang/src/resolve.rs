@@ -15,7 +15,7 @@
 use crate::ast;
 use crate::error::{LangError, Result};
 use crate::hir::*;
-use crate::token::{Pragma, PragmaStrategy};
+use crate::token::{Pragma, PragmaStrategy, Span};
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -265,6 +265,7 @@ impl Resolver {
             frame_size: 0,
             local_inits: Vec::new(),
             body: Vec::new(),
+            span: p.span,
         });
         self.prog.proc_by_name.insert(p.name.clone(), id);
         Ok(())
@@ -359,6 +360,7 @@ impl Resolver {
                 params,
                 ret,
                 maintained: matches!(m.pragma, Some(Pragma::Maintained(_))),
+                span: m.span,
                 impl_proc,
             });
         }
@@ -526,7 +528,11 @@ impl Resolver {
 
     fn stmt(&mut self, s: &ast::Stmt, ctx: &mut ProcCtx) -> Result<HStmt> {
         match s {
-            ast::Stmt::Assign { target, value, .. } => {
+            ast::Stmt::Assign {
+                target,
+                value,
+                span,
+            } => {
                 let (hv, vty) = self.expr(value, ctx)?;
                 match target {
                     ast::Expr::Var { name, .. } => {
@@ -542,6 +548,7 @@ impl Resolver {
                             let ty = self.prog.globals[idx].ty;
                             self.require_assignable(vty, ty, &format!("assignment to {name}"))?;
                             Ok(HStmt::AssignGlobal {
+                                span: *span,
                                 index: idx,
                                 value: hv,
                             })
@@ -554,6 +561,7 @@ impl Resolver {
                         let (field, fty) = self.field_of(oty, name)?;
                         self.require_assignable(vty, fty, &format!("assignment to .{name}"))?;
                         Ok(HStmt::AssignField {
+                            span: *span,
                             obj: hobj,
                             field,
                             value: hv,
@@ -574,6 +582,7 @@ impl Resolver {
                         self.require(ity, Ty::Integer, "array index")?;
                         self.require_assignable(vty, elem, "array element assignment")?;
                         Ok(HStmt::AssignIndex {
+                            span: *span,
                             arr: harr,
                             index: hidx,
                             value: hv,
@@ -766,9 +775,15 @@ impl Resolver {
                     })?;
                 Ok((HExpr::New(t), Some(ETy::Known(Ty::Object(t)))))
             }
-            E::Unchecked(inner) => {
+            E::Unchecked { expr: inner, span } => {
                 let (he, ty) = self.expr(inner, ctx)?;
-                Ok((HExpr::Unchecked(Box::new(he)), Some(ty)))
+                Ok((
+                    HExpr::Unchecked {
+                        expr: Box::new(he),
+                        span: *span,
+                    },
+                    Some(ty),
+                ))
             }
             E::NewArray { elem, size, .. } => {
                 let elem = self.lower_type(elem)?;
@@ -823,7 +838,7 @@ impl Resolver {
                 ))
             }
             E::Binary { op, lhs, rhs } => self.binary(*op, lhs, rhs, ctx),
-            E::Call { callee, args, .. } => self.call(callee, args, ctx),
+            E::Call { callee, args, span } => self.call(callee, args, *span, ctx),
         }
     }
 
@@ -895,6 +910,7 @@ impl Resolver {
         &mut self,
         callee: &ast::Callee,
         args: &[ast::Expr],
+        span: Span,
         ctx: &mut ProcCtx,
     ) -> Result<(HExpr, Option<ETy>)> {
         match callee {
@@ -951,6 +967,8 @@ impl Resolver {
                 let hargs = self.check_args(name, &param_tys, args, ctx)?;
                 Ok((
                     HExpr::CallMethod {
+                        span,
+                        name: Rc::from(name.as_str()),
                         obj: Box::new(hobj),
                         slot,
                         args: hargs,
@@ -1050,7 +1068,7 @@ fn walk_hexpr(e: &HExpr, f: &mut impl FnMut(&HExpr)) {
             walk_hexpr(arr, f);
             walk_hexpr(index, f);
         }
-        HExpr::Unary { expr, .. } | HExpr::Unchecked(expr) => walk_hexpr(expr, f),
+        HExpr::Unary { expr, .. } | HExpr::Unchecked { expr, .. } => walk_hexpr(expr, f),
         HExpr::Binary { lhs, rhs, .. } => {
             walk_hexpr(lhs, f);
             walk_hexpr(rhs, f);

@@ -204,11 +204,45 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token together with its source line (1-based) for diagnostics.
+/// A source position: 1-based line and column.
+///
+/// Alphonse-L diagnostics are point spans — enough to render a caret under
+/// the offending token. `Span::NONE` (line 0) marks synthesized nodes with
+/// no source position, e.g. AST produced by the Section 5 transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based source line; 0 when unknown.
+    pub line: u32,
+    /// 1-based column (in characters); 0 when unknown.
+    pub col: u32,
+}
+
+impl Span {
+    /// The "no position" span used for synthesized nodes.
+    pub const NONE: Span = Span { line: 0, col: 0 };
+
+    /// Builds a span from a line/column pair.
+    pub const fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// True if this span carries a real source position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A token together with its source position for diagnostics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Spanned {
     /// The token itself.
     pub token: Token,
-    /// 1-based source line the token starts on.
-    pub line: u32,
+    /// Position of the token's first character.
+    pub span: Span,
 }

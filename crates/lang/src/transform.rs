@@ -17,6 +17,7 @@
 use crate::analysis::{analyze, Instrumentation};
 use crate::ast::*;
 use crate::hir::Program;
+use crate::token::Span;
 use std::collections::HashSet;
 
 /// Options for [`transform`].
@@ -88,11 +89,11 @@ struct Transformer<'a> {
     locals: Vec<HashSet<String>>,
 }
 
-fn wrap(name: &str, args: Vec<Expr>, line: u32) -> Expr {
+fn wrap(name: &str, args: Vec<Expr>, span: Span) -> Expr {
     Expr::Call {
         callee: Callee::Proc(name.to_string()),
         args,
-        line,
+        span,
     }
 }
 
@@ -185,7 +186,7 @@ impl Transformer<'_> {
             ret: p.ret.clone(),
             locals,
             body,
-            line: p.line,
+            span: p.span,
         }
     }
 
@@ -198,11 +199,11 @@ impl Transformer<'_> {
             Stmt::Assign {
                 target,
                 value,
-                line,
+                span,
             } => {
                 let value = self.read(value, false);
                 match target {
-                    Expr::Var { name, line: vline } => {
+                    Expr::Var { name, span: vspan } => {
                         if !self.is_local(name) && self.global_tracked(name) {
                             self.report.modifies += 1;
                             // x := e  ~~>  modify(x, e)
@@ -212,27 +213,27 @@ impl Transformer<'_> {
                                     vec![
                                         Expr::Var {
                                             name: name.clone(),
-                                            line: *vline,
+                                            span: *vspan,
                                         },
                                         value,
                                     ],
-                                    *line,
+                                    *span,
                                 ),
-                                line: *line,
+                                span: *span,
                             }
                         } else {
                             self.report.plain_writes += 1;
                             Stmt::Assign {
                                 target: target.clone(),
                                 value,
-                                line: *line,
+                                span: *span,
                             }
                         }
                     }
                     Expr::Field {
                         obj,
                         name,
-                        line: fline,
+                        span: fspan,
                     } => {
                         // o.f := e — the receiver is *read* (pointer
                         // dereference counts as a read access of the
@@ -247,13 +248,13 @@ impl Transformer<'_> {
                                         Expr::Field {
                                             obj: Box::new(obj),
                                             name: name.clone(),
-                                            line: *fline,
+                                            span: *fspan,
                                         },
                                         value,
                                     ],
-                                    *line,
+                                    *span,
                                 ),
-                                line: *line,
+                                span: *span,
                             }
                         } else {
                             self.report.plain_writes += 1;
@@ -261,63 +262,63 @@ impl Transformer<'_> {
                                 target: Expr::Field {
                                     obj: Box::new(obj),
                                     name: name.clone(),
-                                    line: *fline,
+                                    span: *fspan,
                                 },
                                 value,
-                                line: *line,
+                                span: *span,
                             }
                         }
                     }
                     Expr::Index {
                         arr,
                         index,
-                        line: iline,
+                        span: ispan,
                     } => {
                         let arr = self.read(arr, false);
                         let index = self.read(index, false);
                         let target = Expr::Index {
                             arr: Box::new(arr),
                             index: Box::new(index),
-                            line: *iline,
+                            span: *ispan,
                         };
                         if self.arrays_tracked() {
                             self.report.modifies += 1;
                             Stmt::Expr {
-                                expr: wrap("modify", vec![target, value], *line),
-                                line: *line,
+                                expr: wrap("modify", vec![target, value], *span),
+                                span: *span,
                             }
                         } else {
                             self.report.plain_writes += 1;
                             Stmt::Assign {
                                 target,
                                 value,
-                                line: *line,
+                                span: *span,
                             }
                         }
                     }
                     other => Stmt::Assign {
                         target: other.clone(),
                         value,
-                        line: *line,
+                        span: *span,
                     },
                 }
             }
             Stmt::If {
                 arms,
                 else_body,
-                line,
+                span,
             } => Stmt::If {
                 arms: arms
                     .iter()
                     .map(|(c, b)| (self.read(c, false), self.stmts(b)))
                     .collect(),
                 else_body: self.stmts(else_body),
-                line: *line,
+                span: *span,
             },
-            Stmt::While { cond, body, line } => Stmt::While {
+            Stmt::While { cond, body, span } => Stmt::While {
                 cond: self.read(cond, false),
                 body: self.stmts(body),
-                line: *line,
+                span: *span,
             },
             Stmt::For {
                 var,
@@ -325,7 +326,7 @@ impl Transformer<'_> {
                 to,
                 by,
                 body,
-                line,
+                span,
             } => {
                 let from = self.read(from, false);
                 let to = self.read(to, false);
@@ -341,16 +342,16 @@ impl Transformer<'_> {
                     to,
                     by,
                     body,
-                    line: *line,
+                    span: *span,
                 }
             }
-            Stmt::Return { value, line } => Stmt::Return {
+            Stmt::Return { value, span } => Stmt::Return {
                 value: value.as_ref().map(|e| self.read(e, false)),
-                line: *line,
+                span: *span,
             },
-            Stmt::Expr { expr, line } => Stmt::Expr {
+            Stmt::Expr { expr, span } => Stmt::Expr {
                 expr: self.read(expr, false),
-                line: *line,
+                span: *span,
             },
         }
     }
@@ -363,50 +364,50 @@ impl Transformer<'_> {
             Expr::Int(_) | Expr::Text(_) | Expr::Bool(_) | Expr::Nil | Expr::New { .. } => {
                 e.clone()
             }
-            Expr::NewArray { elem, size, line } => Expr::NewArray {
+            Expr::NewArray { elem, size, span } => Expr::NewArray {
                 elem: elem.clone(),
                 size: Box::new(self.read(size, unchecked)),
-                line: *line,
+                span: *span,
             },
-            Expr::Index { arr, index, line } => {
+            Expr::Index { arr, index, span } => {
                 let indexed = Expr::Index {
                     arr: Box::new(self.read(arr, unchecked)),
                     index: Box::new(self.read(index, unchecked)),
-                    line: *line,
+                    span: *span,
                 };
                 if !unchecked && self.arrays_tracked() {
                     self.report.accesses += 1;
-                    wrap("access", vec![indexed], *line)
+                    wrap("access", vec![indexed], *span)
                 } else {
                     self.report.plain_reads += 1;
                     indexed
                 }
             }
-            Expr::Var { name, line } => {
+            Expr::Var { name, span } => {
                 if !unchecked && !self.is_local(name) && self.global_tracked(name) {
                     self.report.accesses += 1;
-                    wrap("access", vec![e.clone()], *line)
+                    wrap("access", vec![e.clone()], *span)
                 } else {
                     self.report.plain_reads += 1;
                     e.clone()
                 }
             }
-            Expr::Field { obj, name, line } => {
+            Expr::Field { obj, name, span } => {
                 let obj = self.read(obj, unchecked);
                 let field = Expr::Field {
                     obj: Box::new(obj),
                     name: name.clone(),
-                    line: *line,
+                    span: *span,
                 };
                 if !unchecked && self.field_tracked(name) {
                     self.report.accesses += 1;
-                    wrap("access", vec![field], *line)
+                    wrap("access", vec![field], *span)
                 } else {
                     self.report.plain_reads += 1;
                     field
                 }
             }
-            Expr::Call { callee, args, line } => {
+            Expr::Call { callee, args, span } => {
                 let args: Vec<Expr> = args.iter().map(|a| self.read(a, unchecked)).collect();
                 match callee {
                     Callee::Proc(name) => {
@@ -415,16 +416,16 @@ impl Transformer<'_> {
                             // f(a…)  ~~>  call(f, a…)
                             let mut call_args = vec![Expr::Var {
                                 name: name.clone(),
-                                line: *line,
+                                span: *span,
                             }];
                             call_args.extend(args);
-                            wrap("call", call_args, *line)
+                            wrap("call", call_args, *span)
                         } else {
                             self.report.plain_calls += 1;
                             Expr::Call {
                                 callee: callee.clone(),
                                 args,
-                                line: *line,
+                                span: *span,
                             }
                         }
                     }
@@ -436,10 +437,10 @@ impl Transformer<'_> {
                             let mut call_args = vec![Expr::Field {
                                 obj: Box::new(obj),
                                 name: name.clone(),
-                                line: *line,
+                                span: *span,
                             }];
                             call_args.extend(args);
-                            wrap("call", call_args, *line)
+                            wrap("call", call_args, *span)
                         } else {
                             self.report.plain_calls += 1;
                             Expr::Call {
@@ -448,7 +449,7 @@ impl Transformer<'_> {
                                     name: name.clone(),
                                 },
                                 args,
-                                line: *line,
+                                span: *span,
                             }
                         }
                     }
@@ -463,7 +464,10 @@ impl Transformer<'_> {
                 lhs: Box::new(self.read(lhs, unchecked)),
                 rhs: Box::new(self.read(rhs, unchecked)),
             },
-            Expr::Unchecked(inner) => Expr::Unchecked(Box::new(self.read(inner, true))),
+            Expr::Unchecked { expr: inner, span } => Expr::Unchecked {
+                expr: Box::new(self.read(inner, true)),
+                span: *span,
+            },
         }
     }
 }

@@ -295,7 +295,7 @@ pub fn expr_str(e: &Expr) -> String {
             UnOp::Not => format!("NOT {}", paren(expr)),
         },
         Expr::Binary { op, lhs, rhs } => format!("{} {} {}", paren(lhs), bin_str(*op), paren(rhs)),
-        Expr::Unchecked(inner) => format!("(*UNCHECKED*) {}", paren(inner)),
+        Expr::Unchecked { expr: inner, .. } => format!("(*UNCHECKED*) {}", paren(inner)),
     }
 }
 

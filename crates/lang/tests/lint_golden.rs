@@ -1,0 +1,123 @@
+//! Golden "UI" tests for the lint pass behind `alphonse-check`.
+//!
+//! Every `tests/lint/*.alf` fixture is parsed, resolved, linted, and its
+//! human-rendered diagnostics compared byte-for-byte against the sibling
+//! `.expected` file. Fixtures follow a naming convention the tests also
+//! enforce:
+//!
+//! * `wNN_bad.alf` — must produce at least one `WNN` diagnostic,
+//! * `wNN_ok.alf` — the matching negative case, must lint clean,
+//! * `clean_*.alf` — the paper's example programs, must lint clean.
+//!
+//! Regenerate the `.expected` files after an intentional change with
+//! `UPDATE_LINT_GOLDEN=1 cargo test -p alphonse-lang --test lint_golden`.
+
+use alphonse_lang::diag::{report_json, Diagnostic};
+use alphonse_lang::{lints, parse, resolve};
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/lint")
+}
+
+/// All fixture paths, sorted so failures are reported deterministically.
+fn fixtures() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("tests/lint exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "alf"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 16, "lint corpus shrank: {paths:?}");
+    paths
+}
+
+fn lint_fixture(path: &PathBuf) -> (String, Vec<Diagnostic>) {
+    let source = fs::read_to_string(path).expect("fixture is readable");
+    let program = resolve(&parse(&source).expect("fixture parses"))
+        .unwrap_or_else(|e| panic!("{} resolves: {e}", path.display()));
+    (source, lints::lint(&program))
+}
+
+fn render_all(file: &str, source: &str, diags: &[Diagnostic]) -> String {
+    diags.iter().map(|d| d.render(file, source)).collect()
+}
+
+#[test]
+fn corpus_matches_golden_expectations() {
+    let bless = std::env::var_os("UPDATE_LINT_GOLDEN").is_some();
+    for path in fixtures() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let (source, diags) = lint_fixture(&path);
+        let got = render_all(&name, &source, &diags);
+        let expected_path = path.with_extension("expected");
+        if bless {
+            fs::write(&expected_path, &got).expect("write golden file");
+            continue;
+        }
+        let want = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("missing golden file {}", expected_path.display()));
+        assert_eq!(
+            got, want,
+            "diagnostics for {name} drifted from the golden file; \
+             rerun with UPDATE_LINT_GOLDEN=1 if the change is intentional"
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_fire_their_code_and_ok_fixtures_stay_clean() {
+    for path in fixtures() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let (_, diags) = lint_fixture(&path);
+        if let Some(code) = stem.strip_suffix("_bad") {
+            let code = code.to_uppercase();
+            assert!(
+                diags.iter().any(|d| d.code == code),
+                "{name}: expected a {code} diagnostic, got {diags:?}"
+            );
+        } else {
+            assert!(diags.is_empty(), "{name} must lint clean, got {diags:?}");
+        }
+    }
+}
+
+#[test]
+fn every_lint_code_has_positive_and_negative_coverage() {
+    let stems: Vec<String> = fixtures()
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for code in ["w01", "w02", "w03", "w04", "w05"] {
+        assert!(
+            stems.iter().any(|s| s == &format!("{code}_bad")),
+            "missing positive fixture for {code}"
+        );
+        assert!(
+            stems.iter().any(|s| s == &format!("{code}_ok")),
+            "missing negative fixture for {code}"
+        );
+    }
+}
+
+#[test]
+fn json_reports_count_severities_consistently() {
+    for path in fixtures() {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let (_, diags) = lint_fixture(&path);
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == alphonse_lang::diag::Severity::Error)
+            .count();
+        let json = report_json(&name, &diags);
+        assert!(
+            json.contains(&format!(
+                "\"errors\":{errors},\"warnings\":{}",
+                diags.len() - errors
+            )),
+            "{name}: bad counts in {json}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Unparse round-trip properties.
+//!
+//! The differential suite already checks that *generated* programs (cached
+//! procedures over integer globals) round-trip through the printer. These
+//! tests cover the syntax the generator never produces — object types,
+//! method suites, `OVERRIDES`, all three pragmas, `(*UNCHECKED*)`
+//! expressions, arrays — in two ways:
+//!
+//! 1. every fixture in the lint corpus (which includes the paper's example
+//!    programs) is a printer fixpoint: `unparse ∘ parse` is idempotent and
+//!    the printed form still resolves;
+//! 2. a property test over randomly generated pragma-bearing expressions
+//!    embedded in a cached procedure.
+
+use alphonse_lang::{parse, resolve, unparse};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/lint");
+    let mut out: Vec<(String, String)> = fs::read_dir(dir)
+        .expect("tests/lint exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "alf"))
+        .map(|p| {
+            (
+                p.file_name().unwrap().to_string_lossy().into_owned(),
+                fs::read_to_string(&p).expect("fixture is readable"),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn corpus_round_trips_through_the_printer() {
+    for (name, source) in corpus() {
+        let module = parse(&source).unwrap_or_else(|e| panic!("{name} parses: {e}"));
+        let printed = unparse(&module);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("{name}: printed form fails to parse: {e}\n{printed}"));
+        let reprinted = unparse(&reparsed);
+        assert_eq!(printed, reprinted, "{name}: unparse is not a fixpoint");
+        resolve(&reparsed)
+            .unwrap_or_else(|e| panic!("{name}: printed form fails to resolve: {e}\n{printed}"));
+    }
+}
+
+/// A random expression rendered directly as source text, so the generator
+/// can also vary parenthesization and whitespace the printer normalizes.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (-9i64..100).prop_map(|n| {
+            if n < 0 {
+                format!("({n})")
+            } else {
+                n.to_string()
+            }
+        }),
+        Just("x".to_string()),
+        Just("g".to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![Just("+"), Just("-"), Just("*"), Just("DIV"), Just("MOD"),]
+            )
+                .prop_map(|(a, b, op)| format!("({a} {op} {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("MAX({a},  {b})")),
+            inner.clone().prop_map(|e| format!("(*UNCHECKED*) ({e})")),
+            inner.clone().prop_map(|e| format!("Twice( {e} )")),
+            inner.prop_map(|e| format!("( ( {e} ) )")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Pragma-bearing expressions survive print → parse → print unchanged,
+    /// no matter how the original source was parenthesized or spaced.
+    #[test]
+    fn pragma_expressions_round_trip(body in expr_strategy(), eager in any::<bool>()) {
+        let pragma = if eager { "(*CACHED EAGER*)" } else { "(*CACHED*)" };
+        let src = format!(
+            "VAR g : INTEGER := 1;\n\
+             PROCEDURE Twice(n : INTEGER) : INTEGER = BEGIN RETURN n * 2; END Twice;\n\
+             {pragma} PROCEDURE F(x : INTEGER) : INTEGER =\n\
+             BEGIN RETURN {body}; END F;\n"
+        );
+        let printed = unparse(&parse(&src).unwrap());
+        let reparsed = parse(&printed).unwrap();
+        prop_assert_eq!(&printed, &unparse(&reparsed), "printed:\n{}", printed);
+        // The normalized form must still be a valid program, not just a
+        // parseable one.
+        resolve(&reparsed).unwrap();
+    }
+}
