@@ -1,151 +1,138 @@
-//! `--trace` plumbing shared by the benchmark binaries.
+//! `--trace` / `--trace-out` plumbing shared by the benchmark binaries.
 //!
 //! The bench bins construct their runtimes internally, so a sink cannot be
 //! attached by hand; instead this module installs a thread-local *default*
 //! sink ([`alphonse::trace::set_default_sink`]) before the experiments run,
-//! which every runtime built afterwards picks up. Three modes:
+//! which every runtime built afterwards picks up. The spec grammar and the
+//! consumers are shared with the lang interpreter's `ALPHONSE_TRACE`
+//! environment variable — both funnel through
+//! [`alphonse::trace::TraceConfig`]:
 //!
-//! | flag             | consumer                           | artifact               |
-//! |------------------|------------------------------------|------------------------|
-//! | `--trace chrome` | [`alphonse::trace::ChromeTrace`]   | `TRACE_<stem>.json`    |
-//! | `--trace dot`    | [`alphonse::trace::GraphSink`]     | `TRACE_<stem>.dot`     |
-//! | `--trace hot`    | [`alphonse::trace::Profiler`]      | top-K table on stdout  |
+//! | flag                  | consumer                         | artifact               |
+//! |-----------------------|----------------------------------|------------------------|
+//! | `--trace 1`           | [`alphonse::trace::Recorder`]    | event dump on stderr   |
+//! | `--trace chrome`      | [`alphonse::trace::ChromeTrace`] | `TRACE_<stem>.json`    |
+//! | `--trace dot`         | [`alphonse::trace::GraphSink`]   | `TRACE_<stem>.dot`     |
+//! | `--trace hot[:K]`     | [`alphonse::trace::Profiler`]    | top-K table on stdout  |
+//! | `--trace jsonl`       | [`alphonse::trace::JsonlSink`]   | `TRACE_<stem>.jsonl`   |
+//! | `--trace-out <path>`  | [`alphonse::trace::JsonlSink`]   | `<path>`               |
 //!
-//! The chrome artifact loads directly in Perfetto (<https://ui.perfetto.dev>)
-//! or `chrome://tracing`; the DOT artifact renders with
-//! `dot -Tsvg TRACE_<stem>.dot`. When a binary runs several experiments the
-//! chrome timeline and the profiler aggregate across all of them, while the
-//! graph mirror keeps the most recently constructed runtime.
+//! With neither flag given, `ALPHONSE_TRACE` is consulted as a fallback, so
+//! `ALPHONSE_TRACE=trace.jsonl cargo run --bin e2_overhead` works the same
+//! as it does for the interpreter. The chrome artifact loads in Perfetto
+//! (<https://ui.perfetto.dev>); the JSONL artifact replays through the
+//! `alphonse-trace` CLI (`why` / `waves` / `waste`). When a binary runs
+//! several experiments the timeline, profiler, and JSONL stream aggregate
+//! across all of them, while the graph mirror keeps the most recently
+//! constructed runtime.
 
-use alphonse::trace::{self, ChromeTrace, GraphSink, Profiler, TraceSink};
+use alphonse::trace::{self, ActiveTrace, Provenance, TraceConfig};
 use std::rc::Rc;
 
-/// Which trace consumer `--trace` selected.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum TraceMode {
-    /// Chrome trace-event JSON (Perfetto-loadable) written to `TRACE_<stem>.json`.
-    Chrome,
-    /// DOT rendering of the final dependency graph written to `TRACE_<stem>.dot`.
-    Dot,
-    /// Per-node hot-spot table printed to stdout.
-    Hot,
-}
-
-/// Extracts a `--trace <mode>` or `--trace=<mode>` flag from `args`,
-/// removing the consumed tokens so downstream positional parsing never sees
-/// them.
+/// Extracts `--<name> <value>` or `--<name>=<value>` from `args`, removing
+/// the consumed tokens so downstream positional parsing never sees them.
 ///
 /// # Errors
 ///
-/// Returns a usage message if the flag is present but the mode is missing
-/// or not one of `chrome`, `dot`, `hot`.
-pub fn take_trace_flag(args: &mut Vec<String>) -> Result<Option<TraceMode>, String> {
-    let mode_of = |s: &str| match s {
-        "chrome" => Ok(TraceMode::Chrome),
-        "dot" => Ok(TraceMode::Dot),
-        "hot" => Ok(TraceMode::Hot),
-        other => Err(format!(
-            "unknown trace mode `{other}` (expected chrome, dot or hot)"
-        )),
-    };
+/// Returns a usage message if the flag is present but the value is missing
+/// or empty.
+fn take_value_flag(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let flag = format!("--{name}");
+    let inline = format!("--{name}=");
     let Some(i) = args
         .iter()
-        .position(|a| a == "--trace" || a.starts_with("--trace="))
+        .position(|a| *a == flag || a.starts_with(&inline))
     else {
         return Ok(None);
     };
-    let flag = args.remove(i);
-    let mode = if let Some(value) = flag.strip_prefix("--trace=") {
-        mode_of(value)?
+    let tok = args.remove(i);
+    let value = if let Some(v) = tok.strip_prefix(&inline) {
+        v.to_string()
     } else {
         if i >= args.len() {
-            return Err("--trace requires a mode: chrome, dot or hot".to_string());
+            return Err(format!("{flag} requires a value"));
         }
-        mode_of(&args.remove(i))?
+        args.remove(i)
     };
-    Ok(Some(mode))
+    if value.is_empty() {
+        return Err(format!("{flag} requires a non-empty value"));
+    }
+    Ok(Some(value))
 }
 
-/// An installed trace session: holds the sink for the chosen [`TraceMode`]
-/// and knows how to flush its artifact.
+/// Extracts a `--trace <spec>` flag (spec grammar of
+/// [`TraceConfig::parse`]). The spec itself is validated later, when the
+/// session starts.
+pub fn take_trace_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    take_value_flag(args, "trace")
+}
+
+/// Extracts a `--trace-out <path>` flag: shorthand for `--trace jsonl:<path>`.
+pub fn take_trace_out_flag(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    take_value_flag(args, "trace-out")
+}
+
+/// An installed trace session: the chosen consumer teed with a live
+/// [`Provenance`] index, installed as the thread-default sink.
 ///
-/// Construct with [`TraceSession::start`] *before* any runtime is built and
-/// call [`TraceSession::finish`] after the workload completes.
+/// Construct with [`TraceSession::from_args`] (or [`TraceSession::start`])
+/// *before* any runtime is built and call [`TraceSession::finish`] after the
+/// workload completes.
 pub struct TraceSession {
-    mode: TraceMode,
-    stem: String,
-    chrome: Option<Rc<ChromeTrace>>,
-    graph: Option<Rc<GraphSink>>,
-    profiler: Option<Rc<Profiler>>,
+    active: ActiveTrace,
 }
 
 impl TraceSession {
-    /// Creates the sink for `mode`, installs it as the thread-local default
-    /// sink, and remembers `stem` for the artifact file name.
-    pub fn start(mode: TraceMode, stem: &str) -> TraceSession {
-        let mut session = TraceSession {
-            mode,
-            stem: stem.to_string(),
-            chrome: None,
-            graph: None,
-            profiler: None,
-        };
-        let sink: Rc<dyn TraceSink> = match mode {
-            TraceMode::Chrome => {
-                let s = Rc::new(ChromeTrace::new());
-                session.chrome = Some(s.clone());
-                s
-            }
-            TraceMode::Dot => {
-                let s = Rc::new(GraphSink::new());
-                session.graph = Some(s.clone());
-                s
-            }
-            TraceMode::Hot => {
-                let s = Rc::new(Profiler::new());
-                session.profiler = Some(s.clone());
-                s
-            }
-        };
-        trace::set_default_sink(Some(sink));
-        session
+    /// Starts `config` and installs its sink as the thread-local default.
+    pub fn start(config: TraceConfig) -> std::io::Result<TraceSession> {
+        let active = config.start()?;
+        active.install_default();
+        Ok(TraceSession { active })
     }
 
-    /// Convenience: parse `--trace` out of `args` and start a session if the
-    /// flag was given. Exits the process with a usage message on a malformed
-    /// flag (bench binaries have no fancier error channel).
+    /// Parses `--trace` / `--trace-out` out of `args` (falling back to the
+    /// `ALPHONSE_TRACE` environment variable when neither is given) and
+    /// starts a session if tracing was requested. Exits the process with a
+    /// usage message on a malformed or conflicting request (bench binaries
+    /// have no fancier error channel).
     pub fn from_args(args: &mut Vec<String>, stem: &str) -> Option<TraceSession> {
-        match take_trace_flag(args) {
-            Ok(mode) => mode.map(|m| TraceSession::start(m, stem)),
-            Err(msg) => {
-                eprintln!("error: {msg}");
-                std::process::exit(2);
-            }
+        let fail = |msg: String| -> ! {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        };
+        let spec = take_trace_flag(args).unwrap_or_else(|e| fail(e));
+        let out = take_trace_out_flag(args).unwrap_or_else(|e| fail(e));
+        let config = match (spec, out) {
+            (Some(_), Some(_)) => fail("--trace and --trace-out are mutually exclusive".into()),
+            (Some(spec), None) => TraceConfig::parse(&spec, stem).unwrap_or_else(|e| fail(e)),
+            (None, Some(path)) => TraceConfig::Jsonl(path.into()),
+            (None, None) => match TraceConfig::from_env(stem) {
+                Some(Ok(c)) => c,
+                Some(Err(e)) => fail(e),
+                None => return None,
+            },
+        };
+        match TraceSession::start(config) {
+            Ok(s) => Some(s),
+            Err(e) => fail(format!("failed to start trace: {e}")),
         }
     }
 
+    /// The live causal index fed by this session.
+    pub fn provenance(&self) -> &Rc<Provenance> {
+        self.active.provenance()
+    }
+
     /// Uninstalls the default sink and flushes the artifact: writes
-    /// `TRACE_<stem>.json` / `TRACE_<stem>.dot` into the current directory
-    /// (next to the `BENCH_*.json` files) or prints the hot-node table.
+    /// `TRACE_<stem>.json` / `.dot` / `.jsonl` into the current directory
+    /// (next to the `BENCH_*.json` files), dumps the recorder to stderr, or
+    /// prints the hot-node table.
     pub fn finish(self) {
         trace::set_default_sink(None);
-        match self.mode {
-            TraceMode::Chrome => {
-                let path = format!("TRACE_{}.json", self.stem);
-                let json = self.chrome.expect("chrome session holds a sink").to_json();
-                std::fs::write(&path, json).expect("write chrome trace");
-                eprintln!("wrote {path} (load at https://ui.perfetto.dev)");
-            }
-            TraceMode::Dot => {
-                let path = format!("TRACE_{}.dot", self.stem);
-                let dot = self.graph.expect("dot session holds a sink").to_dot();
-                std::fs::write(&path, dot).expect("write dot trace");
-                eprintln!("wrote {path} (render with: dot -Tsvg {path})");
-            }
-            TraceMode::Hot => {
-                let prof = self.profiler.expect("hot session holds a sink");
-                println!("\n{}", prof.report(20));
-            }
+        match self.active.finish(None) {
+            Ok(Some(msg)) => eprintln!("{msg}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("warning: failed to flush trace: {e}"),
         }
     }
 }
@@ -161,11 +148,11 @@ mod tests {
     #[test]
     fn parses_separate_and_inline_forms() {
         let mut a = args(&["--quick", "--trace", "chrome", "e2"]);
-        assert_eq!(take_trace_flag(&mut a).unwrap(), Some(TraceMode::Chrome));
+        assert_eq!(take_trace_flag(&mut a).unwrap().as_deref(), Some("chrome"));
         assert_eq!(a, args(&["--quick", "e2"]));
 
         let mut b = args(&["--trace=hot"]);
-        assert_eq!(take_trace_flag(&mut b).unwrap(), Some(TraceMode::Hot));
+        assert_eq!(take_trace_flag(&mut b).unwrap().as_deref(), Some("hot"));
         assert!(b.is_empty());
     }
 
@@ -177,9 +164,28 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_or_missing_mode() {
-        assert!(take_trace_flag(&mut args(&["--trace", "flame"])).is_err());
+    fn rejects_missing_or_empty_value() {
         assert!(take_trace_flag(&mut args(&["--trace"])).is_err());
         assert!(take_trace_flag(&mut args(&["--trace="])).is_err());
+        assert!(take_trace_out_flag(&mut args(&["--trace-out"])).is_err());
+    }
+
+    #[test]
+    fn trace_out_consumes_path() {
+        let mut a = args(&["--trace-out", "out/run.jsonl", "e2"]);
+        assert_eq!(
+            take_trace_out_flag(&mut a).unwrap().as_deref(),
+            Some("out/run.jsonl")
+        );
+        assert_eq!(a, args(&["e2"]));
+    }
+
+    #[test]
+    fn bad_spec_is_deferred_to_config_parse() {
+        // The flag parser accepts any non-empty spec; validation lives in
+        // the shared TraceConfig grammar.
+        let mut a = args(&["--trace", "flame"]);
+        let spec = take_trace_flag(&mut a).unwrap().unwrap();
+        assert!(TraceConfig::parse(&spec, "x").is_err());
     }
 }

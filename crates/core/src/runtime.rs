@@ -135,6 +135,11 @@ pub(crate) struct Inner {
     scheduling: Scheduling,
     dedup_edges: bool,
     evaluating: bool,
+    /// Monotone propagation-wave counter: incremented every time the
+    /// evaluation routine starts a (non-nested) run. Never reset — unlike
+    /// [`Stats::waves`] — so trace wave ids stay unique across
+    /// [`Runtime::reset_stats`].
+    wave: u64,
     exec_gen: u64,
     /// Frame-epoch stamp per node (indexed by dense `NodeId`): the epoch of
     /// the execution frame that most recently recorded a dependence on the
@@ -230,6 +235,7 @@ impl RuntimeBuilder {
                 scheduling: self.scheduling,
                 dedup_edges: self.dedup_edges,
                 evaluating: false,
+                wave: 0,
                 exec_gen: 0,
                 last_accessed: Vec::new(),
                 frame_epoch: 0,
@@ -307,9 +313,11 @@ impl Inner {
         }
     }
 
-    /// Inserts `n` into the inconsistent set of its partition.
+    /// Inserts `n` into the inconsistent set of its partition. `cause` is
+    /// the predecessor that fanned dirt here ([`DirtyReason::Fanout`]),
+    /// `None` when `n` itself originates the dirt.
     #[cfg_attr(not(feature = "trace"), allow(unused_variables))]
-    fn insert_dirty(&mut self, n: NodeId, reason: DirtyReason) {
+    fn insert_dirty(&mut self, n: NodeId, reason: DirtyReason, cause: Option<NodeId>) {
         let height = self.graph.height(n);
         let scheduling = self.scheduling;
         let root = self.partition.as_mut().map(|uf| uf.find(n));
@@ -322,7 +330,14 @@ impl Inner {
         };
         if fresh {
             self.stats.dirtied += 1;
-            emit!(self, TraceEvent::Dirtied { node: n, reason });
+            emit!(
+                self,
+                TraceEvent::Dirtied {
+                    node: n,
+                    reason,
+                    cause,
+                }
+            );
         }
     }
 
@@ -398,7 +413,7 @@ impl Inner {
         self.graph.succs_into(u, &mut scratch);
         self.stats.scratch_hwm = self.stats.scratch_hwm.max(scratch.capacity() as u64);
         for &s in &scratch {
-            self.insert_dirty(s, DirtyReason::Fanout);
+            self.insert_dirty(s, DirtyReason::Fanout, Some(u));
         }
         self.succ_scratch = scratch;
     }
@@ -436,7 +451,7 @@ impl Inner {
             // mid-construction and breaking the frontier invariant of the
             // Section 4.5 marking rule.
             if self.graph.has_succs(n) {
-                self.insert_dirty(n, DirtyReason::WriteChanged);
+                self.insert_dirty(n, DirtyReason::WriteChanged, None);
             }
         }
     }
@@ -509,6 +524,13 @@ impl Runtime {
     /// Resets all work counters to zero.
     pub fn reset_stats(&self) {
         self.inner.borrow_mut().stats = Stats::default();
+    }
+
+    /// Total propagation waves run since the runtime was built. Unlike
+    /// [`Stats::waves`] this is never reset, so it matches the `wave` ids
+    /// stamped on [`crate::trace::TraceEvent::PropagateBegin`] events.
+    pub fn waves(&self) -> u64 {
+        self.inner.borrow().wave
     }
 
     // ------------------------------------------------------------------
@@ -955,6 +977,14 @@ impl Runtime {
             TraceEvent::BatchCommit {
                 writes: submitted,
                 coalesced,
+                // The wave that will drain the queued dirt: the current one
+                // when committing mid-propagation, otherwise the next to
+                // begin.
+                wave: if inner.evaluating {
+                    inner.wave
+                } else {
+                    inner.wave + 1
+                },
             }
         );
         for (n, value) in pending.drain(..) {
@@ -1174,7 +1204,7 @@ impl Runtime {
             emit!(inner, TraceEvent::CutoffStop { node: n });
         }
         if requeue {
-            inner.insert_dirty(n, DirtyReason::Requeue);
+            inner.insert_dirty(n, DirtyReason::Requeue, None);
         }
         (None, changed)
     }
@@ -1361,11 +1391,13 @@ impl Runtime {
                 return;
             }
             inner.evaluating = true;
+            inner.wave += 1;
+            inner.stats.waves += 1;
             #[cfg(feature = "trace")]
             {
                 steps_before = inner.stats.propagation_steps;
             }
-            emit!(inner, TraceEvent::PropagateBegin);
+            emit!(inner, TraceEvent::PropagateBegin { wave: inner.wave });
         }
         let mut steps = 0u64;
         while steps < max_steps {
@@ -1390,6 +1422,7 @@ impl Runtime {
         emit!(
             inner,
             TraceEvent::PropagateEnd {
+                wave: inner.wave,
                 steps: inner.stats.propagation_steps - steps_before,
             }
         );

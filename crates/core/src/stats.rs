@@ -30,6 +30,7 @@ macro_rules! for_each_counter {
             edges_created,
             edges_removed,
             dirtied,
+            waves,
             propagation_steps,
             comparisons,
             nodes_created,
@@ -77,6 +78,11 @@ pub struct Stats {
     pub edges_removed: u64,
     /// Nodes inserted into an inconsistent set.
     pub dirtied: u64,
+    /// Propagation waves: non-nested entries into the Section 4.5
+    /// evaluation routine. Matches the `wave` ids on trace events (see
+    /// [`Runtime::waves`](crate::Runtime::waves) for the never-reset
+    /// counterpart).
+    pub waves: u64,
     /// Nodes processed by the evaluator.
     pub propagation_steps: u64,
     /// Value-equality comparisons performed for cutoff decisions.

@@ -34,6 +34,28 @@
 //! | [`ChromeTrace`] | "where does wall-clock time go?" — `chrome://tracing` / [Perfetto](https://ui.perfetto.dev)-loadable spans |
 //! | [`GraphSink`] + [`render_dot`] | "what does the dependency graph look like?" — live DOT export |
 //! | [`Profiler`] | "which nodes are hot?" — per-node execution counts and self/cumulative time |
+//! | [`JsonlSink`] | "keep everything for later" — streams every event as one JSON line (replayed by the `alphonse-trace` CLI) |
+//! | [`provenance::Provenance`] | "why did this node recompute?" — live causal `why(node)` chains |
+//!
+//! # Causality
+//!
+//! Beyond the flat event stream, three fields make the trace *causal*:
+//!
+//! * [`TraceEvent::Dirtied`] carries `cause` — the predecessor whose change
+//!   fanned dirt to this node (`None` when the node itself is the origin:
+//!   a changed write, or a re-queue after supersession);
+//! * [`TraceEvent::PropagateBegin`] / [`TraceEvent::PropagateEnd`] carry a
+//!   monotone `wave` id — every event delivered between the pair belongs to
+//!   that propagation wave;
+//! * [`TraceEvent::BatchCommit`] carries the id of the wave that will drain
+//!   the dirt it queued (the next wave to begin, or the current one when the
+//!   batch commits mid-propagation).
+//!
+//! Chaining `Write → Dirtied(cause=…) → … → ExecuteEnd` answers the question
+//! every incremental-computation user asks first: *why did this node
+//! recompute, and was the work wasted?* See [`provenance`] for the live
+//! query and the `alphonse-trace` CLI (`crates/trace-tools`) for offline
+//! reports.
 //!
 //! # Example
 //!
@@ -63,8 +85,15 @@ use alphonse_graph::{NodeId, UnionFind};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
+use std::io::Write as IoWrite;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
+
+pub mod provenance;
+pub mod session;
+
+pub use provenance::Provenance;
+pub use session::{ActiveTrace, TraceConfig};
 
 // ---------------------------------------------------------------------------
 // Event taxonomy
@@ -126,11 +155,24 @@ pub enum TraceEvent {
         node: NodeId,
         /// Why it was dirtied.
         reason: DirtyReason,
+        /// The predecessor whose change fanned dirt to this node
+        /// ([`DirtyReason::Fanout`]). `None` when the node itself is the
+        /// origin of the dirt: a changed write
+        /// ([`DirtyReason::WriteChanged`] — the written location *is* this
+        /// node) or a re-queue after supersession.
+        cause: Option<NodeId>,
     },
     /// The Section 4.5 evaluation routine started draining dirty nodes.
-    PropagateBegin,
+    PropagateBegin {
+        /// Monotone id of this propagation wave (1 for the runtime's first
+        /// run). Every event delivered before the matching
+        /// [`TraceEvent::PropagateEnd`] belongs to this wave.
+        wave: u64,
+    },
     /// The evaluation routine finished (drained, or hit its step bound).
     PropagateEnd {
+        /// The wave id of the matching [`TraceEvent::PropagateBegin`].
+        wave: u64,
         /// Dirty nodes processed during this run.
         steps: u64,
     },
@@ -180,11 +222,21 @@ pub enum TraceEvent {
         writes: u64,
         /// Writes absorbed by last-write-wins coalescing.
         coalesced: u64,
+        /// The propagation wave that will drain the dirt this commit
+        /// queued: the next wave to begin — or the current wave, when the
+        /// batch commits from inside a propagation run.
+        wave: u64,
     },
 }
 
 impl TraceEvent {
     /// The node this event is about, if any.
+    ///
+    /// [`TraceEvent::EdgeAdded`] is attributed to the depending successor
+    /// `to` — the edge is a fact about the executing computation's
+    /// dependency set, not about the storage it read. (The predecessor
+    /// endpoint still appears in [`Recorder::timeline`] views of both
+    /// nodes.)
     pub fn node(&self) -> Option<NodeId> {
         match self {
             TraceEvent::NodeCreated { node, .. }
@@ -197,8 +249,8 @@ impl TraceEvent {
             | TraceEvent::CacheHit { node }
             | TraceEvent::CutoffStop { node }
             | TraceEvent::EdgesRemoved { node, .. } => Some(*node),
-            TraceEvent::EdgeAdded { from, .. } => Some(*from),
-            TraceEvent::PropagateBegin
+            TraceEvent::EdgeAdded { to, .. } => Some(*to),
+            TraceEvent::PropagateBegin { .. }
             | TraceEvent::PropagateEnd { .. }
             | TraceEvent::BatchCommit { .. } => None,
         }
@@ -304,16 +356,114 @@ impl Recorder {
 
     /// The timeline of one node: every held event about `n`, oldest first,
     /// with timestamps (µs since recorder creation). Edge events appear in
-    /// the timeline of **both** endpoints.
+    /// the timeline of **both** endpoints ([`TraceEvent::node`] attributes
+    /// them to the successor; the predecessor view is added here).
     pub fn timeline(&self, n: NodeId) -> Vec<(u64, TraceEvent)> {
         self.buf
             .borrow()
             .iter()
             .filter(|(_, e)| {
-                e.node() == Some(n) || matches!(e, TraceEvent::EdgeAdded { to, .. } if *to == n)
+                e.node() == Some(n) || matches!(e, TraceEvent::EdgeAdded { from, .. } if *from == n)
             })
             .cloned()
             .collect()
+    }
+
+    /// Renders the held events as a human-readable report, one line per
+    /// event with its timestamp and resolved labels. When the ring bound
+    /// evicted events, the report is prefixed with a
+    /// `N events dropped (ring capacity K)` warning so a truncated recording
+    /// is never mistaken for a complete one.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped.get() > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} events dropped (ring capacity {}) — the recording is truncated",
+                self.dropped.get(),
+                self.capacity
+            );
+        }
+        let labels = Labels::default();
+        for (ts, ev) in self.buf.borrow().iter() {
+            labels.observe(ev);
+            let _ = writeln!(out, "{ts:>10} us  {}", describe_event(ev, &labels));
+        }
+        out
+    }
+
+    /// Exports the held events as a JSONL trace document (the same format
+    /// [`JsonlSink`] streams), prefixed with a meta line recording how many
+    /// events the ring bound evicted — consumers such as `alphonse-trace`
+    /// use it to refuse causal queries over truncated recordings.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            r#"{{"meta":{{"format":"{JSONL_FORMAT}","version":{JSONL_VERSION},"dropped":{},"capacity":{}}}}}"#,
+            self.dropped.get(),
+            self.capacity
+        );
+        let labels = Labels::default();
+        let wave = Cell::new(None);
+        for (ts, ev) in self.buf.borrow().iter() {
+            labels.observe(ev);
+            out.push_str(&jsonl_line(*ts, &wave, ev, &labels));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One human-readable line for `ev`, with labels resolved through `labels`.
+fn describe_event(ev: &TraceEvent, labels: &Labels) -> String {
+    match ev {
+        TraceEvent::NodeCreated { node, kind, label } => format!(
+            "create {kind:?} {}{}",
+            node,
+            label
+                .as_deref()
+                .map(|l| format!(" \"{l}\""))
+                .unwrap_or_default()
+        ),
+        TraceEvent::Labeled { node, label } => format!("label {node} \"{label}\""),
+        TraceEvent::Read { node } => format!("read {}", labels.of(*node)),
+        TraceEvent::Write { node, changed } => {
+            format!("write {} changed={changed}", labels.of(*node))
+        }
+        TraceEvent::Dirtied {
+            node,
+            reason,
+            cause,
+        } => match cause {
+            Some(c) => format!(
+                "dirty {} [{reason:?} <- {}]",
+                labels.of(*node),
+                labels.of(*c)
+            ),
+            None => format!("dirty {} [{reason:?}]", labels.of(*node)),
+        },
+        TraceEvent::PropagateBegin { wave } => format!("propagate begin (wave {wave})"),
+        TraceEvent::PropagateEnd { wave, steps } => {
+            format!("propagate end (wave {wave}, {steps} steps)")
+        }
+        TraceEvent::ExecuteBegin { node } => format!("exec begin {}", labels.of(*node)),
+        TraceEvent::ExecuteEnd { node, changed } => {
+            format!("exec end {} changed={changed}", labels.of(*node))
+        }
+        TraceEvent::CacheHit { node } => format!("cache hit {}", labels.of(*node)),
+        TraceEvent::CutoffStop { node } => format!("cutoff {}", labels.of(*node)),
+        TraceEvent::EdgeAdded { from, to } => {
+            format!("edge {} -> {}", labels.of(*from), labels.of(*to))
+        }
+        TraceEvent::EdgesRemoved { node, count } => {
+            format!("edges removed {} ({count})", labels.of(*node))
+        }
+        TraceEvent::BatchCommit {
+            writes,
+            coalesced,
+            wave,
+        } => format!("batch commit ({writes} writes, {coalesced} coalesced, -> wave {wave})"),
     }
 }
 
@@ -326,6 +476,203 @@ impl TraceSink for Recorder {
             self.dropped.set(self.dropped.get() + 1);
         }
         buf.push_back((ts, ev.clone()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL trace documents (persistent machine-readable traces)
+// ---------------------------------------------------------------------------
+
+/// Format tag written in the meta line of every JSONL trace document.
+pub const JSONL_FORMAT: &str = "alphonse-trace";
+
+/// Version of the JSONL line layout.
+pub const JSONL_VERSION: u32 = 1;
+
+/// The variant name a JSONL record carries in its `ev` field.
+fn variant_name(ev: &TraceEvent) -> &'static str {
+    match ev {
+        TraceEvent::NodeCreated { .. } => "NodeCreated",
+        TraceEvent::Labeled { .. } => "Labeled",
+        TraceEvent::Read { .. } => "Read",
+        TraceEvent::Write { .. } => "Write",
+        TraceEvent::Dirtied { .. } => "Dirtied",
+        TraceEvent::PropagateBegin { .. } => "PropagateBegin",
+        TraceEvent::PropagateEnd { .. } => "PropagateEnd",
+        TraceEvent::ExecuteBegin { .. } => "ExecuteBegin",
+        TraceEvent::ExecuteEnd { .. } => "ExecuteEnd",
+        TraceEvent::CacheHit { .. } => "CacheHit",
+        TraceEvent::CutoffStop { .. } => "CutoffStop",
+        TraceEvent::EdgeAdded { .. } => "EdgeAdded",
+        TraceEvent::EdgesRemoved { .. } => "EdgesRemoved",
+        TraceEvent::BatchCommit { .. } => "BatchCommit",
+    }
+}
+
+/// Encodes one event as a JSONL record (no trailing newline).
+///
+/// `wave` is the stamping cell tracking the currently open propagation wave:
+/// [`TraceEvent::PropagateBegin`] opens it, [`TraceEvent::PropagateEnd`]
+/// closes it, and every event in between is stamped `"wave":N`. The
+/// propagation brackets and [`TraceEvent::BatchCommit`] carry their own wave
+/// fields instead. Node-bearing events carry the node's resolved `"label"`
+/// when one is known, so a trace file stays self-contained; node ids
+/// serialize as their dense indices.
+fn jsonl_line(ts: u64, wave: &Cell<Option<u64>>, ev: &TraceEvent, labels: &Labels) -> String {
+    let stamped = match ev {
+        TraceEvent::PropagateBegin { wave: w } => {
+            wave.set(Some(*w));
+            Some(*w)
+        }
+        TraceEvent::PropagateEnd { wave: w, .. } => {
+            wave.set(None);
+            Some(*w)
+        }
+        TraceEvent::BatchCommit { wave: w, .. } => Some(*w),
+        _ => wave.get(),
+    };
+    let mut out = String::with_capacity(64);
+    let _ = write!(out, r#"{{"ts":{ts}"#);
+    if let Some(w) = stamped {
+        let _ = write!(out, r#","wave":{w}"#);
+    }
+    let _ = write!(out, r#","ev":"{}""#, variant_name(ev));
+    match ev {
+        TraceEvent::NodeCreated { node, kind, .. } => {
+            let _ = write!(out, r#","node":{},"kind":"{kind:?}""#, node.index());
+        }
+        TraceEvent::Labeled { node, .. } => {
+            let _ = write!(out, r#","node":{}"#, node.index());
+        }
+        TraceEvent::Read { node }
+        | TraceEvent::ExecuteBegin { node }
+        | TraceEvent::CacheHit { node }
+        | TraceEvent::CutoffStop { node } => {
+            let _ = write!(out, r#","node":{}"#, node.index());
+        }
+        TraceEvent::Write { node, changed } | TraceEvent::ExecuteEnd { node, changed } => {
+            let _ = write!(out, r#","node":{},"changed":{changed}"#, node.index());
+        }
+        TraceEvent::Dirtied {
+            node,
+            reason,
+            cause,
+        } => {
+            let _ = write!(out, r#","node":{},"reason":"{reason:?}""#, node.index());
+            if let Some(c) = cause {
+                let _ = write!(out, r#","cause":{}"#, c.index());
+            }
+        }
+        TraceEvent::PropagateBegin { .. } => {}
+        TraceEvent::PropagateEnd { steps, .. } => {
+            let _ = write!(out, r#","steps":{steps}"#);
+        }
+        TraceEvent::EdgeAdded { from, to } => {
+            let _ = write!(out, r#","from":{},"to":{}"#, from.index(), to.index());
+        }
+        TraceEvent::EdgesRemoved { node, count } => {
+            let _ = write!(out, r#","node":{},"count":{count}"#, node.index());
+        }
+        TraceEvent::BatchCommit {
+            writes, coalesced, ..
+        } => {
+            let _ = write!(out, r#","writes":{writes},"coalesced":{coalesced}"#);
+        }
+    }
+    if let Some(n) = ev.node() {
+        if let Some(l) = labels.raw(n) {
+            let _ = write!(out, r#","label":"{}""#, json_escape(&l));
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Streams every event as one JSON line to a writer (the machine-readable
+/// trace the `alphonse-trace` CLI replays).
+///
+/// The document begins with a meta line
+/// (`{"meta":{"format":…,"version":…,"dropped":0}}`); each subsequent line
+/// is one event with a microsecond timestamp, the propagation-wave stamp,
+/// and resolved node labels (see [`Recorder::to_jsonl`] for the same format
+/// produced from a bounded in-memory recording — there `dropped` can be
+/// non-zero). Write errors after construction are ignored: tracing must
+/// never take down the traced program.
+pub struct JsonlSink {
+    start: Instant,
+    labels: Labels,
+    wave: Cell<Option<u64>>,
+    out: RefCell<Box<dyn IoWrite>>,
+}
+
+impl JsonlSink {
+    /// Wraps a writer and emits the meta line.
+    pub fn new(out: impl IoWrite + 'static) -> std::io::Result<JsonlSink> {
+        let mut out: Box<dyn IoWrite> = Box::new(out);
+        writeln!(
+            out,
+            r#"{{"meta":{{"format":"{JSONL_FORMAT}","version":{JSONL_VERSION},"dropped":0}}}}"#
+        )?;
+        Ok(JsonlSink {
+            start: Instant::now(),
+            labels: Labels::default(),
+            wave: Cell::new(None),
+            out: RefCell::new(out),
+        })
+    }
+
+    /// Creates (truncating) `path` and streams the trace to it, buffered.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<JsonlSink> {
+        JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(path)?))
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.borrow_mut().flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.borrow_mut().flush();
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn event(&self, ev: &TraceEvent) {
+        self.labels.observe(ev);
+        let ts = self.start.elapsed().as_micros() as u64;
+        let line = jsonl_line(ts, &self.wave, ev, &self.labels);
+        let mut out = self.out.borrow_mut();
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tee: fan one event stream out to several sinks
+// ---------------------------------------------------------------------------
+
+/// Delivers every event to each of its sinks, in order.
+///
+/// [`session::ActiveTrace`] uses it to run the live [`Provenance`] index
+/// alongside whichever consumer the user asked for.
+pub struct Tee {
+    sinks: Vec<Rc<dyn TraceSink>>,
+}
+
+impl Tee {
+    /// Builds a tee over `sinks` (delivery order = vector order).
+    pub fn new(sinks: Vec<Rc<dyn TraceSink>>) -> Tee {
+        Tee { sinks }
+    }
+}
+
+impl TraceSink for Tee {
+    fn event(&self, ev: &TraceEvent) {
+        for s in &self.sinks {
+            s.event(ev);
+        }
     }
 }
 
@@ -514,16 +861,23 @@ impl TraceSink for ChromeTrace {
                 "write",
                 format!(r#""changed":{changed}"#),
             ),
-            TraceEvent::Dirtied { node, reason } => self.instant(
+            TraceEvent::Dirtied {
+                node,
+                reason,
+                cause,
+            } => self.instant(
                 &format!("dirty {}", self.labels.of(*node)),
                 "dirty",
-                format!(r#""reason":"{reason:?}""#),
+                match cause {
+                    Some(c) => format!(r#""reason":"{reason:?}","cause":"{c}""#),
+                    None => format!(r#""reason":"{reason:?}""#),
+                },
             ),
-            TraceEvent::PropagateBegin => {
+            TraceEvent::PropagateBegin { .. } => {
                 self.span_begin("propagate", "propagate");
             }
-            TraceEvent::PropagateEnd { steps } => {
-                self.span_end(format!(r#""steps":{steps}"#));
+            TraceEvent::PropagateEnd { wave, steps } => {
+                self.span_end(format!(r#""wave":{wave},"steps":{steps}"#));
             }
             TraceEvent::ExecuteBegin { node } => {
                 self.reads_in_span.set(0);
@@ -547,10 +901,14 @@ impl TraceSink for ChromeTrace {
                 "cutoff",
                 String::new(),
             ),
-            TraceEvent::BatchCommit { writes, coalesced } => self.instant(
+            TraceEvent::BatchCommit {
+                writes,
+                coalesced,
+                wave,
+            } => self.instant(
                 "batch commit",
                 "batch",
-                format!(r#""writes":{writes},"coalesced":{coalesced}"#),
+                format!(r#""writes":{writes},"coalesced":{coalesced},"wave":{wave}"#),
             ),
         }
     }
@@ -841,6 +1199,10 @@ pub struct Profiler {
     propagations: Cell<u64>,
     propagate_time: Cell<Duration>,
     propagate_start: RefCell<Vec<Instant>>,
+    /// `ExecuteEnd` events whose `ExecuteBegin` was never observed (the
+    /// profiler was attached mid-execution): those executions are missing
+    /// from every aggregate, so reports warn about them.
+    dropped: Cell<u64>,
 }
 
 impl Profiler {
@@ -870,6 +1232,12 @@ impl Profiler {
     /// Total executions observed across all nodes.
     pub fn total_execs(&self) -> u64 {
         self.per_node.borrow().iter().map(|p| p.execs).sum()
+    }
+
+    /// Executions whose begin was never observed (attachment mid-execution)
+    /// and which are therefore missing from the aggregates.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
     }
 
     /// The `top_k` hottest nodes by self time, as an aligned table.
@@ -908,6 +1276,13 @@ impl Profiler {
             }
         }
         let mut out = String::new();
+        if self.dropped.get() > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} events dropped (profiler attached mid-execution) — aggregates undercount",
+                self.dropped.get()
+            );
+        }
         let _ = writeln!(
             out,
             "hot nodes (top {} by self time; {} propagations, {:.1} us propagating)",
@@ -950,7 +1325,9 @@ impl TraceSink for Profiler {
             }
             TraceEvent::ExecuteEnd { node, .. } => {
                 let Some(frame) = self.stack.borrow_mut().pop() else {
-                    return; // sink attached mid-execution
+                    // Sink attached mid-execution: this execution is lost.
+                    self.dropped.set(self.dropped.get() + 1);
+                    return;
                 };
                 debug_assert_eq!(frame.node, *node, "profiler stack imbalance");
                 let elapsed = frame.start.elapsed();
@@ -971,7 +1348,7 @@ impl TraceSink for Profiler {
             TraceEvent::Dirtied { node, .. } => {
                 self.slot(*node)[node.index()].dirtied += 1;
             }
-            TraceEvent::PropagateBegin => {
+            TraceEvent::PropagateBegin { .. } => {
                 self.propagate_start.borrow_mut().push(Instant::now());
             }
             TraceEvent::PropagateEnd { .. } => {

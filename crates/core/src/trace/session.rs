@@ -1,0 +1,287 @@
+//! Shared trace activation: one spec grammar for every entry point.
+//!
+//! The bench bins (`--trace <mode>`, `--trace-out <path>`) and the lang
+//! interpreter (`ALPHONSE_TRACE=<spec>`) used to grow divergent activation
+//! code; both now funnel through [`TraceConfig`]. The spec grammar:
+//!
+//! | spec | consumer |
+//! |---|---|
+//! | `1` | stderr event dump via a bounded [`Recorder`] |
+//! | `chrome[:path]` | Chrome trace JSON (default `TRACE_<stem>.json`) |
+//! | `dot[:path]` | dependency-graph DOT (default `TRACE_<stem>.dot`) |
+//! | `hot[:K]` | top-K hot-node table from the [`Profiler`] |
+//! | `jsonl[:path]`, or any path-like value | JSONL event stream ([`JsonlSink`]) |
+//!
+//! [`TraceConfig::start`] yields an [`ActiveTrace`]: the requested consumer
+//! teed with a live [`Provenance`] index, so causal `why(node)` queries are
+//! always available while tracing — the lang interpreter quotes them in
+//! runtime error messages.
+
+use super::provenance::Provenance;
+use super::{render_dot, ChromeTrace, GraphSink, JsonlSink, Profiler, Recorder, Tee, TraceSink};
+use crate::Runtime;
+use std::io;
+use std::path::PathBuf;
+use std::rc::Rc;
+
+/// Capacity of the stderr recorder (spec `1`). Large enough for small
+/// programs to be complete; the dump warns when the ring dropped events.
+const STDERR_RING: usize = 8192;
+
+/// Default top-K for the `hot` profiler table.
+const DEFAULT_TOP_K: usize = 20;
+
+/// A parsed trace spec: which consumer to attach and where its output goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceConfig {
+    /// Record everything and dump human-readable lines to stderr at the end.
+    Stderr,
+    /// Stream every event as JSON lines to this file.
+    Jsonl(PathBuf),
+    /// Accumulate a Chrome trace and write it to this file at the end.
+    Chrome(PathBuf),
+    /// Mirror the dependency graph and write DOT to this file at the end.
+    Dot(PathBuf),
+    /// Profile per-node and print the top-K table at the end.
+    Hot(usize),
+}
+
+impl TraceConfig {
+    /// Parses a trace spec (see the [module docs](self) for the grammar).
+    /// `stem` names default output files, e.g. `TRACE_<stem>.json`.
+    pub fn parse(spec: &str, stem: &str) -> Result<TraceConfig, String> {
+        let (head, arg) = match spec.split_once(':') {
+            Some((h, a)) => (h, Some(a)),
+            None => (spec, None),
+        };
+        match head {
+            "1" if arg.is_none() => Ok(TraceConfig::Stderr),
+            "chrome" => Ok(TraceConfig::Chrome(
+                arg.map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from(format!("TRACE_{stem}.json"))),
+            )),
+            "dot" => Ok(TraceConfig::Dot(
+                arg.map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from(format!("TRACE_{stem}.dot"))),
+            )),
+            "hot" => match arg {
+                None => Ok(TraceConfig::Hot(DEFAULT_TOP_K)),
+                Some(k) => k
+                    .parse::<usize>()
+                    .map(TraceConfig::Hot)
+                    .map_err(|_| format!("bad hot top-k `{k}` in trace spec `{spec}`")),
+            },
+            "jsonl" => Ok(TraceConfig::Jsonl(
+                arg.map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from(format!("TRACE_{stem}.jsonl"))),
+            )),
+            // Any path-like value is shorthand for `jsonl:<path>` — the
+            // common `ALPHONSE_TRACE=trace.jsonl` case.
+            _ if spec.contains('.') || spec.contains('/') => {
+                Ok(TraceConfig::Jsonl(PathBuf::from(spec)))
+            }
+            _ => Err(format!(
+                "unrecognized trace spec `{spec}` (expected 1, chrome[:path], \
+                 dot[:path], hot[:K], jsonl[:path], or a file path)"
+            )),
+        }
+    }
+
+    /// Reads the `ALPHONSE_TRACE` environment variable. `None` when unset
+    /// or empty; `Some(Err(…))` when set but malformed.
+    pub fn from_env(stem: &str) -> Option<Result<TraceConfig, String>> {
+        match std::env::var("ALPHONSE_TRACE") {
+            Ok(v) if !v.is_empty() => Some(TraceConfig::parse(&v, stem)),
+            _ => None,
+        }
+    }
+
+    /// Builds the consumer (creating output files where needed) and tees it
+    /// with a live [`Provenance`] index.
+    pub fn start(self) -> io::Result<ActiveTrace> {
+        let provenance = Rc::new(Provenance::new());
+        let (consumer, consumer_sink): (Consumer, Rc<dyn TraceSink>) = match self {
+            TraceConfig::Stderr => {
+                let rec = Rc::new(Recorder::new(STDERR_RING));
+                (Consumer::Stderr(rec.clone()), rec)
+            }
+            TraceConfig::Jsonl(path) => {
+                let sink = Rc::new(JsonlSink::create(&path)?);
+                (
+                    Consumer::Jsonl {
+                        sink: sink.clone(),
+                        path,
+                    },
+                    sink,
+                )
+            }
+            TraceConfig::Chrome(path) => {
+                let sink = Rc::new(ChromeTrace::new());
+                (
+                    Consumer::Chrome {
+                        sink: sink.clone(),
+                        path,
+                    },
+                    sink,
+                )
+            }
+            TraceConfig::Dot(path) => {
+                let mirror = Rc::new(GraphSink::new());
+                (
+                    Consumer::Dot {
+                        mirror: mirror.clone(),
+                        path,
+                    },
+                    mirror,
+                )
+            }
+            TraceConfig::Hot(top_k) => {
+                let prof = Rc::new(Profiler::new());
+                (
+                    Consumer::Hot {
+                        prof: prof.clone(),
+                        top_k,
+                    },
+                    prof,
+                )
+            }
+        };
+        let sink = Rc::new(Tee::new(vec![
+            provenance.clone() as Rc<dyn TraceSink>,
+            consumer_sink,
+        ]));
+        Ok(ActiveTrace {
+            consumer,
+            provenance,
+            sink,
+        })
+    }
+}
+
+enum Consumer {
+    Stderr(Rc<Recorder>),
+    Jsonl {
+        sink: Rc<JsonlSink>,
+        path: PathBuf,
+    },
+    Chrome {
+        sink: Rc<ChromeTrace>,
+        path: PathBuf,
+    },
+    Dot {
+        mirror: Rc<GraphSink>,
+        path: PathBuf,
+    },
+    Hot {
+        prof: Rc<Profiler>,
+        top_k: usize,
+    },
+}
+
+/// A started trace: hand [`ActiveTrace::sink`] to the runtime (or install
+/// it as the thread default), then call [`ActiveTrace::finish`] once the
+/// workload is done to flush/write/print the consumer's output.
+pub struct ActiveTrace {
+    consumer: Consumer,
+    provenance: Rc<Provenance>,
+    sink: Rc<Tee>,
+}
+
+impl ActiveTrace {
+    /// The sink to attach (tee of the consumer and the provenance index).
+    pub fn sink(&self) -> Rc<dyn TraceSink> {
+        self.sink.clone() as Rc<dyn TraceSink>
+    }
+
+    /// The live causal index fed by this trace.
+    pub fn provenance(&self) -> &Rc<Provenance> {
+        &self.provenance
+    }
+
+    /// Installs [`ActiveTrace::sink`] as the thread-default sink (picked up
+    /// by runtimes built afterwards); returns the previous default.
+    pub fn install_default(&self) -> Option<Rc<dyn TraceSink>> {
+        super::set_default_sink(Some(self.sink()))
+    }
+
+    /// Finalizes the consumer: dump, flush, or write its output.
+    ///
+    /// Passing the traced runtime lets the DOT consumer prefer the
+    /// authoritative live [`Runtime::graph_snapshot`] over its event-driven
+    /// mirror. Returns a one-line completion message for consumers that
+    /// produced a file (the hot-node table and stderr dump are printed
+    /// directly).
+    pub fn finish(self, rt: Option<&Runtime>) -> io::Result<Option<String>> {
+        match self.consumer {
+            Consumer::Stderr(rec) => {
+                eprint!("{}", rec.dump());
+                Ok(None)
+            }
+            Consumer::Jsonl { sink, path } => {
+                sink.flush()?;
+                Ok(Some(format!("trace: wrote {}", path.display())))
+            }
+            Consumer::Chrome { sink, path } => {
+                std::fs::write(&path, sink.to_json())?;
+                Ok(Some(format!("trace: wrote {}", path.display())))
+            }
+            Consumer::Dot { mirror, path } => {
+                let snap = match rt {
+                    Some(rt) => rt.graph_snapshot(),
+                    None => mirror.snapshot(),
+                };
+                std::fs::write(&path, render_dot(&snap))?;
+                Ok(Some(format!("trace: wrote {}", path.display())))
+            }
+            Consumer::Hot { prof, top_k } => {
+                println!("{}", prof.report(top_k));
+                Ok(None)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_covers_the_grammar() {
+        let p = |s: &str| TraceConfig::parse(s, "bin");
+        assert_eq!(p("1"), Ok(TraceConfig::Stderr));
+        assert_eq!(
+            p("chrome"),
+            Ok(TraceConfig::Chrome("TRACE_bin.json".into()))
+        );
+        assert_eq!(p("chrome:x.json"), Ok(TraceConfig::Chrome("x.json".into())));
+        assert_eq!(p("dot"), Ok(TraceConfig::Dot("TRACE_bin.dot".into())));
+        assert_eq!(p("hot"), Ok(TraceConfig::Hot(20)));
+        assert_eq!(p("hot:5"), Ok(TraceConfig::Hot(5)));
+        assert_eq!(p("jsonl"), Ok(TraceConfig::Jsonl("TRACE_bin.jsonl".into())));
+        assert_eq!(
+            p("out/t.jsonl"),
+            Ok(TraceConfig::Jsonl("out/t.jsonl".into()))
+        );
+        assert!(p("hot:x").is_err());
+        assert!(p("bogus").is_err());
+    }
+
+    #[test]
+    fn stderr_session_feeds_provenance() {
+        let active = TraceConfig::Stderr.start().unwrap();
+        let rt = Runtime::new();
+        rt.set_sink(Some(active.sink()));
+        let v = rt.var_named("v", 1i64);
+        let double = rt.memo("double", move |rt, &(): &()| v.get(rt) * 2);
+        double.call(&rt, ());
+        v.set(&rt, 2);
+        rt.propagate();
+        rt.set_sink(None);
+        let prov = active.provenance().clone();
+        let n = double.instance_node(&()).unwrap();
+        let chain = prov.why(n).expect("double was dirtied by the write");
+        assert_eq!(chain.write, Some((v.node(), true)));
+        // finish() dumps to stderr and returns no message.
+        assert_eq!(active.finish(Some(&rt)).unwrap(), None);
+    }
+}

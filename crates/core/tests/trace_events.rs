@@ -61,17 +61,20 @@ fn diamond_write_produces_exact_event_sequence() {
         TraceEvent::Dirtied {
             node: na,
             reason: DirtyReason::WriteChanged,
+            cause: None,
         },
-        TraceEvent::PropagateBegin,
+        TraceEvent::PropagateBegin { wave: 1 },
         // Draining `a` fans the dirt out to both arms, in `a`'s
-        // successor-list order.
+        // successor-list order; each carries `a` as its cause.
         TraceEvent::Dirtied {
             node: nright,
             reason: DirtyReason::Fanout,
+            cause: Some(na),
         },
         TraceEvent::Dirtied {
             node: nleft,
             reason: DirtyReason::Fanout,
+            cause: Some(na),
         },
         // Both arms sit at height 1; the height queue breaks the tie
         // toward the higher node id, so `right` re-executes first.
@@ -93,6 +96,7 @@ fn diamond_write_produces_exact_event_sequence() {
         TraceEvent::Dirtied {
             node: ntop,
             reason: DirtyReason::Fanout,
+            cause: Some(nright),
         },
         // The cutoff arm: 20/100 == 10/100, so change stops here.
         TraceEvent::ExecuteBegin { node: nleft },
@@ -132,7 +136,7 @@ fn diamond_write_produces_exact_event_sequence() {
             changed: true,
         },
         // Four dirty nodes processed: a, right, left, top.
-        TraceEvent::PropagateEnd { steps: 4 },
+        TraceEvent::PropagateEnd { wave: 1, steps: 4 },
     ];
     assert_eq!(
         got, expected,
@@ -208,6 +212,32 @@ fn with_trace_restores_previous_sink() {
     rt.set_sink(None);
     assert_eq!(outer.events().len(), 2);
     assert_eq!(inner.events().len(), 1);
+}
+
+#[test]
+fn edge_added_is_attributed_to_the_successor() {
+    // Regression: `node()` used to return the predecessor `from`, filing
+    // edge events under the storage that was read instead of the depending
+    // computation whose dependency set changed.
+    let from = NodeId::from_index(0);
+    let to = NodeId::from_index(1);
+    assert_eq!(TraceEvent::EdgeAdded { from, to }.node(), Some(to));
+
+    // Per-node timelines still show the edge from both endpoints.
+    let rt = Runtime::new();
+    let (a, [na, _, nright, _]) = diamond(&rt);
+    let rec = Rc::new(Recorder::new(1024));
+    rt.set_sink(Some(rec.clone()));
+    a.set(&rt, 20);
+    rt.propagate();
+    rt.set_sink(None);
+    let has_edge = |n: NodeId| {
+        rec.timeline(n)
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::EdgeAdded { from, to } if *from == na && *to == nright))
+    };
+    assert!(has_edge(nright), "successor timeline must carry the edge");
+    assert!(has_edge(na), "predecessor timeline must carry the edge");
 }
 
 #[test]

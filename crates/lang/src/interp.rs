@@ -19,6 +19,7 @@ use crate::error::{LangError, Result};
 use crate::heap::{default_val, Heap, Slot};
 use crate::hir::*;
 use crate::value::{ObjId, Val};
+use alphonse::trace::{ActiveTrace, TraceConfig};
 use alphonse::{Memo, Runtime, Strategy as RtStrategy};
 use std::cell::{Cell, RefCell};
 use std::fmt;
@@ -45,93 +46,34 @@ enum Flow {
 /// Per-procedure argument table (paper Section 4.2), created lazily.
 type ProcMemo = Memo<Vec<Val>, Val>;
 
-/// An observability consumer requested through the `ALPHONSE_TRACE`
-/// environment variable (Alphonse mode only):
-///
-/// * `chrome[:path]` — Chrome trace-event JSON, written to `path` (default
-///   `alphonse_trace.json`) when the interpreter is dropped.
-/// * `dot[:path]` — DOT rendering of the final dependency graph (default
-///   `alphonse_trace.dot`), taken from the live runtime at drop.
-/// * `hot[:k]` — per-node profile; the top-`k` table (default 10) goes to
-///   stderr at drop.
+/// File-name stem the interpreter passes to the shared trace-spec parser:
+/// `ALPHONSE_TRACE=chrome` writes `TRACE_alphonse.json`, etc.
+const TRACE_STEM: &str = "alphonse";
+
+/// Parses `ALPHONSE_TRACE` through the shared [`TraceConfig`] grammar
+/// (`1` → stderr dump, `chrome[:path]`, `dot[:path]`, `hot[:k]`,
+/// `jsonl[:path]`, or a bare file path → JSONL) and attaches the resulting
+/// sink — teed with a live [`alphonse::trace::Provenance`] index that
+/// runtime error messages quote — to `rt`.
 ///
 /// A malformed value is reported on stderr and ignored — an observability
 /// knob must never turn a working program into a failing one.
-enum TraceHook {
-    Chrome {
-        sink: Rc<alphonse::trace::ChromeTrace>,
-        path: String,
-    },
-    Dot {
-        path: String,
-    },
-    Hot {
-        sink: Rc<alphonse::trace::Profiler>,
-        k: usize,
-    },
-}
-
-impl TraceHook {
-    /// Parses `ALPHONSE_TRACE` and attaches the requested sink to `rt`.
-    fn from_env(rt: &Runtime) -> Option<TraceHook> {
-        let spec = std::env::var("ALPHONSE_TRACE").ok()?;
-        let (mode, arg) = match spec.split_once(':') {
-            Some((m, a)) => (m, Some(a)),
-            None => (spec.as_str(), None),
-        };
-        match mode {
-            "chrome" => {
-                let sink = Rc::new(alphonse::trace::ChromeTrace::new());
-                rt.set_sink(Some(sink.clone()));
-                Some(TraceHook::Chrome {
-                    sink,
-                    path: arg.unwrap_or("alphonse_trace.json").to_string(),
-                })
-            }
-            // The graph is snapshotted live at drop; no sink needed.
-            "dot" => Some(TraceHook::Dot {
-                path: arg.unwrap_or("alphonse_trace.dot").to_string(),
-            }),
-            "hot" => {
-                let k = match arg {
-                    None => 10,
-                    Some(a) => match a.parse() {
-                        Ok(k) => k,
-                        Err(_) => {
-                            eprintln!("ALPHONSE_TRACE: ignoring bad top-k `{a}` (want hot[:k])");
-                            10
-                        }
-                    },
-                };
-                let sink = Rc::new(alphonse::trace::Profiler::new());
-                rt.set_sink(Some(sink.clone()));
-                Some(TraceHook::Hot { sink, k })
-            }
-            other => {
-                eprintln!(
-                    "ALPHONSE_TRACE: unknown mode `{other}` \
-                     (expected chrome[:path], dot[:path] or hot[:k]); tracing disabled"
-                );
-                None
-            }
+fn trace_from_env(rt: &Runtime) -> Option<ActiveTrace> {
+    let config = match TraceConfig::from_env(TRACE_STEM)? {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ALPHONSE_TRACE: {e}; tracing disabled");
+            return None;
         }
-    }
-
-    /// Writes/prints the artifact. `rt` is the interpreter's runtime.
-    fn flush(&self, rt: &Runtime) {
-        match self {
-            TraceHook::Chrome { sink, path } => match std::fs::write(path, sink.to_json()) {
-                Ok(()) => eprintln!("ALPHONSE_TRACE: wrote {path}"),
-                Err(e) => eprintln!("ALPHONSE_TRACE: failed to write {path}: {e}"),
-            },
-            TraceHook::Dot { path } => {
-                let dot = alphonse::trace::render_dot(&rt.graph_snapshot());
-                match std::fs::write(path, dot) {
-                    Ok(()) => eprintln!("ALPHONSE_TRACE: wrote {path}"),
-                    Err(e) => eprintln!("ALPHONSE_TRACE: failed to write {path}: {e}"),
-                }
-            }
-            TraceHook::Hot { sink, k } => eprintln!("{}", sink.report(*k)),
+    };
+    match config.start() {
+        Ok(active) => {
+            rt.set_sink(Some(active.sink()));
+            Some(active)
+        }
+        Err(e) => {
+            eprintln!("ALPHONSE_TRACE: failed to start trace: {e}; tracing disabled");
+            None
         }
     }
 }
@@ -143,8 +85,9 @@ struct Shared {
     /// Section 6.1 instrumentation decisions: accesses the analysis proved
     /// irrelevant bypass the runtime entirely (`None` handles below).
     instr: Instrumentation,
-    /// `ALPHONSE_TRACE` consumer, flushed when the interpreter drops.
-    trace: Option<TraceHook>,
+    /// `ALPHONSE_TRACE` consumer (with its live provenance index), flushed
+    /// when the interpreter drops.
+    trace: Option<ActiveTrace>,
     heap: RefCell<Heap>,
     globals: RefCell<Vec<Slot>>,
     memos: RefCell<Vec<Option<ProcMemo>>>,
@@ -216,7 +159,7 @@ impl Interp {
             .iter()
             .map(|g| Slot::new(default_val(g.ty)))
             .collect();
-        let trace = rt.as_ref().and_then(TraceHook::from_env);
+        let trace = rt.as_ref().and_then(trace_from_env);
         let instr = analyze(&program);
         let shared = Rc::new(Shared {
             program,
@@ -317,9 +260,11 @@ impl Interp {
     }
 
     fn boundary<T>(&self, r: Result<T>) -> Result<T> {
-        // Surface an error trapped inside a memoized execution, and forget
-        // every sentinel value it left behind.
+        // Surface an error trapped inside a memoized execution (annotated
+        // with its causal provenance while the failing instance still
+        // exists), and forget every sentinel value it left behind.
         let pending = self.shared.pending_error.borrow_mut().take();
+        let pending = pending.map(|e| self.shared.annotate_error(e));
         self.shared.drain_poisoned();
         if let Some(e) = pending {
             return Err(e);
@@ -575,8 +520,15 @@ impl Interp {
 
 impl Drop for Shared {
     fn drop(&mut self) {
-        if let (Some(hook), Some(rt)) = (self.trace.take(), self.rt.as_ref()) {
-            hook.flush(rt);
+        if let Some(active) = self.trace.take() {
+            if let Some(rt) = self.rt.as_ref() {
+                rt.set_sink(None);
+            }
+            match active.finish(self.rt.as_ref()) {
+                Ok(Some(msg)) => eprintln!("ALPHONSE_TRACE: {msg}"),
+                Ok(None) => {}
+                Err(e) => eprintln!("ALPHONSE_TRACE: failed to write trace: {e}"),
+            }
         }
     }
 }
@@ -626,6 +578,36 @@ impl Shared {
         Ok(())
     }
 
+    /// Appends a causal provenance note to a runtime error when tracing is
+    /// active: the `why` chain (input write → fan-out → re-execution) of
+    /// the first instance that failed under the error. Must run *before*
+    /// [`Shared::drain_poisoned`] — forgetting the instance discards the
+    /// node the chain is anchored to — which also makes it idempotent: once
+    /// drained, there is nothing left to annotate.
+    fn annotate_error(&self, e: LangError) -> LangError {
+        let LangError::Runtime { message } = &e else {
+            return e;
+        };
+        let Some(active) = self.trace.as_ref() else {
+            return e;
+        };
+        let Some((pid, args)) = self.poisoned.borrow().first().cloned() else {
+            return e;
+        };
+        let Some(memo) = self.memos.borrow()[pid].clone() else {
+            return e;
+        };
+        let Some(n) = memo.instance_node(&args) else {
+            return e;
+        };
+        let Some(report) = active.provenance().why_report(n) else {
+            return e;
+        };
+        LangError::runtime(format!(
+            "{message}\nprovenance of the failing call:\n{report}"
+        ))
+    }
+
     /// Un-caches every instance whose value was committed under a pending
     /// error, so failed computations re-execute instead of replaying a
     /// sentinel `Nil`.
@@ -656,7 +638,10 @@ impl Shared {
             } else {
                 memo.call(rt, args)
             };
-            if let Some(e) = self.pending_error.borrow().clone() {
+            let pending = self.pending_error.borrow().clone();
+            if let Some(e) = pending {
+                let e = self.annotate_error(e);
+                *self.pending_error.borrow_mut() = Some(e.clone());
                 self.drain_poisoned();
                 return Err(e);
             }

@@ -1,0 +1,23 @@
+//! Offline analysis of Alphonse JSONL traces.
+//!
+//! The runtime's `JsonlSink` (activated with `--trace-out <path>` on the
+//! bench binaries or `ALPHONSE_TRACE=<path>` in the lang interpreter)
+//! streams every [`TraceEvent`](alphonse::trace::TraceEvent) as one JSON
+//! line. This crate reads those documents back and answers the questions an
+//! incremental-computation user asks after a run:
+//!
+//! * **why** did this node recompute? — [`model::TraceFile::replay_provenance`]
+//!   rebuilds the same causal index the runtime feeds live and renders the
+//!   write → dirtying-fanout → execution chain;
+//! * **waves** — [`report::waves`] summarizes each propagation wave (dirtied /
+//!   executed / cutoffs / cache hits, causal depth, critical path);
+//! * **waste** — [`report::waste`] classifies every execution as productive
+//!   (value changed) or wasted (equal value recomputed), per memo label.
+//!
+//! The `alphonse-trace` binary wraps all three; see `src/main.rs` for the
+//! CLI surface. Parsing is serde-free ([`json`]) because the build
+//! environment is offline.
+
+pub mod json;
+pub mod model;
+pub mod report;

@@ -1,0 +1,156 @@
+//! `alphonse-trace` — replay and analyze Alphonse JSONL trace files.
+//!
+//! ```text
+//! alphonse-trace why <node|label> <trace.jsonl> [--dot] [--allow-truncated]
+//! alphonse-trace waves <trace.jsonl>
+//! alphonse-trace waste <trace.jsonl>
+//! ```
+//!
+//! Record a trace with `--trace-out run.jsonl` on any bench binary or
+//! `ALPHONSE_TRACE=run.jsonl` on the lang interpreter, then ask why a node
+//! recomputed, how each propagation wave went, and which executions were
+//! wasted.
+
+use alphonse::NodeId;
+use alphonse_trace_tools::model::TraceFile;
+use alphonse_trace_tools::report;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: alphonse-trace <command> ...
+
+commands:
+  why <node|label> <trace.jsonl> [--dot] [--allow-truncated]
+      Print the causal chain that last dirtied the node: the originating
+      write, the dirtying fan-out path, and the re-execution (or its
+      absence). <node> is a label (`top`), an id (`n3`), or a bare index
+      (`3`). --dot emits a Graphviz digraph instead of text. Traces whose
+      recorder dropped events are refused unless --allow-truncated is given.
+  waves <trace.jsonl>
+      Per-propagation-wave statistics: dirtied/executed/cutoffs/cache hits,
+      causal depth, and the critical (longest) dirtying path.
+  waste <trace.jsonl>
+      Classify every execution as productive (value changed) or wasted
+      (equal value recomputed), aggregated per memo label.
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}
+
+/// Prints to stdout, tolerating a closed pipe (`alphonse-trace waves … | head`).
+fn emit(text: &str) {
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn load(path: &str) -> Result<TraceFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    TraceFile::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Takes a boolean `--flag` out of `args`; returns whether it was present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn cmd_why(mut args: Vec<String>) -> ExitCode {
+    let dot = take_flag(&mut args, "--dot");
+    let allow_truncated = take_flag(&mut args, "--allow-truncated");
+    let [target, path] = args.as_slice() else {
+        return fail("why takes exactly <node|label> <trace.jsonl>\n\n— see alphonse-trace --help");
+    };
+    let tf = match load(path) {
+        Ok(tf) => tf,
+        Err(e) => return fail(&e),
+    };
+    if tf.meta.dropped > 0 && !allow_truncated {
+        let cap = tf
+            .meta
+            .capacity
+            .map(|c| format!(" (ring capacity {c})"))
+            .unwrap_or_default();
+        return fail(&format!(
+            "{path} is truncated: {} events were dropped{cap}, so causal chains may be \
+             incomplete or wrong. Re-record with a JSONL sink (unbounded) or pass \
+             --allow-truncated to query anyway.",
+            tf.meta.dropped
+        ));
+    }
+    let prov = tf.replay_provenance();
+    // `n3` / `3` select by id; anything else resolves as a label.
+    let node = target
+        .strip_prefix('n')
+        .unwrap_or(target)
+        .parse::<usize>()
+        .ok()
+        .map(NodeId::from_index)
+        .or_else(|| prov.node_by_label(target));
+    let Some(node) = node else {
+        return fail(&format!("no node labeled `{target}` in {path}"));
+    };
+    let rendered = if dot {
+        prov.why_dot(node)
+    } else {
+        prov.why_report(node)
+    };
+    match rendered {
+        Some(text) => {
+            emit(&text);
+            ExitCode::SUCCESS
+        }
+        None => fail(&format!(
+            "{} was never dirtied in this trace — nothing to explain",
+            prov.display(node)
+        )),
+    }
+}
+
+fn warn_truncated(tf: &TraceFile) {
+    if tf.meta.dropped > 0 {
+        eprintln!(
+            "warning: trace is truncated ({} events dropped) — counts undercount",
+            tf.meta.dropped
+        );
+    }
+}
+
+fn cmd_report(args: Vec<String>, render: fn(&TraceFile) -> String) -> ExitCode {
+    let [path] = args.as_slice() else {
+        return fail("expected exactly one <trace.jsonl> argument");
+    };
+    match load(path) {
+        Ok(tf) => {
+            warn_truncated(&tf);
+            emit(&render(&tf));
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        emit(USAGE);
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "why" => cmd_why(args),
+        "waves" => cmd_report(args, report::waves_report),
+        "waste" => cmd_report(args, report::waste_report),
+        other => fail(&format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}

@@ -1,0 +1,113 @@
+//! Smoke tests of the `alphonse-trace` binary: the why/waves/waste commands
+//! over a real recorded trace, and the truncation refusal.
+
+use alphonse::trace::{Recorder, TraceSink};
+use alphonse::{Runtime, Strategy};
+use std::path::PathBuf;
+use std::process::Command;
+use std::rc::Rc;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_alphonse-trace"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("alphonse-trace-test-{}-{name}", std::process::id()))
+}
+
+/// Writes a complete diamond trace to a temp file and returns its path.
+fn recorded_diamond(name: &str, capacity: usize) -> PathBuf {
+    let rt = Runtime::new();
+    let rec = Rc::new(Recorder::new(capacity));
+    rt.set_sink(Some(rec.clone() as Rc<dyn TraceSink>));
+    let a = rt.var_named("a", 10i64);
+    let left = rt.memo_with("left", Strategy::Eager, move |rt, &(): &()| a.get(rt) / 100);
+    let right = rt.memo_with("right", Strategy::Eager, move |rt, &(): &()| a.get(rt) * 2);
+    let (l, r) = (left.clone(), right.clone());
+    let top = rt.memo_with("top", Strategy::Eager, move |rt, &(): &()| {
+        l.call(rt, ()) + r.call(rt, ())
+    });
+    top.call(&rt, ());
+    a.set(&rt, 20);
+    rt.propagate();
+    rt.set_sink(None);
+    let path = temp_path(name);
+    std::fs::write(&path, rec.to_jsonl()).unwrap();
+    path
+}
+
+#[test]
+fn why_waves_waste_run_over_a_recorded_trace() {
+    let path = recorded_diamond("full.jsonl", 4096);
+
+    let why = bin().args(["why", "top"]).arg(&path).output().unwrap();
+    assert!(
+        why.status.success(),
+        "{}",
+        String::from_utf8_lossy(&why.stderr)
+    );
+    let out = String::from_utf8_lossy(&why.stdout);
+    assert!(out.contains("why top"), "{out}");
+    assert!(out.contains("write a (n0) changed=true"), "{out}");
+
+    let dot = bin()
+        .args(["why", "top", "--dot"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(dot.status.success());
+    assert!(String::from_utf8_lossy(&dot.stdout).contains("digraph why"));
+
+    let waves = bin().arg("waves").arg(&path).output().unwrap();
+    assert!(waves.status.success());
+    let out = String::from_utf8_lossy(&waves.stdout);
+    assert!(out.contains("wave 1:"), "{out}");
+    assert!(out.contains("critical path:"), "{out}");
+
+    let waste = bin().arg("waste").arg(&path).output().unwrap();
+    assert!(waste.status.success());
+    let out = String::from_utf8_lossy(&waste.stdout);
+    assert!(out.contains("productive"), "{out}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn why_refuses_truncated_traces_without_the_flag() {
+    // Capacity 4 cannot hold the diamond's event stream: events drop.
+    let path = recorded_diamond("truncated.jsonl", 4);
+
+    let refused = bin().args(["why", "top"]).arg(&path).output().unwrap();
+    assert!(!refused.status.success(), "truncated trace must be refused");
+    let err = String::from_utf8_lossy(&refused.stderr);
+    assert!(err.contains("truncated"), "{err}");
+    assert!(err.contains("--allow-truncated"), "{err}");
+
+    // With the override the query runs (it may still fail to find a chain —
+    // only the refusal itself must be bypassed).
+    let allowed = bin()
+        .args(["why", "top", "--allow-truncated"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    let err = String::from_utf8_lossy(&allowed.stderr);
+    assert!(!err.contains("--allow-truncated"), "{err}");
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage() {
+    let none = bin().output().unwrap();
+    assert_eq!(none.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&none.stderr).contains("usage:"));
+
+    let unknown = bin().arg("explode").output().unwrap();
+    assert_eq!(unknown.status.code(), Some(2));
+
+    let missing = bin()
+        .args(["why", "top", "/no/such/file.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(2));
+}

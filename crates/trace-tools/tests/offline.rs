@@ -1,0 +1,163 @@
+//! End-to-end tests over real runtime traces: record the canonical diamond
+//! through the live sinks, then replay the artifacts through the offline
+//! tooling and check the two sides agree.
+
+use alphonse::trace::{ChromeTrace, JsonlSink, Recorder, Tee, TraceSink};
+use alphonse::{Runtime, Strategy};
+use alphonse_trace_tools::json::Json;
+use alphonse_trace_tools::model::TraceFile;
+use alphonse_trace_tools::report;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// An in-memory writer the test can read back after the sink is dropped.
+#[derive(Clone, Default)]
+struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn take_string(&self) -> String {
+        String::from_utf8(self.0.borrow().clone()).unwrap()
+    }
+}
+
+/// Runs the canonical diamond (`a` feeds `left = a/100` and `right = a*2`,
+/// both feed `top`) under `sink`: initial call, then a changed write and a
+/// propagation wave.
+fn run_diamond(sink: Rc<dyn TraceSink>) {
+    let rt = Runtime::new();
+    rt.set_sink(Some(sink));
+    let a = rt.var_named("a", 10i64);
+    let left = rt.memo_with("left", Strategy::Eager, move |rt, &(): &()| a.get(rt) / 100);
+    let right = rt.memo_with("right", Strategy::Eager, move |rt, &(): &()| a.get(rt) * 2);
+    let (l, r) = (left.clone(), right.clone());
+    let top = rt.memo_with("top", Strategy::Eager, move |rt, &(): &()| {
+        l.call(rt, ()) + r.call(rt, ())
+    });
+    assert_eq!(top.call(&rt, ()), 20);
+    a.set(&rt, 20);
+    rt.propagate();
+    rt.set_sink(None);
+}
+
+/// Records the diamond simultaneously into a [`Recorder`] (live truth) and
+/// a [`JsonlSink`] (the on-disk format), returning both views.
+fn record_diamond() -> (Rc<Recorder>, String) {
+    let buf = SharedBuf::default();
+    let rec = Rc::new(Recorder::new(4096));
+    let jsonl = Rc::new(JsonlSink::new(buf.clone()).unwrap());
+    run_diamond(Rc::new(Tee::new(vec![rec.clone(), jsonl.clone()])));
+    jsonl.flush().unwrap();
+    (rec, buf.take_string())
+}
+
+#[test]
+fn jsonl_round_trip_preserves_the_event_sequence() {
+    let (rec, text) = record_diamond();
+    let tf = TraceFile::parse(&text).expect("the streamed document parses");
+    assert_eq!(tf.meta.dropped, 0);
+    let replayed: Vec<_> = tf.records.iter().map(|r| r.event.clone()).collect();
+    assert_eq!(
+        replayed,
+        rec.events(),
+        "replaying the JSONL yields the exact live event sequence"
+    );
+}
+
+#[test]
+fn recorder_jsonl_export_round_trips_too() {
+    let (rec, _) = record_diamond();
+    let tf = TraceFile::parse(&rec.to_jsonl()).expect("Recorder::to_jsonl parses");
+    assert_eq!(tf.meta.capacity, Some(4096));
+    let replayed: Vec<_> = tf.records.iter().map(|r| r.event.clone()).collect();
+    assert_eq!(replayed, rec.events());
+}
+
+#[test]
+fn offline_why_matches_the_live_golden() {
+    let (_, text) = record_diamond();
+    let tf = TraceFile::parse(&text).unwrap();
+    let prov = tf.replay_provenance();
+    let top = prov.node_by_label("top").expect("top is labeled");
+    let report = prov.why_report(top).expect("top was dirtied");
+    // Same golden as the live-index test in alphonse::trace::provenance.
+    let golden = "\
+why top (n1): wave 1
+  write a (n0) changed=true
+  -> dirtied a (n0) [WriteChanged]
+  -> dirtied right (n3) [Fanout <- a (n0)]
+  -> dirtied top (n1) [Fanout <- right (n3)]
+  -> executed top (n1) changed=true
+";
+    assert_eq!(report, golden, "offline why diverged:\n{report}");
+}
+
+#[test]
+fn waste_accounts_for_every_execution() {
+    let (_, text) = record_diamond();
+    let tf = TraceFile::parse(&text).unwrap();
+    let w = report::waste(&tf);
+    assert_eq!(w.total, tf.executions());
+    assert_eq!(w.productive + w.wasted, w.total);
+    // Initial run: left, right, top execute (3 productive). The wave:
+    // left recomputes to an equal value (wasted), right and top change.
+    assert_eq!(w.productive, 5);
+    assert_eq!(w.wasted, 1);
+    let left = w.rows.iter().find(|r| r.label == "left").unwrap();
+    assert_eq!((left.productive, left.wasted), (1, 1));
+}
+
+#[test]
+fn waves_summarizes_the_propagation() {
+    let (_, text) = record_diamond();
+    let tf = TraceFile::parse(&text).unwrap();
+    let r = report::waves(&tf);
+    assert_eq!(r.initial_executions, 3);
+    assert_eq!(r.waves.len(), 1);
+    let w = &r.waves[0];
+    assert_eq!(w.wave, 1);
+    assert_eq!(w.executed, 3);
+    assert_eq!(w.changed, 2);
+    assert_eq!(w.steps, Some(4));
+    // Longest causal chain: a -> right -> top (left's arm cuts off).
+    assert_eq!(w.depth, 3);
+    assert_eq!(w.critical_path, vec!["a (n0)", "right (n3)", "top (n1)"]);
+}
+
+#[test]
+fn chrome_trace_is_valid_json_with_well_nested_spans() {
+    let chrome = Rc::new(ChromeTrace::new());
+    run_diamond(chrome.clone());
+    let doc = Json::parse(&chrome.to_json()).expect("Chrome trace is valid JSON");
+    let events = doc.as_arr().expect("top level is an array");
+    assert!(!events.is_empty());
+    let mut open = 0i64;
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .expect("every record has ph");
+        match ph {
+            "B" => {
+                assert!(ev.get("name").is_some(), "begin spans carry a name");
+                open += 1;
+            }
+            "E" => {
+                open -= 1;
+                assert!(open >= 0, "span end without a matching begin");
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(open, 0, "every begun span ends");
+}

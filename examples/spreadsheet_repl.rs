@@ -5,7 +5,13 @@
 //!
 //! Commands: `A1 = 42`, `B2 = =A1*2+SUM(A1:A9)`, `print A1`, `show`,
 //! `stats`, `quit`.
+//!
+//! Tracing: `ALPHONSE_TRACE=sheet.jsonl cargo run --example
+//! spreadsheet_repl` records every runtime event for the `alphonse-trace`
+//! CLI (`why B2 sheet.jsonl`, `waves`, `waste`); the full spec grammar
+//! (`chrome[:path]`, `dot[:path]`, `hot[:K]`, …) works too.
 
+use alphonse::trace::{ActiveTrace, TraceConfig};
 use alphonse::Runtime;
 use alphonse_sheet::{Addr, CellValue, Sheet};
 use std::io::{self, BufRead, Write};
@@ -13,8 +19,30 @@ use std::io::{self, BufRead, Write};
 const W: u32 = 8;
 const H: u32 = 12;
 
+/// Starts the trace session requested via `ALPHONSE_TRACE`, if any.
+fn trace_from_env() -> Option<ActiveTrace> {
+    let config = match TraceConfig::from_env("sheet")? {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ALPHONSE_TRACE: {e}; tracing disabled");
+            return None;
+        }
+    };
+    match config.start() {
+        Ok(active) => Some(active),
+        Err(e) => {
+            eprintln!("ALPHONSE_TRACE: {e}; tracing disabled");
+            None
+        }
+    }
+}
+
 fn main() {
+    let trace = trace_from_env();
     let rt = Runtime::new();
+    if let Some(active) = &trace {
+        rt.set_sink(Some(active.sink()));
+    }
     let sheet = Sheet::new(&rt, W, H);
     let interactive = std::env::args().any(|a| a == "--repl");
     if interactive {
@@ -54,6 +82,14 @@ fn main() {
         for cmd in script {
             println!("> {cmd}");
             exec(&rt, &sheet, cmd);
+        }
+    }
+    if let Some(active) = trace {
+        rt.set_sink(None);
+        match active.finish(Some(&rt)) {
+            Ok(Some(msg)) => eprintln!("ALPHONSE_TRACE: {msg}"),
+            Ok(None) => {}
+            Err(e) => eprintln!("ALPHONSE_TRACE: failed to flush trace: {e}"),
         }
     }
 }
