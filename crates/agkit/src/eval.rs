@@ -6,7 +6,7 @@ use crate::value::AttrVal;
 use alphonse::{Memo, Runtime, Strategy};
 use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Incremental attribute evaluator — the Section 7.1 translation running on
 /// the Alphonse runtime.
@@ -22,7 +22,7 @@ use std::rc::Rc;
 /// ```
 /// use alphonse::Runtime;
 /// use alphonse_agkit::{AgEvaluator, AgTree, AttrVal, Grammar};
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 ///
 /// let mut g = Grammar::builder();
 /// let value = g.synthesized("value");
@@ -33,18 +33,18 @@ use std::rc::Rc;
 ///     AttrVal::Int(ctx.child_syn(0, value).as_int() + ctx.child_syn(1, value).as_int())
 /// });
 /// let rt = Runtime::new();
-/// let tree = AgTree::new(&rt, Rc::new(g.build()));
+/// let tree = AgTree::new(&rt, Arc::new(g.build()));
 /// let one = tree.new_node(num, vec![AttrVal::Int(1)]);
 /// let two = tree.new_node(num, vec![AttrVal::Int(2)]);
 /// let sum = tree.build(add, vec![], &[one, two]);
-/// let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+/// let eval = AgEvaluator::new(&rt, Arc::clone(&tree));
 /// assert_eq!(eval.syn(sum, value), AttrVal::Int(3));
 /// tree.set_terminal(one, 0, AttrVal::Int(10));
 /// assert_eq!(eval.syn(sum, value), AttrVal::Int(12));
 /// ```
 pub struct AgEvaluator {
     rt: Runtime,
-    tree: Rc<AgTree>,
+    tree: Arc<AgTree>,
     syn: Memo<(AgNodeId, SynId), AttrVal>,
     inh: Memo<(AgNodeId, InhId), AttrVal>,
 }
@@ -59,7 +59,7 @@ impl fmt::Debug for AgEvaluator {
 }
 
 struct Backend {
-    tree: Rc<AgTree>,
+    tree: Arc<AgTree>,
     syn: Memo<(AgNodeId, SynId), AttrVal>,
     inh: Memo<(AgNodeId, InhId), AttrVal>,
     rt: Runtime,
@@ -86,7 +86,7 @@ impl AgEvaluator {
     /// # Panics
     ///
     /// Panics if `rt` is not the runtime `tree` was created in.
-    pub fn new(rt: &Runtime, tree: Rc<AgTree>) -> AgEvaluator {
+    pub fn new(rt: &Runtime, tree: Arc<AgTree>) -> AgEvaluator {
         Self::with_strategy(rt, tree, Strategy::Demand)
     }
 
@@ -98,46 +98,62 @@ impl AgEvaluator {
     /// # Panics
     ///
     /// Panics if `rt` is not the runtime `tree` was created in.
-    pub fn with_strategy(rt: &Runtime, tree: Rc<AgTree>, strategy: Strategy) -> AgEvaluator {
+    pub fn with_strategy(rt: &Runtime, tree: Arc<AgTree>, strategy: Strategy) -> AgEvaluator {
         // The two memos are mutually recursive: tie the knot through a cell
         // that the closures read at call time.
-        type Cellule<T> = Rc<std::cell::RefCell<Option<T>>>;
-        let syn_cell: Cellule<Memo<(AgNodeId, SynId), AttrVal>> = Rc::default();
-        let inh_cell: Cellule<Memo<(AgNodeId, InhId), AttrVal>> = Rc::default();
+        type Cellule<T> = Arc<Mutex<Option<T>>>;
+        let syn_cell: Cellule<Memo<(AgNodeId, SynId), AttrVal>> = Arc::default();
+        let inh_cell: Cellule<Memo<(AgNodeId, InhId), AttrVal>> = Arc::default();
 
-        let grammar: Rc<Grammar> = Rc::clone(tree.grammar());
-        let t = Rc::clone(&tree);
-        let (sc, ic) = (Rc::clone(&syn_cell), Rc::clone(&inh_cell));
-        let g = Rc::clone(&grammar);
+        let grammar: Arc<Grammar> = Arc::clone(tree.grammar());
+        let t = Arc::clone(&tree);
+        let (sc, ic) = (Arc::clone(&syn_cell), Arc::clone(&inh_cell));
+        let g = Arc::clone(&grammar);
         let syn = rt.memo_recursive_with(
             "ag_syn",
             strategy,
             move |rt, _me, &(node, attr): &(AgNodeId, SynId)| {
                 let backend = Backend {
-                    tree: Rc::clone(&t),
-                    syn: sc.borrow().clone().expect("evaluator fully constructed"),
-                    inh: ic.borrow().clone().expect("evaluator fully constructed"),
+                    tree: Arc::clone(&t),
+                    syn: sc
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .clone()
+                        .expect("evaluator fully constructed"),
+                    inh: ic
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .clone()
+                        .expect("evaluator fully constructed"),
                     rt: rt.clone(),
                 };
                 let prod = t.prod(node);
-                let eq = Rc::clone(g.syn_eq(prod, attr));
+                let eq = Arc::clone(g.syn_eq(prod, attr));
                 eq(&SynCtx {
                     backend: &backend,
                     node,
                 })
             },
         );
-        let t = Rc::clone(&tree);
-        let (sc, ic) = (Rc::clone(&syn_cell), Rc::clone(&inh_cell));
-        let g = Rc::clone(&grammar);
+        let t = Arc::clone(&tree);
+        let (sc, ic) = (Arc::clone(&syn_cell), Arc::clone(&inh_cell));
+        let g = Arc::clone(&grammar);
         let inh = rt.memo_recursive_with(
             "ag_inh",
             strategy,
             move |rt, _me, &(node, attr): &(AgNodeId, InhId)| {
                 let backend = Backend {
-                    tree: Rc::clone(&t),
-                    syn: sc.borrow().clone().expect("evaluator fully constructed"),
-                    inh: ic.borrow().clone().expect("evaluator fully constructed"),
+                    tree: Arc::clone(&t),
+                    syn: sc
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .clone()
+                        .expect("evaluator fully constructed"),
+                    inh: ic
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .clone()
+                        .expect("evaluator fully constructed"),
                     rt: rt.clone(),
                 };
                 // Context dispatch at the parent (paper Section 7.1).
@@ -148,7 +164,7 @@ impl AgEvaluator {
                     )
                 });
                 let prod = t.prod(parent);
-                let eq = Rc::clone(g.inh_eq(prod, child_index, attr));
+                let eq = Arc::clone(g.inh_eq(prod, child_index, attr));
                 eq(&InhCtx {
                     backend: &backend,
                     parent,
@@ -156,8 +172,14 @@ impl AgEvaluator {
                 })
             },
         );
-        syn_cell.borrow_mut().replace(syn.clone());
-        inh_cell.borrow_mut().replace(inh.clone());
+        syn_cell
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .replace(syn.clone());
+        inh_cell
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .replace(inh.clone());
         AgEvaluator {
             rt: rt.clone(),
             tree,
@@ -167,7 +189,7 @@ impl AgEvaluator {
     }
 
     /// The attributed tree.
-    pub fn tree(&self) -> &Rc<AgTree> {
+    pub fn tree(&self) -> &Arc<AgTree> {
         &self.tree
     }
 
@@ -191,7 +213,7 @@ impl AgEvaluator {
 /// full equation tree below/above it, with no caching — the conventional
 /// execution an attribute-grammar system replaces.
 pub struct ExhaustiveAg {
-    tree: Rc<AgTree>,
+    tree: Arc<AgTree>,
     evaluations: Cell<u64>,
 }
 
@@ -207,7 +229,7 @@ impl AttrBackend for ExhaustiveAg {
     fn syn(&self, node: AgNodeId, attr: SynId) -> AttrVal {
         self.evaluations.set(self.evaluations.get() + 1);
         let prod = self.tree.prod(node);
-        let eq = Rc::clone(self.tree.grammar().syn_eq(prod, attr));
+        let eq = Arc::clone(self.tree.grammar().syn_eq(prod, attr));
         eq(&SynCtx {
             backend: self,
             node,
@@ -221,7 +243,7 @@ impl AttrBackend for ExhaustiveAg {
             .child_index(node)
             .unwrap_or_else(|| panic!("inherited attribute demanded at detached node {node}"));
         let prod = self.tree.prod(parent);
-        let eq = Rc::clone(self.tree.grammar().inh_eq(prod, child_index, attr));
+        let eq = Arc::clone(self.tree.grammar().inh_eq(prod, child_index, attr));
         eq(&InhCtx {
             backend: self,
             parent,
@@ -236,7 +258,7 @@ impl AttrBackend for ExhaustiveAg {
 
 impl ExhaustiveAg {
     /// Creates the baseline evaluator over `tree`.
-    pub fn new(tree: Rc<AgTree>) -> ExhaustiveAg {
+    pub fn new(tree: Arc<AgTree>) -> ExhaustiveAg {
         ExhaustiveAg {
             tree,
             evaluations: Cell::new(0),

@@ -12,7 +12,7 @@ use crate::tree::{AgNodeId, AgTree};
 use crate::value::AttrVal;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Index of a production.
 pub type ProdId = usize;
@@ -102,9 +102,9 @@ impl InhCtx<'_> {
 }
 
 /// Signature of a synthesized equation.
-pub type SynEq = Rc<dyn Fn(&SynCtx<'_>) -> AttrVal>;
+pub type SynEq = Arc<dyn Fn(&SynCtx<'_>) -> AttrVal + Send + Sync>;
 /// Signature of an inherited equation.
-pub type InhEq = Rc<dyn Fn(&InhCtx<'_>) -> AttrVal>;
+pub type InhEq = Arc<dyn Fn(&InhCtx<'_>) -> AttrVal + Send + Sync>;
 
 pub(crate) struct ProdSpec {
     pub(crate) name: String,
@@ -222,8 +222,13 @@ impl GrammarBuilder {
     }
 
     /// Defines the equation for synthesized attribute `a` of production `p`.
-    pub fn syn_eq(&mut self, p: ProdId, a: SynId, eq: impl Fn(&SynCtx<'_>) -> AttrVal + 'static) {
-        self.syn_eqs.insert((p, a), Rc::new(eq));
+    pub fn syn_eq(
+        &mut self,
+        p: ProdId,
+        a: SynId,
+        eq: impl Fn(&SynCtx<'_>) -> AttrVal + Send + Sync + 'static,
+    ) {
+        self.syn_eqs.insert((p, a), Arc::new(eq));
     }
 
     /// Defines the equation for inherited attribute `a` of child `child` in
@@ -233,9 +238,9 @@ impl GrammarBuilder {
         p: ProdId,
         child: usize,
         a: InhId,
-        eq: impl Fn(&InhCtx<'_>) -> AttrVal + 'static,
+        eq: impl Fn(&InhCtx<'_>) -> AttrVal + Send + Sync + 'static,
     ) {
-        self.inh_eqs.insert((p, child, a), Rc::new(eq));
+        self.inh_eqs.insert((p, child, a), Arc::new(eq));
     }
 
     /// Finishes the grammar.

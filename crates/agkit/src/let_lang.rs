@@ -20,7 +20,7 @@ use crate::tree::{AgNodeId, AgTree};
 use crate::value::{AttrVal, Env};
 use alphonse::Runtime;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handles for the let-language grammar: production and attribute ids.
 #[derive(Debug, Clone, Copy)]
@@ -43,7 +43,7 @@ pub struct LetLang {
 
 impl LetLang {
     /// Builds the Algorithm 6 grammar.
-    pub fn grammar() -> (Rc<Grammar>, LetLang) {
+    pub fn grammar() -> (Arc<Grammar>, LetLang) {
         let mut g = Grammar::builder();
         let value = g.synthesized("value");
         let env = g.inherited("env");
@@ -91,7 +91,7 @@ impl LetLang {
         g.syn_eq(int, value, |ctx| ctx.terminal(0));
 
         (
-            Rc::new(g.build()),
+            Arc::new(g.build()),
             LetLang {
                 root,
                 plus,
@@ -105,7 +105,7 @@ impl LetLang {
     }
 
     /// Convenience: grammar + fresh tree in `rt`.
-    pub fn tree(rt: &Runtime) -> (Rc<AgTree>, LetLang) {
+    pub fn tree(rt: &Runtime) -> (Arc<AgTree>, LetLang) {
         let (g, lang) = Self::grammar();
         (AgTree::new(rt, g), lang)
     }
@@ -359,7 +359,7 @@ mod tests {
         let rt = Runtime::new();
         let (tree, lang) = LetLang::tree(&rt);
         let (root, _) = expr.instantiate(&tree, &lang);
-        let exhaustive = ExhaustiveAg::new(Rc::clone(&tree));
+        let exhaustive = ExhaustiveAg::new(Arc::clone(&tree));
         let incremental = AgEvaluator::new(&rt, tree);
         assert_eq!(exhaustive.syn(root, lang.value).as_int(), oracle);
         assert_eq!(incremental.syn(root, lang.value).as_int(), oracle);
@@ -372,7 +372,7 @@ mod tests {
         let (tree, lang) = LetLang::tree(&rt);
         let expr = parse_let("let x = 7 in x + x + x ni").unwrap();
         let (root, letn) = expr.instantiate(&tree, &lang);
-        let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+        let eval = AgEvaluator::new(&rt, Arc::clone(&tree));
         assert_eq!(eval.syn(root, lang.value), AttrVal::Int(21));
         // Edit the bound literal: the Int node is child 0 of the Let.
         let bound = tree.child(letn, 0).unwrap();
@@ -386,7 +386,7 @@ mod tests {
         let (tree, lang) = LetLang::tree(&rt);
         let expr = parse_let("let x = 2 in x + 1 ni").unwrap();
         let (root, letn) = expr.instantiate(&tree, &lang);
-        let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+        let eval = AgEvaluator::new(&rt, Arc::clone(&tree));
         assert_eq!(eval.syn(root, lang.value), AttrVal::Int(3));
         // Replace the body `x + 1` with `x + x`.
         let new_body = parse_let("x + x").unwrap().node(&tree, &lang);
@@ -405,7 +405,7 @@ mod tests {
         }
         let expr = parse_let(&src).unwrap();
         let (root, _) = expr.instantiate(&tree, &lang);
-        let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+        let eval = AgEvaluator::new(&rt, Arc::clone(&tree));
         let total = eval.syn(root, lang.value).as_int();
         assert_eq!(total, 1 + 20 * 4);
         let before = rt.stats();

@@ -10,9 +10,19 @@
 use crate::grammar::{Grammar, ProdId};
 use crate::value::AttrVal;
 use alphonse::{Runtime, Var};
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
+
+/// Locks the node table. The arena is used from one thread at a time, so
+/// contention means a method body re-entered the store while a guard was
+/// live — fail stop, mirroring the `RefCell` panic this lock replaced.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(TryLockError::WouldBlock) => panic!("attributed tree re-entered while locked"),
+    }
+}
 
 /// A production instance in the attributed tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -41,25 +51,25 @@ struct NodeData {
 /// The attributed tree: an arena of production instances.
 pub struct AgTree {
     rt: Runtime,
-    grammar: Rc<Grammar>,
-    nodes: RefCell<Vec<NodeData>>,
+    grammar: Arc<Grammar>,
+    nodes: Mutex<Vec<NodeData>>,
 }
 
 impl fmt::Debug for AgTree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("AgTree")
-            .field("nodes", &self.nodes.borrow().len())
+            .field("nodes", &lock(&self.nodes).len())
             .finish()
     }
 }
 
 impl AgTree {
     /// Creates an empty tree over `grammar`, tracked in `rt`.
-    pub fn new(rt: &Runtime, grammar: Rc<Grammar>) -> Rc<AgTree> {
-        Rc::new(AgTree {
+    pub fn new(rt: &Runtime, grammar: Arc<Grammar>) -> Arc<AgTree> {
+        Arc::new(AgTree {
             rt: rt.clone(),
             grammar,
-            nodes: RefCell::new(Vec::new()),
+            nodes: Mutex::new(Vec::new()),
         })
     }
 
@@ -69,18 +79,18 @@ impl AgTree {
     }
 
     /// The grammar this tree instantiates.
-    pub fn grammar(&self) -> &Rc<Grammar> {
+    pub fn grammar(&self) -> &Arc<Grammar> {
         &self.grammar
     }
 
     /// Number of production instances.
     pub fn len(&self) -> usize {
-        self.nodes.borrow().len()
+        lock(&self.nodes).len()
     }
 
     /// Returns `true` if no nodes exist.
     pub fn is_empty(&self) -> bool {
-        self.nodes.borrow().is_empty()
+        lock(&self.nodes).is_empty()
     }
 
     /// Allocates an instance of production `prod` with the given terminal
@@ -98,7 +108,7 @@ impl AgTree {
             "production {} takes {spec_terms} terminal(s)",
             self.grammar.prod_name(prod)
         );
-        let mut nodes = self.nodes.borrow_mut();
+        let mut nodes = lock(&self.nodes);
         let id = AgNodeId(u32::try_from(nodes.len()).expect("too many AG nodes"));
         let data = if self.rt.tracing() {
             // Trace labels name each structural var after the production and
@@ -141,25 +151,25 @@ impl AgTree {
 
     /// Production of a node.
     pub fn prod(&self, n: AgNodeId) -> ProdId {
-        self.nodes.borrow()[n.index()].prod
+        lock(&self.nodes)[n.index()].prod
     }
 
     /// Parent of a node (tracked read).
     pub fn parent(&self, n: AgNodeId) -> Option<AgNodeId> {
-        let var = self.nodes.borrow()[n.index()].parent;
+        let var = lock(&self.nodes)[n.index()].parent;
         // Borrow-based read: attribute rules chase these links constantly.
         var.with(&self.rt, |&p| p)
     }
 
     /// Child `i` of a node (tracked read).
     pub fn child(&self, n: AgNodeId, i: usize) -> Option<AgNodeId> {
-        let var = self.nodes.borrow()[n.index()].children[i];
+        let var = lock(&self.nodes)[n.index()].children[i];
         var.with(&self.rt, |&c| c)
     }
 
     /// Terminal value `i` of a node (tracked read).
     pub fn terminal(&self, n: AgNodeId, i: usize) -> AttrVal {
-        let var = self.nodes.borrow()[n.index()].terminals[i];
+        let var = lock(&self.nodes)[n.index()].terminals[i];
         var.get(&self.rt)
     }
 
@@ -167,12 +177,12 @@ impl AgTree {
     /// parent pointer — the tree edit that drives incremental re-attribution.
     pub fn set_child(&self, n: AgNodeId, i: usize, child: Option<AgNodeId>) {
         let (child_var, old) = {
-            let nodes = self.nodes.borrow();
+            let nodes = lock(&self.nodes);
             let var = nodes[n.index()].children[i];
             (var, var.get(&self.rt))
         };
         if let Some(old) = old {
-            let pvar = self.nodes.borrow()[old.index()].parent;
+            let pvar = lock(&self.nodes)[old.index()].parent;
             // Only sever the back pointer if it still points here: the old
             // child may have been re-parented first (e.g. grafting a node
             // into a wider structure before swapping it in).
@@ -182,14 +192,14 @@ impl AgTree {
         }
         child_var.set(&self.rt, child);
         if let Some(c) = child {
-            let pvar = self.nodes.borrow()[c.index()].parent;
+            let pvar = lock(&self.nodes)[c.index()].parent;
             pvar.set(&self.rt, Some(n));
         }
     }
 
     /// Overwrites terminal `i` of `n` (e.g. editing a literal in place).
     pub fn set_terminal(&self, n: AgNodeId, i: usize, v: AttrVal) {
-        let var = self.nodes.borrow()[n.index()].terminals[i];
+        let var = lock(&self.nodes)[n.index()].terminals[i];
         var.set(&self.rt, v);
     }
 
@@ -217,13 +227,13 @@ mod tests {
     use super::*;
     use crate::grammar::Grammar;
 
-    fn toy() -> (Runtime, Rc<AgTree>, ProdId, ProdId) {
+    fn toy() -> (Runtime, Arc<AgTree>, ProdId, ProdId) {
         let mut g = Grammar::builder();
         let _v = g.synthesized("value");
         let leaf = g.production("Leaf", 0, 1);
         let pair = g.production("Pair", 2, 0);
         let rt = Runtime::new();
-        let tree = AgTree::new(&rt, Rc::new(g.build()));
+        let tree = AgTree::new(&rt, Arc::new(g.build()));
         (rt, tree, leaf, pair)
     }
 

@@ -7,7 +7,7 @@
 //! cached and compared for quiescence cutoff like any other value.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A value of an attribute instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,7 +15,7 @@ pub enum AttrVal {
     /// Integer attribute.
     Int(i64),
     /// Text attribute.
-    Text(Rc<str>),
+    Text(Arc<str>),
     /// Boolean attribute.
     Bool(bool),
     /// Environment attribute (for inherited contexts).
@@ -27,7 +27,7 @@ pub enum AttrVal {
 impl AttrVal {
     /// Text helper.
     pub fn text(s: &str) -> AttrVal {
-        AttrVal::Text(Rc::from(s))
+        AttrVal::Text(Arc::from(s))
     }
 
     /// Extracts an integer.
@@ -59,9 +59,9 @@ impl AttrVal {
     /// # Panics
     ///
     /// Panics if the value is not an [`AttrVal::Text`].
-    pub fn as_text(&self) -> Rc<str> {
+    pub fn as_text(&self) -> Arc<str> {
         match self {
-            AttrVal::Text(s) => Rc::clone(s),
+            AttrVal::Text(s) => Arc::clone(s),
             other => panic!("expected Text attribute, found {other:?}"),
         }
     }
@@ -80,7 +80,7 @@ impl fmt::Display for AttrVal {
 }
 
 struct EnvFrame {
-    name: Rc<str>,
+    name: Arc<str>,
     value: AttrVal,
     rest: Env,
 }
@@ -99,7 +99,7 @@ struct EnvFrame {
 /// assert_eq!(e.lookup("x"), Some(AttrVal::Int(1)), "persistence");
 /// ```
 #[derive(Clone, Default)]
-pub struct Env(Option<Rc<EnvFrame>>);
+pub struct Env(Option<Arc<EnvFrame>>);
 
 impl Env {
     /// `EmptyEnv()`.
@@ -111,8 +111,8 @@ impl Env {
     /// original is unchanged.
     #[must_use]
     pub fn update(&self, name: &str, value: AttrVal) -> Env {
-        Env(Some(Rc::new(EnvFrame {
-            name: Rc::from(name),
+        Env(Some(Arc::new(EnvFrame {
+            name: Arc::from(name),
             value,
             rest: self.clone(),
         })))
@@ -153,7 +153,7 @@ impl PartialEq for Env {
         match (&self.0, &other.0) {
             (None, None) => true,
             (Some(a), Some(b)) => {
-                if Rc::ptr_eq(a, b) {
+                if Arc::ptr_eq(a, b) {
                     return true;
                 }
                 a.name == b.name && a.value == b.value && a.rest == b.rest

@@ -4,7 +4,7 @@ use alphonse::Runtime;
 use alphonse_agkit::{AgEvaluator, AttrVal, ExhaustiveAg, LetExpr, LetLang};
 use proptest::prelude::*;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Random let-expressions over a small variable universe.
 fn expr_strategy() -> impl Strategy<Value = LetExpr> {
@@ -36,9 +36,9 @@ proptest! {
         let rt = Runtime::new();
         let (tree, lang) = LetLang::tree(&rt);
         let (root, _) = expr.instantiate(&tree, &lang);
-        let inc = AgEvaluator::new(&rt, Rc::clone(&tree));
+        let inc = AgEvaluator::new(&rt, Arc::clone(&tree));
         prop_assert_eq!(inc.syn(root, lang.value).as_int(), oracle);
-        let ex = ExhaustiveAg::new(Rc::clone(&tree));
+        let ex = ExhaustiveAg::new(Arc::clone(&tree));
         prop_assert_eq!(ex.syn(root, lang.value).as_int(), oracle);
     }
 
@@ -52,7 +52,7 @@ proptest! {
         let rt = Runtime::new();
         let (tree, lang) = LetLang::tree(&rt);
         let (root, _) = expr.instantiate(&tree, &lang);
-        let inc = AgEvaluator::new(&rt, Rc::clone(&tree));
+        let inc = AgEvaluator::new(&rt, Arc::clone(&tree));
         inc.syn(root, lang.value);
 
         // Collect the Int literal nodes (they are editable terminals).
@@ -78,7 +78,7 @@ proptest! {
             let lit = literals[pick % literals.len()];
             tree.set_terminal(lit, 0, AttrVal::Int(v));
             let incremental = inc.syn(root, lang.value).as_int();
-            let exhaustive = ExhaustiveAg::new(Rc::clone(&tree))
+            let exhaustive = ExhaustiveAg::new(Arc::clone(&tree))
                 .syn(root, lang.value)
                 .as_int();
             prop_assert_eq!(incremental, exhaustive, "after editing {}", lit);

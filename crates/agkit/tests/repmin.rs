@@ -10,7 +10,7 @@
 
 use alphonse::{Runtime, Strategy};
 use alphonse_agkit::{AgEvaluator, AgNodeId, AgTree, AttrVal, Grammar, InhId, ProdId, SynId};
-use std::rc::Rc;
+use std::sync::Arc;
 
 struct RepMin {
     leaf: ProdId,
@@ -26,7 +26,7 @@ struct RepMin {
     rep: SynId,
 }
 
-fn grammar() -> (Rc<Grammar>, RepMin) {
+fn grammar() -> (Arc<Grammar>, RepMin) {
     let mut g = Grammar::builder();
     let min = g.synthesized("min");
     let rep = g.synthesized("rep");
@@ -65,7 +65,7 @@ fn grammar() -> (Rc<Grammar>, RepMin) {
     g.syn_eq(root, rep, move |ctx| ctx.child_syn(0, rep));
 
     (
-        Rc::new(g.build()),
+        Arc::new(g.build()),
         RepMin {
             leaf,
             fork,
@@ -105,7 +105,7 @@ fn repmin_computes_global_minimum_everywhere() {
     let tree = AgTree::new(&rt, g);
     let values = [5i64, 3, 9, 7, 4, 8, 2, 6];
     let (root, _) = build_complete(&tree, &lang, &values);
-    let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+    let eval = AgEvaluator::new(&rt, Arc::clone(&tree));
     assert_eq!(eval.syn(root, lang.min).as_int(), 2);
     // Every leaf is replaced by 2; the checksum is 8 * 2.
     assert_eq!(eval.syn(root, lang.rep).as_int(), 16);
@@ -120,7 +120,7 @@ fn repmin_updates_incrementally_on_leaf_edit() {
     let tree = AgTree::new(&rt, g);
     let values: Vec<i64> = (1..=32).collect();
     let (root, leaves) = build_complete(&tree, &lang, &values);
-    let eval = AgEvaluator::with_strategy(&rt, Rc::clone(&tree), Strategy::Eager);
+    let eval = AgEvaluator::with_strategy(&rt, Arc::clone(&tree), Strategy::Eager);
     assert_eq!(eval.syn(root, lang.min).as_int(), 1);
     assert_eq!(eval.syn(root, lang.rep).as_int(), 32);
 
@@ -151,7 +151,7 @@ fn repmin_handles_all_equal_values() {
     let (g, lang) = grammar();
     let tree = AgTree::new(&rt, g);
     let (root, leaves) = build_complete(&tree, &lang, &[7, 7, 7, 7]);
-    let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+    let eval = AgEvaluator::new(&rt, Arc::clone(&tree));
     assert_eq!(eval.syn(root, lang.min).as_int(), 7);
     assert_eq!(eval.syn(root, lang.rep).as_int(), 28);
     tree.set_terminal(leaves[0], 0, AttrVal::Int(7));

@@ -2,7 +2,7 @@
 use alphonse_bench::workloads::HEIGHT_PROGRAM;
 use alphonse_lang::{compile, Interp, Mode, Val};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let program = compile(HEIGHT_PROGRAM).unwrap();
@@ -20,7 +20,7 @@ fn bench(c: &mut Criterion) {
                 &depth,
                 |b, &d| {
                     b.iter(|| {
-                        let interp = Interp::new(Rc::clone(&program), mode).unwrap();
+                        let interp = Interp::new(Arc::clone(&program), mode).unwrap();
                         interp.call("Init", vec![]).unwrap();
                         let root = interp.call("BuildBalanced", vec![Val::Int(d)]).unwrap();
                         interp.call_method(root, "height", vec![]).unwrap()
@@ -33,7 +33,7 @@ fn bench(c: &mut Criterion) {
             ("conventional", Mode::Conventional),
             ("alphonse", Mode::Alphonse),
         ] {
-            let interp = Interp::new(Rc::clone(&program), mode).unwrap();
+            let interp = Interp::new(Arc::clone(&program), mode).unwrap();
             interp.call("Init", vec![]).unwrap();
             let root = interp.call("BuildBalanced", vec![Val::Int(depth)]).unwrap();
             interp.call_method(root.clone(), "height", vec![]).unwrap();

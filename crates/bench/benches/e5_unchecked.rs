@@ -2,12 +2,12 @@
 use alphonse::Runtime;
 use alphonse_trees::{MaintainedTree, NodeRef, TreeStore};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn lookup_world(n: usize, unchecked: bool) -> (Runtime, alphonse::Memo<i64, bool>) {
     let rt = Runtime::new();
     let tree = MaintainedTree::new(&rt);
-    let store = Rc::clone(tree.store());
+    let store = Arc::clone(tree.store());
     let keys: Vec<i64> = (0..n as i64).collect();
     let root = store.build_balanced(&keys);
     let contains = rt.memo("contains", move |rt, &key: &i64| {

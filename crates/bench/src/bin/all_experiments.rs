@@ -90,6 +90,13 @@ fn main() {
                 &[1, 16, 256, 4096]
             })
         }),
+        ("E14", |q| {
+            if q {
+                ex::e14_serving(&[1, 2], 8, 16)
+            } else {
+                ex::e14_serving(&[1, 2, 4], 16, 64)
+            }
+        }),
     ];
 
     let mut first = true;

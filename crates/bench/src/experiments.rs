@@ -6,13 +6,13 @@
 
 use crate::table::Table;
 use crate::workloads::{self, HEIGHT_PROGRAM};
-use alphonse::{Runtime, Scheduling, Strategy};
+use alphonse::{Memo, Runtime, Scheduling, SessionPool, Strategy, Var};
 use alphonse_agkit::{parse_let, AgEvaluator, AttrVal, ExhaustiveAg, LetLang};
 use alphonse_lang::{compile, parse, transform, Interp, Mode, TransformOptions, Val};
 use alphonse_sheet::{RecalcSheet, Sheet};
 use alphonse_trees::{ClassicAvl, ExhaustiveTree, HandcodedTree, MaintainedAvl, NodeRef};
 use rand::Rng;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// E1 (§3.4): maintained heights — first call O(n), repeats O(1), one
@@ -142,7 +142,7 @@ pub fn e2_overhead(depths: &[i64]) -> Table {
     let (_, optimized) = transform(&module, &program, TransformOptions { optimize: true });
     for &depth in depths {
         let run = |mode: Mode| -> (Interp, Val) {
-            let interp = Interp::new(Rc::clone(&program), mode).unwrap();
+            let interp = Interp::new(Arc::clone(&program), mode).unwrap();
             interp.call("Init", vec![]).unwrap();
             let root = interp.call("BuildBalanced", vec![Val::Int(depth)]).unwrap();
             interp.call_method(root.clone(), "height", vec![]).unwrap();
@@ -338,10 +338,10 @@ pub fn e5_unchecked(sizes: &[usize]) -> Table {
         let build = |unchecked: bool| -> (Runtime, u64, u64) {
             let rt = Runtime::new();
             let tree = alphonse_trees::MaintainedTree::new(&rt);
-            let store = Rc::clone(tree.store());
+            let store = Arc::clone(tree.store());
             let keys: Vec<i64> = (0..n as i64).collect();
             let root = store.build_balanced(&keys);
-            let s = Rc::clone(&store);
+            let s = Arc::clone(&store);
             let contains = rt.memo(
                 if unchecked { "find_unchecked" } else { "find" },
                 move |rt, &key: &i64| -> bool {
@@ -719,7 +719,7 @@ pub fn e6_ag(sizes: &[usize]) -> Table {
         let rt = Runtime::new();
         let (tree, lang) = LetLang::tree(&rt);
         let (root, outer_let) = expr.instantiate(&tree, &lang);
-        let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+        let eval = AgEvaluator::new(&rt, Arc::clone(&tree));
         let before = rt.stats();
         let v1 = eval.syn(root, lang.value);
         let initial = rt.stats().delta_since(&before).executions;
@@ -731,7 +731,7 @@ pub fn e6_ag(sizes: &[usize]) -> Table {
         let edit = rt.stats().delta_since(&before).executions;
         assert_ne!(v1, v2);
 
-        let ex = ExhaustiveAg::new(Rc::clone(&tree));
+        let ex = ExhaustiveAg::new(Arc::clone(&tree));
         ex.reset_counters();
         let v3 = ex.syn(root, lang.value);
         assert_eq!(v2, v3, "evaluators diverged");
@@ -936,6 +936,186 @@ pub fn e13_bulk_edits(ks: &[usize]) -> Table {
                 batch_d.dirtied.to_string(),
                 scratch_w1.to_string(),
                 scratch_final.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// One tenant's serving session for E14: an E13-style reduction grid (64
+/// tracked leaves summed through 8 eager group memos into one eager total)
+/// plus the latency samples its waves record.
+struct ServeSession {
+    rt: Runtime,
+    vars: Vec<Var<i64>>,
+    total: Memo<(), i64>,
+    lat_us: Vec<u64>,
+}
+
+fn serve_session(seed: u64) -> ServeSession {
+    const LEAVES: usize = 64;
+    const GROUP: usize = 8;
+    let rt = Runtime::new();
+    let mut r = workloads::rng(seed);
+    let vars: Vec<_> = (0..LEAVES)
+        .map(|_| rt.var(r.gen_range(0..1024i64)))
+        .collect();
+    let groups: Vec<_> = vars
+        .chunks(GROUP)
+        .enumerate()
+        .map(|(g, chunk)| {
+            let chunk = chunk.to_vec();
+            rt.memo_with(
+                &format!("group{g}"),
+                Strategy::Eager,
+                move |rt, &(): &()| chunk.iter().map(|v| v.get(rt)).sum::<i64>(),
+            )
+        })
+        .collect();
+    let total = rt.memo_with("total", Strategy::Eager, move |rt, &(): &()| {
+        groups.iter().map(|g| g.call(rt, ())).sum::<i64>()
+    });
+    total.call(&rt, ());
+    rt.propagate();
+    ServeSession {
+        rt,
+        vars,
+        total,
+        lat_us: Vec::new(),
+    }
+}
+
+/// E14: sharded multi-session serving — `sessions` independent tenants on a
+/// [`SessionPool`] of 1→N worker threads, each work unit one batched
+/// 16-write edit wave followed by propagation. Sessions are built on the
+/// driving thread and *moved* into their shard (the `Runtime: Send`
+/// property the struct-of-arrays core makes cheap), and shards share
+/// nothing, so aggregate throughput is bounded only by cores and by any
+/// per-wave blocking the server does.
+///
+/// Two workloads per thread count: `stall_us = 0` is pure CPU (on a
+/// single-core host this row is flat by construction — use it on multicore
+/// machines), and `stall_us = 200` adds a fixed simulated per-tenant
+/// blocking stall to each wave (write-ahead persistence, a downstream
+/// call…). Shards overlap stalls of different tenants, which is the
+/// scaling a sharded serving layer buys on any host. `scaling` is
+/// throughput relative to the 1-thread row of the same workload;
+/// `bytes_node` is `mem_bytes_hwm / mem_nodes` from the runtime's memory
+/// gauges — the per-node footprint of the struct-of-arrays columns.
+pub fn e14_serving(threads: &[usize], sessions: usize, waves: usize) -> Table {
+    const LEAVES: usize = 64;
+    const K: usize = 16;
+    let mut t = Table::new(
+        "E14 — sharded serving: sessions x batched edit waves on a SessionPool",
+        &[
+            "threads",
+            "stall_us",
+            "sessions",
+            "writes",
+            "elapsed_ms",
+            "kwrites_s",
+            "scaling",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "bytes_node",
+        ],
+    );
+    // One edit stream per tenant, replayed identically at every thread
+    // count so rows are comparable.
+    type EditStream = Vec<Vec<(usize, i64)>>;
+    let streams: Vec<Arc<EditStream>> = (0..sessions)
+        .map(|s| {
+            let mut r = workloads::rng(1400 + s as u64);
+            Arc::new(
+                (0..waves)
+                    .map(|_| {
+                        (0..K)
+                            .map(|_| (r.gen_range(0..LEAVES), r.gen_range(0..1024i64)))
+                            .collect()
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    for stall_us in [0u64, 200] {
+        let mut base_kwps = 0.0f64;
+        for &n in threads {
+            let pool = SessionPool::new(n);
+            for s in 0..sessions as u64 {
+                pool.insert(s, serve_session(1400 + s));
+            }
+            pool.flush();
+            let start = Instant::now();
+            for w in 0..waves {
+                for (s, stream) in streams.iter().enumerate() {
+                    let stream = Arc::clone(stream);
+                    pool.submit(s as u64, move |sess: &mut ServeSession| {
+                        let t0 = Instant::now();
+                        let vars = &sess.vars;
+                        sess.rt.batch(|tx| {
+                            for &(i, v) in &stream[w] {
+                                vars[i].set_in(tx, v);
+                            }
+                        });
+                        sess.rt.propagate();
+                        if stall_us > 0 {
+                            std::thread::sleep(std::time::Duration::from_micros(stall_us));
+                        }
+                        sess.lat_us.push(t0.elapsed().as_micros() as u64);
+                    });
+                }
+            }
+            pool.flush();
+            let elapsed = start.elapsed().as_secs_f64();
+            // Harvest latency samples and the memory gauges, then verify
+            // every session converged to its replayed edit stream.
+            let mut lat: Vec<u64> = Vec::with_capacity(sessions * waves);
+            let mut bytes_node = 0u64;
+            for s in 0..sessions as u64 {
+                let (samples, stats) = pool.query(s, |sess: &mut ServeSession| {
+                    (std::mem::take(&mut sess.lat_us), sess.rt.stats())
+                });
+                assert_eq!(samples.len(), waves, "every wave served");
+                lat.extend(samples);
+                if s == 0 {
+                    bytes_node = stats.mem_bytes_hwm / stats.mem_nodes.max(1);
+                }
+                let expect: i64 = {
+                    let mut leaves = vec![0i64; LEAVES];
+                    let mut r = workloads::rng(1400 + s);
+                    for l in leaves.iter_mut() {
+                        *l = r.gen_range(0..1024i64);
+                    }
+                    for wave in streams[s as usize].iter() {
+                        for &(i, v) in wave {
+                            leaves[i] = v;
+                        }
+                    }
+                    leaves.iter().sum()
+                };
+                let got = pool.query(s, |sess: &mut ServeSession| sess.total.call(&sess.rt, ()));
+                assert_eq!(got, expect, "session {s} diverged under the pool");
+            }
+            lat.sort_unstable();
+            let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+            let writes = sessions * waves * K;
+            let kwps = writes as f64 / elapsed / 1e3;
+            if base_kwps == 0.0 {
+                base_kwps = kwps;
+            }
+            t.row_strings(vec![
+                n.to_string(),
+                stall_us.to_string(),
+                sessions.to_string(),
+                writes.to_string(),
+                format!("{:.1}", elapsed * 1e3),
+                format!("{kwps:.0}"),
+                format!("{:.2}x", kwps / base_kwps),
+                pct(0.50).to_string(),
+                pct(0.95).to_string(),
+                pct(0.99).to_string(),
+                bytes_node.to_string(),
             ]);
         }
     }

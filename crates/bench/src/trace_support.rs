@@ -27,7 +27,7 @@
 //! constructed runtime.
 
 use alphonse::trace::{self, ActiveTrace, Provenance, TraceConfig};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Extracts `--<name> <value>` or `--<name>=<value>` from `args`, removing
 /// the consumed tokens so downstream positional parsing never sees them.
@@ -119,7 +119,7 @@ impl TraceSession {
     }
 
     /// The live causal index fed by this session.
-    pub fn provenance(&self) -> &Rc<Provenance> {
+    pub fn provenance(&self) -> &Arc<Provenance> {
         self.active.provenance()
     }
 

@@ -75,16 +75,45 @@ impl<'rt> Batch<'rt> {
     /// location within this batch replaces the buffered value.
     pub fn write(&mut self, n: NodeId, value: Box<dyn Value>) {
         self.submitted += 1;
+        match self.slot(n) {
+            None => {
+                self.pending.push((n, value));
+                self.slot_of[n.index()] = self.pending.len(); // slot + 1
+            }
+            Some(s) => self.pending[s].1 = value,
+        }
+    }
+
+    /// Buffers a write of `value` to location `n` without boxing when it
+    /// coalesces: if the location already has a buffered value of the same
+    /// concrete type, the new value is stored into the existing allocation.
+    /// [`Var::set_in`](crate::Var::set_in) routes through this, so a bulk
+    /// mutator that hammers a small set of locations allocates once per
+    /// *location*, not once per write.
+    pub(crate) fn write_typed<T: Value>(&mut self, n: NodeId, value: T) {
+        self.submitted += 1;
+        match self.slot(n) {
+            None => {
+                self.pending.push((n, Box::new(value)));
+                self.slot_of[n.index()] = self.pending.len(); // slot + 1
+            }
+            Some(s) => match self.pending[s].1.as_any_mut().downcast_mut::<T>() {
+                Some(old) => *old = value,
+                None => self.pending[s].1 = Box::new(value),
+            },
+        }
+    }
+
+    /// Index into `pending` for `n`'s buffered write, growing `slot_of` so
+    /// a subsequent insert can record itself without a second bounds check.
+    fn slot(&mut self, n: NodeId) -> Option<usize> {
         let i = n.index();
         if i >= self.slot_of.len() {
             self.slot_of.resize(i + 1, 0);
         }
         match self.slot_of[i] {
-            0 => {
-                self.pending.push((n, value));
-                self.slot_of[i] = self.pending.len(); // slot + 1
-            }
-            s => self.pending[s - 1].1 = value,
+            0 => None,
+            s => Some(s - 1),
         }
     }
 

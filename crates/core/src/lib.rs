@@ -61,6 +61,7 @@ mod batch;
 mod dirty;
 pub mod fxhash;
 mod memo;
+pub mod pool;
 mod runtime;
 mod stats;
 pub mod trace;
@@ -70,6 +71,7 @@ mod var;
 pub use batch::Batch;
 pub use dirty::Scheduling;
 pub use memo::{Memo, MemoArgs, MemoResult};
+pub use pool::SessionPool;
 pub use runtime::{NodeKind, Runtime, RuntimeBuilder, Strategy};
 pub use stats::Stats;
 pub use value::Value;

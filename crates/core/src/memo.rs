@@ -2,17 +2,19 @@
 
 use crate::fxhash::FxHashMap;
 use crate::runtime::{Executor, Runtime, Strategy};
-use crate::value::{downcast_box, downcast_ref, Value};
+use crate::value::{downcast_ref, Value};
 use alphonse_graph::NodeId;
-use std::cell::RefCell;
 use std::fmt;
 use std::hash::Hash;
-use std::rc::{Rc, Weak};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
 
 /// Bound required of memo argument vectors: they key the *argument table*
-/// of Section 4.2, so they must be hashable, comparable and clonable.
-pub trait MemoArgs: Eq + Hash + Clone + 'static {}
-impl<T: Eq + Hash + Clone + 'static> MemoArgs for T {}
+/// of Section 4.2, so they must be hashable, comparable and clonable —
+/// plus `Send + Sync`, because the argument vector is captured by the
+/// instance's re-execution closure and sessions move across threads.
+pub trait MemoArgs: Eq + Hash + Clone + Send + Sync + 'static {}
+impl<T: Eq + Hash + Clone + Send + Sync + 'static> MemoArgs for T {}
 
 /// Bound required of memo results: cached values participate in quiescence
 /// cutoff, so they must be comparable, and are handed out by clone.
@@ -26,7 +28,7 @@ struct Entry {
 }
 
 pub(crate) struct MemoInner<A, R> {
-    name: Rc<str>,
+    name: Arc<str>,
     strategy: Strategy,
     rt_id: u64,
     /// Maximum number of instance *values* kept live (paper Section 3.3:
@@ -34,14 +36,47 @@ pub(crate) struct MemoInner<A, R> {
     /// size, and the replacement algorithm"). `None` = unbounded.
     capacity: Option<usize>,
     #[allow(clippy::type_complexity)]
-    f: Box<dyn Fn(&Runtime, &A) -> R>,
+    f: Box<dyn Fn(&Runtime, &A) -> R + Send + Sync>,
     /// The paper's *argument table* (Section 4.2): one dependency-graph node
     /// per distinct argument vector. FxHash-keyed: probed on every call.
-    table: RefCell<FxHashMap<A, Entry>>,
-    /// Logical clock for LRU stamps.
-    clock: std::cell::Cell<u64>,
+    /// Locked with the same single-thread discipline as the runtime's own
+    /// state (sessions are `Send`, not `Sync`), so the lock is uncontended;
+    /// it is scoped tightly in `settle` so body re-execution — which may
+    /// recursively call back into this memo — never holds it.
+    table: Mutex<Table<A>>,
+    /// Single-instance shortcut for zero-sized argument types: an inhabited
+    /// ZST has exactly one value, so the argument table holds at most one
+    /// entry. Its node is published here by the first call; every later
+    /// call is one atomic load instead of a table lock plus LRU stamp.
+    single: OnceLock<NodeId>,
     /// Values dropped by the replacement policy so far.
-    evictions: std::cell::Cell<u64>,
+    evictions: AtomicU64,
+}
+
+/// The guarded argument-table state: the instance map plus the logical
+/// clock for LRU stamps (advanced under the same lock as the probe that
+/// uses it, so stamping costs no extra atomic).
+struct Table<A> {
+    map: FxHashMap<A, Entry>,
+    clock: u64,
+}
+
+impl<A> Default for Table<A> {
+    fn default() -> Self {
+        Table {
+            map: FxHashMap::default(),
+            clock: 0,
+        }
+    }
+}
+
+impl<A, R> MemoInner<A, R> {
+    /// Locks the argument table; a poisoned lock (panic unwound out of a
+    /// memo operation) is entered anyway, matching the runtime's
+    /// unspecified-but-memory-safe post-panic contract.
+    fn table(&self) -> MutexGuard<'_, Table<A>> {
+        self.table.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// An incremental procedure: a function whose calls are cached per argument
@@ -69,13 +104,13 @@ pub(crate) struct MemoInner<A, R> {
 /// assert_eq!(scaled.call(&rt, 3), 3); // recomputed
 /// ```
 pub struct Memo<A, R> {
-    inner: Rc<MemoInner<A, R>>,
+    inner: Arc<MemoInner<A, R>>,
 }
 
 impl<A, R> Clone for Memo<A, R> {
     fn clone(&self) -> Self {
         Memo {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
         }
     }
 }
@@ -85,7 +120,7 @@ impl<A, R> fmt::Debug for Memo<A, R> {
         f.debug_struct("Memo")
             .field("name", &self.inner.name)
             .field("strategy", &self.inner.strategy)
-            .field("instances", &self.inner.table.borrow().len())
+            .field("instances", &self.inner.table().map.len())
             .finish()
     }
 }
@@ -100,7 +135,7 @@ impl Runtime {
     pub fn memo<A: MemoArgs, R: MemoResult>(
         &self,
         name: &str,
-        f: impl Fn(&Runtime, &A) -> R + 'static,
+        f: impl Fn(&Runtime, &A) -> R + Send + Sync + 'static,
     ) -> Memo<A, R> {
         self.memo_with(name, Strategy::Demand, f)
     }
@@ -111,18 +146,18 @@ impl Runtime {
         &self,
         name: &str,
         strategy: Strategy,
-        f: impl Fn(&Runtime, &A) -> R + 'static,
+        f: impl Fn(&Runtime, &A) -> R + Send + Sync + 'static,
     ) -> Memo<A, R> {
         Memo {
-            inner: Rc::new(MemoInner {
-                name: Rc::from(name),
+            inner: Arc::new(MemoInner {
+                name: Arc::from(name),
                 strategy,
                 rt_id: self.id,
                 capacity: None,
                 f: Box::new(f),
-                table: RefCell::new(FxHashMap::default()),
-                clock: std::cell::Cell::new(0),
-                evictions: std::cell::Cell::new(0),
+                table: Mutex::new(Table::default()),
+                single: OnceLock::new(),
+                evictions: AtomicU64::new(0),
             }),
         }
     }
@@ -144,19 +179,19 @@ impl Runtime {
         name: &str,
         strategy: Strategy,
         capacity: usize,
-        f: impl Fn(&Runtime, &A) -> R + 'static,
+        f: impl Fn(&Runtime, &A) -> R + Send + Sync + 'static,
     ) -> Memo<A, R> {
         assert!(capacity > 0, "memo cache capacity must be positive");
         Memo {
-            inner: Rc::new(MemoInner {
-                name: Rc::from(name),
+            inner: Arc::new(MemoInner {
+                name: Arc::from(name),
                 strategy,
                 rt_id: self.id,
                 capacity: Some(capacity),
                 f: Box::new(f),
-                table: RefCell::new(FxHashMap::default()),
-                clock: std::cell::Cell::new(0),
-                evictions: std::cell::Cell::new(0),
+                table: Mutex::new(Table::default()),
+                single: OnceLock::new(),
+                evictions: AtomicU64::new(0),
             }),
         }
     }
@@ -180,7 +215,7 @@ impl Runtime {
     pub fn memo_recursive<A: MemoArgs, R: MemoResult>(
         &self,
         name: &str,
-        f: impl Fn(&Runtime, &Memo<A, R>, &A) -> R + 'static,
+        f: impl Fn(&Runtime, &Memo<A, R>, &A) -> R + Send + Sync + 'static,
     ) -> Memo<A, R> {
         self.memo_recursive_with(name, Strategy::Demand, f)
     }
@@ -190,11 +225,11 @@ impl Runtime {
         &self,
         name: &str,
         strategy: Strategy,
-        f: impl Fn(&Runtime, &Memo<A, R>, &A) -> R + 'static,
+        f: impl Fn(&Runtime, &Memo<A, R>, &A) -> R + Send + Sync + 'static,
     ) -> Memo<A, R> {
-        let name: Rc<str> = Rc::from(name);
+        let name: Arc<str> = Arc::from(name);
         let rt_id = self.id;
-        let inner = Rc::new_cyclic(|weak: &Weak<MemoInner<A, R>>| {
+        let inner = Arc::new_cyclic(|weak: &Weak<MemoInner<A, R>>| {
             let weak = weak.clone();
             MemoInner {
                 name,
@@ -207,9 +242,9 @@ impl Runtime {
                     };
                     f(rt, &me, a)
                 }),
-                table: RefCell::new(FxHashMap::default()),
-                clock: std::cell::Cell::new(0),
-                evictions: std::cell::Cell::new(0),
+                table: Mutex::new(Table::default()),
+                single: OnceLock::new(),
+                evictions: AtomicU64::new(0),
             }
         });
         Memo { inner }
@@ -229,7 +264,7 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
 
     /// Number of distinct argument vectors instantiated so far.
     pub fn instance_count(&self) -> usize {
-        self.inner.table.borrow().len()
+        self.inner.table().map.len()
     }
 
     /// Calls the procedure — the paper's instrumented `call` operation
@@ -248,8 +283,8 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
     /// Panics if `rt` is not the runtime the memo was defined in, or if the
     /// computation turns out to be cyclic (paper restriction DET).
     pub fn call(&self, rt: &Runtime, args: A) -> R {
-        let node = self.settle(rt, args);
-        self.finish(rt, node, R::clone)
+        let (node, begun) = self.settle(rt, args);
+        self.finish(rt, node, begun, R::clone)
     }
 
     /// Calls the procedure and hands the result to `f` by reference instead
@@ -258,9 +293,9 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
     ///
     /// Dependence recording, cache consultation and re-execution are
     /// identical to [`Memo::call`]; only the final hand-off differs. On a
-    /// cache hit no clone of `R` happens at all. The runtime is borrowed
-    /// while `f` runs: the closure must not write tracked state, call memos
-    /// or run propagation, or the underlying `RefCell` panics.
+    /// cache hit no clone of `R` happens at all. The runtime is internally
+    /// locked while `f` runs: the closure must not re-enter runtime
+    /// operations, or the fail-stop re-entrancy check panics.
     ///
     /// # Example
     ///
@@ -279,38 +314,53 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
     ///
     /// As for [`Memo::call`].
     pub fn call_with<O>(&self, rt: &Runtime, args: A, f: impl FnOnce(&R) -> O) -> O {
-        let node = self.settle(rt, args);
-        self.finish(rt, node, f)
+        let (node, begun) = self.settle(rt, args);
+        self.finish(rt, node, begun, f)
     }
 
     /// Steps 1–2 of Algorithm 5: argument-table lookup (instantiating on a
-    /// miss) and pre-call evaluation of pending changes.
-    fn settle(&self, rt: &Runtime, args: A) -> NodeId {
+    /// miss). Returns the instance node plus, for a just-created instance,
+    /// its already-booked first execution (a fresh instance cannot be a
+    /// cache hit and has no pending changes to settle, so
+    /// [`Runtime::alloc_comp_begun`] books the execution inside the
+    /// allocation's own lock and [`Memo::finish`] skips the cache probe).
+    /// The call/probe counters are tallied inside the allocation /
+    /// pre-call paths, sharing their existing lock acquisitions.
+    fn settle(&self, rt: &Runtime, args: A) -> (NodeId, Option<(Executor, u64)>) {
         assert_eq!(
             self.inner.rt_id, rt.id,
             "Memo {:?} used with a different Runtime than it was defined in",
             self.inner.name
         );
-        rt.note_call();
-        rt.note_probe();
-        let stamp = self.inner.clock.get() + 1;
-        self.inner.clock.set(stamp);
-        let mut created = false;
+        // Single-instance fast path: once the sole instance of a
+        // zero-sized argument type is published, the whole settle step is
+        // one atomic load (LRU stamps are pointless with one entry).
+        if std::mem::size_of::<A>() == 0 {
+            if let Some(&node) = self.inner.single.get() {
+                return (node, None);
+            }
+        }
+        let mut begun = None;
         let node = {
-            let mut table = self.inner.table.borrow_mut();
-            match table.get_mut(&args) {
+            let mut table = self.inner.table();
+            table.clock += 1;
+            let stamp = table.clock;
+            match table.map.get_mut(&args) {
                 Some(entry) => {
                     entry.last_use = stamp;
                     entry.node
                 }
                 None => {
-                    created = true;
-                    let inner = Rc::clone(&self.inner);
+                    let inner = Arc::clone(&self.inner);
                     let a = args.clone();
-                    let executor: Executor = Rc::new(move |rt| Box::new((inner.f)(rt, &a)));
-                    let n =
-                        rt.alloc_comp(Rc::clone(&self.inner.name), self.inner.strategy, executor);
-                    table.insert(
+                    let executor: Executor = Arc::new(move |rt| Box::new((inner.f)(rt, &a)));
+                    let (n, executor, my_gen) = rt.alloc_comp_begun(
+                        Arc::clone(&self.inner.name),
+                        self.inner.strategy,
+                        executor,
+                    );
+                    begun = Some((executor, my_gen));
+                    table.map.insert(
                         args,
                         Entry {
                             node: n,
@@ -321,19 +371,32 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
                 }
             }
         };
-        if created {
+        if begun.is_some() {
             self.enforce_capacity(rt, node);
         }
-        if !created {
-            rt.evaluate_before_call(node);
+        if std::mem::size_of::<A>() == 0 {
+            let _ = self.inner.single.set(node);
         }
-        node
+        (node, begun)
     }
 
     /// Steps 3–4 of Algorithm 5: consult the cache, re-execute on a miss,
     /// record the caller's dependence, and hand the typed result to `f`
     /// in place (no `Box`, and no clone unless `f` itself clones).
-    fn finish<O>(&self, rt: &Runtime, node: NodeId, f: impl FnOnce(&R) -> O) -> O {
+    fn finish<O>(
+        &self,
+        rt: &Runtime,
+        node: NodeId,
+        begun: Option<(Executor, u64)>,
+        f: impl FnOnce(&R) -> O,
+    ) -> O {
+        // A just-created instance cannot hit and its execution is already
+        // booked ([`Memo::settle`]): run it to completion directly.
+        if let Some((executor, my_gen)) = begun {
+            return rt.finish_exec_recording(node, &executor, my_gen, |v| {
+                f(downcast_ref::<R>(v, self.name()))
+            });
+        }
         // `f` runs at most once; the Option lets the consistent-cache
         // closure and the post-execution paths share it.
         let mut f = Some(f);
@@ -344,28 +407,20 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
         // AVL balance method (Section 7.3) would otherwise transiently pair
         // a stale caller→callee edge with the fresh callee→caller one and
         // trip cycle detection.
-        let hit = rt.with_cached_if_consistent(node, |v| {
+        let hit = rt.precall_cached(node, |v| {
             (f.take().expect("first use of f"))(downcast_ref::<R>(v, self.name()))
         });
         if let Some(out) = hit {
-            rt.record_dependence(node);
             return out;
         }
-        let (uncommitted, _) = rt.execute_node(node);
-        rt.record_dependence(node);
         let f = f.take().expect("cache miss: f not yet used");
-        match uncommitted {
-            // Superseded re-entrant execution: its value was handed back
-            // instead of committed; consume the box directly.
-            Some(v) => f(&downcast_box::<R>(v, self.name())),
-            None => rt.with_comp_value(node, |v| f(downcast_ref::<R>(v, self.name()))),
-        }
+        rt.execute_recording(node, |v| f(downcast_ref::<R>(v, self.name())))
     }
 
     /// The dependency-graph node for a given argument vector, if that
     /// instance exists.
     pub fn instance_node(&self, args: &A) -> Option<NodeId> {
-        self.inner.table.borrow().get(args).map(|e| e.node)
+        self.inner.table().map.get(args).map(|e| e.node)
     }
 
     /// Cache capacity, if bounded.
@@ -375,7 +430,7 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
 
     /// Number of values dropped by the replacement policy so far.
     pub fn evictions(&self) -> u64 {
-        self.inner.evictions.get()
+        self.inner.evictions.load(Ordering::Relaxed)
     }
 
     /// Drops least-recently-used cached values until at most `capacity`
@@ -387,8 +442,9 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
         let Some(capacity) = self.inner.capacity else {
             return;
         };
-        let table = self.inner.table.borrow();
+        let table = self.inner.table();
         let mut live: Vec<(u64, NodeId)> = table
+            .map
             .values()
             .filter(|e| {
                 e.node != just_created && rt.node_has_value(e.node) && !rt.node_on_stack(e.node)
@@ -404,7 +460,7 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
         live.sort_unstable();
         for &(_, node) in live.iter().take(over) {
             rt.evict_value(node);
-            self.inner.evictions.set(self.inner.evictions.get() + 1);
+            self.inner.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -452,21 +508,25 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn caches_per_argument_vector() {
         let rt = Runtime::new();
-        let runs = Rc::new(Cell::new(0u32));
-        let r2 = Rc::clone(&runs);
+        let runs = Arc::new(AtomicU32::new(0));
+        let r2 = Arc::clone(&runs);
         let double = rt.memo("double", move |_rt, x: &i64| {
-            r2.set(r2.get() + 1);
+            r2.fetch_add(1, Ordering::Relaxed);
             x * 2
         });
         assert_eq!(double.call(&rt, 4), 8);
         assert_eq!(double.call(&rt, 4), 8);
         assert_eq!(double.call(&rt, 5), 10);
-        assert_eq!(runs.get(), 2, "one execution per distinct argument");
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            2,
+            "one execution per distinct argument"
+        );
         assert_eq!(double.instance_count(), 2);
     }
 
@@ -484,16 +544,16 @@ mod tests {
     fn unchanged_write_is_cutoff() {
         let rt = Runtime::new();
         let base = rt.var(1i64);
-        let runs = Rc::new(Cell::new(0u32));
-        let r2 = Rc::clone(&runs);
+        let runs = Arc::new(AtomicU32::new(0));
+        let r2 = Arc::clone(&runs);
         let probe = rt.memo("probe", move |rt, &(): &()| {
-            r2.set(r2.get() + 1);
+            r2.fetch_add(1, Ordering::Relaxed);
             base.get(rt)
         });
         probe.call(&rt, ());
         base.set(&rt, 1); // same value: no dirtying
         probe.call(&rt, ());
-        assert_eq!(runs.get(), 1);
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
     }
 
     #[test]

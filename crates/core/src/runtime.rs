@@ -8,6 +8,15 @@
 //! [`Memo::call`](crate::Memo::call), and the evaluation routine of
 //! Section 4.5 is [`Runtime::propagate`] plus the internal evaluation that
 //! runs before incremental calls.
+//!
+//! # Memory layout
+//!
+//! Per-node state is stored struct-of-arrays: the evaluator's hot loop only
+//! touches the dense `values` / `flags` / `gens` / `last_accessed` vectors
+//! (all indexed by `NodeId::index()`), while cold bookkeeping — diagnostic
+//! names, executor closures, re-entrant stack depths — lives in out-of-line
+//! side tables that propagation never reads. See DESIGN.md ("Memory
+//! layout") for the full picture.
 
 use crate::dirty::{DirtySet, Scheduling};
 use crate::fxhash::FxHashMap;
@@ -17,10 +26,9 @@ use crate::trace::TraceEvent;
 use crate::trace::{DirtyReason, GraphSnapshot, SnapshotNode, TraceSink};
 use crate::value::Value;
 use alphonse_graph::{DepGraph, NodeId, UnionFind};
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
 static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
 
@@ -29,13 +37,13 @@ static NEXT_RUNTIME_ID: AtomicU64 = AtomicU64::new(1);
 /// The event expression is only evaluated inside the sink-present branch, so
 /// with no sink each site costs a single untaken, well-predicted branch;
 /// without the `trace` feature the sites compile out entirely. The sink is
-/// cloned out of the slot first (an `Rc` bump) so the event may borrow the
+/// cloned out of the slot first (an `Arc` bump) so the event may borrow the
 /// same `Inner` the slot lives in.
 macro_rules! emit {
     ($inner:expr, $ev:expr) => {
         #[cfg(feature = "trace")]
         {
-            if let Some(sink) = $inner.sink.as_ref().map(Rc::clone) {
+            if let Some(sink) = $inner.sink.as_ref().map(Arc::clone) {
                 sink.event(&$ev);
             }
         }
@@ -43,8 +51,9 @@ macro_rules! emit {
 }
 
 /// The re-execution closure of an incremental procedure instance: runs the
-/// body against the runtime and returns the fresh cached value.
-pub(crate) type Executor = Rc<dyn Fn(&Runtime) -> Box<dyn Value>>;
+/// body against the runtime and returns the fresh cached value. `Send +
+/// Sync` so a session owning the closure can move between threads.
+pub(crate) type Executor = Arc<dyn Fn(&Runtime) -> Box<dyn Value> + Send + Sync>;
 
 /// Evaluation strategy of an incremental procedure (paper Section 3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -69,30 +78,25 @@ pub enum NodeKind {
     Computation,
 }
 
-pub(crate) struct CompState {
-    pub(crate) consistent: bool,
-    pub(crate) strategy: Strategy,
-    pub(crate) executor: Executor,
-    /// Number of executions of this node currently on the call stack.
-    /// Greater than 1 when a procedure re-entrantly re-executes while an
-    /// older execution of it is still running — the paper's AVL `balance`
-    /// does this after a rotation (Section 7.3).
-    pub(crate) on_stack: u32,
-    /// Set when the evaluator wanted to re-execute this eager node while it
-    /// was still running; it is re-queued when the execution finishes.
-    pub(crate) requeue: bool,
-    /// Generation stamp of the most recently *started* execution. An
-    /// execution only commits its value to the cache if it is still the
-    /// latest when it finishes; superseded (outer, stale) executions hand
-    /// their value to their caller but leave the cache to the fresher run.
-    pub(crate) cur_gen: u64,
-}
+// Packed per-node flag bits, one byte per node in `Inner::flags`. The
+// evaluator's decision per dirty node ("location or computation? demand or
+// eager? consistent? mid-execution?") reads exactly one byte instead of
+// walking an `Option<CompState>` indirection.
 
-pub(crate) struct NodeData {
-    pub(crate) value: Option<Box<dyn Value>>,
-    pub(crate) comp: Option<CompState>,
-    pub(crate) name: Option<Rc<str>>,
-}
+/// Set iff the node is an incremental procedure instance (else: location).
+const F_COMP: u8 = 1 << 0;
+/// The paper's consistency bit (computations only; locations are always
+/// consistent by definition).
+const F_CONSISTENT: u8 = 1 << 1;
+/// Strategy bit: set = `Strategy::Eager`, clear = `Strategy::Demand`.
+const F_EAGER: u8 = 1 << 2;
+/// The evaluator wanted to re-execute this eager node while it was still
+/// running; it is re-queued when the execution finishes.
+const F_REQUEUE: u8 = 1 << 3;
+/// At least one execution of this node is currently on the call stack.
+/// Depth beyond one (the paper's AVL `balance` re-entrancy, Section 7.3) is
+/// rare and tracked out of line in `Inner::deep_stack`.
+const F_ON_STACK: u8 = 1 << 4;
 
 /// Buffered batch writes: one `(location, final value)` entry per distinct
 /// written location, in first-write order.
@@ -128,7 +132,38 @@ enum DirtyStore {
 
 pub(crate) struct Inner {
     graph: DepGraph,
-    nodes: Vec<NodeData>,
+    // ------------------------------------------------------------------
+    // Hot struct-of-arrays node state, all indexed by `NodeId::index()`.
+    // These are the only per-node columns propagation touches.
+    // ------------------------------------------------------------------
+    /// Dense value slab: the cached value of each location / computation.
+    values: Vec<Option<Box<dyn Value>>>,
+    /// Packed per-node flag bits (`F_*` constants above).
+    flags: Vec<u8>,
+    /// Generation stamp of the most recently *started* execution of each
+    /// computation node. An execution only commits its value to the cache
+    /// if it is still the latest when it finishes; superseded (outer,
+    /// stale) executions hand their value to their caller but leave the
+    /// cache to the fresher run.
+    gens: Vec<u64>,
+    /// Frame-epoch stamp per node: the epoch of the execution frame that
+    /// most recently recorded a dependence on the node. Epoch 0 is reserved
+    /// for "never accessed". Epochs are globally unique per frame, so a
+    /// stale stamp can never be mistaken for the current frame's.
+    last_accessed: Vec<u64>,
+    /// Re-execution closure of each computation node (`None` for
+    /// variables). A dense column rather than a side table: the executor
+    /// is fetched on *every* execution, and at graph sizes past the cache
+    /// a hash probe per execution is a guaranteed random miss.
+    executors: Vec<Option<Executor>>,
+    // ------------------------------------------------------------------
+    // Cold out-of-line side tables, keyed by `NodeId::index()` as u32.
+    // ------------------------------------------------------------------
+    /// Diagnostic labels (memo names, `var_named`, `set_label`).
+    names: FxHashMap<u32, Arc<str>>,
+    /// Extra on-stack depth beyond 1 for re-entrantly executing nodes;
+    /// an entry `d` means total depth `1 + d`. Empty in steady state.
+    deep_stack: FxHashMap<u32, u32>,
     stack: Vec<Frame>,
     dirty: DirtyStore,
     partition: Option<UnionFind>,
@@ -141,12 +176,6 @@ pub(crate) struct Inner {
     /// [`Runtime::reset_stats`].
     wave: u64,
     exec_gen: u64,
-    /// Frame-epoch stamp per node (indexed by dense `NodeId`): the epoch of
-    /// the execution frame that most recently recorded a dependence on the
-    /// node. Epoch 0 is reserved for "never accessed". Epochs are globally
-    /// unique per frame, so a stale stamp can never be mistaken for the
-    /// current frame's.
-    last_accessed: Vec<u64>,
     /// Epoch of the most recently started execution frame.
     frame_epoch: u64,
     /// Reusable buffer for successor fan-out during propagation. Taken and
@@ -162,7 +191,7 @@ pub(crate) struct Inner {
     /// Installed trace sink ([`crate::trace`]). `None` — the default — keeps
     /// every emission site down to one untaken branch.
     #[cfg(feature = "trace")]
-    sink: Option<Rc<dyn TraceSink>>,
+    sink: Option<Arc<dyn TraceSink>>,
     stats: Stats,
 }
 
@@ -226,9 +255,15 @@ impl RuntimeBuilder {
             DirtyStore::Global(DirtySet::new(self.scheduling))
         };
         Runtime {
-            inner: Rc::new(RefCell::new(Inner {
+            inner: Arc::new(Mutex::new(Inner {
                 graph: DepGraph::new(),
-                nodes: Vec::new(),
+                values: Vec::new(),
+                flags: Vec::new(),
+                gens: Vec::new(),
+                last_accessed: Vec::new(),
+                executors: Vec::new(),
+                names: FxHashMap::default(),
+                deep_stack: FxHashMap::default(),
                 stack: Vec::new(),
                 dirty,
                 partition: self.partitioning.then(UnionFind::new),
@@ -237,7 +272,6 @@ impl RuntimeBuilder {
                 evaluating: false,
                 wave: 0,
                 exec_gen: 0,
-                last_accessed: Vec::new(),
                 frame_epoch: 0,
                 succ_scratch: Vec::new(),
                 batch_pending: Vec::new(),
@@ -246,6 +280,7 @@ impl RuntimeBuilder {
                 sink: crate::trace::default_sink(),
                 stats: Stats::default(),
             })),
+            exec_depth: Arc::new(AtomicU32::new(0)),
             id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -255,9 +290,19 @@ impl RuntimeBuilder {
 ///
 /// A `Runtime` owns the dependency graph, the call stack of executing
 /// incremental procedure instances, the inconsistent set(s), and all cached
-/// values. It is a cheap handle (`Clone` shares the same underlying state)
-/// and is single-threaded by design — the paper's evaluator is sequential
-/// and lists parallel execution as future work.
+/// values. It is a cheap handle (`Clone` shares the same underlying state).
+///
+/// A session is a `Send` value: a whole runtime — including every handle
+/// cloned from it — may be *moved* to another thread, which is what
+/// [`crate::pool::SessionPool`] does to shard tenants over a fixed set of
+/// worker threads. The supported concurrency model is **one thread at a
+/// time**: the paper's evaluator is sequential and lists parallel execution
+/// of a *single* dependency graph as future work, so invoking operations on
+/// one runtime from two threads at once is a program error and trips the
+/// same fail-stop re-entrancy check as a sink calling back into the runtime
+/// (the internal lock is acquired with `try_lock`, never by blocking).
+/// Cross-session parallelism needs no such machinery because independent
+/// runtimes share nothing.
 ///
 /// # Example
 ///
@@ -283,16 +328,23 @@ impl RuntimeBuilder {
 /// be reused afterwards.
 #[derive(Clone)]
 pub struct Runtime {
-    pub(crate) inner: Rc<RefCell<Inner>>,
+    pub(crate) inner: Arc<Mutex<Inner>>,
+    /// Incremental call-stack depth, shadowed outside the lock so
+    /// [`Runtime::in_tracked_context`] — the gate embedded hosts consult on
+    /// *every* untracked location read (Section 6.1) — costs one atomic
+    /// load instead of a lock round-trip. Updated only while the lock is
+    /// held (at frame push/pop), and the runtime is not `Sync`, so a
+    /// relaxed load always observes the current thread's latest update.
+    exec_depth: Arc<AtomicU32>,
     pub(crate) id: u64,
 }
 
 impl fmt::Debug for Runtime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         f.debug_struct("Runtime")
             .field("id", &self.id)
-            .field("nodes", &inner.nodes.len())
+            .field("nodes", &inner.values.len())
             .field("edges", &inner.graph.edge_count())
             .field("dirty", &inner.dirty_len())
             .finish()
@@ -311,6 +363,54 @@ impl Inner {
             DirtyStore::Global(s) => s.len(),
             DirtyStore::Partitioned(m) => m.values().map(DirtySet::len).sum(),
         }
+    }
+
+    /// The diagnostic label of `n`, for error messages.
+    fn name_of(&self, n: NodeId) -> &str {
+        self.names
+            .get(&(n.index() as u32))
+            .map(|s| &**s)
+            .unwrap_or("<unnamed>")
+    }
+
+    /// Bumps the on-stack depth of node `i`. Depth 1 lives in the flag
+    /// byte; deeper re-entrancy spills to the `deep_stack` side table.
+    fn on_stack_inc(&mut self, i: usize) {
+        if self.flags[i] & F_ON_STACK == 0 {
+            self.flags[i] |= F_ON_STACK;
+        } else {
+            *self.deep_stack.entry(i as u32).or_insert(0) += 1;
+        }
+    }
+
+    /// Drops the on-stack depth of node `i`, clearing the flag at zero.
+    fn on_stack_dec(&mut self, i: usize) {
+        match self.deep_stack.get_mut(&(i as u32)) {
+            Some(d) if *d == 1 => {
+                self.deep_stack.remove(&(i as u32));
+            }
+            Some(d) => *d -= 1,
+            None => {
+                debug_assert!(self.flags[i] & F_ON_STACK != 0, "on_stack underflow");
+                self.flags[i] &= !F_ON_STACK;
+            }
+        }
+    }
+
+    /// Approximate heap bytes held by the dependency graph plus the SoA
+    /// node columns and side tables, from vector capacities. Feeds the
+    /// `mem_bytes_hwm` gauge and E14's memory-per-node metric.
+    fn approx_bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let values = self.values.capacity() * size_of::<Option<Box<dyn Value>>>();
+        let flags = self.flags.capacity();
+        let gens = self.gens.capacity() * size_of::<u64>();
+        let last = self.last_accessed.capacity() * size_of::<u64>();
+        let execs = self.executors.capacity() * size_of::<Option<Executor>>();
+        // Side tables charged per entry (hash-map overhead not modeled).
+        let names = self.names.len() * size_of::<(u32, Arc<str>)>();
+        let deep = self.deep_stack.len() * size_of::<(u32, u32)>();
+        self.graph.approx_bytes() + (values + flags + gens + last + names + execs + deep) as u64
     }
 
     /// Inserts `n` into the inconsistent set of its partition. `cause` is
@@ -377,6 +477,7 @@ impl Inner {
         let v = frame.node;
         self.graph.add_edge(n, v);
         self.stats.edges_created += 1;
+        self.stats.mem_edges_hwm = self.stats.mem_edges_hwm.max(self.graph.edge_count() as u64);
         emit!(self, TraceEvent::EdgeAdded { from: n, to: v });
         assert!(
             !self.graph.cycle_suspected(),
@@ -384,7 +485,7 @@ impl Inner {
              deterministic and acyclic (paper restriction DET)",
             n,
             v,
-            self.nodes[v.index()].name.as_deref().unwrap_or("<unnamed>"),
+            self.name_of(v),
         );
         if let Some(uf) = self.partition.as_mut() {
             uf.ensure(n);
@@ -425,13 +526,13 @@ impl Inner {
     /// location's readers when the value actually changed.
     fn write_location(&mut self, n: NodeId, value: Box<dyn Value>) {
         self.record_dependence(n);
-        let nd = &mut self.nodes[n.index()];
-        debug_assert!(nd.comp.is_none(), "write on a computation node");
-        let (changed, compared) = match &nd.value {
+        let i = n.index();
+        debug_assert!(self.flags[i] & F_COMP == 0, "write on a computation node");
+        let (changed, compared) = match &self.values[i] {
             Some(old) => (!old.dyn_eq(&*value), true),
             None => (true, false),
         };
-        nd.value = Some(value);
+        self.values[i] = Some(value);
         if compared {
             self.stats.comparisons += 1;
         }
@@ -456,24 +557,43 @@ impl Inner {
         }
     }
 
-    fn alloc_node(&mut self, data: NodeData) -> NodeId {
+    /// Appends one node to every SoA column (and the side tables it needs).
+    fn alloc_node(
+        &mut self,
+        value: Option<Box<dyn Value>>,
+        comp: Option<(Strategy, Executor)>,
+        name: Option<Arc<str>>,
+    ) -> NodeId {
         let n = self.graph.add_node();
-        debug_assert_eq!(n.index(), self.nodes.len());
+        debug_assert_eq!(n.index(), self.values.len());
         #[cfg(feature = "trace")]
         let (kind, label) = (
-            if data.comp.is_some() {
+            if comp.is_some() {
                 NodeKind::Computation
             } else {
                 NodeKind::Location
             },
-            data.name.clone(),
+            name.clone(),
         );
-        self.nodes.push(data);
+        let flags = match &comp {
+            None => 0,
+            Some((Strategy::Demand, _)) => F_COMP,
+            Some((Strategy::Eager, _)) => F_COMP | F_EAGER,
+        };
+        self.values.push(value);
+        self.flags.push(flags);
+        self.gens.push(0);
         self.last_accessed.push(0);
+        self.executors.push(comp.map(|(_, executor)| executor));
+        if let Some(name) = name {
+            self.names.insert(n.index() as u32, name);
+        }
         if let Some(uf) = self.partition.as_mut() {
             uf.ensure(n);
         }
         self.stats.nodes_created += 1;
+        self.stats.mem_nodes += 1;
+        self.stats.mem_bytes_hwm = self.stats.mem_bytes_hwm.max(self.approx_bytes());
         emit!(
             self,
             TraceEvent::NodeCreated {
@@ -494,6 +614,27 @@ enum Step {
 }
 
 impl Runtime {
+    /// Acquires the internal state lock. A session is used from one thread
+    /// at a time, so the lock can only be unavailable when a runtime
+    /// operation is re-entered — by a closure that runs under the lock (a
+    /// `Var::with` body, a trace sink) or by a second thread misusing one
+    /// session concurrently. `try_lock` keeps the `RefCell` fail-stop
+    /// diagnostics for both cases instead of deadlocking. A poisoned lock
+    /// (a panic unwound out of a runtime operation) is entered anyway: the
+    /// documented contract already declares the runtime
+    /// unspecified-but-memory-safe after a panic.
+    #[inline]
+    pub(crate) fn lock(&self) -> MutexGuard<'_, Inner> {
+        match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(TryLockError::WouldBlock) => panic!(
+                "runtime re-entered while internally locked: closures run by Var::with, \
+                 with_value and trace sinks must not call back into runtime operations"
+            ),
+        }
+    }
+
     /// Creates a runtime with default configuration (no partitioning,
     /// height-order scheduling, edge deduplication on).
     pub fn new() -> Self {
@@ -508,29 +649,49 @@ impl Runtime {
     /// Returns `true` if this runtime maintains per-partition inconsistent
     /// sets (Section 6.3).
     pub fn is_partitioned(&self) -> bool {
-        self.inner.borrow().partition.is_some()
+        self.lock().partition.is_some()
     }
 
     /// The dirty-node draining order in use.
     pub fn scheduling(&self) -> Scheduling {
-        self.inner.borrow().scheduling
+        self.lock().scheduling
     }
 
     /// A snapshot of the work counters.
     pub fn stats(&self) -> Stats {
-        self.inner.borrow().stats
+        let mut inner = self.lock();
+        // Refresh the byte gauge so callers see growth since the last
+        // allocation (side tables and scratch buffers grow on other paths).
+        let bytes = inner.approx_bytes();
+        inner.stats.mem_bytes_hwm = inner.stats.mem_bytes_hwm.max(bytes);
+        inner.stats
     }
 
     /// Resets all work counters to zero.
     pub fn reset_stats(&self) {
-        self.inner.borrow_mut().stats = Stats::default();
+        self.lock().stats = Stats::default();
+    }
+
+    /// Current approximate memory footprint as `(nodes, live_edges,
+    /// approx_bytes)`. Bytes cover the dependency graph arena, the SoA node
+    /// columns and the cold side tables, from vector capacities; E14's
+    /// memory-per-node metric is `approx_bytes / nodes`.
+    pub fn memory_footprint(&self) -> (u64, u64, u64) {
+        let mut inner = self.lock();
+        let bytes = inner.approx_bytes();
+        inner.stats.mem_bytes_hwm = inner.stats.mem_bytes_hwm.max(bytes);
+        (
+            inner.graph.node_count() as u64,
+            inner.graph.edge_count() as u64,
+            bytes,
+        )
     }
 
     /// Total propagation waves run since the runtime was built. Unlike
     /// [`Stats::waves`] this is never reset, so it matches the `wave` ids
     /// stamped on [`crate::trace::TraceEvent::PropagateBegin`] events.
     pub fn waves(&self) -> u64 {
-        self.inner.borrow().wave
+        self.lock().wave
     }
 
     // ------------------------------------------------------------------
@@ -539,19 +700,19 @@ impl Runtime {
 
     /// Installs `sink` as this runtime's trace sink, returning the previous
     /// one; pass `None` to detach. Events are delivered synchronously while
-    /// the runtime is internally borrowed — see [`crate::trace`] for the
+    /// the runtime is internally locked — see [`crate::trace`] for the
     /// sink contract (in short: a sink must never re-enter runtime
     /// operations).
     #[cfg(feature = "trace")]
-    pub fn set_sink(&self, sink: Option<Rc<dyn TraceSink>>) -> Option<Rc<dyn TraceSink>> {
-        std::mem::replace(&mut self.inner.borrow_mut().sink, sink)
+    pub fn set_sink(&self, sink: Option<Arc<dyn TraceSink>>) -> Option<Arc<dyn TraceSink>> {
+        std::mem::replace(&mut self.lock().sink, sink)
     }
 
     /// Without the `trace` feature sinks cannot be attached: this stub
     /// ignores `sink` and returns `None`, keeping callers source-compatible
     /// across feature configurations.
     #[cfg(not(feature = "trace"))]
-    pub fn set_sink(&self, _sink: Option<Rc<dyn TraceSink>>) -> Option<Rc<dyn TraceSink>> {
+    pub fn set_sink(&self, _sink: Option<Arc<dyn TraceSink>>) -> Option<Arc<dyn TraceSink>> {
         None
     }
 
@@ -563,15 +724,15 @@ impl Runtime {
     /// ```
     /// use alphonse::trace::Recorder;
     /// use alphonse::Runtime;
-    /// use std::rc::Rc;
+    /// use std::sync::Arc;
     ///
     /// let rt = Runtime::new();
     /// let x = rt.var(1i64);
-    /// let rec = Rc::new(Recorder::new(64));
+    /// let rec = Arc::new(Recorder::new(64));
     /// rt.with_trace(rec.clone(), || x.set(&rt, 2));
     /// assert!(!rec.is_empty());
     /// ```
-    pub fn with_trace<R>(&self, sink: Rc<dyn TraceSink>, f: impl FnOnce() -> R) -> R {
+    pub fn with_trace<R>(&self, sink: Arc<dyn TraceSink>, f: impl FnOnce() -> R) -> R {
         let prev = self.set_sink(Some(sink));
         let out = f();
         self.set_sink(prev);
@@ -585,7 +746,7 @@ impl Runtime {
     pub fn tracing(&self) -> bool {
         #[cfg(feature = "trace")]
         {
-            self.inner.borrow().sink.is_some()
+            self.lock().sink.is_some()
         }
         #[cfg(not(feature = "trace"))]
         {
@@ -601,9 +762,10 @@ impl Runtime {
     ///
     /// Panics if `n` does not belong to this runtime.
     pub fn set_label(&self, n: NodeId, label: &str) {
-        let mut inner = self.inner.borrow_mut();
-        let label: Rc<str> = Rc::from(label);
-        inner.nodes[n.index()].name = Some(Rc::clone(&label));
+        let mut inner = self.lock();
+        assert!(n.index() < inner.values.len(), "unknown node {n}");
+        let label: Arc<str> = Arc::from(label);
+        inner.names.insert(n.index() as u32, Arc::clone(&label));
         emit!(inner, TraceEvent::Labeled { node: n, label });
     }
 
@@ -615,10 +777,9 @@ impl Runtime {
     ///
     /// Panics if `n` does not belong to this runtime.
     pub fn node_label(&self, n: NodeId) -> Option<String> {
-        self.inner.borrow().nodes[n.index()]
-            .name
-            .as_deref()
-            .map(str::to_owned)
+        let inner = self.lock();
+        assert!(n.index() < inner.values.len(), "unknown node {n}");
+        inner.names.get(&(n.index() as u32)).map(|s| s.to_string())
     }
 
     /// A point-in-time copy of the dependency graph with full runtime
@@ -627,9 +788,9 @@ impl Runtime {
     /// [`crate::trace::render_dot`]. Prefer this over
     /// [`crate::trace::GraphSink`] while the runtime is still alive.
     pub fn graph_snapshot(&self) -> GraphSnapshot {
-        let mut guard = self.inner.borrow_mut();
+        let mut guard = self.lock();
         let inner = &mut *guard;
-        let n_nodes = inner.nodes.len();
+        let n_nodes = inner.values.len();
         let mut queued = vec![false; n_nodes];
         match &inner.dirty {
             DirtyStore::Global(s) => s.for_each_member(|m| queued[m.index()] = true),
@@ -647,16 +808,18 @@ impl Runtime {
         };
         let mut nodes = Vec::with_capacity(n_nodes);
         let mut edges = Vec::new();
-        for (i, nd) in inner.nodes.iter().enumerate() {
+        for i in 0..n_nodes {
             let id = NodeId::from_index(i);
-            let (kind, consistent, last_exec) = match &nd.comp {
-                None => (NodeKind::Location, true, 0),
-                Some(c) => (NodeKind::Computation, c.consistent, c.cur_gen),
+            let f = inner.flags[i];
+            let (kind, consistent, last_exec) = if f & F_COMP == 0 {
+                (NodeKind::Location, true, 0)
+            } else {
+                (NodeKind::Computation, f & F_CONSISTENT != 0, inner.gens[i])
             };
             nodes.push(SnapshotNode {
                 id,
                 kind,
-                label: nd.name.as_deref().map(str::to_owned),
+                label: inner.names.get(&(i as u32)).map(|s| s.to_string()),
                 consistent,
                 queued: queued[i],
                 partition: roots[i],
@@ -677,7 +840,7 @@ impl Runtime {
     /// Checked invariants:
     ///
     /// * the call stack is empty (only call this between top-level
-    ///   operations) and every node's `on_stack` counter is zero;
+    ///   operations) and every node's on-stack flag/depth is zero;
     /// * edge symmetry: the graph's successor and predecessor lists agree
     ///   as edge multisets;
     /// * every queued dirty node is a node of this runtime, and with
@@ -692,7 +855,7 @@ impl Runtime {
     pub fn check_invariants(&self) {
         #[cfg(debug_assertions)]
         {
-            let mut guard = self.inner.borrow_mut();
+            let mut guard = self.lock();
             let inner = &mut *guard;
             assert!(
                 inner.stack.is_empty(),
@@ -700,16 +863,17 @@ impl Runtime {
                  top-level operations",
                 inner.stack.len()
             );
-            let n_nodes = inner.nodes.len();
-            for (i, nd) in inner.nodes.iter().enumerate() {
-                if let Some(c) = &nd.comp {
-                    assert_eq!(
-                        c.on_stack, 0,
-                        "check_invariants: node {i} has on_stack={} with an empty call stack",
-                        c.on_stack
-                    );
-                }
+            let n_nodes = inner.values.len();
+            for (i, &f) in inner.flags.iter().enumerate() {
+                assert!(
+                    f & F_ON_STACK == 0,
+                    "check_invariants: node {i} is flagged on-stack with an empty call stack"
+                );
             }
+            assert!(
+                inner.deep_stack.is_empty(),
+                "check_invariants: deep-stack side table non-empty with an empty call stack"
+            );
             // Edge symmetry: every succ edge must have a matching pred edge
             // and vice versa, as multisets.
             let mut balance: FxHashMap<(NodeId, NodeId), i64> = FxHashMap::default();
@@ -765,14 +929,16 @@ impl Runtime {
             if dirty_total == 0 {
                 for i in 0..n_nodes {
                     let u = NodeId::from_index(i);
-                    let stale = inner.nodes[i].comp.as_ref().is_some_and(|c| !c.consistent);
+                    let f = inner.flags[i];
+                    let stale = f & F_COMP != 0 && f & F_CONSISTENT == 0;
                     if !stale {
                         continue;
                     }
                     for v in inner.graph.succs(u) {
-                        if let Some(c) = inner.nodes[v.index()].comp.as_ref() {
+                        let g = inner.flags[v.index()];
+                        if g & F_COMP != 0 {
                             assert!(
-                                !c.consistent,
+                                g & F_CONSISTENT == 0,
                                 "check_invariants: marking frontier violated — consistent \
                                  node {v} depends on inconsistent node {u}"
                             );
@@ -785,23 +951,23 @@ impl Runtime {
 
     /// Number of dependency-graph nodes (locations + procedure instances).
     pub fn node_count(&self) -> usize {
-        self.inner.borrow().graph.node_count()
+        self.lock().graph.node_count()
     }
 
     /// Number of live dependency edges.
     pub fn edge_count(&self) -> usize {
-        self.inner.borrow().graph.edge_count()
+        self.lock().graph.edge_count()
     }
 
     /// Number of nodes currently awaiting propagation.
     pub fn dirty_count(&self) -> usize {
-        self.inner.borrow().dirty_len()
+        self.lock().dirty_len()
     }
 
     /// Returns `true` while an incremental procedure is executing — i.e.
     /// reads and writes performed now will be recorded as its dependencies.
     pub fn in_tracked_context(&self) -> bool {
-        !self.inner.borrow().stack.is_empty()
+        self.exec_depth.load(Ordering::Relaxed) > 0
     }
 
     /// Returns `true` if a read performed right now would actually record a
@@ -809,7 +975,7 @@ impl Runtime {
     /// not stale, and no `(*UNCHECKED*)` suppression is active. Useful for
     /// asserting that statically pruned accesses really are irrelevant.
     pub fn recording_context(&self) -> bool {
-        let inner = self.inner.borrow();
+        let inner = self.lock();
         matches!(inner.stack.last(), Some(f) if !f.stale && f.suppress == 0)
     }
 
@@ -819,7 +985,7 @@ impl Runtime {
     ///
     /// Panics if `n` does not belong to this runtime.
     pub fn node_kind(&self, n: NodeId) -> NodeKind {
-        if self.inner.borrow().nodes[n.index()].comp.is_some() {
+        if self.lock().flags[n.index()] & F_COMP != 0 {
             NodeKind::Computation
         } else {
             NodeKind::Location
@@ -840,7 +1006,7 @@ impl Runtime {
         }
         impl Drop for Guard<'_> {
             fn drop(&mut self) {
-                let mut inner = self.rt.inner.borrow_mut();
+                let mut inner = self.rt.lock();
                 if inner.stack.len() == self.depth {
                     if let Some(frame) = inner.stack.last_mut() {
                         frame.suppress -= 1;
@@ -849,7 +1015,7 @@ impl Runtime {
             }
         }
         let depth = {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.lock();
             if let Some(frame) = inner.stack.last_mut() {
                 frame.suppress += 1;
             }
@@ -869,11 +1035,23 @@ impl Runtime {
     /// front ends that manage their own storage; prefer
     /// [`Runtime::var`](crate::Runtime::var) in application code.
     pub fn raw_alloc(&self, initial: Box<dyn Value>) -> NodeId {
-        self.inner.borrow_mut().alloc_node(NodeData {
-            value: Some(initial),
-            comp: None,
-            name: None,
-        })
+        self.lock().alloc_node(Some(initial), None, None)
+    }
+
+    /// Allocates a location holding `initial` *and* records the executing
+    /// incremental procedure's dependence on it, under one guard — the
+    /// lazy-promotion `access` of Algorithm 3, where a location read for
+    /// the first time inside a tracked context gets its graph node and its
+    /// first dependence edge together. Equivalent to [`Runtime::raw_alloc`]
+    /// followed by a read, minus the second lock round-trip.
+    pub(crate) fn alloc_accessed(&self, initial: Box<dyn Value>) -> NodeId {
+        let mut inner = self.lock();
+        inner.stats.reads += 1;
+        inner.stats.borrow_reads += 1;
+        let node = inner.alloc_node(Some(initial), None, None);
+        emit!(inner, TraceEvent::Read { node });
+        inner.record_dependence(node);
+        node
     }
 
     /// Reads a location, recording the dependence of the currently executing
@@ -884,17 +1062,17 @@ impl Runtime {
     ///
     /// Panics if `n` is not a location of this runtime.
     pub fn raw_read(&self, n: NodeId) -> Box<dyn Value> {
-        {
-            let mut inner = self.inner.borrow_mut();
-            inner.stats.reads += 1;
-            inner.stats.cloned_reads += 1;
-            emit!(inner, TraceEvent::Read { node: n });
-            inner.record_dependence(n);
-        }
-        let inner = self.inner.borrow();
-        let nd = &inner.nodes[n.index()];
-        debug_assert!(nd.comp.is_none(), "raw_read on a computation node");
-        nd.value
+        let mut inner = self.lock();
+        inner.stats.reads += 1;
+        inner.stats.cloned_reads += 1;
+        emit!(inner, TraceEvent::Read { node: n });
+        inner.record_dependence(n);
+        let i = n.index();
+        debug_assert!(
+            inner.flags[i] & F_COMP == 0,
+            "raw_read on a computation node"
+        );
+        inner.values[i]
             .as_ref()
             .expect("location always holds a value")
             .dyn_clone()
@@ -910,25 +1088,27 @@ impl Runtime {
     /// [`Var::with`](crate::Var::with). Use [`Runtime::raw_read`] only when
     /// the value must outlive the read (escape the closure).
     ///
-    /// The runtime is borrowed for the duration of `f`: the closure must not
-    /// re-enter runtime operations that mutate state (writes, memo calls,
-    /// propagation) or it will panic on the `RefCell`.
+    /// The runtime is locked for the duration of `f`: the closure must not
+    /// re-enter runtime operations (writes, memo calls, propagation, even
+    /// reads) or the fail-stop re-entrancy check panics.
     ///
     /// # Panics
     ///
     /// Panics if `n` is not a location of this runtime.
     pub fn with_value<R>(&self, n: NodeId, f: impl FnOnce(&dyn Value) -> R) -> R {
-        {
-            let mut inner = self.inner.borrow_mut();
-            inner.stats.reads += 1;
-            inner.stats.borrow_reads += 1;
-            emit!(inner, TraceEvent::Read { node: n });
-            inner.record_dependence(n);
-        }
-        let inner = self.inner.borrow();
-        let nd = &inner.nodes[n.index()];
-        debug_assert!(nd.comp.is_none(), "with_value on a computation node");
-        f(&**nd.value.as_ref().expect("location always holds a value"))
+        let mut inner = self.lock();
+        inner.stats.reads += 1;
+        inner.stats.borrow_reads += 1;
+        emit!(inner, TraceEvent::Read { node: n });
+        inner.record_dependence(n);
+        let i = n.index();
+        debug_assert!(
+            inner.flags[i] & F_COMP == 0,
+            "with_value on a computation node"
+        );
+        f(&**inner.values[i]
+            .as_ref()
+            .expect("location always holds a value"))
     }
 
     /// Writes a location — the paper's `modify` (Algorithm 4): the write
@@ -940,7 +1120,7 @@ impl Runtime {
     ///
     /// Panics if `n` is not a location of this runtime.
     pub fn raw_write(&self, n: NodeId, value: Box<dyn Value>) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.stats.writes += 1;
         inner.write_location(n, value);
     }
@@ -948,14 +1128,14 @@ impl Runtime {
     /// Hands out the runtime-owned batch buffers (empty, warm capacity) for
     /// a new transaction. A nested batch simply gets fresh empty buffers.
     pub(crate) fn take_batch_buffers(&self) -> (PendingWrites, Vec<usize>) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         (
             std::mem::take(&mut inner.batch_pending),
             std::mem::take(&mut inner.batch_slots),
         )
     }
 
-    /// Commits a coalesced write transaction: one borrow of the runtime for
+    /// Commits a coalesced write transaction: one lock of the runtime for
     /// the whole set of writes, each applied with the same `modify`
     /// semantics as [`Runtime::raw_write`]. `pending` holds one entry per
     /// distinct written location (last write wins); `submitted` and
@@ -968,7 +1148,7 @@ impl Runtime {
         submitted: u64,
         coalesced: u64,
     ) {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.stats.batches += 1;
         inner.stats.batched_writes += submitted;
         inner.stats.coalesced_writes += coalesced;
@@ -1000,110 +1180,164 @@ impl Runtime {
     // Computation nodes (used by Memo; crate-internal).
     // ------------------------------------------------------------------
 
-    pub(crate) fn alloc_comp(
+    /// Allocates a computation node for a new memo instance *and* books its
+    /// first execution, all under one guard: the call and probe counters,
+    /// node allocation and [`Runtime::exec_begin`] share the
+    /// instance-creation path's single runtime lock. A fresh instance is
+    /// about to execute unconditionally (it cannot be a cache hit and has
+    /// no pending changes to settle first), so fusing the two halves saves
+    /// a lock round-trip per instance created. The caller runs the
+    /// returned executor unlocked and completes with
+    /// [`Runtime::finish_exec_recording`].
+    pub(crate) fn alloc_comp_begun(
         &self,
-        name: Rc<str>,
+        name: Arc<str>,
         strategy: Strategy,
         executor: Executor,
-    ) -> NodeId {
-        self.inner.borrow_mut().alloc_node(NodeData {
-            value: None,
-            comp: Some(CompState {
-                consistent: false,
-                strategy,
-                executor,
-                on_stack: 0,
-                requeue: false,
-                cur_gen: 0,
-            }),
-            name: Some(name),
-        })
+    ) -> (NodeId, Executor, u64) {
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.stats.calls += 1;
+        inner.stats.memo_probes += 1;
+        let n = inner.alloc_node(None, Some((strategy, executor)), Some(name));
+        let (executor, my_gen) = self.exec_begin(inner, n);
+        (n, executor, my_gen)
     }
 
-    pub(crate) fn note_call(&self) {
-        self.inner.borrow_mut().stats.calls += 1;
-    }
-
-    pub(crate) fn record_dependence(&self, n: NodeId) {
-        self.inner.borrow_mut().record_dependence(n);
-    }
-
-    /// Runs `f` on the cached value if the computation node is consistent,
-    /// without cloning it out of the cache. Returns `None` (without calling
-    /// `f`) on a miss: inconsistent, or consistent but evicted.
-    pub(crate) fn with_cached_if_consistent<R>(
+    /// Pre-call settling plus cache consultation in (usually) one lock
+    /// round-trip: tallies the call/probe counters, checks for pending
+    /// changes that could affect `n` (the `Evaluate(Inconsistent)` step of
+    /// Algorithm 5 — with partitioning, only `n`'s component), runs the
+    /// evaluation routine if so, then probes the cache. On a hit the
+    /// caller's dependence on `n` is recorded under the same guard and `f`
+    /// runs on the cached value in place. `None` means a miss: the caller
+    /// must execute the node.
+    ///
+    /// Only the rare pending case pays more than one lock: the evaluation
+    /// routine must run unlocked (it re-enters the runtime), so that path
+    /// re-locks for the probe afterwards.
+    pub(crate) fn precall_cached<R>(
         &self,
         n: NodeId,
         f: impl FnOnce(&dyn Value) -> R,
     ) -> Option<R> {
-        let mut inner = self.inner.borrow_mut();
-        let nd = &inner.nodes[n.index()];
-        let comp = nd.comp.as_ref().expect("computation node");
-        if !comp.consistent {
+        {
+            let mut guard = self.lock();
+            let inner = &mut *guard;
+            inner.stats.calls += 1;
+            inner.stats.memo_probes += 1;
+            let pending = if inner.evaluating {
+                false
+            } else {
+                let root = inner.partition.as_mut().map(|uf| uf.find(n));
+                match &mut inner.dirty {
+                    DirtyStore::Global(s) => !s.is_empty(),
+                    DirtyStore::Partitioned(m) => {
+                        let root = root.expect("partitioned store implies union-find");
+                        m.get(&root).is_some_and(|s| !s.is_empty())
+                    }
+                }
+            };
+            if !pending {
+                return self.try_hit(inner, n, f);
+            }
+        }
+        self.evaluate(Some(n));
+        self.try_hit(&mut self.lock(), n, f)
+    }
+
+    /// Cache probe under the caller's guard: runs `f` on the cached value if
+    /// the computation node is consistent, without cloning it out of the
+    /// cache, and — on that hit — records the caller's dependence on `n`.
+    /// Returns `None` (without calling `f` or recording anything) on a miss:
+    /// inconsistent, or consistent but evicted.
+    fn try_hit<R>(
+        &self,
+        inner: &mut Inner,
+        n: NodeId,
+        f: impl FnOnce(&dyn Value) -> R,
+    ) -> Option<R> {
+        let i = n.index();
+        debug_assert!(inner.flags[i] & F_COMP != 0, "computation node expected");
+        if inner.flags[i] & F_CONSISTENT == 0 {
             return None;
         }
-        match &nd.value {
-            Some(_) => {
-                inner.stats.cache_hits += 1;
-                emit!(inner, TraceEvent::CacheHit { node: n });
-                drop(inner);
-                let inner = self.inner.borrow();
-                let v = inner.nodes[n.index()]
-                    .value
-                    .as_ref()
-                    .expect("checked above");
-                Some(f(&**v))
-            }
-            // Consistent but value-less: either a self-recursive first
-            // execution (DET violation — diagnose) or an evicted value
-            // (recompute by reporting a miss).
-            None if comp.on_stack > 0 => panic!(
+        if inner.values[i].is_some() {
+            inner.stats.cache_hits += 1;
+            emit!(inner, TraceEvent::CacheHit { node: n });
+            inner.record_dependence(n);
+            let v = inner.values[i].as_ref().expect("checked above");
+            return Some(f(&**v));
+        }
+        // Consistent but value-less: either a self-recursive first
+        // execution (DET violation — diagnose) or an evicted value
+        // (recompute by reporting a miss).
+        if inner.flags[i] & F_ON_STACK != 0 {
+            panic!(
                 "incremental procedure {} recursively depends on its own first execution \
                  (violates paper restriction DET)",
-                nd.name.as_deref().unwrap_or("<unnamed>")
-            ),
-            None => None,
+                inner.name_of(n)
+            );
+        }
+        None
+    }
+
+    /// Cache-miss tail of the memo call path: executes `n`, records the
+    /// caller's dependence on it, and runs `f` on the resulting value — the
+    /// commit, the dependence edge and the read all share the post-execution
+    /// lock. `f` sees the committed value in the common case, or the
+    /// superseded execution's uncommitted result when a nested re-execution
+    /// won the generation race (Section 7.3 re-entrancy).
+    pub(crate) fn execute_recording<R>(&self, n: NodeId, f: impl FnOnce(&dyn Value) -> R) -> R {
+        let (executor, my_gen) = self.exec_begin(&mut self.lock(), n);
+        self.finish_exec_recording(n, &executor, my_gen, f)
+    }
+
+    /// Second half of [`Runtime::execute_recording`] for callers that
+    /// already booked the execution (fresh memo instances book theirs
+    /// inside [`Runtime::alloc_comp_begun`]'s guard): runs the executor
+    /// unlocked, then finishes, records the caller's dependence and reads
+    /// the result under one final guard.
+    pub(crate) fn finish_exec_recording<R>(
+        &self,
+        n: NodeId,
+        executor: &Executor,
+        my_gen: u64,
+        f: impl FnOnce(&dyn Value) -> R,
+    ) -> R {
+        let value = executor(self);
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let (uncommitted, _) = self.exec_end(inner, n, my_gen, value);
+        inner.record_dependence(n);
+        match uncommitted {
+            Some(v) => f(&*v),
+            None => {
+                let v = inner.values[n.index()]
+                    .as_ref()
+                    .expect("execution just committed a value");
+                f(&**v)
+            }
         }
     }
 
-    /// Runs `f` on the committed value of a computation node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the node has never committed a value.
-    pub(crate) fn with_comp_value<R>(&self, n: NodeId, f: impl FnOnce(&dyn Value) -> R) -> R {
-        let inner = self.inner.borrow();
-        let v = inner.nodes[n.index()]
-            .value
-            .as_ref()
-            .expect("execution just committed a value");
-        f(&**v)
-    }
-
-    /// Counts one memo argument-table probe (hash lookup on the call path).
-    pub(crate) fn note_probe(&self) {
-        self.inner.borrow_mut().stats.memo_probes += 1;
-    }
-
-    /// Re-executes computation node `n` per Algorithm 5: drop its old
-    /// dependencies, push it on the call stack, run the body, cache the
-    /// result. Returns the value only when it was *not* committed to the
-    /// cache (`Some` = superseded execution's uncommitted result, which the
-    /// caller must consume directly), plus whether the cache changed. The
-    /// common committed case returns `(None, changed)` and the value is read
-    /// from the cache with [`Runtime::with_comp_value`] — this avoids the
-    /// extra `dyn_clone` per execution the old signature forced.
+    /// First half of re-executing computation node `n` per Algorithm 5
+    /// (see [`Runtime::execute_recording`] and the evaluation loop): drops
+    /// its old dependencies, books the execution and pushes the call frame,
+    /// handing back the executor to run *outside* the lock. Takes the
+    /// caller's guard so booking can share a lock round-trip with whatever
+    /// precedes it (the dirty-node pop in the evaluation loop).
     ///
     /// Re-entrant executions (an instance re-executing while an older
     /// execution of the same instance is still on the stack, as the AVL
     /// `balance` method of Section 7.3 provokes after rotations) are
     /// resolved by generation stamps: only the latest-started execution
     /// commits to the cache; a superseded outer execution still returns its
-    /// computed value to its caller but leaves cache, consistency flag and
+    /// computed value to its caller (the `Some` case of
+    /// [`Runtime::exec_end`]) but leaves cache, consistency flag and
     /// dependency edges to the fresher run.
-    pub(crate) fn execute_node(&self, n: NodeId) -> (Option<Box<dyn Value>>, bool) {
-        let (executor, my_gen) = {
-            let mut inner = self.inner.borrow_mut();
+    fn exec_begin(&self, inner: &mut Inner, n: NodeId) -> (Executor, u64) {
+        {
             inner.stats.executions += 1;
             let before = inner.graph.edges_removed();
             inner.graph.remove_pred_edges(n);
@@ -1111,25 +1345,26 @@ impl Runtime {
             inner.stats.edges_removed += removed;
             inner.exec_gen += 1;
             let my_gen = inner.exec_gen;
+            let i = n.index();
+            debug_assert!(inner.flags[i] & F_COMP != 0, "execute on a location");
             // If an older execution of `n` is still running it is now
             // superseded: its result will be discarded, so stop it from
             // recording any further dependence edges.
-            let reentrant = inner.nodes[n.index()]
-                .comp
-                .as_ref()
-                .is_some_and(|c| c.on_stack > 0);
-            if reentrant {
+            if inner.flags[i] & F_ON_STACK != 0 {
                 for frame in &mut inner.stack {
                     if frame.node == n {
                         frame.stale = true;
                     }
                 }
             }
-            let comp = inner.nodes[n.index()].comp.as_mut().expect("computation");
-            comp.consistent = true;
-            comp.on_stack += 1;
-            comp.cur_gen = my_gen;
-            let executor = comp.executor.clone();
+            inner.flags[i] |= F_CONSISTENT;
+            inner.on_stack_inc(i);
+            inner.gens[i] = my_gen;
+            let executor = Arc::clone(
+                inner.executors[i]
+                    .as_ref()
+                    .expect("computation node has an executor"),
+            );
             inner.frame_epoch += 1;
             let epoch = inner.frame_epoch;
             inner.stack.push(Frame {
@@ -1139,6 +1374,7 @@ impl Runtime {
                 suppress: 0,
                 stale: false,
             });
+            self.exec_depth.fetch_add(1, Ordering::Relaxed);
             #[cfg(feature = "trace")]
             {
                 emit!(inner, TraceEvent::ExecuteBegin { node: n });
@@ -1153,10 +1389,24 @@ impl Runtime {
                 }
             }
             (executor, my_gen)
-        };
-        let value = executor(self);
-        let mut inner = self.inner.borrow_mut();
+        }
+    }
+
+    /// Second half of an execution: pops the call frame and commits (or,
+    /// when superseded — the `Some` return — hands back) the computed
+    /// value, plus whether the cache changed. Runs
+    /// under the caller's guard so the commit can share a lock round-trip
+    /// with whatever follows it (successor dirtying in the evaluation loop,
+    /// dependence recording on the memo call path).
+    fn exec_end(
+        &self,
+        inner: &mut Inner,
+        n: NodeId,
+        my_gen: u64,
+        value: Box<dyn Value>,
+    ) -> (Option<Box<dyn Value>>, bool) {
         let frame = inner.stack.pop().expect("frame pushed above");
+        self.exec_depth.fetch_sub(1, Ordering::Relaxed);
         debug_assert_eq!(frame.node, n, "call stack imbalance");
         // Restore the stamps this frame overwrote, newest first, so the
         // enclosing execution's dedup set is exactly what it was before the
@@ -1165,14 +1415,15 @@ impl Runtime {
         for (node, stamp) in frame.overflow.into_iter().rev() {
             inner.last_accessed[node.index()] = stamp;
         }
-        let nd = &mut inner.nodes[n.index()];
-        let comp = nd.comp.as_mut().expect("computation");
-        comp.on_stack -= 1;
-        let superseded = comp.cur_gen != my_gen;
+        let i = n.index();
+        inner.on_stack_dec(i);
+        let superseded = inner.gens[i] != my_gen;
         let requeue = if superseded {
             false
         } else {
-            std::mem::take(&mut comp.requeue)
+            let r = inner.flags[i] & F_REQUEUE != 0;
+            inner.flags[i] &= !F_REQUEUE;
+            r
         };
         if superseded {
             // A nested execution superseded this one; its cache entry is the
@@ -1187,14 +1438,13 @@ impl Runtime {
             );
             return (Some(value), false);
         }
-        let nd = &mut inner.nodes[n.index()];
         // A first execution has no previous value: it counts as changed
         // without charging a cutoff comparison.
-        let (changed, compared) = match &nd.value {
+        let (changed, compared) = match &inner.values[i] {
             Some(old) => (!old.dyn_eq(&*value), true),
             None => (true, false),
         };
-        nd.value = Some(value);
+        inner.values[i] = Some(value);
         if compared {
             inner.stats.comparisons += 1;
         }
@@ -1209,31 +1459,6 @@ impl Runtime {
         (None, changed)
     }
 
-    /// If changes are pending that could affect `n`, run the evaluation
-    /// routine first (the `Evaluate(Inconsistent)` step of Algorithm 5).
-    /// With partitioning only `n`'s component is evaluated.
-    pub(crate) fn evaluate_before_call(&self, n: NodeId) {
-        let pending = {
-            let mut guard = self.inner.borrow_mut();
-            let inner = &mut *guard;
-            if inner.evaluating {
-                false
-            } else {
-                let root = inner.partition.as_mut().map(|uf| uf.find(n));
-                match &mut inner.dirty {
-                    DirtyStore::Global(s) => !s.is_empty(),
-                    DirtyStore::Partitioned(m) => {
-                        let root = root.expect("partitioned store implies union-find");
-                        m.get(&root).is_some_and(|s| !s.is_empty())
-                    }
-                }
-            }
-        };
-        if pending {
-            self.evaluate(Some(n));
-        }
-    }
-
     /// Explains why a node has its current value: lists its recorded
     /// dependencies (the paper's referenced-argument set `R(p)`), one line
     /// per predecessor with kind, diagnostic name and cached value.
@@ -1246,35 +1471,46 @@ impl Runtime {
     /// Panics if `n` does not belong to this runtime.
     pub fn explain(&self, n: NodeId) -> String {
         use std::fmt::Write;
-        let inner = self.inner.borrow();
-        let describe = |id: NodeId| -> String {
-            let nd = &inner.nodes[id.index()];
-            let kind = match &nd.comp {
-                None => "location".to_string(),
-                Some(c) => format!(
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let describe = |inner: &Inner, id: NodeId| -> String {
+            let i = id.index();
+            let f = inner.flags[i];
+            let kind = if f & F_COMP == 0 {
+                "location".to_string()
+            } else {
+                format!(
                     "instance of {} ({})",
-                    nd.name.as_deref().unwrap_or("<unnamed>"),
-                    if c.consistent { "consistent" } else { "stale" }
-                ),
+                    inner.name_of(id),
+                    if f & F_CONSISTENT != 0 {
+                        "consistent"
+                    } else {
+                        "stale"
+                    }
+                )
             };
-            let value = nd
-                .value
+            let value = inner.values[i]
                 .as_ref()
                 .map(|v| format!("{v:?}"))
                 .unwrap_or_else(|| "<never computed>".to_string());
             format!("{id}: {kind} = {value}")
         };
-        let mut out = describe(n);
+        let mut out = describe(inner, n);
         out.push('\n');
-        let mut preds: Vec<NodeId> = inner.graph.preds(n).collect();
-        preds.sort();
+        // Predecessors are staged through the runtime-owned scratch buffer
+        // (same pattern as `dirty_succs_of`), so this diagnostic allocates
+        // nothing beyond the output string at steady state.
+        let mut preds = std::mem::take(&mut inner.succ_scratch);
+        inner.graph.preds_into(n, &mut preds);
+        preds.sort_unstable();
         preds.dedup();
         if preds.is_empty() {
             out.push_str("  (no recorded dependencies)\n");
         }
-        for p in preds {
-            let _ = writeln!(out, "  depends on {}", describe(p));
+        for &p in &preds {
+            let _ = writeln!(out, "  depends on {}", describe(inner, p));
         }
+        inner.succ_scratch = preds;
         out
     }
 
@@ -1283,31 +1519,42 @@ impl Runtime {
     /// successors. Intended for debugging and tests.
     pub fn dump_graph(&self) -> String {
         use std::fmt::Write;
-        let inner = self.inner.borrow();
+        let mut guard = self.lock();
+        let inner = &mut *guard;
         let mut out = String::new();
-        for (i, nd) in inner.nodes.iter().enumerate() {
+        // Successors are staged through the reusable scratch buffer and
+        // written straight into the output, instead of collecting a fresh
+        // `Vec<String>` per node.
+        let mut succs = std::mem::take(&mut inner.succ_scratch);
+        for i in 0..inner.values.len() {
             let n = NodeId::from_index(i);
-            let kind = match &nd.comp {
-                None => "loc ".to_string(),
-                Some(c) => format!(
+            let f = inner.flags[i];
+            let kind = if f & F_COMP == 0 {
+                "loc ".to_string()
+            } else {
+                format!(
                     "comp({}{})",
-                    if c.consistent { "ok" } else { "dirty" },
-                    match c.strategy {
-                        Strategy::Demand => "",
-                        Strategy::Eager => ",eager",
-                    }
-                ),
+                    if f & F_CONSISTENT != 0 { "ok" } else { "dirty" },
+                    if f & F_EAGER != 0 { ",eager" } else { "" }
+                )
             };
-            let name = nd.name.as_deref().unwrap_or("-");
-            let succs: Vec<String> = inner.graph.succs(n).map(|s| s.to_string()).collect();
-            let _ = writeln!(
+            let name = inner.names.get(&(i as u32)).map(|s| &**s).unwrap_or("-");
+            inner.graph.succs_into(n, &mut succs);
+            let _ = write!(
                 out,
-                "{n} {kind} {name} h={} v={:?} -> [{}]",
+                "{n} {kind} {name} h={} v={:?} -> [",
                 inner.graph.height(n),
-                nd.value.as_ref().map(|v| format!("{v:?}")),
-                succs.join(", ")
+                inner.values[i].as_ref().map(|v| format!("{v:?}")),
             );
+            for (k, s) in succs.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{s}");
+            }
+            out.push_str("]\n");
         }
+        inner.succ_scratch = succs;
         out
     }
 
@@ -1346,14 +1593,11 @@ impl Runtime {
     // Capacity / eviction support (used by bounded memos).
 
     pub(crate) fn node_has_value(&self, n: NodeId) -> bool {
-        self.inner.borrow().nodes[n.index()].value.is_some()
+        self.lock().values[n.index()].is_some()
     }
 
     pub(crate) fn node_on_stack(&self, n: NodeId) -> bool {
-        self.inner.borrow().nodes[n.index()]
-            .comp
-            .as_ref()
-            .is_some_and(|c| c.on_stack > 0)
+        self.lock().flags[n.index()] & F_ON_STACK != 0
     }
 
     /// Drops the cached value of a computation node, forcing recomputation
@@ -1366,13 +1610,13 @@ impl Runtime {
     /// its dependents' cached results are still valid, only *its* result
     /// must be recomputed when next demanded.
     pub(crate) fn evict_value(&self, n: NodeId) {
-        let mut inner = self.inner.borrow_mut();
-        let nd = &mut inner.nodes[n.index()];
+        let mut inner = self.lock();
+        let i = n.index();
         debug_assert!(
-            nd.comp.as_ref().is_some_and(|c| c.on_stack == 0),
+            inner.flags[i] & F_COMP != 0 && inner.flags[i] & F_ON_STACK == 0,
             "cannot evict an executing instance"
         );
-        nd.value = None;
+        inner.values[i] = None;
     }
 
     fn evaluate(&self, origin: Option<NodeId>) {
@@ -1386,7 +1630,7 @@ impl Runtime {
         #[cfg(feature = "trace")]
         let steps_before;
         {
-            let mut inner = self.inner.borrow_mut();
+            let mut inner = self.lock();
             if inner.evaluating {
                 return;
             }
@@ -1399,25 +1643,44 @@ impl Runtime {
             }
             emit!(inner, TraceEvent::PropagateBegin { wave: inner.wave });
         }
+        // Each pass through the outer loop holds the lock once: commit the
+        // previous execution, pump mutation-only steps, and book the next
+        // execution, all under the same guard — one amortized lock
+        // round-trip per executed node. Only the executor itself (which
+        // re-enters the runtime through tracked reads and nested calls)
+        // runs unlocked.
         let mut steps = 0u64;
-        while steps < max_steps {
-            steps += 1;
-            let step = {
-                let mut inner = self.inner.borrow_mut();
-                self.evaluation_step(&mut inner, origin)
-            };
-            match step {
-                Step::Idle => break,
-                Step::Continue => {}
-                Step::Execute(u) => {
-                    let (_, changed) = self.execute_node(u);
-                    if changed {
-                        self.inner.borrow_mut().dirty_succs_of(u);
+        let mut running: Option<(NodeId, Executor, u64)> = None;
+        loop {
+            let finished = running.take().map(|(u, executor, my_gen)| {
+                let value = executor(self);
+                (u, my_gen, value)
+            });
+            let mut guard = self.lock();
+            let inner = &mut *guard;
+            if let Some((u, my_gen, value)) = finished {
+                let (_, changed) = self.exec_end(inner, u, my_gen, value);
+                if changed {
+                    inner.dirty_succs_of(u);
+                }
+            }
+            while steps < max_steps {
+                steps += 1;
+                match self.evaluation_step(inner, origin) {
+                    Step::Idle => break,
+                    Step::Continue => {}
+                    Step::Execute(u) => {
+                        let (executor, my_gen) = self.exec_begin(inner, u);
+                        running = Some((u, executor, my_gen));
+                        break;
                     }
                 }
             }
+            if running.is_none() {
+                break;
+            }
         }
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = self.lock();
         inner.evaluating = false;
         emit!(
             inner,
@@ -1429,8 +1692,8 @@ impl Runtime {
     }
 
     /// Pops and processes one dirty node; mutation-only cases are handled
-    /// inline, eager re-execution is returned to the caller so the borrow
-    /// can be released first.
+    /// inline, eager re-execution is returned to the caller so the lock
+    /// can be released first. The whole decision reads one flag byte.
     fn evaluation_step(&self, inner: &mut Inner, origin: Option<NodeId>) -> Step {
         // Partitions may have merged since the last step; re-find each time.
         let root = match origin {
@@ -1446,37 +1709,31 @@ impl Runtime {
             return Step::Idle;
         };
         inner.stats.propagation_steps += 1;
-        match &mut inner.nodes[u.index()].comp {
+        let i = u.index();
+        let f = inner.flags[i];
+        if f & F_COMP == 0 {
             // Storage location: forward the change to everything computed
             // from it.
-            None => {
+            inner.dirty_succs_of(u);
+            Step::Continue
+        } else if f & F_EAGER == 0 {
+            // Demand: just mark out-of-date and propagate (Section 4.5).
+            if f & F_CONSISTENT != 0 {
+                inner.flags[i] &= !F_CONSISTENT;
                 inner.dirty_succs_of(u);
-                Step::Continue
             }
-            Some(comp) => match comp.strategy {
-                // Demand: just mark out-of-date and propagate (Section 4.5).
-                Strategy::Demand => {
-                    if comp.consistent {
-                        comp.consistent = false;
-                        inner.dirty_succs_of(u);
-                    }
-                    Step::Continue
-                }
-                // Eager: re-execute now; if the value changes the caller
-                // dirties the successors.
-                Strategy::Eager => {
-                    if comp.on_stack > 0 {
-                        // Cannot re-execute a node that is mid-execution;
-                        // mark it stale and have it re-queued on completion.
-                        comp.consistent = false;
-                        comp.requeue = true;
-                        inner.dirty_succs_of(u);
-                        Step::Continue
-                    } else {
-                        Step::Execute(u)
-                    }
-                }
-            },
+            Step::Continue
+        } else if f & F_ON_STACK != 0 {
+            // Cannot re-execute a node that is mid-execution; mark it stale
+            // and have it re-queued on completion.
+            inner.flags[i] &= !F_CONSISTENT;
+            inner.flags[i] |= F_REQUEUE;
+            inner.dirty_succs_of(u);
+            Step::Continue
+        } else {
+            // Eager: re-execute now; if the value changes the caller
+            // dirties the successors.
+            Step::Execute(u)
         }
     }
 }
@@ -1574,5 +1831,42 @@ mod tests {
         let rt = Runtime::new();
         rt.propagate();
         assert_eq!(rt.stats().propagation_steps, 0);
+    }
+
+    #[test]
+    fn memory_gauges_grow_with_the_graph() {
+        let rt = Runtime::new();
+        let base = rt.stats();
+        let a = rt.var(1i64);
+        let m = rt.memo("m", move |rt, &(): &()| a.get(rt) + 1);
+        m.call(&rt, ());
+        let s = rt.stats();
+        assert_eq!(s.mem_nodes - base.mem_nodes, 2);
+        assert!(s.mem_edges_hwm >= 1);
+        assert!(s.mem_bytes_hwm > 0);
+        let (nodes, edges, bytes) = rt.memory_footprint();
+        assert_eq!(nodes, 2);
+        assert_eq!(edges, 1);
+        assert!(bytes >= s.mem_nodes); // at least a byte per node, trivially
+    }
+
+    #[test]
+    fn runtime_and_handles_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Runtime>();
+        assert_send::<crate::Var<i64>>();
+    }
+
+    #[test]
+    fn runtime_moves_across_threads() {
+        let rt = Runtime::new();
+        let x = rt.var(1i64);
+        let m = rt.memo("double", move |rt, &(): &()| x.get(rt) * 2);
+        assert_eq!(m.call(&rt, ()), 2);
+        let handle = std::thread::spawn(move || {
+            x.set(&rt, 21);
+            m.call(&rt, ())
+        });
+        assert_eq!(handle.join().unwrap(), 42);
     }
 }

@@ -22,9 +22,10 @@
 //! Events are delivered synchronously, **while the runtime's internal state
 //! is borrowed**. A sink must therefore never call back into the runtime
 //! that is tracing it (no reads, writes, memo calls, or propagation) — doing
-//! so panics on the interior `RefCell`. Sinks use interior mutability
-//! (events arrive through `&self`) and are single-threaded, like the
-//! runtime itself.
+//! so trips the runtime's fail-stop re-entrancy check. Sinks use interior
+//! mutability (events arrive through `&self`) and are `Send + Sync`:
+//! sessions are movable across threads, so a sink installed on one thread
+//! may observe events from wherever the runtime lives now.
 //!
 //! # Consumers
 //!
@@ -62,14 +63,14 @@
 //! ```
 //! use alphonse::trace::{Recorder, TraceEvent};
 //! use alphonse::Runtime;
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let rt = Runtime::new();
 //! let v = rt.var_named("v", 1i64);
 //! let double = rt.memo("double", move |rt, &(): &()| v.get(rt) * 2);
 //! double.call(&rt, ());
 //!
-//! let rec = Rc::new(Recorder::new(128));
+//! let rec = Arc::new(Recorder::new(128));
 //! rt.set_sink(Some(rec.clone()));
 //! v.set(&rt, 3);
 //! rt.set_sink(None);
@@ -82,11 +83,12 @@
 
 use crate::runtime::NodeKind;
 use alphonse_graph::{NodeId, UnionFind};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::Write as IoWrite;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 pub mod provenance;
@@ -94,6 +96,12 @@ pub mod session;
 
 pub use provenance::Provenance;
 pub use session::{ActiveTrace, TraceConfig};
+
+/// Locks a sink-internal mutex, ignoring poison: tracing is diagnostic and
+/// keeps working even after a panic elsewhere left a guard poisoned.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 // ---------------------------------------------------------------------------
 // Event taxonomy
@@ -128,14 +136,14 @@ pub enum TraceEvent {
         /// Location or computation.
         kind: NodeKind,
         /// Diagnostic name, when known at allocation (memo name).
-        label: Option<Rc<str>>,
+        label: Option<Arc<str>>,
     },
     /// A node was given (or re-given) a diagnostic label after allocation.
     Labeled {
         /// The labeled node.
         node: NodeId,
         /// The new label.
-        label: Rc<str>,
+        label: Arc<str>,
     },
     /// A tracked read of a location (`access`, Algorithm 3).
     Read {
@@ -261,8 +269,9 @@ impl TraceEvent {
 ///
 /// Implementations must obey the sink contract described in the
 /// [module docs](self): events arrive synchronously while the runtime is
-/// internally borrowed, so the sink must never re-enter runtime operations.
-pub trait TraceSink {
+/// internally locked, so the sink must never re-enter runtime operations.
+/// Sinks are `Send + Sync` so a traced session stays movable across threads.
+pub trait TraceSink: Send + Sync {
     /// Called once per observable runtime step, in program order.
     fn event(&self, ev: &TraceEvent);
 }
@@ -272,7 +281,7 @@ pub trait TraceSink {
 // ---------------------------------------------------------------------------
 
 thread_local! {
-    static DEFAULT_SINK: RefCell<Option<Rc<dyn TraceSink>>> = const { RefCell::new(None) };
+    static DEFAULT_SINK: RefCell<Option<Arc<dyn TraceSink>>> = const { RefCell::new(None) };
 }
 
 /// Installs a sink that every [`Runtime`] *built after this call* (on this
@@ -283,12 +292,12 @@ thread_local! {
 /// construct their runtimes internally; prefer
 /// [`Runtime::set_sink`](crate::Runtime::set_sink) when you hold the
 /// runtime.
-pub fn set_default_sink(sink: Option<Rc<dyn TraceSink>>) -> Option<Rc<dyn TraceSink>> {
+pub fn set_default_sink(sink: Option<Arc<dyn TraceSink>>) -> Option<Arc<dyn TraceSink>> {
     DEFAULT_SINK.with(|s| std::mem::replace(&mut *s.borrow_mut(), sink))
 }
 
 #[cfg_attr(not(feature = "trace"), allow(dead_code))]
-pub(crate) fn default_sink() -> Option<Rc<dyn TraceSink>> {
+pub(crate) fn default_sink() -> Option<Arc<dyn TraceSink>> {
     DEFAULT_SINK.with(|s| s.borrow().clone())
 }
 
@@ -304,8 +313,8 @@ pub(crate) fn default_sink() -> Option<Rc<dyn TraceSink>> {
 pub struct Recorder {
     start: Instant,
     capacity: usize,
-    buf: RefCell<VecDeque<(u64, TraceEvent)>>,
-    dropped: Cell<u64>,
+    buf: Mutex<VecDeque<(u64, TraceEvent)>>,
+    dropped: AtomicU64,
 }
 
 impl Recorder {
@@ -319,39 +328,39 @@ impl Recorder {
         Recorder {
             start: Instant::now(),
             capacity,
-            buf: RefCell::new(VecDeque::with_capacity(capacity.min(1024))),
-            dropped: Cell::new(0),
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            dropped: AtomicU64::new(0),
         }
     }
 
     /// Number of events currently held.
     pub fn len(&self) -> usize {
-        self.buf.borrow().len()
+        lock(&self.buf).len()
     }
 
     /// Returns `true` if no events are held.
     pub fn is_empty(&self) -> bool {
-        self.buf.borrow().is_empty()
+        lock(&self.buf).is_empty()
     }
 
     /// Events evicted by the ring bound so far.
     pub fn dropped(&self) -> u64 {
-        self.dropped.get()
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Discards all held events (the drop counter is kept).
     pub fn clear(&self) {
-        self.buf.borrow_mut().clear();
+        lock(&self.buf).clear();
     }
 
     /// All held events, oldest first.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.buf.borrow().iter().map(|(_, e)| e.clone()).collect()
+        lock(&self.buf).iter().map(|(_, e)| e.clone()).collect()
     }
 
     /// All held events with their timestamps (µs since recorder creation).
     pub fn records(&self) -> Vec<(u64, TraceEvent)> {
-        self.buf.borrow().iter().cloned().collect()
+        lock(&self.buf).iter().cloned().collect()
     }
 
     /// The timeline of one node: every held event about `n`, oldest first,
@@ -359,8 +368,7 @@ impl Recorder {
     /// the timeline of **both** endpoints ([`TraceEvent::node`] attributes
     /// them to the successor; the predecessor view is added here).
     pub fn timeline(&self, n: NodeId) -> Vec<(u64, TraceEvent)> {
-        self.buf
-            .borrow()
+        lock(&self.buf)
             .iter()
             .filter(|(_, e)| {
                 e.node() == Some(n) || matches!(e, TraceEvent::EdgeAdded { from, .. } if *from == n)
@@ -376,16 +384,16 @@ impl Recorder {
     /// is never mistaken for a complete one.
     pub fn dump(&self) -> String {
         let mut out = String::new();
-        if self.dropped.get() > 0 {
+        if self.dropped.load(Ordering::Relaxed) > 0 {
             let _ = writeln!(
                 out,
                 "warning: {} events dropped (ring capacity {}) — the recording is truncated",
-                self.dropped.get(),
+                self.dropped.load(Ordering::Relaxed),
                 self.capacity
             );
         }
         let labels = Labels::default();
-        for (ts, ev) in self.buf.borrow().iter() {
+        for (ts, ev) in lock(&self.buf).iter() {
             labels.observe(ev);
             let _ = writeln!(out, "{ts:>10} us  {}", describe_event(ev, &labels));
         }
@@ -401,14 +409,14 @@ impl Recorder {
         let _ = writeln!(
             out,
             r#"{{"meta":{{"format":"{JSONL_FORMAT}","version":{JSONL_VERSION},"dropped":{},"capacity":{}}}}}"#,
-            self.dropped.get(),
+            self.dropped.load(Ordering::Relaxed),
             self.capacity
         );
         let labels = Labels::default();
-        let wave = Cell::new(None);
-        for (ts, ev) in self.buf.borrow().iter() {
+        let mut wave = None;
+        for (ts, ev) in lock(&self.buf).iter() {
             labels.observe(ev);
-            out.push_str(&jsonl_line(*ts, &wave, ev, &labels));
+            out.push_str(&jsonl_line(*ts, &mut wave, ev, &labels));
             out.push('\n');
         }
         out
@@ -470,10 +478,10 @@ fn describe_event(ev: &TraceEvent, labels: &Labels) -> String {
 impl TraceSink for Recorder {
     fn event(&self, ev: &TraceEvent) {
         let ts = self.start.elapsed().as_micros() as u64;
-        let mut buf = self.buf.borrow_mut();
+        let mut buf = lock(&self.buf);
         if buf.len() == self.capacity {
             buf.pop_front();
-            self.dropped.set(self.dropped.get() + 1);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         buf.push_back((ts, ev.clone()));
     }
@@ -511,25 +519,25 @@ fn variant_name(ev: &TraceEvent) -> &'static str {
 
 /// Encodes one event as a JSONL record (no trailing newline).
 ///
-/// `wave` is the stamping cell tracking the currently open propagation wave:
+/// `wave` is the stamping slot tracking the currently open propagation wave:
 /// [`TraceEvent::PropagateBegin`] opens it, [`TraceEvent::PropagateEnd`]
 /// closes it, and every event in between is stamped `"wave":N`. The
 /// propagation brackets and [`TraceEvent::BatchCommit`] carry their own wave
 /// fields instead. Node-bearing events carry the node's resolved `"label"`
 /// when one is known, so a trace file stays self-contained; node ids
 /// serialize as their dense indices.
-fn jsonl_line(ts: u64, wave: &Cell<Option<u64>>, ev: &TraceEvent, labels: &Labels) -> String {
+fn jsonl_line(ts: u64, wave: &mut Option<u64>, ev: &TraceEvent, labels: &Labels) -> String {
     let stamped = match ev {
         TraceEvent::PropagateBegin { wave: w } => {
-            wave.set(Some(*w));
+            *wave = Some(*w);
             Some(*w)
         }
         TraceEvent::PropagateEnd { wave: w, .. } => {
-            wave.set(None);
+            *wave = None;
             Some(*w)
         }
         TraceEvent::BatchCommit { wave: w, .. } => Some(*w),
-        _ => wave.get(),
+        _ => *wave,
     };
     let mut out = String::with_capacity(64);
     let _ = write!(out, r#"{{"ts":{ts}"#);
@@ -601,14 +609,20 @@ fn jsonl_line(ts: u64, wave: &Cell<Option<u64>>, ev: &TraceEvent, labels: &Label
 pub struct JsonlSink {
     start: Instant,
     labels: Labels,
-    wave: Cell<Option<u64>>,
-    out: RefCell<Box<dyn IoWrite>>,
+    state: Mutex<JsonlState>,
+}
+
+/// Writer state behind one lock, so the wave stamp and the output stream
+/// stay consistent with each other under concurrent events.
+struct JsonlState {
+    wave: Option<u64>,
+    out: Box<dyn IoWrite + Send>,
 }
 
 impl JsonlSink {
     /// Wraps a writer and emits the meta line.
-    pub fn new(out: impl IoWrite + 'static) -> std::io::Result<JsonlSink> {
-        let mut out: Box<dyn IoWrite> = Box::new(out);
+    pub fn new(out: impl IoWrite + Send + 'static) -> std::io::Result<JsonlSink> {
+        let mut out: Box<dyn IoWrite + Send> = Box::new(out);
         writeln!(
             out,
             r#"{{"meta":{{"format":"{JSONL_FORMAT}","version":{JSONL_VERSION},"dropped":0}}}}"#
@@ -616,8 +630,7 @@ impl JsonlSink {
         Ok(JsonlSink {
             start: Instant::now(),
             labels: Labels::default(),
-            wave: Cell::new(None),
-            out: RefCell::new(out),
+            state: Mutex::new(JsonlState { wave: None, out }),
         })
     }
 
@@ -628,13 +641,18 @@ impl JsonlSink {
 
     /// Flushes the underlying writer.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.out.borrow_mut().flush()
+        lock(&self.state).out.flush()
     }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        let _ = self.out.borrow_mut().flush();
+        let _ = self
+            .state
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .out
+            .flush();
     }
 }
 
@@ -642,10 +660,10 @@ impl TraceSink for JsonlSink {
     fn event(&self, ev: &TraceEvent) {
         self.labels.observe(ev);
         let ts = self.start.elapsed().as_micros() as u64;
-        let line = jsonl_line(ts, &self.wave, ev, &self.labels);
-        let mut out = self.out.borrow_mut();
-        let _ = out.write_all(line.as_bytes());
-        let _ = out.write_all(b"\n");
+        let state = &mut *lock(&self.state);
+        let line = jsonl_line(ts, &mut state.wave, ev, &self.labels);
+        let _ = state.out.write_all(line.as_bytes());
+        let _ = state.out.write_all(b"\n");
     }
 }
 
@@ -658,12 +676,12 @@ impl TraceSink for JsonlSink {
 /// [`session::ActiveTrace`] uses it to run the live [`Provenance`] index
 /// alongside whichever consumer the user asked for.
 pub struct Tee {
-    sinks: Vec<Rc<dyn TraceSink>>,
+    sinks: Vec<Arc<dyn TraceSink>>,
 }
 
 impl Tee {
     /// Builds a tee over `sinks` (delivery order = vector order).
-    pub fn new(sinks: Vec<Rc<dyn TraceSink>>) -> Tee {
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Tee {
         Tee { sinks }
     }
 }
@@ -683,14 +701,14 @@ impl TraceSink for Tee {
 /// Dense id→label map maintained from `NodeCreated` / `Labeled` events.
 #[derive(Default)]
 struct Labels {
-    names: RefCell<Vec<Option<Rc<str>>>>,
+    names: Mutex<Vec<Option<Arc<str>>>>,
 }
 
 impl Labels {
     fn observe(&self, ev: &TraceEvent) {
         match ev {
             TraceEvent::NodeCreated { node, label, .. } => {
-                let mut names = self.names.borrow_mut();
+                let mut names = lock(&self.names);
                 let i = node.index();
                 if names.len() <= i {
                     names.resize(i + 1, None);
@@ -698,31 +716,30 @@ impl Labels {
                 names[i] = label.clone();
             }
             TraceEvent::Labeled { node, label } => {
-                let mut names = self.names.borrow_mut();
+                let mut names = lock(&self.names);
                 let i = node.index();
                 if names.len() <= i {
                     names.resize(i + 1, None);
                 }
-                names[i] = Some(Rc::clone(label));
+                names[i] = Some(Arc::clone(label));
             }
             _ => {}
         }
     }
 
     fn clear(&self) {
-        self.names.borrow_mut().clear();
+        lock(&self.names).clear();
     }
 
     fn of(&self, n: NodeId) -> String {
-        match self.names.borrow().get(n.index()) {
+        match lock(&self.names).get(n.index()) {
             Some(Some(name)) => format!("{name} ({n})"),
             _ => n.to_string(),
         }
     }
 
     fn raw(&self, n: NodeId) -> Option<String> {
-        self.names
-            .borrow()
+        lock(&self.names)
             .get(n.index())
             .and_then(|o| o.as_deref().map(str::to_owned))
     }
@@ -746,11 +763,11 @@ impl Labels {
 pub struct ChromeTrace {
     start: Instant,
     labels: Labels,
-    records: RefCell<Vec<String>>,
+    records: Mutex<Vec<String>>,
     /// Reads and new edges observed since the current innermost span began
     /// (attached to that span's `args` at its end).
-    reads_in_span: Cell<u64>,
-    edges_in_span: Cell<u64>,
+    reads_in_span: AtomicU64,
+    edges_in_span: AtomicU64,
 }
 
 impl Default for ChromeTrace {
@@ -780,9 +797,9 @@ impl ChromeTrace {
         ChromeTrace {
             start: Instant::now(),
             labels: Labels::default(),
-            records: RefCell::new(Vec::new()),
-            reads_in_span: Cell::new(0),
-            edges_in_span: Cell::new(0),
+            records: Mutex::new(Vec::new()),
+            reads_in_span: AtomicU64::new(0),
+            edges_in_span: AtomicU64::new(0),
         }
     }
 
@@ -791,7 +808,7 @@ impl ChromeTrace {
     }
 
     fn push(&self, record: String) {
-        self.records.borrow_mut().push(record);
+        lock(&self.records).push(record);
     }
 
     fn span_begin(&self, name: &str, cat: &str) {
@@ -822,18 +839,18 @@ impl ChromeTrace {
 
     /// Number of JSON records accumulated so far.
     pub fn len(&self) -> usize {
-        self.records.borrow().len()
+        lock(&self.records).len()
     }
 
     /// Returns `true` if no records were accumulated.
     pub fn is_empty(&self) -> bool {
-        self.records.borrow().is_empty()
+        lock(&self.records).is_empty()
     }
 
     /// Renders the accumulated records as a complete Chrome trace JSON
     /// document (a JSON array of event objects).
     pub fn to_json(&self) -> String {
-        let records = self.records.borrow();
+        let records = lock(&self.records);
         let mut out = String::with_capacity(records.iter().map(|r| r.len() + 2).sum::<usize>() + 2);
         out.push_str("[\n");
         for (i, r) in records.iter().enumerate() {
@@ -853,8 +870,12 @@ impl TraceSink for ChromeTrace {
         self.labels.observe(ev);
         match ev {
             TraceEvent::NodeCreated { .. } | TraceEvent::Labeled { .. } => {}
-            TraceEvent::Read { .. } => self.reads_in_span.set(self.reads_in_span.get() + 1),
-            TraceEvent::EdgeAdded { .. } => self.edges_in_span.set(self.edges_in_span.get() + 1),
+            TraceEvent::Read { .. } => {
+                self.reads_in_span.fetch_add(1, Ordering::Relaxed);
+            }
+            TraceEvent::EdgeAdded { .. } => {
+                self.edges_in_span.fetch_add(1, Ordering::Relaxed);
+            }
             TraceEvent::EdgesRemoved { .. } => {}
             TraceEvent::Write { node, changed } => self.instant(
                 &format!("write {}", self.labels.of(*node)),
@@ -880,15 +901,15 @@ impl TraceSink for ChromeTrace {
                 self.span_end(format!(r#""wave":{wave},"steps":{steps}"#));
             }
             TraceEvent::ExecuteBegin { node } => {
-                self.reads_in_span.set(0);
-                self.edges_in_span.set(0);
+                self.reads_in_span.store(0, Ordering::Relaxed);
+                self.edges_in_span.store(0, Ordering::Relaxed);
                 self.span_begin(&format!("exec {}", self.labels.of(*node)), "execute");
             }
             TraceEvent::ExecuteEnd { changed, .. } => {
                 self.span_end(format!(
                     r#""changed":{changed},"reads":{},"edges":{}"#,
-                    self.reads_in_span.get(),
-                    self.edges_in_span.get()
+                    self.reads_in_span.load(Ordering::Relaxed),
+                    self.edges_in_span.load(Ordering::Relaxed)
                 ));
             }
             TraceEvent::CacheHit { node } => self.instant(
@@ -1043,14 +1064,14 @@ pub fn render_dot(snap: &GraphSnapshot) -> String {
 #[derive(Default)]
 pub struct GraphSink {
     labels: Labels,
-    kinds: RefCell<Vec<NodeKind>>,
+    kinds: Mutex<Vec<NodeKind>>,
     /// Incoming-edge lists, indexed by successor — mirrors the direction
     /// `RemovePredEdges` clears in bulk.
-    preds: RefCell<Vec<Vec<NodeId>>>,
-    dirty: RefCell<Vec<bool>>,
-    execs: RefCell<Vec<(u64, u64)>>, // (count, last ordinal)
-    uf: RefCell<UnionFind>,
-    exec_clock: Cell<u64>,
+    preds: Mutex<Vec<Vec<NodeId>>>,
+    dirty: Mutex<Vec<bool>>,
+    execs: Mutex<Vec<(u64, u64)>>, // (count, last ordinal)
+    uf: Mutex<UnionFind>,
+    exec_clock: AtomicU64,
 }
 
 impl GraphSink {
@@ -1061,28 +1082,28 @@ impl GraphSink {
 
     fn ensure(&self, n: NodeId) {
         let i = n.index();
-        let mut kinds = self.kinds.borrow_mut();
+        let mut kinds = lock(&self.kinds);
         if kinds.len() <= i {
             kinds.resize(i + 1, NodeKind::Location);
-            self.preds.borrow_mut().resize(i + 1, Vec::new());
-            self.dirty.borrow_mut().resize(i + 1, false);
-            self.execs.borrow_mut().resize(i + 1, (0, 0));
+            lock(&self.preds).resize(i + 1, Vec::new());
+            lock(&self.dirty).resize(i + 1, false);
+            lock(&self.execs).resize(i + 1, (0, 0));
         }
-        self.uf.borrow_mut().ensure(n);
+        lock(&self.uf).ensure(n);
     }
 
     /// Number of nodes mirrored so far.
     pub fn node_count(&self) -> usize {
-        self.kinds.borrow().len()
+        lock(&self.kinds).len()
     }
 
     /// A renderable snapshot of the mirrored graph.
     pub fn snapshot(&self) -> GraphSnapshot {
-        let kinds = self.kinds.borrow();
-        let preds = self.preds.borrow();
-        let dirty = self.dirty.borrow();
-        let execs = self.execs.borrow();
-        let mut uf = self.uf.borrow_mut();
+        let kinds = lock(&self.kinds);
+        let preds = lock(&self.preds);
+        let dirty = lock(&self.dirty);
+        let execs = lock(&self.execs);
+        let mut uf = lock(&self.uf);
         let partitioned = kinds.len() > 1;
         let mut nodes = Vec::with_capacity(kinds.len());
         let mut edges = Vec::new();
@@ -1119,45 +1140,44 @@ impl TraceSink for GraphSink {
                 // A fresh runtime started mirroring into this sink; its ids
                 // restart from zero, so drop the previous runtime's graph.
                 self.labels.clear();
-                self.kinds.borrow_mut().clear();
-                self.preds.borrow_mut().clear();
-                self.dirty.borrow_mut().clear();
-                self.execs.borrow_mut().clear();
-                *self.uf.borrow_mut() = UnionFind::new();
-                self.exec_clock.set(0);
+                lock(&self.kinds).clear();
+                lock(&self.preds).clear();
+                lock(&self.dirty).clear();
+                lock(&self.execs).clear();
+                *lock(&self.uf) = UnionFind::new();
+                self.exec_clock.store(0, Ordering::Relaxed);
             }
         }
         self.labels.observe(ev);
         match ev {
             TraceEvent::NodeCreated { node, kind, .. } => {
                 self.ensure(*node);
-                self.kinds.borrow_mut()[node.index()] = *kind;
+                lock(&self.kinds)[node.index()] = *kind;
             }
             TraceEvent::EdgeAdded { from, to } => {
                 self.ensure(*from);
                 self.ensure(*to);
-                self.preds.borrow_mut()[to.index()].push(*from);
-                self.uf.borrow_mut().union(*from, *to);
+                lock(&self.preds)[to.index()].push(*from);
+                lock(&self.uf).union(*from, *to);
             }
             TraceEvent::EdgesRemoved { node, .. } => {
                 self.ensure(*node);
-                self.preds.borrow_mut()[node.index()].clear();
+                lock(&self.preds)[node.index()].clear();
             }
             TraceEvent::Dirtied { node, .. } => {
                 self.ensure(*node);
-                self.dirty.borrow_mut()[node.index()] = true;
+                lock(&self.dirty)[node.index()] = true;
             }
             TraceEvent::ExecuteBegin { node } => {
                 self.ensure(*node);
-                let clock = self.exec_clock.get() + 1;
-                self.exec_clock.set(clock);
-                let mut execs = self.execs.borrow_mut();
+                let clock = self.exec_clock.fetch_add(1, Ordering::Relaxed) + 1;
+                let mut execs = lock(&self.execs);
                 let (count, _) = execs[node.index()];
                 execs[node.index()] = (count + 1, clock);
             }
             TraceEvent::ExecuteEnd { node, .. } => {
                 self.ensure(*node);
-                self.dirty.borrow_mut()[node.index()] = false;
+                lock(&self.dirty)[node.index()] = false;
             }
             TraceEvent::Write { node, .. } => {
                 // A location settles once written; dirt on it drains at the
@@ -1194,15 +1214,15 @@ struct ProfFrame {
 #[derive(Default)]
 pub struct Profiler {
     labels: Labels,
-    per_node: RefCell<Vec<NodeProfile>>,
-    stack: RefCell<Vec<ProfFrame>>,
-    propagations: Cell<u64>,
-    propagate_time: Cell<Duration>,
-    propagate_start: RefCell<Vec<Instant>>,
+    per_node: Mutex<Vec<NodeProfile>>,
+    stack: Mutex<Vec<ProfFrame>>,
+    propagations: AtomicU64,
+    propagate_time: Mutex<Duration>,
+    propagate_start: Mutex<Vec<Instant>>,
     /// `ExecuteEnd` events whose `ExecuteBegin` was never observed (the
     /// profiler was attached mid-execution): those executions are missing
     /// from every aggregate, so reports warn about them.
-    dropped: Cell<u64>,
+    dropped: AtomicU64,
 }
 
 impl Profiler {
@@ -1211,8 +1231,8 @@ impl Profiler {
         Profiler::default()
     }
 
-    fn slot(&self, n: NodeId) -> std::cell::RefMut<'_, Vec<NodeProfile>> {
-        let mut per = self.per_node.borrow_mut();
+    fn slot(&self, n: NodeId) -> MutexGuard<'_, Vec<NodeProfile>> {
+        let mut per = lock(&self.per_node);
         if per.len() <= n.index() {
             per.resize(n.index() + 1, NodeProfile::default());
         }
@@ -1221,28 +1241,28 @@ impl Profiler {
 
     /// Propagation runs observed.
     pub fn propagations(&self) -> u64 {
-        self.propagations.get()
+        self.propagations.load(Ordering::Relaxed)
     }
 
     /// Total wall-clock time spent inside propagation runs.
     pub fn propagate_time(&self) -> Duration {
-        self.propagate_time.get()
+        *lock(&self.propagate_time)
     }
 
     /// Total executions observed across all nodes.
     pub fn total_execs(&self) -> u64 {
-        self.per_node.borrow().iter().map(|p| p.execs).sum()
+        lock(&self.per_node).iter().map(|p| p.execs).sum()
     }
 
     /// Executions whose begin was never observed (attachment mid-execution)
     /// and which are therefore missing from the aggregates.
     pub fn dropped(&self) -> u64 {
-        self.dropped.get()
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// The `top_k` hottest nodes by self time, as an aligned table.
     pub fn report(&self, top_k: usize) -> String {
-        let per = self.per_node.borrow();
+        let per = lock(&self.per_node);
         let mut rows: Vec<(NodeId, NodeProfile)> = per
             .iter()
             .enumerate()
@@ -1276,19 +1296,19 @@ impl Profiler {
             }
         }
         let mut out = String::new();
-        if self.dropped.get() > 0 {
+        if self.dropped.load(Ordering::Relaxed) > 0 {
             let _ = writeln!(
                 out,
                 "warning: {} events dropped (profiler attached mid-execution) — aggregates undercount",
-                self.dropped.get()
+                self.dropped.load(Ordering::Relaxed)
             );
         }
         let _ = writeln!(
             out,
             "hot nodes (top {} by self time; {} propagations, {:.1} us propagating)",
             rows.len(),
-            self.propagations.get(),
-            self.propagate_time.get().as_secs_f64() * 1e6,
+            self.propagations.load(Ordering::Relaxed),
+            lock(&self.propagate_time).as_secs_f64() * 1e6,
         );
         let fmt_row = |cols: &[String]| -> String {
             let mut line = String::new();
@@ -1317,16 +1337,16 @@ impl TraceSink for Profiler {
         self.labels.observe(ev);
         match ev {
             TraceEvent::ExecuteBegin { node } => {
-                self.stack.borrow_mut().push(ProfFrame {
+                lock(&self.stack).push(ProfFrame {
                     node: *node,
                     start: Instant::now(),
                     child_time: Duration::ZERO,
                 });
             }
             TraceEvent::ExecuteEnd { node, .. } => {
-                let Some(frame) = self.stack.borrow_mut().pop() else {
+                let Some(frame) = lock(&self.stack).pop() else {
                     // Sink attached mid-execution: this execution is lost.
-                    self.dropped.set(self.dropped.get() + 1);
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
                     return;
                 };
                 debug_assert_eq!(frame.node, *node, "profiler stack imbalance");
@@ -1338,7 +1358,7 @@ impl TraceSink for Profiler {
                     p.cumulative += elapsed;
                     p.self_time += elapsed.saturating_sub(frame.child_time);
                 }
-                if let Some(parent) = self.stack.borrow_mut().last_mut() {
+                if let Some(parent) = lock(&self.stack).last_mut() {
                     parent.child_time += elapsed;
                 }
             }
@@ -1349,13 +1369,12 @@ impl TraceSink for Profiler {
                 self.slot(*node)[node.index()].dirtied += 1;
             }
             TraceEvent::PropagateBegin { .. } => {
-                self.propagate_start.borrow_mut().push(Instant::now());
+                lock(&self.propagate_start).push(Instant::now());
             }
             TraceEvent::PropagateEnd { .. } => {
-                if let Some(start) = self.propagate_start.borrow_mut().pop() {
-                    self.propagations.set(self.propagations.get() + 1);
-                    self.propagate_time
-                        .set(self.propagate_time.get() + start.elapsed());
+                if let Some(start) = lock(&self.propagate_start).pop() {
+                    self.propagations.fetch_add(1, Ordering::Relaxed);
+                    *lock(&self.propagate_time) += start.elapsed();
                 }
             }
             _ => {}
@@ -1389,7 +1408,7 @@ mod tests {
         c.event(&TraceEvent::NodeCreated {
             node: n,
             kind: NodeKind::Computation,
-            label: Some(Rc::from("he\"llo")),
+            label: Some(Arc::from("he\"llo")),
         });
         c.event(&TraceEvent::ExecuteBegin { node: n });
         c.event(&TraceEvent::Read { node: n });

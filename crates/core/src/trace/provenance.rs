@@ -13,10 +13,11 @@
 //! runtime error messages. The `alphonse-trace` CLI replays a JSONL file
 //! into the same index for offline `why` queries.
 
-use super::{DirtyReason, Labels, TraceEvent, TraceSink};
+use super::{lock, DirtyReason, Labels, TraceEvent, TraceSink};
 use alphonse_graph::NodeId;
-use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 #[derive(Clone, Copy)]
 struct DirtyRecord {
@@ -80,9 +81,9 @@ pub struct WhyChain {
 #[derive(Default)]
 pub struct Provenance {
     labels: Labels,
-    per_node: RefCell<Vec<NodeProv>>,
-    seq: Cell<u64>,
-    wave: Cell<Option<u64>>,
+    per_node: Mutex<Vec<NodeProv>>,
+    seq: AtomicU64,
+    wave: Mutex<Option<u64>>,
 }
 
 impl Provenance {
@@ -91,8 +92,8 @@ impl Provenance {
         Provenance::default()
     }
 
-    fn slot(&self, n: NodeId) -> std::cell::RefMut<'_, Vec<NodeProv>> {
-        let mut per = self.per_node.borrow_mut();
+    fn slot(&self, n: NodeId) -> MutexGuard<'_, Vec<NodeProv>> {
+        let mut per = lock(&self.per_node);
         if per.len() <= n.index() {
             per.resize(n.index() + 1, NodeProv::default());
         }
@@ -100,8 +101,7 @@ impl Provenance {
     }
 
     fn get(&self, n: NodeId) -> NodeProv {
-        self.per_node
-            .borrow()
+        lock(&self.per_node)
             .get(n.index())
             .copied()
             .unwrap_or_default()
@@ -120,7 +120,7 @@ impl Provenance {
     /// The most recently created node carrying `label` (instances shadow
     /// older runtimes' nodes when several share the sink).
     pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
-        let names = self.labels.names.borrow();
+        let names = lock(&self.labels.names);
         names
             .iter()
             .enumerate()
@@ -281,15 +281,14 @@ impl Provenance {
 impl TraceSink for Provenance {
     fn event(&self, ev: &TraceEvent) {
         self.labels.observe(ev);
-        let seq = self.seq.get() + 1;
-        self.seq.set(seq);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         match ev {
             TraceEvent::Dirtied {
                 node,
                 reason,
                 cause,
             } => {
-                let wave = self.wave.get();
+                let wave = *lock(&self.wave);
                 self.slot(*node)[node.index()].dirtied = Some(DirtyRecord {
                     seq,
                     wave,
@@ -306,8 +305,8 @@ impl TraceSink for Provenance {
                     changed: *changed,
                 });
             }
-            TraceEvent::PropagateBegin { wave } => self.wave.set(Some(*wave)),
-            TraceEvent::PropagateEnd { .. } => self.wave.set(None),
+            TraceEvent::PropagateBegin { wave } => *lock(&self.wave) = Some(*wave),
+            TraceEvent::PropagateEnd { .. } => *lock(&self.wave) = None,
             _ => {}
         }
     }
@@ -317,13 +316,13 @@ impl TraceSink for Provenance {
 mod tests {
     use super::*;
     use crate::{Runtime, Strategy};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// The canonical diamond from `tests/trace_events.rs`: `a` feeds
     /// `left = a/100` (cutoff arm) and `right = a*2`, which feed `top`.
-    fn traced_diamond() -> (Rc<Provenance>, [NodeId; 4]) {
+    fn traced_diamond() -> (Arc<Provenance>, [NodeId; 4]) {
         let rt = Runtime::new();
-        let prov = Rc::new(Provenance::new());
+        let prov = Arc::new(Provenance::new());
         rt.set_sink(Some(prov.clone()));
         let a = rt.var_named("a", 10i64);
         let left = rt.memo_with("left", Strategy::Eager, move |rt, &(): &()| a.get(rt) / 100);

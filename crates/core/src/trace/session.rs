@@ -22,7 +22,7 @@ use super::{render_dot, ChromeTrace, GraphSink, JsonlSink, Profiler, Recorder, T
 use crate::Runtime;
 use std::io;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Capacity of the stderr recorder (spec `1`). Large enough for small
 /// programs to be complete; the dump warns when the ring dropped events.
@@ -99,14 +99,14 @@ impl TraceConfig {
     /// Builds the consumer (creating output files where needed) and tees it
     /// with a live [`Provenance`] index.
     pub fn start(self) -> io::Result<ActiveTrace> {
-        let provenance = Rc::new(Provenance::new());
-        let (consumer, consumer_sink): (Consumer, Rc<dyn TraceSink>) = match self {
+        let provenance = Arc::new(Provenance::new());
+        let (consumer, consumer_sink): (Consumer, Arc<dyn TraceSink>) = match self {
             TraceConfig::Stderr => {
-                let rec = Rc::new(Recorder::new(STDERR_RING));
+                let rec = Arc::new(Recorder::new(STDERR_RING));
                 (Consumer::Stderr(rec.clone()), rec)
             }
             TraceConfig::Jsonl(path) => {
-                let sink = Rc::new(JsonlSink::create(&path)?);
+                let sink = Arc::new(JsonlSink::create(&path)?);
                 (
                     Consumer::Jsonl {
                         sink: sink.clone(),
@@ -116,7 +116,7 @@ impl TraceConfig {
                 )
             }
             TraceConfig::Chrome(path) => {
-                let sink = Rc::new(ChromeTrace::new());
+                let sink = Arc::new(ChromeTrace::new());
                 (
                     Consumer::Chrome {
                         sink: sink.clone(),
@@ -126,7 +126,7 @@ impl TraceConfig {
                 )
             }
             TraceConfig::Dot(path) => {
-                let mirror = Rc::new(GraphSink::new());
+                let mirror = Arc::new(GraphSink::new());
                 (
                     Consumer::Dot {
                         mirror: mirror.clone(),
@@ -136,7 +136,7 @@ impl TraceConfig {
                 )
             }
             TraceConfig::Hot(top_k) => {
-                let prof = Rc::new(Profiler::new());
+                let prof = Arc::new(Profiler::new());
                 (
                     Consumer::Hot {
                         prof: prof.clone(),
@@ -146,8 +146,8 @@ impl TraceConfig {
                 )
             }
         };
-        let sink = Rc::new(Tee::new(vec![
-            provenance.clone() as Rc<dyn TraceSink>,
+        let sink = Arc::new(Tee::new(vec![
+            provenance.clone() as Arc<dyn TraceSink>,
             consumer_sink,
         ]));
         Ok(ActiveTrace {
@@ -159,21 +159,21 @@ impl TraceConfig {
 }
 
 enum Consumer {
-    Stderr(Rc<Recorder>),
+    Stderr(Arc<Recorder>),
     Jsonl {
-        sink: Rc<JsonlSink>,
+        sink: Arc<JsonlSink>,
         path: PathBuf,
     },
     Chrome {
-        sink: Rc<ChromeTrace>,
+        sink: Arc<ChromeTrace>,
         path: PathBuf,
     },
     Dot {
-        mirror: Rc<GraphSink>,
+        mirror: Arc<GraphSink>,
         path: PathBuf,
     },
     Hot {
-        prof: Rc<Profiler>,
+        prof: Arc<Profiler>,
         top_k: usize,
     },
 }
@@ -183,24 +183,24 @@ enum Consumer {
 /// workload is done to flush/write/print the consumer's output.
 pub struct ActiveTrace {
     consumer: Consumer,
-    provenance: Rc<Provenance>,
-    sink: Rc<Tee>,
+    provenance: Arc<Provenance>,
+    sink: Arc<Tee>,
 }
 
 impl ActiveTrace {
     /// The sink to attach (tee of the consumer and the provenance index).
-    pub fn sink(&self) -> Rc<dyn TraceSink> {
-        self.sink.clone() as Rc<dyn TraceSink>
+    pub fn sink(&self) -> Arc<dyn TraceSink> {
+        self.sink.clone() as Arc<dyn TraceSink>
     }
 
     /// The live causal index fed by this trace.
-    pub fn provenance(&self) -> &Rc<Provenance> {
+    pub fn provenance(&self) -> &Arc<Provenance> {
         &self.provenance
     }
 
     /// Installs [`ActiveTrace::sink`] as the thread-default sink (picked up
     /// by runtimes built afterwards); returns the previous default.
-    pub fn install_default(&self) -> Option<Rc<dyn TraceSink>> {
+    pub fn install_default(&self) -> Option<Arc<dyn TraceSink>> {
         super::set_default_sink(Some(self.sink()))
     }
 

@@ -9,10 +9,12 @@ use std::fmt;
 /// computed result against the previously cached one to decide whether
 /// dependents must be notified, so every cached value must support equality;
 /// function caching requires handing out copies of cached results, so it
-/// must support cloning. The blanket implementation covers every
-/// `'static` type that is `Debug + PartialEq + Clone`, which is what user
-/// code should rely on — implementing this trait by hand is never necessary.
-pub trait Value: Any + fmt::Debug {
+/// must support cloning; and sessions are movable across threads
+/// ([`Runtime`](crate::Runtime) is `Send`), so every cached value must be
+/// `Send` too. The blanket implementation covers every `'static` type that
+/// is `Debug + PartialEq + Clone + Send`, which is what user code should
+/// rely on — implementing this trait by hand is never necessary.
+pub trait Value: Any + fmt::Debug + Send {
     /// Compares against another cached value; values of different concrete
     /// types are unequal.
     fn dyn_eq(&self, other: &dyn Value) -> bool;
@@ -20,12 +22,16 @@ pub trait Value: Any + fmt::Debug {
     fn dyn_clone(&self) -> Box<dyn Value>;
     /// Upcast used for downcasting to the concrete type.
     fn as_any(&self) -> &dyn Any;
+    /// Mutable upcast: lets a buffered value be overwritten in place when a
+    /// later write of the same concrete type coalesces onto it, reusing the
+    /// existing allocation instead of boxing a fresh one.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
     /// Consuming upcast: lets an owned boxed value be downcast to its
     /// concrete type without cloning.
     fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
-impl<T: Any + fmt::Debug + PartialEq + Clone> Value for T {
+impl<T: Any + fmt::Debug + PartialEq + Clone + Send> Value for T {
     fn dyn_eq(&self, other: &dyn Value) -> bool {
         other.as_any().downcast_ref::<T>() == Some(self)
     }
@@ -38,6 +44,10 @@ impl<T: Any + fmt::Debug + PartialEq + Clone> Value for T {
         self
     }
 
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
     fn into_any(self: Box<Self>) -> Box<dyn Any> {
         self
     }
@@ -46,7 +56,7 @@ impl<T: Any + fmt::Debug + PartialEq + Clone> Value for T {
 /// Downcasts a cached value to its concrete type, cloning it out.
 ///
 /// The production read paths are borrow-based ([`downcast_ref`]) or
-/// consuming ([`downcast_box`]); this cloning form survives for tests.
+/// consuming via `into_any`; this cloning form survives for tests.
 ///
 /// # Panics
 ///
@@ -71,22 +81,6 @@ pub(crate) fn downcast_ref<'a, T: 'static>(v: &'a dyn Value, what: &str) -> &'a 
             std::any::type_name::<T>()
         )
     })
-}
-
-/// Downcasts an owned boxed value to its concrete type, consuming the box —
-/// no clone.
-///
-/// # Panics
-///
-/// Panics on a concrete-type mismatch, like [`downcast_ref`].
-pub(crate) fn downcast_box<T: 'static>(v: Box<dyn Value>, what: &str) -> T {
-    match v.into_any().downcast::<T>() {
-        Ok(b) => *b,
-        Err(_) => panic!(
-            "type mismatch reading {what}: expected {}",
-            std::any::type_name::<T>()
-        ),
-    }
 }
 
 #[cfg(test)]

@@ -160,7 +160,7 @@ impl<T: Value + PartialEq + Clone> Var<T> {
     /// Panics if `tx` belongs to a different runtime than this variable.
     pub fn set_in(&self, tx: &mut Batch<'_>, value: T) {
         self.check(tx.runtime());
-        tx.write(self.node, Box::new(value));
+        tx.write_typed(self.node, value);
     }
 
     /// Reads this variable *through* the transaction: the pending buffered
@@ -202,6 +202,22 @@ impl Runtime {
     pub fn var<T: Value + PartialEq + Clone>(&self, initial: T) -> Var<T> {
         Var {
             node: self.raw_alloc(Box::new(initial)),
+            rt_id: self.id,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocates a fresh tracked variable holding `initial` *and* records
+    /// the executing incremental procedure's dependence on it, as one
+    /// operation — the lazy-promotion read of Algorithm 3. Embedded hosts
+    /// (Section 6.1) use this when a plain storage location is read for the
+    /// first time inside a tracked context: the location's graph node and
+    /// its first dependence edge are created together, for the cost of a
+    /// single runtime lock round-trip. Outside a tracked context it is
+    /// simply [`Runtime::var`] (there is no frame to record against).
+    pub fn var_accessed<T: Value + PartialEq + Clone>(&self, initial: T) -> Var<T> {
+        Var {
+            node: self.alloc_accessed(Box::new(initial)),
             rt_id: self.id,
             _marker: PhantomData,
         }

@@ -10,8 +10,7 @@
 
 use alphonse::{Memo, Runtime, Scheduling, Strategy as EvalStrategy};
 use proptest::prelude::*;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One input of a derived computation.
 #[derive(Debug, Clone, Copy)]
@@ -72,12 +71,12 @@ fn run_case(case: &Case) {
         .build();
     let vars: Vec<_> = case.init.iter().map(|&v| rt.var(v)).collect();
     // Memos can call earlier memos; closures resolve callees through this
-    // shared registry (and keep it alive via their captured Rc).
-    let registry: Rc<RefCell<Vec<Memo<(), i64>>>> = Rc::new(RefCell::new(Vec::new()));
+    // shared registry (and keep it alive via their captured Arc).
+    let registry: Arc<Mutex<Vec<Memo<(), i64>>>> = Arc::new(Mutex::new(Vec::new()));
     for (k, spec) in case.memos.iter().enumerate() {
         let spec = spec.clone();
         let vars = vars.clone();
-        let reg = Rc::clone(&registry);
+        let reg = Arc::clone(&registry);
         let strategy = if spec.eager {
             EvalStrategy::Eager
         } else {
@@ -89,7 +88,7 @@ fn run_case(case: &Case) {
                 let v = match input {
                     Input::Var(i) => vars[i].get(rt),
                     Input::Memo(j) => {
-                        let callee = reg.borrow()[j].clone();
+                        let callee = reg.lock().unwrap()[j].clone();
                         callee.call(rt, ())
                     }
                 };
@@ -97,13 +96,13 @@ fn run_case(case: &Case) {
             }
             acc
         });
-        registry.borrow_mut().push(memo);
+        registry.lock().unwrap().push(memo);
     }
 
     let mut shadow = case.init.clone();
     // Query everything once so the dependency graph is fully populated.
     for k in 0..case.memos.len() {
-        let m = registry.borrow()[k].clone();
+        let m = registry.lock().unwrap()[k].clone();
         assert_eq!(m.call(&rt, ()), oracle(&case.memos, &shadow, k));
     }
     for op in &case.script {
@@ -115,7 +114,7 @@ fn run_case(case: &Case) {
             }
             Op::Query { memo } => {
                 let k = memo % case.memos.len();
-                let m = registry.borrow()[k].clone();
+                let m = registry.lock().unwrap()[k].clone();
                 let got = m.call(&rt, ());
                 let want = oracle(&case.memos, &shadow, k);
                 assert_eq!(
@@ -130,7 +129,7 @@ fn run_case(case: &Case) {
     // Final full audit.
     rt.propagate();
     for k in 0..case.memos.len() {
-        let m = registry.borrow()[k].clone();
+        let m = registry.lock().unwrap()[k].clone();
         assert_eq!(m.call(&rt, ()), oracle(&case.memos, &shadow, k));
     }
 }

@@ -3,14 +3,25 @@
 //! paper's fixpoint behaviour for procedures that write tracked state.
 
 use alphonse::{Runtime, Scheduling, Strategy};
-use std::cell::Cell;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 /// Counts executions of a memo body.
-fn counter() -> (Rc<Cell<u32>>, impl Fn()) {
-    let c = Rc::new(Cell::new(0u32));
-    let c2 = Rc::clone(&c);
-    (c, move || c2.set(c2.get() + 1))
+#[derive(Clone)]
+struct ExecCount(Arc<AtomicU32>);
+
+impl ExecCount {
+    fn get(&self) -> u32 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+fn counter() -> (ExecCount, impl Fn() + Send + Sync) {
+    let c = ExecCount(Arc::new(AtomicU32::new(0)));
+    let c2 = c.clone();
+    (c, move || {
+        c2.0.fetch_add(1, Ordering::Relaxed);
+    })
 }
 
 #[test]

@@ -5,7 +5,7 @@ use alphonse::trace::{
     render_dot, ChromeTrace, DirtyReason, GraphSink, Profiler, Recorder, TraceEvent, TraceSink,
 };
 use alphonse::{NodeId, Runtime, Strategy, Var};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Builds the canonical diamond over variable `a`:
 ///
@@ -45,7 +45,7 @@ fn diamond_write_produces_exact_event_sequence() {
     let rt = Runtime::new();
     let (a, [na, nleft, nright, ntop]) = diamond(&rt);
 
-    let rec = Rc::new(Recorder::new(1024));
+    let rec = Arc::new(Recorder::new(1024));
     rt.set_sink(Some(rec.clone()));
     a.set(&rt, 20);
     rt.propagate();
@@ -175,7 +175,7 @@ digraph alphonse {
 #[test]
 fn graph_sink_mirror_agrees_with_live_snapshot_topology() {
     let rt = Runtime::new();
-    let mirror = Rc::new(GraphSink::new());
+    let mirror = Arc::new(GraphSink::new());
     rt.set_sink(Some(mirror.clone()));
     let (a, _) = diamond(&rt);
     a.set(&rt, 20);
@@ -203,8 +203,8 @@ fn graph_sink_mirror_agrees_with_live_snapshot_topology() {
 fn with_trace_restores_previous_sink() {
     let rt = Runtime::new();
     let x = rt.var(1i64);
-    let outer = Rc::new(Recorder::new(64));
-    let inner = Rc::new(Recorder::new(64));
+    let outer = Arc::new(Recorder::new(64));
+    let inner = Arc::new(Recorder::new(64));
     rt.set_sink(Some(outer.clone()));
     x.set(&rt, 2); // seen by outer
     rt.with_trace(inner.clone(), || x.set(&rt, 3)); // seen by inner only
@@ -226,7 +226,7 @@ fn edge_added_is_attributed_to_the_successor() {
     // Per-node timelines still show the edge from both endpoints.
     let rt = Runtime::new();
     let (a, [na, _, nright, _]) = diamond(&rt);
-    let rec = Rc::new(Recorder::new(1024));
+    let rec = Arc::new(Recorder::new(1024));
     rt.set_sink(Some(rec.clone()));
     a.set(&rt, 20);
     rt.propagate();
@@ -244,7 +244,7 @@ fn edge_added_is_attributed_to_the_successor() {
 fn recorder_timeline_filters_per_node() {
     let rt = Runtime::new();
     let (a, [na, nleft, ..]) = diamond(&rt);
-    let rec = Rc::new(Recorder::new(1024));
+    let rec = Arc::new(Recorder::new(1024));
     rt.set_sink(Some(rec.clone()));
     a.set(&rt, 20);
     rt.propagate();
@@ -268,7 +268,7 @@ fn recorder_timeline_filters_per_node() {
 #[test]
 fn chrome_trace_from_diamond_is_valid_json_shape() {
     let rt = Runtime::new();
-    let chrome = Rc::new(ChromeTrace::new());
+    let chrome = Arc::new(ChromeTrace::new());
     rt.set_sink(Some(chrome.clone()));
     let (a, _) = diamond(&rt);
     a.set(&rt, 20);
@@ -290,7 +290,7 @@ fn chrome_trace_from_diamond_is_valid_json_shape() {
 #[test]
 fn profiler_counts_diamond_executions() {
     let rt = Runtime::new();
-    let prof = Rc::new(Profiler::new());
+    let prof = Arc::new(Profiler::new());
     rt.set_sink(Some(prof.clone()));
     let (a, _) = diamond(&rt);
     a.set(&rt, 20);
@@ -309,7 +309,7 @@ fn profiler_counts_diamond_executions() {
 
 #[test]
 fn default_sink_attaches_to_runtimes_built_after_install() {
-    let rec = Rc::new(Recorder::new(64));
+    let rec = Arc::new(Recorder::new(64));
     let prev = alphonse::trace::set_default_sink(Some(rec.clone()));
     assert!(prev.is_none());
     let rt = Runtime::new();
@@ -332,7 +332,7 @@ fn default_sink_attaches_to_runtimes_built_after_install() {
 fn tracing_reflects_sink_presence() {
     let rt = Runtime::new();
     assert!(!rt.tracing());
-    rt.set_sink(Some(Rc::new(Recorder::new(8))));
+    rt.set_sink(Some(Arc::new(Recorder::new(8))));
     assert!(rt.tracing());
     rt.set_sink(None);
     assert!(!rt.tracing());
@@ -367,7 +367,7 @@ impl TraceSink for PanicSink {
 #[test]
 fn detached_sink_receives_nothing() {
     let rt = Runtime::new();
-    let prev = rt.set_sink(Some(Rc::new(PanicSink)));
+    let prev = rt.set_sink(Some(Arc::new(PanicSink)));
     assert!(prev.is_none());
     let restored = rt.set_sink(None);
     assert!(restored.is_some());

@@ -346,6 +346,39 @@ impl DepGraph {
         out.clear();
         self.for_each_succ(u, |s| out.push(s));
     }
+
+    /// Calls `f` once per predecessor of `v` (including duplicates from
+    /// parallel edges), without constructing an iterator adapter chain —
+    /// the fan-in counterpart of [`DepGraph::for_each_succ`].
+    #[inline]
+    pub fn for_each_pred(&self, v: NodeId, mut f: impl FnMut(NodeId)) {
+        let mut e = self.nodes[v.index()].first_in;
+        while e != NIL {
+            let edge = self.edges[e as usize];
+            f(NodeId(edge.src));
+            e = edge.next_in;
+        }
+    }
+
+    /// Clears `out` and fills it with the predecessors of `v` (duplicates
+    /// included) — the fan-in counterpart of [`DepGraph::succs_into`], used
+    /// by diagnostic paths that want to reuse one scratch buffer instead of
+    /// collecting a fresh `Vec` per node.
+    #[inline]
+    pub fn preds_into(&self, v: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        self.for_each_pred(v, |p| out.push(p));
+    }
+
+    /// Approximate heap footprint of the graph arena in bytes, computed from
+    /// vector capacities (so it reflects what the allocator actually holds,
+    /// not just live entries). Feeds the runtime's memory-footprint gauges.
+    pub fn approx_bytes(&self) -> u64 {
+        let nodes = self.nodes.capacity() * std::mem::size_of::<NodeRec>();
+        let edges = self.edges.capacity() * std::mem::size_of::<Edge>();
+        let scratch = self.scratch.capacity() * std::mem::size_of::<u32>();
+        (nodes + edges + scratch + std::mem::size_of::<DepGraph>()) as u64
+    }
 }
 
 /// Iterator over successor nodes, created by [`DepGraph::succs`].
@@ -414,6 +447,32 @@ mod tests {
         let mut p: Vec<_> = g.preds(c).collect();
         p.sort();
         assert_eq!(p, vec![a, b]);
+    }
+
+    #[test]
+    fn preds_into_reuses_buffer() {
+        let mut g = DepGraph::new();
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, c);
+        g.add_edge(b, c);
+        let mut buf = vec![a]; // stale content must be cleared
+        g.preds_into(c, &mut buf);
+        buf.sort();
+        assert_eq!(buf, vec![a, b]);
+        g.preds_into(a, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_graph() {
+        let mut g = DepGraph::new();
+        let empty = g.approx_bytes();
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b);
+        assert!(g.approx_bytes() > empty);
     }
 
     #[test]

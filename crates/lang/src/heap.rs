@@ -33,10 +33,12 @@ impl Slot {
             Slot::Plain(v) => {
                 if let Some(rt) = rt {
                     if rt.in_tracked_context() {
-                        let var = rt.var(v.clone());
-                        let out = var.get(rt);
+                        // Promote: node creation and the promoting read's
+                        // dependence edge happen as one runtime operation.
+                        let value = std::mem::replace(v, Val::Nil);
+                        let var = rt.var_accessed(value.clone());
                         *self = Slot::Tracked(var);
-                        return out;
+                        return value;
                     }
                 }
                 v.clone()

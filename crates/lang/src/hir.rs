@@ -8,7 +8,7 @@
 use crate::ast::{BinOp, UnOp};
 use crate::token::Span;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Index of a declared object type.
 pub type TypeId = usize;
@@ -151,7 +151,7 @@ pub enum HExpr {
     /// Integer literal.
     Int(i64),
     /// Text literal.
-    Text(Rc<str>),
+    Text(Arc<str>),
     /// Boolean literal.
     Bool(bool),
     /// `NIL`.
@@ -180,7 +180,7 @@ pub enum HExpr {
         span: Span,
         /// Method name (slot indices are only meaningful within one type
         /// hierarchy; the static analyses match dispatch targets by name).
-        name: Rc<str>,
+        name: Arc<str>,
         /// Receiver.
         obj: Box<HExpr>,
         /// Method slot (valid for the receiver's static type and all

@@ -21,9 +21,25 @@ use crate::hir::*;
 use crate::value::{ObjId, Val};
 use alphonse::trace::{ActiveTrace, TraceConfig};
 use alphonse::{Memo, Runtime, Strategy as RtStrategy};
-use std::cell::{Cell, RefCell};
 use std::fmt;
-use std::rc::{Rc, Weak};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError, Weak};
+
+/// Locks one piece of interpreter state, with the same fail-stop contract
+/// the runtime uses for its own interior lock: interpreter state is only
+/// ever re-entered on a bug (a procedure body calling back into a held
+/// structure), so contention panics instead of deadlocking. A poisoned
+/// lock (a panic elsewhere) is entered anyway — interpreter state stays
+/// memory-safe and the program is already unwinding.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            panic!("interpreter state re-entered while held")
+        }
+    }
+}
 
 /// Execution model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,7 +95,7 @@ fn trace_from_env(rt: &Runtime) -> Option<ActiveTrace> {
 }
 
 struct Shared {
-    program: Rc<Program>,
+    program: Arc<Program>,
     mode: Mode,
     rt: Option<Runtime>,
     /// Section 6.1 instrumentation decisions: accesses the analysis proved
@@ -88,16 +104,16 @@ struct Shared {
     /// `ALPHONSE_TRACE` consumer (with its live provenance index), flushed
     /// when the interpreter drops.
     trace: Option<ActiveTrace>,
-    heap: RefCell<Heap>,
-    globals: RefCell<Vec<Slot>>,
-    memos: RefCell<Vec<Option<ProcMemo>>>,
-    output: RefCell<String>,
-    pending_error: RefCell<Option<LangError>>,
+    heap: Mutex<Heap>,
+    globals: Mutex<Vec<Slot>>,
+    memos: Mutex<Vec<Option<ProcMemo>>>,
+    output: Mutex<String>,
+    pending_error: Mutex<Option<LangError>>,
     /// Instances whose cached value was committed while an error was
     /// pending — their sentinel `Nil` results must not be reused.
-    poisoned: RefCell<Vec<(ProcId, Vec<Val>)>>,
-    steps: Cell<u64>,
-    fuel: Cell<u64>,
+    poisoned: Mutex<Vec<(ProcId, Vec<Val>)>>,
+    steps: AtomicU64,
+    fuel: AtomicU64,
 }
 
 /// An executable Alphonse-L program instance.
@@ -115,14 +131,14 @@ struct Shared {
 /// assert_eq!(interp.call("Double", vec![Val::Int(21)]).unwrap(), Val::Int(42));
 /// ```
 pub struct Interp {
-    shared: Rc<Shared>,
+    shared: Arc<Shared>,
 }
 
 impl fmt::Debug for Interp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Interp")
             .field("mode", &self.shared.mode)
-            .field("objects", &self.shared.heap.borrow().len())
+            .field("objects", &lock(&self.shared.heap).len())
             .finish()
     }
 }
@@ -134,7 +150,7 @@ impl Interp {
     /// # Errors
     ///
     /// Returns a runtime error if a global initializer fails.
-    pub fn new(program: Rc<Program>, mode: Mode) -> Result<Interp> {
+    pub fn new(program: Arc<Program>, mode: Mode) -> Result<Interp> {
         let rt = match mode {
             Mode::Conventional => None,
             Mode::Alphonse => Some(Runtime::new()),
@@ -148,11 +164,11 @@ impl Interp {
     /// # Errors
     ///
     /// Returns a runtime error if a global initializer fails.
-    pub fn with_runtime(program: Rc<Program>, rt: Runtime) -> Result<Interp> {
+    pub fn with_runtime(program: Arc<Program>, rt: Runtime) -> Result<Interp> {
         Self::build(program, Mode::Alphonse, Some(rt))
     }
 
-    fn build(program: Rc<Program>, mode: Mode, rt: Option<Runtime>) -> Result<Interp> {
+    fn build(program: Arc<Program>, mode: Mode, rt: Option<Runtime>) -> Result<Interp> {
         let n_procs = program.procs.len();
         let globals = program
             .globals
@@ -161,20 +177,20 @@ impl Interp {
             .collect();
         let trace = rt.as_ref().and_then(trace_from_env);
         let instr = analyze(&program);
-        let shared = Rc::new(Shared {
+        let shared = Arc::new(Shared {
             program,
             mode,
             rt,
             instr,
             trace,
-            heap: RefCell::new(Heap::new()),
-            globals: RefCell::new(globals),
-            memos: RefCell::new(vec![None; n_procs]),
-            output: RefCell::new(String::new()),
-            pending_error: RefCell::new(None),
-            poisoned: RefCell::new(Vec::new()),
-            steps: Cell::new(0),
-            fuel: Cell::new(DEFAULT_FUEL),
+            heap: Mutex::new(Heap::new()),
+            globals: Mutex::new(globals),
+            memos: Mutex::new(vec![None; n_procs]),
+            output: Mutex::new(String::new()),
+            pending_error: Mutex::new(None),
+            poisoned: Mutex::new(Vec::new()),
+            steps: AtomicU64::new(0),
+            fuel: AtomicU64::new(DEFAULT_FUEL),
         });
         // Run global initializers in declaration order (mutator context).
         let inits: Vec<(usize, HExpr)> = shared
@@ -187,7 +203,7 @@ impl Interp {
         for (i, init) in inits {
             let mut frame = Vec::new();
             let v = shared.eval_expr(&init, &mut frame)?;
-            shared.globals.borrow_mut()[i].write(shared.rt_global(i), v);
+            lock(&shared.globals)[i].write(shared.rt_global(i), v);
         }
         Ok(Interp { shared })
     }
@@ -198,7 +214,7 @@ impl Interp {
     }
 
     /// The resolved program being executed.
-    pub fn program(&self) -> &Rc<Program> {
+    pub fn program(&self) -> &Arc<Program> {
         &self.shared.program
     }
 
@@ -216,33 +232,33 @@ impl Interp {
     /// Statements/expressions/calls executed so far — the
     /// machine-independent `T` of the paper's Section 9.2.
     pub fn steps(&self) -> u64 {
-        self.shared.steps.get()
+        self.shared.steps.load(Ordering::Relaxed)
     }
 
     /// Sets the remaining execution fuel (guards against runaway programs).
     pub fn set_fuel(&self, fuel: u64) {
-        self.shared.fuel.set(fuel);
+        self.shared.fuel.store(fuel, Ordering::Relaxed);
     }
 
     /// Everything `Print` produced so far.
     pub fn output(&self) -> String {
-        self.shared.output.borrow().clone()
+        lock(&self.shared.output).clone()
     }
 
     /// Returns and clears the accumulated output.
     pub fn take_output(&self) -> String {
-        std::mem::take(&mut self.shared.output.borrow_mut())
+        std::mem::take(&mut *lock(&self.shared.output))
     }
 
     /// Number of heap objects allocated.
     pub fn heap_objects(&self) -> usize {
-        self.shared.heap.borrow().len()
+        lock(&self.shared.heap).len()
     }
 
     /// Number of storage locations promoted to tracked status (Alphonse
     /// mode only; 0 otherwise).
     pub fn tracked_slots(&self) -> usize {
-        self.shared.heap.borrow().tracked_slots()
+        lock(&self.shared.heap).tracked_slots()
     }
 
     /// Runs pending change propagation (no-op in conventional mode).
@@ -263,7 +279,7 @@ impl Interp {
         // Surface an error trapped inside a memoized execution (annotated
         // with its causal provenance while the failing instance still
         // exists), and forget every sentinel value it left behind.
-        let pending = self.shared.pending_error.borrow_mut().take();
+        let pending = lock(&self.shared.pending_error).take();
         let pending = pending.map(|e| self.shared.annotate_error(e));
         self.shared.drain_poisoned();
         if let Some(e) = pending {
@@ -301,7 +317,7 @@ impl Interp {
                 "method call .{method}() on non-object {recv}"
             )));
         };
-        let ty = self.shared.heap.borrow().type_of(o);
+        let ty = lock(&self.shared.heap).type_of(o);
         let slot = self.shared.program.method_slot(ty, method).ok_or_else(|| {
             LangError::resolve(format!(
                 "type {} has no method {method}",
@@ -321,7 +337,7 @@ impl Interp {
     /// Returns [`LangError::Resolve`] for unknown names.
     pub fn global(&self, name: &str) -> Result<Val> {
         let idx = self.global_index(name)?;
-        Ok(self.shared.globals.borrow_mut()[idx].read(self.shared.rt_global(idx)))
+        Ok(lock(&self.shared.globals)[idx].read(self.shared.rt_global(idx)))
     }
 
     /// Writes a top-level variable (a mutator state change; seeds change
@@ -332,7 +348,7 @@ impl Interp {
     /// Returns [`LangError::Resolve`] for unknown names.
     pub fn set_global(&self, name: &str, v: Val) -> Result<()> {
         let idx = self.global_index(name)?;
-        self.shared.globals.borrow_mut()[idx].write(self.shared.rt_global(idx), v);
+        lock(&self.shared.globals)[idx].write(self.shared.rt_global(idx), v);
         Ok(())
     }
 
@@ -351,7 +367,7 @@ impl Interp {
         for (name, v) in edits {
             resolved.push((self.global_index(name)?, v));
         }
-        let mut globals = self.shared.globals.borrow_mut();
+        let mut globals = lock(&self.shared.globals);
         match self.shared.rt.as_ref() {
             Some(rt) => rt.batch(|tx| {
                 for (idx, v) in resolved {
@@ -398,11 +414,7 @@ impl Interp {
     /// Returns an error if `obj` is not an object or has no such field.
     pub fn field(&self, obj: &Val, field: &str) -> Result<Val> {
         let (o, off) = self.field_ref(obj, field)?;
-        Ok(self
-            .shared
-            .heap
-            .borrow_mut()
-            .read_field(self.shared.rt_field(off), o, off))
+        Ok(lock(&self.shared.heap).read_field(self.shared.rt_field(off), o, off))
     }
 
     /// Writes `obj.field` (a mutator state change).
@@ -412,10 +424,7 @@ impl Interp {
     /// Returns an error if `obj` is not an object or has no such field.
     pub fn set_field(&self, obj: &Val, field: &str, v: Val) -> Result<()> {
         let (o, off) = self.field_ref(obj, field)?;
-        self.shared
-            .heap
-            .borrow_mut()
-            .write_field(self.shared.rt_field(off), o, off, v);
+        lock(&self.shared.heap).write_field(self.shared.rt_field(off), o, off, v);
         Ok(())
     }
 
@@ -439,7 +448,7 @@ impl Interp {
             let (o, off) = self.field_ref(obj, field)?;
             resolved.push((o, off, v));
         }
-        let mut heap = self.shared.heap.borrow_mut();
+        let mut heap = lock(&self.shared.heap);
         match self.shared.rt.as_ref() {
             Some(rt) => rt.batch(|tx| {
                 for (o, off, v) in resolved {
@@ -475,7 +484,7 @@ impl Interp {
                 "element assignment on non-array {arr}"
             )));
         };
-        let mut heap = self.shared.heap.borrow_mut();
+        let mut heap = lock(&self.shared.heap);
         let len = heap.array_len(*a);
         let mut resolved = Vec::new();
         for (i, v) in edits {
@@ -507,7 +516,7 @@ impl Interp {
                 "field access .{field} on non-object {obj}"
             )));
         };
-        let ty = self.shared.heap.borrow().type_of(*o);
+        let ty = lock(&self.shared.heap).type_of(*o);
         let off = self.shared.program.field_offset(ty, field).ok_or_else(|| {
             LangError::resolve(format!(
                 "type {} has no field {field}",
@@ -565,16 +574,16 @@ impl Shared {
 
     fn alloc(&self, ty: TypeId) -> ObjId {
         let field_types: Vec<Ty> = self.program.types[ty].fields.iter().map(|f| f.ty).collect();
-        self.heap.borrow_mut().alloc(ty, &field_types)
+        lock(&self.heap).alloc(ty, &field_types)
     }
 
     fn burn(&self) -> Result<()> {
-        self.steps.set(self.steps.get() + 1);
-        let f = self.fuel.get();
+        self.steps.fetch_add(1, Ordering::Relaxed);
+        let f = self.fuel.load(Ordering::Relaxed);
         if f == 0 {
             return Err(LangError::runtime("execution fuel exhausted"));
         }
-        self.fuel.set(f - 1);
+        self.fuel.store(f - 1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -591,10 +600,10 @@ impl Shared {
         let Some(active) = self.trace.as_ref() else {
             return e;
         };
-        let Some((pid, args)) = self.poisoned.borrow().first().cloned() else {
+        let Some((pid, args)) = lock(&self.poisoned).first().cloned() else {
             return e;
         };
-        let Some(memo) = self.memos.borrow()[pid].clone() else {
+        let Some(memo) = lock(&self.memos)[pid].clone() else {
             return e;
         };
         let Some(n) = memo.instance_node(&args) else {
@@ -613,9 +622,9 @@ impl Shared {
     /// sentinel `Nil`.
     fn drain_poisoned(&self) {
         let Some(rt) = self.rt.as_ref() else { return };
-        let poisoned = std::mem::take(&mut *self.poisoned.borrow_mut());
+        let poisoned = std::mem::take(&mut *lock(&self.poisoned));
         for (pid, args) in poisoned {
-            if let Some(memo) = self.memos.borrow()[pid].clone() {
+            if let Some(memo) = lock(&self.memos)[pid].clone() {
                 memo.forget(rt, &args);
             }
         }
@@ -623,7 +632,7 @@ impl Shared {
 
     /// Calls a procedure: through its memo (Algorithm 5) when it is an
     /// incremental procedure and the mode is Alphonse, directly otherwise.
-    fn call_proc(self: &Rc<Self>, pid: ProcId, args: Vec<Val>) -> Result<Val> {
+    fn call_proc(self: &Arc<Self>, pid: ProcId, args: Vec<Val>) -> Result<Val> {
         self.burn()?;
         if self.mode == Mode::Alphonse && self.program.procs[pid].incremental.is_some() {
             let memo = self.memo_for(pid);
@@ -638,10 +647,10 @@ impl Shared {
             } else {
                 memo.call(rt, args)
             };
-            let pending = self.pending_error.borrow().clone();
+            let pending = lock(&self.pending_error).clone();
             if let Some(e) = pending {
                 let e = self.annotate_error(e);
-                *self.pending_error.borrow_mut() = Some(e.clone());
+                *lock(&self.pending_error) = Some(e.clone());
                 self.drain_poisoned();
                 return Err(e);
             }
@@ -653,8 +662,8 @@ impl Shared {
 
     /// Gets or creates the memo (argument table) for an incremental
     /// procedure.
-    fn memo_for(self: &Rc<Self>, pid: ProcId) -> ProcMemo {
-        if let Some(m) = &self.memos.borrow()[pid] {
+    fn memo_for(self: &Arc<Self>, pid: ProcId) -> ProcMemo {
+        if let Some(m) = &lock(&self.memos)[pid] {
             return m.clone();
         }
         let info = &self.program.procs[pid];
@@ -663,22 +672,22 @@ impl Shared {
             Strategy::Demand => RtStrategy::Demand,
             Strategy::Eager => RtStrategy::Eager,
         };
-        let weak: Weak<Shared> = Rc::downgrade(self);
+        let weak: Weak<Shared> = Arc::downgrade(self);
         let rt = self.rt.as_ref().expect("Alphonse mode has a runtime");
         let body = move |_rt: &Runtime, args: &Vec<Val>| {
             let shared = weak.upgrade().expect("interpreter dropped during call");
             let out = match shared.execute_proc(pid, args.clone()) {
                 Ok(v) => v,
                 Err(e) => {
-                    shared.pending_error.borrow_mut().get_or_insert(e);
+                    lock(&shared.pending_error).get_or_insert(e);
                     Val::Nil
                 }
             };
             // Any value committed while an error is pending is a sentinel
             // (either this body failed, or the quick-unwind skipped it); it
             // must be forgotten before the cache can be trusted again.
-            if shared.pending_error.borrow().is_some() {
-                shared.poisoned.borrow_mut().push((pid, args.clone()));
+            if lock(&shared.pending_error).is_some() {
+                lock(&shared.poisoned).push((pid, args.clone()));
             }
             out
         };
@@ -686,13 +695,13 @@ impl Shared {
             Some(capacity) => rt.memo_bounded(&info.name, rt_strategy, capacity, body),
             None => rt.memo_with(&info.name, rt_strategy, body),
         };
-        self.memos.borrow_mut()[pid] = Some(memo.clone());
+        lock(&self.memos)[pid] = Some(memo.clone());
         memo
     }
 
     /// Runs a procedure body in a fresh frame.
-    fn execute_proc(self: &Rc<Self>, pid: ProcId, args: Vec<Val>) -> Result<Val> {
-        if self.pending_error.borrow().is_some() {
+    fn execute_proc(self: &Arc<Self>, pid: ProcId, args: Vec<Val>) -> Result<Val> {
+        if lock(&self.pending_error).is_some() {
             // An inner memoized execution already failed; unwind quickly.
             return Ok(Val::Nil);
         }
@@ -722,7 +731,7 @@ impl Shared {
         }
     }
 
-    fn eval_stmts(self: &Rc<Self>, stmts: &[HStmt], frame: &mut Vec<Val>) -> Result<Flow> {
+    fn eval_stmts(self: &Arc<Self>, stmts: &[HStmt], frame: &mut Vec<Val>) -> Result<Flow> {
         for s in stmts {
             if let Flow::Return(v) = self.eval_stmt(s, frame)? {
                 return Ok(Flow::Return(v));
@@ -731,7 +740,7 @@ impl Shared {
         Ok(Flow::Normal)
     }
 
-    fn eval_stmt(self: &Rc<Self>, stmt: &HStmt, frame: &mut Vec<Val>) -> Result<Flow> {
+    fn eval_stmt(self: &Arc<Self>, stmt: &HStmt, frame: &mut Vec<Val>) -> Result<Flow> {
         self.burn()?;
         match stmt {
             HStmt::AssignLocal { slot, value } => {
@@ -741,7 +750,7 @@ impl Shared {
             }
             HStmt::AssignGlobal { index, value, .. } => {
                 let v = self.eval_expr(value, frame)?;
-                self.globals.borrow_mut()[*index].write(self.rt_global(*index), v);
+                lock(&self.globals)[*index].write(self.rt_global(*index), v);
                 Ok(Flow::Normal)
             }
             HStmt::AssignIndex {
@@ -753,11 +762,7 @@ impl Shared {
                 let Val::Arr(a) = a else {
                     return Err(LangError::runtime("element assignment to NIL array"));
                 };
-                if !self
-                    .heap
-                    .borrow_mut()
-                    .write_element(self.rt_arrays(), a, i, v)
-                {
+                if !lock(&self.heap).write_element(self.rt_arrays(), a, i, v) {
                     return Err(LangError::runtime(format!("array index {i} out of bounds")));
                 }
                 Ok(Flow::Normal)
@@ -770,9 +775,7 @@ impl Shared {
                 let Val::Obj(o) = o else {
                     return Err(LangError::runtime("field assignment to NIL"));
                 };
-                self.heap
-                    .borrow_mut()
-                    .write_field(self.rt_field(*field), o, *field, v);
+                lock(&self.heap).write_field(self.rt_field(*field), o, *field, v);
                 Ok(Flow::Normal)
             }
             HStmt::If { arms, else_body } => {
@@ -836,18 +839,18 @@ impl Shared {
         }
     }
 
-    fn eval_expr(self: &Rc<Self>, e: &HExpr, frame: &mut Vec<Val>) -> Result<Val> {
+    fn eval_expr(self: &Arc<Self>, e: &HExpr, frame: &mut Vec<Val>) -> Result<Val> {
         self.burn()?;
         match e {
             HExpr::Int(v) => Ok(Val::Int(*v)),
-            HExpr::Text(s) => Ok(Val::Text(Rc::clone(s))),
+            HExpr::Text(s) => Ok(Val::Text(Arc::clone(s))),
             HExpr::Bool(b) => Ok(Val::Bool(*b)),
             HExpr::Nil => Ok(Val::Nil),
             HExpr::Local(slot) => Ok(frame[*slot].clone()),
             HExpr::Global(idx) => {
                 let rt = self.rt_global(*idx);
                 debug_assert!(rt.is_some() || !self.recording(), "pruned a recorded read");
-                Ok(self.globals.borrow_mut()[*idx].read(rt))
+                Ok(lock(&self.globals)[*idx].read(rt))
             }
             HExpr::Field { obj, field } => {
                 let o = self.eval_expr(obj, frame)?;
@@ -856,14 +859,14 @@ impl Shared {
                 };
                 let rt = self.rt_field(*field);
                 debug_assert!(rt.is_some() || !self.recording(), "pruned a recorded read");
-                Ok(self.heap.borrow_mut().read_field(rt, o, *field))
+                Ok(lock(&self.heap).read_field(rt, o, *field))
             }
             HExpr::New(ty) => Ok(Val::Obj(self.alloc(*ty))),
             HExpr::NewArray { elem, size } => {
                 let n = self.eval_expr(size, frame)?.as_int();
                 let n = usize::try_from(n)
                     .map_err(|_| LangError::runtime(format!("negative array size {n}")))?;
-                Ok(Val::Arr(self.heap.borrow_mut().alloc_array(*elem, n)))
+                Ok(Val::Arr(lock(&self.heap).alloc_array(*elem, n)))
             }
             HExpr::Index { arr, index } => {
                 let a = self.eval_expr(arr, frame)?;
@@ -873,8 +876,7 @@ impl Shared {
                 };
                 let rt = self.rt_arrays();
                 debug_assert!(rt.is_some() || !self.recording(), "pruned a recorded read");
-                self.heap
-                    .borrow_mut()
+                lock(&self.heap)
                     .read_element(rt, a, i)
                     .ok_or_else(|| LangError::runtime(format!("array index {i} out of bounds")))
             }
@@ -889,7 +891,7 @@ impl Shared {
                 let Val::Obj(o) = recv else {
                     return Err(LangError::runtime("method call on NIL"));
                 };
-                let ty = self.heap.borrow().type_of(o);
+                let ty = lock(&self.heap).type_of(o);
                 let pid = self.program.types[ty].methods[*slot].impl_proc;
                 let mut argv = self.eval_args(args, frame)?;
                 argv.insert(0, Val::Obj(o));
@@ -917,12 +919,12 @@ impl Shared {
         }
     }
 
-    fn eval_args(self: &Rc<Self>, args: &[HExpr], frame: &mut Vec<Val>) -> Result<Vec<Val>> {
+    fn eval_args(self: &Arc<Self>, args: &[HExpr], frame: &mut Vec<Val>) -> Result<Vec<Val>> {
         args.iter().map(|a| self.eval_expr(a, frame)).collect()
     }
 
     fn binary(
-        self: &Rc<Self>,
+        self: &Arc<Self>,
         op: crate::ast::BinOp,
         lhs: &HExpr,
         rhs: &HExpr,
@@ -964,7 +966,7 @@ impl Shared {
                 Val::Int(l.as_int().wrapping_rem(d))
             }
             B::Concat => match (l, r) {
-                (Val::Text(a), Val::Text(b)) => Val::Text(Rc::from(format!("{a}{b}").as_str())),
+                (Val::Text(a), Val::Text(b)) => Val::Text(Arc::from(format!("{a}{b}").as_str())),
                 _ => return Err(LangError::runtime("& on non-text values")),
             },
             B::Eq => Val::Bool(l == r),
@@ -986,11 +988,11 @@ impl Shared {
                 let Val::Arr(a) = args[0] else {
                     return Err(LangError::runtime("LEN of NIL array"));
                 };
-                Val::Int(self.heap.borrow().array_len(a) as i64)
+                Val::Int(lock(&self.heap).array_len(a) as i64)
             }
             Builtin::Print => {
                 use std::fmt::Write;
-                let _ = writeln!(self.output.borrow_mut(), "{}", args[0]);
+                let _ = writeln!(lock(&self.output), "{}", args[0]);
                 Val::Nil
             }
         })

@@ -65,13 +65,13 @@ pub use transform::{transform, TransformOptions, TransformReport};
 pub use unparse::{expr_str, unparse};
 pub use value::{ObjId, Val};
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Front-end pipeline: lex, parse, resolve and type-check `source`.
 ///
 /// # Errors
 ///
 /// Returns the first error of any stage.
-pub fn compile(source: &str) -> Result<Rc<hir::Program>> {
-    Ok(Rc::new(resolve(&parse(source)?)?))
+pub fn compile(source: &str) -> Result<Arc<hir::Program>> {
+    Ok(Arc::new(resolve(&parse(source)?)?))
 }

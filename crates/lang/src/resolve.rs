@@ -17,7 +17,7 @@ use crate::error::{LangError, Result};
 use crate::hir::*;
 use crate::token::{Pragma, PragmaStrategy, Span};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Resolves and type-checks a parsed module.
 ///
@@ -736,7 +736,7 @@ impl Resolver {
         match e {
             E::Int(v) => Ok((HExpr::Int(*v), Some(ETy::Known(Ty::Integer)))),
             E::Text(s) => Ok((
-                HExpr::Text(Rc::from(s.as_str())),
+                HExpr::Text(Arc::from(s.as_str())),
                 Some(ETy::Known(Ty::Text)),
             )),
             E::Bool(b) => Ok((HExpr::Bool(*b), Some(ETy::Known(Ty::Boolean)))),
@@ -968,7 +968,7 @@ impl Resolver {
                 Ok((
                     HExpr::CallMethod {
                         span,
-                        name: Rc::from(name.as_str()),
+                        name: Arc::from(name.as_str()),
                         obj: Box::new(hobj),
                         slot,
                         args: hargs,

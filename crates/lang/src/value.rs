@@ -1,7 +1,7 @@
 //! Runtime values of Alphonse-L.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Identity of a heap object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,7 +36,7 @@ pub enum Val {
     /// `BOOLEAN`
     Bool(bool),
     /// `TEXT`
-    Text(Rc<str>),
+    Text(Arc<str>),
     /// `NIL`
     Nil,
     /// Reference to a heap object.
@@ -48,7 +48,7 @@ pub enum Val {
 impl Val {
     /// Text helper.
     pub fn text(s: &str) -> Val {
-        Val::Text(Rc::from(s))
+        Val::Text(Arc::from(s))
     }
 
     /// Extracts an integer.

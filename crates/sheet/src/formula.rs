@@ -3,7 +3,7 @@
 
 use crate::addr::Addr;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The result of evaluating a cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,12 +53,12 @@ pub enum Formula {
         /// Operator.
         op: Op,
         /// Left operand.
-        lhs: Rc<Formula>,
+        lhs: Arc<Formula>,
         /// Right operand.
-        rhs: Rc<Formula>,
+        rhs: Arc<Formula>,
     },
     /// Negation.
-    Neg(Rc<Formula>),
+    Neg(Arc<Formula>),
     /// `SUM(A1:B5)` over an inclusive rectangle.
     Sum {
         /// Top-left corner.
@@ -224,7 +224,7 @@ impl FormulaParser {
         match self.peek() {
             Some('-') => {
                 self.pos += 1;
-                Ok(Formula::Neg(Rc::new(self.factor()?)))
+                Ok(Formula::Neg(Arc::new(self.factor()?)))
             }
             Some('(') => {
                 self.pos += 1;
@@ -293,8 +293,8 @@ impl FormulaParser {
 fn bin(op: Op, lhs: Formula, rhs: Formula) -> Formula {
     Formula::Bin {
         op,
-        lhs: Rc::new(lhs),
-        rhs: Rc::new(rhs),
+        lhs: Arc::new(lhs),
+        rhs: Arc::new(rhs),
     }
 }
 

@@ -12,9 +12,8 @@
 use crate::addr::Addr;
 use crate::formula::{CellValue, Formula, Op};
 use alphonse::{Memo, Runtime, Var};
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Errors raised by sheet mutations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,13 +70,13 @@ impl Cells {
 /// ```
 pub struct Sheet {
     rt: Runtime,
-    cells: Rc<RefCell<Cells>>,
+    cells: Arc<Cells>,
     value: Memo<Addr, CellValue>,
 }
 
 impl fmt::Debug for Sheet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let c = self.cells.borrow();
+        let c = &self.cells;
         f.debug_struct("Sheet")
             .field("width", &c.width)
             .field("height", &c.height)
@@ -103,15 +102,15 @@ impl Sheet {
                 }
             })
             .collect();
-        let cells = Rc::new(RefCell::new(Cells {
+        let cells = Arc::new(Cells {
             width,
             height,
             formulas,
-        }));
-        let c = Rc::clone(&cells);
+        });
+        let c = Arc::clone(&cells);
         let value = rt.memo_recursive("cell_value", move |rt, me, &addr: &Addr| {
             let formula = {
-                let cells = c.borrow();
+                let cells = &c;
                 match cells.index(addr) {
                     Some(i) => cells.formulas[i].get(rt),
                     None => return CellValue::Error,
@@ -128,12 +127,12 @@ impl Sheet {
 
     /// Sheet width in columns.
     pub fn width(&self) -> u32 {
-        self.cells.borrow().width
+        self.cells.width
     }
 
     /// Sheet height in rows.
     pub fn height(&self) -> u32 {
-        self.cells.borrow().height
+        self.cells.height
     }
 
     /// Sets a cell from source text (`"42"` or `"=A1+B2"`).
@@ -157,7 +156,7 @@ impl Sheet {
     /// Returns [`SheetError`] on out-of-bounds addresses or cycles.
     pub fn set_formula(&self, addr: Addr, formula: Formula) -> Result<(), SheetError> {
         let var = {
-            let cells = self.cells.borrow();
+            let cells = &self.cells;
             let idx = cells.index(addr).ok_or(SheetError::OutOfBounds(addr))?;
             cells.formulas[idx]
         };
@@ -219,7 +218,7 @@ impl Sheet {
         // though neither formula is stored yet.
         let mut overlay = std::collections::HashMap::new();
         {
-            let cells = self.cells.borrow();
+            let cells = &self.cells;
             for (addr, formula) in &edits {
                 cells.index(*addr).ok_or(SheetError::OutOfBounds(*addr))?;
                 overlay.insert(*addr, formula.clone());
@@ -229,7 +228,7 @@ impl Sheet {
             self.check_acyclic_with(*addr, formula, &overlay)?;
         }
         self.rt.batch(|tx| {
-            let cells = self.cells.borrow();
+            let cells = &self.cells;
             for (addr, formula) in edits {
                 let idx = cells.index(addr).expect("validated above");
                 cells.formulas[idx].set_in(tx, formula);
@@ -266,7 +265,7 @@ impl Sheet {
                 continue;
             }
             let var = {
-                let cells = self.cells.borrow();
+                let cells = &self.cells;
                 cells.index(a).map(|i| cells.formulas[i])
             };
             if let Some(var) = var {

@@ -10,7 +10,7 @@
 use crate::json::Json;
 use alphonse::trace::{DirtyReason, Provenance, TraceEvent, TraceSink};
 use alphonse::{NodeId, NodeKind};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The document header: `{"meta":{...}}` on line 1.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,11 +97,11 @@ fn parse_event(obj: &Json, label: Option<&str>, line: usize) -> Result<TraceEven
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("line {line}: missing `kind`"))
                 .and_then(|s| parse_kind(s, line))?,
-            label: label.map(Rc::from),
+            label: label.map(Arc::from),
         },
         "Labeled" => TraceEvent::Labeled {
             node: node("node")?,
-            label: Rc::from(label.ok_or_else(|| format!("line {line}: Labeled without `label`"))?),
+            label: Arc::from(label.ok_or_else(|| format!("line {line}: Labeled without `label`"))?),
         },
         "Read" => TraceEvent::Read {
             node: node("node")?,
@@ -226,7 +226,7 @@ impl TraceFile {
                 if prov.label(node).as_deref() != Some(label) {
                     prov.event(&TraceEvent::Labeled {
                         node,
-                        label: Rc::from(label.as_str()),
+                        label: Arc::from(label.as_str()),
                     });
                 }
             }

@@ -5,7 +5,7 @@ use alphonse::trace::{Recorder, TraceSink};
 use alphonse::{Runtime, Strategy};
 use std::path::PathBuf;
 use std::process::Command;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_alphonse-trace"))
@@ -18,8 +18,8 @@ fn temp_path(name: &str) -> PathBuf {
 /// Writes a complete diamond trace to a temp file and returns its path.
 fn recorded_diamond(name: &str, capacity: usize) -> PathBuf {
     let rt = Runtime::new();
-    let rec = Rc::new(Recorder::new(capacity));
-    rt.set_sink(Some(rec.clone() as Rc<dyn TraceSink>));
+    let rec = Arc::new(Recorder::new(capacity));
+    rt.set_sink(Some(rec.clone() as Arc<dyn TraceSink>));
     let a = rt.var_named("a", 10i64);
     let left = rt.memo_with("left", Strategy::Eager, move |rt, &(): &()| a.get(rt) / 100);
     let right = rt.memo_with("right", Strategy::Eager, move |rt, &(): &()| a.get(rt) * 2);

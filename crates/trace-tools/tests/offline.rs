@@ -7,16 +7,15 @@ use alphonse::{Runtime, Strategy};
 use alphonse_trace_tools::json::Json;
 use alphonse_trace_tools::model::TraceFile;
 use alphonse_trace_tools::report;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// An in-memory writer the test can read back after the sink is dropped.
 #[derive(Clone, Default)]
-struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl std::io::Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        self.0.lock().unwrap().extend_from_slice(buf);
         Ok(buf.len())
     }
     fn flush(&mut self) -> std::io::Result<()> {
@@ -26,14 +25,14 @@ impl std::io::Write for SharedBuf {
 
 impl SharedBuf {
     fn take_string(&self) -> String {
-        String::from_utf8(self.0.borrow().clone()).unwrap()
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
     }
 }
 
 /// Runs the canonical diamond (`a` feeds `left = a/100` and `right = a*2`,
 /// both feed `top`) under `sink`: initial call, then a changed write and a
 /// propagation wave.
-fn run_diamond(sink: Rc<dyn TraceSink>) {
+fn run_diamond(sink: Arc<dyn TraceSink>) {
     let rt = Runtime::new();
     rt.set_sink(Some(sink));
     let a = rt.var_named("a", 10i64);
@@ -51,11 +50,11 @@ fn run_diamond(sink: Rc<dyn TraceSink>) {
 
 /// Records the diamond simultaneously into a [`Recorder`] (live truth) and
 /// a [`JsonlSink`] (the on-disk format), returning both views.
-fn record_diamond() -> (Rc<Recorder>, String) {
+fn record_diamond() -> (Arc<Recorder>, String) {
     let buf = SharedBuf::default();
-    let rec = Rc::new(Recorder::new(4096));
-    let jsonl = Rc::new(JsonlSink::new(buf.clone()).unwrap());
-    run_diamond(Rc::new(Tee::new(vec![rec.clone(), jsonl.clone()])));
+    let rec = Arc::new(Recorder::new(4096));
+    let jsonl = Arc::new(JsonlSink::new(buf.clone()).unwrap());
+    run_diamond(Arc::new(Tee::new(vec![rec.clone(), jsonl.clone()])));
     jsonl.flush().unwrap();
     (rec, buf.take_string())
 }
@@ -135,7 +134,7 @@ fn waves_summarizes_the_propagation() {
 
 #[test]
 fn chrome_trace_is_valid_json_with_well_nested_spans() {
-    let chrome = Rc::new(ChromeTrace::new());
+    let chrome = Arc::new(ChromeTrace::new());
     run_diamond(chrome.clone());
     let doc = Json::parse(&chrome.to_json()).expect("Chrome trace is valid JSON");
     let events = doc.as_arr().expect("top level is an array");

@@ -9,9 +9,8 @@
 //! writes seed change propagation.
 
 use alphonse::{Batch, Runtime, Var};
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
 /// Reference to a tree node — the paper's `Tree` pointer. `NodeRef::NIL`
 /// plays the role of the shared `TreeNil` object.
@@ -35,6 +34,17 @@ impl NodeRef {
     }
 }
 
+/// Locks the node arena. The arena is used from one thread at a time, so
+/// contention means a method body re-entered the store while a guard was
+/// live — fail stop, mirroring the `RefCell` panic this lock replaced.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(TryLockError::WouldBlock) => panic!("tree store re-entered while locked"),
+    }
+}
+
 impl fmt::Debug for NodeRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_nil() {
@@ -55,13 +65,13 @@ struct Fields {
 /// maintained-height tree and the maintained AVL tree.
 pub struct TreeStore {
     rt: Runtime,
-    nodes: RefCell<Vec<Fields>>,
+    nodes: Mutex<Vec<Fields>>,
 }
 
 impl fmt::Debug for TreeStore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TreeStore")
-            .field("nodes", &(self.nodes.borrow().len().saturating_sub(1)))
+            .field("nodes", &(lock(&self.nodes).len().saturating_sub(1)))
             .finish()
     }
 }
@@ -69,15 +79,15 @@ impl fmt::Debug for TreeStore {
 impl TreeStore {
     /// Creates an empty store bound to `rt`. Slot 0 is reserved for the nil
     /// sentinel.
-    pub fn new(rt: &Runtime) -> Rc<Self> {
+    pub fn new(rt: &Runtime) -> Arc<Self> {
         let sentinel = Fields {
             key: rt.var(0),
             left: rt.var(NodeRef::NIL),
             right: rt.var(NodeRef::NIL),
         };
-        Rc::new(TreeStore {
+        Arc::new(TreeStore {
             rt: rt.clone(),
-            nodes: RefCell::new(vec![sentinel]),
+            nodes: Mutex::new(vec![sentinel]),
         })
     }
 
@@ -88,7 +98,7 @@ impl TreeStore {
 
     /// Number of allocated nodes (excluding the nil sentinel).
     pub fn len(&self) -> usize {
-        self.nodes.borrow().len() - 1
+        lock(&self.nodes).len() - 1
     }
 
     /// Returns `true` if no nodes have been allocated.
@@ -98,7 +108,7 @@ impl TreeStore {
 
     /// Allocates a node with the given key and children.
     pub fn new_node(&self, key: i64, left: NodeRef, right: NodeRef) -> NodeRef {
-        let mut nodes = self.nodes.borrow_mut();
+        let mut nodes = lock(&self.nodes);
         let id = u32::try_from(nodes.len()).expect("too many tree nodes");
         let fields = if self.rt.tracing() {
             // Trace labels name each field var after its tree slot so graph
@@ -127,7 +137,7 @@ impl TreeStore {
 
     fn field<F: Copy, G: Fn(&Fields) -> F>(&self, n: NodeRef, what: &str, get: G) -> F {
         assert!(!n.is_nil(), "{what} of nil");
-        get(&self.nodes.borrow()[n.index()])
+        get(&lock(&self.nodes)[n.index()])
     }
 
     /// Reads `n.key` (tracked when inside a maintained method).

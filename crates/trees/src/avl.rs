@@ -12,7 +12,7 @@
 use crate::arena::{NodeRef, TreeStore};
 use alphonse::{Memo, Runtime};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A self-balancing binary search tree in the style of the paper's
 /// Algorithm 11.
@@ -38,7 +38,7 @@ use std::rc::Rc;
 /// assert!(!avl.contains(1000));
 /// ```
 pub struct MaintainedAvl {
-    store: Rc<TreeStore>,
+    store: Arc<TreeStore>,
     height: Memo<NodeRef, i64>,
     balance: Memo<NodeRef, NodeRef>,
     root: NodeRef,
@@ -58,7 +58,7 @@ impl MaintainedAvl {
     /// Creates an empty tree bound to `rt`.
     pub fn new(rt: &Runtime) -> Self {
         let store = TreeStore::new(rt);
-        let s = Rc::clone(&store);
+        let s = Arc::clone(&store);
         let height = rt.memo_recursive("avl_height", move |rt, me, &t: &NodeRef| {
             if t.is_nil() {
                 return 0i64;
@@ -67,7 +67,7 @@ impl MaintainedAvl {
             let r = me.call(rt, s.right(t));
             l.max(r) + 1
         });
-        let s = Rc::clone(&store);
+        let s = Arc::clone(&store);
         let h = height.clone();
         let balance = rt.memo_recursive("avl_balance", move |rt, me, &t: &NodeRef| {
             if t.is_nil() {
@@ -115,7 +115,7 @@ impl MaintainedAvl {
     }
 
     /// The underlying node storage.
-    pub fn store(&self) -> &Rc<TreeStore> {
+    pub fn store(&self) -> &Arc<TreeStore> {
         &self.store
     }
 
@@ -183,7 +183,7 @@ impl MaintainedAvl {
     /// single deduplicated dirty frontier. Returns the number of keys
     /// actually inserted (duplicates are ignored, as in `insert`).
     pub fn insert_all(&mut self, keys: impl IntoIterator<Item = i64>) -> usize {
-        let store = Rc::clone(&self.store);
+        let store = Arc::clone(&self.store);
         let rt = store.runtime().clone();
         let mut inserted = 0usize;
         let mut root = self.root;

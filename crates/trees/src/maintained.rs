@@ -17,7 +17,7 @@
 use crate::arena::{NodeRef, TreeStore};
 use alphonse::{Memo, Runtime, Strategy};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A binary tree whose per-node heights are incrementally maintained.
 ///
@@ -34,7 +34,7 @@ use std::rc::Rc;
 /// assert_eq!(tree.height(root), 4);      // cached: O(1)
 /// ```
 pub struct MaintainedTree {
-    store: Rc<TreeStore>,
+    store: Arc<TreeStore>,
     height: Memo<NodeRef, i64>,
 }
 
@@ -57,7 +57,7 @@ impl MaintainedTree {
     /// for the `height` method.
     pub fn with_strategy(rt: &Runtime, strategy: Strategy) -> Self {
         let store = TreeStore::new(rt);
-        let s = Rc::clone(&store);
+        let s = Arc::clone(&store);
         let height = rt.memo_recursive_with("height", strategy, move |rt, me, &t: &NodeRef| {
             // HeightNil: the override on the nil sentinel returns 0.
             if t.is_nil() {
@@ -71,7 +71,7 @@ impl MaintainedTree {
     }
 
     /// The underlying node storage (allocation, links, traversal).
-    pub fn store(&self) -> &Rc<TreeStore> {
+    pub fn store(&self) -> &Arc<TreeStore> {
         &self.store
     }
 

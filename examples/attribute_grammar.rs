@@ -8,7 +8,7 @@
 
 use alphonse::Runtime;
 use alphonse_agkit::{parse_let, AgEvaluator, AgTree, AttrVal, ExhaustiveAg, Grammar, LetLang};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn main() {
     let_language_demo();
@@ -24,7 +24,7 @@ fn let_language_demo() {
     println!("program: {src}");
     let expr = parse_let(src).unwrap();
     let (root, outer_let) = expr.instantiate(&tree, &lang);
-    let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+    let eval = AgEvaluator::new(&rt, Arc::clone(&tree));
     println!("value  = {}", eval.syn(root, lang.value));
     println!(
         "attribute instances: {}, runtime executions: {}",
@@ -41,7 +41,7 @@ fn let_language_demo() {
     let d = rt.stats().delta_since(&before);
     println!("incremental re-attribution: {} executions", d.executions);
 
-    let exhaustive = ExhaustiveAg::new(Rc::clone(&tree));
+    let exhaustive = ExhaustiveAg::new(Arc::clone(&tree));
     exhaustive.syn(root, lang.value);
     println!(
         "exhaustive evaluation of the same tree: {} equation evaluations",
@@ -85,14 +85,14 @@ fn binary_number_demo() {
     g.inh_eq(pair, 1, scale, move |ctx| ctx.parent_inh(scale));
 
     let rt = Runtime::new();
-    let tree = AgTree::new(&rt, Rc::new(g.build()));
+    let tree = AgTree::new(&rt, Arc::new(g.build()));
     // Build 1101 as Pair(Pair(Pair(1,1),0),1).
     let d = |bit: i64| tree.new_node(digit, vec![AttrVal::Int(bit)]);
     let p11 = tree.build(pair, vec![], &[d(1), d(1)]);
     let p110 = tree.build(pair, vec![], &[p11, d(0)]);
     let p1101 = tree.build(pair, vec![], &[p110, d(1)]);
     let root = tree.build(number, vec![], &[p1101]);
-    let eval = AgEvaluator::new(&rt, Rc::clone(&tree));
+    let eval = AgEvaluator::new(&rt, Arc::clone(&tree));
     println!("1101(2) = {} / 1000", eval.syn(root, value).as_int());
     assert_eq!(eval.syn(root, value).as_int(), 13_000);
 

@@ -8,7 +8,7 @@
 //! and compares the work.
 
 use alphonse_lang::{compile, parse, transform, unparse, Interp, Mode, TransformOptions, Val};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const ALG2: &str = r#"
     VAR b, p : INTEGER;
@@ -79,7 +79,7 @@ fn main() {
     println!("\n== one program, two execution models (Theorem 5.1) ==");
     let program = compile(HEIGHT).unwrap();
     for mode in [Mode::Conventional, Mode::Alphonse] {
-        let interp = Interp::new(Rc::clone(&program), mode).unwrap();
+        let interp = Interp::new(Arc::clone(&program), mode).unwrap();
         interp.call("Init", vec![]).unwrap();
         let root = interp.call("Build", vec![Val::Int(7)]).unwrap();
         let h1 = interp.call_method(root.clone(), "height", vec![]).unwrap();

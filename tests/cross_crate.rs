@@ -5,7 +5,7 @@ use alphonse::{Runtime, Strategy};
 use alphonse_agkit::{parse_let, AgEvaluator, LetLang};
 use alphonse_sheet::Sheet;
 use alphonse_trees::{MaintainedAvl, MaintainedTree};
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[test]
 fn three_applications_share_one_partitioned_runtime() {
@@ -24,7 +24,7 @@ fn three_applications_share_one_partitioned_runtime() {
     let (ag_tree, lang) = LetLang::tree(&rt);
     let expr = parse_let("let x = 5 in x + x ni").unwrap();
     let (ag_root, _) = expr.instantiate(&ag_tree, &lang);
-    let ag = AgEvaluator::new(&rt, Rc::clone(&ag_tree));
+    let ag = AgEvaluator::new(&rt, Arc::clone(&ag_tree));
 
     assert_eq!(sheet.value("B1").unwrap().num(), Some(100));
     assert_eq!(tree.height(root), 5);
@@ -76,10 +76,10 @@ fn eager_memo_observes_sheet_changes_via_propagate() {
     // updates it without any query — applications compose through the
     // shared dependency graph.
     let rt = Runtime::new();
-    let sheet = Rc::new(Sheet::new(&rt, 4, 4));
+    let sheet = Arc::new(Sheet::new(&rt, 4, 4));
     sheet.set("A1", "5").unwrap();
     sheet.set("A2", "=A1*3").unwrap();
-    let s = Rc::clone(&sheet);
+    let s = Arc::clone(&sheet);
     let watch = rt.memo_with("watch", Strategy::Eager, move |_rt, &(): &()| {
         s.value_at(alphonse_sheet::Addr::new(0, 1))
     });

@@ -140,7 +140,7 @@ fn claim_unchecked_reduces_dependence() {
     let run = |unchecked: bool| -> u64 {
         let rt = Runtime::new();
         let tree = MaintainedTree::new(&rt);
-        let store = std::rc::Rc::clone(tree.store());
+        let store = std::sync::Arc::clone(tree.store());
         let root = store.build_balanced(&(0..n as i64).collect::<Vec<_>>());
         let contains = rt.memo("contains", move |rt, &key: &i64| {
             let descend = |s: &alphonse_trees::TreeStore| {
