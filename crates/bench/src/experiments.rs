@@ -1121,3 +1121,122 @@ pub fn e14_serving(threads: &[usize], sessions: usize, waves: usize) -> Table {
     }
     t
 }
+
+/// E15: level-parallel wave propagation inside a single graph — one wide
+/// "spreadsheet row" (every cell depends on one input var, one total sums
+/// the cells), update loop re-timed at each parallelism setting.
+///
+/// Each cell's executor stalls for `stall_us` before producing its value,
+/// modeling the I/O-bound recompute (an external lookup, a service call per
+/// cell) that level parallelism is for: the cells of one height level are
+/// mutually independent, so `n` workers overlap `n` stalls. On a multicore
+/// host a CPU-bound body scales the same way; on a single-core host — like
+/// CI — only the stall workload can show wall-clock speedup, which is why
+/// it is the measured one (same methodology as E14's stall rows).
+///
+/// `workers`: `0` = the sequential evaluator (no level machinery at all),
+/// `1` = level-at-a-time draining with inline execution (the honest
+/// baseline for the speedup column — it pays the batching overhead but
+/// runs no worker threads), `n >= 2` = a pooled level scheduler. `speedup`
+/// is relative to the 1-worker row. Without the `parallel` feature
+/// `set_parallelism` is a stub and every row measures the sequential
+/// evaluator.
+pub fn e15_parallel(workers: &[usize], width: usize, waves: usize, stall_us: u64) -> Table {
+    let mut t = Table::new(
+        "E15 — level-parallel waves: wide row graph, stall-bound cells",
+        &[
+            "mode",
+            "width",
+            "waves",
+            "stall_us",
+            "elapsed_ms",
+            "waves_s",
+            "speedup",
+            "par_levels",
+            "par_execs",
+            "level_hwm",
+            "execs",
+        ],
+    );
+    struct Row {
+        mode: String,
+        elapsed: f64,
+        stats: alphonse::Stats,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in workers {
+        let rt = Runtime::new();
+        rt.set_parallelism(n);
+        let vars: Vec<Var<i64>> = (0..width).map(|i| rt.var(i as i64)).collect();
+        let cells: Vec<Memo<(), i64>> = vars
+            .iter()
+            .map(|v| {
+                let v = *v;
+                rt.memo_with("cell", Strategy::Eager, move |rt, &(): &()| {
+                    let x = v.get(rt);
+                    if stall_us > 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(stall_us));
+                    }
+                    x + 1
+                })
+            })
+            .collect();
+        let total = {
+            let cells = cells.clone();
+            rt.memo_with("total", Strategy::Eager, move |rt, &(): &()| {
+                cells.iter().map(|c| c.call(rt, ())).sum::<i64>()
+            })
+        };
+        total.call(&rt, ());
+        rt.propagate();
+        rt.reset_stats();
+        let start = Instant::now();
+        for w in 0..waves {
+            rt.batch(|tx| {
+                for (i, v) in vars.iter().enumerate() {
+                    // `+ 1` keeps wave 0 distinct from the warmup values, so
+                    // every wave really recomputes all `width` cells.
+                    v.set_in(tx, (w * width + i) as i64 + 1);
+                }
+            });
+            rt.propagate();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let last = waves - 1;
+        let expect: i64 = (0..width).map(|i| (last * width + i) as i64 + 2).sum();
+        assert_eq!(total.call(&rt, ()), expect, "parallel run diverged");
+        rt.check_invariants();
+        rows.push(Row {
+            mode: if n == 0 {
+                "seq".into()
+            } else {
+                format!("par{n}")
+            },
+            elapsed,
+            stats: rt.stats(),
+        });
+    }
+    // Speedup is measured against the 1-worker level scheduler (same
+    // batching, no threads); fall back to the first row if absent.
+    let base = rows
+        .iter()
+        .find(|r| r.mode == "par1")
+        .map(|r| r.elapsed)
+        .unwrap_or_else(|| rows.first().map(|r| r.elapsed).unwrap_or(1.0));
+    for r in &rows {
+        t.row_strings(vec![
+            r.mode.clone(),
+            width.to_string(),
+            waves.to_string(),
+            stall_us.to_string(),
+            format!("{:.1}", r.elapsed * 1e3),
+            format!("{:.1}", waves as f64 / r.elapsed),
+            format!("{:.2}x", base / r.elapsed),
+            r.stats.parallel_levels.to_string(),
+            r.stats.parallel_executions.to_string(),
+            r.stats.level_width_hwm.to_string(),
+            r.stats.executions.to_string(),
+        ]);
+    }
+    t
+}

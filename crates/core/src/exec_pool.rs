@@ -1,0 +1,207 @@
+//! Persistent worker pool for level-parallel wave propagation.
+//!
+//! The paper's evaluator is sequential; its Section 4.5 observation that
+//! height-order draining visits nodes "in a topological order with respect
+//! to the graph" is also what makes one step of that order parallelizable:
+//! all dirty nodes at the current minimum height are mutually independent
+//! (an edge between them would force a height difference), so their
+//! executors may run concurrently. This module supplies the threads; the
+//! level scheduler itself lives in `runtime.rs` (`drain_levels`).
+//!
+//! The pool is deliberately minimal — std threads and one shared `mpsc`
+//! job queue, no external dependencies:
+//!
+//! * Workers are **persistent**: spawned once when a runtime first needs
+//!   them and reused across levels, waves and propagations, so steady-state
+//!   parallel draining spawns nothing.
+//! * Jobs are drained from a single shared queue (receiver behind a mutex),
+//!   so a level whose executors have uneven costs load-balances dynamically
+//!   instead of committing to a static per-worker split.
+//! * Each worker stamps a thread-local identity `(pool id, slot)` at
+//!   startup. The runtime routes execution frames through this identity
+//!   (`Inner::worker_stacks`), giving every worker its own call stack for
+//!   dependence recording while all other node state stays behind the
+//!   runtime's single lock.
+//!
+//! A job that panics is caught so the worker survives; the level scheduler
+//! notices the missing result and propagates the failure on the driver
+//! thread (the runtime is documented as unspecified-but-memory-safe after a
+//! panic unwinds out of an executor).
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work for one worker: runs on the worker thread, communicates
+/// its result through whatever channel the submitter captured in it.
+pub(crate) type Job = Box<dyn FnOnce() + Send>;
+
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(pool id, worker slot)` of the current thread, set once at worker
+    /// startup; `None` on every non-pool thread. The pool id keeps a worker
+    /// of one runtime from being mistaken for a worker of another (a body
+    /// running on runtime A's pool may legally touch runtime B).
+    static WORKER_IDENTITY: Cell<Option<(u64, usize)>> = const { Cell::new(None) };
+}
+
+/// The `(pool id, slot)` identity of the current thread, if it is an
+/// executor-pool worker.
+pub(crate) fn worker_identity() -> Option<(u64, usize)> {
+    WORKER_IDENTITY.with(Cell::get)
+}
+
+/// A fixed-size set of persistent executor threads owned by one runtime.
+pub(crate) struct ExecPool {
+    id: u64,
+    workers: usize,
+    /// Dropping the sender is the shutdown signal: `recv` errors out and
+    /// every worker exits its loop.
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ExecPool {
+    /// Spawns `workers` (>= 1) persistent threads, all draining one shared
+    /// job queue.
+    pub(crate) fn new(workers: usize) -> ExecPool {
+        assert!(workers >= 1, "a worker pool needs at least one thread");
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel::<Job>();
+        let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(workers);
+        for slot in 0..workers {
+            let rx = Arc::clone(&rx);
+            let handle = std::thread::Builder::new()
+                .name(format!("alphonse-exec-{id}-{slot}"))
+                .spawn(move || {
+                    WORKER_IDENTITY.with(|c| c.set(Some((id, slot))));
+                    loop {
+                        // Take the next job while holding the queue mutex,
+                        // then release it before running, so other workers
+                        // keep draining while this one executes.
+                        let job = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        let Ok(job) = job else { break };
+                        let _ = catch_unwind(AssertUnwindSafe(job));
+                    }
+                })
+                .expect("spawning executor worker thread");
+            handles.push(handle);
+        }
+        ExecPool {
+            id,
+            workers,
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// This pool's globally unique id (matches worker identities).
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues one job. Never blocks (the queue is unbounded); the job
+    /// starts as soon as a worker frees up.
+    pub(crate) fn submit(&self, job: Job) {
+        self.tx
+            .as_ref()
+            .expect("pool alive until dropped")
+            .send(job)
+            .expect("workers outlive the pool handle");
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPool")
+            .field("id", &self.id)
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn jobs_run_and_results_come_back() {
+        let pool = ExecPool::new(3);
+        let (tx, rx) = channel();
+        for i in 0..32usize {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                tx.send(i * 2).unwrap();
+            }));
+        }
+        drop(tx);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_have_distinct_identities() {
+        let pool = ExecPool::new(2);
+        let (tx, rx) = channel();
+        // Hold both workers long enough that each runs at least one job.
+        for _ in 0..8 {
+            let tx = tx.clone();
+            pool.submit(Box::new(move || {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                tx.send(worker_identity().expect("on a pool thread"))
+                    .unwrap();
+            }));
+        }
+        drop(tx);
+        let ids: std::collections::HashSet<(u64, usize)> = rx.iter().collect();
+        assert!(!ids.is_empty());
+        for &(pool_id, slot) in &ids {
+            assert_eq!(pool_id, pool.id());
+            assert!(slot < pool.workers());
+        }
+        assert_eq!(worker_identity(), None, "driver thread has no identity");
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_the_worker() {
+        let pool = ExecPool::new(1);
+        let (tx, rx) = channel();
+        pool.submit(Box::new(|| panic!("boom")));
+        let tx2 = tx.clone();
+        pool.submit(Box::new(move || tx2.send(7u32).unwrap()));
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), vec![7]);
+        let done = Arc::new(AtomicUsize::new(0));
+        let d = Arc::clone(&done);
+        pool.submit(Box::new(move || {
+            d.fetch_add(1, Ordering::SeqCst);
+        }));
+        drop(pool); // joins: the job above must have run
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+}

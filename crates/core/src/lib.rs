@@ -59,6 +59,8 @@
 
 mod batch;
 mod dirty;
+#[cfg(feature = "parallel")]
+mod exec_pool;
 pub mod fxhash;
 mod memo;
 pub mod pool;

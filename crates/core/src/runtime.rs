@@ -165,6 +165,24 @@ pub(crate) struct Inner {
     /// an entry `d` means total depth `1 + d`. Empty in steady state.
     deep_stack: FxHashMap<u32, u32>,
     stack: Vec<Frame>,
+    /// One call stack per executor-pool worker slot, indexed by the slot in
+    /// the worker's thread-local identity. Level-parallel draining gives
+    /// each concurrently running executor its own frame stack — dependence
+    /// recording on a worker thread targets that worker's innermost frame —
+    /// while everything else (values, flags, the graph) stays shared behind
+    /// the runtime lock. Empty between levels.
+    #[cfg(feature = "parallel")]
+    worker_stacks: Vec<Vec<Frame>>,
+    /// The `set_parallelism` knob: `0` = sequential evaluator (default),
+    /// `1` = level-at-a-time draining with inline execution (the honest
+    /// single-worker control), `n >= 2` = dispatch multi-node levels to an
+    /// `n`-worker pool.
+    #[cfg(feature = "parallel")]
+    parallelism: usize,
+    /// Lazily created persistent worker pool (first multi-node level with
+    /// `parallelism >= 2`). Rebuilt if the knob changes size.
+    #[cfg(feature = "parallel")]
+    exec_pool: Option<crate::exec_pool::ExecPool>,
     dirty: DirtyStore,
     partition: Option<UnionFind>,
     scheduling: Scheduling,
@@ -265,6 +283,12 @@ impl RuntimeBuilder {
                 names: FxHashMap::default(),
                 deep_stack: FxHashMap::default(),
                 stack: Vec::new(),
+                #[cfg(feature = "parallel")]
+                worker_stacks: Vec::new(),
+                #[cfg(feature = "parallel")]
+                parallelism: 0,
+                #[cfg(feature = "parallel")]
+                exec_pool: None,
                 dirty,
                 partition: self.partitioning.then(UnionFind::new),
                 scheduling: self.scheduling,
@@ -281,6 +305,8 @@ impl RuntimeBuilder {
                 stats: Stats::default(),
             })),
             exec_depth: Arc::new(AtomicU32::new(0)),
+            #[cfg(feature = "parallel")]
+            par_active: Arc::new(AtomicU32::new(0)),
             id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -336,6 +362,13 @@ pub struct Runtime {
     /// held (at frame push/pop), and the runtime is not `Sync`, so a
     /// relaxed load always observes the current thread's latest update.
     exec_depth: Arc<AtomicU32>,
+    /// Nonzero while a level of executors is running on the worker pool.
+    /// [`Runtime::lock`] consults it on contention: during a parallel level
+    /// the lock is legitimately shared between the driver and the workers,
+    /// so contention means *wait*; at any other time it means *re-entrancy
+    /// bug*, and the fail-stop panic is kept.
+    #[cfg(feature = "parallel")]
+    par_active: Arc<AtomicU32>,
     pub(crate) id: u64,
 }
 
@@ -371,6 +404,47 @@ impl Inner {
             .get(&(n.index() as u32))
             .map(|s| &**s)
             .unwrap_or("<unnamed>")
+    }
+
+    /// The call stack of the *current thread*: an executor-pool worker of
+    /// this runtime gets its own per-slot stack (concurrent executors must
+    /// not see each other's frames), every other thread — including the
+    /// propagation driver — uses the main stack. Compiles to `&mut
+    /// self.stack` without the `parallel` feature.
+    #[cfg(feature = "parallel")]
+    fn active_stack(&mut self) -> &mut Vec<Frame> {
+        if let Some((pool_id, slot)) = crate::exec_pool::worker_identity() {
+            if self.exec_pool.as_ref().is_some_and(|p| p.id() == pool_id) {
+                return &mut self.worker_stacks[slot];
+            }
+        }
+        &mut self.stack
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    #[inline(always)]
+    fn active_stack(&mut self) -> &mut Vec<Frame> {
+        &mut self.stack
+    }
+
+    /// Marks every live frame of node `n` stale, on the main stack and —
+    /// under level-parallel draining — on every worker stack. A stale
+    /// execution's result will be discarded (generation supersession), so
+    /// it must stop recording dependence edges.
+    fn mark_stale_frames(&mut self, n: NodeId) {
+        for frame in &mut self.stack {
+            if frame.node == n {
+                frame.stale = true;
+            }
+        }
+        #[cfg(feature = "parallel")]
+        for stack in &mut self.worker_stacks {
+            for frame in stack {
+                if frame.node == n {
+                    frame.stale = true;
+                }
+            }
+        }
     }
 
     /// Bumps the on-stack depth of node `i`. Depth 1 lives in the flag
@@ -445,14 +519,21 @@ impl Inner {
     /// executing (paper Algorithm 3's `CreateEdge` step), merging partitions
     /// as Section 6.3 prescribes.
     fn record_dependence(&mut self, n: NodeId) {
-        let depth = self.stack.len();
-        let Some(frame) = self.stack.last_mut() else {
-            return;
+        // Copy the top frame's routing state out first: `active_stack`
+        // borrows all of `self`, so the frame reference cannot be held
+        // across the counter/table updates below.
+        let (depth, epoch, v, stale, suppressed) = {
+            let stack = self.active_stack();
+            let depth = stack.len();
+            match stack.last() {
+                None => return,
+                Some(f) => (depth, f.epoch, f.node, f.stale, f.suppress > 0),
+            }
         };
-        if frame.stale {
+        if stale {
             return;
         }
-        if frame.suppress > 0 {
+        if suppressed {
             self.stats.untracked_reads += 1;
             return;
         }
@@ -460,21 +541,23 @@ impl Inner {
             // O(1) per-execution dedup: the edge was already recorded iff
             // the node's stamp equals this frame's epoch. Epochs are
             // globally unique, so stamps left by finished frames can never
-            // be mistaken for the current one.
-            let slot = &mut self.last_accessed[n.index()];
-            if *slot == frame.epoch {
+            // be mistaken for the current one. Concurrent same-level frames
+            // may clobber each other's stamps; that only weakens dedup (a
+            // parallel edge may slip through), never loses an edge.
+            let stamp = self.last_accessed[n.index()];
+            if stamp == epoch {
                 self.stats.dedup_hits += 1;
                 return;
             }
-            if *slot != 0 && depth > 1 {
+            if stamp != 0 && depth > 1 {
                 // The stamp may belong to a live enclosing frame; remember
                 // it so popping this frame restores the enclosing
                 // execution's dedup set.
-                frame.overflow.push((n, *slot));
+                let frame = self.active_stack().last_mut().expect("frame checked above");
+                frame.overflow.push((n, stamp));
             }
-            *slot = frame.epoch;
+            self.last_accessed[n.index()] = epoch;
         }
-        let v = frame.node;
         self.graph.add_edge(n, v);
         self.stats.edges_created += 1;
         self.stats.mem_edges_hwm = self.stats.mem_edges_hwm.max(self.graph.edge_count() as u64);
@@ -628,10 +711,23 @@ impl Runtime {
         match self.inner.try_lock() {
             Ok(guard) => guard,
             Err(TryLockError::Poisoned(e)) => e.into_inner(),
-            Err(TryLockError::WouldBlock) => panic!(
-                "runtime re-entered while internally locked: closures run by Var::with, \
-                 with_value and trace sinks must not call back into runtime operations"
-            ),
+            Err(TryLockError::WouldBlock) => {
+                // While a level of executors runs on the worker pool the
+                // lock is legitimately contended — the driver and every
+                // worker take it for short frame/commit/read sections — so
+                // block instead of treating contention as re-entrancy.
+                #[cfg(feature = "parallel")]
+                if self.par_active.load(Ordering::Acquire) > 0 {
+                    return match self.inner.lock() {
+                        Ok(guard) => guard,
+                        Err(e) => e.into_inner(),
+                    };
+                }
+                panic!(
+                    "runtime re-entered while internally locked: closures run by Var::with, \
+                     with_value and trace sinks must not call back into runtime operations"
+                )
+            }
         }
     }
 
@@ -655,6 +751,53 @@ impl Runtime {
     /// The dirty-node draining order in use.
     pub fn scheduling(&self) -> Scheduling {
         self.lock().scheduling
+    }
+
+    /// Sets the wave-propagation parallelism (feature `parallel`):
+    ///
+    /// * `0` — the sequential evaluator (default; exactly the paper's
+    ///   Section 4.5 routine).
+    /// * `1` — level-at-a-time draining with inline execution: the same
+    ///   batching, barriers and trace brackets as the parallel scheduler
+    ///   but zero worker threads — the honest single-worker control for
+    ///   speedup measurements.
+    /// * `n >= 2` — multi-node levels run their eager executors
+    ///   concurrently on a persistent `n`-thread worker pool.
+    ///
+    /// Level draining only engages for the default configuration
+    /// (height-order scheduling, no partitioning); any other configuration
+    /// keeps the sequential evaluator regardless of this knob. See
+    /// DESIGN.md ("Parallel waves") for the execution model.
+    #[cfg(feature = "parallel")]
+    pub fn set_parallelism(&self, n: usize) {
+        let mut inner = self.lock();
+        if inner.parallelism != n {
+            inner.parallelism = n;
+            // A pool of the wrong size is rebuilt lazily on the next
+            // multi-node level; dropping it here joins its (idle) workers.
+            if inner.exec_pool.as_ref().is_some_and(|p| p.workers() != n) {
+                inner.exec_pool = None;
+            }
+        }
+    }
+
+    /// Without the `parallel` feature the knob is compiled out: this stub
+    /// ignores `n`, keeping callers source-compatible across feature
+    /// configurations.
+    #[cfg(not(feature = "parallel"))]
+    pub fn set_parallelism(&self, _n: usize) {}
+
+    /// The current wave-propagation parallelism (`0` = sequential
+    /// evaluator; always `0` without the `parallel` feature).
+    pub fn parallelism(&self) -> usize {
+        #[cfg(feature = "parallel")]
+        {
+            self.lock().parallelism
+        }
+        #[cfg(not(feature = "parallel"))]
+        {
+            0
+        }
     }
 
     /// A snapshot of the work counters.
@@ -863,6 +1006,14 @@ impl Runtime {
                  top-level operations",
                 inner.stack.len()
             );
+            #[cfg(feature = "parallel")]
+            for (slot, stack) in inner.worker_stacks.iter().enumerate() {
+                assert!(
+                    stack.is_empty(),
+                    "check_invariants: worker {slot} still holds {} execution frame(s)",
+                    stack.len()
+                );
+            }
             let n_nodes = inner.values.len();
             for (i, &f) in inner.flags.iter().enumerate() {
                 assert!(
@@ -975,8 +1126,8 @@ impl Runtime {
     /// not stale, and no `(*UNCHECKED*)` suppression is active. Useful for
     /// asserting that statically pruned accesses really are irrelevant.
     pub fn recording_context(&self) -> bool {
-        let inner = self.lock();
-        matches!(inner.stack.last(), Some(f) if !f.stale && f.suppress == 0)
+        let mut inner = self.lock();
+        matches!(inner.active_stack().last(), Some(f) if !f.stale && f.suppress == 0)
     }
 
     /// What kind of entity node `n` represents.
@@ -1007,8 +1158,9 @@ impl Runtime {
         impl Drop for Guard<'_> {
             fn drop(&mut self) {
                 let mut inner = self.rt.lock();
-                if inner.stack.len() == self.depth {
-                    if let Some(frame) = inner.stack.last_mut() {
+                let stack = inner.active_stack();
+                if stack.len() == self.depth {
+                    if let Some(frame) = stack.last_mut() {
                         frame.suppress -= 1;
                     }
                 }
@@ -1016,10 +1168,11 @@ impl Runtime {
         }
         let depth = {
             let mut inner = self.lock();
-            if let Some(frame) = inner.stack.last_mut() {
+            let stack = inner.active_stack();
+            if let Some(frame) = stack.last_mut() {
                 frame.suppress += 1;
             }
-            inner.stack.len()
+            stack.len()
         };
         let _guard = Guard { rt: self, depth };
         f()
@@ -1337,59 +1490,65 @@ impl Runtime {
     /// [`Runtime::exec_end`]) but leaves cache, consistency flag and
     /// dependency edges to the fresher run.
     fn exec_begin(&self, inner: &mut Inner, n: NodeId) -> (Executor, u64) {
-        {
-            inner.stats.executions += 1;
-            let before = inner.graph.edges_removed();
-            inner.graph.remove_pred_edges(n);
-            let removed = inner.graph.edges_removed() - before;
-            inner.stats.edges_removed += removed;
-            inner.exec_gen += 1;
-            let my_gen = inner.exec_gen;
-            let i = n.index();
-            debug_assert!(inner.flags[i] & F_COMP != 0, "execute on a location");
-            // If an older execution of `n` is still running it is now
-            // superseded: its result will be discarded, so stop it from
-            // recording any further dependence edges.
-            if inner.flags[i] & F_ON_STACK != 0 {
-                for frame in &mut inner.stack {
-                    if frame.node == n {
-                        frame.stale = true;
-                    }
-                }
-            }
-            inner.flags[i] |= F_CONSISTENT;
-            inner.on_stack_inc(i);
-            inner.gens[i] = my_gen;
-            let executor = Arc::clone(
-                inner.executors[i]
-                    .as_ref()
-                    .expect("computation node has an executor"),
-            );
-            inner.frame_epoch += 1;
-            let epoch = inner.frame_epoch;
-            inner.stack.push(Frame {
-                node: n,
-                epoch,
-                overflow: Vec::new(),
-                suppress: 0,
-                stale: false,
-            });
-            self.exec_depth.fetch_add(1, Ordering::Relaxed);
-            #[cfg(feature = "trace")]
-            {
-                emit!(inner, TraceEvent::ExecuteBegin { node: n });
-                if removed > 0 {
-                    emit!(
-                        inner,
-                        TraceEvent::EdgesRemoved {
-                            node: n,
-                            count: removed,
-                        }
-                    );
-                }
-            }
-            (executor, my_gen)
+        let (executor, my_gen, frame) = self.exec_book(inner, n);
+        inner.active_stack().push(frame);
+        self.exec_depth.fetch_add(1, Ordering::Relaxed);
+        (executor, my_gen)
+    }
+
+    /// The bookkeeping half of [`Runtime::exec_begin`]: everything except
+    /// pushing the call frame. The level-parallel scheduler books a whole
+    /// batch under one guard on the driver thread and hands each returned
+    /// frame to the worker that will run the executor (the frame must live
+    /// on the *executing* thread's stack for dependence recording to target
+    /// it); the sequential path pushes it straight onto the current stack.
+    fn exec_book(&self, inner: &mut Inner, n: NodeId) -> (Executor, u64, Frame) {
+        inner.stats.executions += 1;
+        let before = inner.graph.edges_removed();
+        inner.graph.remove_pred_edges(n);
+        let removed = inner.graph.edges_removed() - before;
+        inner.stats.edges_removed += removed;
+        inner.exec_gen += 1;
+        let my_gen = inner.exec_gen;
+        let i = n.index();
+        debug_assert!(inner.flags[i] & F_COMP != 0, "execute on a location");
+        // If an older execution of `n` is still running it is now
+        // superseded: its result will be discarded, so stop it from
+        // recording any further dependence edges.
+        if inner.flags[i] & F_ON_STACK != 0 {
+            inner.mark_stale_frames(n);
         }
+        inner.flags[i] |= F_CONSISTENT;
+        inner.on_stack_inc(i);
+        inner.gens[i] = my_gen;
+        let executor = Arc::clone(
+            inner.executors[i]
+                .as_ref()
+                .expect("computation node has an executor"),
+        );
+        inner.frame_epoch += 1;
+        let epoch = inner.frame_epoch;
+        let frame = Frame {
+            node: n,
+            epoch,
+            overflow: Vec::new(),
+            suppress: 0,
+            stale: false,
+        };
+        #[cfg(feature = "trace")]
+        {
+            emit!(inner, TraceEvent::ExecuteBegin { node: n });
+            if removed > 0 {
+                emit!(
+                    inner,
+                    TraceEvent::EdgesRemoved {
+                        node: n,
+                        count: removed,
+                    }
+                );
+            }
+        }
+        (executor, my_gen, frame)
     }
 
     /// Second half of an execution: pops the call frame and commits (or,
@@ -1405,7 +1564,17 @@ impl Runtime {
         my_gen: u64,
         value: Box<dyn Value>,
     ) -> (Option<Box<dyn Value>>, bool) {
-        let frame = inner.stack.pop().expect("frame pushed above");
+        self.pop_frame(inner, n);
+        self.exec_commit(inner, n, my_gen, value)
+    }
+
+    /// The frame half of [`Runtime::exec_end`]: pops the current thread's
+    /// innermost frame, restores overwritten dedup stamps and drops the
+    /// node's on-stack depth. Under level-parallel draining each worker
+    /// pops its own frame as soon as its executor returns (before the
+    /// level's barrier), so re-queued dirt never sees a dead frame.
+    fn pop_frame(&self, inner: &mut Inner, n: NodeId) {
+        let frame = inner.active_stack().pop().expect("frame pushed above");
         self.exec_depth.fetch_sub(1, Ordering::Relaxed);
         debug_assert_eq!(frame.node, n, "call stack imbalance");
         // Restore the stamps this frame overwrote, newest first, so the
@@ -1415,8 +1584,22 @@ impl Runtime {
         for (node, stamp) in frame.overflow.into_iter().rev() {
             inner.last_accessed[node.index()] = stamp;
         }
+        inner.on_stack_dec(n.index());
+    }
+
+    /// The commit half of [`Runtime::exec_end`]: generation supersession
+    /// check, cutoff comparison, cache store and re-queue handling. The
+    /// level-parallel scheduler commits a whole level's results in batch
+    /// order under one guard; the sequential path commits immediately after
+    /// popping the frame.
+    fn exec_commit(
+        &self,
+        inner: &mut Inner,
+        n: NodeId,
+        my_gen: u64,
+        value: Box<dyn Value>,
+    ) -> (Option<Box<dyn Value>>, bool) {
         let i = n.index();
-        inner.on_stack_dec(i);
         let superseded = inner.gens[i] != my_gen;
         let requeue = if superseded {
             false
@@ -1629,6 +1812,8 @@ impl Runtime {
     fn evaluate_bounded(&self, origin: Option<NodeId>, max_steps: u64) {
         #[cfg(feature = "trace")]
         let steps_before;
+        #[cfg(feature = "parallel")]
+        let level_mode;
         {
             let mut inner = self.lock();
             if inner.evaluating {
@@ -1641,14 +1826,46 @@ impl Runtime {
             {
                 steps_before = inner.stats.propagation_steps;
             }
+            // Level draining requires the default configuration: a single
+            // global inconsistent set (so one `pop_level` sees the whole
+            // frontier; `origin` is then irrelevant — the sequential
+            // evaluator also drains the global set regardless of origin)
+            // and height-order scheduling (Fifo has no independence
+            // guarantee between queue neighbours).
+            #[cfg(feature = "parallel")]
+            {
+                level_mode = inner.parallelism >= 1
+                    && inner.scheduling == Scheduling::HeightOrder
+                    && matches!(inner.dirty, DirtyStore::Global(_));
+            }
             emit!(inner, TraceEvent::PropagateBegin { wave: inner.wave });
         }
-        // Each pass through the outer loop holds the lock once: commit the
-        // previous execution, pump mutation-only steps, and book the next
-        // execution, all under the same guard — one amortized lock
-        // round-trip per executed node. Only the executor itself (which
-        // re-enters the runtime through tracked reads and nested calls)
-        // runs unlocked.
+        #[cfg(feature = "parallel")]
+        if level_mode {
+            self.drain_levels(max_steps);
+        } else {
+            self.drain_sequential(origin, max_steps);
+        }
+        #[cfg(not(feature = "parallel"))]
+        self.drain_sequential(origin, max_steps);
+        let mut inner = self.lock();
+        inner.evaluating = false;
+        emit!(
+            inner,
+            TraceEvent::PropagateEnd {
+                wave: inner.wave,
+                steps: inner.stats.propagation_steps - steps_before,
+            }
+        );
+    }
+
+    /// The paper's sequential drain, one dirty node at a time in scheduling
+    /// order. Each pass through the outer loop holds the lock once: commit
+    /// the previous execution, pump mutation-only steps, and book the next
+    /// execution, all under the same guard — one amortized lock round-trip
+    /// per executed node. Only the executor itself (which re-enters the
+    /// runtime through tracked reads and nested calls) runs unlocked.
+    fn drain_sequential(&self, origin: Option<NodeId>, max_steps: u64) {
         let mut steps = 0u64;
         let mut running: Option<(NodeId, Executor, u64)> = None;
         loop {
@@ -1680,15 +1897,224 @@ impl Runtime {
                 break;
             }
         }
-        let mut inner = self.lock();
-        inner.evaluating = false;
-        emit!(
-            inner,
-            TraceEvent::PropagateEnd {
-                wave: inner.wave,
-                steps: inner.stats.propagation_steps - steps_before,
+    }
+
+    /// Level-parallel drain: processes the inconsistent set one *height
+    /// level* at a time. All dirty nodes at the current minimum height are
+    /// mutually independent (an edge between two nodes forces a height
+    /// difference), so the level's eager executors may run concurrently.
+    ///
+    /// Lock discipline per level — one driver acquisition on each side of
+    /// the execution window:
+    ///
+    /// 1. **Drain + book** (one guard): `pop_level` the batch, handle
+    ///    mutation-only nodes (locations, demand marking, on-stack
+    ///    re-queue) inline, book every eager node (`exec_book`, in batch
+    ///    order — deterministic, matching the sequential pop order) and
+    ///    enqueue the worker jobs.
+    /// 2. **Execute** (no driver lock): workers push their frames, run the
+    ///    executors and pop their frames, taking the lock only for those
+    ///    short sections and for tracked reads; `par_active` makes
+    ///    contention block instead of tripping the re-entrancy panic. With
+    ///    `parallelism <= 1` or a single-node batch the driver runs the
+    ///    executors inline instead.
+    /// 3. **Commit** (one guard): store each result in batch order
+    ///    (generation check, cutoff comparison), dirty the successors of
+    ///    changed nodes, close the `LevelEnd` bracket and update the
+    ///    parallel stats.
+    ///
+    /// The `max_steps` preemption bound is checked between levels (a level
+    /// is never split), so bounded drains are level-granular here — coarser
+    /// than the sequential evaluator's per-node bound but with the same
+    /// contract: remaining work stays queued for a later slice.
+    #[cfg(feature = "parallel")]
+    fn drain_levels(&self, max_steps: u64) {
+        use std::sync::mpsc::channel;
+        let mut steps = 0u64;
+        let mut batch: Vec<NodeId> = Vec::new();
+        let mut booked: Vec<(NodeId, Executor, u64, Option<Frame>)> = Vec::new();
+        loop {
+            if steps >= max_steps {
+                break;
             }
-        );
+            let mut guard = self.lock();
+            let inner = &mut *guard;
+            batch.clear();
+            let DirtyStore::Global(dirty) = &mut inner.dirty else {
+                unreachable!("level mode requires the global dirty store");
+            };
+            let Some(height) = dirty.pop_level(&mut batch) else {
+                break;
+            };
+            let width = batch.len() as u64;
+            inner.stats.level_width_hwm = inner.stats.level_width_hwm.max(width);
+            emit!(
+                inner,
+                TraceEvent::LevelBegin {
+                    wave: inner.wave,
+                    height,
+                    width,
+                }
+            );
+            booked.clear();
+            for &u in &batch {
+                steps += 1;
+                inner.stats.propagation_steps += 1;
+                let i = u.index();
+                let f = inner.flags[i];
+                if f & F_COMP == 0 {
+                    // Storage location: forward the change to everything
+                    // computed from it. Successors sit at strictly greater
+                    // heights, so they join later levels, never this batch.
+                    inner.dirty_succs_of(u);
+                } else if f & F_EAGER == 0 {
+                    // Demand: just mark out-of-date and propagate.
+                    if f & F_CONSISTENT != 0 {
+                        inner.flags[i] &= !F_CONSISTENT;
+                        inner.dirty_succs_of(u);
+                    }
+                } else if f & F_ON_STACK != 0 {
+                    // Mid-execution (a nested drain under a live memo
+                    // frame): mark stale and re-queue on completion.
+                    inner.flags[i] &= !F_CONSISTENT;
+                    inner.flags[i] |= F_REQUEUE;
+                    inner.dirty_succs_of(u);
+                } else {
+                    let (executor, my_gen, frame) = self.exec_book(inner, u);
+                    booked.push((u, executor, my_gen, Some(frame)));
+                }
+            }
+            let executed = booked.len() as u64;
+            let pooled = booked.len() >= 2 && inner.parallelism >= 2;
+            if pooled {
+                let workers = inner.parallelism;
+                if inner
+                    .exec_pool
+                    .as_ref()
+                    .is_none_or(|p| p.workers() != workers)
+                {
+                    inner.exec_pool = Some(crate::exec_pool::ExecPool::new(workers));
+                }
+                while inner.worker_stacks.len() < workers {
+                    inner.worker_stacks.push(Vec::new());
+                }
+                inner.stats.parallel_levels += 1;
+                inner.stats.parallel_executions += executed;
+                // Workers may contend for the lock from here on: flip the
+                // blocking-lock mode before the first job can start (jobs
+                // are submitted below while this guard is still held, so no
+                // worker can observe the flag too early).
+                self.par_active.fetch_add(1, Ordering::Release);
+                let (tx, rx) = channel::<(usize, Box<dyn Value>)>();
+                let pool = inner.exec_pool.as_ref().expect("created above");
+                for (idx, (u, executor, _, frame)) in booked.iter_mut().enumerate() {
+                    let rt = self.clone();
+                    let u = *u;
+                    let executor = Arc::clone(executor);
+                    let frame = frame.take().expect("frame booked above");
+                    let tx = tx.clone();
+                    pool.submit(Box::new(move || {
+                        rt.run_pooled_exec(u, frame, &executor, idx, &tx);
+                    }));
+                }
+                drop(tx);
+                drop(guard);
+                // Level barrier: wait for every executor. A worker whose
+                // job panicked drops its sender without sending; surface
+                // that as the driver-side panic the sequential path would
+                // have had.
+                let mut results: Vec<Option<Box<dyn Value>>> =
+                    (0..booked.len()).map(|_| None).collect();
+                let mut received = 0usize;
+                for (idx, value) in rx {
+                    results[idx] = Some(value);
+                    received += 1;
+                }
+                self.par_active.fetch_sub(1, Ordering::Release);
+                assert_eq!(
+                    received,
+                    booked.len(),
+                    "an executor panicked on a worker thread; the runtime is in an \
+                     unspecified state"
+                );
+                let mut guard = self.lock();
+                let inner = &mut *guard;
+                for ((u, _, my_gen, _), value) in booked.drain(..).zip(results.drain(..)) {
+                    let value = value.expect("all results received");
+                    let (_, changed) = self.exec_commit(inner, u, my_gen, value);
+                    if changed {
+                        inner.dirty_succs_of(u);
+                    }
+                }
+                emit!(
+                    inner,
+                    TraceEvent::LevelEnd {
+                        wave: inner.wave,
+                        height,
+                        executed,
+                    }
+                );
+            } else {
+                // Inline execution (parallelism <= 1, or a level with at
+                // most one eager node): same batching and brackets as the
+                // pooled path, zero worker threads. Results still commit
+                // together after the whole level has run, so `1` is an
+                // honest single-worker control.
+                drop(guard);
+                let mut results: Vec<Box<dyn Value>> = Vec::with_capacity(booked.len());
+                for (u, executor, _, frame) in booked.iter_mut() {
+                    let frame = frame.take().expect("frame booked above");
+                    {
+                        let mut inner = self.lock();
+                        inner.active_stack().push(frame);
+                    }
+                    self.exec_depth.fetch_add(1, Ordering::Relaxed);
+                    let value = executor(self);
+                    self.pop_frame(&mut self.lock(), *u);
+                    results.push(value);
+                }
+                let mut guard = self.lock();
+                let inner = &mut *guard;
+                for ((u, _, my_gen, _), value) in booked.drain(..).zip(results.drain(..)) {
+                    let (_, changed) = self.exec_commit(inner, u, my_gen, value);
+                    if changed {
+                        inner.dirty_succs_of(u);
+                    }
+                }
+                emit!(
+                    inner,
+                    TraceEvent::LevelEnd {
+                        wave: inner.wave,
+                        height,
+                        executed,
+                    }
+                );
+            }
+        }
+    }
+
+    /// One pooled execution, run on a worker thread: push the pre-booked
+    /// frame onto this worker's stack, run the executor (its tracked reads
+    /// and nested memo calls take the blocking lock and record against this
+    /// worker's frame), pop the frame, and ship the result to the driver
+    /// for the level's batch commit.
+    #[cfg(feature = "parallel")]
+    fn run_pooled_exec(
+        &self,
+        n: NodeId,
+        frame: Frame,
+        executor: &Executor,
+        idx: usize,
+        tx: &std::sync::mpsc::Sender<(usize, Box<dyn Value>)>,
+    ) {
+        {
+            let mut inner = self.lock();
+            inner.active_stack().push(frame);
+        }
+        self.exec_depth.fetch_add(1, Ordering::Relaxed);
+        let value = executor(self);
+        self.pop_frame(&mut self.lock(), n);
+        let _ = tx.send((idx, value));
     }
 
     /// Pops and processes one dirty node; mutation-only cases are handled

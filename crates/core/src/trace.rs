@@ -184,6 +184,32 @@ pub enum TraceEvent {
         /// Dirty nodes processed during this run.
         steps: u64,
     },
+    /// The level-drain scheduler (feature `parallel`,
+    /// [`Runtime::set_parallelism`](crate::Runtime::set_parallelism)) pulled
+    /// the full batch of dirty nodes at one height and is about to process
+    /// it. Every [`TraceEvent::ExecuteBegin`]/[`TraceEvent::ExecuteEnd`]
+    /// pair until the matching [`TraceEvent::LevelEnd`] belongs to this
+    /// level; executions within a level may overlap in time.
+    LevelBegin {
+        /// The propagation wave this level belongs to.
+        wave: u64,
+        /// Dependency height shared by every node in the batch.
+        height: u32,
+        /// Number of dirty nodes drained at this height (mutation-only
+        /// steps included, not just eager re-executions).
+        width: u64,
+    },
+    /// All results of the level opened by the matching
+    /// [`TraceEvent::LevelBegin`] were committed and their dirt fanned out.
+    LevelEnd {
+        /// The propagation wave this level belongs to.
+        wave: u64,
+        /// Dependency height of the completed level.
+        height: u32,
+        /// Eager executors actually run for this level (`<=` the level's
+        /// width; the rest were mutation-only or demand-marking steps).
+        executed: u64,
+    },
     /// An incremental procedure instance began (re-)executing its body.
     ExecuteBegin {
         /// The computation node.
@@ -260,6 +286,8 @@ impl TraceEvent {
             TraceEvent::EdgeAdded { to, .. } => Some(*to),
             TraceEvent::PropagateBegin { .. }
             | TraceEvent::PropagateEnd { .. }
+            | TraceEvent::LevelBegin { .. }
+            | TraceEvent::LevelEnd { .. }
             | TraceEvent::BatchCommit { .. } => None,
         }
     }
@@ -455,6 +483,16 @@ fn describe_event(ev: &TraceEvent, labels: &Labels) -> String {
         TraceEvent::PropagateEnd { wave, steps } => {
             format!("propagate end (wave {wave}, {steps} steps)")
         }
+        TraceEvent::LevelBegin {
+            wave,
+            height,
+            width,
+        } => format!("level begin (wave {wave}, height {height}, width {width})"),
+        TraceEvent::LevelEnd {
+            wave,
+            height,
+            executed,
+        } => format!("level end (wave {wave}, height {height}, {executed} executed)"),
         TraceEvent::ExecuteBegin { node } => format!("exec begin {}", labels.of(*node)),
         TraceEvent::ExecuteEnd { node, changed } => {
             format!("exec end {} changed={changed}", labels.of(*node))
@@ -507,6 +545,8 @@ fn variant_name(ev: &TraceEvent) -> &'static str {
         TraceEvent::Dirtied { .. } => "Dirtied",
         TraceEvent::PropagateBegin { .. } => "PropagateBegin",
         TraceEvent::PropagateEnd { .. } => "PropagateEnd",
+        TraceEvent::LevelBegin { .. } => "LevelBegin",
+        TraceEvent::LevelEnd { .. } => "LevelEnd",
         TraceEvent::ExecuteBegin { .. } => "ExecuteBegin",
         TraceEvent::ExecuteEnd { .. } => "ExecuteEnd",
         TraceEvent::CacheHit { .. } => "CacheHit",
@@ -574,6 +614,14 @@ fn jsonl_line(ts: u64, wave: &mut Option<u64>, ev: &TraceEvent, labels: &Labels)
         TraceEvent::PropagateBegin { .. } => {}
         TraceEvent::PropagateEnd { steps, .. } => {
             let _ = write!(out, r#","steps":{steps}"#);
+        }
+        TraceEvent::LevelBegin { height, width, .. } => {
+            let _ = write!(out, r#","height":{height},"width":{width}"#);
+        }
+        TraceEvent::LevelEnd {
+            height, executed, ..
+        } => {
+            let _ = write!(out, r#","height":{height},"executed":{executed}"#);
         }
         TraceEvent::EdgeAdded { from, to } => {
             let _ = write!(out, r#","from":{},"to":{}"#, from.index(), to.index());
@@ -900,6 +948,19 @@ impl TraceSink for ChromeTrace {
             TraceEvent::PropagateEnd { wave, steps } => {
                 self.span_end(format!(r#""wave":{wave},"steps":{steps}"#));
             }
+            // Level brackets surround executions that may overlap in time,
+            // which the single-track B/E span pairing cannot represent;
+            // levels export as instants so exec spans keep pairing up.
+            TraceEvent::LevelBegin {
+                wave,
+                height,
+                width,
+            } => self.instant(
+                &format!("level h{height}"),
+                "level",
+                format!(r#""wave":{wave},"height":{height},"width":{width}"#),
+            ),
+            TraceEvent::LevelEnd { .. } => {}
             TraceEvent::ExecuteBegin { node } => {
                 self.reads_in_span.store(0, Ordering::Relaxed);
                 self.edges_in_span.store(0, Ordering::Relaxed);
