@@ -104,6 +104,7 @@ fn main() {
                 ex::e15_parallel(&[0, 1, 2, 4], 32, 20, 200)
             }
         }),
+        ("E16", ex::e16_metrics_overhead),
     ];
 
     let mut first = true;

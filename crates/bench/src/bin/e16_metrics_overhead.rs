@@ -1,0 +1,15 @@
+//! Prints the E16 table (metrics-layer overhead, recording on vs off).
+//!
+//! Usage: `e16_metrics_overhead [--quick]`
+//!
+//! The off arm uses the runtime kill-switch (`alphonse::metrics::set_enabled`)
+//! inside one binary, so both arms share code layout; `overhead_pct` is the
+//! honest cost of the always-on instrumentation and must stay ≤2%.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let table = alphonse_bench::experiments::e16_metrics_overhead(quick);
+    print!("{table}");
+    std::fs::write("BENCH_E16.json", table.to_json())
+        .unwrap_or_else(|e| panic!("failed to write BENCH_E16.json: {e}"));
+    eprintln!("wrote BENCH_E16.json");
+}

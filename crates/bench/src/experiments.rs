@@ -4,9 +4,12 @@
 //! the `eN_*` binaries print them and EXPERIMENTS.md records the comparison
 //! against the paper's claims. Wall-clock variants live in `benches/`.
 
-use crate::table::Table;
+use crate::table::{percentile_cells, Table};
 use crate::workloads::{self, HEIGHT_PROGRAM};
-use alphonse::{Memo, Runtime, Scheduling, SessionPool, Strategy, Var};
+use alphonse::{
+    Histogram, HistogramSnapshot, Memo, MetricsSnapshot, Runtime, Scheduling, SessionPool,
+    Strategy, Var,
+};
 use alphonse_agkit::{parse_let, AgEvaluator, AttrVal, ExhaustiveAg, LetLang};
 use alphonse_lang::{compile, parse, transform, Interp, Mode, TransformOptions, Val};
 use alphonse_sheet::{RecalcSheet, Sheet};
@@ -14,6 +17,18 @@ use alphonse_trees::{ClassicAvl, ExhaustiveTree, HandcodedTree, MaintainedAvl, N
 use rand::Rng;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Writes an experiment's merged metrics snapshot next to its BENCH json
+/// (`METRICS_<id>.json`) so `alphonse-trace metrics` can report the wave
+/// latency percentiles the run produced. Failures are reported, not fatal:
+/// the table stays the experiment's primary output.
+fn write_metrics_sidecar(id: &str, snap: &MetricsSnapshot) {
+    let path = format!("METRICS_{id}.json");
+    match std::fs::write(&path, snap.to_json()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
 
 /// E1 (§3.4): maintained heights — first call O(n), repeats O(1), one
 /// pointer change O(height), batched changes O(|AFFECTED|).
@@ -606,8 +621,9 @@ pub fn e9_schedule(depths: &[usize]) -> Table {
             "fifo_us/wave",
         ],
     );
+    let mut metrics = MetricsSnapshot::default();
     for &d in depths {
-        let run = |mode: Scheduling| -> (u64, f64) {
+        let mut run = |mode: Scheduling| -> (u64, f64) {
             let rt = Runtime::builder().scheduling(mode).build();
             let src = rt.var(1i64);
             // Ladder: level i reads level i-1 AND the source directly, with
@@ -627,6 +643,7 @@ pub fn e9_schedule(depths: &[usize]) -> Table {
             src.set(&rt, 2);
             rt.propagate();
             let us = start.elapsed().as_secs_f64() * 1e6;
+            metrics.merge(&rt.metrics_snapshot());
             (rt.stats().delta_since(&before).executions, us)
         };
         let (h, h_us) = run(Scheduling::HeightOrder);
@@ -640,6 +657,7 @@ pub fn e9_schedule(depths: &[usize]) -> Table {
             format!("{f_us:.1}"),
         ]);
     }
+    write_metrics_sidecar("E9", &metrics);
     t
 }
 
@@ -944,12 +962,14 @@ pub fn e13_bulk_edits(ks: &[usize]) -> Table {
 
 /// One tenant's serving session for E14: an E13-style reduction grid (64
 /// tracked leaves summed through 8 eager group memos into one eager total)
-/// plus the latency samples its waves record.
+/// plus the per-wave serve-latency histogram its waves record (µs samples
+/// on the shared [`Histogram`] type — no per-sample allocation, and the
+/// shard can snapshot it without handing the samples back).
 struct ServeSession {
     rt: Runtime,
     vars: Vec<Var<i64>>,
     total: Memo<(), i64>,
-    lat_us: Vec<u64>,
+    lat_us: Histogram,
 }
 
 fn serve_session(seed: u64) -> ServeSession {
@@ -981,7 +1001,7 @@ fn serve_session(seed: u64) -> ServeSession {
         rt,
         vars,
         total,
-        lat_us: Vec::new(),
+        lat_us: Histogram::new(),
     }
 }
 
@@ -1062,22 +1082,22 @@ pub fn e14_serving(threads: &[usize], sessions: usize, waves: usize) -> Table {
                         if stall_us > 0 {
                             std::thread::sleep(std::time::Duration::from_micros(stall_us));
                         }
-                        sess.lat_us.push(t0.elapsed().as_micros() as u64);
+                        sess.lat_us.record(t0.elapsed().as_micros() as u64);
                     });
                 }
             }
             pool.flush();
             let elapsed = start.elapsed().as_secs_f64();
-            // Harvest latency samples and the memory gauges, then verify
+            // Harvest latency histograms and the memory gauges, then verify
             // every session converged to its replayed edit stream.
-            let mut lat: Vec<u64> = Vec::with_capacity(sessions * waves);
+            let mut lat = HistogramSnapshot::empty();
             let mut bytes_node = 0u64;
             for s in 0..sessions as u64 {
                 let (samples, stats) = pool.query(s, |sess: &mut ServeSession| {
-                    (std::mem::take(&mut sess.lat_us), sess.rt.stats())
+                    (sess.lat_us.snapshot(), sess.rt.stats())
                 });
-                assert_eq!(samples.len(), waves, "every wave served");
-                lat.extend(samples);
+                assert_eq!(samples.count(), waves as u64, "every wave served");
+                lat.merge(&samples);
                 if s == 0 {
                     bytes_node = stats.mem_bytes_hwm / stats.mem_nodes.max(1);
                 }
@@ -1097,14 +1117,13 @@ pub fn e14_serving(threads: &[usize], sessions: usize, waves: usize) -> Table {
                 let got = pool.query(s, |sess: &mut ServeSession| sess.total.call(&sess.rt, ()));
                 assert_eq!(got, expect, "session {s} diverged under the pool");
             }
-            lat.sort_unstable();
-            let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+            let pct = percentile_cells(&lat, &[0.50, 0.95, 0.99], 1.0);
             let writes = sessions * waves * K;
             let kwps = writes as f64 / elapsed / 1e3;
             if base_kwps == 0.0 {
                 base_kwps = kwps;
             }
-            t.row_strings(vec![
+            let mut row = vec![
                 n.to_string(),
                 stall_us.to_string(),
                 sessions.to_string(),
@@ -1112,11 +1131,10 @@ pub fn e14_serving(threads: &[usize], sessions: usize, waves: usize) -> Table {
                 format!("{:.1}", elapsed * 1e3),
                 format!("{kwps:.0}"),
                 format!("{:.2}x", kwps / base_kwps),
-                pct(0.50).to_string(),
-                pct(0.95).to_string(),
-                pct(0.99).to_string(),
-                bytes_node.to_string(),
-            ]);
+            ];
+            row.extend(pct);
+            row.push(bytes_node.to_string());
+            t.row_strings(row);
         }
     }
     t
@@ -1164,6 +1182,7 @@ pub fn e15_parallel(workers: &[usize], width: usize, waves: usize, stall_us: u64
         stats: alphonse::Stats,
     }
     let mut rows: Vec<Row> = Vec::new();
+    let mut metrics = MetricsSnapshot::default();
     for &n in workers {
         let rt = Runtime::new();
         rt.set_parallelism(n);
@@ -1206,6 +1225,7 @@ pub fn e15_parallel(workers: &[usize], width: usize, waves: usize, stall_us: u64
         let expect: i64 = (0..width).map(|i| (last * width + i) as i64 + 2).sum();
         assert_eq!(total.call(&rt, ()), expect, "parallel run diverged");
         rt.check_invariants();
+        metrics.merge(&rt.metrics_snapshot());
         rows.push(Row {
             mode: if n == 0 {
                 "seq".into()
@@ -1237,6 +1257,171 @@ pub fn e15_parallel(workers: &[usize], width: usize, waves: usize, stall_us: u64
             r.stats.level_width_hwm.to_string(),
             r.stats.executions.to_string(),
         ]);
+    }
+    write_metrics_sidecar("E15", &metrics);
+    t
+}
+
+/// E16: the metrics layer's own cost. The ROADMAP judges the scale-stress
+/// work on wave-latency percentiles — which only pay off if collecting
+/// them is close to free. Two update loops (the E9 height ladder and the
+/// E15 wide row, both pure CPU so instrumentation cannot hide inside
+/// stalls) run with recording enabled vs the
+/// [`alphonse::metrics::set_enabled`] kill-switch, which leaves one
+/// relaxed atomic load per site. Both arms share **one** runtime and one
+/// long update loop, interleaved in short paired chunks whose within-pair
+/// order is (seeded-)randomly flipped, so co-tenant noise bursts,
+/// frequency ramps and allocator-layout luck land on both arms equally;
+/// `overhead_pct` compares the arms' median per-chunk times, which drops
+/// burst outliers from both arms entirely. The acceptance bar
+/// is overhead ≤2%. The on-arm chunks supply the first recorded
+/// wave-latency p50/p99 trajectory (`-` when the `metrics` feature is
+/// compiled out, where both arms are identical by construction).
+pub fn e16_metrics_overhead(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E16 — metrics overhead: update-loop cost, recording on vs off",
+        &[
+            "workload",
+            "size",
+            "chunks",
+            "waves_arm",
+            "off_ms",
+            "on_ms",
+            "overhead_pct",
+            "wave_p50_us",
+            "wave_p99_us",
+        ],
+    );
+    /// Drives `wave` for `chunks` timed chunks of `waves_per_chunk` waves.
+    /// Chunks come in pairs — one recording-off, one recording-on, with the
+    /// within-pair order flipped by a seeded coin so no periodic machine
+    /// effect can alias onto one arm. Returns each arm's median per-chunk
+    /// seconds plus the on-arm wave-latency delta; medians (rather than
+    /// sums) drop co-tenant noise bursts from both arms entirely.
+    fn measure(
+        rt: &Runtime,
+        mut wave: impl FnMut(usize),
+        waves_per_chunk: usize,
+        chunks: usize,
+    ) -> (f64, f64, HistogramSnapshot) {
+        let was_on = alphonse::metrics::enabled();
+        let before = rt.metrics_snapshot();
+        let mut times = [Vec::new(), Vec::new()];
+        let mut r = workloads::rng(1600);
+        let mut w = 0;
+        let mut chunk = |on: bool, w: &mut usize, times: &mut [Vec<f64>; 2]| {
+            alphonse::metrics::set_enabled(on);
+            let t0 = Instant::now();
+            for _ in 0..waves_per_chunk {
+                wave(*w);
+                *w += 1;
+            }
+            times[on as usize].push(t0.elapsed().as_secs_f64());
+        };
+        for _ in 0..chunks / 2 {
+            let on_first = r.gen_range(0..2) == 1;
+            chunk(on_first, &mut w, &mut times);
+            chunk(!on_first, &mut w, &mut times);
+        }
+        alphonse::metrics::set_enabled(was_on);
+        let median = |v: &mut Vec<f64>| {
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let (off, on) = (median(&mut times[0]), median(&mut times[1]));
+        let delta = rt.metrics_snapshot().delta_since(&before);
+        (off, on, delta.wave_latency_ns)
+    }
+    // Each workload builds its warmed runtime, then hands the per-wave body
+    // to `measure`.
+    type Run = Box<dyn Fn(usize, usize, usize) -> (f64, f64, HistogramSnapshot)>;
+    let ladder: Run = Box::new(|size, wpc, chunks| {
+        let rt = Runtime::new();
+        let src = rt.var(1i64);
+        let mut prev = rt.memo_with("lvl0", Strategy::Eager, move |rt, &(): &()| src.get(rt));
+        prev.call(&rt, ());
+        for i in 1..size {
+            let below = prev.clone();
+            let m = rt.memo_with(&format!("lvl{i}"), Strategy::Eager, move |rt, &(): &()| {
+                below.call(rt, ()) + src.get(rt)
+            });
+            m.call(&rt, ());
+            prev = m;
+        }
+        rt.propagate();
+        // Warm the loop (and spin the CPU up out of its idle frequency)
+        // before the arms start.
+        for w in 0..64 {
+            src.set(&rt, w + 2);
+            rt.propagate();
+        }
+        measure(
+            &rt,
+            |w| {
+                src.set(&rt, w as i64 + 100);
+                rt.propagate();
+            },
+            wpc,
+            chunks,
+        )
+    });
+    let wide: Run = Box::new(|size, wpc, chunks| {
+        let rt = Runtime::new();
+        let vars: Vec<Var<i64>> = (0..size).map(|i| rt.var(i as i64)).collect();
+        let cells: Vec<Memo<(), i64>> = vars
+            .iter()
+            .map(|v| {
+                let v = *v;
+                rt.memo_with("cell", Strategy::Eager, move |rt, &(): &()| v.get(rt) + 1)
+            })
+            .collect();
+        let total = {
+            let cells = cells.clone();
+            rt.memo_with("total", Strategy::Eager, move |rt, &(): &()| {
+                cells.iter().map(|c| c.call(rt, ())).sum::<i64>()
+            })
+        };
+        total.call(&rt, ());
+        rt.propagate();
+        let wave = |w: usize| {
+            rt.batch(|tx| {
+                for (i, v) in vars.iter().enumerate() {
+                    v.set_in(tx, (w * size + i) as i64 + 1);
+                }
+            });
+            rt.propagate();
+        };
+        for w in 0..64 {
+            wave(w);
+        }
+        measure(&rt, wave, wpc, chunks)
+    });
+    let runs: [(&str, usize, usize, usize, Run); 2] = if quick {
+        [
+            ("e9_ladder", 64, 2, 160, ladder),
+            ("e15_wide", 64, 2, 160, wide),
+        ]
+    } else {
+        [
+            ("e9_ladder", 256, 2, 640, ladder),
+            ("e15_wide", 256, 2, 320, wide),
+        ]
+    };
+    for (name, size, wpc, chunks, run) in runs {
+        let (off_chunk, on_chunk, hist) = run(size, wpc, chunks);
+        let overhead = (on_chunk - off_chunk) / off_chunk * 100.0;
+        let per_arm = (chunks / 2) as f64;
+        let mut row = vec![
+            name.to_string(),
+            size.to_string(),
+            chunks.to_string(),
+            (wpc * chunks / 2).to_string(),
+            format!("{:.2}", off_chunk * per_arm * 1e3),
+            format!("{:.2}", on_chunk * per_arm * 1e3),
+            format!("{overhead:.2}"),
+        ];
+        row.extend(percentile_cells(&hist, &[0.5, 0.99], 1e3));
+        t.row_strings(row);
     }
     t
 }

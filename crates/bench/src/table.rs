@@ -1,6 +1,24 @@
 //! Markdown-ish table rendering for experiment output.
 
+use alphonse::HistogramSnapshot;
 use std::fmt;
+
+/// Renders quantile readouts of a latency histogram as table cells: one
+/// cell per `q`, each `h.percentile(q) / per_unit` with one decimal (pass
+/// `per_unit = 1e3` for ns→µs, `1.0` for histograms already in the target
+/// unit). An empty histogram renders `-` cells so a metrics-off build still
+/// produces well-formed rows.
+pub fn percentile_cells(h: &HistogramSnapshot, qs: &[f64], per_unit: f64) -> Vec<String> {
+    qs.iter()
+        .map(|&q| {
+            if h.count() == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}", h.percentile(q) as f64 / per_unit)
+            }
+        })
+        .collect()
+}
 
 /// A printable experiment result table.
 #[derive(Debug, Clone)]
@@ -138,5 +156,23 @@ mod tests {
     fn arity_is_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&[1]);
+    }
+
+    #[test]
+    fn percentile_cells_scale_and_handle_empty() {
+        let h = alphonse::Histogram::new();
+        assert_eq!(
+            percentile_cells(&h.snapshot(), &[0.5, 0.99], 1e3),
+            vec!["-", "-"]
+        );
+        for _ in 0..100 {
+            h.record(2_000);
+        }
+        let cells = percentile_cells(&h.snapshot(), &[0.5, 1.0], 1e3);
+        // 2000 ns = 2 µs, up to one log-bucket of quantization.
+        for c in &cells {
+            let v: f64 = c.parse().unwrap();
+            assert!((2.0..=2.7).contains(&v), "cell {c} out of range");
+        }
     }
 }

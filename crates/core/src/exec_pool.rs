@@ -35,6 +35,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::metrics::RuntimeMetrics;
+
 /// A unit of work for one worker: runs on the worker thread, communicates
 /// its result through whatever channel the submitter captured in it.
 pub(crate) type Job = Box<dyn FnOnce() + Send>;
@@ -63,12 +65,19 @@ pub(crate) struct ExecPool {
     /// every worker exits its loop.
     tx: Option<Sender<Job>>,
     handles: Vec<JoinHandle<()>>,
+    /// The owning runtime's telemetry registry: workers tally busy/idle
+    /// time and job counts into its per-slot gauges, `submit` maintains the
+    /// queue-depth gauge. Recording is compiled in by the `metrics`
+    /// feature; the handle itself is always carried so the constructor
+    /// signature is feature-independent.
+    #[cfg_attr(not(feature = "metrics"), allow(dead_code))]
+    metrics: Arc<RuntimeMetrics>,
 }
 
 impl ExecPool {
     /// Spawns `workers` (>= 1) persistent threads, all draining one shared
     /// job queue.
-    pub(crate) fn new(workers: usize) -> ExecPool {
+    pub(crate) fn new(workers: usize, metrics: Arc<RuntimeMetrics>) -> ExecPool {
         assert!(workers >= 1, "a worker pool needs at least one thread");
         let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel::<Job>();
@@ -76,11 +85,17 @@ impl ExecPool {
         let mut handles = Vec::with_capacity(workers);
         for slot in 0..workers {
             let rx = Arc::clone(&rx);
+            #[cfg_attr(not(feature = "metrics"), allow(unused_variables))]
+            let metrics = Arc::clone(&metrics);
             let handle = std::thread::Builder::new()
                 .name(format!("alphonse-exec-{id}-{slot}"))
                 .spawn(move || {
                     WORKER_IDENTITY.with(|c| c.set(Some((id, slot))));
                     loop {
+                        // Clock reads bracket the queue wait and the job
+                        // run; both are skipped while recording is off.
+                        #[cfg(feature = "metrics")]
+                        let wait_t0 = crate::metrics::enabled().then(std::time::Instant::now);
                         // Take the next job while holding the queue mutex,
                         // then release it before running, so other workers
                         // keep draining while this one executes.
@@ -89,7 +104,26 @@ impl ExecPool {
                             guard.recv()
                         };
                         let Ok(job) = job else { break };
+                        #[cfg(feature = "metrics")]
+                        let (idle_ns, run_t0) = match wait_t0 {
+                            Some(t0) => {
+                                metrics.queue_pop();
+                                (
+                                    t0.elapsed().as_nanos() as u64,
+                                    Some(std::time::Instant::now()),
+                                )
+                            }
+                            None => (0, None),
+                        };
                         let _ = catch_unwind(AssertUnwindSafe(job));
+                        #[cfg(feature = "metrics")]
+                        if let Some(t0) = run_t0 {
+                            metrics.record_worker_job(
+                                slot,
+                                t0.elapsed().as_nanos() as u64,
+                                idle_ns,
+                            );
+                        }
                     }
                 })
                 .expect("spawning executor worker thread");
@@ -100,6 +134,7 @@ impl ExecPool {
             workers,
             tx: Some(tx),
             handles,
+            metrics,
         }
     }
 
@@ -116,6 +151,10 @@ impl ExecPool {
     /// Enqueues one job. Never blocks (the queue is unbounded); the job
     /// starts as soon as a worker frees up.
     pub(crate) fn submit(&self, job: Job) {
+        #[cfg(feature = "metrics")]
+        if crate::metrics::enabled() {
+            self.metrics.queue_push();
+        }
         self.tx
             .as_ref()
             .expect("pool alive until dropped")
@@ -150,7 +189,7 @@ mod tests {
 
     #[test]
     fn jobs_run_and_results_come_back() {
-        let pool = ExecPool::new(3);
+        let pool = ExecPool::new(3, Arc::new(RuntimeMetrics::new()));
         let (tx, rx) = channel();
         for i in 0..32usize {
             let tx = tx.clone();
@@ -166,7 +205,7 @@ mod tests {
 
     #[test]
     fn workers_have_distinct_identities() {
-        let pool = ExecPool::new(2);
+        let pool = ExecPool::new(2, Arc::new(RuntimeMetrics::new()));
         let (tx, rx) = channel();
         // Hold both workers long enough that each runs at least one job.
         for _ in 0..8 {
@@ -189,7 +228,7 @@ mod tests {
 
     #[test]
     fn a_panicking_job_does_not_kill_the_worker() {
-        let pool = ExecPool::new(1);
+        let pool = ExecPool::new(1, Arc::new(RuntimeMetrics::new()));
         let (tx, rx) = channel();
         pool.submit(Box::new(|| panic!("boom")));
         let tx2 = tx.clone();

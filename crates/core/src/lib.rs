@@ -63,6 +63,7 @@ mod dirty;
 mod exec_pool;
 pub mod fxhash;
 mod memo;
+pub mod metrics;
 pub mod pool;
 mod runtime;
 mod stats;
@@ -73,6 +74,7 @@ mod var;
 pub use batch::Batch;
 pub use dirty::Scheduling;
 pub use memo::{Memo, MemoArgs, MemoResult};
+pub use metrics::{Histogram, HistogramSnapshot, MetricsSnapshot};
 pub use pool::SessionPool;
 pub use runtime::{NodeKind, Runtime, RuntimeBuilder, Strategy};
 pub use stats::Stats;

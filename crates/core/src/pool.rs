@@ -42,9 +42,13 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::metrics::{MetricsSnapshot, PoolMetricsRegistry, PoolSnapshot};
 
 /// One unit of shard-worker input.
 enum Msg<S> {
@@ -52,8 +56,10 @@ enum Msg<S> {
     Insert(u64, S),
     /// Remove a session, sending it back to the caller.
     Remove(u64, SyncSender<Option<S>>),
-    /// Run a closure against a tenant's session.
-    Work(u64, Box<dyn FnOnce(&mut S) + Send>),
+    /// Run a closure against a tenant's session. The stamp is the enqueue
+    /// time when metric recording is active (`None` otherwise); the shard
+    /// worker turns it into the submit→service sojourn histogram.
+    Work(u64, Option<Instant>, Box<dyn FnOnce(&mut S) + Send>),
     /// Reply on the channel once every message queued before this one has
     /// been processed.
     Barrier(SyncSender<()>),
@@ -72,6 +78,9 @@ struct Shard<S> {
 /// is preserved) while different shards proceed in parallel.
 pub struct SessionPool<S: Send + 'static> {
     shards: Vec<Shard<S>>,
+    /// Serving-layer telemetry (submit sojourn, flush latency, per-shard
+    /// tenant/job gauges); shard workers share it lock-free.
+    metrics: Arc<PoolMetricsRegistry>,
 }
 
 impl<S: Send + 'static> SessionPool<S> {
@@ -83,12 +92,14 @@ impl<S: Send + 'static> SessionPool<S> {
     #[must_use]
     pub fn new(n_shards: usize) -> SessionPool<S> {
         assert!(n_shards > 0, "a session pool needs at least one shard");
+        let metrics = Arc::new(PoolMetricsRegistry::new(n_shards));
         let shards = (0..n_shards)
             .map(|i| {
                 let (tx, rx) = mpsc::channel::<Msg<S>>();
+                let metrics = Arc::clone(&metrics);
                 let handle = std::thread::Builder::new()
                     .name(format!("alphonse-shard-{i}"))
-                    .spawn(move || shard_main(&rx))
+                    .spawn(move || shard_main(&rx, i, &metrics))
                     .expect("spawning a pool shard thread");
                 Shard {
                     tx,
@@ -96,7 +107,7 @@ impl<S: Send + 'static> SessionPool<S> {
                 }
             })
             .collect();
-        SessionPool { shards }
+        SessionPool { shards, metrics }
     }
 
     /// Number of shards (worker threads).
@@ -137,7 +148,10 @@ impl<S: Send + 'static> SessionPool<S> {
     /// Submissions against a tenant with no installed session are dropped
     /// (serving semantics: an evicted tenant's queued edits are void).
     pub fn submit(&self, tenant: u64, work: impl FnOnce(&mut S) + Send + 'static) {
-        self.send(tenant, Msg::Work(tenant, Box::new(work)));
+        self.send(
+            tenant,
+            Msg::Work(tenant, crate::metrics::stamp(), Box::new(work)),
+        );
     }
 
     /// Runs `f` against `tenant`'s session and blocks for its result,
@@ -164,6 +178,7 @@ impl<S: Send + 'static> SessionPool<S> {
     /// Blocks until every shard has drained all work queued before this
     /// call — the pool-wide quiescence point benches measure around.
     pub fn flush(&self) {
+        let t0 = crate::metrics::stamp();
         let (reply, rx) = mpsc::sync_channel(self.shards.len());
         for shard in &self.shards {
             shard
@@ -176,6 +191,31 @@ impl<S: Send + 'static> SessionPool<S> {
         for _ in &self.shards {
             rx.recv().expect("pool shard worker terminated");
         }
+        if let Some(t0) = t0 {
+            self.metrics
+                .flush_latency_ns
+                .record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Serving-layer metrics: submit→service sojourn and flush-latency
+    /// histograms plus per-shard tenant and job gauges. The snapshot's
+    /// runtime-side histograms are empty — merge per-session
+    /// [`Runtime::metrics_snapshot`](crate::Runtime::metrics_snapshot)s
+    /// into it for a full picture
+    /// ([`MetricsSnapshot::merge`]).
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            pool: Some(self.pool_metrics()),
+            ..MetricsSnapshot::default()
+        }
+    }
+
+    /// Just the serving-layer portion of [`SessionPool::metrics_snapshot`].
+    #[must_use]
+    pub fn pool_metrics(&self) -> PoolSnapshot {
+        self.metrics.snapshot()
     }
 }
 
@@ -200,17 +240,33 @@ impl<S: Send + 'static> Drop for SessionPool<S> {
 }
 
 /// Shard worker loop: owns this shard's sessions until the queue closes.
-fn shard_main<S>(rx: &Receiver<Msg<S>>) {
+/// Maintains this shard's gauges as a side effect: the tenant count after
+/// every insert/remove, one job tick per work closure, and the
+/// submit→service sojourn of every stamped message.
+fn shard_main<S>(rx: &Receiver<Msg<S>>, shard: usize, metrics: &PoolMetricsRegistry) {
+    let gauges = &metrics.shards[shard];
     let mut sessions: HashMap<u64, S> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Insert(tenant, session) => {
                 sessions.insert(tenant, session);
+                gauges
+                    .tenants
+                    .store(sessions.len() as u64, Ordering::Relaxed);
             }
             Msg::Remove(tenant, reply) => {
                 let _ = reply.send(sessions.remove(&tenant));
+                gauges
+                    .tenants
+                    .store(sessions.len() as u64, Ordering::Relaxed);
             }
-            Msg::Work(tenant, work) => {
+            Msg::Work(tenant, stamp, work) => {
+                if let Some(t0) = stamp {
+                    metrics
+                        .submit_sojourn_ns
+                        .record(t0.elapsed().as_nanos() as u64);
+                }
+                gauges.jobs.fetch_add(1, Ordering::Relaxed);
                 if let Some(session) = sessions.get_mut(&tenant) {
                     work(session);
                 }

@@ -307,6 +307,7 @@ impl RuntimeBuilder {
             exec_depth: Arc::new(AtomicU32::new(0)),
             #[cfg(feature = "parallel")]
             par_active: Arc::new(AtomicU32::new(0)),
+            metrics: Arc::new(crate::metrics::RuntimeMetrics::new()),
             id: NEXT_RUNTIME_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -369,6 +370,12 @@ pub struct Runtime {
     /// bug*, and the fail-stop panic is kept.
     #[cfg(feature = "parallel")]
     par_active: Arc<AtomicU32>,
+    /// Lock-free telemetry registry ([`crate::metrics`]): wave/level
+    /// histograms and worker gauges, recorded outside the runtime lock.
+    /// Always present so `metrics_snapshot` stays source-compatible; the
+    /// recording sites are compiled in by the `metrics` feature.
+    #[cfg_attr(not(feature = "metrics"), allow(dead_code))]
+    pub(crate) metrics: Arc<crate::metrics::RuntimeMetrics>,
     pub(crate) id: u64,
 }
 
@@ -484,7 +491,15 @@ impl Inner {
         // Side tables charged per entry (hash-map overhead not modeled).
         let names = self.names.len() * size_of::<(u32, Arc<str>)>();
         let deep = self.deep_stack.len() * size_of::<(u32, u32)>();
-        self.graph.approx_bytes() + (values + flags + gens + last + names + execs + deep) as u64
+        // Propagation state: the inconsistent set(s) retain capacity across
+        // waves, so their footprint belongs to the steady-state bill too.
+        let dirty = match &self.dirty {
+            DirtyStore::Global(s) => s.approx_bytes(),
+            DirtyStore::Partitioned(m) => m.values().map(DirtySet::approx_bytes).sum(),
+        };
+        self.graph.approx_bytes()
+            + dirty
+            + (values + flags + gens + last + names + execs + deep) as u64
     }
 
     /// Inserts `n` into the inconsistent set of its partition. `cause` is
@@ -813,6 +828,32 @@ impl Runtime {
     /// Resets all work counters to zero.
     pub fn reset_stats(&self) {
         self.lock().stats = Stats::default();
+    }
+
+    /// A complete telemetry snapshot: every [`Stats`] counter plus the
+    /// always-on wave/level latency histograms and executor-pool worker
+    /// gauges maintained by [`crate::metrics`]. The histograms are
+    /// maintained lock-free outside the runtime lock and are **not**
+    /// cleared by [`Runtime::reset_stats`]; isolate a phase with
+    /// [`MetricsSnapshot::delta_since`](crate::metrics::MetricsSnapshot::delta_since).
+    ///
+    /// Without the `metrics` feature the recording sites are compiled out:
+    /// the counters are still populated but every histogram and gauge reads
+    /// as empty.
+    pub fn metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
+        let m = &*self.metrics;
+        crate::metrics::MetricsSnapshot {
+            counters: self.stats().fields(),
+            wave_latency_ns: m.wave_latency_ns.snapshot(),
+            wave_executed: m.wave_executed.snapshot(),
+            wave_wasted: m.wave_wasted.snapshot(),
+            level_width: m.level_width.snapshot(),
+            level_latency_ns: m.level_latency_ns.snapshot(),
+            workers: m.worker_snapshots(),
+            queue_depth: m.queue_depth.load(Ordering::Relaxed),
+            queue_depth_hwm: m.queue_depth_hwm.load(Ordering::Relaxed),
+            pool: None,
+        }
     }
 
     /// Current approximate memory footprint as `(nodes, live_edges,
@@ -1630,6 +1671,12 @@ impl Runtime {
         inner.values[i] = Some(value);
         if compared {
             inner.stats.comparisons += 1;
+            if !changed {
+                // The body ran and reproduced the cached value: real work,
+                // no downstream effect. Waves report this share through the
+                // `wave_wasted` metrics histogram.
+                inner.stats.wasted_executions += 1;
+            }
         }
         emit!(inner, TraceEvent::ExecuteEnd { node: n, changed });
         #[cfg(feature = "trace")]
@@ -1812,6 +1859,8 @@ impl Runtime {
     fn evaluate_bounded(&self, origin: Option<NodeId>, max_steps: u64) {
         #[cfg(feature = "trace")]
         let steps_before;
+        #[cfg(feature = "metrics")]
+        let (execs_before, wasted_before);
         #[cfg(feature = "parallel")]
         let level_mode;
         {
@@ -1825,6 +1874,11 @@ impl Runtime {
             #[cfg(feature = "trace")]
             {
                 steps_before = inner.stats.propagation_steps;
+            }
+            #[cfg(feature = "metrics")]
+            {
+                execs_before = inner.stats.executions;
+                wasted_before = inner.stats.wasted_executions;
             }
             // Level draining requires the default configuration: a single
             // global inconsistent set (so one `pop_level` sees the whole
@@ -1840,6 +1894,11 @@ impl Runtime {
             }
             emit!(inner, TraceEvent::PropagateBegin { wave: inner.wave });
         }
+        // Wave clock: stamped outside the lock, after the nested-wave early
+        // return, so only real (outermost) waves are timed and a disabled
+        // switch skips the clock read entirely.
+        #[cfg(feature = "metrics")]
+        let wave_t0 = crate::metrics::enabled().then(std::time::Instant::now);
         #[cfg(feature = "parallel")]
         if level_mode {
             self.drain_levels(max_steps);
@@ -1857,6 +1916,19 @@ impl Runtime {
                 steps: inner.stats.propagation_steps - steps_before,
             }
         );
+        #[cfg(feature = "metrics")]
+        {
+            // Per-wave work deltas come from the counters while the guard
+            // is still held; the histogram writes happen after it drops —
+            // metric recording itself never holds the runtime lock.
+            let executed = inner.stats.executions - execs_before;
+            let wasted = inner.stats.wasted_executions - wasted_before;
+            drop(inner);
+            if let Some(t0) = wave_t0 {
+                self.metrics
+                    .record_wave(t0.elapsed().as_nanos() as u64, executed, wasted);
+            }
+        }
     }
 
     /// The paper's sequential drain, one dirty node at a time in scheduling
@@ -1928,6 +2000,7 @@ impl Runtime {
     /// than the sequential evaluator's per-node bound but with the same
     /// contract: remaining work stays queued for a later slice.
     #[cfg(feature = "parallel")]
+    #[cfg_attr(not(feature = "trace"), allow(unused_variables))] // `height` feeds the trace brackets
     fn drain_levels(&self, max_steps: u64) {
         use std::sync::mpsc::channel;
         let mut steps = 0u64;
@@ -1948,6 +2021,8 @@ impl Runtime {
             };
             let width = batch.len() as u64;
             inner.stats.level_width_hwm = inner.stats.level_width_hwm.max(width);
+            #[cfg(feature = "metrics")]
+            self.metrics.level_width.record(width);
             emit!(
                 inner,
                 TraceEvent::LevelBegin {
@@ -1993,7 +2068,10 @@ impl Runtime {
                     .as_ref()
                     .is_none_or(|p| p.workers() != workers)
                 {
-                    inner.exec_pool = Some(crate::exec_pool::ExecPool::new(workers));
+                    inner.exec_pool = Some(crate::exec_pool::ExecPool::new(
+                        workers,
+                        Arc::clone(&self.metrics),
+                    ));
                 }
                 while inner.worker_stacks.len() < workers {
                     inner.worker_stacks.push(Vec::new());
@@ -2005,6 +2083,8 @@ impl Runtime {
                 // are submitted below while this guard is still held, so no
                 // worker can observe the flag too early).
                 self.par_active.fetch_add(1, Ordering::Release);
+                #[cfg(feature = "metrics")]
+                let level_t0 = crate::metrics::enabled().then(std::time::Instant::now);
                 let (tx, rx) = channel::<(usize, Box<dyn Value>)>();
                 let pool = inner.exec_pool.as_ref().expect("created above");
                 for (idx, (u, executor, _, frame)) in booked.iter_mut().enumerate() {
@@ -2031,6 +2111,12 @@ impl Runtime {
                     received += 1;
                 }
                 self.par_active.fetch_sub(1, Ordering::Release);
+                #[cfg(feature = "metrics")]
+                if let Some(t0) = level_t0 {
+                    self.metrics
+                        .level_latency_ns
+                        .record(t0.elapsed().as_nanos() as u64);
+                }
                 assert_eq!(
                     received,
                     booked.len(),

@@ -22,6 +22,7 @@ macro_rules! for_each_counter {
     ($m:ident) => {
         $m!(
             executions,
+            wasted_executions,
             cache_hits,
             calls,
             reads,
@@ -66,6 +67,11 @@ pub struct Stats {
     /// Incremental procedure bodies actually run (paper: executions not
     /// avoided by caching).
     pub executions: u64,
+    /// Executions whose recomputed value compared equal to the cached one —
+    /// work that cutoff then stopped from propagating. The per-wave share
+    /// of these feeds the `wave_wasted` histogram in [`crate::metrics`];
+    /// the trace layer's `waste` report classifies the same runs per node.
+    pub wasted_executions: u64,
     /// Calls answered from the cache without running the body.
     pub cache_hits: u64,
     /// Total calls to incremental procedures (hits + executions + stale

@@ -235,3 +235,78 @@ fn level_brackets_appear_in_the_trace() {
     assert_eq!(begins, 3);
     assert_eq!(executed_in_levels, 5);
 }
+
+/// Worker busy/idle gauges come from the executor pool, so they populate
+/// only when a pool actually runs — `set_parallelism(n >= 2)` with a
+/// multi-node level — never under sequential or inline (n = 1) draining.
+#[cfg(feature = "metrics")]
+#[test]
+fn worker_gauges_populate_only_under_pooled_draining() {
+    use std::time::Duration;
+
+    // A wide row of stall-bound eager cells, so pooled workers accumulate
+    // measurable busy time.
+    let stall_fan = |rt: &Runtime, width: usize| {
+        let vars: Vec<Var<i64>> = (0..width).map(|i| rt.var(i as i64)).collect();
+        let cells: Vec<alphonse::Memo<(), i64>> = vars
+            .iter()
+            .map(|v| {
+                let v = *v;
+                rt.memo_with("cell", Strategy::Eager, move |rt, &(): &()| {
+                    std::thread::sleep(Duration::from_micros(200));
+                    v.get(rt) + 1
+                })
+            })
+            .collect();
+        for c in &cells {
+            c.call(rt, ());
+        }
+        vars
+    };
+
+    for workers in [0usize, 1] {
+        let rt = Runtime::new();
+        rt.set_parallelism(workers);
+        let vars = stall_fan(&rt, 6);
+        for v in &vars {
+            v.set(&rt, 50);
+        }
+        rt.propagate();
+        let snap = rt.metrics_snapshot();
+        assert!(
+            snap.workers.is_empty(),
+            "no pool ran at parallelism {workers}, yet worker gauges appeared"
+        );
+        assert_eq!(snap.queue_depth_hwm, 0);
+        // The wave itself is still observed, pool or not.
+        assert!(snap.wave_latency_ns.count() > 0);
+    }
+
+    let rt = Runtime::new();
+    rt.set_parallelism(4);
+    let vars = stall_fan(&rt, 6);
+    for v in &vars {
+        v.set(&rt, 50);
+    }
+    rt.propagate();
+    let snap = rt.metrics_snapshot();
+    assert!(
+        !snap.workers.is_empty(),
+        "pooled draining must populate worker gauges"
+    );
+    let jobs: u64 = snap.workers.iter().map(|w| w.jobs).sum();
+    assert_eq!(jobs, 6, "one pool job per stalled cell");
+    assert!(
+        snap.workers.iter().any(|w| w.busy_ns >= 200_000),
+        "at least one worker sat in a 200µs stall: {:?}",
+        snap.workers
+    );
+    for w in &snap.workers {
+        assert!(w.slot < 4);
+        assert!(w.utilization() <= 1.0);
+    }
+    assert!(snap.queue_depth_hwm >= 1, "jobs passed through the queue");
+    assert_eq!(snap.queue_depth, 0, "queue drained at quiescence");
+    assert_eq!(snap.level_width.max, 6, "widest level was the cell row");
+    assert!(snap.level_latency_ns.count() >= 1, "one pooled level timed");
+}

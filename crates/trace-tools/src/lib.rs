@@ -14,10 +14,15 @@
 //! * **waste** — [`report::waste`] classifies every execution as productive
 //!   (value changed) or wasted (equal value recomputed), per memo label.
 //!
-//! The `alphonse-trace` binary wraps all three; see `src/main.rs` for the
-//! CLI surface. Parsing is serde-free ([`json`]) because the build
+//! Beyond traces, [`metrics`] reads the runtime's `alphonse-metrics-v1`
+//! snapshot files (wave-latency histograms, worker/shard gauges) and
+//! renders percentile reports or the delta between two snapshots.
+//!
+//! The `alphonse-trace` binary wraps all of these; see `src/main.rs` for
+//! the CLI surface. Parsing is serde-free ([`json`]) because the build
 //! environment is offline.
 
 pub mod json;
+pub mod metrics;
 pub mod model;
 pub mod report;

@@ -4,6 +4,7 @@
 //! alphonse-trace why <node|label> <trace.jsonl> [--dot] [--allow-truncated]
 //! alphonse-trace waves <trace.jsonl>
 //! alphonse-trace waste <trace.jsonl>
+//! alphonse-trace metrics <snapshot.json> [<baseline.json>]
 //! ```
 //!
 //! Record a trace with `--trace-out run.jsonl` on any bench binary or
@@ -12,6 +13,7 @@
 //! wasted.
 
 use alphonse::NodeId;
+use alphonse_trace_tools::metrics::MetricsDoc;
 use alphonse_trace_tools::model::TraceFile;
 use alphonse_trace_tools::report;
 use std::process::ExitCode;
@@ -32,6 +34,12 @@ commands:
   waste <trace.jsonl>
       Classify every execution as productive (value changed) or wasted
       (equal value recomputed), aggregated per memo label.
+  metrics <snapshot.json> [<baseline.json>]
+      Pretty-print a runtime metrics snapshot (`MetricsSnapshot::to_json`
+      output, e.g. a bench METRICS_<id>.json sidecar): counter totals,
+      p50/p90/p99/max per latency histogram, worker utilization and shard
+      gauges. With a second file, report the change from <baseline.json>
+      to <snapshot.json> instead (counters and histograms subtract).
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -136,6 +144,34 @@ fn cmd_report(args: Vec<String>, render: fn(&TraceFile) -> String) -> ExitCode {
     }
 }
 
+fn cmd_metrics(args: Vec<String>) -> ExitCode {
+    let load = |path: &str| -> Result<MetricsDoc, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        MetricsDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    match args.as_slice() {
+        [snap] => match load(snap) {
+            Ok(doc) => {
+                emit(&doc.render(&format!("metrics: {snap}")));
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        },
+        [snap, baseline] => match (load(snap), load(baseline)) {
+            (Ok(after), Ok(before)) => {
+                emit(
+                    &after
+                        .delta_since(&before)
+                        .render(&format!("metrics delta: {baseline} → {snap}")),
+                );
+                ExitCode::SUCCESS
+            }
+            (Err(e), _) | (_, Err(e)) => fail(&e),
+        },
+        _ => fail("metrics takes <snapshot.json> [<baseline.json>]\n\n— see alphonse-trace --help"),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -151,6 +187,7 @@ fn main() -> ExitCode {
         "why" => cmd_why(args),
         "waves" => cmd_report(args, report::waves_report),
         "waste" => cmd_report(args, report::waste_report),
+        "metrics" => cmd_metrics(args),
         other => fail(&format!("unknown command `{other}`\n\n{USAGE}")),
     }
 }

@@ -1,0 +1,362 @@
+//! Offline reader for `alphonse-metrics-v1` snapshot files.
+//!
+//! The runtime's [`MetricsSnapshot::to_json`] (and the bench harness's
+//! `METRICS_<id>.json` sidecars) serialize histograms in sparse bucket
+//! form. This module parses them back — counters, the five runtime
+//! histograms, worker and shard gauges — and renders either one snapshot
+//! (percentile readout per histogram, utilization per worker) or the
+//! change between two (counters subtract, histograms bucket-subtract via
+//! [`HistogramSnapshot::delta_since`]).
+//!
+//! [`MetricsSnapshot::to_json`]: alphonse::MetricsSnapshot::to_json
+
+use crate::json::Json;
+use alphonse::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// One parsed worker row (`workers` array of the snapshot document).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerRow {
+    /// Worker slot index within the execution pool.
+    pub slot: u64,
+    /// Nanoseconds spent running jobs.
+    pub busy_ns: u64,
+    /// Nanoseconds spent waiting for jobs.
+    pub idle_ns: u64,
+    /// Jobs completed.
+    pub jobs: u64,
+}
+
+/// One parsed shard row (`pool.shards` of the snapshot document).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRow {
+    /// Shard index within the session pool.
+    pub shard: u64,
+    /// Tenants currently resident (a level gauge, not a counter).
+    pub tenants: u64,
+    /// Jobs executed by this shard.
+    pub jobs: u64,
+}
+
+/// The serving section of a snapshot (`pool`), present when the snapshot
+/// came from a `SessionPool`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolDoc {
+    /// Submit→execute sojourn latency histogram (ns).
+    pub submit_sojourn_ns: HistogramSnapshot,
+    /// `flush()` wall-time histogram (ns).
+    pub flush_latency_ns: HistogramSnapshot,
+    /// Per-shard gauges.
+    pub shards: Vec<ShardRow>,
+}
+
+/// A parsed `alphonse-metrics-v1` document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsDoc {
+    /// Monotone counters, in document order (the `Stats` field set).
+    pub counters: Vec<(String, u64)>,
+    /// Named histograms, in document order. Names ending in `_ns` hold
+    /// nanosecond latencies; the rest hold dimensionless per-wave counts.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Current pooled-executor queue depth.
+    pub queue_depth: u64,
+    /// High-water mark of the executor queue.
+    pub queue_depth_hwm: u64,
+    /// Per-worker busy/idle gauges (empty unless a worker pool ran).
+    pub workers: Vec<WorkerRow>,
+    /// Serving-layer section, when present.
+    pub pool: Option<PoolDoc>,
+}
+
+fn field_u64(obj: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{ctx}: missing or non-integer `{key}`"))
+}
+
+fn parse_hist(v: &Json, name: &str) -> Result<HistogramSnapshot, String> {
+    let sum = field_u64(v, "sum", name)?;
+    let max = field_u64(v, "max", name)?;
+    let mut buckets = Vec::new();
+    for pair in v
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{name}: missing `buckets` array"))?
+    {
+        match pair.as_arr() {
+            Some([i, c]) => buckets.push((
+                i.as_u64()
+                    .ok_or_else(|| format!("{name}: non-integer bucket index"))?
+                    as usize,
+                c.as_u64()
+                    .ok_or_else(|| format!("{name}: non-integer bucket count"))?,
+            )),
+            _ => return Err(format!("{name}: bucket entries must be [index, count]")),
+        }
+    }
+    let h = HistogramSnapshot::from_sparse(&buckets, sum, max)
+        .ok_or_else(|| format!("{name}: bucket index out of range"))?;
+    let declared = field_u64(v, "count", name)?;
+    if h.count() != declared {
+        return Err(format!(
+            "{name}: declared count {declared} != bucket total {}",
+            h.count()
+        ));
+    }
+    Ok(h)
+}
+
+impl MetricsDoc {
+    /// Parses one snapshot document, verifying the schema marker.
+    pub fn parse(text: &str) -> Result<MetricsDoc, String> {
+        let doc = Json::parse(text)?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some("alphonse-metrics-v1") => {}
+            Some(other) => return Err(format!("unsupported schema `{other}`")),
+            None => return Err("not a metrics snapshot (no `schema` field)".into()),
+        }
+        let mut counters = Vec::new();
+        if let Some(Json::Obj(fields)) = doc.get("counters") {
+            for (name, v) in fields {
+                counters.push((
+                    name.clone(),
+                    v.as_u64()
+                        .ok_or_else(|| format!("counter `{name}` is not an integer"))?,
+                ));
+            }
+        }
+        let mut histograms = Vec::new();
+        if let Some(Json::Obj(fields)) = doc.get("histograms") {
+            for (name, v) in fields {
+                histograms.push((name.clone(), parse_hist(v, name)?));
+            }
+        }
+        let gauges = doc.get("gauges").ok_or("missing `gauges` section")?;
+        let mut workers = Vec::new();
+        for w in doc.get("workers").and_then(Json::as_arr).unwrap_or(&[]) {
+            workers.push(WorkerRow {
+                slot: field_u64(w, "slot", "worker")?,
+                busy_ns: field_u64(w, "busy_ns", "worker")?,
+                idle_ns: field_u64(w, "idle_ns", "worker")?,
+                jobs: field_u64(w, "jobs", "worker")?,
+            });
+        }
+        let pool = match doc.get("pool") {
+            None => None,
+            Some(p) => {
+                let mut shards = Vec::new();
+                for s in p.get("shards").and_then(Json::as_arr).unwrap_or(&[]) {
+                    shards.push(ShardRow {
+                        shard: field_u64(s, "shard", "shard")?,
+                        tenants: field_u64(s, "tenants", "shard")?,
+                        jobs: field_u64(s, "jobs", "shard")?,
+                    });
+                }
+                Some(PoolDoc {
+                    submit_sojourn_ns: parse_hist(
+                        p.get("submit_sojourn_ns").ok_or("pool: missing sojourn")?,
+                        "submit_sojourn_ns",
+                    )?,
+                    flush_latency_ns: parse_hist(
+                        p.get("flush_latency_ns").ok_or("pool: missing flush")?,
+                        "flush_latency_ns",
+                    )?,
+                    shards,
+                })
+            }
+        };
+        Ok(MetricsDoc {
+            counters,
+            histograms,
+            queue_depth: field_u64(gauges, "queue_depth", "gauges")?,
+            queue_depth_hwm: field_u64(gauges, "queue_depth_hwm", "gauges")?,
+            workers,
+            pool,
+        })
+    }
+
+    /// The change from `before` to `self`: counters and histogram buckets
+    /// subtract (entries absent from `before` pass through); gauges, worker
+    /// and shard rows are level readings, so the later snapshot's values
+    /// are reported as-is.
+    pub fn delta_since(&self, before: &MetricsDoc) -> MetricsDoc {
+        let mut d = self.clone();
+        for (name, v) in &mut d.counters {
+            if let Some((_, b)) = before.counters.iter().find(|(n, _)| n == name) {
+                *v = v.saturating_sub(*b);
+            }
+        }
+        for (name, h) in &mut d.histograms {
+            if let Some((_, b)) = before.histograms.iter().find(|(n, _)| n == name) {
+                *h = h.delta_since(b);
+            }
+        }
+        d
+    }
+
+    /// Renders the human-readable report (see `alphonse-trace metrics`).
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {title}");
+        let _ = writeln!(out, "\n## counters");
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "{name:<24} {v}");
+        }
+        let _ = writeln!(out, "\n## histograms");
+        for (name, h) in &self.histograms {
+            if h.count() == 0 {
+                let _ = writeln!(out, "{name:<18} (no samples)");
+                continue;
+            }
+            let ns = name.ends_with("_ns");
+            let cell = |v: u64| if ns { fmt_ns(v) } else { v.to_string() };
+            let _ = writeln!(
+                out,
+                "{name:<18} n={:<7} mean={:<9} p50={:<9} p90={:<9} p99={:<9} max={}",
+                h.count(),
+                cell(h.mean().round() as u64),
+                cell(h.percentile(0.50)),
+                cell(h.percentile(0.90)),
+                cell(h.percentile(0.99)),
+                cell(h.max),
+            );
+        }
+        let _ = writeln!(out, "\n## executor");
+        let _ = writeln!(
+            out,
+            "queue_depth {} (hwm {})",
+            self.queue_depth, self.queue_depth_hwm
+        );
+        for w in &self.workers {
+            let total = w.busy_ns + w.idle_ns;
+            let util = if total == 0 {
+                0.0
+            } else {
+                w.busy_ns as f64 / total as f64 * 100.0
+            };
+            let _ = writeln!(
+                out,
+                "worker {}: busy {} idle {} jobs {} utilization {util:.0}%",
+                w.slot,
+                fmt_ns(w.busy_ns),
+                fmt_ns(w.idle_ns),
+                w.jobs,
+            );
+        }
+        if let Some(pool) = &self.pool {
+            let _ = writeln!(out, "\n## pool");
+            for (name, h) in [
+                ("submit_sojourn_ns", &pool.submit_sojourn_ns),
+                ("flush_latency_ns", &pool.flush_latency_ns),
+            ] {
+                if h.count() == 0 {
+                    let _ = writeln!(out, "{name:<18} (no samples)");
+                } else {
+                    let _ = writeln!(
+                        out,
+                        "{name:<18} n={:<7} p50={:<9} p99={:<9} max={}",
+                        h.count(),
+                        fmt_ns(h.percentile(0.50)),
+                        fmt_ns(h.percentile(0.99)),
+                        fmt_ns(h.max),
+                    );
+                }
+            }
+            for s in &pool.shards {
+                let _ = writeln!(
+                    out,
+                    "shard {}: tenants {} jobs {}",
+                    s.shard, s.tenants, s.jobs
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Formats a nanosecond quantity at a human scale (`ns`, `µs`, `ms`, `s`).
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=999 => format!("{ns}ns"),
+        1_000..=999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alphonse::{Runtime, Strategy};
+
+    fn sample_doc() -> String {
+        let rt = Runtime::new();
+        let v = rt.var(1i64);
+        let m = rt.memo_with("m", Strategy::Eager, move |rt, &(): &()| v.get(rt) + 1);
+        m.call(&rt, ());
+        for i in 0..5 {
+            v.set(&rt, i);
+            rt.propagate();
+        }
+        rt.metrics_snapshot().to_json()
+    }
+
+    #[test]
+    fn round_trips_a_runtime_snapshot() {
+        let text = sample_doc();
+        let doc = MetricsDoc::parse(&text).expect("parses");
+        assert!(doc.counters.iter().any(|(n, _)| n == "waves"));
+        let rendered = doc.render("snapshot");
+        assert!(rendered.contains("## counters"));
+        assert!(rendered.contains("waves"));
+        // trace-tools always builds alphonse with its default features, so
+        // the wiring is live and the snapshot carries real waves.
+        let (_, waves) = doc.counters.iter().find(|(n, _)| n == "waves").unwrap();
+        assert!(*waves >= 5);
+        let (_, h) = doc
+            .histograms
+            .iter()
+            .find(|(n, _)| n == "wave_latency_ns")
+            .unwrap();
+        assert!(h.count() >= 5);
+        assert!(rendered.contains("p99="));
+    }
+
+    #[test]
+    fn delta_subtracts_counters_and_buckets() {
+        let a = MetricsDoc::parse(&sample_doc()).unwrap();
+        let b = MetricsDoc::parse(&sample_doc()).unwrap();
+        let mut twice = b.clone();
+        // Fake a strictly-later snapshot by doubling everything monotone.
+        for (i, (_, v)) in twice.counters.iter_mut().enumerate() {
+            *v += a.counters[i].1;
+        }
+        for (i, (_, h)) in twice.histograms.iter_mut().enumerate() {
+            h.merge(&a.histograms[i].1);
+        }
+        let d = twice.delta_since(&b);
+        assert_eq!(d.counters, a.counters);
+        for (i, (_, h)) in d.histograms.iter().enumerate() {
+            assert_eq!(h.count(), a.histograms[i].1.count());
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_bad_counts() {
+        assert!(MetricsDoc::parse("{\"schema\":\"other\"}").is_err());
+        assert!(MetricsDoc::parse("{}").is_err());
+        let bad = "{\"schema\":\"alphonse-metrics-v1\",\"counters\":{},\"histograms\":{\
+                   \"h\":{\"count\":2,\"sum\":1,\"max\":1,\"buckets\":[[1,1]]}},\
+                   \"gauges\":{\"queue_depth\":0,\"queue_depth_hwm\":0},\"workers\":[]}";
+        let err = MetricsDoc::parse(bad).unwrap_err();
+        assert!(err.contains("declared count"), "got: {err}");
+    }
+
+    #[test]
+    fn formats_scales() {
+        assert_eq!(fmt_ns(12), "12ns");
+        assert_eq!(fmt_ns(87_400), "87.4µs");
+        assert_eq!(fmt_ns(3_200_000), "3.2ms");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+    }
+}

@@ -97,6 +97,68 @@ fn why_refuses_truncated_traces_without_the_flag() {
 }
 
 #[test]
+fn metrics_prints_and_diffs_snapshots() {
+    // Two snapshots of the same runtime, a few waves apart.
+    let rt = Runtime::new();
+    let v = rt.var(0i64);
+    let m = rt.memo_with("double", Strategy::Eager, move |rt, &(): &()| v.get(rt) * 2);
+    m.call(&rt, ());
+    for i in 1..=3 {
+        v.set(&rt, i);
+        rt.propagate();
+    }
+    let before = temp_path("metrics-before.json");
+    std::fs::write(&before, rt.metrics_snapshot().to_json()).unwrap();
+    for i in 4..=8 {
+        v.set(&rt, i);
+        rt.propagate();
+    }
+    let after = temp_path("metrics-after.json");
+    std::fs::write(&after, rt.metrics_snapshot().to_json()).unwrap();
+
+    let print = bin().arg("metrics").arg(&after).output().unwrap();
+    assert!(
+        print.status.success(),
+        "{}",
+        String::from_utf8_lossy(&print.stderr)
+    );
+    let out = String::from_utf8_lossy(&print.stdout);
+    assert!(out.contains("waves"), "{out}");
+    assert!(out.contains("wave_latency_ns"), "{out}");
+    assert!(out.contains("p99="), "{out}");
+
+    // Diff mode subtracts: 8 total waves − 3 at baseline = 5.
+    let diff = bin()
+        .arg("metrics")
+        .arg(&after)
+        .arg(&before)
+        .output()
+        .unwrap();
+    assert!(
+        diff.status.success(),
+        "{}",
+        String::from_utf8_lossy(&diff.stderr)
+    );
+    let out = String::from_utf8_lossy(&diff.stdout);
+    assert!(out.contains("metrics delta"), "{out}");
+    let wave_line = out
+        .lines()
+        .find(|l| l.trim_start().starts_with("waves "))
+        .unwrap_or_else(|| panic!("no waves counter line in:\n{out}"));
+    assert!(wave_line.trim_end().ends_with('5'), "{wave_line}");
+
+    let refused = bin()
+        .arg("metrics")
+        .arg("/no/such/metrics.json")
+        .output()
+        .unwrap();
+    assert_eq!(refused.status.code(), Some(2));
+
+    std::fs::remove_file(&before).ok();
+    std::fs::remove_file(&after).ok();
+}
+
+#[test]
 fn bad_usage_exits_nonzero_with_usage() {
     let none = bin().output().unwrap();
     assert_eq!(none.status.code(), Some(2));
