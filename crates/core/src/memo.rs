@@ -6,7 +6,7 @@ use crate::value::{downcast_ref, Value};
 use alphonse_graph::NodeId;
 use std::fmt;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError, Weak};
 
 /// Bound required of memo argument vectors: they key the *argument table*
@@ -51,6 +51,11 @@ pub(crate) struct MemoInner<A, R> {
     single: OnceLock<NodeId>,
     /// Values dropped by the replacement policy so far.
     evictions: AtomicU64,
+    /// Static-stratum seed applied to fresh instance nodes (see
+    /// [`Memo::set_height_hint`]). Zero means "no hint". Atomic because
+    /// recursive memos are built through `Arc::new_cyclic`, so the hint
+    /// must be settable after construction through a shared handle.
+    height_hint: AtomicU32,
 }
 
 /// The guarded argument-table state: the instance map plus the logical
@@ -158,6 +163,7 @@ impl Runtime {
                 table: Mutex::new(Table::default()),
                 single: OnceLock::new(),
                 evictions: AtomicU64::new(0),
+                height_hint: AtomicU32::new(0),
             }),
         }
     }
@@ -192,6 +198,7 @@ impl Runtime {
                 table: Mutex::new(Table::default()),
                 single: OnceLock::new(),
                 evictions: AtomicU64::new(0),
+                height_hint: AtomicU32::new(0),
             }),
         }
     }
@@ -245,6 +252,7 @@ impl Runtime {
                 table: Mutex::new(Table::default()),
                 single: OnceLock::new(),
                 evictions: AtomicU64::new(0),
+                height_hint: AtomicU32::new(0),
             }
         });
         Memo { inner }
@@ -358,6 +366,7 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
                         Arc::clone(&self.inner.name),
                         self.inner.strategy,
                         executor,
+                        self.inner.height_hint.load(Ordering::Relaxed),
                     );
                     begun = Some((executor, my_gen));
                     table.map.insert(
@@ -431,6 +440,23 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
     /// Number of values dropped by the replacement policy so far.
     pub fn evictions(&self) -> u64 {
         self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Seeds the minimum height of instance nodes created *after* this call
+    /// from a static stratification (the compiler's SCC condensation of the
+    /// abstract dependency graph). A node born at its final height never
+    /// triggers the online height-raise cascade when its read edges are
+    /// recorded, so a good hint turns O(edges) height adjustments into
+    /// none. Overestimates are harmless: heights only order propagation,
+    /// and the wave queue tolerates stale priorities. Zero clears the hint.
+    /// Already-created instances are unaffected.
+    pub fn set_height_hint(&self, h: u32) {
+        self.inner.height_hint.store(h, Ordering::Relaxed);
+    }
+
+    /// The current static height hint (zero = none).
+    pub fn height_hint(&self) -> u32 {
+        self.inner.height_hint.load(Ordering::Relaxed)
     }
 
     /// Drops least-recently-used cached values until at most `capacity`

@@ -573,7 +573,9 @@ impl Inner {
             }
             self.last_accessed[n.index()] = epoch;
         }
+        let raises_before = self.graph.height_raises();
         self.graph.add_edge(n, v);
+        self.stats.height_raises += self.graph.height_raises() - raises_before;
         self.stats.edges_created += 1;
         self.stats.mem_edges_hwm = self.stats.mem_edges_hwm.max(self.graph.edge_count() as u64);
         emit!(self, TraceEvent::EdgeAdded { from: n, to: v });
@@ -1383,17 +1385,27 @@ impl Runtime {
     /// a lock round-trip per instance created. The caller runs the
     /// returned executor unlocked and completes with
     /// [`Runtime::finish_exec_recording`].
+    /// `height_hint` seeds the fresh node's evaluation priority from a
+    /// statically computed stratum (see `Memo::set_height_hint`): the node
+    /// starts at that height instead of 0, so the online raise step of
+    /// later edge insertions usually has nothing to do. A hint of 0 is a
+    /// no-op; an overestimate is harmless (the height queue tolerates
+    /// conservative priorities — heights only order processing).
     pub(crate) fn alloc_comp_begun(
         &self,
         name: Arc<str>,
         strategy: Strategy,
         executor: Executor,
+        height_hint: u32,
     ) -> (NodeId, Executor, u64) {
         let mut guard = self.lock();
         let inner = &mut *guard;
         inner.stats.calls += 1;
         inner.stats.memo_probes += 1;
         let n = inner.alloc_node(None, Some((strategy, executor)), Some(name));
+        if height_hint > 0 && inner.graph.set_min_height(n, height_hint) {
+            inner.stats.height_seeded += 1;
+        }
         let (executor, my_gen) = self.exec_begin(inner, n);
         (n, executor, my_gen)
     }

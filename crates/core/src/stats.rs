@@ -31,6 +31,8 @@ macro_rules! for_each_counter {
             edges_created,
             edges_removed,
             dirtied,
+            height_seeded,
+            height_raises,
             waves,
             propagation_steps,
             comparisons,
@@ -90,6 +92,13 @@ pub struct Stats {
     pub edges_removed: u64,
     /// Nodes inserted into an inconsistent set.
     pub dirtied: u64,
+    /// Fresh computation nodes whose height was lifted by a static-strata
+    /// seed before any edge arrived (see `Memo::set_height_hint`).
+    pub height_seeded: u64,
+    /// Node-height increases performed by the online raise step of edge
+    /// insertion. Static height seeding exists to shrink this number; E2
+    /// compares it with seeding on and off.
+    pub height_raises: u64,
     /// Propagation waves: non-nested entries into the Section 4.5
     /// evaluation routine. Matches the `wave` ids on trace events (see
     /// [`Runtime::waves`](crate::Runtime::waves) for the never-reset

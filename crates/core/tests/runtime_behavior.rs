@@ -603,3 +603,59 @@ fn propagate_steps_preempts_and_resumes() {
     assert_eq!(prev.call(&rt, ()), 24);
     assert_eq!(rt.stats().delta_since(&before).executions, 0);
 }
+
+/// Builds the diamond Total(Left(base), Right(rate)) and returns the runtime
+/// plus the stats after the first full evaluation, optionally pre-seeding
+/// each memo's node height from the static strata (Left/Right at 1, Total
+/// at 2) as the compiler's SCC condensation would.
+fn diamond_with_hints(seed: bool) -> alphonse::Stats {
+    let rt = Runtime::new();
+    let base = rt.var(10i64);
+    let rate = rt.var(3i64);
+    let left = rt.memo("Left", move |rt, &(): &()| base.get(rt) * 2);
+    let right = rt.memo("Right", move |rt, &(): &()| rate.get(rt) + 1);
+    let (lc, rc) = (left.clone(), right.clone());
+    let total = rt.memo("Total", move |rt, &(): &()| {
+        lc.call(rt, ()) + rc.call(rt, ())
+    });
+    if seed {
+        left.set_height_hint(1);
+        right.set_height_hint(1);
+        total.set_height_hint(2);
+    }
+    assert_eq!(total.call(&rt, ()), 24);
+    rt.stats()
+}
+
+#[test]
+fn static_height_seeding_eliminates_online_raises() {
+    let unseeded = diamond_with_hints(false);
+    assert_eq!(unseeded.height_seeded, 0);
+    assert!(
+        unseeded.height_raises > 0,
+        "the diamond built bottom-up must raise heights online: {unseeded:?}"
+    );
+
+    let seeded = diamond_with_hints(true);
+    assert_eq!(
+        seeded.height_seeded, 3,
+        "all three instances took their hint"
+    );
+    assert_eq!(
+        seeded.height_raises, 0,
+        "nodes born at their static stratum never cascade: {seeded:?}"
+    );
+}
+
+#[test]
+fn overestimated_height_hints_stay_correct() {
+    let rt = Runtime::new();
+    let a = rt.var(1i64);
+    let m = rt.memo("wide", move |rt, &(): &()| a.get(rt) * 7);
+    // A wildly overestimated stratum: heights only order processing.
+    m.set_height_hint(1000);
+    assert_eq!(m.call(&rt, ()), 7);
+    a.set(&rt, 3);
+    assert_eq!(m.call(&rt, ()), 21);
+    assert_eq!(rt.stats().height_seeded, 1);
+}

@@ -95,6 +95,10 @@ pub struct DepGraph {
     edges_live: usize,
     edges_created: u64,
     edges_removed: u64,
+    /// Node-height increases performed by online propagation (each node
+    /// whose height rose counts once per rise). Static height seeding
+    /// exists to shrink this number.
+    height_raises: u64,
     /// Set when height propagation exceeds its budget, which can only
     /// happen if the dependency relation is cyclic (a violation of the
     /// paper's DET/termination assumptions).
@@ -121,6 +125,7 @@ impl Default for DepGraph {
             edges_live: 0,
             edges_created: 0,
             edges_removed: 0,
+            height_raises: 0,
             cycle_suspected: false,
             scratch: Vec::new(),
         }
@@ -168,6 +173,32 @@ impl DepGraph {
     /// dependency path ending at `n`.
     pub fn height(&self, n: NodeId) -> u32 {
         self.nodes[n.index()].height
+    }
+
+    /// Total node-height increases performed by online propagation
+    /// ([`DepGraph::add_edge`]'s raise step) over the graph's lifetime.
+    pub fn height_raises(&self) -> u64 {
+        self.height_raises
+    }
+
+    /// Lifts `n`'s height to at least `h`, returning `true` if it rose.
+    ///
+    /// This seeds a *fresh* node with a statically computed stratum so the
+    /// online raise step has nothing left to do when its dependence edges
+    /// arrive. It performs no forward propagation, so the caller must only
+    /// use it on nodes that have no successors yet — lifting a node other
+    /// nodes already depend on would break the height invariant.
+    pub fn set_min_height(&mut self, n: NodeId, h: u32) -> bool {
+        debug_assert!(
+            self.nodes[n.index()].first_out == NIL,
+            "set_min_height on a node with successors"
+        );
+        let rec = &mut self.nodes[n.index()];
+        if rec.height >= h {
+            return false;
+        }
+        rec.height = h;
+        true
     }
 
     /// Returns `true` if height propagation ever blew its budget, which
@@ -234,6 +265,7 @@ impl DepGraph {
         let mut work = std::mem::take(&mut self.scratch);
         work.clear();
         self.nodes[v.index()].height = hu + 1;
+        self.height_raises += 1;
         work.push(v.0);
         while let Some(x) = work.pop() {
             steps += 1;
@@ -247,6 +279,7 @@ impl DepGraph {
                 let edge = self.edges[e as usize];
                 if self.nodes[edge.dst as usize].height <= hx {
                     self.nodes[edge.dst as usize].height = hx + 1;
+                    self.height_raises += 1;
                     work.push(edge.dst);
                 }
                 e = edge.next_out;
@@ -613,6 +646,31 @@ mod tests {
         let a = g.add_node();
         assert_eq!(format!("{a:?}"), "n0");
         assert!(format!("{g:?}").contains("DepGraph"));
+    }
+
+    #[test]
+    fn seeded_heights_preempt_online_raises() {
+        // Unseeded: building loc -> a -> b raises a once and b twice
+        // (b first rises above a at height 1, then again when a rises).
+        let mut g = DepGraph::new();
+        let (loc, a, b) = (g.add_node(), g.add_node(), g.add_node());
+        g.add_edge(a, b);
+        g.add_edge(loc, a);
+        let unseeded = g.height_raises();
+        assert!(unseeded >= 3);
+
+        // Seeded at their static strata, the same insertion order does no
+        // raise work at all.
+        let mut g = DepGraph::new();
+        let (loc, a, b) = (g.add_node(), g.add_node(), g.add_node());
+        assert!(g.set_min_height(a, 1));
+        assert!(g.set_min_height(b, 2));
+        assert!(!g.set_min_height(b, 2), "second lift is a no-op");
+        g.add_edge(a, b);
+        g.add_edge(loc, a);
+        assert_eq!(g.height_raises(), 0);
+        assert_eq!(g.height(b), 2);
+        assert_eq!(g.height(loc), 0);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`HeightQueue`] — the *inconsistent set*: a priority queue of dirty
 //!   nodes ordered by height, with set semantics (re-inserting a queued node
 //!   is a no-op).
+//! * [`scc`] — Tarjan strongly-connected components and condensation, the
+//!   compile-time counterpart of the online heights: static strata, cycle
+//!   candidates, and callee-first scheduling for the effect fixpoint.
 //!
 //! The graph stores topology only. Cached values, consistency flags and
 //! evaluation strategies live in the `alphonse` runtime crate layered on
@@ -42,8 +45,10 @@
 
 mod graph;
 mod queue;
+pub mod scc;
 mod union_find;
 
 pub use graph::{DepGraph, NodeId, Preds, Succs};
 pub use queue::HeightQueue;
+pub use scc::{condense, Condensation};
 pub use union_find::UnionFind;

@@ -10,13 +10,16 @@
 //! This module is a thin client of the effect-inference engine
 //! ([`crate::effects`]): it projects the effect table down to the decision
 //! the instrumentation sites need — *does this access require a runtime
-//! check?* A location needs checks exactly when some procedure reachable
-//! from an incremental root performs a **checked read** of it: dependence
-//! nodes are only ever created by such reads, so a location no reachable
-//! procedure checked-reads can never have nodes hanging off it, and both
-//! its reads and its writes may take the uninstrumented fast path. (This is
-//! sharper than the previous read∪write criterion: write-only locations are
-//! no longer tracked.)
+//! check?* A location needs checks exactly when some procedure that can
+//! execute in a *recording* frame performs a **checked read** of it:
+//! dependence nodes are only ever created by such reads, so a location no
+//! recording-capable procedure checked-reads can never have nodes hanging
+//! off it, and both its reads and its writes may take the uninstrumented
+//! fast path. (Two successive sharpenings over the naive read∪write
+//! criterion: write-only locations are untracked, and so are locations
+//! read only by procedures reachable *solely through `(*UNCHECKED*)`
+//! region calls* — such procedures always run in a suppressed frame, so
+//! even their checked-syntax reads record nothing.)
 //!
 //! The table also exposes which procedures are pure combinators: calls to a
 //! pure `(*CACHED*)` procedure need no `R(p)` global encoding and record no
@@ -95,7 +98,10 @@ pub fn analyze_with(program: &Program, effects: &EffectTable) -> Instrumentation
     let mut tracked_arrays = false;
 
     for (pid, facts) in effects.facts.iter().enumerate() {
-        if !effects.reachable[pid] {
+        // `recording_reachable`, not `reachable`: a procedure reachable
+        // only through region calls executes suppressed, so its reads can
+        // never create dependence nodes (see [`crate::effects`]).
+        if !effects.recording_reachable[pid] {
             continue;
         }
         for &g in &facts.direct.reads_globals {
@@ -261,6 +267,29 @@ mod tests {
         );
         assert!(a.pure_procs[p.proc_by_name["Fib"]]);
         assert!(!a.pure_procs[p.proc_by_name["Scaled"]]);
+    }
+
+    #[test]
+    fn region_only_reachable_reads_stay_untracked() {
+        // `Hidden` is reachable, but only through an `(*UNCHECKED*)` region
+        // call, so it always executes in a suppressed frame: its read of
+        // `shadow` can never create a dependence node and `shadow` takes
+        // the fast path. `lit` is read by the root itself and stays tracked.
+        let (p, a) = analyzed(
+            r#"
+            VAR lit, shadow : INTEGER;
+            PROCEDURE Hidden() : INTEGER =
+            BEGIN RETURN shadow; END Hidden;
+            (*CACHED*) PROCEDURE F() : INTEGER =
+            BEGIN RETURN lit + (*UNCHECKED*) Hidden(); END F;
+            "#,
+        );
+        assert!(a.reachable[p.proc_by_name["Hidden"]], "still reachable");
+        assert!(a.global_needs_check(p.global_by_name["lit"]));
+        assert!(
+            !a.global_needs_check(p.global_by_name["shadow"]),
+            "suppressed-only readers eliminate the check"
+        );
     }
 
     #[test]

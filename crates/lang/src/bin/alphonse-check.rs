@@ -2,11 +2,18 @@
 //!
 //! ```text
 //! usage: alphonse-check [--json] [--deny-warnings] <file.alf>...
+//!        alphonse-check graph [--dot] [--out <path>] <file.alf>
 //! ```
 //!
-//! Parses and resolves each file, runs effect inference and the W01–W05
-//! lint pass, and reports diagnostics — human-readable with source
-//! excerpts by default, one JSON document per run with `--json`.
+//! The default mode parses and resolves each file, runs effect inference
+//! and the W01–W08 lint pass, and reports diagnostics — human-readable
+//! with source excerpts by default, one versioned JSON document per run
+//! with `--json` (`{"schema":"alphonse-check","version":1,...}`).
+//!
+//! The `graph` mode runs the same front end and effect inference, builds
+//! the whole-program abstract dependency graph ([`alphonse_lang::depgraph`])
+//! and prints it as versioned `alphonse-staticgraph` JSON (the input to
+//! `alphonse-trace check-static`), or as Graphviz DOT with `--dot`.
 //!
 //! Exit status: 0 when no diagnostic is an error (warnings allowed unless
 //! `--deny-warnings`), 1 when the program is rejected, 2 on usage or I/O
@@ -15,11 +22,14 @@
 
 use alphonse_lang::diag::{report_json, Diagnostic, Severity};
 use alphonse_lang::token::Span;
-use alphonse_lang::{lints, parse, resolve, LangError};
+use alphonse_lang::{depgraph, effects, lints, parse, resolve, LangError};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: alphonse-check [--json] [--deny-warnings] <file.alf>...");
+    eprintln!(
+        "usage: alphonse-check [--json] [--deny-warnings] <file.alf>...\n\
+         \x20      alphonse-check graph [--dot] [--out <path>] <file.alf>"
+    );
     ExitCode::from(2)
 }
 
@@ -44,11 +54,74 @@ fn front_end_error(e: LangError) -> Diagnostic {
     Diagnostic::error("E00", span, e.to_string())
 }
 
+/// `alphonse-check graph`: emit the static dependency graph of one file.
+fn graph_main(args: &[String]) -> ExitCode {
+    let mut dot = false;
+    let mut out: Option<String> = None;
+    let mut file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dot" => dot = true,
+            "--out" => match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return usage(),
+            },
+            "--help" | "-h" => return usage(),
+            _ if arg.starts_with('-') => {
+                eprintln!("alphonse-check graph: unknown option `{arg}`");
+                return usage();
+            }
+            _ if file.is_some() => return usage(),
+            _ => file = Some(arg.clone()),
+        }
+    }
+    let Some(file) = file else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("alphonse-check: {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let program = match parse(&source).and_then(|m| resolve(&m)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("alphonse-check: {file}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let table = effects::infer(&program);
+    let graph = depgraph::build(&program, &table);
+    let rendered = if dot {
+        graph.to_dot(&program)
+    } else {
+        graph.to_json(&program, &file)
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, rendered) {
+                eprintln!("alphonse-check: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => println!("{rendered}"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("graph") {
+        return graph_main(&args[1..]);
+    }
+
     let mut json = false;
     let mut deny_warnings = false;
     let mut files = Vec::new();
-    for arg in std::env::args().skip(1) {
+    for arg in args {
         match arg.as_str() {
             "--json" => json = true,
             "--deny-warnings" => deny_warnings = true,
@@ -94,10 +167,14 @@ fn main() -> ExitCode {
     }
 
     if json {
-        match reports.len() {
-            1 => println!("{}", reports[0]),
-            _ => println!("[{}]", reports.join(",")),
-        }
+        // A versioned envelope so downstream consumers can detect format
+        // drift; per-file reports keep their historical shape inside it.
+        println!(
+            "{{\"schema\":\"alphonse-check\",\"version\":1,\
+             \"tool\":\"alphonse-check {}\",\"reports\":[{}]}}",
+            env!("CARGO_PKG_VERSION"),
+            reports.join(",")
+        );
     } else if errors + warnings > 0 {
         println!(
             "alphonse-check: {errors} error{}, {warnings} warning{}",

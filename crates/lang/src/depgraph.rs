@@ -1,0 +1,663 @@
+//! Whole-program static dependency graph.
+//!
+//! The runtime builds its dependence graph *online*: every checked read and
+//! every tracked write, executed while an incremental frame records, adds an
+//! edge (Section 4.1 of the paper). This module computes the compile-time
+//! shadow of that graph by abstract interpretation over the HIR: abstract
+//! locations (globals by index, fields by flattened offset, all arrays as
+//! one class) and incremental procedures become nodes, and three edge kinds
+//! over-approximate everything the runtime can ever record:
+//!
+//! * **read** `loc -> proc` — some execution of the procedure's *checked
+//!   recording closure* (itself plus non-incremental callees reached only
+//!   through calls outside `(*UNCHECKED*)` regions) may perform a checked
+//!   read of the location. At runtime that read adds `loc -> instance`.
+//! * **write** `proc -> loc` — some execution of the procedure's *full
+//!   plain closure* (all non-incremental callees, regions included) may
+//!   write the location. At runtime a tracked write adds `loc -> writer`
+//!   (the writer becomes a consumer the location can re-dirty), so for
+//!   coverage purposes a write edge witnesses the same dynamic edge as a
+//!   read edge — the flow orientation `proc -> loc` is kept because it is
+//!   what makes store-mediated cycles visible.
+//! * **call** `callee -> caller` — the caller's checked closure reaches a
+//!   call of the incremental callee; at runtime the callee's settled
+//!   instance becomes a dependence of the caller's frame.
+//!
+//! Suppressed activity (reads under `(*UNCHECKED*)`, calls occurring only
+//! inside regions) records nothing at runtime and is deliberately excluded
+//! from read/call edges, while writes are *never* suppressed-excluded:
+//! omitting a dynamic edge is unsound for cross-validation, including an
+//! impossible one merely loses precision.
+//!
+//! Two condensations of the edge set are computed ([`alphonse_graph::scc`]):
+//!
+//! * the **flow graph** (edges as stated) reveals store-mediated cycle
+//!   candidates — `P` writes a location that `Q` reads while `Q` feeds `P`.
+//!   The runtime never sees such a cycle as a graph cycle (locations have
+//!   no in-edges online), it sees non-terminating re-dirtying instead, so
+//!   the static check is the only early warning (lint W06).
+//! * the **dependency orientation** (write edges flipped to `loc -> proc`)
+//!   is acyclic through locations, exactly like the online graph, and its
+//!   condensation heights give every procedure a static stratum: a lower
+//!   bound on the height of any instance of that procedure. The
+//!   interpreter seeds new instances with these heights so the online
+//!   height-adjustment pass has less work to do.
+//!
+//! The graph serializes to DOT and to a versioned JSON document
+//! (`alphonse-staticgraph` version 1) whose node labels match the labels
+//! the traced runtime attaches to its nodes (`g:<name>`, `f:<offset>`,
+//! `arr`, and procedure names), so `alphonse-trace check-static` can
+//! verify dynamic ⊆ static edge coverage on any recorded trace.
+
+use crate::diag::json_str;
+use crate::effects::{describe_loc, EffectTable, Loc};
+use crate::hir::{IncrKind, ProcId, Program};
+use alphonse_graph::scc::{condense, Condensation};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// What a static-graph node stands for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An abstract storage location.
+    Loc(Loc),
+    /// An incremental (cached or maintained) procedure — the abstraction
+    /// of all its runtime instances.
+    Proc(ProcId),
+}
+
+/// One node of the static graph.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// What the node abstracts.
+    pub kind: NodeKind,
+    /// Cross-validation label, matching the runtime's trace labels:
+    /// `g:<name>` for globals, `f:<offset>` for fields, `arr` for arrays,
+    /// and the procedure name for incremental procedures.
+    pub label: String,
+}
+
+/// Edge kinds, in the natural (flow) orientation described in the module
+/// docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeKind {
+    /// `loc -> proc`: the procedure's checked closure may read the location.
+    Read,
+    /// `proc -> loc`: the procedure's plain closure may write the location.
+    Write,
+    /// `callee -> caller`: the caller's checked closure may request the
+    /// callee's instance.
+    Call,
+}
+
+impl EdgeKind {
+    /// Stable lowercase name used in JSON and DOT output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EdgeKind::Read => "read",
+            EdgeKind::Write => "write",
+            EdgeKind::Call => "call",
+        }
+    }
+}
+
+/// One edge of the static graph, by node index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Source node index.
+    pub from: usize,
+    /// Target node index.
+    pub to: usize,
+    /// Flow-orientation kind.
+    pub kind: EdgeKind,
+}
+
+/// A strongly-connected component of the flow graph that contains a cycle
+/// — the static candidate for runtime non-termination by re-dirtying.
+#[derive(Debug, Clone)]
+pub struct CycleCandidate {
+    /// Member node indices, in deterministic order.
+    pub nodes: Vec<usize>,
+    /// `true` if the component contains at least one location node (the
+    /// cycle is store-mediated, not a plain recursive call knot).
+    pub through_store: bool,
+    /// Cached procedures owning an intra-component write edge. Maintained
+    /// procedures are exempt by design — the paper's Algorithm 11
+    /// self-stabilizes an AVL tree by writing fields its own closure
+    /// reads.
+    pub cached_writers: Vec<ProcId>,
+}
+
+/// The computed static dependency graph of one program.
+#[derive(Debug, Clone)]
+pub struct StaticGraph {
+    /// Nodes: locations first (globals ascending, fields ascending,
+    /// arrays), then incremental procedures by id.
+    pub nodes: Vec<Node>,
+    /// Deduplicated edges in flow orientation, deterministic order.
+    pub edges: Vec<Edge>,
+    /// Location → node index.
+    pub loc_node: BTreeMap<Loc, usize>,
+    /// Incremental procedure → node index.
+    pub proc_node: BTreeMap<ProcId, usize>,
+    /// Per-node static height in the dependency orientation (write edges
+    /// flipped). Locations are always 0, like the online graph.
+    pub heights: Vec<u32>,
+    /// Nodes grouped by height: `strata[h]` lists node indices at height
+    /// `h`.
+    pub strata: Vec<Vec<usize>>,
+    /// Cyclic flow-graph components.
+    pub cycles: Vec<CycleCandidate>,
+}
+
+/// Builds the static graph from a resolved program and its effect table.
+pub fn build(program: &Program, effects: &EffectTable) -> StaticGraph {
+    let n_procs = program.procs.len();
+    let incremental: Vec<ProcId> = (0..n_procs)
+        .filter(|&p| program.procs[p].incremental.is_some())
+        .collect();
+
+    // Per incremental root: reads of the checked recording closure,
+    // incremental callees requested from it, writes of the full closure.
+    let mut reads: BTreeMap<ProcId, BTreeSet<Loc>> = BTreeMap::new();
+    let mut calls: BTreeMap<ProcId, BTreeSet<ProcId>> = BTreeMap::new();
+    let mut writes: BTreeMap<ProcId, BTreeSet<Loc>> = BTreeMap::new();
+    for &p in &incremental {
+        let (r, c) = checked_closure(program, effects, p);
+        reads.insert(p, r);
+        calls.insert(p, c);
+        writes.insert(p, full_closure_writes(program, effects, p));
+    }
+
+    // Node table: every location incident to at least one edge, then the
+    // incremental procedures.
+    let mut locs: BTreeSet<Loc> = BTreeSet::new();
+    for set in reads.values().chain(writes.values()) {
+        locs.extend(set.iter().copied());
+    }
+    let mut nodes = Vec::new();
+    let mut loc_node = BTreeMap::new();
+    for &loc in &locs {
+        loc_node.insert(loc, nodes.len());
+        nodes.push(Node {
+            kind: NodeKind::Loc(loc),
+            label: loc_label(program, loc),
+        });
+    }
+    let mut proc_node = BTreeMap::new();
+    for &p in &incremental {
+        proc_node.insert(p, nodes.len());
+        nodes.push(Node {
+            kind: NodeKind::Proc(p),
+            label: program.procs[p].name.clone(),
+        });
+    }
+
+    // Deduplicated flow edges in deterministic order.
+    let mut edge_set: BTreeSet<(usize, usize, EdgeKind)> = BTreeSet::new();
+    for &p in &incremental {
+        let pn = proc_node[&p];
+        for &loc in &reads[&p] {
+            edge_set.insert((loc_node[&loc], pn, EdgeKind::Read));
+        }
+        for &loc in &writes[&p] {
+            edge_set.insert((pn, loc_node[&loc], EdgeKind::Write));
+        }
+        for &c in &calls[&p] {
+            edge_set.insert((proc_node[&c], pn, EdgeKind::Call));
+        }
+    }
+    let edges: Vec<Edge> = edge_set
+        .iter()
+        .map(|&(from, to, kind)| Edge { from, to, kind })
+        .collect();
+
+    // Flow condensation: store-mediated cycle candidates.
+    let flow = condense_edges(nodes.len(), &edges, false);
+    let mut cycles = Vec::new();
+    for c in 0..flow.len() {
+        if !flow.is_cyclic(c) {
+            continue;
+        }
+        let members: Vec<usize> = {
+            let mut m = flow.components[c].clone();
+            m.sort_unstable();
+            m
+        };
+        let through_store = members
+            .iter()
+            .any(|&v| matches!(nodes[v].kind, NodeKind::Loc(_)));
+        let mut cached_writers: Vec<ProcId> = edges
+            .iter()
+            .filter(|e| {
+                e.kind == EdgeKind::Write && flow.comp_of(e.from) == c && flow.comp_of(e.to) == c
+            })
+            .filter_map(|e| match nodes[e.from].kind {
+                NodeKind::Proc(p)
+                    if matches!(program.procs[p].incremental, Some((IncrKind::Cached, _))) =>
+                {
+                    Some(p)
+                }
+                _ => None,
+            })
+            .collect();
+        cached_writers.sort_unstable();
+        cached_writers.dedup();
+        cycles.push(CycleCandidate {
+            nodes: members,
+            through_store,
+            cached_writers,
+        });
+    }
+
+    // Dependency orientation (writes flipped): strata and heights.
+    let dep = condense_edges(nodes.len(), &edges, true);
+    let comp_heights = dep.heights(|v, f| {
+        for e in &edges {
+            let (from, to) = if e.kind == EdgeKind::Write {
+                (e.to, e.from) // loc -> writer, like the online graph
+            } else {
+                (e.from, e.to)
+            };
+            if from == v {
+                f(to);
+            }
+        }
+    });
+    let heights: Vec<u32> = (0..nodes.len())
+        .map(|v| comp_heights[dep.comp_of(v)])
+        .collect();
+    let mut strata: Vec<Vec<usize>> =
+        vec![Vec::new(); heights.iter().max().map_or(0, |&h| h as usize + 1)];
+    for (v, &h) in heights.iter().enumerate() {
+        strata[h as usize].push(v);
+    }
+
+    StaticGraph {
+        nodes,
+        edges,
+        loc_node,
+        proc_node,
+        heights,
+        strata,
+        cycles,
+    }
+}
+
+fn condense_edges(n: usize, edges: &[Edge], flip_writes: bool) -> Condensation {
+    condense(n, |v, f| {
+        for e in edges {
+            let (from, to) = if flip_writes && e.kind == EdgeKind::Write {
+                (e.to, e.from)
+            } else {
+                (e.from, e.to)
+            };
+            if from == v {
+                f(to);
+            }
+        }
+    })
+}
+
+/// The trace label of an abstract location, matching what the runtime
+/// attaches to promoted slots when tracing is on.
+pub fn loc_label(program: &Program, loc: Loc) -> String {
+    match loc {
+        Loc::Global(g) => format!("g:{}", program.globals[g].name),
+        Loc::Field(off) => format!("f:{off}"),
+        Loc::Arrays => "arr".to_string(),
+    }
+}
+
+/// Checked recording closure of incremental root `p`: the locations its
+/// frame (or the suppression-free frames below it) may read-and-record,
+/// and the incremental callees it may request. Traversal follows only
+/// calls/dispatches occurring outside `(*UNCHECKED*)` regions and stops at
+/// incremental callees (they record on their own frames).
+fn checked_closure(
+    program: &Program,
+    effects: &EffectTable,
+    p: ProcId,
+) -> (BTreeSet<Loc>, BTreeSet<ProcId>) {
+    let mut reads = BTreeSet::new();
+    let mut incr_callees = BTreeSet::new();
+    let mut seen = BTreeSet::from([p]);
+    let mut queue = VecDeque::from([p]);
+    while let Some(q) = queue.pop_front() {
+        let f = &effects.facts[q];
+        reads.extend(f.direct.reads().iter().copied());
+        let mut next: BTreeSet<ProcId> = f.checked_calls.clone();
+        next.extend(effects.dispatch_targets(f.checked_dispatches.iter()));
+        for r in next {
+            if program.procs[r].incremental.is_some() {
+                incr_callees.insert(r);
+            } else if seen.insert(r) {
+                queue.push_back(r);
+            }
+        }
+    }
+    (reads, incr_callees)
+}
+
+/// Writes of the full plain closure of incremental root `p`: every
+/// location some non-incremental procedure reachable from `p` (regions
+/// included) may write. Incremental callees keep their own writes.
+fn full_closure_writes(program: &Program, effects: &EffectTable, p: ProcId) -> BTreeSet<Loc> {
+    let mut writes = BTreeSet::new();
+    let mut seen = BTreeSet::from([p]);
+    let mut queue = VecDeque::from([p]);
+    while let Some(q) = queue.pop_front() {
+        let f = &effects.facts[q];
+        writes.extend(f.direct.writes().iter().copied());
+        let mut next: BTreeSet<ProcId> = f.calls.clone();
+        next.extend(effects.dispatch_targets(f.dispatches.iter()));
+        for r in next {
+            if program.procs[r].incremental.is_none() && seen.insert(r) {
+                queue.push_back(r);
+            }
+        }
+    }
+    writes
+}
+
+impl StaticGraph {
+    /// Static stratum of incremental procedure `p`, if it has a node.
+    pub fn proc_height(&self, p: ProcId) -> Option<u32> {
+        self.proc_node.get(&p).map(|&v| self.heights[v])
+    }
+
+    /// `true` if some incremental closure has a checked read edge from
+    /// `loc` — i.e. a write to `loc` can re-dirty somebody.
+    pub fn has_read_edge(&self, loc: Loc) -> bool {
+        self.loc_node.get(&loc).is_some_and(|&v| {
+            self.edges
+                .iter()
+                .any(|e| e.kind == EdgeKind::Read && e.from == v)
+        })
+    }
+
+    /// Global indices with a read edge into `p`'s node — the statically
+    /// named part of `R(p)` restricted to globals.
+    pub fn checked_read_globals(&self, p: ProcId) -> BTreeSet<usize> {
+        let Some(&pn) = self.proc_node.get(&p) else {
+            return BTreeSet::new();
+        };
+        self.edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Read && e.to == pn)
+            .filter_map(|e| match self.nodes[e.from].kind {
+                NodeKind::Loc(Loc::Global(g)) => Some(g),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders the graph as GraphViz DOT. Locations are boxes, procedures
+    /// ellipses (maintained ones double-bordered); read edges are solid,
+    /// write edges dashed, call edges bold. Nodes are ranked by stratum.
+    pub fn to_dot(&self, program: &Program) -> String {
+        let mut out = String::from("digraph staticdeps {\n  rankdir=BT;\n");
+        for (h, members) in self.strata.iter().enumerate() {
+            out.push_str(&format!("  {{ rank=same; /* height {h} */"));
+            for &v in members {
+                out.push_str(&format!(" {};", dot_id(&self.nodes[v].label)));
+            }
+            out.push_str(" }\n");
+        }
+        for node in &self.nodes {
+            let attrs = match node.kind {
+                NodeKind::Loc(_) => "shape=box".to_string(),
+                NodeKind::Proc(p) => match program.procs[p].incremental {
+                    Some((IncrKind::Maintained, _)) => "shape=ellipse,peripheries=2",
+                    _ => "shape=ellipse,style=bold",
+                }
+                .to_string(),
+            };
+            out.push_str(&format!("  {} [{attrs}];\n", dot_id(&node.label)));
+        }
+        for e in &self.edges {
+            let style = match e.kind {
+                EdgeKind::Read => "solid",
+                EdgeKind::Write => "dashed",
+                EdgeKind::Call => "bold",
+            };
+            out.push_str(&format!(
+                "  {} -> {} [style={style},label=\"{}\"];\n",
+                dot_id(&self.nodes[e.from].label),
+                dot_id(&self.nodes[e.to].label),
+                e.kind.as_str()
+            ));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Serializes the graph as the versioned `alphonse-staticgraph` JSON
+    /// document consumed by `alphonse-trace check-static`.
+    pub fn to_json(&self, program: &Program, file: &str) -> String {
+        let mut out = String::from("{\"schema\":\"alphonse-staticgraph\",\"version\":1,");
+        out.push_str(&format!(
+            "\"tool\":{},",
+            json_str(concat!("alphonse-check ", env!("CARGO_PKG_VERSION")))
+        ));
+        out.push_str(&format!("\"file\":{},", json_str(file)));
+
+        out.push_str("\"nodes\":[");
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| match node.kind {
+                NodeKind::Loc(loc) => format!(
+                    "{{\"id\":{i},\"kind\":\"loc\",\"label\":{},\"desc\":{},\"height\":{}}}",
+                    json_str(&node.label),
+                    json_str(&describe_loc(program, loc)),
+                    self.heights[i]
+                ),
+                NodeKind::Proc(p) => format!(
+                    "{{\"id\":{i},\"kind\":\"proc\",\"label\":{},\"incremental\":{},\"height\":{}}}",
+                    json_str(&node.label),
+                    json_str(match program.procs[p].incremental {
+                        Some((IncrKind::Maintained, _)) => "maintained",
+                        _ => "cached",
+                    }),
+                    self.heights[i]
+                ),
+            })
+            .collect();
+        out.push_str(&nodes.join(","));
+        out.push_str("],");
+
+        out.push_str("\"edges\":[");
+        let edges: Vec<String> = self
+            .edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"from\":{},\"to\":{},\"kind\":\"{}\"}}",
+                    json_str(&self.nodes[e.from].label),
+                    json_str(&self.nodes[e.to].label),
+                    e.kind.as_str()
+                )
+            })
+            .collect();
+        out.push_str(&edges.join(","));
+        out.push_str("],");
+
+        out.push_str("\"strata\":[");
+        let strata: Vec<String> = self
+            .strata
+            .iter()
+            .map(|members| {
+                let labels: Vec<String> = members
+                    .iter()
+                    .map(|&v| json_str(&self.nodes[v].label))
+                    .collect();
+                format!("[{}]", labels.join(","))
+            })
+            .collect();
+        out.push_str(&strata.join(","));
+        out.push_str("],");
+
+        out.push_str("\"cycles\":[");
+        let cycles: Vec<String> = self
+            .cycles
+            .iter()
+            .map(|c| {
+                let members: Vec<String> = c
+                    .nodes
+                    .iter()
+                    .map(|&v| json_str(&self.nodes[v].label))
+                    .collect();
+                let writers: Vec<String> = c
+                    .cached_writers
+                    .iter()
+                    .map(|&p| json_str(&program.procs[p].name))
+                    .collect();
+                format!(
+                    "{{\"members\":[{}],\"through_store\":{},\"cached_writers\":[{}]}}",
+                    members.join(","),
+                    c.through_store,
+                    writers.join(",")
+                )
+            })
+            .collect();
+        out.push_str(&cycles.join(","));
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Quotes a label as a DOT node id.
+fn dot_id(label: &str) -> String {
+    format!("\"{}\"", label.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::infer;
+    use crate::parser::parse;
+    use crate::resolve::resolve;
+
+    fn graph(src: &str) -> (Program, StaticGraph) {
+        let program = resolve(&parse(src).unwrap()).unwrap();
+        let effects = infer(&program);
+        let g = build(&program, &effects);
+        (program, g)
+    }
+
+    fn edge_labels(p: &Program, g: &StaticGraph, kind: EdgeKind) -> Vec<(String, String)> {
+        let _ = p;
+        g.edges
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| (g.nodes[e.from].label.clone(), g.nodes[e.to].label.clone()))
+            .collect()
+    }
+
+    const DIAMOND: &str = "VAR base, rate : INTEGER;
+         (*CACHED*) PROCEDURE Left() : INTEGER = BEGIN RETURN base + rate; END Left;
+         (*CACHED*) PROCEDURE Right() : INTEGER = BEGIN RETURN base * 2; END Right;
+         (*CACHED*) PROCEDURE Total() : INTEGER = BEGIN RETURN Left() + Right(); END Total;
+         PROCEDURE Use() : INTEGER = BEGIN RETURN Total(); END Use;";
+
+    #[test]
+    fn diamond_reads_calls_and_strata() {
+        let (p, g) = graph(DIAMOND);
+        let reads = edge_labels(&p, &g, EdgeKind::Read);
+        assert!(reads.contains(&("g:base".into(), "Left".into())));
+        assert!(reads.contains(&("g:rate".into(), "Left".into())));
+        assert!(reads.contains(&("g:base".into(), "Right".into())));
+        let calls = edge_labels(&p, &g, EdgeKind::Call);
+        assert!(calls.contains(&("Left".into(), "Total".into())));
+        assert!(calls.contains(&("Right".into(), "Total".into())));
+        assert!(edge_labels(&p, &g, EdgeKind::Write).is_empty());
+        // Strata: locations at 0, Left/Right at 1, Total at 2.
+        assert_eq!(g.proc_height(p.proc_by_name["Left"]), Some(1));
+        assert_eq!(g.proc_height(p.proc_by_name["Right"]), Some(1));
+        assert_eq!(g.proc_height(p.proc_by_name["Total"]), Some(2));
+        for (loc, &v) in &g.loc_node {
+            assert_eq!(g.heights[v], 0, "location {loc:?} must be a source");
+        }
+        assert!(g.cycles.is_empty());
+    }
+
+    #[test]
+    fn unchecked_reads_and_region_calls_record_no_read_edges() {
+        let (p, g) = graph(
+            "VAR seen, hidden, logged : INTEGER;
+             PROCEDURE Peek() : INTEGER = BEGIN logged := 1; RETURN hidden; END Peek;
+             (*CACHED*) PROCEDURE F() : INTEGER =
+             BEGIN RETURN seen + (*UNCHECKED*) Peek(); END F;
+             PROCEDURE Use() : INTEGER = BEGIN RETURN F(); END Use;",
+        );
+        let reads = edge_labels(&p, &g, EdgeKind::Read);
+        assert!(reads.contains(&("g:seen".into(), "F".into())));
+        // Peek runs suppressed: its read of `hidden` records nothing…
+        assert!(!reads.iter().any(|(from, _)| from == "g:hidden"));
+        // …but its write is never suppressed, so the write edge stays.
+        let writes = edge_labels(&p, &g, EdgeKind::Write);
+        assert!(writes.contains(&("F".into(), "g:logged".into())));
+    }
+
+    #[test]
+    fn store_cycle_is_flagged_with_cached_writer() {
+        let (p, g) = graph(
+            "VAR acc : INTEGER;
+             (*CACHED*) PROCEDURE Step() : INTEGER =
+             BEGIN acc := acc + 1; RETURN acc; END Step;
+             PROCEDURE Use() : INTEGER = BEGIN RETURN Step(); END Use;",
+        );
+        assert_eq!(g.cycles.len(), 1);
+        let c = &g.cycles[0];
+        assert!(c.through_store);
+        assert_eq!(c.cached_writers, vec![p.proc_by_name["Step"]]);
+        // The dependency orientation stays acyclic: both nodes get finite
+        // heights with the location at 0.
+        assert_eq!(g.heights[g.loc_node[&Loc::Global(0)]], 0);
+    }
+
+    #[test]
+    fn maintained_writers_are_not_cycle_candidates() {
+        let (_, g) = graph(
+            "TYPE T = OBJECT
+                v : INTEGER;
+             METHODS
+                (*MAINTAINED*) bump() : INTEGER := Bump;
+             END;
+             PROCEDURE Bump(t : T) : INTEGER =
+             BEGIN t.v := t.v + 1; RETURN t.v; END Bump;
+             PROCEDURE Use(t : T) : INTEGER = BEGIN RETURN t.bump(); END Use;",
+        );
+        // Bump both reads and writes field offset 0: a flow cycle exists,
+        // but with no cached writer it is the paper's own idiom.
+        assert_eq!(g.cycles.len(), 1);
+        assert!(g.cycles[0].through_store);
+        assert!(g.cycles[0].cached_writers.is_empty());
+    }
+
+    #[test]
+    fn json_and_dot_are_well_formed() {
+        let (p, g) = graph(DIAMOND);
+        let json = g.to_json(&p, "diamond.alf");
+        assert!(json.starts_with("{\"schema\":\"alphonse-staticgraph\",\"version\":1,"));
+        assert!(json.contains("\"label\":\"g:base\""));
+        assert!(json.contains("\"kind\":\"call\""));
+        assert!(json.contains("\"incremental\":\"cached\""));
+        let dot = g.to_dot(&p);
+        assert!(dot.starts_with("digraph staticdeps {"));
+        assert!(dot.contains("\"g:base\" -> \"Left\" [style=solid,label=\"read\"];"));
+        assert!(dot.contains("\"Left\" -> \"Total\" [style=bold,label=\"call\"];"));
+    }
+
+    #[test]
+    fn helpers_expose_rp_restriction_and_readership() {
+        let (p, g) = graph(DIAMOND);
+        assert_eq!(
+            g.checked_read_globals(p.proc_by_name["Left"]),
+            BTreeSet::from([0, 1])
+        );
+        assert!(g.has_read_edge(Loc::Global(0)));
+        assert!(!g.has_read_edge(Loc::Arrays));
+    }
+}

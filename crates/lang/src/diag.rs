@@ -162,7 +162,7 @@ pub fn report_json(file: &str, diags: &[Diagnostic]) -> String {
 }
 
 /// Escapes `s` as a JSON string literal (quotes included).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

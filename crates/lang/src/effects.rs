@@ -194,6 +194,14 @@ pub struct ProcFacts {
     pub calls: BTreeSet<ProcId>,
     /// Method names dispatched directly.
     pub dispatches: BTreeSet<String>,
+    /// Procedures called at least once *outside* any `(*UNCHECKED*)`
+    /// region. A callee appearing only inside regions always executes in a
+    /// suppressed frame, so it never records dependencies — the
+    /// recording-reachability analysis follows only these edges.
+    pub checked_calls: BTreeSet<ProcId>,
+    /// Method names dispatched at least once outside any `(*UNCHECKED*)`
+    /// region (see [`ProcFacts::checked_calls`]).
+    pub checked_dispatches: BTreeSet<String>,
     /// Write sites, for W01 diagnostics.
     pub write_sites: Vec<WriteSite>,
     /// `(*UNCHECKED*)` regions, for W02/W04 diagnostics.
@@ -222,8 +230,17 @@ pub struct EffectTable {
     pub pure_procs: Vec<bool>,
     /// Procedures reachable from an incremental root (Section 6.1).
     pub reachable: Vec<bool>,
+    /// Procedures that can execute in a *recording* frame: reachable from
+    /// an incremental root following only calls/dispatches that occur
+    /// outside `(*UNCHECKED*)` regions. A procedure reachable only through
+    /// region calls always runs suppressed, so its reads never create
+    /// dependence nodes — the sharper check-elimination criterion.
+    pub recording_reachable: Vec<bool>,
     /// Method name → implementing procedures (across all types).
     pub impls_by_name: BTreeMap<String, BTreeSet<ProcId>>,
+    /// Per-procedure fixpoint visits spent by the two effect closures —
+    /// observable so tests can assert the SCC schedule beats round-robin.
+    pub close_passes: u64,
 }
 
 /// Runs effect inference on a resolved program.
@@ -255,8 +272,9 @@ pub fn infer(program: &Program) -> EffectTable {
     let succs: Vec<BTreeSet<ProcId>> = facts.iter().map(|f| succs_of(f, true)).collect();
     let static_succs: Vec<BTreeSet<ProcId>> = facts.iter().map(|f| succs_of(f, false)).collect();
 
-    let transitive = close(&facts, &succs);
-    let transitive_static = close(&facts, &static_succs);
+    let (transitive, passes_full) = close(&facts, &succs);
+    let (transitive_static, passes_static) = close(&facts, &static_succs);
+    let close_passes = passes_full + passes_static;
 
     // Purity: greatest fixpoint — start from the local test and knock out
     // procedures whose callees (including dispatch targets) are impure.
@@ -294,22 +312,102 @@ pub fn infer(program: &Program) -> EffectTable {
         }
     }
 
+    // Recording reachability: the same BFS, but following only call edges
+    // that occur outside `(*UNCHECKED*)` regions. A region call runs its
+    // whole callee tree in a suppressed frame, so those procedures can
+    // never record a dependence — unless some checked path also reaches
+    // them.
+    let checked_succs_of = |f: &ProcFacts| -> BTreeSet<ProcId> {
+        let mut s = f.checked_calls.clone();
+        for name in &f.checked_dispatches {
+            if let Some(impls) = impls_by_name.get(name) {
+                s.extend(impls.iter().copied());
+            }
+        }
+        s
+    };
+    let mut recording_reachable = vec![false; n];
+    let mut queue: VecDeque<ProcId> = (0..n)
+        .filter(|&p| program.procs[p].incremental.is_some())
+        .collect();
+    for &p in &queue {
+        recording_reachable[p] = true;
+    }
+    while let Some(p) = queue.pop_front() {
+        for q in checked_succs_of(&facts[p]) {
+            if !recording_reachable[q] {
+                recording_reachable[q] = true;
+                queue.push_back(q);
+            }
+        }
+    }
+
     EffectTable {
         facts,
         transitive,
         transitive_static,
         pure_procs,
         reachable,
+        recording_reachable,
         impls_by_name,
+        close_passes,
     }
 }
 
-/// Least-fixpoint union of direct effects along `succs` edges.
-fn close(facts: &[ProcFacts], succs: &[BTreeSet<ProcId>]) -> Vec<EffectSet> {
+/// Least-fixpoint union of direct effects along `succs` edges, scheduled
+/// callee-first: the call graph is condensed into strongly-connected
+/// components ([`alphonse_graph::scc`]) and components are processed in
+/// reverse-topological order, so every callee outside the current
+/// component is final before its callers absorb it. Acyclic components
+/// need exactly one visit; cyclic ones iterate locally to their own
+/// fixpoint. Returns the effect sets plus the number of per-procedure
+/// visits spent (the comparison metric against the old round-robin sweep).
+fn close(facts: &[ProcFacts], succs: &[BTreeSet<ProcId>]) -> (Vec<EffectSet>, u64) {
     let mut out: Vec<EffectSet> = facts.iter().map(|f| f.direct.clone()).collect();
+    let cond = alphonse_graph::scc::condense(facts.len(), |v, f| {
+        succs[v].iter().for_each(|&w| f(w));
+    });
+    let mut visits = 0u64;
+    // Component ids are topologically sorted callers-first (an edge means
+    // "calls"), so reverse order visits callees before callers.
+    for (c, members) in cond.components.iter().enumerate().rev() {
+        if !cond.is_cyclic(c) {
+            let p = members[0];
+            visits += 1;
+            let merged: Vec<EffectSet> = succs[p].iter().map(|&q| out[q].clone()).collect();
+            for m in &merged {
+                out[p].absorb(m);
+            }
+            continue;
+        }
+        loop {
+            let mut changed = false;
+            for &p in members {
+                visits += 1;
+                let merged: Vec<EffectSet> = succs[p].iter().map(|&q| out[q].clone()).collect();
+                for m in &merged {
+                    changed |= out[p].absorb(m);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    (out, visits)
+}
+
+/// The pre-SCC fixpoint: whole-program round-robin sweeps until a full
+/// pass changes nothing. Kept as the test oracle for the SCC schedule —
+/// same results, strictly more visits on deep call chains.
+#[cfg(test)]
+fn close_round_robin(facts: &[ProcFacts], succs: &[BTreeSet<ProcId>]) -> (Vec<EffectSet>, u64) {
+    let mut out: Vec<EffectSet> = facts.iter().map(|f| f.direct.clone()).collect();
+    let mut visits = 0u64;
     loop {
         let mut changed = false;
         for p in 0..facts.len() {
+            visits += 1;
             let merged: Vec<EffectSet> = succs[p].iter().map(|&q| out[q].clone()).collect();
             for m in &merged {
                 changed |= out[p].absorb(m);
@@ -319,7 +417,7 @@ fn close(facts: &[ProcFacts], succs: &[BTreeSet<ProcId>]) -> Vec<EffectSet> {
             break;
         }
     }
-    out
+    (out, visits)
 }
 
 impl EffectTable {
@@ -549,8 +647,13 @@ impl Collector<'_> {
             }
             HExpr::CallProc { proc, args } => {
                 self.facts.calls.insert(*proc);
-                if let Some(r) = self.region {
-                    self.facts.unchecked_sites[r].calls.insert(*proc);
+                match self.region {
+                    Some(r) => {
+                        self.facts.unchecked_sites[r].calls.insert(*proc);
+                    }
+                    None => {
+                        self.facts.checked_calls.insert(*proc);
+                    }
                 }
                 if self.identity_args(0, args)
                     && self.program.procs[*proc].params.len() == args.len()
@@ -565,10 +668,15 @@ impl Collector<'_> {
                 name, obj, args, ..
             } => {
                 self.facts.dispatches.insert(name.to_string());
-                if let Some(r) = self.region {
-                    self.facts.unchecked_sites[r]
-                        .dispatches
-                        .insert(name.to_string());
+                match self.region {
+                    Some(r) => {
+                        self.facts.unchecked_sites[r]
+                            .dispatches
+                            .insert(name.to_string());
+                    }
+                    None => {
+                        self.facts.checked_dispatches.insert(name.to_string());
+                    }
                 }
                 if matches!(**obj, HExpr::Local(0)) && self.identity_args(1, args) {
                     self.facts.identity_dispatches.insert(name.to_string());
@@ -747,6 +855,63 @@ mod tests {
         // …while Cached records its own dependence on `seen`, and the
         // region suppresses the dependence on Cached's instance.
         assert!(hits_incremental);
+    }
+
+    #[test]
+    fn scc_close_matches_round_robin_with_fewer_visits() {
+        // Callers are declared *before* their callees, so the round-robin
+        // sweep needs one whole pass per chain link; the SCC schedule
+        // visits each procedure exactly once.
+        let src = "VAR g : INTEGER;
+             PROCEDURE Top() : INTEGER = BEGIN RETURN Mid(); END Top;
+             PROCEDURE Mid() : INTEGER = BEGIN RETURN Low(); END Mid;
+             PROCEDURE Low() : INTEGER = BEGIN RETURN Leaf(); END Low;
+             PROCEDURE Leaf() : INTEGER = BEGIN RETURN g; END Leaf;";
+        let program = resolve(&parse(src).unwrap()).unwrap();
+        let n = program.procs.len();
+        let facts: Vec<ProcFacts> = (0..n).map(|p| collect(&program, p)).collect();
+        let succs: Vec<BTreeSet<ProcId>> = facts.iter().map(|f| f.calls.clone()).collect();
+        let (scc_out, scc_visits) = close(&facts, &succs);
+        let (rr_out, rr_visits) = close_round_robin(&facts, &succs);
+        assert_eq!(scc_out, rr_out, "schedules must agree on the fixpoint");
+        assert_eq!(scc_visits, n as u64, "acyclic graph: one visit per proc");
+        assert!(
+            rr_visits > scc_visits,
+            "round-robin ({rr_visits} visits) should lose to SCC ({scc_visits})"
+        );
+        // Recursion still converges and still agrees.
+        let (p2, t2) = table(
+            "VAR g : INTEGER;
+             PROCEDURE Even(n : INTEGER) : BOOLEAN =
+             BEGIN IF n = 0 THEN RETURN TRUE; END; RETURN Odd(n - 1); END Even;
+             PROCEDURE Odd(n : INTEGER) : BOOLEAN =
+             BEGIN IF n = 0 THEN RETURN FALSE; END; RETURN Even(n - 1) AND (g > 0); END Odd;",
+        );
+        let succs2: Vec<BTreeSet<ProcId>> = t2.facts.iter().map(|f| f.calls.clone()).collect();
+        let (rr2, _) = close_round_robin(&t2.facts, &succs2);
+        assert_eq!(t2.transitive, rr2);
+        assert_eq!(
+            t2.transitive[p2.proc_by_name["Even"]].reads_globals,
+            BTreeSet::from([0])
+        );
+    }
+
+    #[test]
+    fn recording_reachability_stops_at_region_only_calls() {
+        let (p, t) = table(
+            "VAR g, h : INTEGER;
+             (*CACHED*) PROCEDURE Root() : INTEGER =
+             BEGIN RETURN Checked() + (*UNCHECKED*) Hidden(); END Root;
+             PROCEDURE Checked() : INTEGER = BEGIN RETURN g; END Checked;
+             PROCEDURE Hidden() : INTEGER = BEGIN RETURN h; END Hidden;",
+        );
+        // Both helpers are reachable (Section 6.1)…
+        assert!(t.reachable[p.proc_by_name["Checked"]]);
+        assert!(t.reachable[p.proc_by_name["Hidden"]]);
+        // …but only the checked call can ever run in a recording frame.
+        assert!(t.recording_reachable[p.proc_by_name["Root"]]);
+        assert!(t.recording_reachable[p.proc_by_name["Checked"]]);
+        assert!(!t.recording_reachable[p.proc_by_name["Hidden"]]);
     }
 
     #[test]

@@ -27,7 +27,12 @@ impl Slot {
 
     /// Reads the slot. In Alphonse mode (`rt` present), a read inside an
     /// incremental procedure promotes the slot and records the dependence.
-    pub(crate) fn read(&mut self, rt: Option<&Runtime>) -> Val {
+    ///
+    /// `label` names the abstract location (`g:<name>` / `f:<offset>` /
+    /// `arr`, matching [`crate::depgraph::loc_label`]); it is only computed
+    /// on the promoting read, and only when a trace sink is attached, so
+    /// the hot untraced path never allocates.
+    pub(crate) fn read(&mut self, rt: Option<&Runtime>, label: impl FnOnce() -> String) -> Val {
         match self {
             Slot::Tracked(var) => var.get(rt.expect("tracked slot implies Alphonse mode")),
             Slot::Plain(v) => {
@@ -37,6 +42,9 @@ impl Slot {
                         // dependence edge happen as one runtime operation.
                         let value = std::mem::replace(v, Val::Nil);
                         let var = rt.var_accessed(value.clone());
+                        if rt.tracing() {
+                            rt.set_label(var.node(), &label());
+                        }
                         *self = Slot::Tracked(var);
                         return value;
                     }
@@ -132,7 +140,7 @@ impl Heap {
     }
 
     pub(crate) fn read_field(&mut self, rt: Option<&Runtime>, o: ObjId, field: usize) -> Val {
-        self.objects[o.0 as usize].fields[field].read(rt)
+        self.objects[o.0 as usize].fields[field].read(rt, || format!("f:{field}"))
     }
 
     pub(crate) fn write_field(&mut self, rt: Option<&Runtime>, o: ObjId, field: usize, v: Val) {
@@ -162,7 +170,7 @@ impl Heap {
     pub(crate) fn read_element(&mut self, rt: Option<&Runtime>, a: ArrId, i: i64) -> Option<Val> {
         let slots = &mut self.arrays[a.0 as usize];
         let idx = usize::try_from(i).ok().filter(|&i| i < slots.len())?;
-        Some(slots[idx].read(rt))
+        Some(slots[idx].read(rt, || "arr".to_string()))
     }
 
     /// Bounds-checked element write. Returns `false` when out of bounds.

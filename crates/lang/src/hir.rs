@@ -8,7 +8,7 @@
 use crate::ast::{BinOp, UnOp};
 use crate::token::Span;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Index of a declared object type.
 pub type TypeId = usize;
@@ -328,6 +328,12 @@ pub struct Program {
     pub global_by_name: HashMap<String, usize>,
     /// Element types of interned array types, indexed by [`ArrayTyId`].
     pub array_elems: Vec<Ty>,
+    /// Per-procedure static strata from the abstract dependency graph's
+    /// SCC condensation, computed by the first Alphonse-mode interpreter
+    /// built from this program and shared by all later ones (the analysis
+    /// is a pure function of the program, so interpreter construction
+    /// stays cheap when programs are instantiated repeatedly).
+    pub(crate) static_heights: OnceLock<Vec<u32>>,
 }
 
 impl Program {

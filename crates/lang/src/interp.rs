@@ -14,7 +14,9 @@
 //! writes globals and fields through the [`Interp`] API, and the Maintained
 //! portion reacts incrementally.
 
-use crate::analysis::{analyze, Instrumentation};
+use crate::analysis::{analyze_with, Instrumentation};
+use crate::depgraph;
+use crate::effects::infer;
 use crate::error::{LangError, Result};
 use crate::heap::{default_val, Heap, Slot};
 use crate::hir::*;
@@ -101,6 +103,11 @@ struct Shared {
     /// Section 6.1 instrumentation decisions: accesses the analysis proved
     /// irrelevant bypass the runtime entirely (`None` handles below).
     instr: Instrumentation,
+    /// Per-procedure static stratum from the abstract dependency graph's
+    /// SCC condensation (zero for non-incremental procedures and in
+    /// conventional mode). Seeded into each memo so instance nodes are
+    /// born at their final height instead of cascading online raises.
+    static_heights: Vec<u32>,
     /// `ALPHONSE_TRACE` consumer (with its live provenance index), flushed
     /// when the interpreter drops.
     trace: Option<ActiveTrace>,
@@ -176,12 +183,30 @@ impl Interp {
             .map(|g| Slot::new(default_val(g.ty)))
             .collect();
         let trace = rt.as_ref().and_then(trace_from_env);
-        let instr = analyze(&program);
+        let effects = infer(&program);
+        let instr = analyze_with(&program, &effects);
+        // Static strata only matter when the runtime will build a graph.
+        // Cached on the program: the graph is a pure function of it, and
+        // re-deriving it on every interpreter construction would tax the
+        // instantiate-per-request pattern (and the E2 init measurements).
+        let static_heights = match mode {
+            Mode::Alphonse => program
+                .static_heights
+                .get_or_init(|| {
+                    let graph = depgraph::build(&program, &effects);
+                    (0..n_procs)
+                        .map(|p| graph.proc_height(p).unwrap_or(0))
+                        .collect()
+                })
+                .clone(),
+            Mode::Conventional => vec![0; n_procs],
+        };
         let shared = Arc::new(Shared {
             program,
             mode,
             rt,
             instr,
+            static_heights,
             trace,
             heap: Mutex::new(Heap::new()),
             globals: Mutex::new(globals),
@@ -337,7 +362,10 @@ impl Interp {
     /// Returns [`LangError::Resolve`] for unknown names.
     pub fn global(&self, name: &str) -> Result<Val> {
         let idx = self.global_index(name)?;
-        Ok(lock(&self.shared.globals)[idx].read(self.shared.rt_global(idx)))
+        let shared = &self.shared;
+        Ok(lock(&shared.globals)[idx].read(shared.rt_global(idx), || {
+            format!("g:{}", shared.program.globals[idx].name)
+        }))
     }
 
     /// Writes a top-level variable (a mutator state change; seeds change
@@ -695,6 +723,9 @@ impl Shared {
             Some(capacity) => rt.memo_bounded(&info.name, rt_strategy, capacity, body),
             None => rt.memo_with(&info.name, rt_strategy, body),
         };
+        // Seed instance nodes at their static stratum (experiment E2):
+        // correctness-neutral, but skips the online height-raise cascade.
+        memo.set_height_hint(self.static_heights[pid]);
         lock(&self.memos)[pid] = Some(memo.clone());
         memo
     }
@@ -850,7 +881,8 @@ impl Shared {
             HExpr::Global(idx) => {
                 let rt = self.rt_global(*idx);
                 debug_assert!(rt.is_some() || !self.recording(), "pruned a recorded read");
-                Ok(lock(&self.globals)[*idx].read(rt))
+                Ok(lock(&self.globals)[*idx]
+                    .read(rt, || format!("g:{}", self.program.globals[*idx].name)))
             }
             HExpr::Field { obj, field } => {
                 let o = self.eval_expr(obj, frame)?;

@@ -41,6 +41,7 @@
 
 pub mod analysis;
 pub mod ast;
+pub mod depgraph;
 pub mod diag;
 pub mod effects;
 mod error;

@@ -23,7 +23,31 @@
 //!   instance: a call cycle in which every call passes the caller's
 //!   formals through unchanged. If such a call executes, the runtime's
 //!   cycle detection (Algorithm 5) aborts the program.
+//!
+//! Three more lints read the whole-program static dependency graph
+//! ([`crate::depgraph`]):
+//!
+//! * **W06** (warning) — a statically possible dependency cycle *through
+//!   the store*: a `(*CACHED*)` closure writes a location its own read
+//!   closure depends on. The runtime never sees this as a graph cycle
+//!   (locations have no in-edges online, and the `F_ON_STACK` check only
+//!   catches instance-level call cycles); it shows up as endless
+//!   re-dirtying instead, so the static graph is the only early warning.
+//!   `(*MAINTAINED*)` writers are exempt — Algorithm 11's AVL rebalancing
+//!   is exactly such a self-stabilizing loop, by design.
+//! * **W07** (warning) — dead incrementality: a tracked write whose
+//!   location reaches no recording reader. Every incremental consumer
+//!   reads the location suppressed (under `(*UNCHECKED*)`, or from a
+//!   procedure only ever called inside a region), so the write re-dirties
+//!   nothing and the consumers' cached values silently go stale. The
+//!   write-site dual of W02.
+//! * **W08** (warning) — granularity hazard: an incremental procedure
+//!   whose static in-degree spans essentially the whole mutable store
+//!   (≥ 4 written globals and ≥ 80% of them). Nearly every change
+//!   invalidates it, so maintaining it incrementally buys little over
+//!   recomputation.
 
+use crate::depgraph::{self, StaticGraph};
 use crate::diag::{self, Diagnostic};
 use crate::effects::{describe_loc, infer, EffectSet, EffectTable, Loc};
 use crate::hir::{IncrKind, ProcId, Program};
@@ -42,6 +66,10 @@ pub fn lint_with(program: &Program, effects: &EffectTable) -> Vec<Diagnostic> {
     w03_dispatch_escapes_rp(program, effects, &mut out);
     w04_dead_pragmas(program, effects, &mut out);
     w05_identity_cycles(program, effects, &mut out);
+    let graph = depgraph::build(program, effects);
+    w06_store_cycles(program, &graph, &mut out);
+    w07_dead_writes(program, effects, &graph, &mut out);
+    w08_whole_store_dependence(program, effects, &graph, &mut out);
     diag::sort(&mut out);
     out.dedup();
     out
@@ -351,6 +379,153 @@ fn w05_identity_cycles(program: &Program, effects: &EffectTable, out: &mut Vec<D
     }
 }
 
+fn w06_store_cycles(program: &Program, graph: &StaticGraph, out: &mut Vec<Diagnostic>) {
+    for cycle in &graph.cycles {
+        if !cycle.through_store || cycle.cached_writers.is_empty() {
+            continue;
+        }
+        let members: Vec<&str> = cycle
+            .nodes
+            .iter()
+            .map(|&v| graph.nodes[v].label.as_str())
+            .collect();
+        for &w in &cycle.cached_writers {
+            out.push(
+                Diagnostic::warning(
+                    "W06",
+                    program.procs[w].span,
+                    format!(
+                        "(*CACHED*) procedure `{}` writes storage its own \
+                         dependency closure reads — a statically possible \
+                         dependency cycle through the store",
+                        program.procs[w].name
+                    ),
+                )
+                .with_note(format!("cycle members: {}", members.join(", ")))
+                .with_note(
+                    "the runtime cannot detect this as a graph cycle (locations \
+                     have no in-edges online): it shows up as endless \
+                     re-dirtying; (*MAINTAINED*) methods are the sanctioned \
+                     self-stabilizing idiom (Algorithm 11)",
+                ),
+            );
+        }
+    }
+}
+
+fn w07_dead_writes(
+    program: &Program,
+    effects: &EffectTable,
+    graph: &StaticGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    if program.incremental_proc_count() == 0 {
+        return;
+    }
+    // Locations some incremental computation consumes *suppressed*: read
+    // under `(*UNCHECKED*)` in a recording-reachable procedure, or read
+    // normally by a procedure that only ever runs in suppressed frames.
+    let mut suppressed: BTreeMap<Loc, BTreeSet<ProcId>> = BTreeMap::new();
+    for (p, f) in effects.facts.iter().enumerate() {
+        let reads = if effects.recording_reachable[p] {
+            f.unchecked_reads.reads()
+        } else if effects.reachable[p] {
+            f.direct.reads()
+        } else {
+            continue;
+        };
+        for loc in reads {
+            suppressed.entry(loc).or_default().insert(p);
+        }
+    }
+    for f in &effects.facts {
+        for site in &f.write_sites {
+            if graph.has_read_edge(site.target) {
+                continue; // somebody records a dependence; the write matters
+            }
+            let Some(consumers) = suppressed.get(&site.target) else {
+                continue; // nobody incremental consumes it at all
+            };
+            let names: Vec<&str> = consumers
+                .iter()
+                .map(|&p| program.procs[p].name.as_str())
+                .collect();
+            out.push(
+                Diagnostic::warning(
+                    "W07",
+                    site.span,
+                    format!(
+                        "assignment to {} re-dirties no incremental \
+                         computation: every incremental consumer reads it \
+                         suppressed",
+                        describe_loc(program, site.target)
+                    ),
+                )
+                .with_note(format!(
+                    "read without recording a dependence in `{}`",
+                    names.join("`, `")
+                ))
+                .with_note(
+                    "the consumers' cached values silently go stale — this \
+                     write maintains nothing",
+                ),
+            );
+        }
+    }
+}
+
+fn w08_whole_store_dependence(
+    program: &Program,
+    effects: &EffectTable,
+    graph: &StaticGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    let written = all_writes(effects).writes_globals;
+    for p in 0..program.procs.len() {
+        if program.procs[p].incremental.is_none() {
+            continue;
+        }
+        let covered: BTreeSet<usize> = graph
+            .checked_read_globals(p)
+            .intersection(&written)
+            .copied()
+            .collect();
+        // "Essentially the whole store": at least 4 mutable globals and at
+        // least 80% of them. Small stores stay exempt — depending on 2 of
+        // 2 globals is normal, depending on 8 of 9 is a granularity smell.
+        if covered.len() < 4 || covered.len() * 5 < written.len() * 4 {
+            continue;
+        }
+        let names: Vec<&str> = covered
+            .iter()
+            .map(|&g| program.globals[g].name.as_str())
+            .collect();
+        out.push(
+            Diagnostic::warning(
+                "W08",
+                program.procs[p].span,
+                format!(
+                    "incremental procedure `{}` statically depends on {} of \
+                     the {} globals this program mutates — nearly every \
+                     change invalidates it, so incremental maintenance buys \
+                     little over recomputation",
+                    program.procs[p].name,
+                    covered.len(),
+                    written.len()
+                ),
+            )
+            .with_note(format!(
+                "depends on mutable globals `{}`",
+                names.join("`, `")
+            ))
+            .with_note(
+                "consider splitting the computation so each piece depends \
+                 on a narrower slice of the store",
+            ),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,8 +548,11 @@ mod tests {
              BEGIN count := count + 1; RETURN n; END Tally;
              PROCEDURE Use(n : INTEGER) : INTEGER = BEGIN RETURN Tally(n + 1); END Use;",
         );
-        assert_eq!(codes(&ds), ["W01"]);
-        assert_eq!(ds[0].span.line, 3);
+        // The cached write is both a divergence hazard (W01) and, because
+        // Tally also reads `count`, a store-cycle candidate (W06).
+        assert_eq!(codes(&ds), ["W06", "W01"]);
+        let w01 = ds.iter().find(|d| d.code == "W01").unwrap();
+        assert_eq!(w01.span.line, 3);
 
         // The same write inside a MAINTAINED method is the paper's own
         // Algorithm 11 idiom — clean.
@@ -400,7 +578,9 @@ mod tests {
              BEGIN Helper(); RETURN n; END F;
              PROCEDURE Use(n : INTEGER) : INTEGER = BEGIN RETURN F(n + 1); END Use;",
         );
-        assert_eq!(codes(&ds), ["W01"]);
+        // `log := log + 1` in Helper reads what it writes, so the cached
+        // closure of F both reads and writes `log`: W01 and W06 fire.
+        assert_eq!(codes(&ds), ["W01", "W06"]);
         assert!(ds[0].notes.iter().any(|n| n.contains("via `Helper`")));
     }
 
@@ -413,8 +593,10 @@ mod tests {
              BEGIN RETURN (*UNCHECKED*) rate * n; END Q;
              PROCEDURE Use(n : INTEGER) : INTEGER = BEGIN RETURN Q(n + 1); END Use;",
         );
-        assert_eq!(codes(&dirty), ["W02"]);
-        assert!(dirty[0].notes[0].contains("`SetRate`"), "{dirty:?}");
+        // The suppressed read is W02; its write-site dual is W07.
+        assert_eq!(codes(&dirty), ["W07", "W02"]);
+        let w02 = dirty.iter().find(|d| d.code == "W02").unwrap();
+        assert!(w02.notes[0].contains("`SetRate`"), "{dirty:?}");
 
         let clean = lints(
             "VAR rate : INTEGER;
@@ -488,6 +670,82 @@ mod tests {
         );
         assert_eq!(codes(&ds), ["W05"]);
         assert!(ds[0].message.contains("P -> Q -> P"), "{ds:?}");
+    }
+
+    #[test]
+    fn w06_fires_on_cached_store_cycle_not_on_maintained() {
+        let ds = lints(
+            "VAR acc : INTEGER;
+             (*CACHED*) PROCEDURE Step() : INTEGER =
+             BEGIN acc := acc + 1; RETURN acc; END Step;
+             PROCEDURE Use() : INTEGER = BEGIN RETURN Step(); END Use;",
+        );
+        // W01 fires too (a cached write is always a divergence hazard);
+        // W06 adds the cycle-specific one.
+        assert!(codes(&ds).contains(&"W06"), "{ds:?}");
+        let w06 = ds.iter().find(|d| d.code == "W06").unwrap();
+        assert!(w06.notes[0].contains("g:acc"), "{w06:?}");
+
+        let ds = lints(
+            "TYPE T = OBJECT
+                v : INTEGER;
+             METHODS
+                (*MAINTAINED*) bump() : INTEGER := Bump;
+             END;
+             PROCEDURE Bump(t : T) : INTEGER =
+             BEGIN t.v := t.v + 1; RETURN t.v; END Bump;
+             PROCEDURE Use(t : T) : INTEGER = BEGIN RETURN t.bump(); END Use;",
+        );
+        assert!(codes(&ds).is_empty(), "Algorithm 11 idiom: {ds:?}");
+    }
+
+    #[test]
+    fn w07_fires_when_all_consumers_are_suppressed() {
+        let ds = lints(
+            "VAR rate : INTEGER;
+             PROCEDURE SetRate(r : INTEGER) = BEGIN rate := r; END SetRate;
+             (*CACHED*) PROCEDURE Quote(n : INTEGER) : INTEGER =
+             BEGIN RETURN (*UNCHECKED*) rate * n; END Quote;
+             PROCEDURE Use(n : INTEGER) : INTEGER = BEGIN RETURN Quote(n); END Use;",
+        );
+        assert!(codes(&ds).contains(&"W07"), "{ds:?}");
+        let w07 = ds.iter().find(|d| d.code == "W07").unwrap();
+        assert_eq!(w07.span.line, 2, "points at the write site");
+        assert!(w07.notes[0].contains("`Quote`"), "{w07:?}");
+
+        // One checked reader is enough to make the write live again.
+        let ds = lints(
+            "VAR rate : INTEGER;
+             PROCEDURE SetRate(r : INTEGER) = BEGIN rate := r; END SetRate;
+             (*CACHED*) PROCEDURE Quote(n : INTEGER) : INTEGER =
+             BEGIN RETURN rate * n; END Quote;
+             PROCEDURE Use(n : INTEGER) : INTEGER = BEGIN RETURN Quote(n); END Use;",
+        );
+        assert!(!codes(&ds).contains(&"W07"), "{ds:?}");
+    }
+
+    #[test]
+    fn w08_fires_only_when_coverage_spans_the_store() {
+        let wide = lints(
+            "VAR a, b, c, d : INTEGER;
+             PROCEDURE Init() =
+             BEGIN a := 1; b := 2; c := 3; d := 4; END Init;
+             (*CACHED*) PROCEDURE Sum() : INTEGER =
+             BEGIN RETURN a + b + c + d; END Sum;
+             PROCEDURE Use() : INTEGER = BEGIN RETURN Sum(); END Use;",
+        );
+        assert_eq!(codes(&wide), ["W08"], "{wide:?}");
+        assert!(wide[0].message.contains("4 of the 4 globals"), "{wide:?}");
+
+        let narrow = lints(
+            "VAR a, b, c, d, e : INTEGER;
+             PROCEDURE Init() =
+             BEGIN a := 1; b := 2; c := 3; d := 4; e := 5; END Init;
+             (*CACHED*) PROCEDURE Sum() : INTEGER =
+             BEGIN RETURN a + b + c; END Sum;
+             PROCEDURE Use() : INTEGER = BEGIN RETURN Sum(); END Use;",
+        );
+        assert!(codes(&narrow).is_empty(), "3 of 5 is fine: {narrow:?}");
     }
 
     #[test]

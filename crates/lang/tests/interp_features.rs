@@ -516,3 +516,30 @@ fn new_static_rejections() {
     let err = compile("PROCEDURE Foo() = BEGIN RETURN; END Fo0;").unwrap_err();
     assert!(err.to_string().contains("does not match"), "{err}");
 }
+
+#[test]
+fn static_strata_seed_instance_heights() {
+    // The diamond Total(Left, Right): the compiler's SCC condensation puts
+    // Left/Right at stratum 1 and Total at 2, so every instance node is
+    // born at its final height and the online height-raise cascade never
+    // fires for the bottom-up first evaluation.
+    let src = r#"
+        VAR base : INTEGER := 10;
+        VAR rate : INTEGER := 3;
+        (*CACHED*) PROCEDURE Left() : INTEGER =
+        BEGIN RETURN base * 2; END Left;
+        (*CACHED*) PROCEDURE Right() : INTEGER =
+        BEGIN RETURN rate + 1; END Right;
+        (*CACHED*) PROCEDURE Total() : INTEGER =
+        BEGIN RETURN Left() + Right(); END Total;
+    "#;
+    let interp = run(src, Mode::Alphonse);
+    assert_eq!(interp.call("Total", vec![]).unwrap(), Val::Int(24));
+    let s = interp.runtime().unwrap().stats();
+    assert_eq!(s.height_seeded, 3, "all three instances took a static hint");
+    assert_eq!(s.height_raises, 0, "seeded heights preempt online raises");
+
+    // And seeding is invisible to semantics: mutate, recompute.
+    interp.set_global("base", Val::Int(1)).unwrap();
+    assert_eq!(interp.call("Total", vec![]).unwrap(), Val::Int(6));
+}

@@ -29,7 +29,7 @@ fn fixtures() -> Vec<PathBuf> {
         .filter(|p| p.extension().is_some_and(|e| e == "alf"))
         .collect();
     paths.sort();
-    assert!(paths.len() >= 16, "lint corpus shrank: {paths:?}");
+    assert!(paths.len() >= 22, "lint corpus shrank: {paths:?}");
     paths
 }
 
@@ -90,7 +90,7 @@ fn every_lint_code_has_positive_and_negative_coverage() {
         .iter()
         .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
         .collect();
-    for code in ["w01", "w02", "w03", "w04", "w05"] {
+    for code in ["w01", "w02", "w03", "w04", "w05", "w06", "w07", "w08"] {
         assert!(
             stems.iter().any(|s| s == &format!("{code}_bad")),
             "missing positive fixture for {code}"

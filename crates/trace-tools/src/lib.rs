@@ -16,7 +16,10 @@
 //!
 //! Beyond traces, [`metrics`] reads the runtime's `alphonse-metrics-v1`
 //! snapshot files (wave-latency histograms, worker/shard gauges) and
-//! renders percentile reports or the delta between two snapshots.
+//! renders percentile reports or the delta between two snapshots, and
+//! [`staticgraph`] reads the compiler's `alphonse-staticgraph` documents
+//! (`alphonse-check graph`) and cross-validates a dynamic trace against
+//! them: every runtime dependence edge must be covered by a static one.
 //!
 //! The `alphonse-trace` binary wraps all of these; see `src/main.rs` for
 //! the CLI surface. Parsing is serde-free ([`json`]) because the build
@@ -26,3 +29,4 @@ pub mod json;
 pub mod metrics;
 pub mod model;
 pub mod report;
+pub mod staticgraph;

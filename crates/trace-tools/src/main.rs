@@ -5,6 +5,7 @@
 //! alphonse-trace waves <trace.jsonl>
 //! alphonse-trace waste <trace.jsonl>
 //! alphonse-trace metrics <snapshot.json> [<baseline.json>]
+//! alphonse-trace check-static <trace.jsonl> <staticgraph.json>
 //! ```
 //!
 //! Record a trace with `--trace-out run.jsonl` on any bench binary or
@@ -15,7 +16,7 @@
 use alphonse::NodeId;
 use alphonse_trace_tools::metrics::MetricsDoc;
 use alphonse_trace_tools::model::TraceFile;
-use alphonse_trace_tools::report;
+use alphonse_trace_tools::{report, staticgraph};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -40,6 +41,12 @@ commands:
       p50/p90/p99/max per latency histogram, worker utilization and shard
       gauges. With a second file, report the change from <baseline.json>
       to <snapshot.json> instead (counters and histograms subtract).
+  check-static <trace.jsonl> <staticgraph.json>
+      Cross-validate a dynamic trace against the compiler's abstract
+      dependency graph (`alphonse-check graph` output): every runtime
+      dependence edge must be covered by a static read/write/call edge.
+      Exit 0 when the over-approximation holds, 1 with one line per
+      uncovered edge otherwise.
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -172,6 +179,35 @@ fn cmd_metrics(args: Vec<String>) -> ExitCode {
     }
 }
 
+fn cmd_check_static(args: Vec<String>) -> ExitCode {
+    let [trace_path, graph_path] = args.as_slice() else {
+        return fail(
+            "check-static takes exactly <trace.jsonl> <staticgraph.json>\n\n\
+             — see alphonse-trace --help",
+        );
+    };
+    let tf = match load(trace_path) {
+        Ok(tf) => tf,
+        Err(e) => return fail(&e),
+    };
+    warn_truncated(&tf);
+    let graph = match std::fs::read_to_string(graph_path)
+        .map_err(|e| format!("cannot read {graph_path}: {e}"))
+        .and_then(|text| {
+            staticgraph::StaticGraphFile::parse(&text).map_err(|e| format!("{graph_path}: {e}"))
+        }) {
+        Ok(g) => g,
+        Err(e) => return fail(&e),
+    };
+    let report = staticgraph::check(&tf, &graph);
+    emit(&report.render());
+    if report.is_covered() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -188,6 +224,7 @@ fn main() -> ExitCode {
         "waves" => cmd_report(args, report::waves_report),
         "waste" => cmd_report(args, report::waste_report),
         "metrics" => cmd_metrics(args),
+        "check-static" => cmd_check_static(args),
         other => fail(&format!("unknown command `{other}`\n\n{USAGE}")),
     }
 }
