@@ -10,6 +10,7 @@
 use crate::grammar::{Grammar, ProdId};
 use crate::value::AttrVal;
 use alphonse::{Runtime, Var};
+use alphonse_mem as mem;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
@@ -66,6 +67,7 @@ impl fmt::Debug for AgTree {
 impl AgTree {
     /// Creates an empty tree over `grammar`, tracked in `rt`.
     pub fn new(rt: &Runtime, grammar: Arc<Grammar>) -> Arc<AgTree> {
+        let _mem = mem::scope(mem::Tag::Substrate);
         Arc::new(AgTree {
             rt: rt.clone(),
             grammar,
@@ -109,6 +111,7 @@ impl AgTree {
             self.grammar.prod_name(prod)
         );
         let mut nodes = lock(&self.nodes);
+        let _mem = mem::scope(mem::Tag::Substrate);
         let id = AgNodeId(u32::try_from(nodes.len()).expect("too many AG nodes"));
         let data = if self.rt.tracing() {
             // Trace labels name each structural var after the production and

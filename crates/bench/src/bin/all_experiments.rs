@@ -17,6 +17,12 @@ use alphonse_bench::experiments as ex;
 use alphonse_bench::table::Table;
 use alphonse_bench::trace_support::TraceSession;
 
+/// Subsystem-tagged memory accounting: E17's bytes/node columns and every
+/// METRICS_<ID>.json `mem` section need the counting allocator installed
+/// at the binary root (the library cannot install it).
+#[global_allocator]
+static ALLOC: alphonse::mem::TrackingAlloc = alphonse::mem::TrackingAlloc;
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Must come first: removes `--trace <mode>` so the mode token is not
@@ -105,6 +111,7 @@ fn main() {
             }
         }),
         ("E16", ex::e16_metrics_overhead),
+        ("E17", ex::e17_scale),
     ];
 
     let mut first = true;

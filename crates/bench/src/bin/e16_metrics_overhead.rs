@@ -4,7 +4,14 @@
 //!
 //! The off arm uses the runtime kill-switch (`alphonse::metrics::set_enabled`)
 //! inside one binary, so both arms share code layout; `overhead_pct` is the
-//! honest cost of the always-on instrumentation and must stay ≤2%.
+//! honest cost of the always-on instrumentation and must stay ≤2%. The
+//! memory-accounting arms (`mem_*` columns) do the same for the tagged
+//! counting allocator installed below — both arms pay the allocator's
+//! header bookkeeping, so `mem_overhead_pct` isolates the per-allocation
+//! counter updates the kill-switch (`alphonse::mem::set_enabled`) gates.
+#[global_allocator]
+static ALLOC: alphonse::mem::TrackingAlloc = alphonse::mem::TrackingAlloc;
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let table = alphonse_bench::experiments::e16_metrics_overhead(quick);

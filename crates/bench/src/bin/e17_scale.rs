@@ -1,0 +1,19 @@
+//! Prints the E17 table (million-node scale stress: build throughput,
+//! wave latency, per-subsystem bytes/node).
+//!
+//! Usage: `e17_scale [--quick]`
+//!
+//! Installs the subsystem-tagged tracking allocator so the bytes/node
+//! columns (and the `mem` section of `METRICS_E17.json`) carry real
+//! measurements; without it every memory column reads zero.
+#[global_allocator]
+static ALLOC: alphonse::mem::TrackingAlloc = alphonse::mem::TrackingAlloc;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let table = alphonse_bench::experiments::e17_scale(quick);
+    print!("{table}");
+    std::fs::write("BENCH_E17.json", table.to_json())
+        .unwrap_or_else(|e| panic!("failed to write BENCH_E17.json: {e}"));
+    eprintln!("wrote BENCH_E17.json");
+}

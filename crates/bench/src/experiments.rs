@@ -10,9 +10,11 @@ use alphonse::{
     Histogram, HistogramSnapshot, Memo, MetricsSnapshot, Runtime, Scheduling, SessionPool,
     Strategy, Var,
 };
-use alphonse_agkit::{parse_let, AgEvaluator, AttrVal, ExhaustiveAg, LetLang};
+use alphonse_agkit::{
+    parse_let, AgEvaluator, AgNodeId, AgTree, AttrVal, ExhaustiveAg, Grammar, LetLang,
+};
 use alphonse_lang::{compile, parse, transform, Interp, Mode, TransformOptions, Val};
-use alphonse_sheet::{RecalcSheet, Sheet};
+use alphonse_sheet::{Addr, Formula, Op, RecalcSheet, Sheet};
 use alphonse_trees::{ClassicAvl, ExhaustiveTree, HandcodedTree, MaintainedAvl, NodeRef};
 use rand::Rng;
 use std::sync::Arc;
@@ -1277,6 +1279,17 @@ pub fn e15_parallel(workers: &[usize], width: usize, waves: usize, stall_us: u64
 /// is overhead ≤2%. The on-arm chunks supply the first recorded
 /// wave-latency p50/p99 trajectory (`-` when the `metrics` feature is
 /// compiled out, where both arms are identical by construction).
+///
+/// The same interleaved methodology then measures the subsystem-tagged
+/// memory accounting (`mem_*` columns): both arms run with the metrics
+/// recording left in its ambient state and toggle
+/// [`alphonse::mem::set_enabled`] instead. When the driving binary
+/// installs [`alphonse::mem::TrackingAlloc`] (the `e16_metrics_overhead`
+/// binary does), both arms pay the allocator's header stamping, so
+/// `mem_overhead_pct` isolates the per-allocation relaxed counter updates
+/// the kill-switch gates — the same ≤2% bar applies. Without the
+/// allocator installed (plain `cargo test`), the toggle gates nothing and
+/// the arms are identical by construction.
 pub fn e16_metrics_overhead(quick: bool) -> Table {
     let mut t = Table::new(
         "E16 — metrics overhead: update-loop cost, recording on vs off",
@@ -1288,29 +1301,33 @@ pub fn e16_metrics_overhead(quick: bool) -> Table {
             "off_ms",
             "on_ms",
             "overhead_pct",
+            "mem_off_ms",
+            "mem_on_ms",
+            "mem_overhead_pct",
             "wave_p50_us",
             "wave_p99_us",
         ],
     );
     /// Drives `wave` for `chunks` timed chunks of `waves_per_chunk` waves.
-    /// Chunks come in pairs — one recording-off, one recording-on, with the
-    /// within-pair order flipped by a seeded coin so no periodic machine
-    /// effect can alias onto one arm. Returns each arm's median per-chunk
-    /// seconds plus the on-arm wave-latency delta; medians (rather than
-    /// sums) drop co-tenant noise bursts from both arms entirely.
+    /// Chunks come in pairs — one `toggle(false)`, one `toggle(true)`, with
+    /// the within-pair order flipped by a seeded coin so no periodic
+    /// machine effect can alias onto one arm. Returns each arm's median
+    /// per-chunk seconds plus the run's wave-latency delta; medians (rather
+    /// than sums) drop co-tenant noise bursts from both arms entirely.
     fn measure(
         rt: &Runtime,
-        mut wave: impl FnMut(usize),
+        wave: &mut dyn FnMut(usize),
         waves_per_chunk: usize,
         chunks: usize,
+        seed: u64,
+        toggle: &dyn Fn(bool),
     ) -> (f64, f64, HistogramSnapshot) {
-        let was_on = alphonse::metrics::enabled();
         let before = rt.metrics_snapshot();
         let mut times = [Vec::new(), Vec::new()];
-        let mut r = workloads::rng(1600);
+        let mut r = workloads::rng(seed);
         let mut w = 0;
         let mut chunk = |on: bool, w: &mut usize, times: &mut [Vec<f64>; 2]| {
-            alphonse::metrics::set_enabled(on);
+            toggle(on);
             let t0 = Instant::now();
             for _ in 0..waves_per_chunk {
                 wave(*w);
@@ -1323,7 +1340,7 @@ pub fn e16_metrics_overhead(quick: bool) -> Table {
             chunk(on_first, &mut w, &mut times);
             chunk(!on_first, &mut w, &mut times);
         }
-        alphonse::metrics::set_enabled(was_on);
+        toggle(true);
         let median = |v: &mut Vec<f64>| {
             v.sort_by(f64::total_cmp);
             v[v.len() / 2]
@@ -1332,9 +1349,30 @@ pub fn e16_metrics_overhead(quick: bool) -> Table {
         let delta = rt.metrics_snapshot().delta_since(&before);
         (off, on, delta.wave_latency_ns)
     }
+    /// Runs the metrics-toggle arms, then the mem-accounting-toggle arms,
+    /// on the same warmed runtime and wave body. Each pass restores its
+    /// kill-switch to the pre-pass state.
+    fn measure_both(
+        rt: &Runtime,
+        mut wave: impl FnMut(usize),
+        waves_per_chunk: usize,
+        chunks: usize,
+    ) -> (f64, f64, HistogramSnapshot, f64, f64) {
+        let metrics_was_on = alphonse::metrics::enabled();
+        let (off, on, hist) = measure(rt, &mut wave, waves_per_chunk, chunks, 1600, &|on| {
+            alphonse::metrics::set_enabled(on)
+        });
+        alphonse::metrics::set_enabled(metrics_was_on);
+        let mem_was_on = alphonse::mem::enabled();
+        let (mem_off, mem_on, _) = measure(rt, &mut wave, waves_per_chunk, chunks, 1601, &|on| {
+            alphonse::mem::set_enabled(on)
+        });
+        alphonse::mem::set_enabled(mem_was_on);
+        (off, on, hist, mem_off, mem_on)
+    }
     // Each workload builds its warmed runtime, then hands the per-wave body
-    // to `measure`.
-    type Run = Box<dyn Fn(usize, usize, usize) -> (f64, f64, HistogramSnapshot)>;
+    // to `measure_both`.
+    type Run = Box<dyn Fn(usize, usize, usize) -> (f64, f64, HistogramSnapshot, f64, f64)>;
     let ladder: Run = Box::new(|size, wpc, chunks| {
         let rt = Runtime::new();
         let src = rt.var(1i64);
@@ -1355,7 +1393,7 @@ pub fn e16_metrics_overhead(quick: bool) -> Table {
             src.set(&rt, w + 2);
             rt.propagate();
         }
-        measure(
+        measure_both(
             &rt,
             |w| {
                 src.set(&rt, w as i64 + 100);
@@ -1394,7 +1432,7 @@ pub fn e16_metrics_overhead(quick: bool) -> Table {
         for w in 0..64 {
             wave(w);
         }
-        measure(&rt, wave, wpc, chunks)
+        measure_both(&rt, wave, wpc, chunks)
     });
     let runs: [(&str, usize, usize, usize, Run); 2] = if quick {
         [
@@ -1408,8 +1446,9 @@ pub fn e16_metrics_overhead(quick: bool) -> Table {
         ]
     };
     for (name, size, wpc, chunks, run) in runs {
-        let (off_chunk, on_chunk, hist) = run(size, wpc, chunks);
+        let (off_chunk, on_chunk, hist, mem_off, mem_on) = run(size, wpc, chunks);
         let overhead = (on_chunk - off_chunk) / off_chunk * 100.0;
+        let mem_overhead = (mem_on - mem_off) / mem_off * 100.0;
         let per_arm = (chunks / 2) as f64;
         let mut row = vec![
             name.to_string(),
@@ -1419,9 +1458,268 @@ pub fn e16_metrics_overhead(quick: bool) -> Table {
             format!("{:.2}", off_chunk * per_arm * 1e3),
             format!("{:.2}", on_chunk * per_arm * 1e3),
             format!("{overhead:.2}"),
+            format!("{:.2}", mem_off * per_arm * 1e3),
+            format!("{:.2}", mem_on * per_arm * 1e3),
+            format!("{mem_overhead:.2}"),
         ];
         row.extend(percentile_cells(&hist, &[0.5, 0.99], 1e3));
         t.row_strings(row);
     }
+    t
+}
+
+/// E17 — million-node scale stress: how the runtime's cost model holds up
+/// three orders of magnitude past the paper's examples.
+///
+/// Two substrates are pushed to ~10^6 runtime nodes each, sequentially and
+/// with the level-parallel scheduler at n=4 (a stub without the `parallel`
+/// feature — that row then re-measures the sequential evaluator):
+///
+/// * **sheet** — a `rows × cols` spreadsheet whose columns are add-one
+///   chains, populated through `Sheet::set_formulas` (the bulk-edit path:
+///   one overlay-validated write transaction for every cell) and then fully
+///   demanded, so every cell holds both its formula var and its
+///   materialized value instance.
+/// * **ag** — a balanced binary sum tree over `leaves` attributed leaves
+///   (`AgTree::build` per node: parent/child/terminal vars), fully
+///   attributed by one `AgEvaluator::syn` at the root.
+///
+/// After the build, an update loop bulk-edits random inputs (sheet: base
+/// row via `set_formulas`; ag: leaf terminals) and re-queries, yielding the
+/// wave p50/p99 under steady-state incremental load.
+///
+/// The memory columns come from the subsystem-tagged allocator
+/// (`alphonse::mem`): each run reports the growth of per-tag live bytes
+/// from its start to full materialization — its own high-water mark, since
+/// the structure only grows — divided by the node count. They are all zero
+/// unless the driving binary installs [`alphonse::mem::TrackingAlloc`]
+/// (the `e17_scale` and `all_experiments` binaries do).
+pub fn e17_scale(quick: bool) -> Table {
+    let mut t = Table::new(
+        "E17 — million-node scale stress: bulk build throughput, wave latency, bytes/node",
+        &[
+            "workload",
+            "mode",
+            "nodes",
+            "cells",
+            "build_ms",
+            "knodes/s",
+            "wave_p50_us",
+            "wave_p99_us",
+            "live_mib",
+            "b/node",
+            "graph_b/n",
+            "slab_b/n",
+            "memo_b/n",
+            "substrate_b/n",
+        ],
+    );
+    let live = |tag: &str,
+                after: &alphonse::mem::MemSnapshot,
+                before: &alphonse::mem::MemSnapshot|
+     -> u64 {
+        let b = before.get(tag).map_or(0, |s| s.live_bytes);
+        after.get(tag).map_or(0, |s| s.live_bytes).saturating_sub(b)
+    };
+    // One finished run, substrate-agnostic.
+    struct Run {
+        nodes: u64,
+        cells: u64,
+        build_s: f64,
+        waves: HistogramSnapshot,
+        tag_bytes: Vec<(&'static str, u64)>,
+        snapshot: MetricsSnapshot,
+    }
+    let mut sidecar = MetricsSnapshot::default();
+    let emit = |t: &mut Table, workload: &str, mode: &str, r: Run| {
+        let total: u64 = r.tag_bytes.iter().map(|(_, b)| b).sum();
+        let per = |tag: &str| {
+            let b = r
+                .tag_bytes
+                .iter()
+                .find(|(n, _)| *n == tag)
+                .map_or(0, |(_, b)| *b);
+            format!("{:.1}", b as f64 / r.nodes.max(1) as f64)
+        };
+        let mut row = vec![
+            workload.to_string(),
+            mode.to_string(),
+            r.nodes.to_string(),
+            r.cells.to_string(),
+            format!("{:.1}", r.build_s * 1e3),
+            format!("{:.1}", r.nodes as f64 / r.build_s / 1e3),
+        ];
+        row.extend(percentile_cells(&r.waves, &[0.5, 0.99], 1e3));
+        row.push(format!("{:.1}", total as f64 / (1 << 20) as f64));
+        row.push(format!("{:.1}", total as f64 / r.nodes.max(1) as f64));
+        row.push(per("graph_core"));
+        row.push(per("value_slab"));
+        row.push(per("memo"));
+        row.push(per("substrate"));
+        t.row_strings(row);
+    };
+    const TAGS: [&str; 7] = [
+        "graph_core",
+        "value_slab",
+        "memo",
+        "queues",
+        "substrate",
+        "exec_pool",
+        "metrics",
+    ];
+    let (cols, rows, leaves, waves_n) = if quick {
+        (512u32, 16u32, 2048usize, 8usize)
+    } else {
+        (31_250u32, 32u32, 150_000usize, 32usize)
+    };
+    let edits_per_wave = 16u32;
+
+    let sheet_run = |workers: usize| -> Run {
+        let mem0 = alphonse::mem::snapshot();
+        let rt = Runtime::new();
+        rt.set_parallelism(workers);
+        let t0 = Instant::now();
+        let sheet = Sheet::new(&rt, cols, rows);
+        let mut edits = Vec::with_capacity(cols as usize * rows as usize);
+        for c in 0..cols {
+            edits.push((Addr::new(c, 0), Formula::Num(c as i64)));
+            for r in 1..rows {
+                edits.push((
+                    Addr::new(c, r),
+                    Formula::Bin {
+                        op: Op::Add,
+                        lhs: Arc::new(Formula::Ref(Addr::new(c, r - 1))),
+                        rhs: Arc::new(Formula::Num(1)),
+                    },
+                ));
+            }
+        }
+        sheet.set_formulas(edits).expect("bulk populate");
+        // Demand every column's bottom cell: materializes the whole chain.
+        for c in 0..cols {
+            let got = sheet.value_at(Addr::new(c, rows - 1)).num();
+            assert_eq!(got, Some(c as i64 + rows as i64 - 1), "column {c}");
+        }
+        let build_s = t0.elapsed().as_secs_f64();
+        let nodes = rt.stats().mem_nodes;
+        let mem1 = alphonse::mem::snapshot();
+        let m0 = rt.metrics_snapshot();
+        let mut r = workloads::rng(1700 + workers as u64);
+        for w in 0..waves_n {
+            let batch: Vec<(Addr, Formula)> = (0..edits_per_wave.min(cols))
+                .map(|i| {
+                    let c = r.gen_range(0..cols);
+                    (
+                        Addr::new(c, 0),
+                        Formula::Num((w as i64 + 1) * 1000 + i as i64),
+                    )
+                })
+                .collect();
+            let probes: Vec<(u32, i64)> = batch
+                .iter()
+                .map(|(a, f)| match f {
+                    Formula::Num(v) => (a.col, *v),
+                    _ => unreachable!(),
+                })
+                .collect();
+            sheet.set_formulas(batch).expect("wave edit");
+            rt.propagate();
+            // Last write wins within the batch, so probe in reverse and
+            // only check each column's final value.
+            let mut seen = std::collections::HashSet::new();
+            for &(c, v) in probes.iter().rev() {
+                if seen.insert(c) {
+                    let got = sheet.value_at(Addr::new(c, rows - 1)).num();
+                    assert_eq!(got, Some(v + rows as i64 - 1), "column {c} after wave {w}");
+                }
+            }
+        }
+        let snapshot = rt.metrics_snapshot();
+        let delta = snapshot.delta_since(&m0);
+        Run {
+            nodes,
+            cells: cols as u64 * rows as u64,
+            build_s,
+            waves: delta.wave_latency_ns,
+            tag_bytes: TAGS.iter().map(|&n| (n, live(n, &mem1, &mem0))).collect(),
+            snapshot,
+        }
+    };
+
+    let ag_run = |workers: usize| -> Run {
+        let mem0 = alphonse::mem::snapshot();
+        let rt = Runtime::new();
+        rt.set_parallelism(workers);
+        let mut g = Grammar::builder();
+        let value = g.synthesized("value");
+        let leaf = g.production("Leaf", 0, 1);
+        let plus = g.production("Plus", 2, 0);
+        g.syn_eq(leaf, value, |ctx| ctx.terminal(0));
+        g.syn_eq(plus, value, move |ctx| {
+            AttrVal::Int(ctx.child_syn(0, value).as_int() + ctx.child_syn(1, value).as_int())
+        });
+        let tree = AgTree::new(&rt, Arc::new(g.build()));
+        let t0 = Instant::now();
+        let mut mirror: Vec<i64> = (0..leaves).map(|i| i as i64 % 7).collect();
+        let leaf_ids: Vec<AgNodeId> = mirror
+            .iter()
+            .map(|&v| tree.new_node(leaf, vec![AttrVal::Int(v)]))
+            .collect();
+        let mut level = leaf_ids.clone();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| match pair {
+                    [a, b] => tree.build(plus, vec![], &[*a, *b]),
+                    [a] => *a,
+                    _ => unreachable!(),
+                })
+                .collect();
+        }
+        let root = level[0];
+        let eval = AgEvaluator::new(&rt, Arc::clone(&tree));
+        let expect: i64 = mirror.iter().sum();
+        assert_eq!(eval.syn(root, value).as_int(), expect);
+        let build_s = t0.elapsed().as_secs_f64();
+        let nodes = rt.stats().mem_nodes;
+        let mem1 = alphonse::mem::snapshot();
+        let m0 = rt.metrics_snapshot();
+        let mut r = workloads::rng(1750 + workers as u64);
+        for w in 0..waves_n {
+            for i in 0..edits_per_wave as usize {
+                let li = r.gen_range(0..leaves);
+                let v = (w as i64 + 1) * 100 + i as i64;
+                mirror[li] = v;
+                tree.set_terminal(leaf_ids[li], 0, AttrVal::Int(v));
+            }
+            rt.propagate();
+            let expect: i64 = mirror.iter().sum();
+            assert_eq!(eval.syn(root, value).as_int(), expect, "wave {w}");
+        }
+        let snapshot = rt.metrics_snapshot();
+        let delta = snapshot.delta_since(&m0);
+        Run {
+            nodes,
+            cells: tree.len() as u64,
+            build_s,
+            waves: delta.wave_latency_ns,
+            tag_bytes: TAGS.iter().map(|&n| (n, live(n, &mem1, &mem0))).collect(),
+            snapshot,
+        }
+    };
+
+    for workers in [0usize, 4] {
+        let mode = if workers == 0 { "seq" } else { "par4" };
+        let run = sheet_run(workers);
+        sidecar.merge(&run.snapshot);
+        emit(&mut t, "sheet_chain", mode, run);
+    }
+    for workers in [0usize, 4] {
+        let mode = if workers == 0 { "seq" } else { "par4" };
+        let run = ag_run(workers);
+        sidecar.merge(&run.snapshot);
+        emit(&mut t, "ag_sumtree", mode, run);
+    }
+    write_metrics_sidecar("E17", &sidecar);
     t
 }

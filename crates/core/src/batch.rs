@@ -20,6 +20,7 @@
 use crate::runtime::{PendingWrites, Runtime};
 use crate::value::Value;
 use alphonse_graph::NodeId;
+use alphonse_mem as mem;
 
 /// A write transaction created by [`Runtime::batch`].
 ///
@@ -92,6 +93,7 @@ impl<'rt> Batch<'rt> {
     /// *location*, not once per write.
     pub(crate) fn write_typed<T: Value>(&mut self, n: NodeId, value: T) {
         self.submitted += 1;
+        let _mem = mem::scope(mem::Tag::ValueSlab);
         match self.slot(n) {
             None => {
                 self.pending.push((n, Box::new(value)));

@@ -2,6 +2,7 @@
 
 use crate::fxhash::FxHashSet;
 use alphonse_graph::{HeightQueue, NodeId};
+use alphonse_mem as mem;
 use std::collections::VecDeque;
 
 /// Order in which the evaluator drains the inconsistent set.
@@ -47,6 +48,7 @@ impl DirtySet {
     /// Inserts `n` (with its current `height`) unless already present.
     /// Returns `true` on a fresh insertion.
     pub(crate) fn insert(&mut self, n: NodeId, height: u32) -> bool {
+        let _mem = mem::scope(mem::Tag::Queues);
         match self {
             DirtySet::Height(q) => q.insert(n, height),
             DirtySet::Fifo { queue, members } => {
@@ -82,6 +84,7 @@ impl DirtySet {
     /// [`pop`]: DirtySet::pop
     #[cfg_attr(not(feature = "parallel"), allow(dead_code))] // level drain is feature-gated
     pub(crate) fn pop_level(&mut self, out: &mut Vec<NodeId>) -> Option<u32> {
+        let _mem = mem::scope(mem::Tag::Queues);
         match self {
             DirtySet::Height(q) => q.pop_level(out),
             DirtySet::Fifo { queue, members } => {
@@ -135,6 +138,7 @@ impl DirtySet {
 
     /// Moves all members of `other` into `self` (partition union).
     pub(crate) fn absorb(&mut self, other: &mut DirtySet) {
+        let _mem = mem::scope(mem::Tag::Queues);
         match (self, other) {
             (DirtySet::Height(a), DirtySet::Height(b)) => a.absorb(b),
             (

@@ -79,6 +79,7 @@ impl ExecPool {
     /// job queue.
     pub(crate) fn new(workers: usize, metrics: Arc<RuntimeMetrics>) -> ExecPool {
         assert!(workers >= 1, "a worker pool needs at least one thread");
+        let _mem = alphonse_mem::scope(alphonse_mem::Tag::ExecPool);
         let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = channel::<Job>();
         let rx: Arc<Mutex<Receiver<Job>>> = Arc::new(Mutex::new(rx));
@@ -151,6 +152,9 @@ impl ExecPool {
     /// Enqueues one job. Never blocks (the queue is unbounded); the job
     /// starts as soon as a worker frees up.
     pub(crate) fn submit(&self, job: Job) {
+        // The job box itself was billed at the caller's `Box::new`; this
+        // covers the channel's internal queue blocks.
+        let _mem = alphonse_mem::scope(alphonse_mem::Tag::ExecPool);
         #[cfg(feature = "metrics")]
         if crate::metrics::enabled() {
             self.metrics.queue_push();

@@ -4,6 +4,7 @@ use crate::fxhash::FxHashMap;
 use crate::runtime::{Executor, Runtime, Strategy};
 use crate::value::{downcast_ref, Value};
 use alphonse_graph::NodeId;
+use alphonse_mem as mem;
 use std::fmt;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -153,6 +154,7 @@ impl Runtime {
         strategy: Strategy,
         f: impl Fn(&Runtime, &A) -> R + Send + Sync + 'static,
     ) -> Memo<A, R> {
+        let _mem = mem::scope(mem::Tag::Memo);
         Memo {
             inner: Arc::new(MemoInner {
                 name: Arc::from(name),
@@ -188,6 +190,7 @@ impl Runtime {
         f: impl Fn(&Runtime, &A) -> R + Send + Sync + 'static,
     ) -> Memo<A, R> {
         assert!(capacity > 0, "memo cache capacity must be positive");
+        let _mem = mem::scope(mem::Tag::Memo);
         Memo {
             inner: Arc::new(MemoInner {
                 name: Arc::from(name),
@@ -234,6 +237,7 @@ impl Runtime {
         strategy: Strategy,
         f: impl Fn(&Runtime, &Memo<A, R>, &A) -> R + Send + Sync + 'static,
     ) -> Memo<A, R> {
+        let _mem = mem::scope(mem::Tag::Memo);
         let name: Arc<str> = Arc::from(name);
         let rt_id = self.id;
         let inner = Arc::new_cyclic(|weak: &Weak<MemoInner<A, R>>| {
@@ -359,9 +363,16 @@ impl<A: MemoArgs, R: MemoResult> Memo<A, R> {
                     entry.node
                 }
                 None => {
+                    let _mem = mem::scope(mem::Tag::Memo);
                     let inner = Arc::clone(&self.inner);
                     let a = args.clone();
-                    let executor: Executor = Arc::new(move |rt| Box::new((inner.f)(rt, &a)));
+                    let executor: Executor = Arc::new(move |rt| {
+                        // Run the user body untagged (its allocations are
+                        // workload memory), then bill the result box to the
+                        // value slab.
+                        let result = (inner.f)(rt, &a);
+                        mem::with(mem::Tag::ValueSlab, || Box::new(result) as Box<dyn Value>)
+                    });
                     let (n, executor, my_gen) = rt.alloc_comp_begun(
                         Arc::clone(&self.inner.name),
                         self.inner.strategy,

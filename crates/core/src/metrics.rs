@@ -47,6 +47,7 @@
 //!
 //! [`Runtime::metrics_snapshot`]: crate::Runtime::metrics_snapshot
 
+use alphonse_mem as memacct;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Sub-buckets per power-of-two octave above the linear range. Boundaries
@@ -604,6 +605,14 @@ pub struct MetricsSnapshot {
     /// Serving-layer metrics, when the snapshot came from a
     /// [`SessionPool`](crate::pool::SessionPool).
     pub pool: Option<PoolSnapshot>,
+    /// Subsystem-tagged allocator gauges: per-[`Tag`](alphonse_mem::Tag)
+    /// live/HWM bytes and allocation counts, captured from the
+    /// process-global counting allocator. Empty unless the binary installs
+    /// [`mem::TrackingAlloc`](alphonse_mem::TrackingAlloc) as its
+    /// `#[global_allocator]` (and the `metrics` feature is on). Note these
+    /// gauges are **process-wide**, not per-runtime: in a multi-runtime
+    /// process every snapshot sees the same totals.
+    pub mem: memacct::MemSnapshot,
 }
 
 /// Appends one escaped JSON string.
@@ -700,6 +709,9 @@ impl MetricsSnapshot {
             }
             mine.shards.sort_by_key(|s| s.shard);
         }
+        // Mem gauges are process-global: two snapshots of the same process
+        // must take the pointwise max, never sum (that would double-count).
+        self.mem.merge_max(&other.mem);
     }
 
     /// Everything recorded between `earlier` and `self`. Counters and
@@ -735,6 +747,8 @@ impl MetricsSnapshot {
             queue_depth: self.queue_depth,
             queue_depth_hwm: self.queue_depth_hwm,
             pool: self.pool.clone(),
+            // Point-in-time gauges: carried, not subtracted.
+            mem: self.mem.clone(),
         }
     }
 
@@ -745,6 +759,7 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write;
+        let _mem = memacct::scope(memacct::Tag::Metrics);
         let mut out = String::new();
         for (name, v) in &self.counters {
             let _ = writeln!(out, "# TYPE alphonse_{name} counter");
@@ -784,6 +799,27 @@ impl MetricsSnapshot {
                 w.slot, w.jobs
             );
         }
+        // Suppressed entirely when no tracking allocator fed the counters
+        // (every tag zero), so allocator-less binaries keep their old output.
+        if !self.mem.is_empty() {
+            for (metric, kind) in [
+                ("alphonse_mem_live_bytes", "gauge"),
+                ("alphonse_mem_live_allocs", "gauge"),
+                ("alphonse_mem_hwm_bytes", "gauge"),
+                ("alphonse_mem_total_allocs", "counter"),
+            ] {
+                let _ = writeln!(out, "# TYPE {metric} {kind}");
+                for t in &self.mem.tags {
+                    let v = match metric {
+                        "alphonse_mem_live_bytes" => t.live_bytes,
+                        "alphonse_mem_live_allocs" => t.live_allocs,
+                        "alphonse_mem_hwm_bytes" => t.hwm_bytes,
+                        _ => t.total_allocs,
+                    };
+                    let _ = writeln!(out, "{metric}{{tag=\"{}\"}} {v}", t.tag);
+                }
+            }
+        }
         if let Some(pool) = &self.pool {
             prom_hist(
                 &mut out,
@@ -817,6 +853,7 @@ impl MetricsSnapshot {
     #[must_use]
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
+        let _mem = memacct::scope(memacct::Tag::Metrics);
         let mut out = String::from("{\"schema\":\"alphonse-metrics-v1\",\"counters\":{");
         for (k, (name, v)) in self.counters.iter().enumerate() {
             if k > 0 {
@@ -857,6 +894,21 @@ impl MetricsSnapshot {
             );
         }
         out.push(']');
+        if !self.mem.is_empty() {
+            out.push_str(",\"mem\":{");
+            for (k, t) in self.mem.tags.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                json_str(&mut out, t.tag);
+                let _ = write!(
+                    out,
+                    ":{{\"live_bytes\":{},\"live_allocs\":{},\"hwm_bytes\":{},\"total_allocs\":{}}}",
+                    t.live_bytes, t.live_allocs, t.hwm_bytes, t.total_allocs
+                );
+            }
+            out.push('}');
+        }
         if let Some(pool) = &self.pool {
             out.push_str(",\"pool\":{\"submit_sojourn_ns\":");
             json_hist(&mut out, &pool.submit_sojourn_ns);

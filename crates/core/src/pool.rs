@@ -49,6 +49,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use crate::metrics::{MetricsSnapshot, PoolMetricsRegistry, PoolSnapshot};
+use alphonse_mem as mem;
 
 /// One unit of shard-worker input.
 enum Msg<S> {
@@ -92,6 +93,7 @@ impl<S: Send + 'static> SessionPool<S> {
     #[must_use]
     pub fn new(n_shards: usize) -> SessionPool<S> {
         assert!(n_shards > 0, "a session pool needs at least one shard");
+        let _mem = mem::scope(mem::Tag::SessionPool);
         let metrics = Arc::new(PoolMetricsRegistry::new(n_shards));
         let shards = (0..n_shards)
             .map(|i| {
@@ -148,6 +150,7 @@ impl<S: Send + 'static> SessionPool<S> {
     /// Submissions against a tenant with no installed session are dropped
     /// (serving semantics: an evicted tenant's queued edits are void).
     pub fn submit(&self, tenant: u64, work: impl FnOnce(&mut S) + Send + 'static) {
+        let _mem = mem::scope(mem::Tag::SessionPool);
         self.send(
             tenant,
             Msg::Work(tenant, crate::metrics::stamp(), Box::new(work)),
@@ -208,6 +211,7 @@ impl<S: Send + 'static> SessionPool<S> {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             pool: Some(self.pool_metrics()),
+            mem: mem::snapshot(),
             ..MetricsSnapshot::default()
         }
     }
@@ -249,6 +253,7 @@ fn shard_main<S>(rx: &Receiver<Msg<S>>, shard: usize, metrics: &PoolMetricsRegis
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Insert(tenant, session) => {
+                let _mem = mem::scope(mem::Tag::SessionPool);
                 sessions.insert(tenant, session);
                 gauges
                     .tenants

@@ -26,6 +26,7 @@ use crate::trace::TraceEvent;
 use crate::trace::{DirtyReason, GraphSnapshot, SnapshotNode, TraceSink};
 use crate::value::Value;
 use alphonse_graph::{DepGraph, NodeId, UnionFind};
+use alphonse_mem as mem;
 use std::fmt;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
@@ -680,6 +681,9 @@ impl Inner {
             Some((Strategy::Demand, _)) => F_COMP,
             Some((Strategy::Eager, _)) => F_COMP | F_EAGER,
         };
+        // SoA column growth is graph-core memory; the boxed value itself
+        // was billed to ValueSlab at the caller's `Box::new`.
+        let _mem = mem::scope(mem::Tag::GraphCore);
         self.values.push(value);
         self.flags.push(flags);
         self.gens.push(0);
@@ -844,6 +848,7 @@ impl Runtime {
     /// as empty.
     pub fn metrics_snapshot(&self) -> crate::metrics::MetricsSnapshot {
         let m = &*self.metrics;
+        let _mem = mem::scope(mem::Tag::Metrics);
         crate::metrics::MetricsSnapshot {
             counters: self.stats().fields(),
             wave_latency_ns: m.wave_latency_ns.snapshot(),
@@ -855,6 +860,7 @@ impl Runtime {
             queue_depth: m.queue_depth.load(Ordering::Relaxed),
             queue_depth_hwm: m.queue_depth_hwm.load(Ordering::Relaxed),
             pool: None,
+            mem: mem::snapshot(),
         }
     }
 
@@ -2105,8 +2111,10 @@ impl Runtime {
                     let executor = Arc::clone(executor);
                     let frame = frame.take().expect("frame booked above");
                     let tx = tx.clone();
-                    pool.submit(Box::new(move || {
-                        rt.run_pooled_exec(u, frame, &executor, idx, &tx);
+                    pool.submit(mem::with(mem::Tag::ExecPool, || {
+                        Box::new(move || {
+                            rt.run_pooled_exec(u, frame, &executor, idx, &tx);
+                        })
                     }));
                 }
                 drop(tx);

@@ -83,6 +83,7 @@
 
 use crate::runtime::NodeKind;
 use alphonse_graph::{NodeId, UnionFind};
+use alphonse_mem as memacct;
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -353,6 +354,7 @@ impl Recorder {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Recorder {
         assert!(capacity > 0, "recorder capacity must be positive");
+        let _mem = memacct::scope(memacct::Tag::Trace);
         Recorder {
             start: Instant::now(),
             capacity,
@@ -515,6 +517,7 @@ fn describe_event(ev: &TraceEvent, labels: &Labels) -> String {
 
 impl TraceSink for Recorder {
     fn event(&self, ev: &TraceEvent) {
+        let _mem = memacct::scope(memacct::Tag::Trace);
         let ts = self.start.elapsed().as_micros() as u64;
         let mut buf = lock(&self.buf);
         if buf.len() == self.capacity {
@@ -706,6 +709,7 @@ impl Drop for JsonlSink {
 
 impl TraceSink for JsonlSink {
     fn event(&self, ev: &TraceEvent) {
+        let _mem = memacct::scope(memacct::Tag::Trace);
         self.labels.observe(ev);
         let ts = self.start.elapsed().as_micros() as u64;
         let state = &mut *lock(&self.state);
@@ -856,6 +860,7 @@ impl ChromeTrace {
     }
 
     fn push(&self, record: String) {
+        let _mem = memacct::scope(memacct::Tag::Trace);
         lock(&self.records).push(record);
     }
 

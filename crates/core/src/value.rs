@@ -1,5 +1,6 @@
 //! Dynamically-typed cached values.
 
+use alphonse_mem as mem;
 use std::any::Any;
 use std::fmt;
 
@@ -37,7 +38,9 @@ impl<T: Any + fmt::Debug + PartialEq + Clone + Send> Value for T {
     }
 
     fn dyn_clone(&self) -> Box<dyn Value> {
-        Box::new(self.clone())
+        // Clones of cached results (handed out by `Memo::call` etc.) are
+        // value-slab memory, including the clone's own heap payload.
+        mem::with(mem::Tag::ValueSlab, || Box::new(self.clone()))
     }
 
     fn as_any(&self) -> &dyn Any {

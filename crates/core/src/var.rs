@@ -4,6 +4,7 @@ use crate::batch::Batch;
 use crate::runtime::Runtime;
 use crate::value::{downcast_ref, Value};
 use alphonse_graph::NodeId;
+use alphonse_mem as mem;
 use std::fmt;
 use std::marker::PhantomData;
 
@@ -124,7 +125,10 @@ impl<T: Value + PartialEq + Clone> Var<T> {
     /// Panics if `rt` is not the runtime this variable was created in.
     pub fn set(&self, rt: &Runtime, value: T) {
         self.check(rt);
-        rt.raw_write(self.node, Box::new(value));
+        rt.raw_write(
+            self.node,
+            mem::with(mem::Tag::ValueSlab, || Box::new(value)),
+        );
     }
 
     /// Applies `f` to the current value and stores the result.
@@ -201,7 +205,7 @@ impl Runtime {
     /// Allocates a fresh tracked variable holding `initial`.
     pub fn var<T: Value + PartialEq + Clone>(&self, initial: T) -> Var<T> {
         Var {
-            node: self.raw_alloc(Box::new(initial)),
+            node: self.raw_alloc(mem::with(mem::Tag::ValueSlab, || Box::new(initial))),
             rt_id: self.id,
             _marker: PhantomData,
         }
@@ -217,7 +221,7 @@ impl Runtime {
     /// simply [`Runtime::var`] (there is no frame to record against).
     pub fn var_accessed<T: Value + PartialEq + Clone>(&self, initial: T) -> Var<T> {
         Var {
-            node: self.alloc_accessed(Box::new(initial)),
+            node: self.alloc_accessed(mem::with(mem::Tag::ValueSlab, || Box::new(initial))),
             rt_id: self.id,
             _marker: PhantomData,
         }

@@ -1,5 +1,6 @@
 //! The dependency graph arena.
 
+use alphonse_mem as mem;
 use std::fmt;
 
 /// Identifies a node of a [`DepGraph`].
@@ -140,6 +141,7 @@ impl DepGraph {
 
     /// Adds a fresh node with no edges and height 0.
     pub fn add_node(&mut self) -> NodeId {
+        let _mem = mem::scope(mem::Tag::GraphCore);
         let id = u32::try_from(self.nodes.len()).expect("too many graph nodes");
         self.nodes.push(NodeRec {
             first_out: NIL,
@@ -217,6 +219,7 @@ impl DepGraph {
             self.edges[id as usize] = e;
             id
         } else {
+            let _mem = mem::scope(mem::Tag::GraphCore);
             let id = u32::try_from(self.edges.len()).expect("too many graph edges");
             self.edges.push(e);
             id
@@ -262,6 +265,7 @@ impl DepGraph {
         // legal propagation from a cycle-induced infinite loop.
         let budget = (self.nodes.len() as u64 + 8) * 4;
         let mut steps = 0u64;
+        let _mem = mem::scope(mem::Tag::GraphCore);
         let mut work = std::mem::take(&mut self.scratch);
         work.clear();
         self.nodes[v.index()].height = hu + 1;

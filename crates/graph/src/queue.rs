@@ -1,6 +1,7 @@
 //! The inconsistent set: a height-ordered priority queue with set semantics.
 
 use crate::NodeId;
+use alphonse_mem as mem;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -58,6 +59,7 @@ impl HeightQueue {
     /// Inserts `n` with priority `height` unless it is already queued.
     /// Returns `true` if the node was newly inserted.
     pub fn insert(&mut self, n: NodeId, height: u32) -> bool {
+        let _mem = mem::scope(mem::Tag::Queues);
         if self.members.insert(n) {
             self.heap.push((Reverse(height), n));
             true
@@ -90,6 +92,7 @@ impl HeightQueue {
     ///
     /// [`pop`]: HeightQueue::pop
     pub fn pop_level(&mut self, out: &mut Vec<NodeId>) -> Option<u32> {
+        let _mem = mem::scope(mem::Tag::Queues);
         let mut level: Option<u32> = None;
         while let Some(&(Reverse(h), n)) = self.heap.peek() {
             if let Some(l) = level {
@@ -138,6 +141,7 @@ impl HeightQueue {
     /// Moves every element of `other` into `self` (used when two graph
     /// partitions are unioned, Section 6.3).
     pub fn absorb(&mut self, other: &mut HeightQueue) {
+        let _mem = mem::scope(mem::Tag::Queues);
         for (h, n) in other.heap.drain() {
             if other.members.remove(&n) && self.members.insert(n) {
                 self.heap.push((h, n));

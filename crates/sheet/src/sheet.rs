@@ -12,6 +12,7 @@
 use crate::addr::Addr;
 use crate::formula::{CellValue, Formula, Op};
 use alphonse::{Memo, Runtime, Var};
+use alphonse_mem as mem;
 use std::fmt;
 use std::sync::Arc;
 
@@ -88,6 +89,7 @@ impl Sheet {
     /// Creates a `width × height` sheet of empty (`0`) cells tracked in
     /// `rt`.
     pub fn new(rt: &Runtime, width: u32, height: u32) -> Sheet {
+        let _mem = mem::scope(mem::Tag::Substrate);
         let tracing = rt.tracing();
         let formulas = (0..width as usize * height as usize)
             .map(|i| {
@@ -193,6 +195,7 @@ impl Sheet {
         &self,
         edits: impl IntoIterator<Item = (&'a str, &'a str)>,
     ) -> Result<(), SheetError> {
+        let _mem = mem::scope(mem::Tag::Substrate);
         let mut parsed = Vec::new();
         for (addr, src) in edits {
             let addr: Addr = addr
@@ -212,6 +215,7 @@ impl Sheet {
     /// Returns [`SheetError`] on out-of-bounds addresses or cycles in the
     /// post-batch sheet; no cell is modified on error.
     pub fn set_formulas(&self, edits: Vec<(Addr, Formula)>) -> Result<(), SheetError> {
+        let _mem = mem::scope(mem::Tag::Substrate);
         // Last-write-wins overlay: the formulas the sheet would hold after
         // the batch, used both for validation and for cycle walks, so
         // cross-edit cycles (A1=B1 and B1=A1 in one batch) are caught even

@@ -5,6 +5,7 @@
 //! alphonse-trace waves <trace.jsonl>
 //! alphonse-trace waste <trace.jsonl>
 //! alphonse-trace metrics <snapshot.json> [<baseline.json>]
+//! alphonse-trace bench-diff <baseline.json> <candidate.json> [--threshold <pct>]
 //! alphonse-trace check-static <trace.jsonl> <staticgraph.json>
 //! ```
 //!
@@ -38,9 +39,17 @@ commands:
   metrics <snapshot.json> [<baseline.json>]
       Pretty-print a runtime metrics snapshot (`MetricsSnapshot::to_json`
       output, e.g. a bench METRICS_<id>.json sidecar): counter totals,
-      p50/p90/p99/max per latency histogram, worker utilization and shard
-      gauges. With a second file, report the change from <baseline.json>
-      to <snapshot.json> instead (counters and histograms subtract).
+      p50/p90/p99/max per latency histogram, worker utilization, shard
+      gauges, and per-subsystem memory gauges with derived bytes/node when
+      the producing binary installed the tracking allocator. With a second
+      file, report the change from <baseline.json> to <snapshot.json>
+      instead (counters and histograms subtract).
+  bench-diff <baseline.json> <candidate.json> [--threshold <pct>]
+      Compare two bench result tables (BENCH_<id>.json): rows match by
+      their descriptive string cells, every shared numeric column reports
+      its percent change, and changes in the bad direction (latency up,
+      throughput down) beyond the threshold (default 5%) are flagged.
+      Exit 0 when nothing regressed past the threshold, 1 otherwise.
   check-static <trace.jsonl> <staticgraph.json>
       Cross-validate a dynamic trace against the compiler's abstract
       dependency graph (`alphonse-check graph` output): every runtime
@@ -179,6 +188,57 @@ fn cmd_metrics(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// Takes a `--flag <value>` pair out of `args`; `None` when absent,
+/// `Some(Err)` when present but malformed.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Option<Result<String, String>> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        args.remove(i);
+        return Some(Err(format!("{flag} needs a value")));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(Ok(v))
+}
+
+fn cmd_bench_diff(mut args: Vec<String>) -> ExitCode {
+    let threshold = match take_opt(&mut args, "--threshold") {
+        None => 5.0,
+        Some(Ok(v)) => match v.parse::<f64>() {
+            Ok(t) if t >= 0.0 => t,
+            _ => {
+                return fail(&format!(
+                    "--threshold wants a non-negative percent, got `{v}`"
+                ))
+            }
+        },
+        Some(Err(e)) => return fail(&e),
+    };
+    let [baseline, candidate] = args.as_slice() else {
+        return fail(
+            "bench-diff takes <baseline.json> <candidate.json> [--threshold <pct>]\n\n\
+             — see alphonse-trace --help",
+        );
+    };
+    let load = |path: &str| -> Result<alphonse_trace_tools::benchdiff::BenchTable, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        alphonse_trace_tools::benchdiff::BenchTable::parse(&text)
+            .map_err(|e| format!("{path}: {e}"))
+    };
+    match (load(baseline), load(candidate)) {
+        (Ok(before), Ok(after)) => {
+            let report = alphonse_trace_tools::benchdiff::diff(&before, &after);
+            emit(&report.render(threshold));
+            if report.worst_regression_pct() > threshold {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        (Err(e), _) | (_, Err(e)) => fail(&e),
+    }
+}
+
 fn cmd_check_static(args: Vec<String>) -> ExitCode {
     let [trace_path, graph_path] = args.as_slice() else {
         return fail(
@@ -224,6 +284,7 @@ fn main() -> ExitCode {
         "waves" => cmd_report(args, report::waves_report),
         "waste" => cmd_report(args, report::waste_report),
         "metrics" => cmd_metrics(args),
+        "bench-diff" => cmd_bench_diff(args),
         "check-static" => cmd_check_static(args),
         other => fail(&format!("unknown command `{other}`\n\n{USAGE}")),
     }

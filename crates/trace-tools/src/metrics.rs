@@ -38,6 +38,23 @@ pub struct ShardRow {
     pub jobs: u64,
 }
 
+/// One parsed memory-accounting row (`mem` object of the snapshot
+/// document), present when the producing binary installed the tracking
+/// allocator (`alphonse::mem::TrackingAlloc`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemRow {
+    /// Subsystem tag name (`graph_core`, `value_slab`, …).
+    pub tag: String,
+    /// Bytes currently live under this tag.
+    pub live_bytes: u64,
+    /// Blocks currently live under this tag.
+    pub live_allocs: u64,
+    /// High-water mark of `live_bytes`.
+    pub hwm_bytes: u64,
+    /// Allocations ever made under this tag.
+    pub total_allocs: u64,
+}
+
 /// The serving section of a snapshot (`pool`), present when the snapshot
 /// came from a `SessionPool`.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +81,9 @@ pub struct MetricsDoc {
     pub queue_depth_hwm: u64,
     /// Per-worker busy/idle gauges (empty unless a worker pool ran).
     pub workers: Vec<WorkerRow>,
+    /// Per-subsystem memory gauges (empty unless the producing binary
+    /// installed the tracking allocator).
+    pub mem: Vec<MemRow>,
     /// Serving-layer section, when present.
     pub pool: Option<PoolDoc>,
 }
@@ -141,6 +161,19 @@ impl MetricsDoc {
                 jobs: field_u64(w, "jobs", "worker")?,
             });
         }
+        let mut mem = Vec::new();
+        if let Some(Json::Obj(tags)) = doc.get("mem") {
+            for (tag, v) in tags {
+                let ctx = format!("mem.{tag}");
+                mem.push(MemRow {
+                    tag: tag.clone(),
+                    live_bytes: field_u64(v, "live_bytes", &ctx)?,
+                    live_allocs: field_u64(v, "live_allocs", &ctx)?,
+                    hwm_bytes: field_u64(v, "hwm_bytes", &ctx)?,
+                    total_allocs: field_u64(v, "total_allocs", &ctx)?,
+                });
+            }
+        }
         let pool = match doc.get("pool") {
             None => None,
             Some(p) => {
@@ -171,14 +204,15 @@ impl MetricsDoc {
             queue_depth: field_u64(gauges, "queue_depth", "gauges")?,
             queue_depth_hwm: field_u64(gauges, "queue_depth_hwm", "gauges")?,
             workers,
+            mem,
             pool,
         })
     }
 
     /// The change from `before` to `self`: counters and histogram buckets
-    /// subtract (entries absent from `before` pass through); gauges, worker
-    /// and shard rows are level readings, so the later snapshot's values
-    /// are reported as-is.
+    /// subtract (entries absent from `before` pass through); gauges, worker,
+    /// shard and memory rows are level readings, so the later snapshot's
+    /// values are reported as-is.
     pub fn delta_since(&self, before: &MetricsDoc) -> MetricsDoc {
         let mut d = self.clone();
         for (name, v) in &mut d.counters {
@@ -243,6 +277,37 @@ impl MetricsDoc {
                 w.jobs,
             );
         }
+        if !self.mem.is_empty() {
+            let _ = writeln!(out, "\n## memory");
+            for r in &self.mem {
+                let _ = writeln!(
+                    out,
+                    "{:<14} live {:>10} ({} allocs)  hwm {:>10}  total allocs {}",
+                    r.tag,
+                    fmt_bytes(r.live_bytes),
+                    r.live_allocs,
+                    fmt_bytes(r.hwm_bytes),
+                    r.total_allocs,
+                );
+            }
+            let live_total: u64 = self.mem.iter().map(|r| r.live_bytes).sum();
+            let _ = write!(out, "{:<14} live {:>10}", "total", fmt_bytes(live_total));
+            // Derived footprint per graph node, when the snapshot carries
+            // the node counter.
+            if let Some((_, nodes)) = self
+                .counters
+                .iter()
+                .find(|(n, _)| n == "mem_nodes")
+                .filter(|(_, n)| *n > 0)
+            {
+                let _ = write!(
+                    out,
+                    "  ({:.0} bytes/node over {nodes} nodes)",
+                    live_total as f64 / *nodes as f64
+                );
+            }
+            let _ = writeln!(out);
+        }
         if let Some(pool) = &self.pool {
             let _ = writeln!(out, "\n## pool");
             for (name, h) in [
@@ -271,6 +336,19 @@ impl MetricsDoc {
             }
         }
         out
+    }
+}
+
+/// Formats a byte quantity at a human scale (`B`, `KiB`, `MiB`, `GiB`).
+fn fmt_bytes(b: u64) -> String {
+    const KIB: u64 = 1 << 10;
+    const MIB: u64 = 1 << 20;
+    const GIB: u64 = 1 << 30;
+    match b {
+        0..=1023 => format!("{b} B"),
+        KIB..=1048575 => format!("{:.1} KiB", b as f64 / KIB as f64),
+        MIB..=1073741823 => format!("{:.1} MiB", b as f64 / MIB as f64),
+        _ => format!("{:.2} GiB", b as f64 / GIB as f64),
     }
 }
 
@@ -350,6 +428,34 @@ mod tests {
                    \"gauges\":{\"queue_depth\":0,\"queue_depth_hwm\":0},\"workers\":[]}";
         let err = MetricsDoc::parse(bad).unwrap_err();
         assert!(err.contains("declared count"), "got: {err}");
+    }
+
+    #[test]
+    fn parses_and_renders_mem_section() {
+        let text = "{\"schema\":\"alphonse-metrics-v1\",\
+                    \"counters\":{\"mem_nodes\":4},\"histograms\":{},\
+                    \"gauges\":{\"queue_depth\":0,\"queue_depth_hwm\":0},\"workers\":[],\
+                    \"mem\":{\"graph_core\":{\"live_bytes\":4096,\"live_allocs\":3,\
+                    \"hwm_bytes\":8192,\"total_allocs\":10},\
+                    \"value_slab\":{\"live_bytes\":64,\"live_allocs\":4,\
+                    \"hwm_bytes\":64,\"total_allocs\":4}}}";
+        let doc = MetricsDoc::parse(text).expect("parses");
+        assert_eq!(doc.mem.len(), 2);
+        assert_eq!(doc.mem[0].tag, "graph_core");
+        assert_eq!(doc.mem[0].hwm_bytes, 8192);
+        let rendered = doc.render("snapshot");
+        assert!(rendered.contains("## memory"));
+        assert!(rendered.contains("graph_core"));
+        assert!(rendered.contains("4.0 KiB"));
+        // 4160 live bytes over 4 nodes.
+        assert!(
+            rendered.contains("1040 bytes/node over 4 nodes"),
+            "got:\n{rendered}"
+        );
+        // A snapshot without a `mem` object renders no memory section.
+        let plain = MetricsDoc::parse(&sample_doc()).unwrap();
+        assert!(plain.mem.is_empty());
+        assert!(!plain.render("snapshot").contains("## memory"));
     }
 
     #[test]

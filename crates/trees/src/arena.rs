@@ -9,6 +9,7 @@
 //! writes seed change propagation.
 
 use alphonse::{Batch, Runtime, Var};
+use alphonse_mem as mem;
 use std::fmt;
 use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
@@ -80,6 +81,7 @@ impl TreeStore {
     /// Creates an empty store bound to `rt`. Slot 0 is reserved for the nil
     /// sentinel.
     pub fn new(rt: &Runtime) -> Arc<Self> {
+        let _mem = mem::scope(mem::Tag::Substrate);
         let sentinel = Fields {
             key: rt.var(0),
             left: rt.var(NodeRef::NIL),
@@ -108,6 +110,7 @@ impl TreeStore {
 
     /// Allocates a node with the given key and children.
     pub fn new_node(&self, key: i64, left: NodeRef, right: NodeRef) -> NodeRef {
+        let _mem = mem::scope(mem::Tag::Substrate);
         let mut nodes = lock(&self.nodes);
         let id = u32::try_from(nodes.len()).expect("too many tree nodes");
         let fields = if self.rt.tracing() {

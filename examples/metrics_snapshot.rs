@@ -15,8 +15,15 @@
 //! both feed `top`. Each write to `a` runs one propagation wave, so the
 //! wave-latency histogram fills and the executed/wasted counters separate
 //! productive work from cutoff-stopped recomputation.
+//!
+//! The example also installs the subsystem-tagged counting allocator, so
+//! every surface carries the `mem` section: per-tag live/HWM bytes and the
+//! derived bytes-per-node figure README walks through.
 
-use alphonse::{Runtime, Strategy};
+use alphonse::{mem, Runtime, Strategy};
+
+#[global_allocator]
+static ALLOC: mem::TrackingAlloc = mem::TrackingAlloc;
 
 fn main() {
     let rt = Runtime::new();
@@ -52,6 +59,29 @@ fn main() {
         snap.wave_latency_ns.percentile(0.50),
         snap.wave_latency_ns.percentile(0.99)
     );
+
+    let nodes = snap
+        .counters
+        .iter()
+        .find(|(n, _)| *n == "mem_nodes")
+        .map(|&(_, v)| v)
+        .unwrap_or(0);
+    eprintln!("memory (live bytes by subsystem, {nodes} nodes):");
+    for tag in &snap.mem.tags {
+        if tag.total_allocs == 0 {
+            continue;
+        }
+        eprintln!(
+            "  {:<12} live={}B (hwm {}B, {} allocs ever)",
+            tag.tag, tag.live_bytes, tag.hwm_bytes, tag.total_allocs
+        );
+    }
+    if nodes > 0 {
+        eprintln!(
+            "  bytes/node: {:.0}",
+            snap.mem.live_bytes_total() as f64 / nodes as f64
+        );
+    }
 
     print!("{}", snap.render_prometheus());
 
